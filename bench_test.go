@@ -1,0 +1,88 @@
+// Package repro's root benchmark harness: one testing.B benchmark per
+// table and figure of the paper's evaluation. Each benchmark emits the
+// full comparison table (measured vs. published) on its first iteration
+// and reports the experiment's virtual makespan as a custom metric.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkTable1 -benchtime=1x
+package repro
+
+import (
+	"io"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+var benchOnce sync.Map
+
+// runExperiment executes one experiment per benchmark invocation,
+// printing its table only once per process.
+func runExperiment(b *testing.B, id string, quick bool) {
+	e, ok := bench.ExperimentByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	cfg := bench.DefaultConfig()
+	cfg.Quick = quick
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var w io.Writer = io.Discard
+		if _, printed := benchOnce.LoadOrStore(id, true); !printed {
+			w = os.Stdout
+		}
+		e.Run(w, cfg)
+	}
+}
+
+// BenchmarkFigure6MorselSize regenerates Fig. 6 (morsel-size sweep).
+func BenchmarkFigure6MorselSize(b *testing.B) { runExperiment(b, "fig6", true) }
+
+// BenchmarkFigure11Scalability regenerates Fig. 11 (TPC-H speedup curves
+// for the four system variants). Quick mode: 6 queries, 3 thread counts.
+func BenchmarkFigure11Scalability(b *testing.B) { runExperiment(b, "fig11", true) }
+
+// BenchmarkTable1TPCHNehalem regenerates Table 1 (per-query TPC-H
+// statistics on Nehalem EX).
+func BenchmarkTable1TPCHNehalem(b *testing.B) { runExperiment(b, "table1", true) }
+
+// BenchmarkTable2TPCHSandyBridge regenerates Table 2 (TPC-H on Sandy
+// Bridge EP).
+func BenchmarkTable2TPCHSandyBridge(b *testing.B) { runExperiment(b, "table2", true) }
+
+// BenchmarkSummary51 regenerates the §5.1 geo-mean/sum/scalability
+// comparison against the plan-driven baseline.
+func BenchmarkSummary51(b *testing.B) { runExperiment(b, "s51", true) }
+
+// BenchmarkSection53Placement regenerates the §5.3 placement-strategy
+// comparison (NUMA-aware vs OS default vs interleaved, both machines).
+func BenchmarkSection53Placement(b *testing.B) { runExperiment(b, "s53", true) }
+
+// BenchmarkSection53Micro regenerates the §5.3 bandwidth/latency
+// micro-benchmark.
+func BenchmarkSection53Micro(b *testing.B) { runExperiment(b, "s53micro", true) }
+
+// BenchmarkFigure12Streams regenerates Fig. 12 (intra- vs inter-query
+// parallelism).
+func BenchmarkFigure12Streams(b *testing.B) { runExperiment(b, "fig12", true) }
+
+// BenchmarkFigure13Elasticity regenerates Fig. 13 (elastic worker
+// migration trace).
+func BenchmarkFigure13Elasticity(b *testing.B) { runExperiment(b, "fig13", true) }
+
+// BenchmarkSection54Interference regenerates the §5.4 static-vs-dynamic
+// interference experiment.
+func BenchmarkSection54Interference(b *testing.B) { runExperiment(b, "s54", true) }
+
+// BenchmarkTable3SSB regenerates Table 3 (Star Schema Benchmark).
+func BenchmarkTable3SSB(b *testing.B) { runExperiment(b, "table3", true) }
+
+// BenchmarkAblationColocation regenerates the §4.3 co-location ablation
+// (this reproduction's addition: quantifies the partitioning hint).
+func BenchmarkAblationColocation(b *testing.B) { runExperiment(b, "coloc", true) }
+
+// BenchmarkQoSPriority regenerates the priority-based QoS extension
+// (§3.1; the paper's future work implemented by this reproduction).
+func BenchmarkQoSPriority(b *testing.B) { runExperiment(b, "qos", true) }

@@ -1,0 +1,61 @@
+// Command morselbench regenerates the paper's tables and figures. By
+// default every experiment runs at the default scale; -exp selects one,
+// -quick trims query sets and thread counts for a fast pass.
+//
+//	morselbench -exp table1
+//	morselbench -quick
+//	morselbench -sf 0.1 -exp fig11
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (fig6, fig11, table1, table2, s51, s53, s53micro, fig12, fig13, s54, table3); empty = all")
+		sf    = flag.Float64("sf", 0, "TPC-H/SSB scale factor (default 0.05)")
+		quick = flag.Bool("quick", false, "trimmed query sets and thread counts")
+		list  = flag.Bool("list", false, "list experiments")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	cfg.Quick = *quick
+	if *sf > 0 {
+		cfg.TPCHSF = *sf
+		cfg.SSBSF = *sf
+	}
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	run := func(e bench.Experiment) {
+		fmt.Printf("==== %s ====\n", e.Title)
+		start := time.Now()
+		e.Run(os.Stdout, cfg)
+		fmt.Printf("\n(experiment wall time: %.1fs)\n\n", time.Since(start).Seconds())
+	}
+
+	if *exp != "" {
+		e, ok := bench.ExperimentByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+			os.Exit(2)
+		}
+		run(e)
+		return
+	}
+	for _, e := range bench.Experiments() {
+		run(e)
+	}
+}

@@ -1,0 +1,66 @@
+// Command ssb runs Star Schema Benchmark queries on the morsel-driven
+// engine.
+//
+//	ssb -q 2.1 -sf 0.1
+//	ssb -all -machine sandybridge -workers 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/engine"
+	"repro/internal/numa"
+	"repro/internal/ssb"
+)
+
+func main() {
+	var (
+		qid     = flag.String("q", "", "query id (1.1 .. 4.3); empty with -all runs everything")
+		all     = flag.Bool("all", false, "run all 13 queries")
+		sf      = flag.Float64("sf", 0.05, "scale factor (SF 1 = 6M lineorders)")
+		workers = flag.Int("workers", 64, "worker threads")
+		morsel  = flag.Int("morsel", 2000, "morsel size in tuples")
+		machine = flag.String("machine", "nehalem", "nehalem | sandybridge")
+		rows    = flag.Bool("rows", false, "print result rows")
+	)
+	flag.Parse()
+
+	var m *numa.Machine
+	switch *machine {
+	case "nehalem":
+		m = numa.NehalemEXMachine()
+	case "sandybridge":
+		m = numa.SandyBridgeEPMachine()
+	default:
+		fmt.Fprintln(os.Stderr, "unknown machine")
+		os.Exit(2)
+	}
+
+	fmt.Printf("generating SSB SF %g ...\n", *sf)
+	start := time.Now()
+	db := ssb.Generate(ssb.Config{SF: *sf, Partitions: 64, Sockets: m.Topo.Sockets, Seed: 42})
+	fmt.Printf("generated %d rows in %.1fs\n\n", db.Rows(), time.Since(start).Seconds())
+
+	runOne := func(q ssb.Query) {
+		s := engine.NewSession(m)
+		s.Dispatch = dispatch.Config{Workers: *workers, MorselRows: *morsel}
+		res, stats := s.Run(q.Plan(db))
+		fmt.Printf("Q%-4s %9.3f ms  %6.1f GB/s  remote %4.1f%%  QPI %3.0f%%  rows %d\n",
+			q.ID, stats.TimeNs/1e6, stats.ReadGBs(), stats.RemotePct(), stats.QPIPct(), res.NumRows())
+		if *rows {
+			fmt.Println(res)
+		}
+	}
+
+	if *all || *qid == "" {
+		for _, q := range ssb.Queries() {
+			runOne(q)
+		}
+		return
+	}
+	runOne(ssb.QueryByID(*qid))
+}

@@ -1,0 +1,90 @@
+// Command tpch runs TPC-H queries on the morsel-driven engine.
+//
+//	tpch -q 1 -sf 0.1 -workers 64
+//	tpch -all -sf 0.05 -machine sandybridge
+//	tpch -q 13 -placement interleaved -volcano
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/engine"
+	"repro/internal/numa"
+	"repro/internal/storage"
+	"repro/internal/tpch"
+)
+
+func main() {
+	var (
+		qnum      = flag.Int("q", 0, "query number 1-22 (0 with -all runs everything)")
+		all       = flag.Bool("all", false, "run all 22 queries")
+		sf        = flag.Float64("sf", 0.05, "scale factor (SF 1 = 6M lineitems)")
+		workers   = flag.Int("workers", 64, "worker threads")
+		morsel    = flag.Int("morsel", 2000, "morsel size in tuples")
+		machine   = flag.String("machine", "nehalem", "nehalem | sandybridge")
+		placement = flag.String("placement", "numa", "numa | osdefault | interleaved")
+		volcano   = flag.Bool("volcano", false, "run the plan-driven (Volcano) baseline")
+		real      = flag.Bool("real", false, "execute on goroutines (wall-clock) instead of the simulator")
+		rows      = flag.Bool("rows", false, "print result rows")
+	)
+	flag.Parse()
+
+	var m *numa.Machine
+	switch *machine {
+	case "nehalem":
+		m = numa.NehalemEXMachine()
+	case "sandybridge":
+		m = numa.SandyBridgeEPMachine()
+	default:
+		fmt.Fprintln(os.Stderr, "unknown machine")
+		os.Exit(2)
+	}
+	var pl storage.Placement
+	switch *placement {
+	case "numa":
+		pl = storage.NUMAAware
+	case "osdefault":
+		pl = storage.OSDefault
+	case "interleaved":
+		pl = storage.Interleaved
+	default:
+		fmt.Fprintln(os.Stderr, "unknown placement")
+		os.Exit(2)
+	}
+
+	fmt.Printf("generating TPC-H SF %g ...\n", *sf)
+	start := time.Now()
+	db := tpch.Generate(tpch.Config{SF: *sf, Partitions: 64, Sockets: m.Topo.Sockets, Seed: 42}).WithPlacement(pl)
+	fmt.Printf("generated %d rows in %.1fs\n\n", db.Rows(), time.Since(start).Seconds())
+
+	runOne := func(q tpch.Query) {
+		s := engine.NewSession(m)
+		s.Dispatch = dispatch.Config{Workers: *workers, MorselRows: *morsel}
+		if *volcano {
+			s.Dispatch.NonAdaptive = true
+			s.Dispatch.NoLocality = true
+			s.PlanDriven = true
+		}
+		if *real {
+			s.Mode = engine.Real
+		}
+		res, stats := q.Run(s, db)
+		fmt.Printf("Q%-3d %-36s %9.3f ms  %6.1f GB/s  remote %4.1f%%  QPI %3.0f%%  rows %d\n",
+			q.Num, q.Name, stats.TimeNs/1e6, stats.ReadGBs(), stats.RemotePct(), stats.QPIPct(), res.NumRows())
+		if *rows {
+			fmt.Println(res)
+		}
+	}
+
+	if *all || *qnum == 0 {
+		for _, q := range tpch.Queries() {
+			runOne(q)
+		}
+		return
+	}
+	runOne(tpch.QueryByNum(*qnum))
+}

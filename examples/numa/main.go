@@ -1,0 +1,55 @@
+// NUMA: the same scan-heavy query under the three placement policies of
+// §5.3 — NUMA-aware partitioning, OS-default (everything on the loading
+// node), and page interleaving — on both of the paper's machine
+// topologies. Shows why placement matters and why it matters more on a
+// partially connected interconnect.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/numa"
+	"repro/internal/storage"
+)
+
+func main() {
+	for _, machine := range []struct {
+		name string
+		mk   func() *numa.Machine
+	}{
+		{"Nehalem EX (fully connected)", numa.NehalemEXMachine},
+		{"Sandy Bridge EP (ring, 2-hop paths)", numa.SandyBridgeEPMachine},
+	} {
+		fmt.Printf("== %s ==\n", machine.name)
+		var baseline float64
+		for _, pl := range []core.Placement{core.NUMAAware, core.Interleaved, core.OSDefault} {
+			m := machine.mk()
+			sys := core.NewSystem(m, core.Options{MorselRows: 10_000, Placement: pl})
+
+			b := core.NewTableBuilder("big", core.Schema{
+				{Name: "k", Type: core.I64},
+				{Name: "v", Type: core.F64},
+			}, 64, "k")
+			for i := 0; i < 2_000_000; i++ {
+				b.Append(core.Row{int64(i), float64(i % 100)})
+			}
+			big := sys.Register(b)
+
+			p := core.NewPlan("scan-agg")
+			p.Return(p.Scan(big, "v").
+				GroupBy(nil, []core.AggDef{core.Sum("s", core.Col("v"))}))
+			_, stats := sys.Run(p)
+
+			if pl == core.NUMAAware {
+				baseline = stats.TimeNs
+			}
+			fmt.Printf("%-14v time %7.2f ms (%.2fx)  bw %6.1f GB/s  remote %5.1f%%  QPI %4.0f%%\n",
+				storage.Placement(pl), stats.TimeNs/1e6, stats.TimeNs/baseline,
+				stats.ReadGBs(), stats.RemotePct(), stats.QPIPct())
+		}
+		fmt.Println()
+	}
+	fmt.Println("NUMA-aware placement wins everywhere; interleaving is an acceptable")
+	fmt.Println("fallback only on the fully connected machine — exactly §5.3's finding.")
+}

@@ -1,0 +1,47 @@
+// Quickstart: build a small table, run a filtered group-by through the
+// morsel-driven engine, and inspect the NUMA statistics of the run.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func main() {
+	// A simulated 4-socket Nehalem EX with 64 hardware threads.
+	sys := core.NewSystem(core.Nehalem(), core.Options{MorselRows: 10_000})
+
+	// Load a sales table, hash-partitioned on "id" across the sockets.
+	b := core.NewTableBuilder("sales", core.Schema{
+		{Name: "id", Type: core.I64},
+		{Name: "region", Type: core.Str},
+		{Name: "amount", Type: core.F64},
+	}, 64, "id")
+	regions := []string{"NORTH", "SOUTH", "EAST", "WEST"}
+	for i := 0; i < 1_000_000; i++ {
+		b.Append(core.Row{int64(i), regions[i%4], float64(i%10_000) / 100})
+	}
+	sales := sys.Register(b)
+
+	// SELECT region, count(*), sum(amount), avg(amount)
+	// FROM sales WHERE amount > 50 GROUP BY region ORDER BY region.
+	p := core.NewPlan("sales-by-region")
+	n := p.Scan(sales, "region", "amount").
+		Filter(core.Gt(core.Col("amount"), core.ConstF(50))).
+		GroupBy(
+			[]core.NamedExpr{core.N("region", core.Col("region"))},
+			[]core.AggDef{
+				core.Count("orders"),
+				core.Sum("revenue", core.Col("amount")),
+				core.Avg("avg_amount", core.Col("amount")),
+			})
+	p.ReturnSorted(n, 0, core.Asc("region"))
+
+	res, stats := sys.Run(p)
+	fmt.Println(res)
+	fmt.Printf("virtual time      %.3f ms\n", stats.TimeNs/1e6)
+	fmt.Printf("read bandwidth    %.1f GB/s (%.1f MB read)\n", stats.ReadGBs(), float64(stats.ReadBytes)/1e6)
+	fmt.Printf("remote accesses   %.1f %%\n", stats.RemotePct())
+	fmt.Printf("morsels executed  %d\n", stats.Morsels)
+}

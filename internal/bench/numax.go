@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/numa"
+	"repro/internal/storage"
+	"repro/internal/tpch"
+)
+
+// Section53 reproduces the NUMA-placement comparison: the NUMA-aware
+// layout against "OS default" (everything on the loading node) and
+// "interleaved" (round-robin pages) on both machines. Expected shape:
+// OS default is much worse everywhere (one controller saturates);
+// interleaving is nearly competitive on the fully connected Nehalem EX
+// but clearly worse on the Sandy Bridge EP ring.
+func Section53(w io.Writer, cfg Config) {
+	measure := func(mk func() *numa.Machine, placement storage.Placement) []float64 {
+		var times []float64
+		for _, q := range cfg.tpchQueryNums() {
+			db := TPCHDB(cfg.TPCHSF).WithPlacement(placement)
+			s := cfg.session(mk(), FullFledged, 64)
+			if placement != storage.NUMAAware {
+				// Placement strategies change where the data is,
+				// not the dispatcher; locality-aware dispatch has
+				// nothing local to prefer under OS-default or
+				// interleaved placement.
+				s.Dispatch.NoLocality = placement == storage.OSDefault
+			}
+			_, st := tpch.QueryByNum(q).Run(s, db)
+			times = append(times, st.TimeNs)
+		}
+		return times
+	}
+	speedups := func(base, other []float64) (geo, max float64) {
+		var ratios []float64
+		for i := range base {
+			r := other[i] / base[i]
+			ratios = append(ratios, r)
+			if r > max {
+				max = r
+			}
+		}
+		return geoMean(ratios), max
+	}
+
+	fmt.Fprintf(w, "Section 5.3: speedup of NUMA-aware placement over alternatives (TPC-H SF %g, 64 threads)\n\n", cfg.TPCHSF)
+	fmt.Fprintf(w, "%-18s %-14s %10s %10s | %s\n", "machine", "placement", "geo.mean", "max", "paper geo/max")
+	for _, mc := range []struct {
+		name               string
+		mk                 func() *numa.Machine
+		osG, osM, inG, inM float64
+	}{
+		{"Nehalem EX", numa.NehalemEXMachine,
+			paperSection53.NehOSGeo, paperSection53.NehOSMax, paperSection53.NehIntGeo, paperSection53.NehIntMax},
+		{"Sandy Bridge EP", numa.SandyBridgeEPMachine,
+			paperSection53.SbOSGeo, paperSection53.SbOSMax, paperSection53.SbIntGeo, paperSection53.SbIntMax},
+	} {
+		aware := measure(mc.mk, storage.NUMAAware)
+		osdef := measure(mc.mk, storage.OSDefault)
+		inter := measure(mc.mk, storage.Interleaved)
+		g, mx := speedups(aware, osdef)
+		fmt.Fprintf(w, "%-18s %-14s %9.2fx %9.2fx | %.2fx / %.2fx\n", mc.name, "OS default", g, mx, mc.osG, mc.osM)
+		g, mx = speedups(aware, inter)
+		fmt.Fprintf(w, "%-18s %-14s %9.2fx %9.2fx | %.2fx / %.2fx\n", mc.name, "interleaved", g, mx, mc.inG, mc.inM)
+	}
+}
+
+// Section53Micro reproduces the bandwidth/latency micro-benchmark: all 64
+// threads streaming NUMA-local data vs. a 25% local / 75% remote mix
+// (including two-hop traffic on Sandy Bridge EP).
+func Section53Micro(w io.Writer, cfg Config) {
+	const perWorkerBytes = 1 << 22
+	measure := func(m *numa.Machine, mix bool) (bwGBs float64, latNs float64) {
+		workers := m.Topo.HardwareThreads()
+		trackers := make([]*numa.Tracker, workers)
+		for i := range trackers {
+			trackers[i] = m.NewTracker(i)
+		}
+		// Register all streams first so congestion reflects the
+		// steady state of the benchmark loop.
+		homes := make([][]numa.SocketID, workers)
+		for i, tr := range trackers {
+			if mix {
+				// 25% local / 75% remote == an interleaved stream.
+				homes[i] = []numa.SocketID{numa.NoSocket}
+			} else {
+				homes[i] = []numa.SocketID{tr.Socket()}
+			}
+			for _, h := range homes[i] {
+				tr.BeginMorselRead(h)
+			}
+		}
+		var maxV float64
+		for i, tr := range trackers {
+			for _, h := range homes[i] {
+				tr.ReadSeq(h, perWorkerBytes/int64(len(homes[i])))
+			}
+			if tr.VTime() > maxV {
+				maxV = tr.VTime()
+			}
+		}
+		for i, tr := range trackers {
+			for _, h := range homes[i] {
+				tr.EndMorselRead(h)
+			}
+		}
+		bwGBs = float64(perWorkerBytes*int64(workers)) / maxV
+
+		// Latency: a dependent pointer chase, local vs mixed homes.
+		lt := m.NewTracker(0)
+		const lines = 1 << 12
+		if mix {
+			per := int64(lines / m.Topo.Sockets)
+			for s := 0; s < m.Topo.Sockets; s++ {
+				lt.ReadRand(numa.SocketID(s), per)
+			}
+		} else {
+			lt.ReadRand(0, lines)
+		}
+		// The model divides latency by the assumed MLP; report raw
+		// latency for comparability with the paper's pointer chase.
+		const mlp = 4
+		latNs = lt.VTime() / lines * mlp
+		return
+	}
+
+	fmt.Fprintf(w, "Section 5.3 micro-benchmark: local vs 25/75 mix\n\n")
+	fmt.Fprintf(w, "%-18s %-8s %14s %14s | %s\n", "machine", "pattern", "bandwidth GB/s", "latency ns", "paper bw/lat")
+	for _, mc := range []struct {
+		name                 string
+		m                    *numa.Machine
+		lBW, mBW, lLat, mLat float64
+	}{
+		{"Nehalem EX", numa.NehalemEXMachine(),
+			paperMicro53.NehLocalBW, paperMicro53.NehMixBW, paperMicro53.NehLocalLat, paperMicro53.NehMixLat},
+		{"Sandy Bridge EP", numa.SandyBridgeEPMachine(),
+			paperMicro53.SbLocalBW, paperMicro53.SbMixBW, paperMicro53.SbLocalLat, paperMicro53.SbMixLat},
+	} {
+		bw, lat := measure(mc.m, false)
+		fmt.Fprintf(w, "%-18s %-8s %14.1f %14.0f | %.0f / %.0f\n", mc.name, "local", bw, lat, mc.lBW, mc.lLat)
+		bw, lat = measure(mc.m, true)
+		fmt.Fprintf(w, "%-18s %-8s %14.1f %14.0f | %.0f / %.0f\n", mc.name, "mix", bw, lat, mc.mBW, mc.mLat)
+	}
+}

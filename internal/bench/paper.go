@@ -1,0 +1,90 @@
+package bench
+
+import "math"
+
+func mathPow(x, y float64) float64 { return math.Pow(x, y) }
+
+// Published numbers from the paper, used for side-by-side reporting.
+
+// paperTable1 holds Table 1 (TPC-H SF 100 on Nehalem EX): HyPer time [s],
+// scalability, read GB/s, remote %, QPI %, and Vectorwise time [s] and
+// scalability.
+var paperTable1 = map[int]struct {
+	HyTime, HyScal, HyRd, HyRemote, HyQPI float64
+	VwTime, VwScal                        float64
+}{
+	1:  {0.28, 32.4, 82.6, 1, 40, 1.13, 30.2},
+	2:  {0.08, 22.3, 25.1, 15, 17, 0.63, 4.6},
+	3:  {0.66, 24.7, 48.1, 25, 34, 3.83, 7.3},
+	4:  {0.38, 21.6, 45.8, 15, 32, 2.73, 9.1},
+	5:  {0.97, 21.3, 36.8, 29, 30, 4.52, 7.0},
+	6:  {0.17, 27.5, 80.0, 4, 43, 0.48, 17.8},
+	7:  {0.53, 32.4, 43.2, 39, 38, 3.75, 8.1},
+	8:  {0.35, 31.2, 34.9, 15, 24, 4.46, 7.7},
+	9:  {2.14, 32.0, 34.3, 48, 32, 11.42, 7.9},
+	10: {0.60, 20.0, 26.7, 37, 24, 6.46, 5.7},
+	11: {0.09, 37.1, 21.8, 25, 16, 0.67, 3.9},
+	12: {0.22, 42.0, 64.5, 5, 34, 6.65, 6.9},
+	13: {1.95, 40.0, 21.8, 54, 25, 6.23, 11.4},
+	14: {0.19, 24.8, 43.0, 29, 34, 2.42, 7.3},
+	15: {0.44, 19.8, 23.5, 34, 21, 1.63, 7.2},
+	16: {0.78, 17.3, 14.3, 62, 16, 1.64, 8.8},
+	17: {0.44, 30.5, 19.1, 13, 13, 0.84, 15.0},
+	18: {2.78, 24.0, 24.5, 40, 25, 14.94, 6.5},
+	19: {0.88, 29.5, 42.5, 17, 27, 2.87, 8.8},
+	20: {0.18, 33.4, 45.1, 5, 23, 1.94, 9.2},
+	21: {0.91, 28.0, 40.7, 16, 29, 12.00, 9.1},
+	22: {0.30, 25.7, 35.5, 75, 38, 3.14, 4.3},
+}
+
+// paperTable2 holds Table 2 (TPC-H SF 100 on Sandy Bridge EP): time [s]
+// and scalability.
+var paperTable2 = map[int][2]float64{
+	1: {0.21, 39.4}, 2: {0.10, 17.8}, 3: {0.63, 18.6}, 4: {0.30, 26.9},
+	5: {0.84, 28.0}, 6: {0.14, 42.8}, 7: {0.56, 25.3}, 8: {0.29, 33.3},
+	9: {2.44, 21.5}, 10: {0.61, 21.0}, 11: {0.10, 27.4}, 12: {0.33, 41.8},
+	13: {2.32, 16.5}, 14: {0.33, 15.6}, 15: {0.33, 20.5}, 16: {0.81, 11.0},
+	17: {0.40, 34.0}, 18: {1.66, 29.1}, 19: {0.68, 29.6}, 20: {0.18, 33.7},
+	21: {0.74, 26.4}, 22: {0.47, 8.4},
+}
+
+// paperTable3 holds Table 3 (SSB scale 50 on Nehalem EX): time [s],
+// scalability, remote %, QPI %.
+var paperTable3 = map[string][4]float64{
+	"1.1": {0.10, 33.0, 18, 29},
+	"1.2": {0.04, 41.7, 1, 44},
+	"1.3": {0.04, 42.6, 1, 44},
+	"2.1": {0.11, 44.2, 13, 17},
+	"2.2": {0.15, 45.1, 2, 19},
+	"2.3": {0.06, 36.3, 3, 25},
+	"3.1": {0.29, 30.7, 37, 21},
+	"3.2": {0.09, 38.3, 7, 22},
+	"3.3": {0.06, 40.7, 2, 27},
+	"3.4": {0.06, 40.5, 2, 28},
+	"4.1": {0.26, 36.5, 34, 34},
+	"4.2": {0.23, 35.1, 28, 33},
+	"4.3": {0.12, 44.2, 5, 22},
+}
+
+// paperSummary51: geometric mean [s], sum [s], scalability (Nehalem EX).
+var paperSummary51 = struct {
+	HyGeo, HySum, HyScal float64
+	VwGeo, VwSum, VwScal float64
+}{0.45, 15.3, 28.1, 2.84, 93.4, 9.3}
+
+// paperSection53: NUMA-aware speedup over the alternative placements
+// (geo mean, max).
+var paperSection53 = struct {
+	NehOSGeo, NehOSMax, NehIntGeo, NehIntMax float64
+	SbOSGeo, SbOSMax, SbIntGeo, SbIntMax     float64
+}{1.57, 4.95, 1.07, 1.24, 2.40, 5.81, 1.58, 5.01}
+
+// paperMicro53: local vs 25/75 mix, bandwidth [GB/s] and latency [ns].
+var paperMicro53 = struct {
+	NehLocalBW, NehMixBW, NehLocalLat, NehMixLat float64
+	SbLocalBW, SbMixBW, SbLocalLat, SbMixLat     float64
+}{93, 60, 161, 186, 121, 41, 101, 257}
+
+// paperSection54: performance drop with one core occupied by an
+// unrelated process: static division vs dynamic morsel assignment.
+var paperSection54 = struct{ StaticPct, DynamicPct float64 }{36.8, 4.7}

@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/numa"
+	"repro/internal/ssb"
+	"repro/internal/storage"
+	"repro/internal/tpch"
+)
+
+// These tests pin the qualitative results of the paper — who wins, by
+// roughly what factor, and where crossovers fall — so that changes to the
+// engine or the cost model cannot silently destroy the reproduction.
+
+func quickCfg() Config {
+	c := DefaultConfig()
+	c.TPCHSF = 0.02
+	c.SSBSF = 0.02
+	c.MorselRows = 1000
+	c.Quick = true
+	return c
+}
+
+func TestShapeScalability(t *testing.T) {
+	cfg := quickCfg()
+	// Join-heavy queries where the paper reports the starkest gap.
+	for _, q := range []int{9, 13, 18} {
+		base := cfg.runTPCH(numa.NehalemEXMachine(), FullFledged, 1, q).TimeNs
+		full := base / cfg.runTPCH(numa.NehalemEXMachine(), FullFledged, 64, q).TimeNs
+		vw := base / cfg.runTPCH(numa.NehalemEXMachine(), PlanDriven, 64, q).TimeNs
+		if full < 15 {
+			t.Errorf("Q%d: full-fledged speedup %.1f, want >= 15 (paper ~24-40)", q, full)
+		}
+		if vw > 15 {
+			t.Errorf("Q%d: plan-driven speedup %.1f, want <= 15 (paper < 12)", q, vw)
+		}
+		if full < 2*vw {
+			t.Errorf("Q%d: morsel-driven (%.1fx) should beat plan-driven (%.1fx) by >= 2x", q, full, vw)
+		}
+	}
+}
+
+func TestShapeSpeedupMonotonicOverThreads(t *testing.T) {
+	cfg := quickCfg()
+	prev := 0.0
+	base := cfg.runTPCH(numa.NehalemEXMachine(), FullFledged, 1, 6).TimeNs
+	for _, threads := range []int{1, 8, 16, 32} {
+		sp := base / cfg.runTPCH(numa.NehalemEXMachine(), FullFledged, threads, 6).TimeNs
+		if sp < prev*0.95 {
+			t.Errorf("speedup decreased: %.1f at %d threads (prev %.1f)", sp, threads, prev)
+		}
+		prev = sp
+	}
+	if prev < 10 {
+		t.Errorf("32-thread speedup on Q6 = %.1f, want >= 10", prev)
+	}
+}
+
+func TestShapeNUMAPlacement(t *testing.T) {
+	cfg := quickCfg()
+	run := func(m *numa.Machine, pl storage.Placement) float64 {
+		db := TPCHDB(cfg.TPCHSF).WithPlacement(pl)
+		s := cfg.session(m, FullFledged, 64)
+		if pl == storage.OSDefault {
+			s.Dispatch.NoLocality = true
+		}
+		_, st := tpch.QueryByNum(6).Run(s, db) // scan-bound: placement matters most
+		return st.TimeNs
+	}
+	nehAware := run(numa.NehalemEXMachine(), storage.NUMAAware)
+	nehOS := run(numa.NehalemEXMachine(), storage.OSDefault)
+	nehInt := run(numa.NehalemEXMachine(), storage.Interleaved)
+	sbAware := run(numa.SandyBridgeEPMachine(), storage.NUMAAware)
+	sbInt := run(numa.SandyBridgeEPMachine(), storage.Interleaved)
+
+	if nehOS < 2*nehAware {
+		t.Errorf("OS-default (%.0f) should be >= 2x slower than NUMA-aware (%.0f) on a scan", nehOS, nehAware)
+	}
+	if nehInt > 1.5*nehAware {
+		t.Errorf("interleaved on Nehalem EX should be a reasonable fallback: %.2fx", nehInt/nehAware)
+	}
+	sbPenalty := sbInt / sbAware
+	nehPenalty := nehInt / nehAware
+	if sbPenalty <= nehPenalty {
+		t.Errorf("interleaving must hurt more on the Sandy Bridge ring: %.2fx vs %.2fx", sbPenalty, nehPenalty)
+	}
+}
+
+func TestShapeMorselSizeCurve(t *testing.T) {
+	// Fig. 6: tiny morsels slow, large morsels flat.
+	var sb strings.Builder
+	cfg := quickCfg()
+	Figure6(&sb, cfg)
+	out := sb.String()
+	if !strings.Contains(out, "morsel size") {
+		t.Fatalf("unexpected output: %s", out)
+	}
+	// Parse "vs best" column: first line (100) must exceed 3x, last
+	// two must be within 15% of best.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var ratios []float64
+	for _, l := range lines {
+		var size int
+		var tm, ratio float64
+		if n, _ := fmt.Sscanf(l, "%d %f %fx", &size, &tm, &ratio); n == 3 {
+			ratios = append(ratios, ratio)
+		}
+	}
+	if len(ratios) != 6 {
+		t.Fatalf("parsed %d rows, want 6\n%s", len(ratios), out)
+	}
+	if ratios[0] < 3 {
+		t.Errorf("morsel=100 should be >= 3x slower than best, got %.2fx", ratios[0])
+	}
+	if ratios[3] > 1.15 || ratios[4] > 1.15 {
+		t.Errorf("large morsels should be near-optimal: %v", ratios)
+	}
+}
+
+// parsePercents extracts the static and dynamic slowdown percentages from
+// the Section54 report.
+func parsePercents(t *testing.T, out string) (stat, dyn float64) {
+	t.Helper()
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "static") {
+			fields := strings.Fields(l)
+			fmt.Sscanf(fields[len(fields)-3], "%f%%", &stat)
+		}
+		if strings.HasPrefix(l, "dynamic") {
+			fields := strings.Fields(l)
+			fmt.Sscanf(fields[len(fields)-3], "%f%%", &dyn)
+		}
+	}
+	if stat == 0 && dyn == 0 {
+		t.Fatalf("could not parse percentages from:\n%s", out)
+	}
+	return
+}
+
+func TestShapeInterference(t *testing.T) {
+	var sb strings.Builder
+	Section54(&sb, quickCfg())
+	out := sb.String()
+	stat, dyn := parsePercents(t, out)
+	if stat < 2*dyn {
+		t.Errorf("static penalty %.1f%% should far exceed dynamic %.1f%% (paper 36.8%% vs 4.7%%)\n%s", stat, dyn, out)
+	}
+	if dyn > 20 {
+		t.Errorf("dynamic penalty %.1f%% too high (paper 4.7%%)", dyn)
+	}
+}
+
+func TestShapeSSBScalesBetterThanTPCH(t *testing.T) {
+	cfg := quickCfg()
+	// SSB 2.1: star join; compare speedup with TPC-H Q9 (complex join).
+	ssbBase := func(workers int) float64 {
+		s := cfg.session(numa.NehalemEXMachine(), FullFledged, workers)
+		_, st := s.Run(ssb.QueryByID("2.1").Plan(SSBDB(cfg.SSBSF)))
+		return st.TimeNs
+	}
+	sp := ssbBase(1) / ssbBase(64)
+	if sp < 15 {
+		t.Errorf("SSB 2.1 speedup %.1f, want >= 15 (paper > 40)", sp)
+	}
+}
+
+func TestShapeElasticityTrace(t *testing.T) {
+	var sb strings.Builder
+	// The Q13:Q14 cost ratio needs a realistic scale; quick-size data
+	// makes both queries morsel-overhead-bound.
+	Figure13(&sb, DefaultConfig())
+	out := sb.String()
+	if !strings.Contains(out, "finished first: true") {
+		t.Errorf("short query did not finish before long query:\n%s", out)
+	}
+	if strings.Contains(out, "migrations at morsel boundaries: 0") {
+		t.Errorf("no worker migrations observed:\n%s", out)
+	}
+}
+
+func TestShapeFigure12ThroughputStable(t *testing.T) {
+	// Throughput must not collapse at either end of the stream range.
+	cfg := quickCfg()
+	perStream := func(streams int) float64 {
+		per := 64 / streams
+		var ns float64
+		for _, q := range cfg.tpchQueryNums() {
+			ns += cfg.runTPCH(numa.NehalemEXMachine(), FullFledged, per, q).TimeNs
+		}
+		return float64(len(cfg.tpchQueryNums())) / (ns / 1e9)
+	}
+	one := 1 * perStream(1)
+	many := 64 * perStream(64)
+	ratio := many / one
+	if ratio < 0.8 || ratio > 3.0 {
+		t.Errorf("64-stream vs 1-stream throughput ratio %.2f outside [0.8, 3.0]", ratio)
+	}
+}

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every experiment must run end to end and produce a non-trivial report
+// at a tiny scale (fast CI smoke).
+
+func tinyCfg() Config {
+	return Config{TPCHSF: 0.01, SSBSF: 0.01, MorselRows: 500, Quick: true}
+}
+
+func TestAllExperimentsSmoke(t *testing.T) {
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var sb strings.Builder
+			e.Run(&sb, tinyCfg())
+			out := sb.String()
+			if len(out) < 80 {
+				t.Fatalf("suspiciously short output:\n%s", out)
+			}
+			if strings.Contains(out, "NaN") || strings.Contains(out, "+Inf") {
+				t.Fatalf("numeric breakdown in report:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range Experiments() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("malformed experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		ids[e.ID] = true
+		got, ok := ExperimentByID(e.ID)
+		if !ok || got.ID != e.ID {
+			t.Fatalf("lookup failed for %s", e.ID)
+		}
+	}
+	// The paper has 11 evaluation artifacts plus our ablation and the
+	// QoS extension.
+	if len(ids) != 13 {
+		t.Fatalf("%d experiments registered, want 13", len(ids))
+	}
+	if _, ok := ExperimentByID("nosuch"); ok {
+		t.Fatal("phantom experiment")
+	}
+}
+
+func TestSystemsConfiguration(t *testing.T) {
+	cfg := DefaultConfig()
+	m := TPCHDB(0.01) // warm cache
+	_ = m
+	for _, sys := range Systems() {
+		s := cfg.session(nil, sys, 8) // machine unused for config fields
+		switch sys {
+		case FullFledged:
+			if s.Dispatch.NoLocality || s.Dispatch.NonAdaptive || s.PlanDriven {
+				t.Errorf("full-fledged misconfigured: %+v", s.Dispatch)
+			}
+		case PlanDriven:
+			if !s.Dispatch.NonAdaptive || !s.PlanDriven {
+				t.Errorf("plan-driven misconfigured")
+			}
+		}
+		if sys.String() == "" {
+			t.Error("empty system name")
+		}
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := geoMean([]float64{1, 4, 16}); g < 3.9 || g > 4.1 {
+		t.Errorf("geoMean = %f, want 4", g)
+	}
+	if geoMean(nil) != 0 {
+		t.Error("geoMean(nil) != 0")
+	}
+}

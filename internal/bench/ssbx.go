@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/numa"
+	"repro/internal/ssb"
+)
+
+// Table3 reproduces the Star Schema Benchmark table: per-query time,
+// scalability, bandwidth, remote share and QPI utilization on Nehalem EX.
+// Expected shape: scalability higher than TPC-H (simple star joins,
+// NUMA-local fact table scans), remote percentages mostly low.
+func Table3(w io.Writer, cfg Config) {
+	db := SSBDB(cfg.SSBSF)
+	fmt.Fprintf(w, "Table 3: Star Schema Benchmark (SF %g) on Nehalem EX, 64 threads\n\n", cfg.SSBSF)
+	fmt.Fprintf(w, "%-5s %10s %7s %9s %8s %6s | %s\n",
+		"#", "time [s]", "scal", "rd GB/s", "remote", "QPI%", "paper: time scal remote% QPI%")
+	var scals []float64
+	for _, q := range ssb.Queries() {
+		base := func() float64 {
+			s := cfg.session(numa.NehalemEXMachine(), FullFledged, 1)
+			_, st := s.Run(q.Plan(db))
+			return st.TimeNs
+		}()
+		s := cfg.session(numa.NehalemEXMachine(), FullFledged, 64)
+		_, st := s.Run(q.Plan(db))
+		pp := paperTable3[q.ID]
+		scal := base / st.TimeNs
+		scals = append(scals, scal)
+		fmt.Fprintf(w, "%-5s %10s %6.1fx %9.1f %7.0f%% %5.0f%% | %.2f %.1fx %.0f%% %.0f%%\n",
+			q.ID, fmtSec(st.TimeNs), scal, st.ReadGBs(), st.RemotePct(), st.QPIPct(),
+			pp[0], pp[1], pp[2], pp[3])
+	}
+	fmt.Fprintf(w, "\ngeo.mean scalability: %.1fx (paper: most queries > 30x, many > 40x)\n", geoMean(scals))
+}

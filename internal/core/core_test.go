@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+)
+
+func buildOrders(t *testing.T, sys *System, n int) *Table {
+	t.Helper()
+	b := NewTableBuilder("orders", Schema{
+		{Name: "id", Type: I64},
+		{Name: "cust", Type: I64},
+		{Name: "amount", Type: F64},
+	}, 16, "id")
+	for i := 0; i < n; i++ {
+		b.Append(Row{int64(i), int64(i % 97), float64(i%1000) / 10})
+	}
+	return sys.Register(b)
+}
+
+func TestSystemQuickstart(t *testing.T) {
+	sys := NewSystem(Nehalem(), Options{Workers: 8, MorselRows: 500})
+	orders := buildOrders(t, sys, 10000)
+
+	p := NewPlan("total")
+	p.Return(p.Scan(orders, "amount").
+		GroupBy(nil, []AggDef{Sum("total", Col("amount")), Count("n")}))
+	res, stats := sys.Run(p)
+	if res.NumRows() != 1 {
+		t.Fatalf("rows = %d", res.NumRows())
+	}
+	if res.Rows()[0][1].I != 10000 {
+		t.Fatalf("count = %d", res.Rows()[0][1].I)
+	}
+	if stats.TimeNs <= 0 || stats.ReadBytes == 0 {
+		t.Fatalf("missing stats: %+v", stats)
+	}
+}
+
+func TestSystemJoinAndSort(t *testing.T) {
+	sys := NewSystem(SandyBridge(), Options{Workers: 8, MorselRows: 500})
+	orders := buildOrders(t, sys, 5000)
+	cb := NewTableBuilder("cust", Schema{
+		{Name: "ckey", Type: I64},
+		{Name: "name", Type: Str},
+	}, 8, "ckey")
+	for i := 0; i < 97; i++ {
+		cb.Append(Row{int64(i), "customer"})
+	}
+	cust := sys.Register(cb)
+
+	p := NewPlan("top-customers")
+	c := p.Scan(cust, "ckey", "name")
+	n := p.Scan(orders, "cust", "amount").
+		HashJoin(c, JoinInner, []*Expr{Col("cust")}, []*Expr{Col("ckey")}, "name").
+		GroupBy(
+			[]NamedExpr{N("cust", Col("cust"))},
+			[]AggDef{Sum("rev", Col("amount"))})
+	p.ReturnSorted(n, 5, Desc("rev"))
+	res, _ := sys.Run(p)
+	if res.NumRows() != 5 {
+		t.Fatalf("rows = %d, want 5", res.NumRows())
+	}
+	for i := 1; i < res.NumRows(); i++ {
+		if res.Rows()[i][1].F > res.Rows()[i-1][1].F {
+			t.Fatalf("not sorted desc at %d", i)
+		}
+	}
+}
+
+func TestSystemRealExecution(t *testing.T) {
+	sys := NewSystem(Nehalem(), Options{Workers: 4, MorselRows: 500, RealExecution: true})
+	orders := buildOrders(t, sys, 3000)
+	p := NewPlan("count")
+	p.Return(p.Scan(orders, "id").
+		Filter(Lt(Col("id"), ConstI(1500))).
+		GroupBy(nil, []AggDef{Count("n")}))
+	res, _ := sys.Run(p)
+	if got := res.Rows()[0][0].I; got != 1500 {
+		t.Fatalf("count = %d, want 1500", got)
+	}
+}

@@ -1,0 +1,441 @@
+package dispatch
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/numa"
+	"repro/internal/storage"
+)
+
+// makeParts builds nparts partitions of `rows` int64 rows each (values
+// 0..rows-1), homed round-robin over sockets.
+func makeParts(nparts, rows, sockets int) []*storage.Partition {
+	parts := make([]*storage.Partition, nparts)
+	for i := range parts {
+		c := storage.NewColumn("v", storage.I64)
+		for r := 0; r < rows; r++ {
+			c.AppendI64(int64(r))
+		}
+		parts[i] = &storage.Partition{Home: numa.SocketID(i % sockets), Cols: c2s(c)}
+	}
+	return parts
+}
+
+func c2s(c *storage.Column) []*storage.Column { return []*storage.Column{c} }
+
+// sumJob creates a query with one pipeline that sums all morsel rows.
+func sumJob(name string, parts []*storage.Partition, morsel int, total *atomic.Int64) *Query {
+	q := NewQuery(name)
+	j := q.AddJob("scan", func() []*storage.Partition { return parts },
+		func(w *Worker, m storage.Morsel) {
+			var s int64
+			for i := m.Begin; i < m.End; i++ {
+				s += m.Part.Cols[0].Ints[i]
+			}
+			total.Add(s)
+			w.Tracker.ReadSeq(m.Home(), int64(m.Rows())*8)
+			w.Tracker.CPU(int64(m.Rows()), 1)
+		})
+	if morsel > 0 {
+		j.WithMorselRows(morsel)
+	}
+	return q
+}
+
+func expectedSum(nparts, rows int) int64 {
+	return int64(nparts) * int64(rows) * int64(rows-1) / 2
+}
+
+func TestSimSinglePipeline(t *testing.T) {
+	m := numa.NehalemEXMachine()
+	d := NewDispatcher(m, Config{Workers: 8})
+	parts := makeParts(8, 5000, 4)
+	var total atomic.Int64
+	q := sumJob("q", parts, 1000, &total)
+	r := NewSimRunner(d, SimConfig{})
+	makespan := r.Run(Arrival{Query: q, AtNs: 0})
+	if total.Load() != expectedSum(8, 5000) {
+		t.Errorf("sum = %d, want %d", total.Load(), expectedSum(8, 5000))
+	}
+	if makespan <= 0 {
+		t.Errorf("makespan = %f", makespan)
+	}
+	if q.EndV <= q.StartV {
+		t.Errorf("query end %f <= start %f", q.EndV, q.StartV)
+	}
+}
+
+func TestRealSinglePipeline(t *testing.T) {
+	m := numa.NehalemEXMachine()
+	d := NewDispatcher(m, Config{Workers: 8})
+	parts := makeParts(8, 5000, 4)
+	var total atomic.Int64
+	q := sumJob("q", parts, 1000, &total)
+	NewRealRunner(d).RunToCompletion(q)
+	if total.Load() != expectedSum(8, 5000) {
+		t.Errorf("sum = %d, want %d", total.Load(), expectedSum(8, 5000))
+	}
+}
+
+func TestMorselsCoverInputExactly(t *testing.T) {
+	// Property: with any morsel size, every row is processed exactly
+	// once (cursors never overlap, never skip).
+	for _, morsel := range []int{1, 7, 100, 999, 5000, 100000} {
+		m := numa.NehalemEXMachine()
+		d := NewDispatcher(m, Config{Workers: 16})
+		parts := makeParts(5, 997, 4)
+		counts := make([]atomic.Int32, 5*997)
+		q := NewQuery("cover")
+		partIndex := map[*storage.Partition]int{}
+		for i, p := range parts {
+			partIndex[p] = i
+		}
+		q.AddJob("scan", func() []*storage.Partition { return parts },
+			func(w *Worker, mo storage.Morsel) {
+				base := partIndex[mo.Part] * 997
+				for i := mo.Begin; i < mo.End; i++ {
+					counts[base+i].Add(1)
+				}
+			}).WithMorselRows(morsel)
+		NewSimRunner(d, SimConfig{}).Run(Arrival{Query: q})
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("morsel=%d: row %d processed %d times", morsel, i, c)
+			}
+		}
+	}
+}
+
+func TestPipelineDependencies(t *testing.T) {
+	m := numa.NehalemEXMachine()
+	d := NewDispatcher(m, Config{Workers: 8})
+	parts := makeParts(4, 1000, 4)
+	var order []string
+	var phase1Done, phase2Started atomic.Bool
+	q := NewQuery("deps")
+	j1 := q.AddJob("build", func() []*storage.Partition { return parts },
+		func(w *Worker, mo storage.Morsel) {}).
+		WithFinalize(func(w *Worker) {
+			phase1Done.Store(true)
+			order = append(order, "finalize1")
+		})
+	j2 := q.AddJob("probe", func() []*storage.Partition { return parts },
+		func(w *Worker, mo storage.Morsel) {
+			if !phase1Done.Load() {
+				t.Error("probe morsel ran before build finalized")
+			}
+			phase2Started.Store(true)
+		})
+	j2.After(j1)
+	NewSimRunner(d, SimConfig{}).Run(Arrival{Query: q})
+	if !phase2Started.Load() {
+		t.Error("second pipeline never ran")
+	}
+	if len(order) != 1 {
+		t.Errorf("finalize ran %d times", len(order))
+	}
+}
+
+func TestEmptyPipelineCompletesAndUnblocks(t *testing.T) {
+	m := numa.NehalemEXMachine()
+	d := NewDispatcher(m, Config{Workers: 4})
+	var ran atomic.Bool
+	q := NewQuery("empty")
+	j1 := q.AddJob("empty", func() []*storage.Partition { return nil },
+		func(w *Worker, mo storage.Morsel) { t.Error("empty pipeline ran a morsel") })
+	j2 := q.AddJob("next", func() []*storage.Partition { return makeParts(1, 10, 4) },
+		func(w *Worker, mo storage.Morsel) { ran.Store(true) })
+	j2.After(j1)
+	NewSimRunner(d, SimConfig{}).Run(Arrival{Query: q})
+	if !ran.Load() {
+		t.Error("successor of empty pipeline never ran")
+	}
+}
+
+func TestWorkStealingKeepsWorkersBusy(t *testing.T) {
+	// All data on socket 0; workers on other sockets must steal.
+	m := numa.NehalemEXMachine()
+	d := NewDispatcher(m, Config{Workers: 16, Trace: true})
+	parts := makeParts(4, 50000, 1) // all homes = socket 0
+	var total atomic.Int64
+	q := sumJob("steal", parts, 1000, &total)
+	r := NewSimRunner(d, SimConfig{})
+	r.Run(Arrival{Query: q})
+	if total.Load() != expectedSum(4, 50000) {
+		t.Fatalf("bad sum under stealing")
+	}
+	// Workers from every socket must have executed morsels.
+	sockets := map[numa.SocketID]bool{}
+	for _, e := range d.Trace().Sorted() {
+		sockets[m.Topo.Place(e.Worker).Socket] = true
+	}
+	if len(sockets) != 4 {
+		t.Errorf("only %d sockets participated; stealing broken", len(sockets))
+	}
+}
+
+func TestNoStealingLeavesRemoteIdle(t *testing.T) {
+	m := numa.NehalemEXMachine()
+	d := NewDispatcher(m, Config{Workers: 16, NoStealing: true, Trace: true})
+	parts := makeParts(4, 10000, 1) // all on socket 0
+	var total atomic.Int64
+	q := sumJob("nosteal", parts, 1000, &total)
+	NewSimRunner(d, SimConfig{}).Run(Arrival{Query: q})
+	if total.Load() != expectedSum(4, 10000) {
+		t.Fatalf("bad sum")
+	}
+	for _, e := range d.Trace().Sorted() {
+		if s := m.Topo.Place(e.Worker).Socket; s != 0 {
+			t.Fatalf("worker on socket %d ran a morsel despite NoStealing", s)
+		}
+	}
+}
+
+func TestLocalityPreferred(t *testing.T) {
+	// With data on all sockets and stealing enabled, workers should
+	// process mostly local morsels (remote only for load balancing).
+	m := numa.NehalemEXMachine()
+	d := NewDispatcher(m, Config{Workers: 16, Trace: true})
+	parts := makeParts(16, 20000, 4)
+	var total atomic.Int64
+	q := sumJob("local", parts, 1000, &total)
+	r := NewSimRunner(d, SimConfig{})
+	r.Run(Arrival{Query: q})
+	var local, remote int64
+	for _, w := range r.Workers() {
+		st := w.Tracker.Stats()
+		remote += st.RemoteReadBytes
+		local += st.ReadBytes - st.RemoteReadBytes
+	}
+	if local == 0 || float64(remote)/float64(local+remote) > 0.10 {
+		t.Errorf("remote fraction too high: %d remote vs %d local bytes", remote, local)
+	}
+}
+
+func TestNoLocalityMostlyRemote(t *testing.T) {
+	m := numa.NehalemEXMachine()
+	d := NewDispatcher(m, Config{Workers: 16, NoLocality: true})
+	parts := makeParts(16, 20000, 4)
+	var total atomic.Int64
+	q := sumJob("nolocal", parts, 1000, &total)
+	r := NewSimRunner(d, SimConfig{})
+	r.Run(Arrival{Query: q})
+	var read, remote int64
+	for _, w := range r.Workers() {
+		st := w.Tracker.Stats()
+		remote += st.RemoteReadBytes
+		read += st.ReadBytes
+	}
+	frac := float64(remote) / float64(read)
+	if frac < 0.5 {
+		t.Errorf("NUMA-oblivious mode remote fraction = %f, want >= 0.5", frac)
+	}
+}
+
+func TestNonAdaptiveChunks(t *testing.T) {
+	// Non-adaptive mode: each worker gets ~one chunk, so the number of
+	// executed morsels equals the worker count (or fewer).
+	m := numa.NehalemEXMachine()
+	d := NewDispatcher(m, Config{Workers: 8, NonAdaptive: true, Trace: true})
+	parts := makeParts(8, 10000, 4)
+	var total atomic.Int64
+	q := sumJob("static", parts, 0, &total)
+	NewSimRunner(d, SimConfig{}).Run(Arrival{Query: q})
+	if total.Load() != expectedSum(8, 10000) {
+		t.Fatalf("bad sum")
+	}
+	n := len(d.Trace().Sorted())
+	// 80000 rows / 8 workers = 10000-row chunks; partitions are 10000
+	// rows so each partition is one chunk => exactly 8 tasks.
+	if n != 8 {
+		t.Errorf("non-adaptive executed %d tasks, want 8", n)
+	}
+}
+
+func TestElasticFairnessTwoQueries(t *testing.T) {
+	// Two equal-priority queries submitted together must share workers
+	// roughly equally (measured by executed morsels).
+	m := numa.NehalemEXMachine()
+	d := NewDispatcher(m, Config{Workers: 8, Trace: true})
+	var t1, t2 atomic.Int64
+	qa := sumJob("qa", makeParts(8, 40000, 4), 1000, &t1)
+	qb := sumJob("qb", makeParts(8, 40000, 4), 1000, &t2)
+	NewSimRunner(d, SimConfig{}).Run(Arrival{Query: qa}, Arrival{Query: qb})
+	counts := map[int64]int{}
+	for _, e := range d.Trace().Sorted() {
+		counts[e.QueryID]++
+	}
+	if counts[qa.ID] == 0 || counts[qb.ID] == 0 {
+		t.Fatalf("a query was starved: %v", counts)
+	}
+	ratio := float64(counts[qa.ID]) / float64(counts[qb.ID])
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("unfair split: %v (ratio %f)", counts, ratio)
+	}
+}
+
+func TestPriorityGetsMoreWorkers(t *testing.T) {
+	m := numa.NehalemEXMachine()
+	d := NewDispatcher(m, Config{Workers: 8, Trace: true})
+	var t1, t2 atomic.Int64
+	qhi := sumJob("hi", makeParts(8, 40000, 4), 1000, &t1)
+	qhi.Priority = 3
+	qlo := sumJob("lo", makeParts(8, 40000, 4), 1000, &t2)
+	NewSimRunner(d, SimConfig{}).Run(Arrival{Query: qhi}, Arrival{Query: qlo})
+	// High-priority query must finish first.
+	if qhi.EndV >= qlo.EndV {
+		t.Errorf("high priority finished at %f, low at %f", qhi.EndV, qlo.EndV)
+	}
+}
+
+func TestMidQueryArrivalMigratesWorkers(t *testing.T) {
+	// The Fig. 13 scenario: q2 arrives while q1 runs; workers must
+	// migrate to q2 at morsel boundaries and return to q1 after q2
+	// finishes.
+	m := numa.NehalemEXMachine()
+	d := NewDispatcher(m, Config{Workers: 4, Trace: true})
+	var t1, t2 atomic.Int64
+	q1 := sumJob("q13", makeParts(8, 100000, 4), 10000, &t1)
+	q2 := sumJob("q14", makeParts(4, 20000, 4), 10000, &t2)
+	r := NewSimRunner(d, SimConfig{})
+	// Submit q2 roughly in the middle of q1's solo runtime.
+	solo := func() float64 {
+		mm := numa.NehalemEXMachine()
+		dd := NewDispatcher(mm, Config{Workers: 4})
+		var tt atomic.Int64
+		qq := sumJob("probe", makeParts(8, 100000, 4), 10000, &tt)
+		return NewSimRunner(dd, SimConfig{}).Run(Arrival{Query: qq})
+	}()
+	r.Run(Arrival{Query: q1, AtNs: 0}, Arrival{Query: q2, AtNs: solo / 2})
+	if q2.EndV >= q1.EndV {
+		t.Errorf("short query q2 (end %f) should finish before long q1 (end %f)", q2.EndV, q1.EndV)
+	}
+	// Some worker must have executed q1, then q2, then q1 again.
+	migrated := false
+	perWorker := map[int][]int64{}
+	for _, e := range d.Trace().Sorted() {
+		perWorker[e.Worker] = append(perWorker[e.Worker], e.QueryID)
+	}
+	for _, seq := range perWorker {
+		sawQ2 := false
+		for i, qid := range seq {
+			if qid == q2.ID {
+				sawQ2 = true
+			}
+			if sawQ2 && qid == q1.ID && i > 0 {
+				migrated = true
+			}
+		}
+	}
+	if !migrated {
+		t.Error("no worker migrated q1 -> q2 -> q1")
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	m := numa.NehalemEXMachine()
+	d := NewDispatcher(m, Config{Workers: 4})
+	var processed atomic.Int64
+	q := NewQuery("cancel")
+	var dd *Dispatcher = d
+	q.AddJob("scan", func() []*storage.Partition { return makeParts(8, 100000, 4) },
+		func(w *Worker, mo storage.Morsel) {
+			if processed.Add(1) == 3 {
+				dd.Cancel(q)
+			}
+		}).WithMorselRows(1000)
+	NewSimRunner(d, SimConfig{}).Run(Arrival{Query: q})
+	if !q.Canceled() {
+		t.Fatal("query not canceled")
+	}
+	select {
+	case <-q.Done():
+	default:
+		t.Fatal("done channel not closed after cancel")
+	}
+	// 8*100000/1000 = 800 morsels total; only a handful may run after
+	// the cancel (those already handed out).
+	if p := processed.Load(); p > 20 {
+		t.Errorf("processed %d morsels after cancellation marker", p)
+	}
+}
+
+func TestSimDeterminism(t *testing.T) {
+	run := func() (float64, int64) {
+		m := numa.NehalemEXMachine()
+		d := NewDispatcher(m, Config{Workers: 16})
+		var total atomic.Int64
+		q := sumJob("det", makeParts(16, 10000, 4), 777, &total)
+		ms := NewSimRunner(d, SimConfig{}).Run(Arrival{Query: q})
+		return ms, total.Load()
+	}
+	m1, s1 := run()
+	m2, s2 := run()
+	if m1 != m2 || s1 != s2 {
+		t.Errorf("simulation not deterministic: (%f,%d) vs (%f,%d)", m1, s1, m2, s2)
+	}
+}
+
+func TestMoreWorkersFaster(t *testing.T) {
+	run := func(workers int) float64 {
+		m := numa.NehalemEXMachine()
+		d := NewDispatcher(m, Config{Workers: workers})
+		var total atomic.Int64
+		q := sumJob("speed", makeParts(32, 50000, 4), 10000, &total)
+		return NewSimRunner(d, SimConfig{}).Run(Arrival{Query: q})
+	}
+	t1 := run(1)
+	t16 := run(16)
+	speedup := t1 / t16
+	if speedup < 8 {
+		t.Errorf("16-worker speedup = %f, want >= 8", speedup)
+	}
+}
+
+func TestInterferenceSlowsStaticMoreThanDynamic(t *testing.T) {
+	// §5.4: with one core slowed by an unrelated process, static
+	// chunking suffers much more than morsel-wise stealing.
+	run := func(nonAdaptive bool, slow map[int]float64) float64 {
+		m := numa.NehalemEXMachine()
+		d := NewDispatcher(m, Config{Workers: 8, NonAdaptive: nonAdaptive})
+		q := NewQuery("intf")
+		j := q.AddJob("work", func() []*storage.Partition { return makeParts(8, 100000, 4) },
+			func(w *Worker, mo storage.Morsel) {
+				w.Tracker.CPU(int64(mo.Rows()), 5)
+			})
+		if !nonAdaptive {
+			j.WithMorselRows(5000)
+		}
+		return NewSimRunner(d, SimConfig{CoreSlowdown: slow}).Run(Arrival{Query: q})
+	}
+	slow := map[int]float64{0: 0.5}
+	dynBase := run(false, nil)
+	dynSlow := run(false, slow)
+	statBase := run(true, nil)
+	statSlow := run(true, slow)
+	dynPenalty := dynSlow/dynBase - 1
+	statPenalty := statSlow/statBase - 1
+	if statPenalty < 2*dynPenalty {
+		t.Errorf("static penalty %.1f%% should far exceed dynamic %.1f%%",
+			statPenalty*100, dynPenalty*100)
+	}
+}
+
+func TestRealRunnerConcurrentQueries(t *testing.T) {
+	m := numa.NehalemEXMachine()
+	d := NewDispatcher(m, Config{Workers: 8})
+	var t1, t2, t3 atomic.Int64
+	qs := []*Query{
+		sumJob("a", makeParts(8, 10000, 4), 500, &t1),
+		sumJob("b", makeParts(8, 10000, 4), 500, &t2),
+		sumJob("c", makeParts(8, 10000, 4), 500, &t3),
+	}
+	NewRealRunner(d).RunToCompletion(qs...)
+	want := expectedSum(8, 10000)
+	for i, got := range []int64{t1.Load(), t2.Load(), t3.Load()} {
+		if got != want {
+			t.Errorf("query %d sum = %d, want %d", i, got, want)
+		}
+	}
+}

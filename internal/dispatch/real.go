@@ -1,0 +1,113 @@
+package dispatch
+
+import "sync"
+
+// RealRunner executes queries on actual goroutines, one per simulated
+// hardware thread. Virtual-time statistics are still tracked, but
+// scheduling interleavings come from the Go runtime — this runner
+// validates that the dispatcher's lock-free morsel cutting, completion
+// detection and QEP advancement are correct under real concurrency.
+type RealRunner struct {
+	D       *Dispatcher
+	workers []*Worker
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	shutdown bool
+	started  bool
+	wg       sync.WaitGroup
+}
+
+// NewRealRunner creates a runner with the dispatcher's configured number
+// of worker goroutines.
+func NewRealRunner(d *Dispatcher) *RealRunner {
+	r := &RealRunner{
+		D:       d,
+		workers: newWorkers(d.Machine, d.Cfg.Workers, nil),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	d.onActivate = func() {
+		// Called with d.mu held; use the runner's own lock only.
+		r.mu.Lock()
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	}
+	return r
+}
+
+// Workers exposes the worker pool for stats aggregation.
+func (r *RealRunner) Workers() []*Worker { return r.workers }
+
+// Start launches the worker goroutines. Idempotent.
+func (r *RealRunner) Start() {
+	r.mu.Lock()
+	if r.started {
+		r.mu.Unlock()
+		return
+	}
+	r.started = true
+	r.mu.Unlock()
+	for _, w := range r.workers {
+		r.wg.Add(1)
+		go r.loop(w)
+	}
+}
+
+// Stop shuts the workers down after in-flight morsels finish.
+func (r *RealRunner) Stop() {
+	r.mu.Lock()
+	r.shutdown = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	r.wg.Wait()
+}
+
+// RunToCompletion submits the queries, waits for all of them, and shuts
+// the pool down.
+func (r *RealRunner) RunToCompletion(queries ...*Query) {
+	r.Start()
+	for _, q := range queries {
+		r.D.Submit(q)
+	}
+	for _, q := range queries {
+		<-q.Done()
+	}
+	r.Stop()
+}
+
+func (r *RealRunner) loop(w *Worker) {
+	defer r.wg.Done()
+	for {
+		task, ok := r.D.NextTask(w)
+		if !ok {
+			r.mu.Lock()
+			// Re-check under the lock: an activation may have
+			// raced with our failed NextTask.
+			gen := r.D.Activations()
+			r.mu.Unlock()
+			if task, ok = r.D.NextTask(w); !ok {
+				r.mu.Lock()
+				for !r.shutdown && gen == r.D.Activations() {
+					r.cond.Wait()
+				}
+				stop := r.shutdown
+				r.mu.Unlock()
+				if stop {
+					return
+				}
+				continue
+			}
+		}
+		start := w.Tracker.VTime()
+		w.noteQuery(task.Job.Query)
+		w.Tracker.BeginMorselRead(task.Morsel.Home())
+		w.execute(task)
+		w.Tracker.EndMorselRead(task.Morsel.Home())
+		r.D.trace.add(TraceEntry{
+			Worker: w.ID, QueryID: task.Job.Query.ID, Query: task.Job.Query.Name,
+			Job: task.Job.Name, StartNs: start, EndNs: w.Tracker.VTime(),
+		})
+		w.doneQuery(task.Job.Query)
+		r.D.Complete(w, task)
+	}
+}

@@ -1,0 +1,174 @@
+package dispatch
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// SimRunner executes queries on a deterministic discrete-event simulation
+// of the worker pool: workers advance in virtual time, the dispatcher is
+// modeled as a serialized shared resource (its lock-free structure still
+// admits one slot-cut at a time per cache line), and SMT/interference
+// speed factors apply. Results are computed for real — only time is
+// virtual — so the same runner validates correctness and produces the
+// paper's performance figures on any host.
+type SimRunner struct {
+	D       *Dispatcher
+	workers []*Worker
+
+	dispatchClock float64
+	events        eventHeap
+	seq           int64
+	parked        []*Worker
+	arrivals      []Arrival
+}
+
+// Arrival schedules a query submission at a virtual time.
+type Arrival struct {
+	Query *Query
+	AtNs  float64
+}
+
+// CoreSlowdown optionally slows individual workers (the §5.4 interference
+// experiment parks an unrelated process on one core).
+type SimConfig struct {
+	CoreSlowdown map[int]float64
+}
+
+// NewSimRunner creates a simulation runner over the dispatcher's machine.
+func NewSimRunner(d *Dispatcher, cfg SimConfig) *SimRunner {
+	return &SimRunner{
+		D:       d,
+		workers: newWorkers(d.Machine, d.Cfg.Workers, cfg.CoreSlowdown),
+	}
+}
+
+// Workers exposes the simulated worker pool (for stats aggregation).
+func (r *SimRunner) Workers() []*Worker { return r.workers }
+
+type evKind uint8
+
+const (
+	evArrival evKind = iota
+	evIdle
+	evDone
+)
+
+type event struct {
+	t    float64
+	seq  int64
+	kind evKind
+	w    *Worker
+	task Task
+	arr  Arrival
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind // arrivals before idle before done at same instant
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (r *SimRunner) push(e event) { e.seq = r.seq; r.seq++; heap.Push(&r.events, e) }
+
+// Run executes the given arrivals to completion and returns the virtual
+// makespan in nanoseconds.
+func (r *SimRunner) Run(arrivals ...Arrival) float64 {
+	r.arrivals = arrivals
+	for _, a := range arrivals {
+		r.push(event{t: a.AtNs, kind: evArrival, arr: a})
+	}
+	for _, w := range r.workers {
+		r.push(event{t: w.Tracker.VTime(), kind: evIdle, w: w})
+	}
+	var makespan float64
+	for r.events.Len() > 0 {
+		e := heap.Pop(&r.events).(event)
+		if e.t > makespan {
+			makespan = e.t
+		}
+		switch e.kind {
+		case evArrival:
+			q := e.arr.Query
+			q.StartV = e.t
+			r.D.Submit(q)
+			r.wakeParked(e.t)
+		case evIdle:
+			r.handleIdle(e.w, e.t)
+		case evDone:
+			r.handleDone(e.w, e.t, e.task)
+		}
+	}
+	if r.D.Pending() {
+		panic(fmt.Sprintf("dispatch: simulation stalled with %d pending queries", r.D.pendingQueries.Load()))
+	}
+	return makespan
+}
+
+func (r *SimRunner) wakeParked(t float64) {
+	for _, w := range r.parked {
+		if w.Tracker.VTime() < t {
+			w.Tracker.SetVTime(t)
+		}
+		r.push(event{t: w.Tracker.VTime(), kind: evIdle, w: w})
+	}
+	r.parked = r.parked[:0]
+}
+
+func (r *SimRunner) handleIdle(w *Worker, t float64) {
+	if w.Tracker.VTime() < t {
+		w.Tracker.SetVTime(t)
+	}
+	task, ok := r.D.NextTask(w)
+	if !ok {
+		// Nothing now. Park; arrivals and completions wake us.
+		r.parked = append(r.parked, w)
+		return
+	}
+	// Serialized access to the shared work-stealing structure: the
+	// request occupies the dispatcher for DispatchSerialNs.
+	start := w.Tracker.VTime()
+	if r.dispatchClock > start {
+		start = r.dispatchClock
+	}
+	start += r.D.Machine.Cost.DispatchSerialNs
+	r.dispatchClock = start
+	w.Tracker.SetVTime(start)
+
+	w.noteQuery(task.Job.Query)
+	// Register the stream for fabric congestion over the morsel's
+	// virtual-time span [start, end]: later-starting morsels that
+	// overlap it observe the contention.
+	w.Tracker.BeginMorselRead(task.Morsel.Home())
+	w.execute(task)
+	end := w.Tracker.VTime()
+	r.D.trace.add(TraceEntry{
+		Worker: w.ID, QueryID: task.Job.Query.ID, Query: task.Job.Query.Name,
+		Job: task.Job.Name, StartNs: start, EndNs: end,
+	})
+	r.push(event{t: end, kind: evDone, w: w, task: task})
+}
+
+func (r *SimRunner) handleDone(w *Worker, t float64, task Task) {
+	w.Tracker.EndMorselRead(task.Morsel.Home())
+	w.doneQuery(task.Job.Query)
+	q := task.Job.Query
+	before := q.finished.Load()
+	r.D.Complete(w, task)
+	if !before && q.finished.Load() {
+		q.EndV = t
+	}
+	// Completion may have activated pipelines or finished a query:
+	// wake parked workers to re-check.
+	r.wakeParked(t)
+	r.push(event{t: t, kind: evIdle, w: w})
+}

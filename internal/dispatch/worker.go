@@ -1,0 +1,122 @@
+package dispatch
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/numa"
+)
+
+// Worker is one pre-created worker thread, permanently bound to a
+// simulated hardware thread (§3: "we (pre-)create one worker thread for
+// each hardware thread that the machine provides and permanently bind
+// each worker to it").
+type Worker struct {
+	ID      int
+	Tracker *numa.Tracker
+
+	lastQuery *Query
+	rr        uint32 // round-robin cursor for NUMA-oblivious mode
+}
+
+// Socket returns the worker's home socket.
+func (w *Worker) Socket() numa.SocketID { return w.Tracker.Socket() }
+
+// newWorkers pre-creates the worker pool and applies SMT and
+// interference speed factors. siblingsActive marks worker indexes that
+// are part of this run; a core running two active hardware threads gives
+// each the SMT speed factor.
+func newWorkers(m *numa.Machine, n int, coreSlowdown map[int]float64) []*Worker {
+	ws := make([]*Worker, n)
+	physical := m.Topo.Cores()
+	for i := 0; i < n; i++ {
+		w := &Worker{ID: i, Tracker: m.NewTracker(i)}
+		speed := 1.0
+		// SMT sibling active in this pool?
+		sib := i + physical
+		if i >= physical {
+			sib = i - physical
+		}
+		if sib < n && m.Topo.SMTPerCore > 1 {
+			speed = m.Cost.SMTSpeed
+		}
+		// Deterministic per-core jitter models the paper's
+		// observation that "the hard-to-predict performance of
+		// modern CPU cores varies even if the amount of work they
+		// get is the same" (§1): +-12% around nominal. Morsel-driven
+		// scheduling absorbs it; static chunking waits for the
+		// slowest core.
+		h := uint32(i%physical) * 2654435761
+		jitter := 0.86 + 0.24*float64(h%1024)/1024
+		speed *= jitter
+		if f, ok := coreSlowdown[i]; ok {
+			// An unrelated process time-sharing the core slows the
+			// whole thread, not just its compute throughput.
+			w.Tracker.SetTimeScale(f)
+		}
+		w.Tracker.SetSpeed(speed)
+		ws[i] = w
+	}
+	return ws
+}
+
+// execute runs one task on the worker, charging scheduling overhead.
+// Fabric-congestion registration (Begin/EndMorselRead) is the runner's
+// responsibility: the real runner brackets the physical execution, the
+// simulation runner brackets the morsel's virtual-time interval so that
+// concurrent morsels contend even though the host executes them one at a
+// time.
+func (w *Worker) execute(t Task) {
+	w.Tracker.MorselStart()
+	t.Job.Run(w, t.Morsel)
+}
+
+// noteQuery updates the fairness accounting when the worker picks a task.
+func (w *Worker) noteQuery(q *Query) {
+	if w.lastQuery != q {
+		w.lastQuery = q
+	}
+	q.activeWorkers.Add(1)
+}
+
+func (w *Worker) doneQuery(q *Query) { q.activeWorkers.Add(-1) }
+
+// TraceEntry records one executed morsel for the Fig. 13 visualization.
+type TraceEntry struct {
+	Worker  int
+	QueryID int64
+	Query   string
+	Job     string
+	StartNs float64
+	EndNs   float64
+}
+
+// Trace collects morsel execution records.
+type Trace struct {
+	mu      sync.Mutex
+	Entries []TraceEntry
+}
+
+func (t *Trace) add(e TraceEntry) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.Entries = append(t.Entries, e)
+	t.mu.Unlock()
+}
+
+// Sorted returns the entries ordered by start time then worker.
+func (t *Trace) Sorted() []TraceEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceEntry, len(t.Entries))
+	copy(out, t.Entries)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StartNs != out[j].StartNs {
+			return out[i].StartNs < out[j].StartNs
+		}
+		return out[i].Worker < out[j].Worker
+	})
+	return out
+}

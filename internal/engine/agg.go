@@ -1,0 +1,341 @@
+package engine
+
+import (
+	"math"
+
+	"repro/internal/dispatch"
+	"repro/internal/numa"
+	"repro/internal/storage"
+)
+
+// aggNumPartitions is the number of overflow partitions ("more partitions
+// than worker threads", §4.4).
+const aggNumPartitions = 64
+
+// DefaultPreAggCapacity is the size of the fixed, thread-local
+// pre-aggregation hash table; keys beyond it spill to overflow
+// partitions. Tests shrink it to force spilling.
+var DefaultPreAggCapacity = 1 << 14
+
+// groupAcc is the aggregation state of one group: one float64 accumulator
+// per aggregate plus the group's tuple count (serving COUNT and AVG).
+type groupAcc struct {
+	accs  []float64
+	count int64
+}
+
+// spillBuf is a columnar overflow buffer of partially aggregated groups.
+type spillBuf struct {
+	keys   []string
+	accs   []float64 // nAggs values per entry
+	counts []int64
+}
+
+// aggRuntime is the shared state of one two-phase aggregation.
+type aggRuntime struct {
+	groups     []NamedExpr
+	groupTypes []Type
+	aggs       []AggDef
+	outTypes   []Type
+	capacity   int
+
+	locals []map[string]*groupAcc // per worker
+	spills [][]spillBuf           // [worker][partition]
+}
+
+func initAcc(aggs []AggDef) *groupAcc {
+	a := &groupAcc{accs: make([]float64, len(aggs))}
+	for i, d := range aggs {
+		switch d.Kind {
+		case AggMin:
+			a.accs[i] = math.Inf(1)
+		case AggMax:
+			a.accs[i] = math.Inf(-1)
+		}
+	}
+	return a
+}
+
+func (a *groupAcc) update(aggs []AggDef, vals []float64) {
+	for i, d := range aggs {
+		switch d.Kind {
+		case AggSum, AggAvg:
+			a.accs[i] += vals[i]
+		case AggMin:
+			if vals[i] < a.accs[i] {
+				a.accs[i] = vals[i]
+			}
+		case AggMax:
+			if vals[i] > a.accs[i] {
+				a.accs[i] = vals[i]
+			}
+		}
+	}
+	a.count++
+}
+
+func (a *groupAcc) merge(aggs []AggDef, accs []float64, count int64) {
+	for i, d := range aggs {
+		switch d.Kind {
+		case AggSum, AggAvg:
+			a.accs[i] += accs[i]
+		case AggMin:
+			if accs[i] < a.accs[i] {
+				a.accs[i] = accs[i]
+			}
+		case AggMax:
+			if accs[i] > a.accs[i] {
+				a.accs[i] = accs[i]
+			}
+		}
+	}
+	a.count += count
+}
+
+// output converts the accumulator of aggregate i to its output value.
+func (a *groupAcc) output(d AggDef, outType Type, i int) Val {
+	switch d.Kind {
+	case AggCount:
+		return Val{I: a.count}
+	case AggAvg:
+		if a.count == 0 {
+			return Val{F: 0}
+		}
+		return Val{F: a.accs[i] / float64(a.count)}
+	default:
+		if outType == TInt {
+			v := a.accs[i]
+			if math.IsInf(v, 0) {
+				v = 0 // empty MIN/MAX group (global aggregate)
+			}
+			return Val{I: int64(math.Round(v))}
+		}
+		v := a.accs[i]
+		if math.IsInf(v, 0) {
+			v = 0
+		}
+		return Val{F: v}
+	}
+}
+
+// produceAgg compiles the paper's two-phase parallel aggregation: phase 1
+// pre-aggregates heavy hitters in a fixed-size thread-local table and
+// spills cold keys to hash partitions; phase 2 assigns each partition to
+// one worker, aggregates it into a local table, and immediately pushes
+// the finished groups into the consuming pipeline while they are cache
+// hot (§4.4).
+func (c *compiler) produceAgg(n *Node, f consumerFactory) []tailJob {
+	rt := &aggRuntime{
+		groups:   n.groups,
+		aggs:     n.aggs,
+		capacity: DefaultPreAggCapacity,
+		locals:   make([]map[string]*groupAcc, c.workers),
+		spills:   make([][]spillBuf, c.workers),
+	}
+	for _, g := range n.groups {
+		rt.groupTypes = append(rt.groupTypes, typeOf(g.E, n.child.out))
+	}
+	for _, a := range n.aggs {
+		rt.outTypes = append(rt.outTypes, aggOutType(a, n.child.out))
+	}
+	for w := range rt.spills {
+		rt.spills[w] = make([]spillBuf, aggNumPartitions)
+	}
+	nAggs := len(rt.aggs)
+	planDriven := c.sess.PlanDriven
+	// Note: a Volcano-style parallel aggregation exchanges *partial
+	// aggregates*, not raw input rows; that traffic and its serialized
+	// hand-off are charged by the exchange barrier below, not per row.
+
+	// ---- Phase 1 sink.
+	tails := n.child.produce(c, func(pc *pipeCtx) rowFn {
+		groupFns := make([]evalFn, len(rt.groups))
+		w := 2.0
+		for i, g := range rt.groups {
+			groupFns[i], _ = g.E.compile(pc)
+			w += g.E.weight() * exprNodeWeight
+		}
+		aggFns := make([]evalFn, nAggs)
+		aggIsFloat := make([]bool, nAggs)
+		for i, a := range rt.aggs {
+			if a.E == nil {
+				continue
+			}
+			fn, t := a.E.compile(pc)
+			aggFns[i] = fn
+			aggIsFloat[i] = t == TFloat
+			w += a.E.weight() * exprNodeWeight
+		}
+		sidx := pc.addScratch(len(rt.groups))
+		rowW := rowWidth(n.out)
+		tupleScratch := make([][]float64, c.workers)
+		return func(e *Ectx) {
+			// Evaluate the group key.
+			kv := e.scratch[sidx]
+			for i, fn := range groupFns {
+				kv[i] = fn(e)
+			}
+			e.key = e.key[:0]
+			for i, t := range rt.groupTypes {
+				e.key = encodeVal(e.key, t, kv[i])
+			}
+			e.cpuUnits += w
+			wid := e.W.ID
+			local := rt.locals[wid]
+			if local == nil {
+				local = make(map[string]*groupAcc, rt.capacity)
+				rt.locals[wid] = local
+			}
+			spillCold := false
+			acc, ok := local[string(e.key)]
+			if !ok {
+				acc = initAcc(rt.aggs)
+				if len(local) < rt.capacity {
+					local[string(e.key)] = acc
+				} else {
+					spillCold = true
+				}
+			}
+			tuple := tupleScratch[wid]
+			if tuple == nil {
+				tuple = make([]float64, nAggs)
+				tupleScratch[wid] = tuple
+			}
+			for i := 0; i < nAggs; i++ {
+				tuple[i] = 0
+				if aggFns[i] != nil {
+					x := aggFns[i](e)
+					if aggIsFloat[i] {
+						tuple[i] = x.F
+					} else {
+						tuple[i] = float64(x.I)
+					}
+				}
+			}
+			acc.update(rt.aggs, tuple)
+			if spillCold {
+				// Cold key: the local table is full; route the
+				// single-tuple partial straight to its
+				// overflow partition.
+				pid := int(hashBytes(e.key) % aggNumPartitions)
+				buf := &rt.spills[wid][pid]
+				buf.keys = append(buf.keys, string(e.key))
+				buf.accs = append(buf.accs, acc.accs...)
+				buf.counts = append(buf.counts, acc.count)
+				e.writeBytes += int64(rowW)
+			}
+		}
+	})
+
+	if planDriven {
+		// Volcano: serialized hand-off of the repartitioned partial
+		// aggregates.
+		barrier := c.serialBarrier("exchange(agg)", tails, func() int64 {
+			var n int64
+			for w := range rt.spills {
+				for p := range rt.spills[w] {
+					n += int64(len(rt.spills[w][p].keys))
+				}
+				n += int64(len(rt.locals[w]))
+			}
+			return n
+		})
+		tails = []tailJob{barrier}
+	}
+
+	// ---- Phase 2: partition-wise final aggregation, pushing results
+	// into a fresh pipeline context.
+	pc2 := c.newPipe()
+	for i, g := range rt.groups {
+		pc2.addReg(g.Name, rt.groupTypes[i])
+	}
+	for i, a := range rt.aggs {
+		pc2.addReg(a.Name, rt.outTypes[i])
+	}
+	down := f(pc2)
+	sockets := c.sockets
+	var drv *driver
+	globalAgg := len(rt.groups) == 0
+	phase2 := c.q.AddJob("aggregate",
+		func() []*storage.Partition {
+			// Flush every worker's pre-aggregation table into the
+			// overflow partitions; afterwards the partitions hold
+			// the complete grouped data.
+			for wid, local := range rt.locals {
+				for key, acc := range local {
+					pid := int(hashBytes([]byte(key)) % aggNumPartitions)
+					buf := &rt.spills[wid][pid]
+					buf.keys = append(buf.keys, key)
+					buf.accs = append(buf.accs, acc.accs...)
+					buf.counts = append(buf.counts, acc.count)
+				}
+			}
+			nPart := aggNumPartitions
+			if globalAgg {
+				nPart = 1
+			}
+			drv = newDriver(nPart, func(i int) numa.SocketID {
+				return numa.SocketID(i % sockets)
+			})
+			return drv.parts
+		},
+		func(w *dispatch.Worker, m storage.Morsel) {
+			pid := drv.task(m)
+			e := pc2.ectx(w)
+			e.reset(w)
+			merged := make(map[string]*groupAcc)
+			topo := w.Tracker.Machine().Topo
+			for wid := range rt.spills {
+				var readBytes int64
+				if globalAgg {
+					// Single partition: merge all.
+					for p := range rt.spills[wid] {
+						readBytes += mergeSpill(merged, &rt.spills[wid][p], rt, nAggs)
+					}
+				} else {
+					readBytes += mergeSpill(merged, &rt.spills[wid][pid], rt, nAggs)
+				}
+				// The spill buffers of worker `wid` live on its
+				// socket; phase 2 pulls them across the fabric.
+				w.Tracker.ReadSeq(topo.Place(wid).Socket, readBytes)
+			}
+			if globalAgg && len(merged) == 0 {
+				// SQL semantics: a global aggregate over zero
+				// rows still yields one row.
+				merged[""] = initAcc(rt.aggs)
+			}
+			e.cpuUnits += float64(len(merged)) * 2
+			for key, acc := range merged {
+				buf := []byte(key)
+				for i, t := range rt.groupTypes {
+					e.Regs[i], buf = decodeVal(buf, t)
+				}
+				for i, a := range rt.aggs {
+					e.Regs[len(rt.groupTypes)+i] = acc.output(a, rt.outTypes[i], i)
+				}
+				e.cpuUnits += 2
+				down(e)
+			}
+			e.flush()
+		})
+	phase2.After(tails...).WithMorselRows(1)
+	// Downstream operators compiled into the phase-2 pipeline may have
+	// their own prerequisites (e.g. a probe whose hash table must be
+	// built first).
+	phase2.After(pc2.deps...)
+	return []tailJob{phase2}
+}
+
+func mergeSpill(merged map[string]*groupAcc, buf *spillBuf, rt *aggRuntime, nAggs int) int64 {
+	var bytes int64
+	for i, key := range buf.keys {
+		acc, ok := merged[key]
+		if !ok {
+			acc = initAcc(rt.aggs)
+			merged[key] = acc
+		}
+		acc.merge(rt.aggs, buf.accs[i*nAggs:(i+1)*nAggs], buf.counts[i])
+		bytes += int64(len(key)) + int64(8*nAggs) + 8
+	}
+	return bytes
+}

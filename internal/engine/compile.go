@@ -1,0 +1,266 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/dispatch"
+	"repro/internal/numa"
+	"repro/internal/storage"
+)
+
+// exprNodeWeight is the CPU weight charged per expression AST node per
+// tuple.
+const exprNodeWeight = 0.25
+
+type tailJob = *dispatch.PipelineJob
+
+// consumerFactory builds the downstream consumer chain of an operator
+// within a concrete pipeline context. Operators that source new pipelines
+// (scan, aggregation phase 2, unmatched scan) create the context and call
+// the factory once; Union calls it once per input pipeline.
+type consumerFactory func(pc *pipeCtx) rowFn
+
+// compiler turns a Plan into dispatch pipeline jobs. It mirrors HyPer's
+// produce/consume compilation: each operator either wraps the consumer
+// closure of its parent (pipelined operators) or terminates a pipeline in
+// a sink and sources a new one (pipeline breakers).
+type compiler struct {
+	sess    *Session
+	q       *dispatch.Query
+	workers int
+	sockets int
+}
+
+// pipeCtx is the register layout and per-worker state of one pipeline.
+type pipeCtx struct {
+	c            *compiler
+	regs         []Reg
+	deps         []tailJob // jobs this pipeline's source must wait for
+	states       []*Ectx   // per worker, lazily created
+	scratchSizes []int     // per-operator scratch slot sizes
+}
+
+// addScratch reserves a per-worker scratch slot of n values for one
+// operator instance.
+func (pc *pipeCtx) addScratch(n int) int {
+	pc.scratchSizes = append(pc.scratchSizes, n)
+	return len(pc.scratchSizes) - 1
+}
+
+func (c *compiler) newPipe() *pipeCtx {
+	return &pipeCtx{c: c, states: make([]*Ectx, c.workers)}
+}
+
+func (pc *pipeCtx) resolve(name string) (int, Type) {
+	for i, r := range pc.regs {
+		if r.Name == name {
+			return i, r.Type
+		}
+	}
+	panic(fmt.Sprintf("engine: unknown column %q in pipeline (have %v)", name, regNames(pc.regs)))
+}
+
+func (pc *pipeCtx) addReg(name string, t Type) int {
+	for _, r := range pc.regs {
+		if r.Name == name {
+			panic(fmt.Sprintf("engine: duplicate column %q in pipeline; alias it with AS", name))
+		}
+	}
+	pc.regs = append(pc.regs, Reg{Name: name, Type: t})
+	return len(pc.regs) - 1
+}
+
+// ectx returns the worker's execution context for this pipeline.
+func (pc *pipeCtx) ectx(w *dispatch.Worker) *Ectx {
+	e := pc.states[w.ID]
+	if e == nil {
+		e = newEctx(len(pc.regs), pc.c.sockets, pc.scratchSizes)
+		pc.states[w.ID] = e
+	}
+	return e
+}
+
+// rowWidth estimates the materialization bytes of the given registers.
+func rowWidth(regs []Reg) float64 {
+	var w float64
+	for _, r := range regs {
+		if r.Type == TStr {
+			w += 24 // header + short payload estimate
+		} else {
+			w += 8
+		}
+	}
+	return w
+}
+
+// driver builds n one-row driver partitions used to schedule
+// partition-at-a-time tasks (aggregation phase 2, local sorts, merges).
+// homes assigns NUMA affinity per task so locality-aware dispatch applies.
+type driver struct {
+	parts []*storage.Partition
+	index map[*storage.Partition]int
+}
+
+func newDriver(n int, home func(i int) numa.SocketID) *driver {
+	d := &driver{index: make(map[*storage.Partition]int, n)}
+	for i := 0; i < n; i++ {
+		col := storage.NewColumn("task", storage.I64)
+		col.AppendI64(int64(i))
+		p := &storage.Partition{Home: home(i), Worker: -1, Cols: []*storage.Column{col}}
+		d.parts = append(d.parts, p)
+		d.index[p] = i
+	}
+	return d
+}
+
+func (d *driver) task(m storage.Morsel) int { return d.index[m.Part] }
+
+// serialBarrier inserts a single-task pipeline that charges the given
+// cost to one worker while all others wait — the serialized coordination
+// phase of a Volcano exchange operator (PlanDriven mode). The row count is
+// evaluated lazily at activation time.
+func (c *compiler) serialBarrier(name string, after []tailJob, rows func() int64) tailJob {
+	var drv *driver
+	job := c.q.AddJob(name,
+		func() []*storage.Partition {
+			drv = newDriver(1, func(int) numa.SocketID { return 0 })
+			return drv.parts
+		},
+		func(w *dispatch.Worker, m storage.Morsel) {
+			w.Tracker.Advance(float64(rows()) * ExchangeSerialNsPerRow)
+		})
+	job.After(after...).WithMorselRows(1)
+	return job
+}
+
+// produce compiles the subtree rooted at n, feeding rows into the
+// consumer built by f, and returns the tail jobs whose completion means
+// the subtree has fully produced its output.
+func (n *Node) produce(c *compiler, f consumerFactory) []tailJob {
+	switch n.kind {
+	case nScan:
+		return c.produceScan(n, f)
+	case nFilter:
+		pred := n.pred
+		w := pred.weight() * exprNodeWeight
+		return n.child.produce(c, func(pc *pipeCtx) rowFn {
+			fn, t := pred.compile(pc)
+			mustBool(t, "filter predicate")
+			down := f(pc)
+			return func(e *Ectx) {
+				e.cpuUnits += w
+				if fn(e).I != 0 {
+					down(e)
+				}
+			}
+		})
+	case nMap:
+		ex := n.mapEx
+		w := ex.E.weight() * exprNodeWeight
+		return n.child.produce(c, func(pc *pipeCtx) rowFn {
+			fn, t := ex.E.compile(pc)
+			idx := pc.addReg(ex.Name, t)
+			down := f(pc)
+			return func(e *Ectx) {
+				e.cpuUnits += w
+				e.Regs[idx] = fn(e)
+				down(e)
+			}
+		})
+	case nJoin:
+		return c.produceJoin(n, f)
+	case nAgg:
+		return c.produceAgg(n, f)
+	case nUnion:
+		var tails []tailJob
+		for _, ch := range n.children {
+			tails = append(tails, ch.produce(c, f)...)
+		}
+		return tails
+	case nUnmatched:
+		return c.produceUnmatched(n, f)
+	default:
+		panic(fmt.Sprintf("engine: unknown node kind %d", n.kind))
+	}
+}
+
+func (c *compiler) produceScan(n *Node, f consumerFactory) []tailJob {
+	pc := c.newPipe()
+	for _, r := range n.out {
+		pc.addReg(r.Name, r.Type)
+	}
+	var filterFn evalFn
+	rowW := 1.0
+	if n.filter != nil {
+		fn, t := n.filter.compile(pc)
+		mustBool(t, "scan filter")
+		filterFn = fn
+		rowW += n.filter.weight() * exprNodeWeight
+	}
+	consume := f(pc)
+	srcIdx := n.scanSrc
+	table := n.table
+	nCols := len(srcIdx)
+	job := c.q.AddJob("scan("+table.Name+")",
+		func() []*storage.Partition { return table.Parts },
+		func(w *dispatch.Worker, m storage.Morsel) {
+			e := pc.ectx(w)
+			e.reset(w)
+			cols := m.Part.Cols
+			for r := m.Begin; r < m.End; r++ {
+				for k := 0; k < nCols; k++ {
+					col := cols[srcIdx[k]]
+					switch col.Type {
+					case storage.I64:
+						e.Regs[k] = Val{I: col.Ints[r]}
+					case storage.F64:
+						e.Regs[k] = Val{F: col.Flts[r]}
+					default:
+						e.Regs[k] = Val{S: col.Strs[r]}
+					}
+				}
+				e.cpuUnits += rowW
+				if filterFn != nil && filterFn(e).I == 0 {
+					continue
+				}
+				consume(e)
+			}
+			w.Tracker.ReadSeq(m.Home(), m.Part.BytesRange(m.Begin, m.End, srcIdx))
+			e.flush()
+		})
+	job.After(pc.deps...)
+	return []tailJob{job}
+}
+
+// Compiled is a plan lowered onto a dispatch.Query. Collect must only be
+// called after the query finished.
+type Compiled struct {
+	Query   *dispatch.Query
+	Plan    *Plan
+	collect func() *Result
+}
+
+// Collect gathers the query result.
+func (cp *Compiled) Collect() *Result { return cp.collect() }
+
+// Compile lowers the plan to pipelines for this session's machine and
+// dispatcher configuration.
+func (s *Session) Compile(p *Plan) *Compiled {
+	if p.root == nil {
+		panic(fmt.Sprintf("engine: plan %q has no result node", p.Name))
+	}
+	workers := s.Dispatch.Workers
+	if workers <= 0 {
+		workers = s.Machine.Topo.HardwareThreads()
+	}
+	c := &compiler{sess: s, q: dispatch.NewQuery(p.Name), workers: workers, sockets: s.Machine.Topo.Sockets}
+	cp := &Compiled{Query: c.q, Plan: p}
+	if len(p.sortKeys) > 0 {
+		cp.collect = c.compileSorted(p)
+	} else {
+		sink := newResultSink(p.root.out, workers)
+		p.root.produce(c, sink.factory)
+		cp.collect = sink.collect
+	}
+	return cp
+}

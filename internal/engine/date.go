@@ -1,0 +1,106 @@
+package engine
+
+import "fmt"
+
+// Dates are stored as int64 days since the civil epoch 1970-01-01,
+// giving cheap comparisons and interval arithmetic — the representation
+// column stores use for DATE.
+
+// daysFromCivil converts a civil date to days since 1970-01-01
+// (Howard Hinnant's algorithm, valid for all Gregorian dates).
+func daysFromCivil(y, m, d int) int64 {
+	if m <= 2 {
+		y--
+	}
+	era := y / 400
+	if y < 0 && y%400 != 0 {
+		era--
+	}
+	yoe := y - era*400 // [0, 399]
+	var mp int
+	if m > 2 {
+		mp = m - 3
+	} else {
+		mp = m + 9
+	}
+	doy := (153*mp+2)/5 + d - 1            // [0, 365]
+	doe := yoe*365 + yoe/4 - yoe/100 + doy // [0, 146096]
+	return int64(era)*146097 + int64(doe) - 719468
+}
+
+// civilFromDays converts days since 1970-01-01 back to a civil date.
+func civilFromDays(z int64) (y, m, d int) {
+	z += 719468
+	era := z / 146097
+	if z < 0 && z%146097 != 0 {
+		era--
+	}
+	doe := z - era*146097
+	yoe := (doe - doe/1460 + doe/36524 - doe/146096) / 365
+	yy := yoe + era*400
+	doy := doe - (365*yoe + yoe/4 - yoe/100)
+	mp := (5*doy + 2) / 153
+	d = int(doy - (153*mp+2)/5 + 1)
+	if mp < 10 {
+		m = int(mp + 3)
+	} else {
+		m = int(mp - 9)
+	}
+	if m <= 2 {
+		yy++
+	}
+	return int(yy), m, d
+}
+
+// ParseDate converts "YYYY-MM-DD" to days since epoch; it panics on
+// malformed input (plan literals are programmer-controlled).
+func ParseDate(s string) int64 {
+	var y, m, d int
+	if _, err := fmt.Sscanf(s, "%d-%d-%d", &y, &m, &d); err != nil {
+		panic(fmt.Sprintf("engine: bad date literal %q: %v", s, err))
+	}
+	return daysFromCivil(y, m, d)
+}
+
+// FormatDate renders days since epoch as "YYYY-MM-DD".
+func FormatDate(days int64) string {
+	y, m, d := civilFromDays(days)
+	return fmt.Sprintf("%04d-%02d-%02d", y, m, d)
+}
+
+// YearOf extracts the year of a date value.
+func YearOf(days int64) int64 {
+	y, _, _ := civilFromDays(days)
+	return int64(y)
+}
+
+// Date builds a date from components.
+func Date(y, m, d int) int64 { return daysFromCivil(y, m, d) }
+
+// AddMonths shifts a date by n months (TPC-H interval arithmetic).
+func AddMonths(days int64, n int) int64 {
+	y, m, d := civilFromDays(days)
+	m += n
+	for m > 12 {
+		m -= 12
+		y++
+	}
+	for m < 1 {
+		m += 12
+		y--
+	}
+	// Clamp day to month length (sufficient for TPC-H's 1st-of-month
+	// intervals).
+	dim := [...]int{31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31}
+	max := dim[m-1]
+	if m == 2 && (y%4 == 0 && (y%100 != 0 || y%400 == 0)) {
+		max = 29
+	}
+	if d > max {
+		d = max
+	}
+	return daysFromCivil(y, m, d)
+}
+
+// AddYears shifts a date by n years.
+func AddYears(days int64, n int) int64 { return AddMonths(days, 12*n) }

@@ -1,0 +1,326 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/numa"
+	"repro/internal/storage"
+)
+
+// Property-based tests: on randomly generated mini-tables, the parallel
+// morsel-driven operators must agree with direct single-threaded Go
+// computations, for any seed, size, worker count and morsel size.
+
+// miniTable is a randomly generated two-column table plus its rows for
+// oracle computation.
+type miniTable struct {
+	tbl  *storage.Table
+	keys []int64
+	vals []float64
+}
+
+func genMini(rng *rand.Rand, maxRows, keyRange int) miniTable {
+	n := rng.Intn(maxRows) + 1
+	b := storage.NewBuilder("m", storage.Schema{
+		{Name: "k", Type: storage.I64},
+		{Name: "v", Type: storage.F64},
+	}, 1+rng.Intn(8), "k")
+	m := miniTable{}
+	for i := 0; i < n; i++ {
+		k := int64(rng.Intn(keyRange))
+		v := math.Round(rng.Float64()*1000) / 10
+		m.keys = append(m.keys, k)
+		m.vals = append(m.vals, v)
+		b.Append(storage.Row{k, v})
+	}
+	m.tbl = b.Build(storage.NUMAAware, 4)
+	return m
+}
+
+func quickSession(rng *rand.Rand) *Session {
+	s := NewSession(numa.NehalemEXMachine())
+	s.Mode = Sim
+	s.Dispatch.Workers = 1 + rng.Intn(32)
+	s.Dispatch.MorselRows = 1 + rng.Intn(700)
+	return s
+}
+
+func TestQuickFilterCount(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := genMini(rng, 2000, 50)
+		cut := int64(rng.Intn(50))
+		s := quickSession(rng)
+		p := NewPlan("q")
+		p.Return(p.Scan(m.tbl, "k").
+			Filter(Lt(Col("k"), ConstI(cut))).
+			GroupBy(nil, []AggDef{Count("n")}))
+		res, _ := s.Run(p)
+		want := int64(0)
+		for _, k := range m.keys {
+			if k < cut {
+				want++
+			}
+		}
+		return res.Rows()[0][0].I == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickGroupSum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := genMini(rng, 2000, 20)
+		s := quickSession(rng)
+		p := NewPlan("q")
+		p.Return(p.Scan(m.tbl, "k", "v").
+			GroupBy([]NamedExpr{N("k", Col("k"))},
+				[]AggDef{Sum("s", Col("v")), Count("n"), MinOf("lo", Col("v")), MaxOf("hi", Col("v"))}))
+		res, _ := s.Run(p)
+
+		type acc struct {
+			s, lo, hi float64
+			n         int64
+		}
+		want := map[int64]*acc{}
+		for i, k := range m.keys {
+			a := want[k]
+			if a == nil {
+				a = &acc{lo: math.Inf(1), hi: math.Inf(-1)}
+				want[k] = a
+			}
+			a.s += m.vals[i]
+			a.n++
+			a.lo = math.Min(a.lo, m.vals[i])
+			a.hi = math.Max(a.hi, m.vals[i])
+		}
+		if res.NumRows() != len(want) {
+			return false
+		}
+		for _, row := range res.Rows() {
+			a := want[row[0].I]
+			if a == nil || row[2].I != a.n ||
+				math.Abs(row[1].F-a.s) > 1e-6 ||
+				row[3].F != a.lo || row[4].F != a.hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickJoinCardinality(t *testing.T) {
+	// |A ⋈ B| on key k equals sum over keys of countA(k)*countB(k);
+	// |A ⋉ B| + |A ▷ B| = |A|.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := genMini(rng, 1500, 30)
+		bb := genMini(rng, 300, 30)
+		s := quickSession(rng)
+
+		count := func(kind JoinKind) int64 {
+			p := NewPlan("q")
+			build := p.Scan(bb.tbl, "k AS bk", "v AS bv")
+			probe := p.Scan(a.tbl, "k", "v").
+				HashJoin(build, kind, []*Expr{Col("k")}, []*Expr{Col("bk")})
+			p.Return(probe.GroupBy(nil, []AggDef{Count("n")}))
+			res, _ := s.Run(p)
+			return res.Rows()[0][0].I
+		}
+		inner := func() int64 {
+			p := NewPlan("q")
+			build := p.Scan(bb.tbl, "k AS bk", "v AS bv")
+			probe := p.Scan(a.tbl, "k", "v").
+				HashJoin(build, JoinInner, []*Expr{Col("k")}, []*Expr{Col("bk")}, "bv")
+			p.Return(probe.GroupBy(nil, []AggDef{Count("n")}))
+			res, _ := s.Run(p)
+			return res.Rows()[0][0].I
+		}()
+
+		ca := map[int64]int64{}
+		for _, k := range a.keys {
+			ca[k]++
+		}
+		cb := map[int64]int64{}
+		for _, k := range bb.keys {
+			cb[k]++
+		}
+		var wantInner, wantSemi int64
+		for k, n := range ca {
+			if m := cb[k]; m > 0 {
+				wantInner += n * m
+				wantSemi += n
+			}
+		}
+		semi := count(JoinSemi)
+		anti := count(JoinAnti)
+		return inner == wantInner && semi == wantSemi && semi+anti == int64(len(a.keys))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSortPermutation(t *testing.T) {
+	// ORDER BY output is a sorted permutation of the input.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := genMini(rng, 3000, 1000)
+		s := quickSession(rng)
+		p := NewPlan("q")
+		n := p.Scan(m.tbl, "k", "v")
+		p.ReturnSorted(n, 0, Asc("v"), Desc("k"))
+		res, _ := s.Run(p)
+		if res.NumRows() != len(m.keys) {
+			return false
+		}
+		rows := res.Rows()
+		for i := 1; i < len(rows); i++ {
+			a, b := rows[i-1], rows[i]
+			if a[1].F > b[1].F || (a[1].F == b[1].F && a[0].I < b[0].I) {
+				return false
+			}
+		}
+		// Multiset equality on v.
+		got := make([]float64, len(rows))
+		for i, r := range rows {
+			got[i] = r[1].F
+		}
+		want := append([]float64{}, m.vals...)
+		sort.Float64s(want)
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTopKMatchesFullSort(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := genMini(rng, 2500, 1<<30)
+		k := 1 + rng.Intn(40)
+		s := quickSession(rng)
+		p := NewPlan("q")
+		p.ReturnSorted(p.Scan(m.tbl, "k", "v"), k, Desc("v"))
+		res, _ := s.Run(p)
+
+		want := append([]float64{}, m.vals...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(want)))
+		if k > len(want) {
+			k = len(want)
+		}
+		if res.NumRows() != k {
+			return false
+		}
+		for i, row := range res.Rows() {
+			if row[1].F != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickExpressionsAgainstDirectEval(t *testing.T) {
+	// Compiled expression closures agree with direct Go evaluation on
+	// random register values.
+	schema := []Reg{{Name: "a", Type: TInt}, {Name: "b", Type: TInt}, {Name: "x", Type: TFloat}}
+	type tc struct {
+		e      *Expr
+		direct func(a, b int64, x float64) Val
+	}
+	cases := []tc{
+		{Add(Col("a"), Col("b")), func(a, b int64, x float64) Val { return Val{I: a + b} }},
+		{Mul(Col("a"), Col("x")), func(a, b int64, x float64) Val { return Val{F: float64(a) * x} }},
+		{Div(Col("x"), ConstF(2)), func(a, b int64, x float64) Val { return Val{F: x / 2} }},
+		{Sub(Col("b"), ConstI(7)), func(a, b int64, x float64) Val { return Val{I: b - 7} }},
+		{If(Lt(Col("a"), Col("b")), Col("a"), Col("b")),
+			func(a, b int64, x float64) Val { return Val{I: min64(a, b)} }},
+		{Between(Col("a"), ConstI(10), ConstI(20)),
+			func(a, b int64, x float64) Val { return boolVal(a >= 10 && a <= 20) }},
+		{And(Gt(Col("a"), ConstI(0)), Le(Col("x"), ConstF(0.5))),
+			func(a, b int64, x float64) Val { return boolVal(a > 0 && x <= 0.5) }},
+		{Or(Eq(Col("a"), Col("b")), Ne(Col("a"), ConstI(3))),
+			func(a, b int64, x float64) Val { return boolVal(a == b || a != 3) }},
+		{Not(Ge(Col("b"), ConstI(0))), func(a, b int64, x float64) Val { return boolVal(b < 0) }},
+		{InInt(Col("a"), 1, 2, 3), func(a, b int64, x float64) Val { return boolVal(a >= 1 && a <= 3) }},
+		{ToFloat(Col("a")), func(a, b int64, x float64) Val { return Val{F: float64(a)} }},
+	}
+	e := newEctx(3, 4, nil)
+	for ci, c := range cases {
+		fn, _ := c.e.compile(schemaResolver(schema))
+		check := func(a, b int32, xr uint16) bool {
+			x := float64(xr) / 65536
+			e.Regs[0] = Val{I: int64(a % 100)}
+			e.Regs[1] = Val{I: int64(b % 100)}
+			e.Regs[2] = Val{F: x}
+			got := fn(e)
+			want := c.direct(int64(a%100), int64(b%100), x)
+			return got.I == want.I && math.Abs(got.F-want.F) < 1e-12
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("case %d: %v", ci, err)
+		}
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestQuickLikeAgainstNaive(t *testing.T) {
+	// compileLike (with its fast paths) must agree with the naive
+	// recursive matcher for random strings and patterns.
+	alphabet := []byte("ab%_")
+	f := func(sSeed, pSeed uint32) bool {
+		rngS := rand.New(rand.NewSource(int64(sSeed)))
+		rngP := rand.New(rand.NewSource(int64(pSeed)))
+		s := make([]byte, rngS.Intn(8))
+		for i := range s {
+			s[i] = alphabet[rngS.Intn(2)] // strings over {a,b}
+		}
+		p := make([]byte, rngP.Intn(6))
+		for i := range p {
+			p[i] = alphabet[rngP.Intn(4)] // patterns over {a,b,%,_}
+		}
+		return compileLike(string(p))(string(s)) == likeMatch(string(s), string(p))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDateRoundTrip(t *testing.T) {
+	f := func(d int32) bool {
+		days := int64(d % 200_000) // ±547 years around epoch
+		y, m, dd := civilFromDays(days)
+		if m < 1 || m > 12 || dd < 1 || dd > 31 {
+			return false
+		}
+		return daysFromCivil(y, m, dd) == days
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+package hashtable
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks and the tag-filter ablation: the early-filtering tag
+// is the paper's alternative to Bloom filters (§4.2); these benches show
+// the selective-probe fast path it buys.
+
+func buildBench(n int) (*Table, *chainStore, []uint64) {
+	ht := New(n)
+	store := &chainStore{}
+	rng := rand.New(rand.NewSource(11))
+	hashes := make([]uint64, n)
+	for i := range hashes {
+		hashes[i] = rng.Uint64()
+		store.insert(ht, hashes[i])
+	}
+	return ht, store, hashes
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	hashes := make([]uint64, 1<<16)
+	for i := range hashes {
+		hashes[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ht := New(len(hashes))
+		nexts := make([]Ref, len(hashes))
+		for j, h := range hashes {
+			jj := j
+			ht.Insert(h, Ref(jj+1), func(next Ref) { nexts[jj] = next })
+		}
+	}
+}
+
+func BenchmarkProbeHit(b *testing.B) {
+	ht, store, hashes := buildBench(1 << 16)
+	b.ResetTimer()
+	found := 0
+	for i := 0; i < b.N; i++ {
+		if store.contains(ht, hashes[i%len(hashes)]) {
+			found++
+		}
+	}
+	if found != b.N {
+		b.Fatalf("lost entries: %d/%d", found, b.N)
+	}
+}
+
+// BenchmarkProbeMissTagged measures selective probes answered by the tag
+// filter with a single slot load.
+func BenchmarkProbeMissTagged(b *testing.B) {
+	ht, store, _ := buildBench(1 << 16)
+	rng := rand.New(rand.NewSource(13))
+	misses := make([]uint64, 1<<16)
+	for i := range misses {
+		misses[i] = rng.Uint64() | 1<<63 // distinct stream from build
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store.contains(ht, misses[i%len(misses)])
+	}
+}
+
+// BenchmarkProbeMissNoTag is the ablation: force chain traversal on every
+// miss by bypassing the tag check (what a tagless chaining table does).
+func BenchmarkProbeMissNoTag(b *testing.B) {
+	ht, store, _ := buildBench(1 << 16)
+	rng := rand.New(rand.NewSource(13))
+	misses := make([]uint64, 1<<16)
+	for i := range misses {
+		misses[i] = rng.Uint64() | 1<<63
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := misses[i%len(misses)]
+		// Head() skips the tag filter.
+		for r := ht.Head(int(ht.slotIndex(h))); r != 0; r = store.nexts[r-1] {
+			if store.hashes[r-1] == h {
+				break
+			}
+		}
+	}
+}
+
+func TestTagFilterRate(t *testing.T) {
+	// At load factor 0.5 with 16 tag bits, a large majority of misses
+	// must be answered without touching the chain.
+	ht, _, _ := buildBench(1 << 14)
+	rng := rand.New(rand.NewSource(17))
+	filtered, total := 0, 0
+	for i := 0; i < 10000; i++ {
+		h := rng.Uint64() | 1<<63
+		total++
+		if ht.Lookup(h) == 0 {
+			filtered++
+		}
+	}
+	rate := float64(filtered) / float64(total)
+	if rate < 0.45 {
+		t.Errorf("tag filter rate %.2f too low", rate)
+	}
+}

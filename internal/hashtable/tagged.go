@@ -1,0 +1,104 @@
+// Package hashtable implements the paper's lock-free tagged hash table
+// (§4.2, Fig. 7): a chaining hash table whose 64-bit slots pack a 48-bit
+// entry reference with a 16-bit filter tag, so that pointer and tag are
+// updated together by a single compare-and-swap, and selective probes are
+// answered with a single cache-line access when the tag filters the probe
+// out.
+//
+// The table stores references, not tuples: build tuples stay in the
+// NUMA-local storage areas they were materialized into, and each entry
+// reserves a next-pointer there for collision chaining — exactly the
+// paper's layout. The table is insert-only; lookups only begin after all
+// inserts completed (a hash join builds first, probes after), which is the
+// property that makes the CAS protocol sufficient.
+package hashtable
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Ref is a 48-bit reference to a build-side tuple. The zero Ref is "nil"
+// (end of chain / empty slot); encoders must never produce 0 for a live
+// tuple and must stay below 1<<48.
+type Ref uint64
+
+// refMask extracts the reference bits of a slot word.
+const refMask = (uint64(1) << 48) - 1
+
+// tagOf returns the filter bit for a hash: one of the 16 high bits.
+// The slot index uses the high bits of the hash (hash >> shift), so the
+// tag is derived from the low bits to stay independent.
+func tagOf(hash uint64) uint64 {
+	return uint64(1) << (48 + (hash & 15))
+}
+
+// Table is the lock-free tagged chaining hash table.
+type Table struct {
+	slots []atomic.Uint64
+	shift uint // slot = hash >> shift
+}
+
+// New creates a table with capacity for `count` entries, sized to at
+// least twice the entry count rounded up to a power of two ("sized quite
+// generously to at least twice the size of the input", §4.2). The build
+// runs in two phases, so count is exact, and the table is born perfectly
+// sized — no dynamic growing.
+func New(count int) *Table {
+	n := 2 * count
+	if n < 16 {
+		n = 16
+	}
+	size := 1 << bits.Len(uint(n-1)) // next power of two
+	return &Table{
+		slots: make([]atomic.Uint64, size),
+		shift: 64 - uint(bits.TrailingZeros(uint(size))),
+	}
+}
+
+// Slots returns the number of slots (a power of two).
+func (t *Table) Slots() int { return len(t.slots) }
+
+// SizeBytes returns the memory footprint of the slot array.
+func (t *Table) SizeBytes() int64 { return int64(len(t.slots)) * 8 }
+
+// slotIndex maps a hash to its slot using the high bits, as in the paper
+// (the same high bits that choose the NUMA partition in co-located joins,
+// §4.3).
+func (t *Table) slotIndex(hash uint64) uint64 { return hash >> t.shift }
+
+// Insert links the entry with the given hash into the table. setNext is
+// called exactly once with the previous chain head (possibly 0) and must
+// store it as the entry's next pointer; it may be called again if the CAS
+// loses a race and retries.
+func (t *Table) Insert(hash uint64, ref Ref, setNext func(next Ref)) {
+	slot := &t.slots[t.slotIndex(hash)]
+	for {
+		old := slot.Load()
+		// Set next to the old entry without its tag bits.
+		setNext(Ref(old & refMask))
+		// Keep the accumulated tags and add this entry's bit.
+		newWord := uint64(ref) | (old &^ refMask) | tagOf(hash)
+		if slot.CompareAndSwap(old, newWord) {
+			return
+		}
+	}
+}
+
+// Lookup returns the head of the chain that may contain the hash, or 0
+// when the tag proves the hash is absent. A 0 return after a single slot
+// read is the early-filtering fast path that gives selective joins their
+// speed.
+func (t *Table) Lookup(hash uint64) Ref {
+	word := t.slots[t.slotIndex(hash)].Load()
+	if word&tagOf(hash) == 0 {
+		return 0
+	}
+	return Ref(word & refMask)
+}
+
+// Head returns the chain head regardless of tags (used by unmatched-scan
+// passes and tests).
+func (t *Table) Head(slot int) Ref {
+	return Ref(t.slots[slot].Load() & refMask)
+}

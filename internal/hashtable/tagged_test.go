@@ -1,0 +1,238 @@
+package hashtable
+
+import (
+	"hash/maphash"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// chainStore is a minimal entry store for tests: entries are identified
+// by index+1 and keep hash + next locally.
+type chainStore struct {
+	hashes []uint64
+	nexts  []Ref
+}
+
+func (s *chainStore) add(hash uint64) Ref {
+	s.hashes = append(s.hashes, hash)
+	s.nexts = append(s.nexts, 0)
+	return Ref(len(s.hashes)) // index+1, never 0
+}
+
+func (s *chainStore) insert(t *Table, hash uint64) {
+	ref := s.add(hash)
+	t.Insert(hash, ref, func(next Ref) { s.nexts[ref-1] = next })
+}
+
+func (s *chainStore) contains(t *Table, hash uint64) bool {
+	for r := t.Lookup(hash); r != 0; r = s.nexts[r-1] {
+		if s.hashes[r-1] == hash {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *chainStore) count(t *Table, hash uint64) int {
+	n := 0
+	for r := t.Lookup(hash); r != 0; r = s.nexts[r-1] {
+		if s.hashes[r-1] == hash {
+			n++
+		}
+	}
+	return n
+}
+
+func TestSizing(t *testing.T) {
+	cases := []struct{ count, minSlots int }{
+		{0, 16}, {1, 16}, {8, 16}, {9, 16}, {100, 256}, {1000, 2048},
+	}
+	for _, c := range cases {
+		ht := New(c.count)
+		if ht.Slots() < c.minSlots {
+			t.Errorf("New(%d).Slots() = %d, want >= %d", c.count, ht.Slots(), c.minSlots)
+		}
+		if ht.Slots()&(ht.Slots()-1) != 0 {
+			t.Errorf("New(%d).Slots() = %d, not a power of two", c.count, ht.Slots())
+		}
+		if ht.Slots() < 2*c.count {
+			t.Errorf("New(%d) undersized: %d slots", c.count, ht.Slots())
+		}
+	}
+}
+
+func TestSlotIndexInRange(t *testing.T) {
+	ht := New(1000)
+	f := func(h uint64) bool {
+		i := ht.slotIndex(h)
+		return i < uint64(ht.Slots())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertLookup(t *testing.T) {
+	ht := New(1000)
+	store := &chainStore{}
+	seed := maphash.MakeSeed()
+	hash := func(k int) uint64 {
+		var h maphash.Hash
+		h.SetSeed(seed)
+		h.WriteString(string(rune(k)))
+		return h.Sum64()
+	}
+	inserted := map[uint64]bool{}
+	for k := 0; k < 1000; k++ {
+		h := hash(k)
+		store.insert(ht, h)
+		inserted[h] = true
+	}
+	for h := range inserted {
+		if !store.contains(ht, h) {
+			t.Fatalf("hash %x not found after insert", h)
+		}
+	}
+	// Absent hashes must not be found.
+	misses := 0
+	for k := 1000; k < 2000; k++ {
+		h := hash(k)
+		if inserted[h] {
+			continue
+		}
+		if store.contains(ht, h) {
+			t.Fatalf("hash %x found but never inserted", h)
+		}
+		if ht.Lookup(h) == 0 {
+			misses++
+		}
+	}
+	// The tag filter must answer a decent share of misses with a
+	// single slot access (paper: usually 1 cache miss for selective
+	// probes). With a 16-bit tag and load factor 0.5 the filter rate
+	// is high; be conservative in the assertion.
+	if misses < 300 {
+		t.Errorf("tag filter short-circuited only %d/1000 misses", misses)
+	}
+}
+
+func TestDuplicateKeysChain(t *testing.T) {
+	ht := New(64)
+	store := &chainStore{}
+	const h = uint64(0xDEADBEEFCAFE1234)
+	for i := 0; i < 5; i++ {
+		store.insert(ht, h)
+	}
+	if got := store.count(ht, h); got != 5 {
+		t.Errorf("count = %d, want 5", got)
+	}
+}
+
+func TestZeroRefIsNil(t *testing.T) {
+	ht := New(16)
+	if ht.Lookup(42) != 0 {
+		t.Error("empty table lookup should return 0")
+	}
+	if ht.Head(0) != 0 {
+		t.Error("empty slot head should be 0")
+	}
+}
+
+func TestConcurrentInsert(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 2000
+	)
+	ht := New(workers * perW)
+	// Each worker has its own pre-allocated entry range so SetNext
+	// races cannot occur on the same entry (as in the engine, where
+	// each entry belongs to one worker's storage area).
+	hashes := make([]uint64, workers*perW)
+	nexts := make([]Ref, workers*perW)
+	rng := rand.New(rand.NewSource(7))
+	for i := range hashes {
+		hashes[i] = rng.Uint64()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w * perW; i < (w+1)*perW; i++ {
+				ref := Ref(i + 1)
+				ht.Insert(hashes[i], ref, func(next Ref) { nexts[i] = next })
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Every inserted entry must be reachable from its slot chain.
+	for i, h := range hashes {
+		found := false
+		for r := ht.Lookup(h); r != 0; r = nexts[r-1] {
+			if r == Ref(i+1) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("entry %d lost during concurrent insert", i)
+		}
+	}
+	// No chain may contain a cycle (corrupt CAS would loop).
+	for s := 0; s < ht.Slots(); s++ {
+		seen := map[Ref]bool{}
+		for r := ht.Head(s); r != 0; r = nexts[r-1] {
+			if seen[r] {
+				t.Fatalf("cycle in chain at slot %d", s)
+			}
+			seen[r] = true
+		}
+	}
+}
+
+func TestTagAccumulates(t *testing.T) {
+	// Two entries with different tag bits in the same slot: both tags
+	// must remain set so neither probe is filtered out.
+	ht := New(16)
+	// Craft hashes mapping to slot 0 with different low bits.
+	h1 := uint64(1) // slot 0 (high bits zero), tag bit 1
+	h2 := uint64(2) // slot 0, tag bit 2
+	nexts := make([]Ref, 2)
+	ht.Insert(h1, 1, func(n Ref) { nexts[0] = n })
+	ht.Insert(h2, 2, func(n Ref) { nexts[1] = n })
+	if ht.Lookup(h1) == 0 {
+		t.Error("first tag lost after second insert")
+	}
+	if ht.Lookup(h2) == 0 {
+		t.Error("second tag not set")
+	}
+	// Chain: head is entry 2, next is entry 1.
+	if ht.Lookup(h2) != 2 || nexts[1] != 1 {
+		t.Errorf("chain broken: head=%d next=%d", ht.Lookup(h2), nexts[1])
+	}
+}
+
+func TestPropertySetSemantics(t *testing.T) {
+	// Insert/lookups behave like a multiset keyed by hash.
+	f := func(keys []uint16) bool {
+		ht := New(len(keys))
+		store := &chainStore{}
+		want := map[uint64]int{}
+		for _, k := range keys {
+			h := uint64(k) * 0x9E3779B97F4A7C15
+			store.insert(ht, h)
+			want[h]++
+		}
+		for h, n := range want {
+			if store.count(ht, h) != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

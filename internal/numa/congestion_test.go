@@ -1,0 +1,141 @@
+package numa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Congestion-model properties.
+
+func TestCostMonotoneInReaders(t *testing.T) {
+	// Adding readers to a socket never makes a byte cheaper.
+	m := NehalemEXMachine()
+	prev := 0.0
+	var held []*Tracker
+	for readers := 0; readers < 40; readers++ {
+		tr := m.NewTracker(0)
+		tr.ReadSeq(0, 1<<16)
+		if tr.VTime() < prev-1e-9 {
+			t.Fatalf("cost decreased at %d readers: %f < %f", readers, tr.VTime(), prev)
+		}
+		prev = tr.VTime()
+		h := m.NewTracker(readers % m.Topo.HardwareThreads())
+		h.BeginMorselRead(0)
+		held = append(held, h)
+	}
+	for _, h := range held {
+		h.EndMorselRead(0)
+	}
+}
+
+func TestRemoteNeverCheaperThanLocal(t *testing.T) {
+	f := func(sock uint8, kb uint16) bool {
+		m := SandyBridgeEPMachine()
+		bytes := int64(kb)*64 + 64
+		home := SocketID(sock % 4)
+		local := m.NewTracker(0) // socket 0
+		local.ReadSeq(0, bytes)
+		other := m.NewTracker(0)
+		other.ReadSeq(home, bytes)
+		return other.VTime() >= local.VTime()-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccountingConservation(t *testing.T) {
+	// Bytes recorded by trackers equal bytes accounted to sockets.
+	m := NehalemEXMachine()
+	before := m.Snapshot()
+	var tracked int64
+	for w := 0; w < 16; w++ {
+		tr := m.NewTracker(w)
+		tr.ReadSeq(SocketID(w%4), 1<<12)
+		tr.WriteSeq(1 << 10)
+		tracked += tr.Stats().ReadBytes + tr.Stats().WriteBytes
+	}
+	diff := m.Snapshot().Sub(before)
+	var accounted int64
+	for _, b := range diff.SocketBytes {
+		accounted += b
+	}
+	if accounted != tracked {
+		t.Fatalf("socket accounting %d != tracker totals %d", accounted, tracked)
+	}
+}
+
+func TestLinkTrafficOnlyForRemote(t *testing.T) {
+	m := NehalemEXMachine()
+	before := m.Snapshot()
+	tr := m.NewTracker(0)
+	tr.ReadSeq(0, 1<<20) // local
+	if d := m.Snapshot().Sub(before).MaxLinkBytes(); d != 0 {
+		t.Fatalf("local read put %d bytes on links", d)
+	}
+	tr.ReadSeq(1, 1<<20) // remote: exactly one link on Nehalem
+	diff := m.Snapshot().Sub(before)
+	if diff.MaxLinkBytes() != 1<<20 {
+		t.Fatalf("remote read link bytes = %d", diff.MaxLinkBytes())
+	}
+	var linksUsed int
+	for _, b := range diff.LinkBytes {
+		if b > 0 {
+			linksUsed++
+		}
+	}
+	if linksUsed != 1 {
+		t.Fatalf("one-hop read used %d links", linksUsed)
+	}
+}
+
+func TestTwoHopUsesTwoLinks(t *testing.T) {
+	m := SandyBridgeEPMachine()
+	before := m.Snapshot()
+	tr := m.NewTracker(0) // socket 0
+	tr.ReadSeq(2, 1<<20)  // two hops on the ring
+	diff := m.Snapshot().Sub(before)
+	var linksUsed int
+	for _, b := range diff.LinkBytes {
+		if b > 0 {
+			linksUsed++
+		}
+	}
+	if linksUsed != 2 {
+		t.Fatalf("two-hop read used %d links, want 2", linksUsed)
+	}
+}
+
+func TestTimeScaleSlowsEverything(t *testing.T) {
+	m := NehalemEXMachine()
+	fast := m.NewTracker(0)
+	slow := m.NewTracker(0)
+	slow.SetTimeScale(0.5)
+	for _, tr := range []*Tracker{fast, slow} {
+		tr.ReadSeq(0, 1<<16)
+		tr.CPU(1000, 1)
+		tr.WriteSeq(1 << 12)
+		tr.ReadRand(1, 100)
+		tr.MorselStart()
+	}
+	ratio := slow.VTime() / fast.VTime()
+	if ratio < 1.99 || ratio > 2.01 {
+		t.Fatalf("time-scale 0.5 gave ratio %.3f, want 2.0", ratio)
+	}
+}
+
+func TestInterleavedCostBetweenLocalAndWorstRemote(t *testing.T) {
+	m := SandyBridgeEPMachine()
+	local := m.NewTracker(0)
+	local.ReadSeq(0, 1<<20)
+	inter := m.NewTracker(0)
+	inter.ReadSeq(NoSocket, 1<<20)
+	worst := m.NewTracker(0)
+	worst.ReadSeq(2, 1<<20)
+	if inter.VTime() <= local.VTime() {
+		t.Errorf("interleaved (%f) should cost more than local (%f)", inter.VTime(), local.VTime())
+	}
+	if inter.VTime() >= worst.VTime() {
+		t.Errorf("interleaved (%f) should cost less than all-two-hop (%f)", inter.VTime(), worst.VTime())
+	}
+}

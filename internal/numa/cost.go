@@ -1,0 +1,125 @@
+package numa
+
+// CostModel converts recorded data accesses and CPU work into virtual
+// nanoseconds. The constants are calibrated against the hardware the paper
+// used (Fig. 10 and the §5.3 micro-benchmark); EXPERIMENTS.md records the
+// calibration. All costs are per hardware thread running alone on its core;
+// SMT contention is applied by the scheduler via Machine.CoreSpeed.
+type CostModel struct {
+	// SeqNsPerByte is the cost of streaming one byte from the local
+	// memory controller (the inverse of per-core scan bandwidth).
+	SeqNsPerByte float64
+	// SeqHopFactor multiplies SeqNsPerByte for each hop count >= 1.
+	// Index 0 is unused (local factor is 1); missing entries reuse the
+	// last value.
+	SeqHopFactor []float64
+	// RandNsPerLine is the cost of one dependent random 64-byte cache
+	// line access to local memory, divided by the assumed memory-level
+	// parallelism.
+	RandNsPerLine float64
+	// RandHopFactor is the remote multiplier for random accesses.
+	RandHopFactor []float64
+	// WriteNsPerByte is the cost of streaming one byte to the local
+	// controller (writes in the engine are always NUMA-local).
+	WriteNsPerByte float64
+	// TupleNs is the base CPU cost of pushing one tuple through one
+	// operator step (the "JIT-compiled pipeline" per-tuple work).
+	TupleNs float64
+	// MorselOverheadNs is the fixed per-task cost a worker pays to
+	// acquire and set up one morsel (thread-local part).
+	MorselOverheadNs float64
+	// DispatchSerialNs is the serialized cost of one access to the
+	// shared work-stealing data structure. Many concurrent workers
+	// contend on it, so a pipeline cannot finish faster than
+	// nMorsels * DispatchSerialNs — this term produces the left edge of
+	// the paper's Fig. 6 morsel-size curve.
+	DispatchSerialNs float64
+	// SocketGBs is the per-socket memory controller bandwidth in GB/s.
+	SocketGBs float64
+	// LinkGBs is the per-direction interconnect link bandwidth in GB/s.
+	LinkGBs float64
+	// LinkEfficiency is the fraction of nominal link bandwidth usable
+	// for data under load: coherency broadcasts and protocol overhead
+	// consume the rest (the paper notes 40% QPI utilization even for a
+	// 99%-local query).
+	LinkEfficiency float64
+	// SMTSpeed is the relative speed of a hardware thread whose SMT
+	// sibling is also running (1.0 = no penalty, paper-era SMT gives
+	// roughly 1.3x combined throughput => 0.65 each).
+	SMTSpeed float64
+	// CacheBytes is the per-socket last-level cache size. Hash tables
+	// whose build side fits stay cache-resident: probes cost CPU, not
+	// memory traffic ("the hash table often fits into cache", §4.1).
+	CacheBytes int64
+}
+
+// NehalemEXCost returns the cost model calibrated for the Nehalem EX
+// machine: local bandwidth 93 GB/s aggregate (measured, §5.3), local
+// latency 161 ns, remote mix 60 GB/s / 186 ns, QPI 12.8 GB/s per link
+// direction, theoretical 25.6 GB/s per socket controller.
+func NehalemEXCost() CostModel {
+	return CostModel{
+		SeqNsPerByte:     0.40,               // ~2.5 GB/s streaming per core
+		SeqHopFactor:     []float64{1, 1.18}, // one uncontended remote stream is only mildly slower; contention is modeled by the link/socket terms
+		RandNsPerLine:    40,                 // 161ns latency / MLP 4
+		RandHopFactor:    []float64{1, 1.21}, // 194ns remote / 161ns local
+		WriteNsPerByte:   0.50,
+		TupleNs:          1.4,
+		MorselOverheadNs: 1500,
+		DispatchSerialNs: 150,
+		SocketGBs:        23.3, // 93 GB/s measured / 4 sockets
+		LinkGBs:          12.8,
+		LinkEfficiency:   0.30,
+		SMTSpeed:         0.65,
+		CacheBytes:       24 << 20, // 24 MB L3 per socket
+	}
+}
+
+// SandyBridgeEPCost returns the cost model for the Sandy Bridge EP
+// machine: higher local bandwidth (121 GB/s aggregate, 101 ns latency) but
+// much worse remote behaviour (mix 41 GB/s, 257 ns) because the ring
+// topology adds two-hop paths and cross traffic.
+func SandyBridgeEPCost() CostModel {
+	return CostModel{
+		SeqNsPerByte:     0.31,                    // ~3.2 GB/s per core, faster clock
+		SeqHopFactor:     []float64{1, 1.35, 1.8}, // one hop / two hops (uncontended)
+		RandNsPerLine:    25,                      // 101ns / MLP 4
+		RandHopFactor:    []float64{1, 2.4, 3.9},
+		WriteNsPerByte:   0.40,
+		TupleNs:          1.25, // 2.6-3.1 GHz vs 2.3 GHz
+		MorselOverheadNs: 1500,
+		DispatchSerialNs: 150,
+		SocketGBs:        30.2, // 121 GB/s measured / 4 sockets
+		LinkGBs:          16.0,
+		LinkEfficiency:   0.30,
+		SMTSpeed:         0.65,
+		CacheBytes:       20 << 20, // 20 MB L3 per socket
+	}
+}
+
+// seqFactor returns the sequential-access hop multiplier.
+func (c *CostModel) seqFactor(hops int) float64 {
+	if hops <= 0 {
+		return 1
+	}
+	if hops > len(c.SeqHopFactor)-1 {
+		hops = len(c.SeqHopFactor) - 1
+	}
+	if hops < 1 {
+		return 1
+	}
+	return c.SeqHopFactor[hops]
+}
+
+func (c *CostModel) randFactor(hops int) float64 {
+	if hops <= 0 {
+		return 1
+	}
+	if hops > len(c.RandHopFactor)-1 {
+		hops = len(c.RandHopFactor) - 1
+	}
+	if hops < 1 {
+		return 1
+	}
+	return c.RandHopFactor[hops]
+}

@@ -1,0 +1,184 @@
+package numa
+
+import "sync/atomic"
+
+// readerScale is the fixed-point scale for fractional congestion counts
+// (interleaved reads register 1/Sockets presence on every socket).
+const readerScale = 60
+
+// Machine combines a topology with a cost model and the shared congestion
+// state of the memory fabric. Congestion is modeled roofline-style: the
+// effective cost of streaming a byte from a socket is the maximum of the
+// per-core streaming cost and the socket's controller bandwidth divided
+// among its concurrent readers; remote streams are additionally bounded by
+// the bandwidth of every interconnect link on the route, divided among the
+// flows currently crossing that link. This reproduces the paper's central
+// NUMA effects: a single controller saturating when placement is wrong
+// (§5.3 "OS default"), and cross-traffic limiting interleaved placement on
+// the Sandy Bridge ring.
+type Machine struct {
+	Topo *Topology
+	Cost CostModel
+
+	socketReaders []atomic.Int64 // scaled by readerScale
+	linkFlows     []atomic.Int64 // scaled by readerScale
+
+	socketBytes []atomic.Int64 // bytes served per socket controller
+	linkBytes   []atomic.Int64 // bytes crossing each directed link
+}
+
+// NewMachine creates a machine from a topology and cost model.
+func NewMachine(topo *Topology, cost CostModel) *Machine {
+	return &Machine{
+		Topo:          topo,
+		Cost:          cost,
+		socketReaders: make([]atomic.Int64, topo.Sockets),
+		linkFlows:     make([]atomic.Int64, len(topo.Links())),
+		socketBytes:   make([]atomic.Int64, topo.Sockets),
+		linkBytes:     make([]atomic.Int64, len(topo.Links())),
+	}
+}
+
+// NehalemEXMachine is a convenience constructor for the paper's primary
+// evaluation machine.
+func NehalemEXMachine() *Machine { return NewMachine(NehalemEX(), NehalemEXCost()) }
+
+// SandyBridgeEPMachine is the paper's second evaluation machine.
+func SandyBridgeEPMachine() *Machine { return NewMachine(SandyBridgeEP(), SandyBridgeEPCost()) }
+
+// FabricSnapshot captures cumulative per-socket and per-link traffic;
+// subtracting two snapshots yields the traffic of an interval.
+type FabricSnapshot struct {
+	SocketBytes []int64
+	LinkBytes   []int64
+}
+
+// Snapshot returns the cumulative fabric traffic counters.
+func (m *Machine) Snapshot() FabricSnapshot {
+	s := FabricSnapshot{
+		SocketBytes: make([]int64, len(m.socketBytes)),
+		LinkBytes:   make([]int64, len(m.linkBytes)),
+	}
+	for i := range m.socketBytes {
+		s.SocketBytes[i] = m.socketBytes[i].Load()
+	}
+	for i := range m.linkBytes {
+		s.LinkBytes[i] = m.linkBytes[i].Load()
+	}
+	return s
+}
+
+// Sub returns the per-counter difference s - prev.
+func (s FabricSnapshot) Sub(prev FabricSnapshot) FabricSnapshot {
+	d := FabricSnapshot{
+		SocketBytes: make([]int64, len(s.SocketBytes)),
+		LinkBytes:   make([]int64, len(s.LinkBytes)),
+	}
+	for i := range s.SocketBytes {
+		d.SocketBytes[i] = s.SocketBytes[i] - prev.SocketBytes[i]
+	}
+	for i := range s.LinkBytes {
+		d.LinkBytes[i] = s.LinkBytes[i] - prev.LinkBytes[i]
+	}
+	return d
+}
+
+// MaxLinkBytes returns the traffic on the busiest directed link.
+func (s FabricSnapshot) MaxLinkBytes() int64 {
+	var m int64
+	for _, b := range s.LinkBytes {
+		if b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// enterRead registers a reader streaming from the given home socket and
+// returns the scaled amounts added so exitRead can undo them exactly.
+func (m *Machine) enterRead(reader, home SocketID) {
+	if home == NoSocket {
+		per := int64(readerScale / m.Topo.Sockets)
+		for s := 0; s < m.Topo.Sockets; s++ {
+			m.socketReaders[s].Add(per)
+			for _, l := range m.Topo.Route(SocketID(s), reader) {
+				m.linkFlows[l].Add(per)
+			}
+		}
+		return
+	}
+	m.socketReaders[home].Add(readerScale)
+	for _, l := range m.Topo.Route(home, reader) {
+		m.linkFlows[l].Add(readerScale)
+	}
+}
+
+func (m *Machine) exitRead(reader, home SocketID) {
+	if home == NoSocket {
+		per := int64(readerScale / m.Topo.Sockets)
+		for s := 0; s < m.Topo.Sockets; s++ {
+			m.socketReaders[s].Add(-per)
+			for _, l := range m.Topo.Route(SocketID(s), reader) {
+				m.linkFlows[l].Add(-per)
+			}
+		}
+		return
+	}
+	m.socketReaders[home].Add(-readerScale)
+	for _, l := range m.Topo.Route(home, reader) {
+		m.linkFlows[l].Add(-readerScale)
+	}
+}
+
+// seqNsPerByte computes the effective streaming cost for one byte pulled
+// by a core on `reader` from memory on `home`, under current congestion.
+func (m *Machine) seqNsPerByte(reader, home SocketID) float64 {
+	if home == NoSocket {
+		// Interleaved data: average the per-socket costs.
+		var sum float64
+		for s := 0; s < m.Topo.Sockets; s++ {
+			sum += m.seqNsPerByte(reader, SocketID(s))
+		}
+		return sum / float64(m.Topo.Sockets)
+	}
+	hops := m.Topo.Hops(reader, home)
+	cost := m.Cost.SeqNsPerByte * m.Cost.seqFactor(hops)
+	// Socket controller contention: readers share SocketGBs (GB/s ==
+	// bytes/ns, so readers/GBs is ns/byte).
+	readers := float64(m.socketReaders[home].Load()) / readerScale
+	if readers > 1 {
+		if t := readers / m.Cost.SocketGBs; t > cost {
+			cost = t
+		}
+	}
+	// Interconnect link contention along the route.
+	for _, l := range m.Topo.Route(home, reader) {
+		flows := float64(m.linkFlows[l].Load()) / readerScale
+		if flows > 1 {
+			eff := m.Cost.LinkGBs * m.Cost.LinkEfficiency
+			if t := flows / eff; t > cost {
+				cost = t
+			}
+		}
+	}
+	return cost
+}
+
+// accountBytes records traffic against the socket controller and the links
+// on the route.
+func (m *Machine) accountBytes(reader, home SocketID, bytes int64) {
+	if home == NoSocket {
+		per := bytes / int64(m.Topo.Sockets)
+		for s := 0; s < m.Topo.Sockets; s++ {
+			m.socketBytes[s].Add(per)
+			for _, l := range m.Topo.Route(SocketID(s), reader) {
+				m.linkBytes[l].Add(per)
+			}
+		}
+		return
+	}
+	m.socketBytes[home].Add(bytes)
+	for _, l := range m.Topo.Route(home, reader) {
+		m.linkBytes[l].Add(bytes)
+	}
+}

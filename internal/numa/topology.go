@@ -1,0 +1,239 @@
+// Package numa models a NUMA multi-socket machine: sockets with private
+// memory controllers, cores (optionally SMT), and the interconnect fabric
+// between sockets.
+//
+// The paper evaluates on real 4-socket Nehalem EX and Sandy Bridge EP
+// machines with pinned threads. A Go program cannot pin goroutines to
+// physical cores or control physical page placement, so this package
+// substitutes a simulation: allocations carry a home socket, workers carry
+// a (socket, core, SMT) placement, and every data access is recorded
+// against the machine model, which converts it into virtual nanoseconds
+// using a calibrated cost model (see cost.go). All NUMA-related metrics the
+// paper reports (GB/s read/written, remote-access percentage, interconnect
+// utilization) are derived from these records.
+package numa
+
+import "fmt"
+
+// SocketID identifies a NUMA node (socket).
+type SocketID int
+
+// NoSocket marks data without a specific home (e.g. interleaved).
+const NoSocket SocketID = -1
+
+// Placement describes where a hardware thread lives.
+type Placement struct {
+	Socket SocketID
+	Core   int // core index within the socket
+	SMT    int // 0 for the first hardware thread of a core, 1 for its sibling
+}
+
+// Topology describes the socket/core/link structure of a machine.
+type Topology struct {
+	Name           string
+	Sockets        int
+	CoresPerSocket int
+	SMTPerCore     int
+
+	// hops[i][j] is the number of interconnect hops from socket i to
+	// socket j (0 on the diagonal). Fully connected machines have 1
+	// everywhere off-diagonal; the Sandy Bridge EP ring has 2 between
+	// opposite sockets.
+	hops [][]int
+
+	// route[i][j] is the sequence of directed links from i to j.
+	route [][][]LinkID
+
+	// links enumerates the directed socket-to-socket connections.
+	links []Link
+}
+
+// Link is a directed interconnect connection between two sockets.
+type Link struct {
+	From, To SocketID
+}
+
+// LinkID indexes Topology.Links().
+type LinkID int
+
+// NewTopology builds a topology from an undirected adjacency list.
+// Each [2]int entry connects two sockets; both directions are created.
+// Routes are shortest paths (ties broken by lowest intermediate socket).
+func NewTopology(name string, sockets, coresPerSocket, smtPerCore int, adjacency [][2]int) (*Topology, error) {
+	if sockets <= 0 || coresPerSocket <= 0 || smtPerCore <= 0 {
+		return nil, fmt.Errorf("numa: invalid topology dimensions %d/%d/%d", sockets, coresPerSocket, smtPerCore)
+	}
+	t := &Topology{
+		Name:           name,
+		Sockets:        sockets,
+		CoresPerSocket: coresPerSocket,
+		SMTPerCore:     smtPerCore,
+	}
+	adj := make([][]bool, sockets)
+	for i := range adj {
+		adj[i] = make([]bool, sockets)
+	}
+	linkIndex := make(map[Link]LinkID)
+	addLink := func(a, b SocketID) {
+		l := Link{a, b}
+		if _, ok := linkIndex[l]; !ok {
+			linkIndex[l] = LinkID(len(t.links))
+			t.links = append(t.links, l)
+		}
+	}
+	for _, e := range adjacency {
+		a, b := e[0], e[1]
+		if a < 0 || b < 0 || a >= sockets || b >= sockets || a == b {
+			return nil, fmt.Errorf("numa: invalid adjacency entry %v", e)
+		}
+		adj[a][b], adj[b][a] = true, true
+		addLink(SocketID(a), SocketID(b))
+		addLink(SocketID(b), SocketID(a))
+	}
+
+	// BFS shortest paths from every socket.
+	t.hops = make([][]int, sockets)
+	t.route = make([][][]LinkID, sockets)
+	for s := 0; s < sockets; s++ {
+		dist := make([]int, sockets)
+		prev := make([]int, sockets)
+		for i := range dist {
+			dist[i] = -1
+			prev[i] = -1
+		}
+		dist[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for v := 0; v < sockets; v++ {
+				if adj[u][v] && dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					prev[v] = u
+					queue = append(queue, v)
+				}
+			}
+		}
+		t.hops[s] = dist
+		t.route[s] = make([][]LinkID, sockets)
+		for d := 0; d < sockets; d++ {
+			if d == s {
+				continue
+			}
+			if dist[d] < 0 {
+				return nil, fmt.Errorf("numa: socket %d unreachable from %d", d, s)
+			}
+			// Walk back from d to s collecting links, then reverse.
+			var rev []LinkID
+			for v := d; v != s; v = prev[v] {
+				rev = append(rev, linkIndex[Link{SocketID(prev[v]), SocketID(v)}])
+			}
+			path := make([]LinkID, len(rev))
+			for i := range rev {
+				path[i] = rev[len(rev)-1-i]
+			}
+			t.route[s][d] = path
+		}
+	}
+	return t, nil
+}
+
+// Hops returns the number of interconnect hops between two sockets.
+func (t *Topology) Hops(from, to SocketID) int {
+	if from == to {
+		return 0
+	}
+	if from == NoSocket || to == NoSocket {
+		return 1 // interleaved data: treat as average one hop
+	}
+	return t.hops[from][to]
+}
+
+// Route returns the directed links traversed from one socket to another.
+func (t *Topology) Route(from, to SocketID) []LinkID {
+	if from == to || from == NoSocket || to == NoSocket {
+		return nil
+	}
+	return t.route[from][to]
+}
+
+// Links lists all directed interconnect links.
+func (t *Topology) Links() []Link { return t.links }
+
+// MaxHops returns the network diameter in hops.
+func (t *Topology) MaxHops() int {
+	m := 0
+	for i := range t.hops {
+		for _, h := range t.hops[i] {
+			if h > m {
+				m = h
+			}
+		}
+	}
+	return m
+}
+
+// HardwareThreads returns the total number of hardware threads.
+func (t *Topology) HardwareThreads() int {
+	return t.Sockets * t.CoresPerSocket * t.SMTPerCore
+}
+
+// Cores returns the total number of physical cores.
+func (t *Topology) Cores() int { return t.Sockets * t.CoresPerSocket }
+
+// Place maps a worker index to a hardware thread. Workers are spread
+// round-robin across sockets so that small worker counts use the memory
+// bandwidth of all sockets, and the first Cores() workers occupy distinct
+// physical cores before SMT siblings are used — matching how the paper's
+// scalability plots label threads 1..32 "real" and 33..64 "virtual".
+func (t *Topology) Place(worker int) Placement {
+	physical := t.Cores()
+	smt := (worker / physical) % t.SMTPerCore
+	w := worker % physical
+	return Placement{
+		Socket: SocketID(w % t.Sockets),
+		Core:   w / t.Sockets,
+		SMT:    smt,
+	}
+}
+
+// SocketsByDistance returns all sockets ordered by hop distance from the
+// given socket (the socket itself first). Workers steal work in this order,
+// honoring the paper's "steal from closer sockets first".
+func (t *Topology) SocketsByDistance(from SocketID) []SocketID {
+	order := make([]SocketID, 0, t.Sockets)
+	maxH := t.MaxHops()
+	for h := 0; h <= maxH; h++ {
+		for s := 0; s < t.Sockets; s++ {
+			if t.Hops(from, SocketID(s)) == h {
+				order = append(order, SocketID(s))
+			}
+		}
+	}
+	return order
+}
+
+// NehalemEX is the paper's fully-connected 4-socket machine (Fig. 10,
+// left): 4 sockets x 8 cores x 2 SMT = 64 hardware threads, every socket
+// directly connected to every other.
+func NehalemEX() *Topology {
+	t, err := NewTopology("Nehalem EX", 4, 8, 2, [][2]int{
+		{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// SandyBridgeEP is the paper's partially-connected 4-socket machine
+// (Fig. 10, right): a ring where opposite sockets are two hops apart.
+func SandyBridgeEP() *Topology {
+	t, err := NewTopology("Sandy Bridge EP", 4, 8, 2, [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 0},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,171 @@
+package numa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNehalemEXShape(t *testing.T) {
+	topo := NehalemEX()
+	if topo.Sockets != 4 || topo.CoresPerSocket != 8 || topo.SMTPerCore != 2 {
+		t.Fatalf("unexpected dimensions: %+v", topo)
+	}
+	if got := topo.HardwareThreads(); got != 64 {
+		t.Fatalf("HardwareThreads = %d, want 64", got)
+	}
+	if got := topo.Cores(); got != 32 {
+		t.Fatalf("Cores = %d, want 32", got)
+	}
+	// Fully connected: every off-diagonal pair is one hop.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 1
+			if i == j {
+				want = 0
+			}
+			if got := topo.Hops(SocketID(i), SocketID(j)); got != want {
+				t.Errorf("Hops(%d,%d) = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+	if topo.MaxHops() != 1 {
+		t.Errorf("MaxHops = %d, want 1", topo.MaxHops())
+	}
+	// 6 undirected edges -> 12 directed links.
+	if got := len(topo.Links()); got != 12 {
+		t.Errorf("len(Links) = %d, want 12", got)
+	}
+}
+
+func TestSandyBridgeEPShape(t *testing.T) {
+	topo := SandyBridgeEP()
+	// Ring 0-1-2-3-0: opposite sockets are two hops apart.
+	if got := topo.Hops(0, 2); got != 2 {
+		t.Errorf("Hops(0,2) = %d, want 2", got)
+	}
+	if got := topo.Hops(1, 3); got != 2 {
+		t.Errorf("Hops(1,3) = %d, want 2", got)
+	}
+	if got := topo.Hops(0, 1); got != 1 {
+		t.Errorf("Hops(0,1) = %d, want 1", got)
+	}
+	if topo.MaxHops() != 2 {
+		t.Errorf("MaxHops = %d, want 2", topo.MaxHops())
+	}
+	// A two-hop route crosses exactly two links.
+	if got := len(topo.Route(0, 2)); got != 2 {
+		t.Errorf("len(Route(0,2)) = %d, want 2", got)
+	}
+	// 4 undirected edges -> 8 directed links.
+	if got := len(topo.Links()); got != 8 {
+		t.Errorf("len(Links) = %d, want 8", got)
+	}
+}
+
+func TestRouteEndpoints(t *testing.T) {
+	for _, topo := range []*Topology{NehalemEX(), SandyBridgeEP()} {
+		links := topo.Links()
+		for i := 0; i < topo.Sockets; i++ {
+			for j := 0; j < topo.Sockets; j++ {
+				route := topo.Route(SocketID(i), SocketID(j))
+				if i == j {
+					if len(route) != 0 {
+						t.Errorf("%s: Route(%d,%d) nonempty", topo.Name, i, j)
+					}
+					continue
+				}
+				if len(route) != topo.Hops(SocketID(i), SocketID(j)) {
+					t.Errorf("%s: route length %d != hops %d", topo.Name, len(route), topo.Hops(SocketID(i), SocketID(j)))
+				}
+				// The route must form a connected path from i to j.
+				cur := SocketID(i)
+				for _, l := range route {
+					if links[l].From != cur {
+						t.Fatalf("%s: discontinuous route %d->%d", topo.Name, i, j)
+					}
+					cur = links[l].To
+				}
+				if cur != SocketID(j) {
+					t.Fatalf("%s: route %d->%d ends at %d", topo.Name, i, j, cur)
+				}
+			}
+		}
+	}
+}
+
+func TestPlacementProperties(t *testing.T) {
+	topo := NehalemEX()
+	// First Cores() workers occupy distinct physical cores, spread
+	// round-robin across sockets.
+	seen := map[[2]int]bool{}
+	perSocket := make([]int, topo.Sockets)
+	for w := 0; w < topo.Cores(); w++ {
+		p := topo.Place(w)
+		if p.SMT != 0 {
+			t.Fatalf("worker %d: SMT=%d, want 0", w, p.SMT)
+		}
+		key := [2]int{int(p.Socket), p.Core}
+		if seen[key] {
+			t.Fatalf("worker %d: core %v reused", w, key)
+		}
+		seen[key] = true
+		perSocket[p.Socket]++
+	}
+	for s, n := range perSocket {
+		if n != topo.CoresPerSocket {
+			t.Errorf("socket %d has %d workers, want %d", s, n, topo.CoresPerSocket)
+		}
+	}
+	// Workers 32..63 are SMT siblings of 0..31 on the same core.
+	for w := topo.Cores(); w < topo.HardwareThreads(); w++ {
+		p := topo.Place(w)
+		sib := topo.Place(w - topo.Cores())
+		if p.SMT != 1 || p.Socket != sib.Socket || p.Core != sib.Core {
+			t.Errorf("worker %d: placement %+v not SMT sibling of %+v", w, p, sib)
+		}
+	}
+}
+
+func TestSocketsByDistance(t *testing.T) {
+	topo := SandyBridgeEP()
+	order := topo.SocketsByDistance(0)
+	if len(order) != 4 {
+		t.Fatalf("len = %d", len(order))
+	}
+	if order[0] != 0 {
+		t.Errorf("first socket should be self, got %d", order[0])
+	}
+	// Socket 2 (two hops) must come last.
+	if order[3] != 2 {
+		t.Errorf("farthest socket should be 2, got %v", order)
+	}
+}
+
+func TestPlaceIsTotalAndConsistent(t *testing.T) {
+	topo := SandyBridgeEP()
+	f := func(w uint8) bool {
+		p := topo.Place(int(w) % topo.HardwareThreads())
+		return p.Socket >= 0 && int(p.Socket) < topo.Sockets &&
+			p.Core >= 0 && p.Core < topo.CoresPerSocket &&
+			p.SMT >= 0 && p.SMT < topo.SMTPerCore
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewTopologyErrors(t *testing.T) {
+	if _, err := NewTopology("bad", 0, 1, 1, nil); err == nil {
+		t.Error("expected error for zero sockets")
+	}
+	if _, err := NewTopology("bad", 2, 1, 1, [][2]int{{0, 5}}); err == nil {
+		t.Error("expected error for out-of-range adjacency")
+	}
+	if _, err := NewTopology("bad", 2, 1, 1, [][2]int{{0, 0}}); err == nil {
+		t.Error("expected error for self loop")
+	}
+	// Disconnected machine.
+	if _, err := NewTopology("bad", 3, 1, 1, [][2]int{{0, 1}}); err == nil {
+		t.Error("expected error for disconnected topology")
+	}
+}

@@ -1,0 +1,246 @@
+package numa
+
+// Tracker accumulates the data accesses and CPU work of one worker thread
+// and converts them to virtual nanoseconds. A Tracker is owned by exactly
+// one worker and is not safe for concurrent use; the shared congestion
+// state lives in the Machine and is updated with atomics.
+type Tracker struct {
+	machine *Machine
+	worker  int
+	place   Placement
+	speed   float64 // core compute speed factor (SMT sibling active, jitter)
+	// timeScale divides every accrued cost: an unrelated process
+	// time-sharing the core slows compute AND the thread's ability to
+	// issue memory requests (§5.4 interference experiment).
+	timeScale float64
+
+	vtime float64 // virtual nanoseconds accumulated
+
+	// Cumulative statistics.
+	readBytes       int64
+	writeBytes      int64
+	remoteReadBytes int64
+	randLines       int64
+	morsels         int64
+	tuples          int64
+}
+
+// NewTracker creates a tracker for the given worker index. The worker's
+// placement follows Topology.Place.
+func (m *Machine) NewTracker(worker int) *Tracker {
+	return &Tracker{
+		machine:   m,
+		worker:    worker,
+		place:     m.Topo.Place(worker),
+		speed:     1.0,
+		timeScale: 1.0,
+	}
+}
+
+// Worker returns the worker index this tracker belongs to.
+func (t *Tracker) Worker() int { return t.worker }
+
+// Placement returns the simulated hardware thread this worker is pinned to.
+func (t *Tracker) Placement() Placement { return t.place }
+
+// Socket returns the worker's home socket.
+func (t *Tracker) Socket() SocketID { return t.place.Socket }
+
+// Machine returns the machine this tracker records against.
+func (t *Tracker) Machine() *Machine { return t.machine }
+
+// SetSpeed sets the core compute speed factor (1.0 = full speed). The
+// scheduler lowers this when the SMT sibling is active; SMT does not slow
+// memory streaming, so only CPU work is affected.
+func (t *Tracker) SetSpeed(f float64) { t.speed = f }
+
+// SetTimeScale sets the whole-thread slowdown factor: a core time-shared
+// with an unrelated process progresses slower at everything, including
+// issuing memory requests.
+func (t *Tracker) SetTimeScale(f float64) { t.timeScale = f }
+
+// Speed returns the current core speed factor.
+func (t *Tracker) Speed() float64 { return t.speed }
+
+// VTime returns the worker's accumulated virtual time in nanoseconds.
+func (t *Tracker) VTime() float64 { return t.vtime }
+
+// SetVTime overwrites the worker's clock; the simulation runner uses it to
+// advance idle workers to a pipeline's activation time.
+func (t *Tracker) SetVTime(ns float64) { t.vtime = ns }
+
+// Advance adds raw virtual nanoseconds (used for modeled costs that do not
+// correspond to data movement, e.g. serialized dispatcher access).
+func (t *Tracker) Advance(ns float64) { t.vtime += ns / t.timeScale }
+
+// BeginMorselRead registers this worker as an active reader of the given
+// home socket for fabric-congestion purposes. It must be paired with
+// EndMorselRead. The dispatcher brackets each morsel execution with these.
+func (t *Tracker) BeginMorselRead(home SocketID) {
+	t.machine.enterRead(t.place.Socket, home)
+}
+
+// EndMorselRead undoes BeginMorselRead.
+func (t *Tracker) EndMorselRead(home SocketID) {
+	t.machine.exitRead(t.place.Socket, home)
+}
+
+// ReadSeq records a sequential (streaming) read of bytes whose home is the
+// given socket and charges the roofline cost under current congestion.
+func (t *Tracker) ReadSeq(home SocketID, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	cost := t.machine.seqNsPerByte(t.place.Socket, home)
+	t.vtime += float64(bytes) * cost / t.timeScale
+	t.readBytes += bytes
+	if home != t.place.Socket {
+		if home == NoSocket {
+			t.remoteReadBytes += bytes * int64(t.machine.Topo.Sockets-1) / int64(t.machine.Topo.Sockets)
+		} else {
+			t.remoteReadBytes += bytes
+		}
+	}
+	t.machine.accountBytes(t.place.Socket, home, bytes)
+}
+
+// ReadRand records `lines` dependent random cache-line accesses (64 bytes
+// each) to memory on the given socket: hash-table probes and chain
+// traversals. These are latency-bound, not bandwidth-bound.
+func (t *Tracker) ReadRand(home SocketID, lines int64) {
+	if lines <= 0 {
+		return
+	}
+	c := &t.machine.Cost
+	var factor float64
+	if home == NoSocket {
+		// Interleaved structure: accesses hit a pseudo-random socket.
+		var sum float64
+		for s := 0; s < t.machine.Topo.Sockets; s++ {
+			sum += c.randFactor(t.machine.Topo.Hops(t.place.Socket, SocketID(s)))
+		}
+		factor = sum / float64(t.machine.Topo.Sockets)
+	} else {
+		factor = c.randFactor(t.machine.Topo.Hops(t.place.Socket, home))
+	}
+	t.vtime += float64(lines) * c.RandNsPerLine * factor / t.timeScale
+	bytes := lines * 64
+	t.readBytes += bytes
+	t.randLines += lines
+	if home != t.place.Socket {
+		if home == NoSocket {
+			t.remoteReadBytes += bytes * int64(t.machine.Topo.Sockets-1) / int64(t.machine.Topo.Sockets)
+		} else {
+			t.remoteReadBytes += bytes
+		}
+	}
+	t.machine.accountBytes(t.place.Socket, home, bytes)
+}
+
+// WriteSeq records a sequential write. The engine always writes into
+// NUMA-local storage areas (§2), so writes are charged at the local rate
+// and accounted to the worker's own socket.
+func (t *Tracker) WriteSeq(bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	t.vtime += float64(bytes) * t.machine.Cost.WriteNsPerByte / t.timeScale
+	t.writeBytes += bytes
+	t.machine.accountBytes(t.place.Socket, t.place.Socket, bytes)
+}
+
+// WriteRand records random-access writes (e.g. CAS insertion into the
+// interleaved global hash table).
+func (t *Tracker) WriteRand(home SocketID, lines int64) {
+	if lines <= 0 {
+		return
+	}
+	c := &t.machine.Cost
+	var factor float64
+	if home == NoSocket {
+		var sum float64
+		for s := 0; s < t.machine.Topo.Sockets; s++ {
+			sum += c.randFactor(t.machine.Topo.Hops(t.place.Socket, SocketID(s)))
+		}
+		factor = sum / float64(t.machine.Topo.Sockets)
+	} else {
+		factor = c.randFactor(t.machine.Topo.Hops(t.place.Socket, home))
+	}
+	t.vtime += float64(lines) * c.RandNsPerLine * factor / t.timeScale
+	bytes := lines * 64
+	t.writeBytes += bytes
+	t.machine.accountBytes(t.place.Socket, home, bytes)
+}
+
+// CPU charges per-tuple processing work. The weight scales TupleNs for
+// heavier operators (expression chains, aggregation updates). CPU work is
+// the only cost divided by the core speed factor: memory stalls are not
+// helped or hurt much by SMT, compute throughput is.
+func (t *Tracker) CPU(tuples int64, weight float64) {
+	if tuples <= 0 {
+		return
+	}
+	t.vtime += float64(tuples) * weight * t.machine.Cost.TupleNs / (t.speed * t.timeScale)
+	t.tuples += tuples
+}
+
+// CPUUnits charges accumulated tuple-weight units (tuples x weight) in one
+// call; operators accumulate per-morsel and flush once.
+func (t *Tracker) CPUUnits(units float64) {
+	if units <= 0 {
+		return
+	}
+	t.vtime += units * t.machine.Cost.TupleNs / (t.speed * t.timeScale)
+	t.tuples += int64(units)
+}
+
+// MorselStart charges the thread-local part of acquiring one morsel task.
+func (t *Tracker) MorselStart() {
+	t.vtime += t.machine.Cost.MorselOverheadNs / t.timeScale
+	t.morsels++
+}
+
+// Stats is an immutable summary of a tracker's counters.
+type Stats struct {
+	VTimeNs         float64
+	ReadBytes       int64
+	WriteBytes      int64
+	RemoteReadBytes int64
+	RandLines       int64
+	Morsels         int64
+	Tuples          int64
+}
+
+// Stats returns the current counters.
+func (t *Tracker) Stats() Stats {
+	return Stats{
+		VTimeNs:         t.vtime,
+		ReadBytes:       t.readBytes,
+		WriteBytes:      t.writeBytes,
+		RemoteReadBytes: t.remoteReadBytes,
+		RandLines:       t.randLines,
+		Morsels:         t.morsels,
+		Tuples:          t.tuples,
+	}
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(o Stats) {
+	if o.VTimeNs > s.VTimeNs {
+		s.VTimeNs = o.VTimeNs // makespan across workers, not sum
+	}
+	s.ReadBytes += o.ReadBytes
+	s.WriteBytes += o.WriteBytes
+	s.RemoteReadBytes += o.RemoteReadBytes
+	s.RandLines += o.RandLines
+	s.Morsels += o.Morsels
+	s.Tuples += o.Tuples
+}
+
+// RemoteFraction returns the share of read bytes that crossed sockets.
+func (s Stats) RemoteFraction() float64 {
+	if s.ReadBytes == 0 {
+		return 0
+	}
+	return float64(s.RemoteReadBytes) / float64(s.ReadBytes)
+}

@@ -1,0 +1,207 @@
+package numa
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLocalVsRemoteSeqCost(t *testing.T) {
+	m := NehalemEXMachine()
+	local := m.NewTracker(0) // socket 0
+	// Find a worker on socket 1.
+	var remote *Tracker
+	for w := 0; w < m.Topo.HardwareThreads(); w++ {
+		if m.Topo.Place(w).Socket == 1 {
+			remote = m.NewTracker(w)
+			break
+		}
+	}
+	const bytes = 1 << 20
+	local.ReadSeq(0, bytes)
+	remote.ReadSeq(0, bytes)
+	if local.VTime() >= remote.VTime() {
+		t.Errorf("local read (%f ns) should be cheaper than remote read (%f ns)", local.VTime(), remote.VTime())
+	}
+	if local.Stats().RemoteReadBytes != 0 {
+		t.Errorf("local read counted as remote")
+	}
+	if remote.Stats().RemoteReadBytes != bytes {
+		t.Errorf("remote read bytes = %d, want %d", remote.Stats().RemoteReadBytes, bytes)
+	}
+}
+
+func TestTwoHopCostsMoreOnSandyBridge(t *testing.T) {
+	m := SandyBridgeEPMachine()
+	tr := m.NewTracker(0) // socket 0
+	const bytes = 1 << 20
+	tr.ReadSeq(1, bytes) // one hop
+	oneHop := tr.VTime()
+	tr.ReadSeq(2, bytes) // two hops
+	twoHop := tr.VTime() - oneHop
+	if twoHop <= oneHop {
+		t.Errorf("two-hop read (%f) should cost more than one-hop (%f)", twoHop, oneHop)
+	}
+}
+
+func TestSocketCongestion(t *testing.T) {
+	m := NehalemEXMachine()
+	// One uncongested reader.
+	alone := m.NewTracker(0)
+	alone.BeginMorselRead(0)
+	alone.ReadSeq(0, 1<<20)
+	alone.EndMorselRead(0)
+
+	// 16 concurrent readers of socket 0 must each see a higher per-byte
+	// cost than the single reader (controller bandwidth is shared).
+	trackers := make([]*Tracker, 0, 16)
+	for w := 0; len(trackers) < 16 && w < m.Topo.HardwareThreads(); w++ {
+		trackers = append(trackers, m.NewTracker(w))
+	}
+	for _, tr := range trackers {
+		tr.BeginMorselRead(0)
+	}
+	congested := m.NewTracker(0)
+	congested.ReadSeq(0, 1<<20)
+	for _, tr := range trackers {
+		tr.EndMorselRead(0)
+	}
+	if congested.VTime() <= alone.VTime() {
+		t.Errorf("congested read (%f) should cost more than uncongested (%f)", congested.VTime(), alone.VTime())
+	}
+
+	// Congestion state must be fully undone.
+	for i := range m.socketReaders {
+		if v := m.socketReaders[i].Load(); v != 0 {
+			t.Fatalf("socket reader counter leaked: %d", v)
+		}
+	}
+	for i := range m.linkFlows {
+		if v := m.linkFlows[i].Load(); v != 0 {
+			t.Fatalf("link flow counter leaked: %d", v)
+		}
+	}
+}
+
+func TestInterleavedReadSplitsTraffic(t *testing.T) {
+	m := NehalemEXMachine()
+	before := m.Snapshot()
+	tr := m.NewTracker(0)
+	tr.ReadSeq(NoSocket, 4<<20)
+	diff := m.Snapshot().Sub(before)
+	for s, b := range diff.SocketBytes {
+		if b != 1<<20 {
+			t.Errorf("socket %d served %d bytes, want %d", s, b, 1<<20)
+		}
+	}
+	// Roughly 3/4 of the traffic is remote.
+	want := int64(4<<20) * 3 / 4
+	if got := tr.Stats().RemoteReadBytes; got != want {
+		t.Errorf("remote bytes = %d, want %d", got, want)
+	}
+}
+
+func TestRandAccessLatencyBound(t *testing.T) {
+	m := NehalemEXMachine()
+	tr := m.NewTracker(0)
+	tr.ReadRand(0, 1000)
+	wantLocal := 1000 * m.Cost.RandNsPerLine
+	if math.Abs(tr.VTime()-wantLocal) > 1e-6 {
+		t.Errorf("local rand cost = %f, want %f", tr.VTime(), wantLocal)
+	}
+	tr2 := m.NewTracker(0)
+	tr2.ReadRand(1, 1000)
+	if tr2.VTime() <= tr.VTime() {
+		t.Errorf("remote rand (%f) should cost more than local (%f)", tr2.VTime(), tr.VTime())
+	}
+}
+
+func TestCPUSpeedScaling(t *testing.T) {
+	m := NehalemEXMachine()
+	full := m.NewTracker(0)
+	full.CPU(1000, 1)
+	smt := m.NewTracker(0)
+	smt.SetSpeed(m.Cost.SMTSpeed)
+	smt.CPU(1000, 1)
+	ratio := smt.VTime() / full.VTime()
+	want := 1 / m.Cost.SMTSpeed
+	if math.Abs(ratio-want) > 1e-9 {
+		t.Errorf("SMT slowdown ratio = %f, want %f", ratio, want)
+	}
+}
+
+func TestWriteIsLocal(t *testing.T) {
+	m := NehalemEXMachine()
+	var tr *Tracker
+	for w := 0; w < m.Topo.HardwareThreads(); w++ {
+		if m.Topo.Place(w).Socket == 2 {
+			tr = m.NewTracker(w)
+			break
+		}
+	}
+	before := m.Snapshot()
+	tr.WriteSeq(1 << 20)
+	diff := m.Snapshot().Sub(before)
+	if diff.SocketBytes[2] != 1<<20 {
+		t.Errorf("write not accounted to local socket: %v", diff.SocketBytes)
+	}
+	if diff.MaxLinkBytes() != 0 {
+		t.Errorf("local write crossed a link")
+	}
+}
+
+func TestMicroBenchmarkShape(t *testing.T) {
+	// Reproduce the §5.3 micro-benchmark comparison: the local/mix
+	// bandwidth gap must be much larger on Sandy Bridge EP than on
+	// Nehalem EX, and the mix latency penalty likewise.
+	gap := func(m *Machine) (bwRatio, latRatio float64) {
+		local := m.NewTracker(0)
+		local.ReadSeq(0, 1<<24)
+		mix := m.NewTracker(0)
+		// 25% local, 75% spread over the other sockets.
+		mix.ReadSeq(0, 1<<22)
+		for s := 1; s < 4; s++ {
+			mix.ReadSeq(SocketID(s), 1<<22)
+		}
+		bwRatio = mix.VTime() / local.VTime()
+
+		lloc := m.NewTracker(0)
+		lloc.ReadRand(0, 1<<16)
+		lmix := m.NewTracker(0)
+		lmix.ReadRand(0, 1<<14)
+		for s := 1; s < 4; s++ {
+			lmix.ReadRand(SocketID(s), 1<<14)
+		}
+		latRatio = lmix.VTime() / lloc.VTime() * 4 / 4
+		return
+	}
+	nehBW, nehLat := gap(NehalemEXMachine())
+	sbBW, sbLat := gap(SandyBridgeEPMachine())
+	if sbBW <= nehBW {
+		t.Errorf("SB mix/local cost ratio (%f) should exceed Nehalem's (%f)", sbBW, nehBW)
+	}
+	if sbLat <= nehLat {
+		t.Errorf("SB mix/local latency ratio (%f) should exceed Nehalem's (%f)", sbLat, nehLat)
+	}
+}
+
+func TestStatsAddUsesMakespan(t *testing.T) {
+	a := Stats{VTimeNs: 100, ReadBytes: 10}
+	b := Stats{VTimeNs: 50, ReadBytes: 5}
+	a.Add(b)
+	if a.VTimeNs != 100 {
+		t.Errorf("VTimeNs = %f, want makespan 100", a.VTimeNs)
+	}
+	if a.ReadBytes != 15 {
+		t.Errorf("ReadBytes = %d, want 15", a.ReadBytes)
+	}
+}
+
+func TestRemoteFraction(t *testing.T) {
+	s := Stats{ReadBytes: 100, RemoteReadBytes: 25}
+	if got := s.RemoteFraction(); got != 0.25 {
+		t.Errorf("RemoteFraction = %f, want 0.25", got)
+	}
+	if (Stats{}).RemoteFraction() != 0 {
+		t.Error("zero stats should have zero remote fraction")
+	}
+}

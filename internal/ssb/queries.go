@@ -1,0 +1,245 @@
+package ssb
+
+import (
+	"repro/internal/engine"
+)
+
+var (
+	col = engine.Col
+	ci  = engine.ConstI
+	cs  = engine.ConstS
+)
+
+func keys(names ...string) []*engine.Expr {
+	out := make([]*engine.Expr, len(names))
+	for i, n := range names {
+		out[i] = col(n)
+	}
+	return out
+}
+
+// Query is one SSB query (all are single plans).
+type Query struct {
+	ID   string // "1.1" .. "4.3"
+	Plan func(db *DB) *engine.Plan
+}
+
+// Queries returns the 13 SSB queries.
+func Queries() []Query {
+	return []Query{
+		{"1.1", q11}, {"1.2", q12}, {"1.3", q13},
+		{"2.1", q21}, {"2.2", q22}, {"2.3", q23},
+		{"3.1", q31}, {"3.2", q32}, {"3.3", q33}, {"3.4", q34},
+		{"4.1", q41}, {"4.2", q42}, {"4.3", q43},
+	}
+}
+
+// QueryByID returns one query.
+func QueryByID(id string) Query {
+	for _, q := range Queries() {
+		if q.ID == id {
+			return q
+		}
+	}
+	panic("ssb: no such query")
+}
+
+// flight 1: restricted scans of lineorder with a date-dimension semi join
+// and a revenue aggregate.
+func flight1(name string, dateFilter *engine.Expr, loFilter *engine.Expr) func(db *DB) *engine.Plan {
+	return func(db *DB) *engine.Plan {
+		p := engine.NewPlan(name)
+		d := p.Scan(db.Date, "d_datekey", "d_year", "d_yearmonthnum", "d_weeknuminyear").
+			Filter(dateFilter)
+		n := p.Scan(db.Lineorder, "lo_orderdate", "lo_quantity", "lo_discount", "lo_extendedprice").
+			Filter(loFilter).
+			HashJoin(d, engine.JoinSemi, keys("lo_orderdate"), keys("d_datekey")).
+			Map("rev", engine.Mul(col("lo_extendedprice"), engine.ToFloat(col("lo_discount")))).
+			GroupBy(nil, []engine.AggDef{engine.Sum("revenue", col("rev"))})
+		return p.Return(n)
+	}
+}
+
+var q11 = flight1("SSB1.1",
+	engine.Eq(col("d_year"), ci(1993)),
+	engine.And(
+		engine.Between(col("lo_discount"), ci(1), ci(3)),
+		engine.Lt(col("lo_quantity"), ci(25)),
+	))
+
+var q12 = flight1("SSB1.2",
+	engine.Eq(col("d_yearmonthnum"), ci(199401)),
+	engine.And(
+		engine.Between(col("lo_discount"), ci(4), ci(6)),
+		engine.Between(col("lo_quantity"), ci(26), ci(35)),
+	))
+
+var q13 = flight1("SSB1.3",
+	engine.And(
+		engine.Eq(col("d_weeknuminyear"), ci(6)),
+		engine.Eq(col("d_year"), ci(1994)),
+	),
+	engine.And(
+		engine.Between(col("lo_discount"), ci(5), ci(7)),
+		engine.Between(col("lo_quantity"), ci(26), ci(35)),
+	))
+
+// flight 2: lineorder through part, supplier, date; group by year & brand.
+func flight2(name string, partFilter *engine.Expr, suppRegion string) func(db *DB) *engine.Plan {
+	return func(db *DB) *engine.Plan {
+		p := engine.NewPlan(name)
+		part := p.Scan(db.Part, "p_partkey", "p_category", "p_brand1").
+			Filter(partFilter)
+		supp := p.Scan(db.Supplier, "s_suppkey", "s_region").
+			Filter(engine.Eq(col("s_region"), cs(suppRegion)))
+		d := p.Scan(db.Date, "d_datekey", "d_year")
+		n := p.Scan(db.Lineorder, "lo_partkey", "lo_suppkey", "lo_orderdate", "lo_revenue").
+			HashJoin(part, engine.JoinInner, keys("lo_partkey"), keys("p_partkey"), "p_brand1").
+			HashJoin(supp, engine.JoinSemi, keys("lo_suppkey"), keys("s_suppkey")).
+			HashJoin(d, engine.JoinInner, keys("lo_orderdate"), keys("d_datekey"), "d_year").
+			GroupBy(
+				[]engine.NamedExpr{
+					engine.N("d_year", col("d_year")),
+					engine.N("p_brand1", col("p_brand1")),
+				},
+				[]engine.AggDef{engine.Sum("revenue", col("lo_revenue"))})
+		return p.ReturnSorted(n, 0, engine.Asc("d_year"), engine.Asc("p_brand1"))
+	}
+}
+
+var q21 = flight2("SSB2.1", engine.Eq(col("p_category"), cs("MFGR#12")), "AMERICA")
+var q22 = flight2("SSB2.2",
+	engine.Between(col("p_brand1"), cs("MFGR#2221"), cs("MFGR#2228")), "ASIA")
+var q23 = flight2("SSB2.3", engine.Eq(col("p_brand1"), cs("MFGR#2239")), "EUROPE")
+
+// flight 3: customer x supplier geography over a date range.
+func flight3(name string, custFilter, suppFilter, dateFilter *engine.Expr,
+	custGroup, suppGroup string) func(db *DB) *engine.Plan {
+	return func(db *DB) *engine.Plan {
+		p := engine.NewPlan(name)
+		cust := p.Scan(db.Customer, "c_custkey", "c_city", "c_nation", "c_region").
+			Filter(custFilter)
+		supp := p.Scan(db.Supplier, "s_suppkey", "s_city", "s_nation", "s_region").
+			Filter(suppFilter)
+		d := p.Scan(db.Date, "d_datekey", "d_year", "d_yearmonth").
+			Filter(dateFilter)
+		n := p.Scan(db.Lineorder, "lo_custkey", "lo_suppkey", "lo_orderdate", "lo_revenue").
+			HashJoin(cust, engine.JoinInner, keys("lo_custkey"), keys("c_custkey"), custGroup).
+			HashJoin(supp, engine.JoinInner, keys("lo_suppkey"), keys("s_suppkey"), suppGroup).
+			HashJoin(d, engine.JoinInner, keys("lo_orderdate"), keys("d_datekey"), "d_year").
+			GroupBy(
+				[]engine.NamedExpr{
+					engine.N("cgroup", col(custGroup)),
+					engine.N("sgroup", col(suppGroup)),
+					engine.N("d_year", col("d_year")),
+				},
+				[]engine.AggDef{engine.Sum("revenue", col("lo_revenue"))})
+		return p.ReturnSorted(n, 0, engine.Asc("d_year"), engine.Desc("revenue"))
+	}
+}
+
+var q31 = flight3("SSB3.1",
+	engine.Eq(col("c_region"), cs("ASIA")),
+	engine.Eq(col("s_region"), cs("ASIA")),
+	engine.Between(col("d_year"), ci(1992), ci(1997)),
+	"c_nation", "s_nation")
+
+var q32 = flight3("SSB3.2",
+	engine.Eq(col("c_nation"), cs("UNITED STATES")),
+	engine.Eq(col("s_nation"), cs("UNITED STATES")),
+	engine.Between(col("d_year"), ci(1992), ci(1997)),
+	"c_city", "s_city")
+
+var q33 = flight3("SSB3.3",
+	engine.InStr(col("c_city"), "UNITED KI1", "UNITED KI5"),
+	engine.InStr(col("s_city"), "UNITED KI1", "UNITED KI5"),
+	engine.Between(col("d_year"), ci(1992), ci(1997)),
+	"c_city", "s_city")
+
+var q34 = flight3("SSB3.4",
+	engine.InStr(col("c_city"), "UNITED KI1", "UNITED KI5"),
+	engine.InStr(col("s_city"), "UNITED KI1", "UNITED KI5"),
+	engine.Eq(col("d_yearmonth"), cs("Dec1997")),
+	"c_city", "s_city")
+
+// flight 4: profit drill-down across all four dimensions.
+func q41(db *DB) *engine.Plan {
+	p := engine.NewPlan("SSB4.1")
+	cust := p.Scan(db.Customer, "c_custkey", "c_nation", "c_region").
+		Filter(engine.Eq(col("c_region"), cs("AMERICA")))
+	supp := p.Scan(db.Supplier, "s_suppkey", "s_region").
+		Filter(engine.Eq(col("s_region"), cs("AMERICA")))
+	part := p.Scan(db.Part, "p_partkey", "p_mfgr").
+		Filter(engine.InStr(col("p_mfgr"), "MFGR#1", "MFGR#2"))
+	d := p.Scan(db.Date, "d_datekey", "d_year")
+	n := p.Scan(db.Lineorder, "lo_custkey", "lo_suppkey", "lo_partkey",
+		"lo_orderdate", "lo_revenue", "lo_supplycost").
+		HashJoin(cust, engine.JoinInner, keys("lo_custkey"), keys("c_custkey"), "c_nation").
+		HashJoin(supp, engine.JoinSemi, keys("lo_suppkey"), keys("s_suppkey")).
+		HashJoin(part, engine.JoinSemi, keys("lo_partkey"), keys("p_partkey")).
+		HashJoin(d, engine.JoinInner, keys("lo_orderdate"), keys("d_datekey"), "d_year").
+		Map("profit", engine.Sub(col("lo_revenue"), col("lo_supplycost"))).
+		GroupBy(
+			[]engine.NamedExpr{
+				engine.N("d_year", col("d_year")),
+				engine.N("c_nation", col("c_nation")),
+			},
+			[]engine.AggDef{engine.Sum("profit", col("profit"))})
+	return p.ReturnSorted(n, 0, engine.Asc("d_year"), engine.Asc("c_nation"))
+}
+
+func q42(db *DB) *engine.Plan {
+	p := engine.NewPlan("SSB4.2")
+	cust := p.Scan(db.Customer, "c_custkey", "c_region").
+		Filter(engine.Eq(col("c_region"), cs("AMERICA")))
+	supp := p.Scan(db.Supplier, "s_suppkey", "s_nation", "s_region").
+		Filter(engine.Eq(col("s_region"), cs("AMERICA")))
+	part := p.Scan(db.Part, "p_partkey", "p_mfgr", "p_category").
+		Filter(engine.InStr(col("p_mfgr"), "MFGR#1", "MFGR#2"))
+	d := p.Scan(db.Date, "d_datekey", "d_year").
+		Filter(engine.InInt(col("d_year"), 1997, 1998))
+	n := p.Scan(db.Lineorder, "lo_custkey", "lo_suppkey", "lo_partkey",
+		"lo_orderdate", "lo_revenue", "lo_supplycost").
+		HashJoin(cust, engine.JoinSemi, keys("lo_custkey"), keys("c_custkey")).
+		HashJoin(supp, engine.JoinInner, keys("lo_suppkey"), keys("s_suppkey"), "s_nation").
+		HashJoin(part, engine.JoinInner, keys("lo_partkey"), keys("p_partkey"), "p_category").
+		HashJoin(d, engine.JoinInner, keys("lo_orderdate"), keys("d_datekey"), "d_year").
+		Map("profit", engine.Sub(col("lo_revenue"), col("lo_supplycost"))).
+		GroupBy(
+			[]engine.NamedExpr{
+				engine.N("d_year", col("d_year")),
+				engine.N("s_nation", col("s_nation")),
+				engine.N("p_category", col("p_category")),
+			},
+			[]engine.AggDef{engine.Sum("profit", col("profit"))})
+	return p.ReturnSorted(n, 0,
+		engine.Asc("d_year"), engine.Asc("s_nation"), engine.Asc("p_category"))
+}
+
+func q43(db *DB) *engine.Plan {
+	p := engine.NewPlan("SSB4.3")
+	cust := p.Scan(db.Customer, "c_custkey", "c_region").
+		Filter(engine.Eq(col("c_region"), cs("AMERICA")))
+	supp := p.Scan(db.Supplier, "s_suppkey", "s_city", "s_nation").
+		Filter(engine.Eq(col("s_nation"), cs("UNITED STATES")))
+	part := p.Scan(db.Part, "p_partkey", "p_category", "p_brand1").
+		Filter(engine.Eq(col("p_category"), cs("MFGR#14")))
+	d := p.Scan(db.Date, "d_datekey", "d_year").
+		Filter(engine.InInt(col("d_year"), 1997, 1998))
+	n := p.Scan(db.Lineorder, "lo_custkey", "lo_suppkey", "lo_partkey",
+		"lo_orderdate", "lo_revenue", "lo_supplycost").
+		HashJoin(cust, engine.JoinSemi, keys("lo_custkey"), keys("c_custkey")).
+		HashJoin(supp, engine.JoinInner, keys("lo_suppkey"), keys("s_suppkey"), "s_city").
+		HashJoin(part, engine.JoinInner, keys("lo_partkey"), keys("p_partkey"), "p_brand1").
+		HashJoin(d, engine.JoinInner, keys("lo_orderdate"), keys("d_datekey"), "d_year").
+		Map("profit", engine.Sub(col("lo_revenue"), col("lo_supplycost"))).
+		GroupBy(
+			[]engine.NamedExpr{
+				engine.N("d_year", col("d_year")),
+				engine.N("s_city", col("s_city")),
+				engine.N("p_brand1", col("p_brand1")),
+			},
+			[]engine.AggDef{engine.Sum("profit", col("profit"))})
+	return p.ReturnSorted(n, 0,
+		engine.Asc("d_year"), engine.Asc("s_city"), engine.Asc("p_brand1"))
+}

@@ -1,0 +1,81 @@
+package ssb
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/storage"
+)
+
+// Real-concurrency and robustness coverage for the SSB substrate.
+
+func TestSSBUnderRealRunner(t *testing.T) {
+	for _, id := range []string{"1.1", "2.1", "4.1"} {
+		id := id
+		t.Run("Q"+id, func(t *testing.T) {
+			s := testSession()
+			s.Mode = engine.Real
+			s.Dispatch.Workers = 8
+			res, _ := s.Run(QueryByID(id).Plan(testDB))
+			compare(t, id+" real", res, testRef.RefQuery(id))
+		})
+	}
+}
+
+func TestSSBGeneratorDeterminism(t *testing.T) {
+	db2 := Generate(Config{SF: 0.02, Partitions: 16, Sockets: 4, Seed: 5})
+	if db2.Rows() != testDB.Rows() {
+		t.Fatalf("row counts differ: %d vs %d", db2.Rows(), testDB.Rows())
+	}
+	a := testDB.Lineorder.Parts[0].Cols[9].Flts
+	b := db2.Lineorder.Parts[0].Cols[9].Flts
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("revenue %d differs", i)
+		}
+	}
+}
+
+func TestSSBDateDimensionComplete(t *testing.T) {
+	// Every lineorder orderdate must resolve in the date dimension.
+	dates := map[int64]bool{}
+	for _, p := range testDB.Date.Parts {
+		for _, d := range p.Cols[0].Ints {
+			dates[d] = true
+		}
+	}
+	if len(dates) != 2557 { // 1992-01-01 .. 1998-12-31 incl. two leap years
+		t.Fatalf("date dimension has %d days, want 2557", len(dates))
+	}
+	for _, p := range testDB.Lineorder.Parts {
+		for _, d := range p.Cols[5].Ints {
+			if !dates[d] {
+				t.Fatalf("lineorder references missing datekey %d", d)
+			}
+		}
+	}
+}
+
+func TestSSBRevenueConsistent(t *testing.T) {
+	// lo_revenue = lo_extendedprice * (100 - lo_discount)/100, within
+	// cent rounding.
+	for _, l := range testRef.lo {
+		want := l.price * float64(100-l.disc) / 100
+		if diff := l.revenue - want; diff > 0.011 || diff < -0.011 {
+			t.Fatalf("revenue %f, want %f", l.revenue, want)
+		}
+	}
+}
+
+func TestSSBAllQueriesAllPlacements(t *testing.T) {
+	// Results must be placement-invariant for the whole suite.
+	for _, q := range Queries() {
+		base, _ := testSession().Run(q.Plan(testDB))
+		for _, pl := range []storage.Placement{storage.OSDefault, storage.Interleaved} {
+			s := testSession()
+			res, _ := s.Run(q.Plan(testDB.WithPlacement(pl)))
+			compare(t, fmt.Sprintf("%s under %v", q.ID, pl), res, base.Rows())
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package ssb
+
+import (
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/storage"
+)
+
+// Reference implementations of the 13 queries, used as oracles.
+
+type loRow struct {
+	ckey, pkey, skey, odate, qty, disc int64
+	price, revenue, supplycost         float64
+}
+
+type dimRow struct {
+	key                  int64
+	city, nation, region string
+}
+
+type partDim struct {
+	key                   int64
+	mfgr, category, brand string
+}
+
+type dateDim struct {
+	key, year, ymnum, week int64
+	ym                     string
+}
+
+type refDB struct {
+	lo   []loRow
+	cust map[int64]dimRow
+	supp map[int64]dimRow
+	part map[int64]partDim
+	date map[int64]dateDim
+}
+
+func colI(p *storage.Partition, i int) []int64   { return p.Cols[i].Ints }
+func colF(p *storage.Partition, i int) []float64 { return p.Cols[i].Flts }
+func colS(p *storage.Partition, i int) []string  { return p.Cols[i].Strs }
+
+// Ref extracts a row-wise snapshot for the oracles.
+func (db *DB) Ref() *refDB {
+	r := &refDB{
+		cust: map[int64]dimRow{}, supp: map[int64]dimRow{},
+		part: map[int64]partDim{}, date: map[int64]dateDim{},
+	}
+	for _, p := range db.Lineorder.Parts {
+		for i := 0; i < p.Rows(); i++ {
+			r.lo = append(r.lo, loRow{
+				ckey: colI(p, 2)[i], pkey: colI(p, 3)[i], skey: colI(p, 4)[i],
+				odate: colI(p, 5)[i], qty: colI(p, 6)[i], disc: colI(p, 8)[i],
+				price: colF(p, 7)[i], revenue: colF(p, 9)[i], supplycost: colF(p, 10)[i],
+			})
+		}
+	}
+	for _, p := range db.Customer.Parts {
+		for i := 0; i < p.Rows(); i++ {
+			r.cust[colI(p, 0)[i]] = dimRow{
+				key: colI(p, 0)[i], city: colS(p, 2)[i],
+				nation: colS(p, 3)[i], region: colS(p, 4)[i],
+			}
+		}
+	}
+	for _, p := range db.Supplier.Parts {
+		for i := 0; i < p.Rows(); i++ {
+			r.supp[colI(p, 0)[i]] = dimRow{
+				key: colI(p, 0)[i], city: colS(p, 2)[i],
+				nation: colS(p, 3)[i], region: colS(p, 4)[i],
+			}
+		}
+	}
+	for _, p := range db.Part.Parts {
+		for i := 0; i < p.Rows(); i++ {
+			r.part[colI(p, 0)[i]] = partDim{
+				key: colI(p, 0)[i], mfgr: colS(p, 1)[i],
+				category: colS(p, 2)[i], brand: colS(p, 3)[i],
+			}
+		}
+	}
+	for _, p := range db.Date.Parts {
+		for i := 0; i < p.Rows(); i++ {
+			r.date[colI(p, 0)[i]] = dateDim{
+				key: colI(p, 0)[i], year: colI(p, 1)[i],
+				ymnum: colI(p, 2)[i], ym: colS(p, 3)[i], week: colI(p, 4)[i],
+			}
+		}
+	}
+	return r
+}
+
+func iv(i int64) engine.Val   { return engine.Val{I: i} }
+func fv(f float64) engine.Val { return engine.Val{F: f} }
+func sv(s string) engine.Val  { return engine.Val{S: s} }
+
+// RefQuery runs the reference implementation of the given query id.
+func (r *refDB) RefQuery(id string) [][]engine.Val {
+	switch id {
+	case "1.1":
+		return r.flight1(func(d dateDim, l loRow) bool {
+			return d.year == 1993 && l.disc >= 1 && l.disc <= 3 && l.qty < 25
+		})
+	case "1.2":
+		return r.flight1(func(d dateDim, l loRow) bool {
+			return d.ymnum == 199401 && l.disc >= 4 && l.disc <= 6 && l.qty >= 26 && l.qty <= 35
+		})
+	case "1.3":
+		return r.flight1(func(d dateDim, l loRow) bool {
+			return d.week == 6 && d.year == 1994 && l.disc >= 5 && l.disc <= 7 && l.qty >= 26 && l.qty <= 35
+		})
+	case "2.1":
+		return r.flight2(func(p partDim) bool { return p.category == "MFGR#12" }, "AMERICA")
+	case "2.2":
+		return r.flight2(func(p partDim) bool {
+			return p.brand >= "MFGR#2221" && p.brand <= "MFGR#2228"
+		}, "ASIA")
+	case "2.3":
+		return r.flight2(func(p partDim) bool { return p.brand == "MFGR#2239" }, "EUROPE")
+	case "3.1":
+		return r.flight3(
+			func(c dimRow) bool { return c.region == "ASIA" },
+			func(s dimRow) bool { return s.region == "ASIA" },
+			func(d dateDim) bool { return d.year >= 1992 && d.year <= 1997 },
+			func(c dimRow) string { return c.nation }, func(s dimRow) string { return s.nation })
+	case "3.2":
+		return r.flight3(
+			func(c dimRow) bool { return c.nation == "UNITED STATES" },
+			func(s dimRow) bool { return s.nation == "UNITED STATES" },
+			func(d dateDim) bool { return d.year >= 1992 && d.year <= 1997 },
+			func(c dimRow) string { return c.city }, func(s dimRow) string { return s.city })
+	case "3.3":
+		return r.flight3(ukCity, ukCity,
+			func(d dateDim) bool { return d.year >= 1992 && d.year <= 1997 },
+			func(c dimRow) string { return c.city }, func(s dimRow) string { return s.city })
+	case "3.4":
+		return r.flight3(ukCity, ukCity,
+			func(d dateDim) bool { return d.ym == "Dec1997" },
+			func(c dimRow) string { return c.city }, func(s dimRow) string { return s.city })
+	case "4.1":
+		return r.q41()
+	case "4.2":
+		return r.q42()
+	case "4.3":
+		return r.q43()
+	default:
+		panic("ssb: no reference for query " + id)
+	}
+}
+
+func ukCity(d dimRow) bool { return d.city == "UNITED KI1" || d.city == "UNITED KI5" }
+
+func (r *refDB) flight1(pred func(dateDim, loRow) bool) [][]engine.Val {
+	var rev float64
+	for _, l := range r.lo {
+		if pred(r.date[l.odate], l) {
+			rev += l.price * float64(l.disc)
+		}
+	}
+	return [][]engine.Val{{fv(rev)}}
+}
+
+func (r *refDB) flight2(partPred func(partDim) bool, region string) [][]engine.Val {
+	type key struct {
+		year  int64
+		brand string
+	}
+	m := map[key]float64{}
+	for _, l := range r.lo {
+		p := r.part[l.pkey]
+		if !partPred(p) || r.supp[l.skey].region != region {
+			continue
+		}
+		m[key{r.date[l.odate].year, p.brand}] += l.revenue
+	}
+	var out [][]engine.Val
+	for k, v := range m {
+		out = append(out, []engine.Val{iv(k.year), sv(k.brand), fv(v)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0].I != out[j][0].I {
+			return out[i][0].I < out[j][0].I
+		}
+		return out[i][1].S < out[j][1].S
+	})
+	return out
+}
+
+func (r *refDB) flight3(custPred, suppPred func(dimRow) bool, datePred func(dateDim) bool,
+	custGroup, suppGroup func(dimRow) string) [][]engine.Val {
+	type key struct {
+		cg, sg string
+		year   int64
+	}
+	m := map[key]float64{}
+	for _, l := range r.lo {
+		c, s, d := r.cust[l.ckey], r.supp[l.skey], r.date[l.odate]
+		if !custPred(c) || !suppPred(s) || !datePred(d) {
+			continue
+		}
+		m[key{custGroup(c), suppGroup(s), d.year}] += l.revenue
+	}
+	var out [][]engine.Val
+	for k, v := range m {
+		out = append(out, []engine.Val{sv(k.cg), sv(k.sg), iv(k.year), fv(v)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][2].I != out[j][2].I {
+			return out[i][2].I < out[j][2].I
+		}
+		return out[i][3].F > out[j][3].F
+	})
+	return out
+}
+
+func (r *refDB) q41() [][]engine.Val {
+	type key struct {
+		year   int64
+		nation string
+	}
+	m := map[key]float64{}
+	for _, l := range r.lo {
+		c, s, p := r.cust[l.ckey], r.supp[l.skey], r.part[l.pkey]
+		if c.region != "AMERICA" || s.region != "AMERICA" ||
+			(p.mfgr != "MFGR#1" && p.mfgr != "MFGR#2") {
+			continue
+		}
+		m[key{r.date[l.odate].year, c.nation}] += l.revenue - l.supplycost
+	}
+	var out [][]engine.Val
+	for k, v := range m {
+		out = append(out, []engine.Val{iv(k.year), sv(k.nation), fv(v)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0].I != out[j][0].I {
+			return out[i][0].I < out[j][0].I
+		}
+		return out[i][1].S < out[j][1].S
+	})
+	return out
+}
+
+func (r *refDB) q42() [][]engine.Val {
+	type key struct {
+		year     int64
+		nation   string
+		category string
+	}
+	m := map[key]float64{}
+	for _, l := range r.lo {
+		c, s, p, d := r.cust[l.ckey], r.supp[l.skey], r.part[l.pkey], r.date[l.odate]
+		if c.region != "AMERICA" || s.region != "AMERICA" ||
+			(p.mfgr != "MFGR#1" && p.mfgr != "MFGR#2") ||
+			(d.year != 1997 && d.year != 1998) {
+			continue
+		}
+		m[key{d.year, s.nation, p.category}] += l.revenue - l.supplycost
+	}
+	var out [][]engine.Val
+	for k, v := range m {
+		out = append(out, []engine.Val{iv(k.year), sv(k.nation), sv(k.category), fv(v)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a[0].I != b[0].I {
+			return a[0].I < b[0].I
+		}
+		if a[1].S != b[1].S {
+			return a[1].S < b[1].S
+		}
+		return a[2].S < b[2].S
+	})
+	return out
+}
+
+func (r *refDB) q43() [][]engine.Val {
+	type key struct {
+		year        int64
+		city, brand string
+	}
+	m := map[key]float64{}
+	for _, l := range r.lo {
+		c, s, p, d := r.cust[l.ckey], r.supp[l.skey], r.part[l.pkey], r.date[l.odate]
+		if c.region != "AMERICA" || s.nation != "UNITED STATES" ||
+			p.category != "MFGR#14" || (d.year != 1997 && d.year != 1998) {
+			continue
+		}
+		m[key{d.year, s.city, p.brand}] += l.revenue - l.supplycost
+	}
+	var out [][]engine.Val
+	for k, v := range m {
+		out = append(out, []engine.Val{iv(k.year), sv(k.city), sv(k.brand), fv(v)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a[0].I != b[0].I {
+			return a[0].I < b[0].I
+		}
+		if a[1].S != b[1].S {
+			return a[1].S < b[1].S
+		}
+		return a[2].S < b[2].S
+	})
+	return out
+}

@@ -1,0 +1,147 @@
+package ssb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/numa"
+	"repro/internal/storage"
+)
+
+var testDB = Generate(Config{SF: 0.02, Partitions: 16, Sockets: 4, Seed: 5})
+var testRef = testDB.Ref()
+
+func testSession() *engine.Session {
+	s := engine.NewSession(numa.NehalemEXMachine())
+	s.Mode = engine.Sim
+	s.Dispatch.Workers = 16
+	s.Dispatch.MorselRows = 2000
+	return s
+}
+
+func canon(schema []engine.Reg, row []engine.Val) string {
+	var b strings.Builder
+	for i, v := range row {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		switch schema[i].Type {
+		case engine.TInt:
+			fmt.Fprintf(&b, "%d", v.I)
+		case engine.TFloat:
+			fmt.Fprintf(&b, "%.3f", v.F)
+		default:
+			b.WriteString(v.S)
+		}
+	}
+	return b.String()
+}
+
+func compare(t *testing.T, label string, got *engine.Result, want [][]engine.Val) {
+	t.Helper()
+	g := got.Rows()
+	if len(g) != len(want) {
+		t.Fatalf("%s: got %d rows, want %d", label, len(g), len(want))
+	}
+	schema := got.Schema
+	gs := append([][]engine.Val{}, g...)
+	ws := append([][]engine.Val{}, want...)
+	sort.Slice(gs, func(a, b int) bool { return canon(schema, gs[a]) < canon(schema, gs[b]) })
+	sort.Slice(ws, func(a, b int) bool { return canon(schema, ws[a]) < canon(schema, ws[b]) })
+	for i := range gs {
+		for c := range gs[i] {
+			switch schema[c].Type {
+			case engine.TInt:
+				if gs[i][c].I != ws[i][c].I {
+					t.Fatalf("%s row %d col %d: %d vs %d", label, i, c, gs[i][c].I, ws[i][c].I)
+				}
+			case engine.TFloat:
+				d := math.Abs(gs[i][c].F - ws[i][c].F)
+				if d > 1e-6*math.Max(1, math.Abs(ws[i][c].F)) {
+					t.Fatalf("%s row %d col %d: %g vs %g", label, i, c, gs[i][c].F, ws[i][c].F)
+				}
+			default:
+				if gs[i][c].S != ws[i][c].S {
+					t.Fatalf("%s row %d col %d: %q vs %q", label, i, c, gs[i][c].S, ws[i][c].S)
+				}
+			}
+		}
+	}
+}
+
+func TestAllSSBQueriesAgainstReference(t *testing.T) {
+	for _, q := range Queries() {
+		q := q
+		t.Run("Q"+q.ID, func(t *testing.T) {
+			s := testSession()
+			res, stats := s.Run(q.Plan(testDB))
+			compare(t, q.ID, res, testRef.RefQuery(q.ID))
+			if stats.TimeNs <= 0 {
+				t.Errorf("no time recorded")
+			}
+		})
+	}
+}
+
+func TestSSBQueriesNonEmpty(t *testing.T) {
+	for _, q := range Queries() {
+		s := testSession()
+		res, _ := s.Run(q.Plan(testDB))
+		if res.NumRows() == 0 {
+			t.Errorf("Q%s: zero rows; generator selectivities off", q.ID)
+		}
+	}
+}
+
+func TestSSBFactDominatesDimensions(t *testing.T) {
+	// The paper's SSB observation: most data comes from the fact table,
+	// which is read NUMA-locally. Check the cardinality shape.
+	dims := testDB.Date.Rows() + testDB.Customer.Rows() +
+		testDB.Supplier.Rows() + testDB.Part.Rows()
+	if testDB.Lineorder.Rows() < 5*dims {
+		t.Errorf("lineorder (%d) should dwarf dimensions (%d)", testDB.Lineorder.Rows(), dims)
+	}
+}
+
+func TestSSBInvarianceAcrossPlacements(t *testing.T) {
+	q := QueryByID("2.1")
+	base, _ := testSession().Run(q.Plan(testDB))
+	for _, pl := range []storage.Placement{storage.OSDefault, storage.Interleaved} {
+		s := testSession()
+		res, _ := s.Run(q.Plan(testDB.WithPlacement(pl)))
+		compare(t, fmt.Sprintf("2.1 under %v", pl), res, base.Rows())
+	}
+}
+
+func TestSSBRemoteFractionLowWhenNUMAAware(t *testing.T) {
+	// Table 3's "remote" column is low because the fact table is read
+	// locally. Verify the same in our model.
+	s := testSession()
+	s.Dispatch.Workers = 32
+	_, stats := s.Run(QueryByID("1.1").Plan(testDB))
+	if pct := stats.RemotePct(); pct > 35 {
+		t.Errorf("remote read fraction %.1f%%, want mostly local", pct)
+	}
+}
+
+func TestDateKeyEncoding(t *testing.T) {
+	if got := datekey(engine.ParseDate("1994-02-01")); got != 19940201 {
+		t.Errorf("datekey = %d, want 19940201", got)
+	}
+	if got := datekey(engine.ParseDate("1998-12-31")); got != 19981231 {
+		t.Errorf("datekey = %d, want 19981231", got)
+	}
+}
+
+func TestCityFormat(t *testing.T) {
+	if got := city("UNITED KINGDOM", 1); got != "UNITED KI1" {
+		t.Errorf("city = %q, want %q", got, "UNITED KI1")
+	}
+	if got := city("PERU", 3); got != "PERU     3" {
+		t.Errorf("city = %q, want %q", got, "PERU     3")
+	}
+}

@@ -1,0 +1,87 @@
+package storage
+
+import "repro/internal/numa"
+
+// Area is a per-worker, NUMA-local storage area: the temporary buffer a
+// pipeline writes its results into (§2). Each worker owns exactly one
+// area per pipeline, so writing requires no synchronization, and the area
+// is allocated on the worker's socket so writes stay local. A red morsel
+// processed by a blue core "turns blue": results live where they were
+// produced, not where the input came from.
+type Area struct {
+	Home   numa.SocketID
+	Worker int
+	Cols   []*Column
+}
+
+// NewArea creates an empty area with the given schema.
+func NewArea(schema Schema, home numa.SocketID, worker int) *Area {
+	cols := make([]*Column, len(schema))
+	for i, d := range schema {
+		cols[i] = NewColumn(d.Name, d.Type)
+	}
+	return &Area{Home: home, Worker: worker, Cols: cols}
+}
+
+// Rows returns the number of rows written so far.
+func (a *Area) Rows() int {
+	if len(a.Cols) == 0 {
+		return 0
+	}
+	return a.Cols[0].Len()
+}
+
+// AreaSet is the collection of per-worker areas of one pipeline sink.
+type AreaSet struct {
+	Schema Schema
+	Areas  []*Area // indexed by worker id; nil until the worker writes
+}
+
+// NewAreaSet creates an area set for up to nWorkers workers.
+func NewAreaSet(schema Schema, nWorkers int) *AreaSet {
+	return &AreaSet{Schema: schema, Areas: make([]*Area, nWorkers)}
+}
+
+// ForWorker returns (creating on first use) the worker's area. Safe
+// without locks because each slot is touched by exactly one worker.
+func (s *AreaSet) ForWorker(worker int, home numa.SocketID) *Area {
+	a := s.Areas[worker]
+	if a == nil {
+		a = NewArea(s.Schema, home, worker)
+		s.Areas[worker] = a
+	}
+	return a
+}
+
+// TotalRows sums the rows of all areas — the exact size of the pipeline's
+// result, known only after the pipeline completes. The hash-join build
+// uses it to create a perfectly sized hash table (§4.1).
+func (s *AreaSet) TotalRows() int {
+	n := 0
+	for _, a := range s.Areas {
+		if a != nil {
+			n += a.Rows()
+		}
+	}
+	return n
+}
+
+// Partitions re-fragments the areas into partitions for the next
+// pipeline: each non-empty area becomes one partition homed where it was
+// written. The dispatcher then cuts homogeneous morsels from these
+// partitions on demand, so succeeding pipelines start with freshly sized
+// morsels instead of inheriting skewed boundaries (§2).
+func (s *AreaSet) Partitions() []*Partition {
+	var parts []*Partition
+	for _, a := range s.Areas {
+		if a != nil && a.Rows() > 0 {
+			parts = append(parts, &Partition{Home: a.Home, Worker: a.Worker, Cols: a.Cols})
+		}
+	}
+	return parts
+}
+
+// Table wraps the areas as an anonymous intermediate table.
+func (s *AreaSet) Table(name string) *Table {
+	return &Table{Name: name, Schema: s.Schema, Parts: s.Partitions()}
+}

@@ -1,0 +1,172 @@
+package storage
+
+import (
+	"fmt"
+	"hash/maphash"
+
+	"repro/internal/numa"
+)
+
+// Placement selects how a table's partitions are assigned home sockets,
+// reproducing the three strategies compared in §5.3 of the paper.
+type Placement int
+
+const (
+	// NUMAAware spreads partitions round-robin across sockets; combined
+	// with hash partitioning on an "important" attribute this is the
+	// paper's co-location scheme (§4.3).
+	NUMAAware Placement = iota
+	// OSDefault places every partition on socket 0, modeling the
+	// paper's observation that the OS leaves all data on the node of
+	// the single thread that loaded it (§5.3 footnote).
+	OSDefault
+	// Interleaved spreads every page round-robin over all nodes, so no
+	// access is local and none is pessimally concentrated.
+	Interleaved
+)
+
+func (p Placement) String() string {
+	switch p {
+	case NUMAAware:
+		return "NUMA-aware"
+	case OSDefault:
+		return "OS default"
+	case Interleaved:
+		return "interleaved"
+	default:
+		return fmt.Sprintf("Placement(%d)", int(p))
+	}
+}
+
+// Table is a named relation stored as a set of partitions.
+type Table struct {
+	Name   string
+	Schema Schema
+	Parts  []*Partition
+}
+
+// Rows returns the total row count across partitions.
+func (t *Table) Rows() int {
+	n := 0
+	for _, p := range t.Parts {
+		n += p.Rows()
+	}
+	return n
+}
+
+// Col returns the schema index of the named column (panics if unknown).
+func (t *Table) Col(name string) int { return t.Schema.MustIndex(name) }
+
+// WithPlacement returns a shallow view of the table whose partitions are
+// re-homed according to the policy. Data is shared: only the home-socket
+// tags differ, exactly as re-running numactl with a different policy would
+// leave the bytes identical but move the pages.
+func (t *Table) WithPlacement(policy Placement, sockets int) *Table {
+	nt := &Table{Name: t.Name, Schema: t.Schema, Parts: make([]*Partition, len(t.Parts))}
+	for i, p := range t.Parts {
+		np := &Partition{Worker: p.Worker, Cols: p.Cols}
+		switch policy {
+		case NUMAAware:
+			np.Home = numa.SocketID(i % sockets)
+		case OSDefault:
+			np.Home = 0
+		case Interleaved:
+			np.Home = numa.NoSocket
+		}
+		nt.Parts[i] = np
+	}
+	return nt
+}
+
+// Builder accumulates rows and produces a hash-partitioned table.
+type Builder struct {
+	name   string
+	schema Schema
+	parts  []*Partition
+	nparts int
+	keyCol int // schema index of the partitioning attribute, -1 = round robin
+	seed   maphash.Seed
+	next   int // round-robin cursor
+}
+
+// NewBuilder creates a table builder with nparts partitions, partitioned
+// by hash of the named key column ("" = round-robin). The paper
+// partitions each relation into 64 partitions using the first attribute
+// of the primary key (§5.1).
+func NewBuilder(name string, schema Schema, nparts int, keyCol string) *Builder {
+	if nparts <= 0 {
+		panic("storage: nparts must be positive")
+	}
+	b := &Builder{
+		name:   name,
+		schema: schema,
+		nparts: nparts,
+		keyCol: -1,
+		seed:   maphash.MakeSeed(),
+	}
+	if keyCol != "" {
+		b.keyCol = schema.MustIndex(keyCol)
+	}
+	b.parts = make([]*Partition, nparts)
+	for i := range b.parts {
+		cols := make([]*Column, len(schema))
+		for j, d := range schema {
+			cols[j] = NewColumn(d.Name, d.Type)
+		}
+		b.parts[i] = &Partition{Worker: -1, Cols: cols}
+	}
+	return b
+}
+
+// PartitionOfKey returns the partition a given integer key maps to. The
+// same function is used by the engine to exploit co-location.
+func PartitionOfKey(key int64, nparts int) int {
+	// Fibonacci hashing: cheap, well-spread for sequential keys.
+	h := uint64(key) * 0x9E3779B97F4A7C15
+	return int(h % uint64(nparts))
+}
+
+// Row is one tuple in insertion order matching the schema: int64 for I64,
+// float64 for F64, string for Str.
+type Row []any
+
+// Append adds a row, routing it to its hash partition.
+func (b *Builder) Append(row Row) {
+	if len(row) != len(b.schema) {
+		panic(fmt.Sprintf("storage: row has %d values, schema has %d", len(row), len(b.schema)))
+	}
+	var pi int
+	if b.keyCol >= 0 {
+		switch v := row[b.keyCol].(type) {
+		case int64:
+			pi = PartitionOfKey(v, b.nparts)
+		case string:
+			var h maphash.Hash
+			h.SetSeed(b.seed)
+			h.WriteString(v)
+			pi = int(h.Sum64() % uint64(b.nparts))
+		default:
+			panic(fmt.Sprintf("storage: unsupported partition key type %T", v))
+		}
+	} else {
+		pi = b.next
+		b.next = (b.next + 1) % b.nparts
+	}
+	cols := b.parts[pi].Cols
+	for j, v := range row {
+		switch b.schema[j].Type {
+		case I64:
+			cols[j].AppendI64(v.(int64))
+		case F64:
+			cols[j].AppendF64(v.(float64))
+		default:
+			cols[j].AppendStr(v.(string))
+		}
+	}
+}
+
+// Build finalizes the table with the given placement over `sockets` nodes.
+func (b *Builder) Build(policy Placement, sockets int) *Table {
+	t := &Table{Name: b.name, Schema: b.schema, Parts: b.parts}
+	return t.WithPlacement(policy, sockets)
+}

@@ -1,0 +1,398 @@
+// Package tpch implements the TPC-H substrate the paper evaluates on: a
+// deterministic in-memory data generator with the schema, key structure,
+// value domains and selectivities the 22 benchmark queries depend on, the
+// 22 queries as hand-built physical plans over the engine's plan API
+// (hash joins everywhere, no indexes — the paper's ad-hoc setting, §5.1),
+// and independent single-threaded reference implementations used as
+// correctness oracles.
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/storage"
+)
+
+// Config controls data generation.
+type Config struct {
+	// SF is the scale factor; SF 1 is ~6M lineitems. Tests use 0.01-0.05.
+	SF float64
+	// Partitions per table (the paper uses 64, §5.1).
+	Partitions int
+	// Sockets of the target machine (for NUMA-aware placement).
+	Sockets int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DB holds the eight TPC-H relations.
+type DB struct {
+	Cfg      Config
+	Region   *storage.Table
+	Nation   *storage.Table
+	Supplier *storage.Table
+	Customer *storage.Table
+	Part     *storage.Table
+	PartSupp *storage.Table
+	Orders   *storage.Table
+	Lineitem *storage.Table
+}
+
+// WithPlacement returns a view of the database under a different NUMA
+// placement policy (data shared, homes changed).
+func (db *DB) WithPlacement(p storage.Placement) *DB {
+	n := *db
+	s := db.Cfg.Sockets
+	n.Region = db.Region.WithPlacement(p, s)
+	n.Nation = db.Nation.WithPlacement(p, s)
+	n.Supplier = db.Supplier.WithPlacement(p, s)
+	n.Customer = db.Customer.WithPlacement(p, s)
+	n.Part = db.Part.WithPlacement(p, s)
+	n.PartSupp = db.PartSupp.WithPlacement(p, s)
+	n.Orders = db.Orders.WithPlacement(p, s)
+	n.Lineitem = db.Lineitem.WithPlacement(p, s)
+	return &n
+}
+
+// Rows returns the total row count over all relations.
+func (db *DB) Rows() int {
+	return db.Region.Rows() + db.Nation.Rows() + db.Supplier.Rows() +
+		db.Customer.Rows() + db.Part.Rows() + db.PartSupp.Rows() +
+		db.Orders.Rows() + db.Lineitem.Rows()
+}
+
+var regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+// nations maps the 25 standard TPC-H nations to their regions.
+var nations = []struct {
+	name   string
+	region int
+}{
+	{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1},
+	{"EGYPT", 4}, {"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3},
+	{"INDIA", 2}, {"INDONESIA", 2}, {"IRAN", 4}, {"IRAQ", 4},
+	{"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0}, {"MOROCCO", 0},
+	{"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+	{"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3},
+	{"UNITED KINGDOM", 3}, {"UNITED STATES", 1},
+}
+
+// p_name words (TPC-H's color list subset; includes the words queries
+// filter on: green for Q9, forest for Q20).
+var nameWords = []string{
+	"almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+	"blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+	"chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+	"dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+	"frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+	"hot", "hotpink", "indian", "ivory", "khaki", "lace", "lavender", "lawn",
+	"lemon", "light", "lime", "linen", "magenta", "maroon", "medium", "metallic",
+	"midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange",
+	"orchid", "pale", "papaya", "peach", "peru", "pink", "plum", "powder",
+	"puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
+	"sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring",
+	"steel", "tan", "thistle", "tomato", "turquoise", "violet", "wheat",
+	"white", "yellow",
+}
+
+var typeSyl1 = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+var typeSyl2 = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+var typeSyl3 = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+
+var containerSyl1 = []string{"SM", "LG", "MED", "JUMBO", "WRAP"}
+var containerSyl2 = []string{"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"}
+
+var segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+var priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+var shipInstructs = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+var shipModes = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+
+var commentWords = []string{
+	"furiously", "slyly", "carefully", "blithely", "quickly", "fluffily",
+	"final", "express", "regular", "bold", "ironic", "pending", "even",
+	"special", "requests", "deposits", "packages", "accounts", "theodolites",
+	"instructions", "dependencies", "foxes", "pinto", "beans", "ideas",
+	"platelets", "sleep", "wake", "cajole", "nag", "haggle", "detect",
+	"engage", "integrate", "boost", "doze", "along", "among", "above",
+}
+
+// currentDate is TPC-H's CURRENTDATE constant (1995-06-17) used to derive
+// l_returnflag and l_linestatus.
+var currentDate = engine.ParseDate("1995-06-17")
+
+const (
+	startDate = "1992-01-01"
+	// Orders span startDate .. endDate-151d so all derived lineitem
+	// dates stay before 1998-12-31.
+	orderDateRange = 2405 // days: 1992-01-01 .. 1998-08-02
+)
+
+func comment(rng *rand.Rand, minW, maxW int) string {
+	n := minW + rng.Intn(maxW-minW+1)
+	s := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			s += " "
+		}
+		s += commentWords[rng.Intn(len(commentWords))]
+	}
+	return s
+}
+
+func phone(rng *rand.Rand, nationkey int64) string {
+	return fmt.Sprintf("%d-%03d-%03d-%04d", 10+nationkey,
+		100+rng.Intn(900), 100+rng.Intn(900), 1000+rng.Intn(9000))
+}
+
+func money(rng *rand.Rand, lo, hi float64) float64 {
+	cents := int64(lo*100) + rng.Int63n(int64((hi-lo)*100)+1)
+	return float64(cents) / 100
+}
+
+// retailPrice follows the TPC-H formula shape.
+func retailPrice(partkey int64) float64 {
+	return float64(90000+((partkey/10)%20001)+100*(partkey%1000)) / 100
+}
+
+// Generate builds a deterministic TPC-H database.
+func Generate(cfg Config) *DB {
+	if cfg.SF <= 0 {
+		cfg.SF = 0.01
+	}
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 16
+	}
+	if cfg.Sockets <= 0 {
+		cfg.Sockets = 4
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	db := &DB{Cfg: cfg}
+	base := engine.ParseDate(startDate)
+
+	nSupp := maxInt(int(10000*cfg.SF), 10)
+	nCust := maxInt(int(150000*cfg.SF), 30)
+	nPart := maxInt(int(200000*cfg.SF), 40)
+	nOrd := maxInt(int(1500000*cfg.SF), 150)
+
+	// ---- region / nation.
+	rb := storage.NewBuilder("region", storage.Schema{
+		{Name: "r_regionkey", Type: storage.I64},
+		{Name: "r_name", Type: storage.Str},
+	}, 1, "")
+	for i, r := range regions {
+		rb.Append(storage.Row{int64(i), r})
+	}
+	db.Region = rb.Build(storage.NUMAAware, cfg.Sockets)
+
+	nb := storage.NewBuilder("nation", storage.Schema{
+		{Name: "n_nationkey", Type: storage.I64},
+		{Name: "n_name", Type: storage.Str},
+		{Name: "n_regionkey", Type: storage.I64},
+	}, 1, "")
+	for i, n := range nations {
+		nb.Append(storage.Row{int64(i), n.name, int64(n.region)})
+	}
+	db.Nation = nb.Build(storage.NUMAAware, cfg.Sockets)
+
+	// ---- supplier.
+	sb := storage.NewBuilder("supplier", storage.Schema{
+		{Name: "s_suppkey", Type: storage.I64},
+		{Name: "s_name", Type: storage.Str},
+		{Name: "s_address", Type: storage.Str},
+		{Name: "s_nationkey", Type: storage.I64},
+		{Name: "s_phone", Type: storage.Str},
+		{Name: "s_acctbal", Type: storage.F64},
+		{Name: "s_comment", Type: storage.Str},
+	}, cfg.Partitions, "s_suppkey")
+	for k := int64(1); k <= int64(nSupp); k++ {
+		nk := int64(rng.Intn(25))
+		c := comment(rng, 6, 14)
+		// TPC-H plants "Customer ... Complaints" into ~5 per 10000
+		// supplier comments (Q16's anti-join predicate).
+		if rng.Intn(2000) == 0 {
+			c = "Customer " + c + " Complaints"
+		}
+		sb.Append(storage.Row{
+			k, fmt.Sprintf("Supplier#%09d", k), comment(rng, 2, 4), nk,
+			phone(rng, nk), money(rng, -999.99, 9999.99), c,
+		})
+	}
+	db.Supplier = sb.Build(storage.NUMAAware, cfg.Sockets)
+
+	// ---- customer.
+	cb := storage.NewBuilder("customer", storage.Schema{
+		{Name: "c_custkey", Type: storage.I64},
+		{Name: "c_name", Type: storage.Str},
+		{Name: "c_address", Type: storage.Str},
+		{Name: "c_nationkey", Type: storage.I64},
+		{Name: "c_phone", Type: storage.Str},
+		{Name: "c_acctbal", Type: storage.F64},
+		{Name: "c_mktsegment", Type: storage.Str},
+		{Name: "c_comment", Type: storage.Str},
+	}, cfg.Partitions, "c_custkey")
+	for k := int64(1); k <= int64(nCust); k++ {
+		nk := int64(rng.Intn(25))
+		cb.Append(storage.Row{
+			k, fmt.Sprintf("Customer#%09d", k), comment(rng, 2, 4), nk,
+			phone(rng, nk), money(rng, -999.99, 9999.99),
+			segments[rng.Intn(len(segments))], comment(rng, 6, 12),
+		})
+	}
+	db.Customer = cb.Build(storage.NUMAAware, cfg.Sockets)
+
+	// ---- part.
+	pb := storage.NewBuilder("part", storage.Schema{
+		{Name: "p_partkey", Type: storage.I64},
+		{Name: "p_name", Type: storage.Str},
+		{Name: "p_mfgr", Type: storage.Str},
+		{Name: "p_brand", Type: storage.Str},
+		{Name: "p_type", Type: storage.Str},
+		{Name: "p_size", Type: storage.I64},
+		{Name: "p_container", Type: storage.Str},
+		{Name: "p_retailprice", Type: storage.F64},
+	}, cfg.Partitions, "p_partkey")
+	for k := int64(1); k <= int64(nPart); k++ {
+		name := ""
+		for i := 0; i < 5; i++ {
+			if i > 0 {
+				name += " "
+			}
+			name += nameWords[rng.Intn(len(nameWords))]
+		}
+		m := 1 + rng.Intn(5)
+		pb.Append(storage.Row{
+			k, name,
+			fmt.Sprintf("Manufacturer#%d", m),
+			fmt.Sprintf("Brand#%d%d", m, 1+rng.Intn(5)),
+			typeSyl1[rng.Intn(6)] + " " + typeSyl2[rng.Intn(5)] + " " + typeSyl3[rng.Intn(5)],
+			int64(1 + rng.Intn(50)),
+			containerSyl1[rng.Intn(5)] + " " + containerSyl2[rng.Intn(8)],
+			retailPrice(k),
+		})
+	}
+	db.Part = pb.Build(storage.NUMAAware, cfg.Sockets)
+
+	// ---- partsupp: 4 suppliers per part (TPC-H's spread formula).
+	psb := storage.NewBuilder("partsupp", storage.Schema{
+		{Name: "ps_partkey", Type: storage.I64},
+		{Name: "ps_suppkey", Type: storage.I64},
+		{Name: "ps_availqty", Type: storage.I64},
+		{Name: "ps_supplycost", Type: storage.F64},
+	}, cfg.Partitions, "ps_partkey")
+	for k := int64(1); k <= int64(nPart); k++ {
+		for i := int64(0); i < 4; i++ {
+			sk := (k+i*(int64(nSupp)/4+1))%int64(nSupp) + 1
+			psb.Append(storage.Row{
+				k, sk, int64(1 + rng.Intn(9999)), money(rng, 1, 1000),
+			})
+		}
+	}
+	db.PartSupp = psb.Build(storage.NUMAAware, cfg.Sockets)
+
+	// ---- orders + lineitem. Lineitem is partitioned on l_orderkey so
+	// the frequent orders-lineitem join is co-located (§4.3).
+	ob := storage.NewBuilder("orders", storage.Schema{
+		{Name: "o_orderkey", Type: storage.I64},
+		{Name: "o_custkey", Type: storage.I64},
+		{Name: "o_orderstatus", Type: storage.Str},
+		{Name: "o_totalprice", Type: storage.F64},
+		{Name: "o_orderdate", Type: storage.I64},
+		{Name: "o_orderpriority", Type: storage.Str},
+		{Name: "o_shippriority", Type: storage.I64},
+		{Name: "o_comment", Type: storage.Str},
+	}, cfg.Partitions, "o_orderkey")
+	lb := storage.NewBuilder("lineitem", storage.Schema{
+		{Name: "l_orderkey", Type: storage.I64},
+		{Name: "l_partkey", Type: storage.I64},
+		{Name: "l_suppkey", Type: storage.I64},
+		{Name: "l_linenumber", Type: storage.I64},
+		{Name: "l_quantity", Type: storage.F64},
+		{Name: "l_extendedprice", Type: storage.F64},
+		{Name: "l_discount", Type: storage.F64},
+		{Name: "l_tax", Type: storage.F64},
+		{Name: "l_returnflag", Type: storage.Str},
+		{Name: "l_linestatus", Type: storage.Str},
+		{Name: "l_shipdate", Type: storage.I64},
+		{Name: "l_commitdate", Type: storage.I64},
+		{Name: "l_receiptdate", Type: storage.I64},
+		{Name: "l_shipinstruct", Type: storage.Str},
+		{Name: "l_shipmode", Type: storage.Str},
+	}, cfg.Partitions, "l_orderkey")
+
+	for ok := int64(1); ok <= int64(nOrd); ok++ {
+		// TPC-H never assigns orders to custkeys divisible by 3, so a
+		// third of customers have no orders (exercised by Q13/Q22).
+		custkey := int64(1 + rng.Intn(nCust))
+		for custkey%3 == 0 {
+			custkey = int64(1 + rng.Intn(nCust))
+		}
+		odate := base + int64(rng.Intn(orderDateRange))
+		nLines := 1 + rng.Intn(7)
+		var total float64
+		allF, allO := true, true
+		for ln := 1; ln <= nLines; ln++ {
+			partkey := int64(1 + rng.Intn(nPart))
+			// Pick one of the part's four suppliers.
+			i := int64(rng.Intn(4))
+			suppkey := (partkey+i*(int64(nSupp)/4+1))%int64(nSupp) + 1
+			qty := float64(1 + rng.Intn(50))
+			price := qty * retailPrice(partkey) / 100 * (1 + float64(partkey%10)/100)
+			price = float64(int64(price*100)) / 100
+			disc := float64(rng.Intn(11)) / 100
+			tax := float64(rng.Intn(9)) / 100
+			ship := odate + int64(1+rng.Intn(121))
+			commit := odate + int64(30+rng.Intn(61))
+			receipt := ship + int64(1+rng.Intn(30))
+			rf := "N"
+			if receipt <= currentDate {
+				if rng.Intn(2) == 0 {
+					rf = "R"
+				} else {
+					rf = "A"
+				}
+			}
+			ls := "O"
+			if ship <= currentDate {
+				ls = "F"
+				allO = false
+			} else {
+				allF = false
+			}
+			total += price * (1 - disc) * (1 + tax)
+			lb.Append(storage.Row{
+				ok, partkey, suppkey, int64(ln), qty, price, disc, tax,
+				rf, ls, ship, commit, receipt,
+				shipInstructs[rng.Intn(4)], shipModes[rng.Intn(7)],
+			})
+		}
+		status := "P"
+		if allF {
+			status = "F"
+		} else if allO {
+			status = "O"
+		}
+		oc := comment(rng, 6, 16)
+		// Q13 filters o_comment NOT LIKE '%special%requests%'; the word
+		// list makes the pattern occur naturally, plus a boosted
+		// adjacent form.
+		if rng.Intn(100) == 0 {
+			oc = oc + " special requests " + comment(rng, 1, 3)
+		}
+		ob.Append(storage.Row{
+			ok, custkey, status, float64(int64(total*100)) / 100, odate,
+			priorities[rng.Intn(5)], int64(0), oc,
+		})
+	}
+	db.Orders = ob.Build(storage.NUMAAware, cfg.Sockets)
+	db.Lineitem = lb.Build(storage.NUMAAware, cfg.Sockets)
+	return db
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

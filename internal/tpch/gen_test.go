@@ -1,0 +1,152 @@
+package tpch
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// Generator-focused tests beyond the query oracles.
+
+func TestScaleFactorScalesCardinalities(t *testing.T) {
+	small := Generate(Config{SF: 0.01, Partitions: 8, Sockets: 4, Seed: 1})
+	big := Generate(Config{SF: 0.04, Partitions: 8, Sockets: 4, Seed: 1})
+	ratio := float64(big.Lineitem.Rows()) / float64(small.Lineitem.Rows())
+	if ratio < 3.3 || ratio > 4.7 {
+		t.Errorf("lineitem scaling ratio %.2f, want ~4", ratio)
+	}
+	if big.Orders.Rows() != 4*small.Orders.Rows() {
+		t.Errorf("orders: %d vs %d", big.Orders.Rows(), small.Orders.Rows())
+	}
+	// Fixed-size tables do not scale.
+	if big.Nation.Rows() != small.Nation.Rows() || big.Region.Rows() != small.Region.Rows() {
+		t.Error("nation/region scaled with SF")
+	}
+}
+
+func TestDateColumnsWithinBenchmarkRange(t *testing.T) {
+	lo := engine.ParseDate("1992-01-01")
+	hi := engine.ParseDate("1998-12-31") + 200 // receipts extend past orders
+	for _, p := range testDB.Lineitem.Parts {
+		for _, c := range []int{10, 11, 12} { // ship, commit, receipt
+			for _, d := range p.Cols[c].Ints {
+				if d < lo || d > hi {
+					t.Fatalf("date %s outside range", engine.FormatDate(d))
+				}
+			}
+		}
+	}
+	for _, p := range testDB.Orders.Parts {
+		for _, d := range p.Cols[4].Ints {
+			if d < lo || d > engine.ParseDate("1998-08-02")+1 {
+				t.Fatalf("order date %s outside range", engine.FormatDate(d))
+			}
+		}
+	}
+}
+
+func TestLineitemDerivedInvariants(t *testing.T) {
+	currentDate := engine.ParseDate("1995-06-17")
+	for _, l := range testRef.li {
+		if l.receipt <= l.ship {
+			t.Fatal("receipt before ship")
+		}
+		if l.qty < 1 || l.qty > 50 {
+			t.Fatalf("quantity %f", l.qty)
+		}
+		if l.disc < 0 || l.disc > 0.10+1e-9 {
+			t.Fatalf("discount %f", l.disc)
+		}
+		// Returnflag semantics: N iff receipt after CURRENTDATE.
+		if l.receipt <= currentDate && l.rf == "N" {
+			t.Fatal("received item flagged N")
+		}
+		if l.receipt > currentDate && l.rf != "N" {
+			t.Fatalf("future receipt flagged %s", l.rf)
+		}
+		// Linestatus: O iff shipped after CURRENTDATE.
+		if (l.ship <= currentDate) != (l.ls == "F") {
+			t.Fatalf("linestatus %s for ship %s", l.ls, engine.FormatDate(l.ship))
+		}
+	}
+}
+
+func TestOrderStatusConsistency(t *testing.T) {
+	lines := map[int64][]string{}
+	for _, l := range testRef.li {
+		lines[l.okey] = append(lines[l.okey], l.ls)
+	}
+	for _, o := range testRef.ord {
+		allF, allO := true, true
+		for _, ls := range lines[o.okey] {
+			if ls != "F" {
+				allF = false
+			}
+			if ls != "O" {
+				allO = false
+			}
+		}
+		want := "P"
+		if allF {
+			want = "F"
+		} else if allO {
+			want = "O"
+		}
+		if o.status != want {
+			t.Fatalf("order %d status %s, want %s", o.okey, o.status, want)
+		}
+	}
+}
+
+func TestCustkeySkipsMultiplesOfThree(t *testing.T) {
+	for _, o := range testRef.ord {
+		if o.ckey%3 == 0 {
+			t.Fatalf("order %d assigned to custkey %d (divisible by 3)", o.okey, o.ckey)
+		}
+	}
+}
+
+func TestPartsuppSuppliersDistinctPerPart(t *testing.T) {
+	seen := map[[2]int64]bool{}
+	for _, ps := range testRef.ps {
+		k := [2]int64{ps.pkey, ps.skey}
+		if seen[k] {
+			t.Fatalf("duplicate partsupp (%d, %d)", ps.pkey, ps.skey)
+		}
+		seen[k] = true
+	}
+}
+
+func TestPhonePrefixEncodesNation(t *testing.T) {
+	for _, c := range testRef.cust {
+		wantPrefix := byte('1' + c.nk/10)
+		if c.phone[0] != wantPrefix && c.nk < 15 {
+			// nations 0-14 -> prefixes 10-24; spot check form only
+			t.Fatalf("phone %s for nation %d", c.phone, c.nk)
+		}
+		if len(c.phone) < 15 {
+			t.Fatalf("malformed phone %q", c.phone)
+		}
+	}
+}
+
+func TestQ15DeterministicAcrossRuns(t *testing.T) {
+	// Q15's two-phase execution (materialize -> max -> filter) must be
+	// deterministic even though it re-plans mid-query.
+	run := func() string {
+		s := testSession()
+		res, _ := QueryByNum(15).Run(s, testDB)
+		out := ""
+		for i := 0; i < res.NumRows(); i++ {
+			out += res.Row(i) + "\n"
+		}
+		return out
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("Q15 nondeterministic:\n%s\nvs\n%s", a, b)
+	}
+	if a == "" {
+		t.Fatal("Q15 empty")
+	}
+}

@@ -1,0 +1,692 @@
+package tpch
+
+import (
+	"repro/internal/engine"
+)
+
+// Local aliases keep the hand-built plans readable.
+var (
+	col = engine.Col
+	ci  = engine.ConstI
+	cf  = engine.ConstF
+	cs  = engine.ConstS
+	cd  = engine.ConstDate
+)
+
+func keys(names ...string) []*engine.Expr {
+	out := make([]*engine.Expr, len(names))
+	for i, n := range names {
+		out[i] = col(n)
+	}
+	return out
+}
+
+// Query is one TPC-H query: possibly several engine plans executed in
+// sequence (phases), with data flowing through materialized results.
+type Query struct {
+	Num  int
+	Name string
+	Run  func(s *engine.Session, db *DB) (*engine.Result, engine.QueryStats)
+}
+
+// single wraps a one-plan query.
+func single(f func(db *DB) *engine.Plan) func(*engine.Session, *DB) (*engine.Result, engine.QueryStats) {
+	return func(s *engine.Session, db *DB) (*engine.Result, engine.QueryStats) {
+		return s.Run(f(db))
+	}
+}
+
+// Queries returns all 22 TPC-H queries.
+func Queries() []Query {
+	return []Query{
+		{1, "pricing summary report", single(q1)},
+		{2, "minimum cost supplier", single(q2)},
+		{3, "shipping priority", single(q3)},
+		{4, "order priority checking", single(q4)},
+		{5, "local supplier volume", single(q5)},
+		{6, "forecasting revenue change", single(q6)},
+		{7, "volume shipping", single(q7)},
+		{8, "national market share", single(q8)},
+		{9, "product type profit", single(q9)},
+		{10, "returned item reporting", single(q10)},
+		{11, "important stock identification", single(q11)},
+		{12, "shipping modes and priority", single(q12)},
+		{13, "customer distribution", single(q13)},
+		{14, "promotion effect", single(q14)},
+		{15, "top supplier", q15},
+		{16, "parts/supplier relationship", single(q16)},
+		{17, "small-quantity-order revenue", single(q17)},
+		{18, "large volume customer", single(q18)},
+		{19, "discounted revenue", single(q19)},
+		{20, "potential part promotion", single(q20)},
+		{21, "suppliers who kept orders waiting", single(q21)},
+		{22, "global sales opportunity", single(q22)},
+	}
+}
+
+// QueryByNum returns one query.
+func QueryByNum(n int) Query {
+	for _, q := range Queries() {
+		if q.Num == n {
+			return q
+		}
+	}
+	panic("tpch: no such query")
+}
+
+func revenueExpr() *engine.Expr {
+	return engine.Mul(col("l_extendedprice"), engine.Sub(cf(1), col("l_discount")))
+}
+
+// nationOfRegion builds nation rows restricted to one region.
+func nationOfRegion(p *engine.Plan, db *DB, region string) *engine.Node {
+	r := p.Scan(db.Region, "r_regionkey", "r_name").
+		Filter(engine.Eq(col("r_name"), cs(region)))
+	return p.Scan(db.Nation, "n_nationkey", "n_name", "n_regionkey").
+		HashJoin(r, engine.JoinSemi, keys("n_regionkey"), keys("r_regionkey"))
+}
+
+func q1(db *DB) *engine.Plan {
+	p := engine.NewPlan("Q1")
+	n := p.Scan(db.Lineitem, "l_returnflag", "l_linestatus", "l_quantity",
+		"l_extendedprice", "l_discount", "l_tax", "l_shipdate").
+		Filter(engine.Le(col("l_shipdate"), cd("1998-09-02"))).
+		Map("disc_price", revenueExpr()).
+		Map("charge", engine.Mul(revenueExpr(), engine.Add(cf(1), col("l_tax")))).
+		GroupBy(
+			[]engine.NamedExpr{
+				engine.N("l_returnflag", col("l_returnflag")),
+				engine.N("l_linestatus", col("l_linestatus")),
+			},
+			[]engine.AggDef{
+				engine.Sum("sum_qty", col("l_quantity")),
+				engine.Sum("sum_base_price", col("l_extendedprice")),
+				engine.Sum("sum_disc_price", col("disc_price")),
+				engine.Sum("sum_charge", col("charge")),
+				engine.Avg("avg_qty", col("l_quantity")),
+				engine.Avg("avg_price", col("l_extendedprice")),
+				engine.Avg("avg_disc", col("l_discount")),
+				engine.Count("count_order"),
+			})
+	return p.ReturnSorted(n, 0, engine.Asc("l_returnflag"), engine.Asc("l_linestatus"))
+}
+
+// europePartSupp builds (ps_partkey, ps_supplycost, supplier attrs) for
+// suppliers in EUROPE.
+func europePartSupp(p *engine.Plan, db *DB, payload bool) *engine.Node {
+	nat := nationOfRegion(p, db, "EUROPE")
+	var suppCols []string
+	if payload {
+		suppCols = []string{"s_suppkey", "s_name", "s_address", "s_phone", "s_acctbal", "s_comment", "s_nationkey"}
+	} else {
+		suppCols = []string{"s_suppkey", "s_nationkey"}
+	}
+	supp := p.Scan(db.Supplier, suppCols...).
+		HashJoin(nat, engine.JoinInner, keys("s_nationkey"), keys("n_nationkey"), "n_name")
+	ps := p.Scan(db.PartSupp, "ps_partkey", "ps_suppkey", "ps_supplycost")
+	if payload {
+		return ps.HashJoin(supp, engine.JoinInner, keys("ps_suppkey"), keys("s_suppkey"),
+			"s_name", "s_address", "s_phone", "s_acctbal", "s_comment", "n_name")
+	}
+	return ps.HashJoin(supp, engine.JoinSemi, keys("ps_suppkey"), keys("s_suppkey"))
+}
+
+func q2(db *DB) *engine.Plan {
+	p := engine.NewPlan("Q2")
+	parts := p.Scan(db.Part, "p_partkey", "p_mfgr", "p_size", "p_type").
+		Filter(engine.And(
+			engine.Eq(col("p_size"), ci(15)),
+			engine.Like(col("p_type"), "%BRASS"),
+		))
+	minCost := europePartSupp(p, db, false).
+		GroupBy(
+			[]engine.NamedExpr{engine.N("mc_partkey", col("ps_partkey"))},
+			[]engine.AggDef{engine.MinOf("mc_cost", col("ps_supplycost"))})
+	n := europePartSupp(p, db, true).
+		HashJoin(parts, engine.JoinInner, keys("ps_partkey"), keys("p_partkey"), "p_mfgr").
+		HashJoin(minCost, engine.JoinSemi,
+			[]*engine.Expr{col("ps_partkey"), col("ps_supplycost")},
+			[]*engine.Expr{col("mc_partkey"), col("mc_cost")})
+	return p.ReturnSorted(n, 100,
+		engine.Desc("s_acctbal"), engine.Asc("n_name"), engine.Asc("s_name"), engine.Asc("ps_partkey"))
+}
+
+func q3(db *DB) *engine.Plan {
+	p := engine.NewPlan("Q3")
+	cust := p.Scan(db.Customer, "c_custkey", "c_mktsegment").
+		Filter(engine.Eq(col("c_mktsegment"), cs("BUILDING")))
+	ord := p.Scan(db.Orders, "o_orderkey", "o_custkey", "o_orderdate", "o_shippriority").
+		Filter(engine.Lt(col("o_orderdate"), cd("1995-03-15"))).
+		HashJoin(cust, engine.JoinSemi, keys("o_custkey"), keys("c_custkey"))
+	n := p.Scan(db.Lineitem, "l_orderkey", "l_extendedprice", "l_discount", "l_shipdate").
+		Filter(engine.Gt(col("l_shipdate"), cd("1995-03-15"))).
+		HashJoin(ord, engine.JoinInner, keys("l_orderkey"), keys("o_orderkey"),
+			"o_orderdate", "o_shippriority").
+		Map("vol", revenueExpr()).
+		GroupBy(
+			[]engine.NamedExpr{
+				engine.N("l_orderkey", col("l_orderkey")),
+				engine.N("o_orderdate", col("o_orderdate")),
+				engine.N("o_shippriority", col("o_shippriority")),
+			},
+			[]engine.AggDef{engine.Sum("revenue", col("vol"))})
+	return p.ReturnSorted(n, 10, engine.Desc("revenue"), engine.Asc("o_orderdate"))
+}
+
+func q4(db *DB) *engine.Plan {
+	p := engine.NewPlan("Q4")
+	lateLines := p.Scan(db.Lineitem, "l_orderkey", "l_commitdate", "l_receiptdate").
+		Filter(engine.Lt(col("l_commitdate"), col("l_receiptdate"))).
+		GroupBy(
+			[]engine.NamedExpr{engine.N("lk", col("l_orderkey"))},
+			[]engine.AggDef{engine.Count("nl")})
+	n := p.Scan(db.Orders, "o_orderkey", "o_orderdate", "o_orderpriority").
+		Filter(engine.And(
+			engine.Ge(col("o_orderdate"), cd("1993-07-01")),
+			engine.Lt(col("o_orderdate"), cd("1993-10-01")),
+		)).
+		HashJoin(lateLines, engine.JoinSemi, keys("o_orderkey"), keys("lk")).
+		GroupBy(
+			[]engine.NamedExpr{engine.N("o_orderpriority", col("o_orderpriority"))},
+			[]engine.AggDef{engine.Count("order_count")})
+	return p.ReturnSorted(n, 0, engine.Asc("o_orderpriority"))
+}
+
+func q5(db *DB) *engine.Plan {
+	p := engine.NewPlan("Q5")
+	nat := nationOfRegion(p, db, "ASIA")
+	supp := p.Scan(db.Supplier, "s_suppkey", "s_nationkey").
+		HashJoin(nat, engine.JoinInner, keys("s_nationkey"), keys("n_nationkey"), "n_name")
+	cust := p.Scan(db.Customer, "c_custkey", "c_nationkey")
+	ord := p.Scan(db.Orders, "o_orderkey", "o_custkey", "o_orderdate").
+		Filter(engine.And(
+			engine.Ge(col("o_orderdate"), cd("1994-01-01")),
+			engine.Lt(col("o_orderdate"), cd("1995-01-01")),
+		)).
+		HashJoin(cust, engine.JoinInner, keys("o_custkey"), keys("c_custkey"), "c_nationkey")
+	n := p.Scan(db.Lineitem, "l_orderkey", "l_suppkey", "l_extendedprice", "l_discount").
+		HashJoin(ord, engine.JoinInner, keys("l_orderkey"), keys("o_orderkey"), "c_nationkey").
+		HashJoin(supp, engine.JoinInner,
+			[]*engine.Expr{col("l_suppkey"), col("c_nationkey")},
+			[]*engine.Expr{col("s_suppkey"), col("s_nationkey")},
+			"n_name").
+		Map("vol", revenueExpr()).
+		GroupBy(
+			[]engine.NamedExpr{engine.N("n_name", col("n_name"))},
+			[]engine.AggDef{engine.Sum("revenue", col("vol"))})
+	return p.ReturnSorted(n, 0, engine.Desc("revenue"))
+}
+
+func q6(db *DB) *engine.Plan {
+	p := engine.NewPlan("Q6")
+	n := p.Scan(db.Lineitem, "l_shipdate", "l_discount", "l_quantity", "l_extendedprice").
+		Filter(engine.And(
+			engine.Ge(col("l_shipdate"), cd("1994-01-01")),
+			engine.Lt(col("l_shipdate"), cd("1995-01-01")),
+			engine.Between(col("l_discount"), cf(0.05), cf(0.07)),
+			engine.Lt(col("l_quantity"), cf(24)),
+		)).
+		Map("rev", engine.Mul(col("l_extendedprice"), col("l_discount"))).
+		GroupBy(nil, []engine.AggDef{engine.Sum("revenue", col("rev"))})
+	return p.Return(n)
+}
+
+func q7(db *DB) *engine.Plan {
+	p := engine.NewPlan("Q7")
+	frOrDe := func(alias string) *engine.Node {
+		return p.Scan(db.Nation,
+			"n_nationkey AS "+alias+"_key", "n_name AS "+alias+"_name").
+			Filter(engine.InStr(col(alias+"_name"), "FRANCE", "GERMANY"))
+	}
+	supp := p.Scan(db.Supplier, "s_suppkey", "s_nationkey").
+		HashJoin(frOrDe("sn"), engine.JoinInner, keys("s_nationkey"), keys("sn_key"), "sn_name")
+	cust := p.Scan(db.Customer, "c_custkey", "c_nationkey").
+		HashJoin(frOrDe("cn"), engine.JoinInner, keys("c_nationkey"), keys("cn_key"), "cn_name")
+	ord := p.Scan(db.Orders, "o_orderkey", "o_custkey").
+		HashJoin(cust, engine.JoinInner, keys("o_custkey"), keys("c_custkey"), "cn_name")
+	n := p.Scan(db.Lineitem, "l_orderkey", "l_suppkey", "l_shipdate",
+		"l_extendedprice", "l_discount").
+		Filter(engine.Between(col("l_shipdate"), cd("1995-01-01"), cd("1996-12-31"))).
+		HashJoin(supp, engine.JoinInner, keys("l_suppkey"), keys("s_suppkey"), "sn_name").
+		HashJoin(ord, engine.JoinInner, keys("l_orderkey"), keys("o_orderkey"), "cn_name").
+		Filter(engine.Or(
+			engine.And(engine.Eq(col("sn_name"), cs("FRANCE")), engine.Eq(col("cn_name"), cs("GERMANY"))),
+			engine.And(engine.Eq(col("sn_name"), cs("GERMANY")), engine.Eq(col("cn_name"), cs("FRANCE"))),
+		)).
+		Map("l_year", engine.Year(col("l_shipdate"))).
+		Map("vol", revenueExpr()).
+		GroupBy(
+			[]engine.NamedExpr{
+				engine.N("supp_nation", col("sn_name")),
+				engine.N("cust_nation", col("cn_name")),
+				engine.N("l_year", col("l_year")),
+			},
+			[]engine.AggDef{engine.Sum("revenue", col("vol"))})
+	return p.ReturnSorted(n, 0,
+		engine.Asc("supp_nation"), engine.Asc("cust_nation"), engine.Asc("l_year"))
+}
+
+func q8(db *DB) *engine.Plan {
+	p := engine.NewPlan("Q8")
+	amCust := p.Scan(db.Customer, "c_custkey", "c_nationkey").
+		HashJoin(nationOfRegion(p, db, "AMERICA"), engine.JoinSemi,
+			keys("c_nationkey"), keys("n_nationkey"))
+	ord := p.Scan(db.Orders, "o_orderkey", "o_custkey", "o_orderdate").
+		Filter(engine.Between(col("o_orderdate"), cd("1995-01-01"), cd("1996-12-31"))).
+		HashJoin(amCust, engine.JoinSemi, keys("o_custkey"), keys("c_custkey"))
+	parts := p.Scan(db.Part, "p_partkey", "p_type").
+		Filter(engine.Eq(col("p_type"), cs("ECONOMY ANODIZED STEEL")))
+	supp := p.Scan(db.Supplier, "s_suppkey", "s_nationkey").
+		HashJoin(p.Scan(db.Nation, "n_nationkey", "n_name AS n2_name"),
+			engine.JoinInner, keys("s_nationkey"), keys("n_nationkey"), "n2_name")
+	n := p.Scan(db.Lineitem, "l_orderkey", "l_partkey", "l_suppkey",
+		"l_extendedprice", "l_discount").
+		HashJoin(parts, engine.JoinSemi, keys("l_partkey"), keys("p_partkey")).
+		HashJoin(ord, engine.JoinInner, keys("l_orderkey"), keys("o_orderkey"), "o_orderdate").
+		HashJoin(supp, engine.JoinInner, keys("l_suppkey"), keys("s_suppkey"), "n2_name").
+		Map("o_year", engine.Year(col("o_orderdate"))).
+		Map("vol", revenueExpr()).
+		Map("brazil_vol", engine.If(engine.Eq(col("n2_name"), cs("BRAZIL")), col("vol"), cf(0))).
+		GroupBy(
+			[]engine.NamedExpr{engine.N("o_year", col("o_year"))},
+			[]engine.AggDef{
+				engine.Sum("bv", col("brazil_vol")),
+				engine.Sum("tv", col("vol")),
+			}).
+		Map("mkt_share", engine.Div(col("bv"), col("tv")))
+	return p.ReturnSorted(n, 0, engine.Asc("o_year"))
+}
+
+func q9(db *DB) *engine.Plan {
+	p := engine.NewPlan("Q9")
+	parts := p.Scan(db.Part, "p_partkey", "p_name").
+		Filter(engine.Like(col("p_name"), "%green%"))
+	supp := p.Scan(db.Supplier, "s_suppkey", "s_nationkey").
+		HashJoin(p.Scan(db.Nation, "n_nationkey", "n_name"),
+			engine.JoinInner, keys("s_nationkey"), keys("n_nationkey"), "n_name")
+	ps := p.Scan(db.PartSupp, "ps_partkey", "ps_suppkey", "ps_supplycost")
+	ord := p.Scan(db.Orders, "o_orderkey", "o_orderdate")
+	n := p.Scan(db.Lineitem, "l_orderkey", "l_partkey", "l_suppkey",
+		"l_quantity", "l_extendedprice", "l_discount").
+		HashJoin(parts, engine.JoinSemi, keys("l_partkey"), keys("p_partkey")).
+		HashJoin(supp, engine.JoinInner, keys("l_suppkey"), keys("s_suppkey"), "n_name").
+		HashJoin(ps, engine.JoinInner,
+			[]*engine.Expr{col("l_partkey"), col("l_suppkey")},
+			[]*engine.Expr{col("ps_partkey"), col("ps_suppkey")},
+			"ps_supplycost").
+		HashJoin(ord, engine.JoinInner, keys("l_orderkey"), keys("o_orderkey"), "o_orderdate").
+		Map("o_year", engine.Year(col("o_orderdate"))).
+		Map("amount", engine.Sub(revenueExpr(),
+			engine.Mul(col("ps_supplycost"), col("l_quantity")))).
+		GroupBy(
+			[]engine.NamedExpr{
+				engine.N("nation", col("n_name")),
+				engine.N("o_year", col("o_year")),
+			},
+			[]engine.AggDef{engine.Sum("sum_profit", col("amount"))})
+	return p.ReturnSorted(n, 0, engine.Asc("nation"), engine.Desc("o_year"))
+}
+
+func q10(db *DB) *engine.Plan {
+	p := engine.NewPlan("Q10")
+	cust := p.Scan(db.Customer, "c_custkey", "c_name", "c_acctbal",
+		"c_phone", "c_nationkey", "c_address", "c_comment").
+		HashJoin(p.Scan(db.Nation, "n_nationkey", "n_name"),
+			engine.JoinInner, keys("c_nationkey"), keys("n_nationkey"), "n_name")
+	ord := p.Scan(db.Orders, "o_orderkey", "o_custkey", "o_orderdate").
+		Filter(engine.And(
+			engine.Ge(col("o_orderdate"), cd("1993-10-01")),
+			engine.Lt(col("o_orderdate"), cd("1994-01-01")),
+		)).
+		HashJoin(cust, engine.JoinInner, keys("o_custkey"), keys("c_custkey"),
+			"c_name", "c_acctbal", "c_phone", "c_address", "c_comment", "n_name")
+	n := p.Scan(db.Lineitem, "l_orderkey", "l_returnflag", "l_extendedprice", "l_discount").
+		Filter(engine.Eq(col("l_returnflag"), cs("R"))).
+		HashJoin(ord, engine.JoinInner, keys("l_orderkey"), keys("o_orderkey"),
+			"o_custkey", "c_name", "c_acctbal", "c_phone", "c_address", "c_comment", "n_name").
+		Map("vol", revenueExpr()).
+		GroupBy(
+			[]engine.NamedExpr{
+				engine.N("c_custkey", col("o_custkey")),
+				engine.N("c_name", col("c_name")),
+				engine.N("c_acctbal", col("c_acctbal")),
+				engine.N("c_phone", col("c_phone")),
+				engine.N("n_name", col("n_name")),
+				engine.N("c_address", col("c_address")),
+				engine.N("c_comment", col("c_comment")),
+			},
+			[]engine.AggDef{engine.Sum("revenue", col("vol"))})
+	return p.ReturnSorted(n, 20, engine.Desc("revenue"))
+}
+
+// germanyStockValue builds (ps_partkey, value) for GERMANY suppliers.
+func germanyStockValue(p *engine.Plan, db *DB) *engine.Node {
+	nat := p.Scan(db.Nation, "n_nationkey", "n_name").
+		Filter(engine.Eq(col("n_name"), cs("GERMANY")))
+	supp := p.Scan(db.Supplier, "s_suppkey", "s_nationkey").
+		HashJoin(nat, engine.JoinSemi, keys("s_nationkey"), keys("n_nationkey"))
+	return p.Scan(db.PartSupp, "ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost").
+		HashJoin(supp, engine.JoinSemi, keys("ps_suppkey"), keys("s_suppkey")).
+		Map("value", engine.Mul(col("ps_supplycost"), engine.ToFloat(col("ps_availqty"))))
+}
+
+func q11(db *DB) *engine.Plan {
+	fraction := 0.0001 / db.Cfg.SF
+	p := engine.NewPlan("Q11")
+	total := germanyStockValue(p, db).
+		GroupBy(nil, []engine.AggDef{engine.Sum("grand_total", col("value"))}).
+		Map("k", ci(1))
+	n := germanyStockValue(p, db).
+		GroupBy(
+			[]engine.NamedExpr{engine.N("ps_partkey", col("ps_partkey"))},
+			[]engine.AggDef{engine.Sum("part_value", col("value"))}).
+		Map("k", ci(1)).
+		HashJoin(total, engine.JoinInner, keys("k"), keys("k"), "grand_total").
+		Filter(engine.Gt(col("part_value"), engine.Mul(col("grand_total"), cf(fraction))))
+	return p.ReturnSorted(n, 0, engine.Desc("part_value"))
+}
+
+func q12(db *DB) *engine.Plan {
+	p := engine.NewPlan("Q12")
+	lines := p.Scan(db.Lineitem, "l_orderkey", "l_shipmode",
+		"l_shipdate", "l_commitdate", "l_receiptdate").
+		Filter(engine.And(
+			engine.InStr(col("l_shipmode"), "MAIL", "SHIP"),
+			engine.Lt(col("l_commitdate"), col("l_receiptdate")),
+			engine.Lt(col("l_shipdate"), col("l_commitdate")),
+			engine.Ge(col("l_receiptdate"), cd("1994-01-01")),
+			engine.Lt(col("l_receiptdate"), cd("1995-01-01")),
+		))
+	n := p.Scan(db.Orders, "o_orderkey", "o_orderpriority").
+		HashJoin(lines, engine.JoinInner, keys("o_orderkey"), keys("l_orderkey"), "l_shipmode").
+		Map("high", engine.If(
+			engine.InStr(col("o_orderpriority"), "1-URGENT", "2-HIGH"), ci(1), ci(0))).
+		Map("low", engine.If(
+			engine.InStr(col("o_orderpriority"), "1-URGENT", "2-HIGH"), ci(0), ci(1))).
+		GroupBy(
+			[]engine.NamedExpr{engine.N("l_shipmode", col("l_shipmode"))},
+			[]engine.AggDef{
+				engine.Sum("high_line_count", col("high")),
+				engine.Sum("low_line_count", col("low")),
+			})
+	return p.ReturnSorted(n, 0, engine.Asc("l_shipmode"))
+}
+
+func q13(db *DB) *engine.Plan {
+	p := engine.NewPlan("Q13")
+	cust := p.Scan(db.Customer, "c_custkey")
+	join := p.Scan(db.Orders, "o_orderkey", "o_custkey", "o_comment").
+		Filter(engine.NotLike(col("o_comment"), "%special%requests%")).
+		HashJoin(cust, engine.JoinMark, keys("o_custkey"), keys("c_custkey"), "c_custkey")
+	matched := join.Map("one", ci(1)).GroupBy(
+		[]engine.NamedExpr{engine.N("ck", col("c_custkey"))},
+		[]engine.AggDef{engine.Sum("c_count", col("one"))})
+	unmatched := p.Unmatched(join, "c_custkey").
+		Map("one", ci(0)).
+		GroupBy(
+			[]engine.NamedExpr{engine.N("ck", col("c_custkey"))},
+			[]engine.AggDef{engine.Sum("c_count", col("one"))})
+	n := p.Union(matched, unmatched).
+		GroupBy(
+			[]engine.NamedExpr{engine.N("c_count", col("c_count"))},
+			[]engine.AggDef{engine.Count("custdist")})
+	return p.ReturnSorted(n, 0, engine.Desc("custdist"), engine.Desc("c_count"))
+}
+
+func q14(db *DB) *engine.Plan {
+	p := engine.NewPlan("Q14")
+	parts := p.Scan(db.Part, "p_partkey", "p_type")
+	n := p.Scan(db.Lineitem, "l_partkey", "l_shipdate", "l_extendedprice", "l_discount").
+		Filter(engine.And(
+			engine.Ge(col("l_shipdate"), cd("1995-09-01")),
+			engine.Lt(col("l_shipdate"), cd("1995-10-01")),
+		)).
+		HashJoin(parts, engine.JoinInner, keys("l_partkey"), keys("p_partkey"), "p_type").
+		Map("vol", revenueExpr()).
+		Map("promo", engine.If(engine.Like(col("p_type"), "PROMO%"), col("vol"), cf(0))).
+		GroupBy(nil, []engine.AggDef{
+			engine.Sum("pv", col("promo")),
+			engine.Sum("tv", col("vol")),
+		}).
+		Map("promo_revenue", engine.Div(engine.Mul(cf(100), col("pv")), col("tv")))
+	return p.Return(n)
+}
+
+// q15 is two-phase: materialize per-supplier revenue, find the maximum in
+// the host language, then select the suppliers achieving it.
+func q15(s *engine.Session, db *DB) (*engine.Result, engine.QueryStats) {
+	p1 := engine.NewPlan("Q15a")
+	rev := p1.Scan(db.Lineitem, "l_suppkey", "l_shipdate", "l_extendedprice", "l_discount").
+		Filter(engine.And(
+			engine.Ge(col("l_shipdate"), cd("1996-01-01")),
+			engine.Lt(col("l_shipdate"), cd("1996-04-01")),
+		)).
+		Map("vol", revenueExpr()).
+		GroupBy(
+			[]engine.NamedExpr{engine.N("supplier_no", col("l_suppkey"))},
+			[]engine.AggDef{engine.Sum("total_revenue", col("vol"))})
+	p1.Return(rev)
+	r1, st1 := s.Run(p1)
+
+	maxRev := 0.0
+	for _, row := range r1.Rows() {
+		if row[1].F > maxRev {
+			maxRev = row[1].F
+		}
+	}
+	revTable := r1.ToTable("revenue0", 16, s.Machine.Topo.Sockets)
+
+	p2 := engine.NewPlan("Q15b")
+	top := p2.Scan(revTable, "supplier_no", "total_revenue").
+		Filter(engine.Eq(col("total_revenue"), cf(maxRev)))
+	n := p2.Scan(db.Supplier, "s_suppkey", "s_name", "s_address", "s_phone").
+		HashJoin(top, engine.JoinInner, keys("s_suppkey"), keys("supplier_no"), "total_revenue")
+	p2.ReturnSorted(n, 0, engine.Asc("s_suppkey"))
+	r2, st2 := s.Run(p2)
+	st1.Add(st2)
+	return r2, st1
+}
+
+func q16(db *DB) *engine.Plan {
+	p := engine.NewPlan("Q16")
+	badSupp := p.Scan(db.Supplier, "s_suppkey", "s_comment").
+		Filter(engine.Like(col("s_comment"), "%Customer%Complaints%"))
+	parts := p.Scan(db.Part, "p_partkey", "p_brand", "p_type", "p_size").
+		Filter(engine.And(
+			engine.Ne(col("p_brand"), cs("Brand#45")),
+			engine.NotLike(col("p_type"), "MEDIUM POLISHED%"),
+			engine.InInt(col("p_size"), 49, 14, 23, 45, 19, 3, 36, 9),
+		))
+	n := p.Scan(db.PartSupp, "ps_partkey", "ps_suppkey").
+		HashJoin(parts, engine.JoinInner, keys("ps_partkey"), keys("p_partkey"),
+			"p_brand", "p_type", "p_size").
+		HashJoin(badSupp, engine.JoinAnti, keys("ps_suppkey"), keys("s_suppkey")).
+		GroupBy( // distinct (brand, type, size, suppkey)
+			[]engine.NamedExpr{
+				engine.N("p_brand", col("p_brand")),
+				engine.N("p_type", col("p_type")),
+				engine.N("p_size", col("p_size")),
+				engine.N("sk", col("ps_suppkey")),
+			},
+			[]engine.AggDef{engine.Count("dup")}).
+		GroupBy(
+			[]engine.NamedExpr{
+				engine.N("p_brand", col("p_brand")),
+				engine.N("p_type", col("p_type")),
+				engine.N("p_size", col("p_size")),
+			},
+			[]engine.AggDef{engine.Count("supplier_cnt")})
+	return p.ReturnSorted(n, 0,
+		engine.Desc("supplier_cnt"), engine.Asc("p_brand"), engine.Asc("p_type"), engine.Asc("p_size"))
+}
+
+func q17(db *DB) *engine.Plan {
+	p := engine.NewPlan("Q17")
+	parts := p.Scan(db.Part, "p_partkey", "p_brand", "p_container").
+		Filter(engine.And(
+			engine.Eq(col("p_brand"), cs("Brand#23")),
+			engine.Eq(col("p_container"), cs("MED BOX")),
+		))
+	avgQty := p.Scan(db.Lineitem, "l_partkey AS ak", "l_quantity AS aq").
+		GroupBy(
+			[]engine.NamedExpr{engine.N("ak", col("ak"))},
+			[]engine.AggDef{engine.Avg("avg_qty", col("aq"))})
+	n := p.Scan(db.Lineitem, "l_partkey", "l_quantity", "l_extendedprice").
+		HashJoin(parts, engine.JoinSemi, keys("l_partkey"), keys("p_partkey")).
+		HashJoin(avgQty, engine.JoinInner, keys("l_partkey"), keys("ak"), "avg_qty").
+		Filter(engine.Lt(col("l_quantity"), engine.Mul(cf(0.2), col("avg_qty")))).
+		GroupBy(nil, []engine.AggDef{engine.Sum("sum_price", col("l_extendedprice"))}).
+		Map("avg_yearly", engine.Div(col("sum_price"), cf(7)))
+	return p.Return(n)
+}
+
+func q18(db *DB) *engine.Plan {
+	p := engine.NewPlan("Q18")
+	bigOrders := p.Scan(db.Lineitem, "l_orderkey AS bk", "l_quantity AS bq").
+		GroupBy(
+			[]engine.NamedExpr{engine.N("bk", col("bk"))},
+			[]engine.AggDef{engine.Sum("sum_qty", col("bq"))}).
+		Filter(engine.Gt(col("sum_qty"), cf(300)))
+	cust := p.Scan(db.Customer, "c_custkey", "c_name")
+	n := p.Scan(db.Orders, "o_orderkey", "o_custkey", "o_orderdate", "o_totalprice").
+		HashJoin(bigOrders, engine.JoinInner, keys("o_orderkey"), keys("bk"), "sum_qty").
+		HashJoin(cust, engine.JoinInner, keys("o_custkey"), keys("c_custkey"), "c_name")
+	return p.ReturnSorted(n, 100, engine.Desc("o_totalprice"), engine.Asc("o_orderdate"))
+}
+
+func q19(db *DB) *engine.Plan {
+	p := engine.NewPlan("Q19")
+	parts := p.Scan(db.Part, "p_partkey", "p_brand", "p_container", "p_size")
+	branch := func(brand string, containers []string, lo, hi float64, maxSize int64) *engine.Expr {
+		return engine.And(
+			engine.Eq(col("p_brand"), cs(brand)),
+			engine.InStr(col("p_container"), containers...),
+			engine.Ge(col("l_quantity"), cf(lo)),
+			engine.Le(col("l_quantity"), cf(hi)),
+			engine.Between(col("p_size"), ci(1), ci(maxSize)),
+		)
+	}
+	n := p.Scan(db.Lineitem, "l_partkey", "l_quantity", "l_extendedprice",
+		"l_discount", "l_shipinstruct", "l_shipmode").
+		Filter(engine.And(
+			engine.InStr(col("l_shipmode"), "AIR", "AIR REG"),
+			engine.Eq(col("l_shipinstruct"), cs("DELIVER IN PERSON")),
+		)).
+		HashJoin(parts, engine.JoinInner, keys("l_partkey"), keys("p_partkey"),
+			"p_brand", "p_container", "p_size").
+		Filter(engine.Or(
+			branch("Brand#12", []string{"SM CASE", "SM BOX", "SM PACK", "SM PKG"}, 1, 11, 5),
+			branch("Brand#23", []string{"MED BAG", "MED BOX", "MED PKG", "MED PACK"}, 10, 20, 10),
+			branch("Brand#34", []string{"LG CASE", "LG BOX", "LG PACK", "LG PKG"}, 20, 30, 15),
+		)).
+		Map("vol", revenueExpr()).
+		GroupBy(nil, []engine.AggDef{engine.Sum("revenue", col("vol"))})
+	return p.Return(n)
+}
+
+func q20(db *DB) *engine.Plan {
+	p := engine.NewPlan("Q20")
+	forestParts := p.Scan(db.Part, "p_partkey", "p_name").
+		Filter(engine.Like(col("p_name"), "forest%"))
+	shipped := p.Scan(db.Lineitem, "l_partkey AS sk_part", "l_suppkey AS sk_supp",
+		"l_quantity AS sq", "l_shipdate AS sd").
+		Filter(engine.And(
+			engine.Ge(col("sd"), cd("1994-01-01")),
+			engine.Lt(col("sd"), cd("1995-01-01")),
+		)).
+		GroupBy(
+			[]engine.NamedExpr{
+				engine.N("sk_part", col("sk_part")),
+				engine.N("sk_supp", col("sk_supp")),
+			},
+			[]engine.AggDef{engine.Sum("sum_qty", col("sq"))})
+	goodSupp := p.Scan(db.PartSupp, "ps_partkey", "ps_suppkey", "ps_availqty").
+		HashJoin(forestParts, engine.JoinSemi, keys("ps_partkey"), keys("p_partkey")).
+		HashJoin(shipped, engine.JoinInner,
+			[]*engine.Expr{col("ps_partkey"), col("ps_suppkey")},
+			[]*engine.Expr{col("sk_part"), col("sk_supp")},
+			"sum_qty").
+		Filter(engine.Gt(
+				engine.Mul(cf(1), engine.Add(cf(0), col("ps_availqty"))),
+				engine.Mul(cf(0.5), col("sum_qty")))).
+		GroupBy( // distinct suppkey
+			[]engine.NamedExpr{engine.N("gsk", col("ps_suppkey"))},
+			[]engine.AggDef{engine.Count("dup")})
+	canada := p.Scan(db.Nation, "n_nationkey", "n_name").
+		Filter(engine.Eq(col("n_name"), cs("CANADA")))
+	n := p.Scan(db.Supplier, "s_suppkey", "s_name", "s_address", "s_nationkey").
+		HashJoin(canada, engine.JoinSemi, keys("s_nationkey"), keys("n_nationkey")).
+		HashJoin(goodSupp, engine.JoinSemi, keys("s_suppkey"), keys("gsk"))
+	return p.ReturnSorted(n, 0, engine.Asc("s_name"))
+}
+
+func q21(db *DB) *engine.Plan {
+	p := engine.NewPlan("Q21")
+	saudi := p.Scan(db.Nation, "n_nationkey", "n_name").
+		Filter(engine.Eq(col("n_name"), cs("SAUDI ARABIA")))
+	supp := p.Scan(db.Supplier, "s_suppkey", "s_name", "s_nationkey").
+		HashJoin(saudi, engine.JoinSemi, keys("s_nationkey"), keys("n_nationkey"))
+	fOrders := p.Scan(db.Orders, "o_orderkey", "o_orderstatus").
+		Filter(engine.Eq(col("o_orderstatus"), cs("F")))
+	allLines := p.Scan(db.Lineitem, "l_orderkey AS x_ok", "l_suppkey AS x_sk")
+	lateLines := p.Scan(db.Lineitem, "l_orderkey AS y_ok", "l_suppkey AS y_sk",
+		"l_commitdate AS y_cd", "l_receiptdate AS y_rd").
+		Filter(engine.Gt(col("y_rd"), col("y_cd")))
+	n := p.Scan(db.Lineitem, "l_orderkey", "l_suppkey", "l_commitdate", "l_receiptdate").
+		Filter(engine.Gt(col("l_receiptdate"), col("l_commitdate"))).
+		HashJoin(supp, engine.JoinInner, keys("l_suppkey"), keys("s_suppkey"), "s_name").
+		HashJoin(fOrders, engine.JoinSemi, keys("l_orderkey"), keys("o_orderkey")).
+		HashJoin(allLines, engine.JoinSemi, keys("l_orderkey"), keys("x_ok")).
+		ResidualPayload("x_sk").
+		WithResidual(engine.Ne(col("x_sk"), col("l_suppkey"))).
+		HashJoin(lateLines, engine.JoinAnti, keys("l_orderkey"), keys("y_ok")).
+		ResidualPayload("y_sk").
+		WithResidual(engine.Ne(col("y_sk"), col("l_suppkey"))).
+		GroupBy(
+			[]engine.NamedExpr{engine.N("s_name", col("s_name"))},
+			[]engine.AggDef{engine.Count("numwait")})
+	return p.ReturnSorted(n, 100, engine.Desc("numwait"), engine.Asc("s_name"))
+}
+
+func q22(db *DB) *engine.Plan {
+	codes := []string{"13", "31", "23", "29", "30", "18", "17"}
+	p := engine.NewPlan("Q22")
+	avgBal := p.Scan(db.Customer, "c_acctbal AS ab", "c_phone AS ph").
+		Filter(engine.And(
+			engine.Gt(col("ab"), cf(0)),
+			engine.InStr(engine.Substr(col("ph"), 1, 2), codes...),
+		)).
+		GroupBy(nil, []engine.AggDef{engine.Avg("avg_bal", col("ab"))}).
+		Map("k", ci(1))
+	n := p.Scan(db.Customer, "c_custkey", "c_phone", "c_acctbal").
+		Filter(engine.InStr(engine.Substr(col("c_phone"), 1, 2), codes...)).
+		Map("k", ci(1)).
+		HashJoin(avgBal, engine.JoinInner, keys("k"), keys("k"), "avg_bal").
+		Filter(engine.Gt(col("c_acctbal"), col("avg_bal"))).
+		HashJoin(p.Scan(db.Orders, "o_custkey AS ock"),
+			engine.JoinAnti, keys("c_custkey"), keys("ock")).
+		Map("cntrycode", engine.Substr(col("c_phone"), 1, 2)).
+		GroupBy(
+			[]engine.NamedExpr{engine.N("cntrycode", col("cntrycode"))},
+			[]engine.AggDef{
+				engine.Count("numcust"),
+				engine.Sum("totacctbal", col("c_acctbal")),
+			})
+	return p.ReturnSorted(n, 0, engine.Asc("cntrycode"))
+}
+
+// ScaleForTest is a convenient small configuration for correctness tests.
+func ScaleForTest() Config {
+	return Config{SF: 0.02, Partitions: 16, Sockets: 4, Seed: 42}
+}
+
+// Q9Plan, Q13Plan and Q14Plan expose single plans for the paper's
+// elasticity experiment (Fig. 13), which schedules them as raw dispatch
+// queries.
+func Q9Plan(db *DB) *engine.Plan { return q9(db) }
+
+// Q13Plan is the paper's long-running query of the Fig. 13 trace.
+func Q13Plan(db *DB) *engine.Plan { return q13(db) }
+
+// Q14Plan is the companion short query of the Fig. 13 trace.
+func Q14Plan(db *DB) *engine.Plan { return q14(db) }

@@ -1,0 +1,43 @@
+package tpch
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestQuerySliceUnderRealRunner validates a representative slice of the
+// suite under real goroutine concurrency (the simulator covers the rest):
+// scan/agg (Q1), team joins (Q5), semi join (Q4), anti join (Q16), outer
+// join (Q13), top-k (Q10), parallel sort (Q2), two-phase query (Q15).
+func TestQuerySliceUnderRealRunner(t *testing.T) {
+	for _, num := range []int{1, 2, 4, 5, 10, 15, 16} {
+		num := num
+		t.Run(fmt.Sprintf("Q%d", num), func(t *testing.T) {
+			s := testSession()
+			s.Mode = engine.Real
+			s.Dispatch.Workers = 8
+			res, stats := QueryByNum(num).Run(s, testDB)
+			compareResults(t, fmt.Sprintf("Q%d real", num), res,
+				testRef.RefQuery(num, testDB.Cfg.SF), orderedCompare[num])
+			if stats.TimeNs <= 0 {
+				t.Error("no wall time recorded")
+			}
+		})
+	}
+}
+
+// TestRealRunnerRepeatability: the real runner's nondeterministic
+// interleavings must never change results.
+func TestRealRunnerRepeatability(t *testing.T) {
+	want := testRef.RefQuery(3, testDB.Cfg.SF)
+	for i := 0; i < 3; i++ {
+		s := testSession()
+		s.Mode = engine.Real
+		s.Dispatch.Workers = 16
+		s.Dispatch.MorselRows = 300 // many small morsels -> many interleavings
+		res, _ := QueryByNum(3).Run(s, testDB)
+		compareResults(t, fmt.Sprintf("Q3 run %d", i), res, want, false)
+	}
+}

@@ -1,0 +1,1115 @@
+package tpch
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/storage"
+)
+
+// This file contains straightforward single-threaded reference
+// implementations of all 22 queries, used as correctness oracles for the
+// engine's plans. They are deliberately written in the most obvious Go
+// (maps and loops), sharing nothing with the engine beyond the stored
+// tables.
+
+type liRow struct {
+	okey, pkey, skey      int64
+	qty, price, disc, tax float64
+	rf, ls                string
+	ship, commit, receipt int64
+	instr, mode           string
+}
+
+type ordRow struct {
+	okey, ckey int64
+	status     string
+	total      float64
+	date       int64
+	prio       string
+	comment    string
+}
+
+type custRow struct {
+	key          int64
+	name, addr   string
+	nk           int64
+	phone        string
+	bal          float64
+	seg, comment string
+}
+
+type partRow struct {
+	key                    int64
+	name, mfgr, brand, typ string
+	size                   int64
+	container              string
+}
+
+type psRow struct {
+	pkey, skey, avail int64
+	cost              float64
+}
+
+type suppRow struct {
+	key        int64
+	name, addr string
+	nk         int64
+	phone      string
+	bal        float64
+	comment    string
+}
+
+// ref is the row-wise snapshot used by the oracles.
+type ref struct {
+	li     []liRow
+	ord    []ordRow
+	cust   []custRow
+	part   []partRow
+	ps     []psRow
+	supp   []suppRow
+	nation map[int64]string // nationkey -> name
+	region map[int64]string // regionkey -> name
+	natReg map[int64]int64  // nationkey -> regionkey
+}
+
+func colI(p *storage.Partition, i int) []int64   { return p.Cols[i].Ints }
+func colF(p *storage.Partition, i int) []float64 { return p.Cols[i].Flts }
+func colS(p *storage.Partition, i int) []string  { return p.Cols[i].Strs }
+
+// Ref extracts a row-wise snapshot of the database (test use only).
+func (db *DB) Ref() *ref {
+	r := &ref{nation: map[int64]string{}, region: map[int64]string{}, natReg: map[int64]int64{}}
+	for _, p := range db.Lineitem.Parts {
+		for i := 0; i < p.Rows(); i++ {
+			r.li = append(r.li, liRow{
+				okey: colI(p, 0)[i], pkey: colI(p, 1)[i], skey: colI(p, 2)[i],
+				qty: colF(p, 4)[i], price: colF(p, 5)[i], disc: colF(p, 6)[i], tax: colF(p, 7)[i],
+				rf: colS(p, 8)[i], ls: colS(p, 9)[i],
+				ship: colI(p, 10)[i], commit: colI(p, 11)[i], receipt: colI(p, 12)[i],
+				instr: colS(p, 13)[i], mode: colS(p, 14)[i],
+			})
+		}
+	}
+	for _, p := range db.Orders.Parts {
+		for i := 0; i < p.Rows(); i++ {
+			r.ord = append(r.ord, ordRow{
+				okey: colI(p, 0)[i], ckey: colI(p, 1)[i], status: colS(p, 2)[i],
+				total: colF(p, 3)[i], date: colI(p, 4)[i], prio: colS(p, 5)[i],
+				comment: colS(p, 7)[i],
+			})
+		}
+	}
+	for _, p := range db.Customer.Parts {
+		for i := 0; i < p.Rows(); i++ {
+			r.cust = append(r.cust, custRow{
+				key: colI(p, 0)[i], name: colS(p, 1)[i], addr: colS(p, 2)[i],
+				nk: colI(p, 3)[i], phone: colS(p, 4)[i], bal: colF(p, 5)[i],
+				seg: colS(p, 6)[i], comment: colS(p, 7)[i],
+			})
+		}
+	}
+	for _, p := range db.Part.Parts {
+		for i := 0; i < p.Rows(); i++ {
+			r.part = append(r.part, partRow{
+				key: colI(p, 0)[i], name: colS(p, 1)[i], mfgr: colS(p, 2)[i],
+				brand: colS(p, 3)[i], typ: colS(p, 4)[i], size: colI(p, 5)[i],
+				container: colS(p, 6)[i],
+			})
+		}
+	}
+	for _, p := range db.PartSupp.Parts {
+		for i := 0; i < p.Rows(); i++ {
+			r.ps = append(r.ps, psRow{
+				pkey: colI(p, 0)[i], skey: colI(p, 1)[i],
+				avail: colI(p, 2)[i], cost: colF(p, 3)[i],
+			})
+		}
+	}
+	for _, p := range db.Supplier.Parts {
+		for i := 0; i < p.Rows(); i++ {
+			r.supp = append(r.supp, suppRow{
+				key: colI(p, 0)[i], name: colS(p, 1)[i], addr: colS(p, 2)[i],
+				nk: colI(p, 3)[i], phone: colS(p, 4)[i], bal: colF(p, 5)[i],
+				comment: colS(p, 6)[i],
+			})
+		}
+	}
+	for _, p := range db.Nation.Parts {
+		for i := 0; i < p.Rows(); i++ {
+			r.nation[colI(p, 0)[i]] = colS(p, 1)[i]
+			r.natReg[colI(p, 0)[i]] = colI(p, 2)[i]
+		}
+	}
+	for _, p := range db.Region.Parts {
+		for i := 0; i < p.Rows(); i++ {
+			r.region[colI(p, 0)[i]] = colS(p, 1)[i]
+		}
+	}
+	return r
+}
+
+func (r *ref) nationsInRegion(name string) map[int64]bool {
+	var rk int64 = -1
+	for k, v := range r.region {
+		if v == name {
+			rk = k
+		}
+	}
+	out := map[int64]bool{}
+	for nk, reg := range r.natReg {
+		if reg == rk {
+			out[nk] = true
+		}
+	}
+	return out
+}
+
+func iv(i int64) engine.Val   { return engine.Val{I: i} }
+func fv(f float64) engine.Val { return engine.Val{F: f} }
+func sv(s string) engine.Val  { return engine.Val{S: s} }
+
+func date(s string) int64 { return engine.ParseDate(s) }
+
+// RefQuery runs the reference implementation of query n.
+func (r *ref) RefQuery(n int, sf float64) [][]engine.Val {
+	switch n {
+	case 1:
+		return r.q1()
+	case 2:
+		return r.q2()
+	case 3:
+		return r.q3()
+	case 4:
+		return r.q4()
+	case 5:
+		return r.q5()
+	case 6:
+		return r.q6()
+	case 7:
+		return r.q7()
+	case 8:
+		return r.q8()
+	case 9:
+		return r.q9()
+	case 10:
+		return r.q10()
+	case 11:
+		return r.q11(sf)
+	case 12:
+		return r.q12()
+	case 13:
+		return r.q13()
+	case 14:
+		return r.q14()
+	case 15:
+		return r.q15()
+	case 16:
+		return r.q16()
+	case 17:
+		return r.q17()
+	case 18:
+		return r.q18()
+	case 19:
+		return r.q19()
+	case 20:
+		return r.q20()
+	case 21:
+		return r.q21()
+	case 22:
+		return r.q22()
+	default:
+		panic("tpch: no reference for query")
+	}
+}
+
+func (r *ref) q1() [][]engine.Val {
+	type acc struct {
+		qty, base, disc, charge, discount float64
+		n                                 int64
+	}
+	m := map[string]*acc{}
+	cutoff := date("1998-09-02")
+	for _, l := range r.li {
+		if l.ship > cutoff {
+			continue
+		}
+		k := l.rf + "|" + l.ls
+		a := m[k]
+		if a == nil {
+			a = &acc{}
+			m[k] = a
+		}
+		a.qty += l.qty
+		a.base += l.price
+		a.disc += l.price * (1 - l.disc)
+		a.charge += l.price * (1 - l.disc) * (1 + l.tax)
+		a.discount += l.disc
+		a.n++
+	}
+	var out [][]engine.Val
+	for k, a := range m {
+		p := strings.SplitN(k, "|", 2)
+		fn := float64(a.n)
+		out = append(out, []engine.Val{
+			sv(p[0]), sv(p[1]), fv(a.qty), fv(a.base), fv(a.disc), fv(a.charge),
+			fv(a.qty / fn), fv(a.base / fn), fv(a.discount / fn), iv(a.n),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0].S != out[j][0].S {
+			return out[i][0].S < out[j][0].S
+		}
+		return out[i][1].S < out[j][1].S
+	})
+	return out
+}
+
+func (r *ref) q2() [][]engine.Val {
+	eu := r.nationsInRegion("EUROPE")
+	euSupp := map[int64]suppRow{}
+	for _, s := range r.supp {
+		if eu[s.nk] {
+			euSupp[s.key] = s
+		}
+	}
+	minCost := map[int64]float64{}
+	for _, ps := range r.ps {
+		if _, ok := euSupp[ps.skey]; !ok {
+			continue
+		}
+		if c, ok := minCost[ps.pkey]; !ok || ps.cost < c {
+			minCost[ps.pkey] = ps.cost
+		}
+	}
+	partOK := map[int64]partRow{}
+	for _, p := range r.part {
+		if p.size == 15 && strings.HasSuffix(p.typ, "BRASS") {
+			partOK[p.key] = p
+		}
+	}
+	var out [][]engine.Val
+	for _, ps := range r.ps {
+		s, ok := euSupp[ps.skey]
+		if !ok {
+			continue
+		}
+		p, ok := partOK[ps.pkey]
+		if !ok {
+			continue
+		}
+		if ps.cost != minCost[ps.pkey] {
+			continue
+		}
+		out = append(out, []engine.Val{
+			iv(ps.pkey), iv(ps.skey), fv(ps.cost),
+			sv(s.name), sv(s.addr), sv(s.phone), fv(s.bal), sv(s.comment),
+			sv(r.nation[s.nk]), sv(p.mfgr),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a[6].F != b[6].F {
+			return a[6].F > b[6].F
+		}
+		if a[8].S != b[8].S {
+			return a[8].S < b[8].S
+		}
+		if a[3].S != b[3].S {
+			return a[3].S < b[3].S
+		}
+		return a[0].I < b[0].I
+	})
+	if len(out) > 100 {
+		out = out[:100]
+	}
+	return out
+}
+
+func (r *ref) q3() [][]engine.Val {
+	building := map[int64]bool{}
+	for _, c := range r.cust {
+		if c.seg == "BUILDING" {
+			building[c.key] = true
+		}
+	}
+	type ordInfo struct {
+		date, shipprio int64
+	}
+	ords := map[int64]ordInfo{}
+	cutoff := date("1995-03-15")
+	for _, o := range r.ord {
+		if o.date < cutoff && building[o.ckey] {
+			ords[o.okey] = ordInfo{o.date, 0}
+		}
+	}
+	type key struct {
+		okey, date, prio int64
+	}
+	rev := map[key]float64{}
+	for _, l := range r.li {
+		if l.ship <= cutoff {
+			continue
+		}
+		oi, ok := ords[l.okey]
+		if !ok {
+			continue
+		}
+		rev[key{l.okey, oi.date, oi.shipprio}] += l.price * (1 - l.disc)
+	}
+	var out [][]engine.Val
+	for k, v := range rev {
+		out = append(out, []engine.Val{iv(k.okey), iv(k.date), iv(k.prio), fv(v)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][3].F != out[j][3].F {
+			return out[i][3].F > out[j][3].F
+		}
+		return out[i][1].I < out[j][1].I
+	})
+	if len(out) > 10 {
+		out = out[:10]
+	}
+	return out
+}
+
+func (r *ref) q4() [][]engine.Val {
+	late := map[int64]bool{}
+	for _, l := range r.li {
+		if l.commit < l.receipt {
+			late[l.okey] = true
+		}
+	}
+	lo, hi := date("1993-07-01"), date("1993-10-01")
+	counts := map[string]int64{}
+	for _, o := range r.ord {
+		if o.date >= lo && o.date < hi && late[o.okey] {
+			counts[o.prio]++
+		}
+	}
+	var out [][]engine.Val
+	for p, n := range counts {
+		out = append(out, []engine.Val{sv(p), iv(n)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0].S < out[j][0].S })
+	return out
+}
+
+func (r *ref) q5() [][]engine.Val {
+	asia := r.nationsInRegion("ASIA")
+	suppNation := map[int64]int64{}
+	for _, s := range r.supp {
+		if asia[s.nk] {
+			suppNation[s.key] = s.nk
+		}
+	}
+	custNation := map[int64]int64{}
+	for _, c := range r.cust {
+		custNation[c.key] = c.nk
+	}
+	lo, hi := date("1994-01-01"), date("1995-01-01")
+	ordCustNation := map[int64]int64{} // orderkey -> customer's nation
+	for _, o := range r.ord {
+		if o.date >= lo && o.date < hi {
+			ordCustNation[o.okey] = custNation[o.ckey]
+		}
+	}
+	rev := map[string]float64{}
+	for _, l := range r.li {
+		cn, ok := ordCustNation[l.okey]
+		if !ok {
+			continue
+		}
+		sn, ok := suppNation[l.skey]
+		if !ok || sn != cn {
+			continue
+		}
+		rev[r.nation[sn]] += l.price * (1 - l.disc)
+	}
+	var out [][]engine.Val
+	for n, v := range rev {
+		out = append(out, []engine.Val{sv(n), fv(v)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][1].F > out[j][1].F })
+	return out
+}
+
+func (r *ref) q6() [][]engine.Val {
+	lo, hi := date("1994-01-01"), date("1995-01-01")
+	var rev float64
+	for _, l := range r.li {
+		if l.ship >= lo && l.ship < hi && l.disc >= 0.05 && l.disc <= 0.07 && l.qty < 24 {
+			rev += l.price * l.disc
+		}
+	}
+	return [][]engine.Val{{fv(rev)}}
+}
+
+func (r *ref) q7() [][]engine.Val {
+	frde := map[int64]string{}
+	for nk, n := range r.nation {
+		if n == "FRANCE" || n == "GERMANY" {
+			frde[nk] = n
+		}
+	}
+	suppN := map[int64]string{}
+	for _, s := range r.supp {
+		if n, ok := frde[s.nk]; ok {
+			suppN[s.key] = n
+		}
+	}
+	custN := map[int64]string{}
+	for _, c := range r.cust {
+		if n, ok := frde[c.nk]; ok {
+			custN[c.key] = n
+		}
+	}
+	ordN := map[int64]string{}
+	for _, o := range r.ord {
+		if n, ok := custN[o.ckey]; ok {
+			ordN[o.okey] = n
+		}
+	}
+	lo, hi := date("1995-01-01"), date("1996-12-31")
+	type key struct {
+		sn, cn string
+		year   int64
+	}
+	rev := map[key]float64{}
+	for _, l := range r.li {
+		if l.ship < lo || l.ship > hi {
+			continue
+		}
+		sn, ok := suppN[l.skey]
+		if !ok {
+			continue
+		}
+		cn, ok := ordN[l.okey]
+		if !ok || sn == cn {
+			continue
+		}
+		rev[key{sn, cn, engine.YearOf(l.ship)}] += l.price * (1 - l.disc)
+	}
+	var out [][]engine.Val
+	for k, v := range rev {
+		out = append(out, []engine.Val{sv(k.sn), sv(k.cn), iv(k.year), fv(v)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a[0].S != b[0].S {
+			return a[0].S < b[0].S
+		}
+		if a[1].S != b[1].S {
+			return a[1].S < b[1].S
+		}
+		return a[2].I < b[2].I
+	})
+	return out
+}
+
+func (r *ref) q8() [][]engine.Val {
+	america := r.nationsInRegion("AMERICA")
+	amCust := map[int64]bool{}
+	for _, c := range r.cust {
+		if america[c.nk] {
+			amCust[c.key] = true
+		}
+	}
+	lo, hi := date("1995-01-01"), date("1996-12-31")
+	ordDate := map[int64]int64{}
+	for _, o := range r.ord {
+		if o.date >= lo && o.date <= hi && amCust[o.ckey] {
+			ordDate[o.okey] = o.date
+		}
+	}
+	steel := map[int64]bool{}
+	for _, p := range r.part {
+		if p.typ == "ECONOMY ANODIZED STEEL" {
+			steel[p.key] = true
+		}
+	}
+	suppN := map[int64]string{}
+	for _, s := range r.supp {
+		suppN[s.key] = r.nation[s.nk]
+	}
+	type agg struct{ bv, tv float64 }
+	years := map[int64]*agg{}
+	for _, l := range r.li {
+		if !steel[l.pkey] {
+			continue
+		}
+		od, ok := ordDate[l.okey]
+		if !ok {
+			continue
+		}
+		y := engine.YearOf(od)
+		a := years[y]
+		if a == nil {
+			a = &agg{}
+			years[y] = a
+		}
+		vol := l.price * (1 - l.disc)
+		a.tv += vol
+		if suppN[l.skey] == "BRAZIL" {
+			a.bv += vol
+		}
+	}
+	var out [][]engine.Val
+	for y, a := range years {
+		out = append(out, []engine.Val{iv(y), fv(a.bv), fv(a.tv), fv(a.bv / a.tv)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0].I < out[j][0].I })
+	return out
+}
+
+func (r *ref) q9() [][]engine.Val {
+	green := map[int64]bool{}
+	for _, p := range r.part {
+		if strings.Contains(p.name, "green") {
+			green[p.key] = true
+		}
+	}
+	suppN := map[int64]string{}
+	for _, s := range r.supp {
+		suppN[s.key] = r.nation[s.nk]
+	}
+	cost := map[[2]int64]float64{}
+	for _, ps := range r.ps {
+		cost[[2]int64{ps.pkey, ps.skey}] = ps.cost
+	}
+	ordDate := map[int64]int64{}
+	for _, o := range r.ord {
+		ordDate[o.okey] = o.date
+	}
+	type key struct {
+		nation string
+		year   int64
+	}
+	profit := map[key]float64{}
+	for _, l := range r.li {
+		if !green[l.pkey] {
+			continue
+		}
+		amount := l.price*(1-l.disc) - cost[[2]int64{l.pkey, l.skey}]*l.qty
+		profit[key{suppN[l.skey], engine.YearOf(ordDate[l.okey])}] += amount
+	}
+	var out [][]engine.Val
+	for k, v := range profit {
+		out = append(out, []engine.Val{sv(k.nation), iv(k.year), fv(v)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0].S != out[j][0].S {
+			return out[i][0].S < out[j][0].S
+		}
+		return out[i][1].I > out[j][1].I
+	})
+	return out
+}
+
+func (r *ref) q10() [][]engine.Val {
+	lo, hi := date("1993-10-01"), date("1994-01-01")
+	ordCust := map[int64]int64{}
+	for _, o := range r.ord {
+		if o.date >= lo && o.date < hi {
+			ordCust[o.okey] = o.ckey
+		}
+	}
+	rev := map[int64]float64{}
+	for _, l := range r.li {
+		if l.rf != "R" {
+			continue
+		}
+		if ck, ok := ordCust[l.okey]; ok {
+			rev[ck] += l.price * (1 - l.disc)
+		}
+	}
+	custBy := map[int64]custRow{}
+	for _, c := range r.cust {
+		custBy[c.key] = c
+	}
+	var out [][]engine.Val
+	for ck, v := range rev {
+		c := custBy[ck]
+		out = append(out, []engine.Val{
+			iv(ck), sv(c.name), fv(c.bal), sv(c.phone), sv(r.nation[c.nk]),
+			sv(c.addr), sv(c.comment), fv(v),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][7].F > out[j][7].F })
+	if len(out) > 20 {
+		out = out[:20]
+	}
+	return out
+}
+
+func (r *ref) q11(sf float64) [][]engine.Val {
+	germany := map[int64]bool{}
+	for _, s := range r.supp {
+		if r.nation[s.nk] == "GERMANY" {
+			germany[s.key] = true
+		}
+	}
+	var total float64
+	perPart := map[int64]float64{}
+	for _, ps := range r.ps {
+		if !germany[ps.skey] {
+			continue
+		}
+		v := ps.cost * float64(ps.avail)
+		total += v
+		perPart[ps.pkey] += v
+	}
+	threshold := total * (0.0001 / sf)
+	var out [][]engine.Val
+	for pk, v := range perPart {
+		if v > threshold {
+			out = append(out, []engine.Val{iv(pk), fv(v), iv(1), fv(total)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][1].F > out[j][1].F })
+	return out
+}
+
+func (r *ref) q12() [][]engine.Val {
+	lo, hi := date("1994-01-01"), date("1995-01-01")
+	prio := map[int64]string{}
+	for _, o := range r.ord {
+		prio[o.okey] = o.prio
+	}
+	type agg struct{ high, low int64 }
+	modes := map[string]*agg{}
+	for _, l := range r.li {
+		if l.mode != "MAIL" && l.mode != "SHIP" {
+			continue
+		}
+		if !(l.commit < l.receipt && l.ship < l.commit && l.receipt >= lo && l.receipt < hi) {
+			continue
+		}
+		a := modes[l.mode]
+		if a == nil {
+			a = &agg{}
+			modes[l.mode] = a
+		}
+		p := prio[l.okey]
+		if p == "1-URGENT" || p == "2-HIGH" {
+			a.high++
+		} else {
+			a.low++
+		}
+	}
+	var out [][]engine.Val
+	for m, a := range modes {
+		out = append(out, []engine.Val{sv(m), iv(a.high), iv(a.low)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0].S < out[j][0].S })
+	return out
+}
+
+func (r *ref) q13() [][]engine.Val {
+	perCust := map[int64]int64{}
+	for _, c := range r.cust {
+		perCust[c.key] = 0
+	}
+	matcher := func(s string) bool {
+		i := strings.Index(s, "special")
+		if i < 0 {
+			return false
+		}
+		return strings.Contains(s[i+len("special"):], "requests")
+	}
+	for _, o := range r.ord {
+		if matcher(o.comment) {
+			continue
+		}
+		if _, ok := perCust[o.ckey]; ok {
+			perCust[o.ckey]++
+		}
+	}
+	hist := map[int64]int64{}
+	for _, n := range perCust {
+		hist[n]++
+	}
+	var out [][]engine.Val
+	for cnt, n := range hist {
+		out = append(out, []engine.Val{iv(cnt), iv(n)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][1].I != out[j][1].I {
+			return out[i][1].I > out[j][1].I
+		}
+		return out[i][0].I > out[j][0].I
+	})
+	return out
+}
+
+func (r *ref) q14() [][]engine.Val {
+	lo, hi := date("1995-09-01"), date("1995-10-01")
+	promo := map[int64]bool{}
+	for _, p := range r.part {
+		if strings.HasPrefix(p.typ, "PROMO") {
+			promo[p.key] = true
+		}
+	}
+	var pv, tv float64
+	for _, l := range r.li {
+		if l.ship < lo || l.ship >= hi {
+			continue
+		}
+		vol := l.price * (1 - l.disc)
+		tv += vol
+		if promo[l.pkey] {
+			pv += vol
+		}
+	}
+	return [][]engine.Val{{fv(pv), fv(tv), fv(100 * pv / tv)}}
+}
+
+func (r *ref) q15() [][]engine.Val {
+	lo, hi := date("1996-01-01"), date("1996-04-01")
+	rev := map[int64]float64{}
+	for _, l := range r.li {
+		if l.ship >= lo && l.ship < hi {
+			rev[l.skey] += l.price * (1 - l.disc)
+		}
+	}
+	var maxRev float64
+	for _, v := range rev {
+		if v > maxRev {
+			maxRev = v
+		}
+	}
+	suppBy := map[int64]suppRow{}
+	for _, s := range r.supp {
+		suppBy[s.key] = s
+	}
+	var out [][]engine.Val
+	for sk, v := range rev {
+		if v == maxRev {
+			s := suppBy[sk]
+			out = append(out, []engine.Val{iv(sk), sv(s.name), sv(s.addr), sv(s.phone), fv(v)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0].I < out[j][0].I })
+	return out
+}
+
+func (r *ref) q16() [][]engine.Val {
+	bad := map[int64]bool{}
+	for _, s := range r.supp {
+		i := strings.Index(s.comment, "Customer")
+		if i >= 0 && strings.Contains(s.comment[i:], "Complaints") {
+			bad[s.key] = true
+		}
+	}
+	sizes := map[int64]bool{49: true, 14: true, 23: true, 45: true, 19: true, 3: true, 36: true, 9: true}
+	partOK := map[int64]partRow{}
+	for _, p := range r.part {
+		if p.brand != "Brand#45" && !strings.HasPrefix(p.typ, "MEDIUM POLISHED") && sizes[p.size] {
+			partOK[p.key] = p
+		}
+	}
+	type key struct {
+		brand, typ string
+		size       int64
+	}
+	suppliers := map[key]map[int64]bool{}
+	for _, ps := range r.ps {
+		p, ok := partOK[ps.pkey]
+		if !ok || bad[ps.skey] {
+			continue
+		}
+		k := key{p.brand, p.typ, p.size}
+		if suppliers[k] == nil {
+			suppliers[k] = map[int64]bool{}
+		}
+		suppliers[k][ps.skey] = true
+	}
+	var out [][]engine.Val
+	for k, s := range suppliers {
+		out = append(out, []engine.Val{sv(k.brand), sv(k.typ), iv(k.size), iv(int64(len(s)))})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a[3].I != b[3].I {
+			return a[3].I > b[3].I
+		}
+		if a[0].S != b[0].S {
+			return a[0].S < b[0].S
+		}
+		if a[1].S != b[1].S {
+			return a[1].S < b[1].S
+		}
+		return a[2].I < b[2].I
+	})
+	return out
+}
+
+func (r *ref) q17() [][]engine.Val {
+	target := map[int64]bool{}
+	for _, p := range r.part {
+		if p.brand == "Brand#23" && p.container == "MED BOX" {
+			target[p.key] = true
+		}
+	}
+	type qa struct {
+		sum float64
+		n   int64
+	}
+	avg := map[int64]*qa{}
+	for _, l := range r.li {
+		a := avg[l.pkey]
+		if a == nil {
+			a = &qa{}
+			avg[l.pkey] = a
+		}
+		a.sum += l.qty
+		a.n++
+	}
+	var sum float64
+	for _, l := range r.li {
+		if !target[l.pkey] {
+			continue
+		}
+		a := avg[l.pkey]
+		if l.qty < 0.2*(a.sum/float64(a.n)) {
+			sum += l.price
+		}
+	}
+	return [][]engine.Val{{fv(sum), fv(sum / 7)}}
+}
+
+func (r *ref) q18() [][]engine.Val {
+	qty := map[int64]float64{}
+	for _, l := range r.li {
+		qty[l.okey] += l.qty
+	}
+	custName := map[int64]string{}
+	for _, c := range r.cust {
+		custName[c.key] = c.name
+	}
+	var out [][]engine.Val
+	for _, o := range r.ord {
+		if qty[o.okey] > 300 {
+			out = append(out, []engine.Val{
+				iv(o.okey), iv(o.ckey), iv(o.date), fv(o.total),
+				fv(qty[o.okey]), sv(custName[o.ckey]),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][3].F != out[j][3].F {
+			return out[i][3].F > out[j][3].F
+		}
+		return out[i][2].I < out[j][2].I
+	})
+	if len(out) > 100 {
+		out = out[:100]
+	}
+	return out
+}
+
+func (r *ref) q19() [][]engine.Val {
+	partBy := map[int64]partRow{}
+	for _, p := range r.part {
+		partBy[p.key] = p
+	}
+	in := func(s string, set ...string) bool {
+		for _, x := range set {
+			if s == x {
+				return true
+			}
+		}
+		return false
+	}
+	var rev float64
+	for _, l := range r.li {
+		if !in(l.mode, "AIR", "AIR REG") || l.instr != "DELIVER IN PERSON" {
+			continue
+		}
+		p, ok := partBy[l.pkey]
+		if !ok {
+			continue
+		}
+		m := false
+		if p.brand == "Brand#12" && in(p.container, "SM CASE", "SM BOX", "SM PACK", "SM PKG") &&
+			l.qty >= 1 && l.qty <= 11 && p.size >= 1 && p.size <= 5 {
+			m = true
+		}
+		if p.brand == "Brand#23" && in(p.container, "MED BAG", "MED BOX", "MED PKG", "MED PACK") &&
+			l.qty >= 10 && l.qty <= 20 && p.size >= 1 && p.size <= 10 {
+			m = true
+		}
+		if p.brand == "Brand#34" && in(p.container, "LG CASE", "LG BOX", "LG PACK", "LG PKG") &&
+			l.qty >= 20 && l.qty <= 30 && p.size >= 1 && p.size <= 15 {
+			m = true
+		}
+		if m {
+			rev += l.price * (1 - l.disc)
+		}
+	}
+	return [][]engine.Val{{fv(rev)}}
+}
+
+func (r *ref) q20() [][]engine.Val {
+	forest := map[int64]bool{}
+	for _, p := range r.part {
+		if strings.HasPrefix(p.name, "forest") {
+			forest[p.key] = true
+		}
+	}
+	lo, hi := date("1994-01-01"), date("1995-01-01")
+	shipped := map[[2]int64]float64{}
+	for _, l := range r.li {
+		if l.ship >= lo && l.ship < hi {
+			shipped[[2]int64{l.pkey, l.skey}] += l.qty
+		}
+	}
+	goodSupp := map[int64]bool{}
+	for _, ps := range r.ps {
+		if !forest[ps.pkey] {
+			continue
+		}
+		sq, ok := shipped[[2]int64{ps.pkey, ps.skey}]
+		if !ok {
+			continue
+		}
+		if float64(ps.avail) > 0.5*sq {
+			goodSupp[ps.skey] = true
+		}
+	}
+	var canada int64 = -1
+	for nk, n := range r.nation {
+		if n == "CANADA" {
+			canada = nk
+		}
+	}
+	var out [][]engine.Val
+	for _, s := range r.supp {
+		if s.nk == canada && goodSupp[s.key] {
+			out = append(out, []engine.Val{iv(s.key), sv(s.name), sv(s.addr), iv(s.nk)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][1].S < out[j][1].S })
+	return out
+}
+
+func (r *ref) q21() [][]engine.Val {
+	var saudi int64 = -1
+	for nk, n := range r.nation {
+		if n == "SAUDI ARABIA" {
+			saudi = nk
+		}
+	}
+	saudiSupp := map[int64]string{}
+	for _, s := range r.supp {
+		if s.nk == saudi {
+			saudiSupp[s.key] = s.name
+		}
+	}
+	fOrders := map[int64]bool{}
+	for _, o := range r.ord {
+		if o.status == "F" {
+			fOrders[o.okey] = true
+		}
+	}
+	allSupp := map[int64]map[int64]bool{}  // orderkey -> suppliers
+	lateSupp := map[int64]map[int64]bool{} // orderkey -> late suppliers
+	for _, l := range r.li {
+		if allSupp[l.okey] == nil {
+			allSupp[l.okey] = map[int64]bool{}
+		}
+		allSupp[l.okey][l.skey] = true
+		if l.receipt > l.commit {
+			if lateSupp[l.okey] == nil {
+				lateSupp[l.okey] = map[int64]bool{}
+			}
+			lateSupp[l.okey][l.skey] = true
+		}
+	}
+	counts := map[string]int64{}
+	for _, l := range r.li {
+		name, ok := saudiSupp[l.skey]
+		if !ok || l.receipt <= l.commit || !fOrders[l.okey] {
+			continue
+		}
+		// exists another supplier on the order
+		others := false
+		for sk := range allSupp[l.okey] {
+			if sk != l.skey {
+				others = true
+				break
+			}
+		}
+		if !others {
+			continue
+		}
+		// no other supplier was late
+		otherLate := false
+		for sk := range lateSupp[l.okey] {
+			if sk != l.skey {
+				otherLate = true
+				break
+			}
+		}
+		if otherLate {
+			continue
+		}
+		counts[name]++
+	}
+	var out [][]engine.Val
+	for n, c := range counts {
+		out = append(out, []engine.Val{sv(n), iv(c)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][1].I != out[j][1].I {
+			return out[i][1].I > out[j][1].I
+		}
+		return out[i][0].S < out[j][0].S
+	})
+	if len(out) > 100 {
+		out = out[:100]
+	}
+	return out
+}
+
+func (r *ref) q22() [][]engine.Val {
+	codes := map[string]bool{"13": true, "31": true, "23": true, "29": true, "30": true, "18": true, "17": true}
+	var sum float64
+	var n int64
+	for _, c := range r.cust {
+		if c.bal > 0 && codes[c.phone[:2]] {
+			sum += c.bal
+			n++
+		}
+	}
+	avg := sum / float64(n)
+	hasOrder := map[int64]bool{}
+	for _, o := range r.ord {
+		hasOrder[o.ckey] = true
+	}
+	type agg struct {
+		n   int64
+		bal float64
+	}
+	out := map[string]*agg{}
+	for _, c := range r.cust {
+		code := c.phone[:2]
+		if !codes[code] || c.bal <= avg || hasOrder[c.key] {
+			continue
+		}
+		a := out[code]
+		if a == nil {
+			a = &agg{}
+			out[code] = a
+		}
+		a.n++
+		a.bal += c.bal
+	}
+	var rows [][]engine.Val
+	for code, a := range out {
+		rows = append(rows, []engine.Val{sv(code), iv(a.n), fv(a.bal)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i][0].S < rows[j][0].S })
+	return rows
+}

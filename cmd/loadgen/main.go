@@ -1,0 +1,262 @@
+// Command loadgen is a closed-loop load generator for morseld: each
+// client keeps exactly one query in flight, interactive clients fire
+// cheap high-priority queries while batch clients grind heavy rollups,
+// and the report shows throughput and latency percentiles per priority
+// class — the elasticity experiment of the paper's Fig. 13, measured
+// through the network API.
+//
+// Usage:
+//
+//	loadgen -addr http://localhost:8080 -clients 8 -mix 0.5 -duration 10s
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+type result struct {
+	class   string
+	latency time.Duration
+	err     error
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://localhost:8080", "morseld base URL")
+		clients     = flag.Int("clients", 8, "concurrent closed-loop clients")
+		mix         = flag.Float64("mix", 0.5, "fraction of clients issuing interactive queries")
+		duration    = flag.Duration("duration", 10*time.Second, "run length")
+		interactive = flag.String("interactive-query", "count-recent", "prepared plan for interactive clients")
+		batch       = flag.String("batch-query", "revenue-by-kind", "prepared plan for batch clients")
+		timeoutMs   = flag.Int("timeout-ms", 0, "per-query timeout (0 = server default)")
+	)
+	flag.Parse()
+
+	if err := waitHealthy(*addr, 30*time.Second); err != nil {
+		log.Fatalf("server not healthy: %v", err)
+	}
+
+	nInteractive := int(float64(*clients) * *mix)
+	log.Printf("running %d clients (%d interactive, %d batch) for %v against %s",
+		*clients, nInteractive, *clients-nInteractive, *duration, *addr)
+
+	var (
+		mu      sync.Mutex
+		results []result
+		// firstRows pins the first row set seen per query name; every
+		// later response must match it (correctness under concurrency).
+		firstRows  = map[string][][]any{}
+		mismatches int
+	)
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		class, query := "batch", *batch
+		if c < nInteractive {
+			class, query = "interactive", *interactive
+		}
+		wg.Add(1)
+		go func(class, query string) {
+			defer wg.Done()
+			client := &http.Client{}
+			body, _ := json.Marshal(map[string]any{
+				"prepared":   query,
+				"priority":   class,
+				"timeout_ms": *timeoutMs,
+			})
+			for time.Now().Before(deadline) {
+				start := time.Now()
+				rows, err := post(client, *addr+"/query", body)
+				lat := time.Since(start)
+				mu.Lock()
+				results = append(results, result{class: class, latency: lat, err: err})
+				if err == nil {
+					if prev, ok := firstRows[query]; !ok {
+						firstRows[query] = rows
+					} else if !rowsEqual(prev, rows) {
+						mismatches++
+					}
+				}
+				mu.Unlock()
+			}
+		}(class, query)
+	}
+	wg.Wait()
+
+	report(results, *duration)
+	if mismatches > 0 {
+		log.Fatalf("CORRECTNESS FAILURE: %d responses diverged from the first result of the same query", mismatches)
+	}
+	fmt.Println("all repeated queries returned identical results")
+}
+
+func waitHealthy(addr string, patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	for {
+		resp, err := http.Get(addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			err = fmt.Errorf("status %d", resp.StatusCode)
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// post runs one query and returns its decoded result rows.
+func post(client *http.Client, url string, body []byte) ([][]any, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	var decoded struct {
+		Rows [][]any `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		return nil, err
+	}
+	return decoded.Rows, nil
+}
+
+// rowsEqual compares two result row sets order-insensitively, with a
+// relative tolerance on floats: parallel summation order varies run to
+// run, so float aggregates differ in their last bits (and near-equal
+// sort keys may swap rows). Exact string equality would flag correct
+// results as divergent.
+func rowsEqual(a, b [][]any) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as, bs := sortedByKey(a), sortedByKey(b)
+	for i := range as {
+		if len(as[i]) != len(bs[i]) {
+			return false
+		}
+		for j := range as[i] {
+			if !cellEqual(as[i][j], bs[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// sortedByKey orders rows by a canonical key with floats at low
+// precision, so fp noise cannot flip the ordering of distinct rows.
+func sortedByKey(rows [][]any) [][]any {
+	out := append([][]any(nil), rows...)
+	key := func(row []any) string {
+		var sb bytes.Buffer
+		for _, v := range row {
+			if f, ok := v.(float64); ok {
+				fmt.Fprintf(&sb, "%.2f|", f)
+			} else {
+				fmt.Fprintf(&sb, "%v|", v)
+			}
+		}
+		return sb.String()
+	}
+	sort.Slice(out, func(i, j int) bool { return key(out[i]) < key(out[j]) })
+	return out
+}
+
+func cellEqual(a, b any) bool {
+	fa, aok := a.(float64)
+	fb, bok := b.(float64)
+	if aok && bok {
+		diff := fa - fb
+		if diff < 0 {
+			diff = -diff
+		}
+		scale := 1.0
+		if s := max(abs(fa), abs(fb)); s > scale {
+			scale = s
+		}
+		return diff <= 1e-8*scale
+	}
+	return fmt.Sprint(a) == fmt.Sprint(b)
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+func report(results []result, elapsed time.Duration) {
+	byClass := map[string][]time.Duration{}
+	errs := map[string]int{}
+	for _, r := range results {
+		if r.err != nil {
+			errs[r.class]++
+			continue
+		}
+		byClass[r.class] = append(byClass[r.class], r.latency)
+	}
+	fmt.Printf("\n%-12s %8s %8s %9s %9s %9s %9s %7s\n",
+		"class", "queries", "qps", "p50", "p90", "p99", "max", "errors")
+	for _, class := range []string{"interactive", "batch"} {
+		lats := byClass[class]
+		if len(lats) == 0 && errs[class] == 0 {
+			continue
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		fmt.Printf("%-12s %8d %8.1f %9s %9s %9s %9s %7d\n",
+			class, len(lats), float64(len(lats))/elapsed.Seconds(),
+			pct(lats, 0.50), pct(lats, 0.90), pct(lats, 0.99), pct(lats, 1.0), errs[class])
+	}
+	if len(byClass["interactive"]) > 0 && len(byClass["batch"]) > 0 {
+		pi := pctDur(byClass["interactive"], 0.99)
+		pb := pctDur(byClass["batch"], 0.99)
+		if pi < pb {
+			fmt.Printf("\ninteractive p99 (%v) < batch p99 (%v): priority scheduling holds\n",
+				pi.Round(time.Microsecond), pb.Round(time.Microsecond))
+		} else {
+			fmt.Printf("\nWARNING: interactive p99 (%v) >= batch p99 (%v)\n",
+				pi.Round(time.Microsecond), pb.Round(time.Microsecond))
+			os.Exit(2)
+		}
+	}
+}
+
+func pctDur(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func pct(sorted []time.Duration, p float64) string {
+	if len(sorted) == 0 {
+		return "-"
+	}
+	return pctDur(sorted, p).Round(10 * time.Microsecond).String()
+}

@@ -1,0 +1,166 @@
+// Command morseld is the morsel-driven query daemon: it loads a demo
+// star schema (an orders fact table and a customers dimension), registers
+// prepared plans, and serves the concurrent query API over HTTP. Many
+// clients share one dispatcher and worker pool, so concurrent queries
+// share workers at morsel granularity with priority-weighted elasticity.
+//
+// Usage:
+//
+//	morseld -addr :8080 -orders 2000000 -workers 0
+//
+// Endpoints: POST /query, GET /stats, GET /tables, GET /healthz.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		machine    = flag.String("machine", "nehalem", "simulated NUMA machine: nehalem | sandybridge")
+		workers    = flag.Int("workers", 0, "worker threads (0 = all hardware threads of the machine model)")
+		morselRows = flag.Int("morsel-rows", 100_000, "morsel size in tuples")
+		orders     = flag.Int("orders", 2_000_000, "demo orders fact-table rows")
+		customers  = flag.Int("customers", 10_000, "demo customers dimension rows")
+		maxConc    = flag.Int("max-concurrent", 0, "queries admitted at once (0 = 2 x sockets)")
+		maxQueue   = flag.Int("max-queue", 64, "waiting queries before 429 (negative = none)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "default per-query timeout")
+	)
+	flag.Parse()
+
+	var m = core.Nehalem()
+	switch *machine {
+	case "nehalem":
+	case "sandybridge":
+		m = core.SandyBridge()
+	default:
+		log.Fatalf("unknown machine %q (want nehalem or sandybridge)", *machine)
+	}
+
+	sys := core.NewSystem(m, core.Options{Workers: *workers, MorselRows: *morselRows})
+	log.Printf("loading demo dataset: %d orders, %d customers ...", *orders, *customers)
+	start := time.Now()
+	ordersT, customersT := loadDemo(sys, *orders, *customers)
+	log.Printf("dataset ready in %v", time.Since(start).Round(time.Millisecond))
+
+	srv := server.New(sys, server.Config{
+		MaxConcurrent:  *maxConc,
+		MaxQueue:       *maxQueue,
+		DefaultTimeout: *timeout,
+	})
+	defer srv.Close()
+	srv.RegisterTable(ordersT)
+	srv.RegisterTable(customersT)
+	prepare(srv, ordersT, customersT)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("shutting down ...")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+	}()
+	st := srv.Stats()
+	log.Printf("morseld listening on %s (%d workers, %d sockets, admit %d + queue %d)",
+		*addr, st.Workers, st.Sockets, st.Admission.MaxConcurrent, st.Admission.MaxQueue)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+}
+
+// loadDemo builds the demo star schema: orders(id, cust, kind, amount,
+// day) and customers(cid, name, region).
+func loadDemo(sys *core.System, orderRows, customerRows int) (*core.Table, *core.Table) {
+	ob := core.NewTableBuilder("orders", core.Schema{
+		{Name: "id", Type: core.I64},
+		{Name: "cust", Type: core.I64},
+		{Name: "kind", Type: core.I64},
+		{Name: "amount", Type: core.F64},
+		{Name: "day", Type: core.I64},
+	}, 64, "id")
+	// Deterministic pseudo-random stream, so results are reproducible
+	// across runs and hosts.
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func(n int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(n))
+	}
+	for i := 0; i < orderRows; i++ {
+		ob.Append(core.Row{
+			int64(i),
+			int64(next(customerRows)),
+			int64(next(11)),
+			float64(next(1_000_000)) / 100,
+			int64(next(365)),
+		})
+	}
+	orders := sys.Register(ob)
+
+	cb := core.NewTableBuilder("customers", core.Schema{
+		{Name: "cid", Type: core.I64},
+		{Name: "name", Type: core.Str},
+		{Name: "region", Type: core.Str},
+	}, 16, "cid")
+	regions := []string{"emea", "amer", "apac", "latam"}
+	for i := 0; i < customerRows; i++ {
+		cb.Append(core.Row{int64(i), fmt.Sprintf("cust-%06d", i), regions[i%len(regions)]})
+	}
+	return orders, sys.Register(cb)
+}
+
+// prepare registers the daemon's named plans: two cheap interactive
+// lookups and two heavy batch rollups.
+func prepare(srv *server.Server, orders, customers *core.Table) {
+	{ // interactive: single-group count over a selective filter
+		p := core.NewPlan("count-recent")
+		p.Return(p.Scan(orders, "day").
+			Filter(core.Lt(core.Col("day"), core.ConstI(7))).
+			GroupBy(nil, []core.AggDef{core.Count("n")}))
+		srv.Prepare("count-recent", p)
+	}
+	{ // interactive: top days by revenue for one kind
+		p := core.NewPlan("kind0-by-day")
+		p.ReturnSorted(p.Scan(orders, "kind", "amount", "day").
+			Filter(core.Eq(core.Col("kind"), core.ConstI(0))).
+			GroupBy([]core.NamedExpr{core.N("day", core.Col("day"))},
+				[]core.AggDef{core.Sum("revenue", core.Col("amount"))}),
+			10, core.Desc("revenue"))
+		srv.Prepare("kind0-by-day", p)
+	}
+	{ // batch: full rollup by kind
+		p := core.NewPlan("revenue-by-kind")
+		p.ReturnSorted(p.Scan(orders, "kind", "amount").
+			GroupBy([]core.NamedExpr{core.N("kind", core.Col("kind"))},
+				[]core.AggDef{core.Count("n"), core.Sum("revenue", core.Col("amount")), core.Avg("avg", core.Col("amount"))}),
+			0, core.Asc("kind"))
+		srv.Prepare("revenue-by-kind", p)
+	}
+	{ // batch: join + rollup by region
+		p := core.NewPlan("revenue-by-region")
+		build := p.Scan(customers, "cid", "region")
+		p.ReturnSorted(p.Scan(orders, "cust", "amount").
+			HashJoin(build, core.JoinInner,
+				[]*core.Expr{core.Col("cust")}, []*core.Expr{core.Col("cid")}, "region").
+			GroupBy([]core.NamedExpr{core.N("region", core.Col("region"))},
+				[]core.AggDef{core.Sum("revenue", core.Col("amount")), core.Count("n")}),
+			0, core.Desc("revenue"))
+		srv.Prepare("revenue-by-region", p)
+	}
+}

@@ -193,7 +193,9 @@ func (s *System) session() *engine.Session {
 	return es
 }
 
-// Run executes a plan to completion.
+// Run executes a plan to completion. Safe for concurrent use: each call
+// builds a private session, dispatcher, and worker pool. For queries that
+// should share one worker pool at morsel granularity, use Exec.
 func (s *System) Run(p *Plan) (*Result, QueryStats) {
 	return s.session().Run(p)
 }
@@ -201,3 +203,10 @@ func (s *System) Run(p *Plan) (*Result, QueryStats) {
 // Session exposes the full engine session for advanced use (custom
 // dispatch configuration, plan-driven baseline, simulation arrivals).
 func (s *System) Session() *engine.Session { return s.session() }
+
+// Exec creates a started shared executor: one long-lived dispatcher and
+// real worker pool serving many concurrent queries with elastic,
+// priority-weighted worker sharing at morsel boundaries. This is the
+// entry point for servers; callers own the returned Exec and must Close
+// it.
+func (s *System) Exec() *engine.Exec { return engine.NewExec(s.session()) }

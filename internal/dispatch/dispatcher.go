@@ -205,6 +205,16 @@ func (d *Dispatcher) finishQueryLocked(q *Query) {
 // Pending reports whether unfinished queries exist.
 func (d *Dispatcher) Pending() bool { return d.pendingQueries.Load() > 0 }
 
+// PendingQueries returns the number of submitted, unfinished queries —
+// the dispatcher's queue depth. Admission control layers poll this to
+// bound concurrent in-flight work.
+func (d *Dispatcher) PendingQueries() int64 { return d.pendingQueries.Load() }
+
+// ActiveJobs returns the number of currently active pipeline jobs (jobs
+// whose dependencies are met and that still have morsels or outstanding
+// tasks).
+func (d *Dispatcher) ActiveJobs() int { return len(*d.active.Load()) }
+
 // Activations returns a counter that increases whenever new work may have
 // appeared; parked workers compare it to re-check.
 func (d *Dispatcher) Activations() int64 { return d.activations.Load() }
@@ -275,31 +285,60 @@ func (d *Dispatcher) NextTask(w *Worker) (Task, bool) {
 				start := int(w.rr) % n
 				w.rr++
 				for k := 0; k < n; k++ {
-					if m, ok := j.tryCut((start + k) % n); ok {
-						return Task{Job: j, Morsel: m}, true
+					if t, ok := d.take(j, (start+k)%n); ok {
+						return t, true
 					}
 				}
 				continue
 			}
 			// Local first, then interleaved, then steal by
 			// increasing distance.
-			if m, ok := j.tryCut(int(w.Socket())); ok {
-				return Task{Job: j, Morsel: m}, true
+			if t, ok := d.take(j, int(w.Socket())); ok {
+				return t, true
 			}
-			if m, ok := j.tryCut(interleavedBucket); ok {
-				return Task{Job: j, Morsel: m}, true
+			if t, ok := d.take(j, interleavedBucket); ok {
+				return t, true
 			}
 			if d.Cfg.NoStealing {
 				continue
 			}
 			for _, s := range d.Machine.Topo.SocketsByDistance(w.Socket())[1:] {
-				if m, ok := j.tryCut(int(s)); ok {
-					return Task{Job: j, Morsel: m}, true
+				if t, ok := d.take(j, int(s)); ok {
+					return t, true
 				}
 			}
 		}
 	}
 	return Task{}, false
+}
+
+// take cuts one morsel and re-checks cancellation AFTER the cut's
+// outstanding counters are visible. This closes the race where a worker
+// holding a stale active-jobs snapshot cuts a morsel of a query that
+// Cancel already finished (outstanding was 0 at its check): either the
+// cut's increment is visible to Cancel — which then defers finishing to
+// us — or cancellation is visible here and the cut is undone. Any
+// worker that passed this check before the cancel marker was set simply
+// runs its morsel to completion, the paper's cancellation granularity.
+func (d *Dispatcher) take(j *PipelineJob, bucket int) (Task, bool) {
+	m, ok := j.tryCut(bucket)
+	if !ok {
+		return Task{}, false
+	}
+	q := j.Query
+	if q.canceled.Load() {
+		// Undo the cut. The morsel's rows are not returned to the
+		// cursor — the job is unpublished and will never run again.
+		j.outstanding.Add(-1)
+		if q.outstanding.Add(-1) == 0 {
+			d.mu.Lock()
+			d.finishQueryLocked(q)
+			d.notifyLocked()
+			d.mu.Unlock()
+		}
+		return Task{}, false
+	}
+	return Task{Job: j, Morsel: m}, true
 }
 
 // Complete reports a finished morsel. If it was the job's last one, the

@@ -1,6 +1,58 @@
 package dispatch
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/numa"
+)
+
+// PoolStats is a race-safe snapshot of pool-wide execution counters of a
+// long-lived RealRunner. Workers fold their per-task tracker deltas into
+// shared atomics, so observers (a server's /stats endpoint) can read
+// consistent totals while queries are in flight without touching the
+// single-owner trackers.
+type PoolStats struct {
+	Tasks           int64 // morsel tasks executed
+	Tuples          int64
+	ReadBytes       int64
+	WriteBytes      int64
+	RemoteReadBytes int64
+}
+
+// RemotePct returns the percentage of read bytes that crossed sockets.
+func (s PoolStats) RemotePct() float64 {
+	if s.ReadBytes == 0 {
+		return 0
+	}
+	return 100 * float64(s.RemoteReadBytes) / float64(s.ReadBytes)
+}
+
+type poolCounters struct {
+	tasks           atomic.Int64
+	tuples          atomic.Int64
+	readBytes       atomic.Int64
+	writeBytes      atomic.Int64
+	remoteReadBytes atomic.Int64
+}
+
+func (c *poolCounters) add(d numa.Stats) {
+	c.tasks.Add(d.Morsels)
+	c.tuples.Add(d.Tuples)
+	c.readBytes.Add(d.ReadBytes)
+	c.writeBytes.Add(d.WriteBytes)
+	c.remoteReadBytes.Add(d.RemoteReadBytes)
+}
+
+func (c *poolCounters) snapshot() PoolStats {
+	return PoolStats{
+		Tasks:           c.tasks.Load(),
+		Tuples:          c.tuples.Load(),
+		ReadBytes:       c.readBytes.Load(),
+		WriteBytes:      c.writeBytes.Load(),
+		RemoteReadBytes: c.remoteReadBytes.Load(),
+	}
+}
 
 // RealRunner executes queries on actual goroutines, one per simulated
 // hardware thread. Virtual-time statistics are still tracked, but
@@ -16,6 +68,8 @@ type RealRunner struct {
 	shutdown bool
 	started  bool
 	wg       sync.WaitGroup
+
+	counters poolCounters
 }
 
 // NewRealRunner creates a runner with the dispatcher's configured number
@@ -37,6 +91,10 @@ func NewRealRunner(d *Dispatcher) *RealRunner {
 
 // Workers exposes the worker pool for stats aggregation.
 func (r *RealRunner) Workers() []*Worker { return r.workers }
+
+// Stats returns pool-wide counters accumulated since the runner started.
+// Safe to call concurrently with running queries.
+func (r *RealRunner) Stats() PoolStats { return r.counters.snapshot() }
 
 // Start launches the worker goroutines. Idempotent.
 func (r *RealRunner) Start() {
@@ -77,6 +135,7 @@ func (r *RealRunner) RunToCompletion(queries ...*Query) {
 
 func (r *RealRunner) loop(w *Worker) {
 	defer r.wg.Done()
+	var prev numa.Stats
 	for {
 		task, ok := r.D.NextTask(w)
 		if !ok {
@@ -109,5 +168,10 @@ func (r *RealRunner) loop(w *Worker) {
 		})
 		w.doneQuery(task.Job.Query)
 		r.D.Complete(w, task)
+		// Snapshot after Complete: job Finalize hooks and successor
+		// Setup run there on this worker and charge its tracker.
+		cur := w.Tracker.Stats()
+		r.counters.add(cur.Sub(prev))
+		prev = cur
 	}
 }

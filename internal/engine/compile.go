@@ -29,6 +29,19 @@ type compiler struct {
 	q       *dispatch.Query
 	workers int
 	sockets int
+
+	// joins holds the per-compile runtime state of each join node.
+	// Keeping it here (not on the Node) makes plans immutable under
+	// compilation, so one prepared Plan can be compiled concurrently by
+	// many server sessions.
+	joins map[*Node]*joinCompiled
+}
+
+// joinCompiled is the compile output of one join node that dependent
+// operators (Unmatched) need to find.
+type joinCompiled struct {
+	rt         *joinRuntime
+	probeTails []tailJob
 }
 
 // pipeCtx is the register layout and per-worker state of one pipeline.
@@ -253,7 +266,11 @@ func (s *Session) Compile(p *Plan) *Compiled {
 	if workers <= 0 {
 		workers = s.Machine.Topo.HardwareThreads()
 	}
-	c := &compiler{sess: s, q: dispatch.NewQuery(p.Name), workers: workers, sockets: s.Machine.Topo.Sockets}
+	c := &compiler{
+		sess: s, q: dispatch.NewQuery(p.Name),
+		workers: workers, sockets: s.Machine.Topo.Sockets,
+		joins: make(map[*Node]*joinCompiled),
+	}
 	cp := &Compiled{Query: c.q, Plan: p}
 	if len(p.sortKeys) > 0 {
 		cp.collect = c.compileSorted(p)

@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/numa"
+	"repro/internal/storage"
+)
+
+func execTestTable(rows int) *storage.Table {
+	b := storage.NewBuilder("ev", storage.Schema{
+		{Name: "k", Type: storage.I64},
+		{Name: "v", Type: storage.F64},
+	}, 16, "k")
+	for i := 0; i < rows; i++ {
+		b.Append(storage.Row{int64(i % 13), float64(i%100) / 3})
+	}
+	return b.Build(storage.NUMAAware, 4)
+}
+
+func execTestPlan(t *storage.Table) *Plan {
+	p := NewPlan("exec-agg")
+	p.ReturnSorted(
+		p.Scan(t, "k", "v").
+			Filter(Lt(Col("k"), ConstI(11))).
+			GroupBy([]NamedExpr{N("k", Col("k"))},
+				[]AggDef{Count("n"), Sum("s", Col("v"))}),
+		0, Asc("k"))
+	return p
+}
+
+func canon(r *Result) []string {
+	rows := make([]string, r.NumRows())
+	for i := range rows {
+		rows[i] = r.Row(i)
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+// TestExecConcurrentSamePlan compiles and runs ONE shared *Plan from
+// many goroutines at once on a shared pool. This is the prepared-plan
+// server path: it requires Compile to leave the plan immutable (join
+// runtime state lives in the compiler, not on plan nodes).
+func TestExecConcurrentSamePlan(t *testing.T) {
+	table := execTestTable(60_000)
+	plan := execTestPlan(table)
+
+	sess := NewSession(numa.NehalemEXMachine())
+	sess.Dispatch.Workers = 8
+	sess.Dispatch.MorselRows = 1000
+
+	// Single-query reference on a private pool.
+	ref, _ := sess.Run(plan)
+	want := canon(ref)
+
+	x := NewExec(sess)
+	defer x.Close()
+	const n = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, stats, err := x.Run(context.Background(), plan, 1+i%4)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if stats.TimeNs <= 0 {
+				errs <- fmt.Errorf("run %d: TimeNs = %f", i, stats.TimeNs)
+				return
+			}
+			got := canon(res)
+			if len(got) != len(want) {
+				errs <- fmt.Errorf("run %d: %d rows, want %d", i, len(got), len(want))
+				return
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					errs <- fmt.Errorf("run %d row %d: %q != %q", i, j, got[j], want[j])
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if st := x.PoolStats(); st.Tuples == 0 {
+		t.Error("pool counters never accumulated")
+	}
+}
+
+// TestExecContextCancel verifies a timed-out query is canceled at a
+// morsel boundary and the pool stays usable.
+func TestExecContextCancel(t *testing.T) {
+	table := execTestTable(200_000)
+	plan := execTestPlan(table)
+
+	sess := NewSession(numa.NehalemEXMachine())
+	sess.Dispatch.Workers = 4
+	sess.Dispatch.MorselRows = 500
+	x := NewExec(sess)
+	defer x.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: the query must abort promptly
+	_, _, err := x.Run(ctx, plan, 0)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	// The pool must still serve new queries correctly.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel2()
+	res, _, err := x.Run(ctx2, plan, 0)
+	if err != nil {
+		t.Fatalf("follow-up query failed: %v", err)
+	}
+	if res.NumRows() != 11 {
+		t.Fatalf("follow-up rows = %d, want 11", res.NumRows())
+	}
+}

@@ -86,7 +86,8 @@ func (c *compiler) produceJoin(n *Node, f consumerFactory) []tailJob {
 		storage.ColDef{Name: "#mark", Type: storage.I64},
 	)
 	rt.areas = storage.NewAreaSet(areaSchema, c.workers)
-	n.rt = rt
+	jc := &joinCompiled{rt: rt}
+	c.joins[n] = jc
 
 	// ---- Build phase 1: materialize into NUMA-local areas.
 	buildKeys := n.buildKeys
@@ -271,18 +272,18 @@ func (c *compiler) produceJoin(n *Node, f consumerFactory) []tailJob {
 			}
 		}
 	})
-	n.probeTails = tails
+	jc.probeTails = tails
 	return tails
 }
 
 // produceUnmatched compiles the post-probe scan over unmatched build
 // tuples of a JoinMark join.
 func (c *compiler) produceUnmatched(n *Node, f consumerFactory) []tailJob {
-	join := n.joinRef
-	if join.rt == nil || join.probeTails == nil {
+	jc := c.joins[n.joinRef]
+	if jc == nil || jc.probeTails == nil {
 		panic("engine: Unmatched compiled before its join; order union inputs join-first")
 	}
-	rt := join.rt
+	rt := jc.rt
 	pc := c.newPipe()
 	srcPos := make([]int, len(n.cols))
 	for i, name := range n.cols {
@@ -311,7 +312,7 @@ func (c *compiler) produceUnmatched(n *Node, f consumerFactory) []tailJob {
 			w.Tracker.ReadSeq(m.Home(), m.Part.BytesRange(m.Begin, m.End, append([]int{rt.idxMark}, srcPos...)))
 			e.flush()
 		})
-	job.After(join.probeTails...)
+	job.After(jc.probeTails...)
 	job.After(pc.deps...)
 	return []tailJob{job}
 }

@@ -119,15 +119,14 @@ type Node struct {
 	pred  *Expr
 	mapEx NamedExpr
 
-	// join
-	build      *Node
-	probeKeys  []*Expr
-	buildKeys  []*Expr
-	payload    []string
-	joinKind   JoinKind
-	residual   *Expr
-	rt         *joinRuntime // filled at compile
-	probeTails []tailJob    // filled at compile
+	// join (per-compile runtime state lives in compiler.joins, so one
+	// Plan may be compiled concurrently by many sessions)
+	build     *Node
+	probeKeys []*Expr
+	buildKeys []*Expr
+	payload   []string
+	joinKind  JoinKind
+	residual  *Expr
 
 	// unmatched scan
 	joinRef *Node

@@ -237,6 +237,20 @@ func (s *Stats) Add(o Stats) {
 	s.Tuples += o.Tuples
 }
 
+// Sub returns the per-counter difference s - prev (VTimeNs included),
+// used to attribute a tracker's cumulative counters to an interval.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		VTimeNs:         s.VTimeNs - prev.VTimeNs,
+		ReadBytes:       s.ReadBytes - prev.ReadBytes,
+		WriteBytes:      s.WriteBytes - prev.WriteBytes,
+		RemoteReadBytes: s.RemoteReadBytes - prev.RemoteReadBytes,
+		RandLines:       s.RandLines - prev.RandLines,
+		Morsels:         s.Morsels - prev.Morsels,
+		Tuples:          s.Tuples - prev.Tuples,
+	}
+}
+
 // RemoteFraction returns the share of read bytes that crossed sockets.
 func (s Stats) RemoteFraction() float64 {
 	if s.ReadBytes == 0 {

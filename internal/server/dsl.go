@@ -1,0 +1,360 @@
+// Plan DSL: a small JSON vocabulary that clients POST to /query when
+// they are not using a named prepared plan. It deliberately mirrors the
+// engine's physical plan-building API one-to-one (scan -> filter ->
+// derive -> hash joins -> group-by -> order-by), so a DSL query compiles
+// to exactly the pipelines a hand-built plan would.
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// PlanSpec is the JSON form of one query plan.
+type PlanSpec struct {
+	// Name labels the query in stats and traces (default "adhoc").
+	Name string `json:"name,omitempty"`
+	// From is the table to scan.
+	From string `json:"from"`
+	// Columns are the table columns to read ("src AS alias" allowed).
+	Columns []string `json:"columns"`
+	// Where filters scanned rows (fused into the scan pipeline).
+	Where *ExprSpec `json:"where,omitempty"`
+	// Derive appends computed columns, in order.
+	Derive []NamedExprSpec `json:"derive,omitempty"`
+	// Joins probe hash tables built over other tables, in order.
+	Joins []JoinSpec `json:"joins,omitempty"`
+	// GroupBy and Aggs add a two-phase parallel aggregation. Aggs alone
+	// computes one global row.
+	GroupBy []NamedExprSpec `json:"group_by,omitempty"`
+	Aggs    []AggSpec       `json:"aggs,omitempty"`
+	// OrderBy sorts the terminal result; Limit (with OrderBy) keeps the
+	// top rows.
+	OrderBy []OrderSpec `json:"order_by,omitempty"`
+	Limit   int         `json:"limit,omitempty"`
+}
+
+// ExprSpec is the JSON form of one scalar expression: exactly one of the
+// leaf fields (col/int/float/str/date), or an op with args.
+type ExprSpec struct {
+	Col   *string  `json:"col,omitempty"`
+	Int   *int64   `json:"int,omitempty"`
+	Float *float64 `json:"float,omitempty"`
+	Str   *string  `json:"str,omitempty"`
+	// Date is a "YYYY-MM-DD" constant (stored as an int date key).
+	Date *string `json:"date,omitempty"`
+
+	Op   string      `json:"op,omitempty"`
+	Args []*ExprSpec `json:"args,omitempty"`
+}
+
+// NamedExprSpec names an expression (derived columns, group-by keys).
+// For group-by keys the expression may be omitted: {"name":"k"} groups
+// by column k.
+type NamedExprSpec struct {
+	Name string    `json:"name"`
+	Expr *ExprSpec `json:"expr,omitempty"`
+}
+
+// AggSpec is one aggregate output. Fn is sum|count|min|max|avg; count
+// needs no expression.
+type AggSpec struct {
+	Fn   string    `json:"fn"`
+	As   string    `json:"as"`
+	Expr *ExprSpec `json:"expr,omitempty"`
+}
+
+// OrderSpec is one terminal sort key.
+type OrderSpec struct {
+	Col  string `json:"col"`
+	Desc bool   `json:"desc,omitempty"`
+}
+
+// JoinSpec probes the current pipeline against a hash table built over
+// another table's scan.
+type JoinSpec struct {
+	// Table and Columns define the build-side scan; Where filters it.
+	Table   string    `json:"table"`
+	Columns []string  `json:"columns"`
+	Where   *ExprSpec `json:"where,omitempty"`
+	// On lists [probe column, build column] equality pairs.
+	On [][2]string `json:"on"`
+	// Payload lists build columns carried into the output.
+	Payload []string `json:"payload,omitempty"`
+	// Kind is inner|semi|anti (default inner).
+	Kind string `json:"kind,omitempty"`
+}
+
+// Build turns the spec into an executable plan against the given table
+// registry. Invalid specs (unknown tables/columns, type mismatches)
+// return an error; the engine's plan-building panics are converted.
+func (spec *PlanSpec) Build(lookup func(string) (*core.Table, bool)) (p *core.Plan, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p, err = nil, fmt.Errorf("invalid plan: %v", r)
+		}
+	}()
+	name := spec.Name
+	if name == "" {
+		name = "adhoc"
+	}
+	if spec.From == "" {
+		return nil, fmt.Errorf("invalid plan: missing \"from\" table")
+	}
+	if len(spec.Columns) == 0 {
+		return nil, fmt.Errorf("invalid plan: no scan columns")
+	}
+	t, ok := lookup(spec.From)
+	if !ok {
+		return nil, fmt.Errorf("invalid plan: unknown table %q", spec.From)
+	}
+	p = core.NewPlan(name)
+	n := p.Scan(t, spec.Columns...)
+	if spec.Where != nil {
+		pred, err := spec.Where.build()
+		if err != nil {
+			return nil, err
+		}
+		n = n.Filter(pred)
+	}
+	for _, d := range spec.Derive {
+		if d.Expr == nil {
+			return nil, fmt.Errorf("invalid plan: derive %q has no expression", d.Name)
+		}
+		e, err := d.Expr.build()
+		if err != nil {
+			return nil, err
+		}
+		n = n.Map(d.Name, e)
+	}
+	for i := range spec.Joins {
+		if n, err = spec.Joins[i].apply(p, n, lookup); err != nil {
+			return nil, err
+		}
+	}
+	if len(spec.Aggs) > 0 || len(spec.GroupBy) > 0 {
+		if n, err = buildAgg(spec, n); err != nil {
+			return nil, err
+		}
+	}
+	if len(spec.OrderBy) > 0 {
+		keys := make([]core.SortKey, len(spec.OrderBy))
+		for i, o := range spec.OrderBy {
+			keys[i] = core.SortKey{Name: o.Col, Desc: o.Desc}
+		}
+		p.ReturnSorted(n, spec.Limit, keys...)
+		return p, nil
+	}
+	if spec.Limit > 0 {
+		return nil, fmt.Errorf("invalid plan: limit requires order_by (use max_rows to truncate unordered results)")
+	}
+	p.Return(n)
+	return p, nil
+}
+
+func (j *JoinSpec) apply(p *core.Plan, n *core.Node, lookup func(string) (*core.Table, bool)) (*core.Node, error) {
+	bt, ok := lookup(j.Table)
+	if !ok {
+		return nil, fmt.Errorf("invalid plan: unknown join table %q", j.Table)
+	}
+	if len(j.Columns) == 0 {
+		return nil, fmt.Errorf("invalid plan: join on %q has no build columns", j.Table)
+	}
+	if len(j.On) == 0 {
+		return nil, fmt.Errorf("invalid plan: join on %q has no key pairs", j.Table)
+	}
+	var kind core.JoinKind
+	switch j.Kind {
+	case "", "inner":
+		kind = core.JoinInner
+	case "semi":
+		kind = core.JoinSemi
+	case "anti":
+		kind = core.JoinAnti
+	default:
+		return nil, fmt.Errorf("invalid plan: unknown join kind %q", j.Kind)
+	}
+	build := p.Scan(bt, j.Columns...)
+	if j.Where != nil {
+		pred, err := j.Where.build()
+		if err != nil {
+			return nil, err
+		}
+		build = build.Filter(pred)
+	}
+	probeKeys := make([]*core.Expr, len(j.On))
+	buildKeys := make([]*core.Expr, len(j.On))
+	for i, pair := range j.On {
+		probeKeys[i] = core.Col(pair[0])
+		buildKeys[i] = core.Col(pair[1])
+	}
+	return n.HashJoin(build, kind, probeKeys, buildKeys, j.Payload...), nil
+}
+
+func buildAgg(spec *PlanSpec, n *core.Node) (*core.Node, error) {
+	var groups []core.NamedExpr
+	for _, g := range spec.GroupBy {
+		e := core.Col(g.Name)
+		if g.Expr != nil {
+			var err error
+			if e, err = g.Expr.build(); err != nil {
+				return nil, err
+			}
+		}
+		groups = append(groups, core.N(g.Name, e))
+	}
+	if len(spec.Aggs) == 0 {
+		return nil, fmt.Errorf("invalid plan: group_by without aggregates")
+	}
+	var aggs []core.AggDef
+	for _, a := range spec.Aggs {
+		var e *core.Expr
+		if a.Expr != nil {
+			var err error
+			if e, err = a.Expr.build(); err != nil {
+				return nil, err
+			}
+		}
+		if a.As == "" {
+			return nil, fmt.Errorf("invalid plan: aggregate %q missing output name \"as\"", a.Fn)
+		}
+		if e == nil && a.Fn != "count" {
+			return nil, fmt.Errorf("invalid plan: aggregate %s(%s) needs an expression", a.Fn, a.As)
+		}
+		switch a.Fn {
+		case "sum":
+			aggs = append(aggs, core.Sum(a.As, e))
+		case "count":
+			aggs = append(aggs, core.Count(a.As))
+		case "min":
+			aggs = append(aggs, core.MinOf(a.As, e))
+		case "max":
+			aggs = append(aggs, core.MaxOf(a.As, e))
+		case "avg":
+			aggs = append(aggs, core.Avg(a.As, e))
+		default:
+			return nil, fmt.Errorf("invalid plan: unknown aggregate %q", a.Fn)
+		}
+	}
+	return n.GroupBy(groups, aggs), nil
+}
+
+// build compiles one expression spec.
+func (x *ExprSpec) build() (*core.Expr, error) {
+	if x == nil {
+		return nil, fmt.Errorf("invalid plan: missing expression")
+	}
+	switch {
+	case x.Col != nil:
+		return core.Col(*x.Col), nil
+	case x.Int != nil:
+		return core.ConstI(*x.Int), nil
+	case x.Float != nil:
+		return core.ConstF(*x.Float), nil
+	case x.Str != nil:
+		return core.ConstS(*x.Str), nil
+	case x.Date != nil:
+		return core.ConstDate(*x.Date), nil
+	}
+	if x.Op == "" {
+		return nil, fmt.Errorf("invalid plan: expression needs a leaf value or an op")
+	}
+	args := make([]*core.Expr, len(x.Args))
+	for i, a := range x.Args {
+		e, err := a.build()
+		if err != nil {
+			return nil, err
+		}
+		args[i] = e
+	}
+	bin := map[string]func(a, b *core.Expr) *core.Expr{
+		"add": core.Add, "sub": core.Sub, "mul": core.Mul, "div": core.Div,
+		"eq": core.Eq, "ne": core.Ne, "lt": core.Lt, "le": core.Le,
+		"gt": core.Gt, "ge": core.Ge,
+	}
+	if f, ok := bin[x.Op]; ok {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("invalid plan: op %q wants 2 args, got %d", x.Op, len(args))
+		}
+		return f(args[0], args[1]), nil
+	}
+	switch x.Op {
+	case "and", "or":
+		if len(args) < 2 {
+			return nil, fmt.Errorf("invalid plan: op %q wants >= 2 args", x.Op)
+		}
+		if x.Op == "and" {
+			return core.And(args...), nil
+		}
+		return core.Or(args...), nil
+	case "not", "year", "tofloat":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("invalid plan: op %q wants 1 arg", x.Op)
+		}
+		switch x.Op {
+		case "not":
+			return core.Not(args[0]), nil
+		case "year":
+			return core.Year(args[0]), nil
+		default:
+			return core.ToFloat(args[0]), nil
+		}
+	case "between":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("invalid plan: between wants 3 args (value, lo, hi)")
+		}
+		return core.Between(args[0], args[1], args[2]), nil
+	case "if":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("invalid plan: if wants 3 args (cond, then, else)")
+		}
+		return core.If(args[0], args[1], args[2]), nil
+	case "in":
+		return buildIn(x)
+	case "like", "notlike":
+		if len(x.Args) != 2 || x.Args[1].Str == nil {
+			return nil, fmt.Errorf("invalid plan: %s wants (expr, string pattern)", x.Op)
+		}
+		if x.Op == "like" {
+			return core.Like(args[0], *x.Args[1].Str), nil
+		}
+		return core.NotLike(args[0], *x.Args[1].Str), nil
+	case "substr":
+		if len(x.Args) != 3 || x.Args[1].Int == nil || x.Args[2].Int == nil {
+			return nil, fmt.Errorf("invalid plan: substr wants (expr, int start, int len)")
+		}
+		return core.Substr(args[0], *x.Args[1].Int, *x.Args[2].Int), nil
+	}
+	return nil, fmt.Errorf("invalid plan: unknown op %q", x.Op)
+}
+
+// buildIn compiles {"op":"in","args":[expr, const...]} where the
+// constants are all ints or all strings.
+func buildIn(x *ExprSpec) (*core.Expr, error) {
+	if len(x.Args) < 2 {
+		return nil, fmt.Errorf("invalid plan: in wants (expr, const...)")
+	}
+	e, err := x.Args[0].build()
+	if err != nil {
+		return nil, err
+	}
+	if x.Args[1].Int != nil {
+		vals := make([]int64, 0, len(x.Args)-1)
+		for _, a := range x.Args[1:] {
+			if a.Int == nil {
+				return nil, fmt.Errorf("invalid plan: in list mixes types")
+			}
+			vals = append(vals, *a.Int)
+		}
+		return core.InInt(e, vals...), nil
+	}
+	vals := make([]string, 0, len(x.Args)-1)
+	for _, a := range x.Args[1:] {
+		if a.Str == nil {
+			return nil, fmt.Errorf("invalid plan: in list must be int or string constants")
+		}
+		vals = append(vals, *a.Str)
+	}
+	return core.InStr(e, vals...), nil
+}

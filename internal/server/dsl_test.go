@@ -1,0 +1,155 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestDSLEquivalence checks that a DSL plan (filter, derive, join,
+// group-by, order-by) produces exactly the rows of the equivalent
+// hand-built plan.
+func TestDSLEquivalence(t *testing.T) {
+	s, orders, customers := newTestServer(50_000, Config{})
+	defer s.Close()
+
+	specJSON := `{
+	  "name": "emea-revenue",
+	  "from": "orders",
+	  "columns": ["cust", "kind", "amount"],
+	  "where": {"op": "and", "args": [
+	    {"op": "lt", "args": [{"col": "kind"}, {"int": 6}]},
+	    {"op": "ge", "args": [{"col": "amount"}, {"float": 5.0}]}
+	  ]},
+	  "derive": [{"name": "amount2", "expr": {"op": "mul", "args": [{"col": "amount"}, {"float": 2.0}]}}],
+	  "joins": [{
+	    "table": "customers",
+	    "columns": ["cid", "name", "region"],
+	    "where": {"op": "eq", "args": [{"col": "region"}, {"str": "emea"}]},
+	    "on": [["cust", "cid"]],
+	    "payload": ["name"]
+	  }],
+	  "group_by": [{"name": "name"}],
+	  "aggs": [
+	    {"fn": "count", "as": "n"},
+	    {"fn": "sum", "as": "rev2", "expr": {"col": "amount2"}}
+	  ],
+	  "order_by": [{"col": "rev2", "desc": true}, {"col": "name"}],
+	  "limit": 10
+	}`
+	var spec PlanSpec
+	if err := json.Unmarshal([]byte(specJSON), &spec); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.Submit(context.Background(), &Request{Plan: &spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := core.NewPlan("emea-revenue-ref")
+	build := p.Scan(customers, "cid", "name", "region").
+		Filter(core.Eq(core.Col("region"), core.ConstS("emea")))
+	p.ReturnSorted(
+		p.Scan(orders, "cust", "kind", "amount").
+			Filter(core.And(
+				core.Lt(core.Col("kind"), core.ConstI(6)),
+				core.Ge(core.Col("amount"), core.ConstF(5.0)))).
+			Map("amount2", core.Mul(core.Col("amount"), core.ConstF(2.0))).
+			HashJoin(build, core.JoinInner,
+				[]*core.Expr{core.Col("cust")}, []*core.Expr{core.Col("cid")}, "name").
+			GroupBy([]core.NamedExpr{core.N("name", core.Col("name"))},
+				[]core.AggDef{core.Count("n"), core.Sum("rev2", core.Col("amount2"))}),
+		10, core.Desc("rev2"), core.Asc("name"))
+	ref, _ := s.sys.Run(p)
+
+	// Both are fully ordered (rev2 desc, then name): compare in order.
+	got, want := canonResponse(resp), canonResult(ref)
+	if !equalCanon(got, want) {
+		t.Fatalf("DSL result diverged:\n got %v\nwant %v", got, want)
+	}
+	if resp.RowCount != ref.NumRows() {
+		t.Errorf("row count %d, want %d", resp.RowCount, ref.NumRows())
+	}
+	if len(resp.Columns) != 3 || resp.Columns[0] != "name" {
+		t.Errorf("columns = %v", resp.Columns)
+	}
+}
+
+// TestDSLSemiAntiJoins exercises the remaining join kinds through the
+// DSL: orders that have (semi) / do not have (anti) an emea customer.
+func TestDSLSemiAntiJoins(t *testing.T) {
+	s, orders, customers := newTestServer(20_000, Config{})
+	defer s.Close()
+
+	run := func(kind string) int {
+		spec := &PlanSpec{
+			From:    "orders",
+			Columns: []string{"cust"},
+			Joins: []JoinSpec{{
+				Table:   "customers",
+				Columns: []string{"cid", "region"},
+				Where:   &ExprSpec{Op: "eq", Args: []*ExprSpec{{Col: strp("region")}, {Str: strp("emea")}}},
+				On:      [][2]string{{"cust", "cid"}},
+				Kind:    kind,
+			}},
+			Aggs: []AggSpec{{Fn: "count", As: "n"}},
+		}
+		resp, err := s.Submit(context.Background(), &Request{Plan: spec})
+		if err != nil {
+			t.Fatalf("%s join: %v", kind, err)
+		}
+		return int(resp.Rows[0][0].(int64))
+	}
+	semi := run("semi")
+	anti := run("anti")
+
+	ref := func(k core.JoinKind) int {
+		p := core.NewPlan("ref")
+		build := p.Scan(customers, "cid", "region").
+			Filter(core.Eq(core.Col("region"), core.ConstS("emea")))
+		p.Return(p.Scan(orders, "cust").
+			HashJoin(build, k, []*core.Expr{core.Col("cust")}, []*core.Expr{core.Col("cid")}).
+			GroupBy(nil, []core.AggDef{core.Count("n")}))
+		r, _ := s.sys.Run(p)
+		return int(r.Rows()[0][0].I)
+	}
+	if want := ref(core.JoinSemi); semi != want {
+		t.Errorf("semi count = %d, want %d", semi, want)
+	}
+	if want := ref(core.JoinAnti); anti != want {
+		t.Errorf("anti count = %d, want %d", anti, want)
+	}
+	if semi+anti != 20_000 {
+		t.Errorf("semi %d + anti %d != total orders", semi, anti)
+	}
+}
+
+func strp(s string) *string { return &s }
+
+// TestDSLErrors checks the error surface of the plan builder.
+func TestDSLErrors(t *testing.T) {
+	s, _, _ := newTestServer(1_000, Config{})
+	defer s.Close()
+	for name, spec := range map[string]*PlanSpec{
+		"no from":           {Columns: []string{"kind"}},
+		"no columns":        {From: "orders"},
+		"unknown table":     {From: "nope", Columns: []string{"x"}},
+		"unknown column":    {From: "orders", Columns: []string{"nope"}},
+		"limit no order":    {From: "orders", Columns: []string{"kind"}, Limit: 5},
+		"groupby no aggs":   {From: "orders", Columns: []string{"kind"}, GroupBy: []NamedExprSpec{{Name: "kind"}}},
+		"agg without expr":  {From: "orders", Columns: []string{"kind"}, Aggs: []AggSpec{{Fn: "sum", As: "s"}}},
+		"agg without as":    {From: "orders", Columns: []string{"kind"}, Aggs: []AggSpec{{Fn: "count"}}},
+		"bad op":            {From: "orders", Columns: []string{"kind"}, Where: &ExprSpec{Op: "xor", Args: []*ExprSpec{{Int: i64p(1)}, {Int: i64p(2)}}}},
+		"bad join kind":     {From: "orders", Columns: []string{"cust"}, Joins: []JoinSpec{{Table: "customers", Columns: []string{"cid"}, On: [][2]string{{"cust", "cid"}}, Kind: "outer"}}},
+		"join without keys": {From: "orders", Columns: []string{"cust"}, Joins: []JoinSpec{{Table: "customers", Columns: []string{"cid"}}}},
+		"type mismatch":     {From: "orders", Columns: []string{"kind"}, Where: &ExprSpec{Op: "eq", Args: []*ExprSpec{{Col: strp("kind")}, {Str: strp("x")}}}},
+	} {
+		if _, err := spec.Build(s.Table); err == nil {
+			t.Errorf("%s: Build succeeded, want error", name)
+		}
+	}
+}
+
+func i64p(v int64) *int64 { return &v }

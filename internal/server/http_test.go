@@ -1,0 +1,170 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newHTTPServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s, _, _ := newTestServer(20_000, Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+func postQuery(t *testing.T, ts *httptest.Server, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var decoded map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, decoded
+}
+
+func TestHTTPQueryPrepared(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	resp, body := postQuery(t, ts, `{"prepared": "revenue-by-kind", "priority": "batch"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, body)
+	}
+	if body["query"] != "revenue-by-kind" || body["class"] != "batch" {
+		t.Errorf("query/class = %v/%v", body["query"], body["class"])
+	}
+	if n := body["row_count"].(float64); n != 7 {
+		t.Errorf("row_count = %v, want 7", n)
+	}
+	if elapsed := body["elapsed_ms"].(float64); elapsed <= 0 {
+		t.Errorf("elapsed_ms = %v", elapsed)
+	}
+}
+
+func TestHTTPQueryInlinePlan(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	resp, body := postQuery(t, ts, `{
+	  "plan": {
+	    "from": "orders",
+	    "columns": ["kind", "amount"],
+	    "where": {"op": "in", "args": [{"col": "kind"}, {"int": 1}, {"int": 3}]},
+	    "group_by": [{"name": "kind"}],
+	    "aggs": [{"fn": "max", "as": "max_amount", "expr": {"col": "amount"}}],
+	    "order_by": [{"col": "kind"}]
+	  },
+	  "max_rows": 10
+	}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, body)
+	}
+	rows := body["rows"].([]any)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v, want 2 groups", rows)
+	}
+	first := rows[0].([]any)
+	if first[0].(float64) != 1 {
+		t.Errorf("first group = %v, want kind 1", first)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	for _, tc := range []struct {
+		body   string
+		status int
+	}{
+		{`not json`, http.StatusBadRequest},
+		{`{"bogus_field": 1}`, http.StatusBadRequest},
+		{`{}`, http.StatusBadRequest},
+		{`{"prepared": "x", "plan": {"from": "orders", "columns": ["kind"]}}`, http.StatusBadRequest},
+		{`{"prepared": "missing-plan"}`, http.StatusNotFound},
+		{`{"plan": {"from": "ghosts", "columns": ["x"]}}`, http.StatusBadRequest},
+		{`{"prepared": "count-orders", "priority": "urgent"}`, http.StatusBadRequest},
+	} {
+		resp, body := postQuery(t, ts, tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("body %q: status %d, want %d (%v)", tc.body, resp.StatusCode, tc.status, body)
+		}
+		if tc.status != http.StatusOK {
+			if msg, ok := body["error"].(string); !ok || msg == "" {
+				t.Errorf("body %q: missing error message: %v", tc.body, body)
+			}
+		}
+	}
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHTTPTimeoutStatus(t *testing.T) {
+	s, _ := newHTTPServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, body := postQuery(t, ts, `{"prepared": "revenue-by-region", "timeout_ms": 1}`)
+	// 504 on timeout; with a fast host the tiny query may still finish.
+	if resp.StatusCode != http.StatusGatewayTimeout && resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d (%v), want 504 or 200", resp.StatusCode, body)
+	}
+}
+
+func TestHTTPStatsTablesHealthz(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	// Generate a little traffic first.
+	postQuery(t, ts, `{"prepared": "count-orders"}`)
+
+	get := func(path string) map[string]any {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d", path, resp.StatusCode)
+		}
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	hz := get("/healthz")
+	if hz["status"] != "ok" || hz["workers"].(float64) != 8 {
+		t.Errorf("healthz = %v", hz)
+	}
+
+	stats := get("/stats")
+	classes := stats["classes"].(map[string]any)
+	inter := classes["interactive"].(map[string]any)
+	if inter["completed"].(float64) < 1 {
+		t.Errorf("interactive completed = %v, want >= 1", inter["completed"])
+	}
+	pool := stats["pool"].(map[string]any)
+	if pool["tuples"].(float64) <= 0 {
+		t.Errorf("pool tuples = %v", pool["tuples"])
+	}
+
+	tables := get("/tables")
+	names := fmt.Sprint(tables["tables"])
+	if !strings.Contains(names, "orders") || !strings.Contains(names, "customers") {
+		t.Errorf("tables = %v", names)
+	}
+	prepared := fmt.Sprint(tables["prepared"])
+	if !strings.Contains(prepared, "revenue-by-kind") {
+		t.Errorf("prepared = %v", prepared)
+	}
+}

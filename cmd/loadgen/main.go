@@ -38,6 +38,9 @@ func main() {
 		duration    = flag.Duration("duration", 10*time.Second, "run length")
 		interactive = flag.String("interactive-query", "count-recent", "prepared plan for interactive clients")
 		batch       = flag.String("batch-query", "revenue-by-kind", "prepared plan for batch clients")
+		sqlMode     = flag.Bool("sql", false, "send SQL text instead of prepared plan names, exercising the parser -> optimizer -> execution path per request")
+		intSQL      = flag.String("interactive-sql", "SELECT COUNT(*) AS n FROM orders WHERE day < 7", "SQL for interactive clients (with -sql)")
+		batchSQL    = flag.String("batch-sql", "SELECT region, COUNT(*) AS n, SUM(amount) AS revenue FROM orders, customers WHERE cust = cid GROUP BY region ORDER BY revenue DESC", "SQL for batch clients (with -sql)")
 		timeoutMs   = flag.Int("timeout-ms", 0, "per-query timeout (0 = server default)")
 	)
 	flag.Parse()
@@ -47,8 +50,12 @@ func main() {
 	}
 
 	nInteractive := int(float64(*clients) * *mix)
-	log.Printf("running %d clients (%d interactive, %d batch) for %v against %s",
-		*clients, nInteractive, *clients-nInteractive, *duration, *addr)
+	mode := "prepared plans"
+	if *sqlMode {
+		mode = "SQL (compiled per request)"
+	}
+	log.Printf("running %d clients (%d interactive, %d batch, %s) for %v against %s",
+		*clients, nInteractive, *clients-nInteractive, mode, *duration, *addr)
 
 	var (
 		mu      sync.Mutex
@@ -62,18 +69,29 @@ func main() {
 	var wg sync.WaitGroup
 	for c := 0; c < *clients; c++ {
 		class, query := "batch", *batch
+		if *sqlMode {
+			query = *batchSQL
+		}
 		if c < nInteractive {
 			class, query = "interactive", *interactive
+			if *sqlMode {
+				query = *intSQL
+			}
 		}
 		wg.Add(1)
 		go func(class, query string) {
 			defer wg.Done()
 			client := &http.Client{}
-			body, _ := json.Marshal(map[string]any{
-				"prepared":   query,
+			req := map[string]any{
 				"priority":   class,
 				"timeout_ms": *timeoutMs,
-			})
+			}
+			if *sqlMode {
+				req["sql"] = query
+			} else {
+				req["prepared"] = query
+			}
+			body, _ := json.Marshal(req)
 			for time.Now().Before(deadline) {
 				start := time.Now()
 				rows, err := post(client, *addr+"/query", body)

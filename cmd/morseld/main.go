@@ -24,6 +24,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/server"
+	"repro/internal/sql"
+	"repro/internal/storage"
 )
 
 func main() {
@@ -34,6 +36,8 @@ func main() {
 		morselRows = flag.Int("morsel-rows", 100_000, "morsel size in tuples")
 		orders     = flag.Int("orders", 2_000_000, "demo orders fact-table rows")
 		customers  = flag.Int("customers", 10_000, "demo customers dimension rows")
+		execSQL    = flag.String("exec", "", "compile and run one SQL query against the demo dataset, print the result, and exit")
+		explain    = flag.Bool("explain", false, "with -exec: print the optimized plan instead of executing")
 		maxConc    = flag.Int("max-concurrent", 0, "queries admitted at once (0 = 2 x sockets)")
 		maxQueue   = flag.Int("max-queue", 64, "waiting queries before 429 (negative = none)")
 		timeout    = flag.Duration("timeout", 30*time.Second, "default per-query timeout")
@@ -54,6 +58,13 @@ func main() {
 	start := time.Now()
 	ordersT, customersT := loadDemo(sys, *orders, *customers)
 	log.Printf("dataset ready in %v", time.Since(start).Round(time.Millisecond))
+
+	if *execSQL != "" {
+		if err := runSQL(sys, *execSQL, *explain, ordersT, customersT); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	srv := server.New(sys, server.Config{
 		MaxConcurrent:  *maxConc,
@@ -92,7 +103,7 @@ func loadDemo(sys *core.System, orderRows, customerRows int) (*core.Table, *core
 		{Name: "kind", Type: core.I64},
 		{Name: "amount", Type: core.F64},
 		{Name: "day", Type: core.I64},
-	}, 64, "id")
+	}, 64, "id").DeclareKey("id")
 	// Deterministic pseudo-random stream, so results are reproducible
 	// across runs and hosts.
 	rng := uint64(0x9e3779b97f4a7c15)
@@ -117,7 +128,7 @@ func loadDemo(sys *core.System, orderRows, customerRows int) (*core.Table, *core
 		{Name: "cid", Type: core.I64},
 		{Name: "name", Type: core.Str},
 		{Name: "region", Type: core.Str},
-	}, 16, "cid")
+	}, 16, "cid").DeclareKey("cid")
 	regions := []string{"emea", "amer", "apac", "latam"}
 	for i := 0; i < customerRows; i++ {
 		cb.Append(core.Row{int64(i), fmt.Sprintf("cust-%06d", i), regions[i%len(regions)]})
@@ -163,4 +174,29 @@ func prepare(srv *server.Server, orders, customers *core.Table) {
 			0, core.Desc("revenue"))
 		srv.Prepare("revenue-by-region", p)
 	}
+}
+
+// runSQL is the one-shot SQL entry point: parse, bind, optimize, lower
+// to a morsel-driven plan, and either explain or execute it.
+func runSQL(sys *core.System, query string, explainOnly bool, tables ...*core.Table) error {
+	byName := make(map[string]*core.Table, len(tables))
+	for _, t := range tables {
+		byName[t.Name] = t
+	}
+	p, err := sql.Compile(query, func(name string) (*storage.Table, bool) {
+		t, ok := byName[name]
+		return t, ok
+	})
+	if err != nil {
+		return err
+	}
+	if explainOnly {
+		fmt.Print(p.Explain())
+		return nil
+	}
+	start := time.Now()
+	res, _ := sys.Run(p)
+	fmt.Print(res)
+	log.Printf("%d rows in %v", res.NumRows(), time.Since(start).Round(time.Microsecond))
+	return nil
 }

@@ -192,6 +192,10 @@ func (n *Node) produce(c *compiler, f consumerFactory) []tailJob {
 		return tails
 	case nUnmatched:
 		return c.produceUnmatched(n, f)
+	case nProject:
+		// Pure schema operation: downstream consumers resolve registers
+		// by name, so the pipeline itself is unchanged.
+		return n.child.produce(c, f)
 	default:
 		panic(fmt.Sprintf("engine: unknown node kind %d", n.kind))
 	}

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/numa"
+	"repro/internal/storage"
+)
+
+func explainTable(t *testing.T) *storage.Table {
+	t.Helper()
+	b := storage.NewBuilder("t", storage.Schema{
+		{Name: "k", Type: storage.I64},
+		{Name: "v", Type: storage.F64},
+		{Name: "s", Type: storage.Str},
+	}, 2, "k")
+	for i := int64(0); i < 10; i++ {
+		b.Append(storage.Row{i, float64(i), "x"})
+	}
+	return b.Build(storage.NUMAAware, 2)
+}
+
+// TestExplainCoversOperators walks every operator kind through Explain
+// and asserts the load-bearing pieces (join kinds, keys, filters,
+// payloads) appear.
+func TestExplainCoversOperators(t *testing.T) {
+	tab := explainTable(t)
+	p := NewPlan("demo")
+	build := p.Scan(tab, "k AS bk", "s AS bs").Filter(Eq(Col("bs"), ConstS("x")))
+	join := p.Scan(tab, "k", "v").
+		Filter(Gt(Col("v"), ConstF(1))).
+		HashJoin(build, JoinMark, []*Expr{Col("k")}, []*Expr{Col("bk")}, "bs")
+	matched := join.Map("w", Mul(Col("v"), ConstF(2))).GroupBy(
+		[]NamedExpr{N("bs", Col("bs"))},
+		[]AggDef{Sum("total", Col("w")), Count("n")})
+	un := p.Unmatched(join, "bs").
+		Map("total", ConstF(0)).
+		Map("n", ConstI(0)).
+		Project("bs", "total", "n")
+	u := p.Union(matched, un)
+	p.ReturnSorted(u, 5, Desc("total"), Asc("bs"))
+
+	ex := p.Explain()
+	for _, want := range []string{
+		"demo order by [total desc, bs] limit 5",
+		"union (2 inputs)",
+		"groupby [bs] aggs [sum(w) AS total, count(*) AS n]",
+		"map w = (v * 2)",
+		"hashjoin mark on [k = bk] payload=[bs]",
+		"scan(t) cols=[k v] filter: (v > 1)",
+		"scan(t) cols=[bk bs] filter: (bs = 'x')",
+		"unmatched(t) cols=[bs]",
+		"project [bs total n]",
+	} {
+		if !strings.Contains(ex, want) {
+			t.Fatalf("explain missing %q:\n%s", want, ex)
+		}
+	}
+}
+
+// TestProjectReordersSchema checks the zero-cost projection operator:
+// output schema reordered and pruned, rows unchanged.
+func TestProjectReordersSchema(t *testing.T) {
+	tab := explainTable(t)
+	p := NewPlan("proj")
+	p.ReturnSorted(p.Scan(tab, "k", "v", "s").Project("v", "k"), 0, Asc("k"))
+	s := NewSession(numa.NehalemEXMachine())
+	s.Mode = Sim
+	s.Dispatch.Workers = 4
+	s.Dispatch.MorselRows = 3
+	res, _ := s.Run(p)
+	if res.Schema[0].Name != "v" || res.Schema[1].Name != "k" || len(res.Schema) != 2 {
+		t.Fatalf("schema %v", res.Schema)
+	}
+	if res.NumRows() != 10 {
+		t.Fatalf("rows %d", res.NumRows())
+	}
+	for i, row := range res.Rows() {
+		if row[1].I != int64(i) || row[0].F != float64(i) {
+			t.Fatalf("row %d: %v", i, row)
+		}
+	}
+}
+
+// TestExprString spot-checks the expression printer.
+func TestExprString(t *testing.T) {
+	e := And(
+		Between(Col("a"), ConstI(1), ConstI(5)),
+		Or(Like(Col("s"), "x%"), Not(InStr(Col("s"), "p", "q"))),
+		Eq(If(Gt(Col("b"), ConstF(0.5)), ConstI(1), ConstI(0)), ConstI(1)),
+	)
+	got := e.String()
+	for _, want := range []string{
+		"a BETWEEN 1 AND 5",
+		"s LIKE 'x%'",
+		"NOT s IN ('p', 'q')",
+		"CASE WHEN (b > 0.5) THEN 1 ELSE 0 END",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("%q missing %q", got, want)
+		}
+	}
+}

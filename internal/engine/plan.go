@@ -91,6 +91,24 @@ const (
 	JoinOuterProbe
 )
 
+// String names the join kind for Explain output and error messages.
+func (k JoinKind) String() string {
+	switch k {
+	case JoinInner:
+		return "inner"
+	case JoinSemi:
+		return "semi"
+	case JoinAnti:
+		return "anti"
+	case JoinMark:
+		return "mark"
+	case JoinOuterProbe:
+		return "outer"
+	default:
+		return fmt.Sprintf("JoinKind(%d)", uint8(k))
+	}
+}
+
 type nodeKind uint8
 
 const (
@@ -101,6 +119,7 @@ const (
 	nAgg
 	nUnion
 	nUnmatched
+	nProject
 )
 
 // Node is one operator of a plan.
@@ -275,6 +294,27 @@ func (p *Plan) Unmatched(join *Node, cols ...string) *Node {
 		n.out = append(n.out, Reg{Name: c, Type: t})
 	}
 	return n
+}
+
+// Project narrows and reorders the output to the named columns. It is a
+// pure schema operation: registers stay in place, only the result schema
+// (what sinks materialize) changes, so it costs nothing at execution
+// time. The SQL front end uses it to honor SELECT-list order.
+func (n *Node) Project(cols ...string) *Node {
+	if len(cols) == 0 {
+		panic("engine: empty projection")
+	}
+	out := make([]Reg, len(cols))
+	seen := make(map[string]bool, len(cols))
+	for i, c := range cols {
+		if seen[c] {
+			panic(fmt.Sprintf("engine: duplicate column %q in projection", c))
+		}
+		seen[c] = true
+		_, t := schemaResolver(n.out).resolve(c)
+		out[i] = Reg{Name: c, Type: t}
+	}
+	return &Node{plan: n.plan, kind: nProject, child: n, cols: cols, out: out}
 }
 
 // GroupBy aggregates with the two-phase parallel algorithm (§4.4).

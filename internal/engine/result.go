@@ -13,6 +13,12 @@ type Result struct {
 	rows   [][]Val
 }
 
+// NewResult wraps externally materialized rows (reference
+// implementations, golden tests) in a Result.
+func NewResult(schema []Reg, rows [][]Val) *Result {
+	return &Result{Schema: schema, rows: rows}
+}
+
 // Rows returns the result tuples. Order is only meaningful for plans with
 // ReturnSorted.
 func (r *Result) Rows() [][]Val { return r.rows }

@@ -82,7 +82,9 @@ type JoinSpec struct {
 	On [][2]string `json:"on"`
 	// Payload lists build columns carried into the output.
 	Payload []string `json:"payload,omitempty"`
-	// Kind is inner|semi|anti (default inner).
+	// Kind is inner|semi|anti|mark|outer (default inner). "mark" is an
+	// inner join that marks matched build tuples; "outer" preserves
+	// probe rows, emitting zero-valued payload when nothing matches.
 	Kind string `json:"kind,omitempty"`
 }
 
@@ -172,8 +174,12 @@ func (j *JoinSpec) apply(p *core.Plan, n *core.Node, lookup func(string) (*core.
 		kind = core.JoinSemi
 	case "anti":
 		kind = core.JoinAnti
+	case "mark":
+		kind = core.JoinMark
+	case "outer":
+		kind = core.JoinOuterProbe
 	default:
-		return nil, fmt.Errorf("invalid plan: unknown join kind %q", j.Kind)
+		return nil, fmt.Errorf("invalid plan: unknown join kind %q (want inner, semi, anti, mark or outer)", j.Kind)
 	}
 	build := p.Scan(bt, j.Columns...)
 	if j.Where != nil {

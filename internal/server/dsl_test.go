@@ -142,7 +142,7 @@ func TestDSLErrors(t *testing.T) {
 		"agg without expr":  {From: "orders", Columns: []string{"kind"}, Aggs: []AggSpec{{Fn: "sum", As: "s"}}},
 		"agg without as":    {From: "orders", Columns: []string{"kind"}, Aggs: []AggSpec{{Fn: "count"}}},
 		"bad op":            {From: "orders", Columns: []string{"kind"}, Where: &ExprSpec{Op: "xor", Args: []*ExprSpec{{Int: i64p(1)}, {Int: i64p(2)}}}},
-		"bad join kind":     {From: "orders", Columns: []string{"cust"}, Joins: []JoinSpec{{Table: "customers", Columns: []string{"cid"}, On: [][2]string{{"cust", "cid"}}, Kind: "outer"}}},
+		"bad join kind":     {From: "orders", Columns: []string{"cust"}, Joins: []JoinSpec{{Table: "customers", Columns: []string{"cid"}, On: [][2]string{{"cust", "cid"}}, Kind: "full"}}},
 		"join without keys": {From: "orders", Columns: []string{"cust"}, Joins: []JoinSpec{{Table: "customers", Columns: []string{"cid"}}}},
 		"type mismatch":     {From: "orders", Columns: []string{"kind"}, Where: &ExprSpec{Op: "eq", Args: []*ExprSpec{{Col: strp("kind")}, {Str: strp("x")}}}},
 	} {

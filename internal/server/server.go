@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/sql"
 )
 
 // Class is a query priority class. Classes map to Query.Priority share
@@ -96,10 +97,13 @@ func (e *BadRequestError) Error() string { return e.Msg }
 
 // Request is one query submission.
 type Request struct {
-	// Prepared names a registered plan; Plan is an inline DSL plan.
+	// Prepared names a registered plan; Plan is an inline DSL plan;
+	// SQL is a SELECT statement compiled through the SQL front end
+	// (parser -> binder -> optimizer -> morsel-driven physical plan).
 	// Exactly one must be set.
 	Prepared string    `json:"prepared,omitempty"`
 	Plan     *PlanSpec `json:"plan,omitempty"`
+	SQL      string    `json:"sql,omitempty"`
 	// Priority is "interactive" (default) or "batch".
 	Priority Class `json:"priority,omitempty"`
 	// TimeoutMs overrides the server's default per-query timeout.
@@ -107,6 +111,9 @@ type Request struct {
 	// MaxRows truncates the returned rows (the query still runs to
 	// completion; truncation is response-side).
 	MaxRows int `json:"max_rows,omitempty"`
+	// Explain returns the optimized physical plan as text instead of
+	// executing the query.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // Response is one query result.
@@ -117,6 +124,9 @@ type Response struct {
 	Rows      [][]any  `json:"rows"`
 	RowCount  int      `json:"row_count"`
 	Truncated bool     `json:"truncated,omitempty"`
+	// Plan is the Explain rendering (set only for explain requests,
+	// which skip execution).
+	Plan string `json:"plan,omitempty"`
 	// QueuedMs is time spent waiting for admission; ElapsedMs is
 	// end-to-end (queue + execution), the latency a client observes.
 	QueuedMs  float64 `json:"queued_ms"`
@@ -210,6 +220,16 @@ func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
+	if req.Explain {
+		// Explain renders the optimized plan without executing (and
+		// without passing admission — no resources are consumed).
+		schema := plan.OutputSchema()
+		cols := make([]string, len(schema))
+		for i, r := range schema {
+			cols[i] = r.Name
+		}
+		return &Response{Query: plan.Name, Class: class, Columns: cols, Plan: plan.Explain()}, nil
+	}
 
 	// The per-query timeout covers the whole stay in the server: time
 	// spent waiting for admission counts against it.
@@ -257,9 +277,16 @@ func (s *Server) admit(ctx context.Context, class Class) error {
 }
 
 func (s *Server) resolvePlan(req *Request) (*core.Plan, error) {
+	set := 0
+	for _, have := range []bool{req.Prepared != "", req.Plan != nil, req.SQL != ""} {
+		if have {
+			set++
+		}
+	}
+	if set > 1 {
+		return nil, &BadRequestError{Msg: "set exactly one of \"prepared\", \"plan\", \"sql\""}
+	}
 	switch {
-	case req.Prepared != "" && req.Plan != nil:
-		return nil, &BadRequestError{Msg: "set either \"prepared\" or \"plan\", not both"}
 	case req.Prepared != "":
 		s.mu.RLock()
 		p, ok := s.prepared[req.Prepared]
@@ -274,8 +301,14 @@ func (s *Server) resolvePlan(req *Request) (*core.Plan, error) {
 			return nil, &BadRequestError{Msg: err.Error()}
 		}
 		return p, nil
+	case req.SQL != "":
+		p, err := sql.CompileNamed(req.SQL, "sql", s.Table)
+		if err != nil {
+			return nil, &BadRequestError{Msg: err.Error()}
+		}
+		return p, nil
 	default:
-		return nil, &BadRequestError{Msg: "set \"prepared\" or \"plan\""}
+		return nil, &BadRequestError{Msg: "set \"prepared\", \"plan\" or \"sql\""}
 	}
 }
 

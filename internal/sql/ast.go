@@ -1,0 +1,162 @@
+package sql
+
+// The AST mirrors the surface syntax; binding and planning happen in a
+// separate pass so parse errors and semantic errors report independently.
+
+// Select is one (possibly nested) SELECT statement.
+type Select struct {
+	Star    bool
+	Items   []SelectItem
+	From    []FromTable
+	Where   Expr
+	GroupBy []Expr
+	Having  Expr
+	OrderBy []OrderKey
+	Limit   int // 0 = none
+}
+
+// SelectItem is one output expression with an optional alias.
+type SelectItem struct {
+	E  Expr
+	As string
+}
+
+// FromTable is one relation of the FROM clause. JoinKind records how it
+// attaches to the preceding tables: "" for comma-listed (implicit inner
+// via WHERE), "inner" for JOIN ... ON, "left" for LEFT [OUTER] JOIN.
+type FromTable struct {
+	Name  string
+	Alias string
+	Join  string // "", "inner", "left"
+	On    Expr   // nil for comma-listed tables
+	Line  int
+	Col   int
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	E    Expr
+	Desc bool
+}
+
+// Expr is a scalar expression AST node.
+type Expr interface {
+	pos() (line, col int)
+}
+
+// position is embedded in every expression node.
+type position struct {
+	Line int
+	Col  int
+}
+
+func (p position) pos() (int, int) { return p.Line, p.Col }
+
+// Col references a column, optionally qualified by a table name/alias.
+type Col struct {
+	position
+	Table string
+	Name  string
+}
+
+// IntLit / FloatLit / StrLit / DateLit are literals.
+type IntLit struct {
+	position
+	V int64
+}
+
+type FloatLit struct {
+	position
+	V float64
+}
+
+type StrLit struct {
+	position
+	V string
+}
+
+type DateLit struct {
+	position
+	V string // "YYYY-MM-DD"
+}
+
+// Bin is a binary operator: + - * / = <> < <= > >= AND OR.
+type Bin struct {
+	position
+	Op string
+	L  Expr
+	R  Expr
+}
+
+// Not negates a boolean expression.
+type Not struct {
+	position
+	E Expr
+}
+
+// Neg is unary minus.
+type Neg struct {
+	position
+	E Expr
+}
+
+// Between is E [NOT] BETWEEN Lo AND Hi.
+type Between struct {
+	position
+	E      Expr
+	Lo, Hi Expr
+	Invert bool
+}
+
+// InList is E [NOT] IN (literals...).
+type InList struct {
+	position
+	E      Expr
+	Elems  []Expr
+	Invert bool
+}
+
+// InSelect is E [NOT] IN (SELECT ...).
+type InSelect struct {
+	position
+	E      Expr
+	Sub    *Select
+	Invert bool
+}
+
+// LikeExpr is E [NOT] LIKE 'pattern'.
+type LikeExpr struct {
+	position
+	E       Expr
+	Pattern string
+	Invert  bool
+}
+
+// When is one WHEN ... THEN ... arm of a CASE.
+type When struct {
+	Cond Expr
+	Then Expr
+}
+
+// Case is CASE WHEN ... THEN ... [...] [ELSE ...] END.
+type Case struct {
+	position
+	Whens []When
+	Else  Expr
+}
+
+// Call is a function call: aggregates (SUM/COUNT/MIN/MAX/AVG) and
+// scalar functions (YEAR, SUBSTR, IF, FLOAT). Name is uppercased.
+type Call struct {
+	position
+	Name string
+	Args []Expr
+	Star bool // COUNT(*)
+}
+
+// Exists is [NOT] EXISTS (SELECT ...).
+type Exists struct {
+	position
+	Sub    *Select
+	Invert bool
+}

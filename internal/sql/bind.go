@@ -1,0 +1,525 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/storage"
+)
+
+// Catalog resolves table names for binding. The server passes its
+// registered-table lookup; tests pass closures over generated databases.
+type Catalog func(name string) (*storage.Table, bool)
+
+// baseTable is one bound FROM relation.
+type baseTable struct {
+	ref   FromTable
+	t     *storage.Table
+	alias string // reference name: alias if given, else table name
+	cols  map[string]int
+}
+
+func (b *baseTable) rows() int { return b.t.Rows() }
+
+// scope resolves column references against a set of bound tables. outer
+// is the enclosing scope for correlated subqueries (may be nil).
+type scope struct {
+	tables []*baseTable
+	outer  *scope
+}
+
+func errAt(e Expr, format string, args ...any) error {
+	line, col := e.pos()
+	return &ParseError{Msg: fmt.Sprintf(format, args...), Line: line, Col: col}
+}
+
+// resolve finds the owning table of a column reference within this scope
+// only (no outer lookup); it returns nil, nil when the scope has no such
+// column so callers can try the outer scope.
+func (s *scope) resolve(c *Col) (*baseTable, error) {
+	if c.Table != "" {
+		for _, t := range s.tables {
+			if t.alias == c.Table {
+				if _, ok := t.cols[c.Name]; !ok {
+					return nil, errAt(c, "unknown column %q in table %q (has %s)",
+						c.Name, c.Table, strings.Join(colNames(t.t.Schema), ", "))
+				}
+				return t, nil
+			}
+		}
+		return nil, nil
+	}
+	var owner *baseTable
+	for _, t := range s.tables {
+		if _, ok := t.cols[c.Name]; ok {
+			if owner != nil {
+				return nil, errAt(c, "ambiguous column %q (in tables %q and %q); qualify it",
+					c.Name, owner.alias, t.alias)
+			}
+			owner = t
+		}
+	}
+	return owner, nil
+}
+
+// resolveUp resolves through the scope chain, reporting how many scopes
+// were climbed (0 = local).
+func (s *scope) resolveUp(c *Col) (*baseTable, int, error) {
+	depth := 0
+	for sc := s; sc != nil; sc = sc.outer {
+		t, err := sc.resolve(c)
+		if err != nil {
+			return nil, 0, err
+		}
+		if t != nil {
+			return t, depth, nil
+		}
+		depth++
+	}
+	var have []string
+	for _, t := range s.tables {
+		have = append(have, t.alias)
+	}
+	if c.Table != "" {
+		return nil, 0, errAt(c, "unknown table %q (have %s)", c.Table, strings.Join(have, ", "))
+	}
+	return nil, 0, errAt(c, "unknown column %q (tables in scope: %s)", c.Name, strings.Join(have, ", "))
+}
+
+func colNames(s storage.Schema) []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// aggFuncs are the aggregate function names the engine supports.
+var aggFuncs = map[string]engine.AggKind{
+	"SUM": engine.AggSum, "COUNT": engine.AggCount,
+	"MIN": engine.AggMin, "MAX": engine.AggMax, "AVG": engine.AggAvg,
+}
+
+// isAggCall reports whether e is an aggregate function call.
+func isAggCall(e Expr) bool {
+	c, ok := e.(*Call)
+	if !ok {
+		return false
+	}
+	_, agg := aggFuncs[c.Name]
+	return agg
+}
+
+// containsAgg reports whether any aggregate call appears in e (not
+// descending into subqueries, which have their own scopes).
+func containsAgg(e Expr) bool {
+	found := false
+	walk(e, func(x Expr) {
+		if isAggCall(x) {
+			found = true
+		}
+	})
+	return found
+}
+
+// walk visits e and its sub-expressions (not subquery bodies).
+func walk(e Expr, f func(Expr)) {
+	if e == nil {
+		return
+	}
+	f(e)
+	switch x := e.(type) {
+	case *Bin:
+		walk(x.L, f)
+		walk(x.R, f)
+	case *Not:
+		walk(x.E, f)
+	case *Neg:
+		walk(x.E, f)
+	case *Between:
+		walk(x.E, f)
+		walk(x.Lo, f)
+		walk(x.Hi, f)
+	case *InList:
+		walk(x.E, f)
+		for _, el := range x.Elems {
+			walk(el, f)
+		}
+	case *InSelect:
+		walk(x.E, f)
+	case *LikeExpr:
+		walk(x.E, f)
+	case *Case:
+		for _, w := range x.Whens {
+			walk(w.Cond, f)
+			walk(w.Then, f)
+		}
+		walk(x.Else, f)
+	case *Call:
+		for _, a := range x.Args {
+			walk(a, f)
+		}
+	}
+}
+
+// astString renders e canonically for structural matching (group-key
+// lookup, aggregate dedup).
+func astString(e Expr) string {
+	var b strings.Builder
+	astFormat(&b, e)
+	return b.String()
+}
+
+func astFormat(b *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case nil:
+		b.WriteString("<nil>")
+	case *Col:
+		if x.Table != "" {
+			b.WriteString(x.Table)
+			b.WriteByte('.')
+		}
+		b.WriteString(x.Name)
+	case *IntLit:
+		fmt.Fprintf(b, "%d", x.V)
+	case *FloatLit:
+		fmt.Fprintf(b, "%g", x.V)
+	case *StrLit:
+		fmt.Fprintf(b, "'%s'", x.V)
+	case *DateLit:
+		fmt.Fprintf(b, "date '%s'", x.V)
+	case *Bin:
+		b.WriteByte('(')
+		astFormat(b, x.L)
+		b.WriteString(" " + x.Op + " ")
+		astFormat(b, x.R)
+		b.WriteByte(')')
+	case *Not:
+		b.WriteString("not ")
+		astFormat(b, x.E)
+	case *Neg:
+		b.WriteString("-")
+		astFormat(b, x.E)
+	case *Between:
+		astFormat(b, x.E)
+		if x.Invert {
+			b.WriteString(" not")
+		}
+		b.WriteString(" between ")
+		astFormat(b, x.Lo)
+		b.WriteString(" and ")
+		astFormat(b, x.Hi)
+	case *InList:
+		astFormat(b, x.E)
+		if x.Invert {
+			b.WriteString(" not")
+		}
+		b.WriteString(" in (")
+		for i, el := range x.Elems {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			astFormat(b, el)
+		}
+		b.WriteByte(')')
+	case *InSelect:
+		astFormat(b, x.E)
+		b.WriteString(" in (select ...)")
+	case *LikeExpr:
+		astFormat(b, x.E)
+		if x.Invert {
+			b.WriteString(" not")
+		}
+		fmt.Fprintf(b, " like '%s'", x.Pattern)
+	case *Case:
+		b.WriteString("case")
+		for _, w := range x.Whens {
+			b.WriteString(" when ")
+			astFormat(b, w.Cond)
+			b.WriteString(" then ")
+			astFormat(b, w.Then)
+		}
+		if x.Else != nil {
+			b.WriteString(" else ")
+			astFormat(b, x.Else)
+		}
+		b.WriteString(" end")
+	case *Exists:
+		b.WriteString("exists (select ...)")
+	case *Call:
+		b.WriteString(strings.ToLower(x.Name))
+		b.WriteByte('(')
+		if x.Star {
+			b.WriteByte('*')
+		}
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			astFormat(b, a)
+		}
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "<%T>", e)
+	}
+}
+
+// binder turns resolved AST expressions into engine expressions. The
+// resolver maps a column reference to the register name it reads (after
+// aggregation, aliases and aggregate outputs become register names).
+type binder struct {
+	sc *scope
+	// rewrite maps astString(expr) -> register name; aggregation uses
+	// it to substitute aggregate calls and group keys with their output
+	// columns.
+	rewrite map[string]string
+}
+
+// validDate checks "YYYY-MM-DD" shape before engine.ParseDate (which
+// panics on programmer errors, not user input).
+func validDate(s string) bool {
+	if len(s) != 10 || s[4] != '-' || s[7] != '-' {
+		return false
+	}
+	for i, c := range []byte(s) {
+		if i == 4 || i == 7 {
+			continue
+		}
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	m := int(s[5]-'0')*10 + int(s[6]-'0')
+	d := int(s[8]-'0')*10 + int(s[9]-'0')
+	return m >= 1 && m <= 12 && d >= 1 && d <= 31
+}
+
+// bind compiles an AST expression to an engine expression. Aggregate
+// calls are only legal where the rewrite table maps them (post-GROUP BY
+// contexts).
+func (bd *binder) bind(e Expr) (*engine.Expr, error) {
+	if bd.rewrite != nil {
+		if name, ok := bd.rewrite[astString(e)]; ok {
+			return engine.Col(name), nil
+		}
+	}
+	switch x := e.(type) {
+	case *Col:
+		t, _, err := bd.sc.resolveUp(x)
+		if err != nil {
+			return nil, err
+		}
+		_ = t
+		return engine.Col(x.Name), nil
+	case *IntLit:
+		return engine.ConstI(x.V), nil
+	case *FloatLit:
+		return engine.ConstF(x.V), nil
+	case *StrLit:
+		return engine.ConstS(x.V), nil
+	case *DateLit:
+		if !validDate(x.V) {
+			return nil, errAt(x, "bad date literal %q (want 'YYYY-MM-DD')", x.V)
+		}
+		return engine.ConstDate(x.V), nil
+	case *Bin:
+		l, err := bd.bind(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bd.bind(x.R)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "+":
+			return engine.Add(l, r), nil
+		case "-":
+			return engine.Sub(l, r), nil
+		case "*":
+			return engine.Mul(l, r), nil
+		case "/":
+			return engine.Div(l, r), nil
+		case "=":
+			return engine.Eq(l, r), nil
+		case "<>":
+			return engine.Ne(l, r), nil
+		case "<":
+			return engine.Lt(l, r), nil
+		case "<=":
+			return engine.Le(l, r), nil
+		case ">":
+			return engine.Gt(l, r), nil
+		case ">=":
+			return engine.Ge(l, r), nil
+		case "and":
+			return engine.And(l, r), nil
+		case "or":
+			return engine.Or(l, r), nil
+		}
+		return nil, errAt(x, "unknown operator %q", x.Op)
+	case *Not:
+		inner, err := bd.bind(x.E)
+		if err != nil {
+			return nil, err
+		}
+		return engine.Not(inner), nil
+	case *Neg:
+		inner, err := bd.bind(x.E)
+		if err != nil {
+			return nil, err
+		}
+		return engine.Sub(engine.ConstI(0), inner), nil
+	case *Between:
+		v, err := bd.bind(x.E)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := bd.bind(x.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := bd.bind(x.Hi)
+		if err != nil {
+			return nil, err
+		}
+		b := engine.Between(v, lo, hi)
+		if x.Invert {
+			b = engine.Not(b)
+		}
+		return b, nil
+	case *InList:
+		v, err := bd.bind(x.E)
+		if err != nil {
+			return nil, err
+		}
+		var in *engine.Expr
+		switch x.Elems[0].(type) {
+		case *IntLit, *DateLit:
+			vals := make([]int64, len(x.Elems))
+			for i, el := range x.Elems {
+				switch lit := el.(type) {
+				case *IntLit:
+					vals[i] = lit.V
+				case *DateLit:
+					if !validDate(lit.V) {
+						return nil, errAt(lit, "bad date literal %q", lit.V)
+					}
+					vals[i] = engine.ParseDate(lit.V)
+				default:
+					return nil, errAt(el, "IN list mixes types")
+				}
+			}
+			in = engine.InInt(v, vals...)
+		case *StrLit:
+			vals := make([]string, len(x.Elems))
+			for i, el := range x.Elems {
+				lit, ok := el.(*StrLit)
+				if !ok {
+					return nil, errAt(el, "IN list mixes types")
+				}
+				vals[i] = lit.V
+			}
+			in = engine.InStr(v, vals...)
+		default:
+			return nil, errAt(x, "IN list must hold integer, date or string literals")
+		}
+		if x.Invert {
+			in = engine.Not(in)
+		}
+		return in, nil
+	case *LikeExpr:
+		v, err := bd.bind(x.E)
+		if err != nil {
+			return nil, err
+		}
+		if x.Invert {
+			return engine.NotLike(v, x.Pattern), nil
+		}
+		return engine.Like(v, x.Pattern), nil
+	case *Case:
+		if x.Else == nil {
+			return nil, errAt(x, "CASE needs an ELSE branch (the engine has no NULLs)")
+		}
+		out, err := bd.bind(x.Else)
+		if err != nil {
+			return nil, err
+		}
+		for i := len(x.Whens) - 1; i >= 0; i-- {
+			cond, err := bd.bind(x.Whens[i].Cond)
+			if err != nil {
+				return nil, err
+			}
+			then, err := bd.bind(x.Whens[i].Then)
+			if err != nil {
+				return nil, err
+			}
+			out = engine.If(cond, then, out)
+		}
+		return out, nil
+	case *Call:
+		return bd.bindCall(x)
+	case *Exists, *InSelect:
+		return nil, errAt(e, "EXISTS / IN (SELECT ...) is only supported as a top-level WHERE conjunct")
+	}
+	return nil, errAt(e, "unsupported expression")
+}
+
+func (bd *binder) bindCall(x *Call) (*engine.Expr, error) {
+	if _, agg := aggFuncs[x.Name]; agg {
+		return nil, errAt(x, "aggregate %s is not allowed here (aggregates belong in the select list or HAVING of a grouped query)", x.Name)
+	}
+	switch x.Name {
+	case "YEAR":
+		if len(x.Args) != 1 {
+			return nil, errAt(x, "YEAR wants 1 argument")
+		}
+		a, err := bd.bind(x.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return engine.Year(a), nil
+	case "FLOAT", "TOFLOAT":
+		if len(x.Args) != 1 {
+			return nil, errAt(x, "%s wants 1 argument", x.Name)
+		}
+		a, err := bd.bind(x.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return engine.ToFloat(a), nil
+	case "IF":
+		if len(x.Args) != 3 {
+			return nil, errAt(x, "IF wants (condition, then, else)")
+		}
+		c, err := bd.bind(x.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		a, err := bd.bind(x.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		b, err := bd.bind(x.Args[2])
+		if err != nil {
+			return nil, err
+		}
+		return engine.If(c, a, b), nil
+	case "SUBSTR", "SUBSTRING":
+		if len(x.Args) != 3 {
+			return nil, errAt(x, "%s wants (expr, start, length)", x.Name)
+		}
+		a, err := bd.bind(x.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		start, ok1 := x.Args[1].(*IntLit)
+		length, ok2 := x.Args[2].(*IntLit)
+		if !ok1 || !ok2 {
+			return nil, errAt(x, "%s start and length must be integer literals", x.Name)
+		}
+		return engine.Substr(a, start.V, length.V), nil
+	}
+	return nil, errAt(x, "unknown function %q (supported: SUM, COUNT, MIN, MAX, AVG, YEAR, SUBSTR, IF, FLOAT)", x.Name)
+}

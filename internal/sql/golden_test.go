@@ -1,0 +1,325 @@
+package sql
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/ssb"
+	"repro/internal/storage"
+	"repro/internal/tpch"
+)
+
+// The golden tests assert that SQL-authored benchmark queries produce
+// results identical to the hand-built physical plans, running both
+// through the same engine.
+
+var tpchDB = tpch.Generate(tpch.ScaleForTest())
+var ssbDB = ssb.Generate(ssb.Config{SF: 0.02, Partitions: 16, Sockets: 4, Seed: 5})
+
+func tpchCatalog() Catalog {
+	tables := map[string]*storage.Table{
+		"region": tpchDB.Region, "nation": tpchDB.Nation,
+		"supplier": tpchDB.Supplier, "customer": tpchDB.Customer,
+		"part": tpchDB.Part, "partsupp": tpchDB.PartSupp,
+		"orders": tpchDB.Orders, "lineitem": tpchDB.Lineitem,
+	}
+	return func(name string) (*storage.Table, bool) { t, ok := tables[name]; return t, ok }
+}
+
+func ssbCatalog() Catalog {
+	tables := map[string]*storage.Table{
+		"lineorder": ssbDB.Lineorder, "date": ssbDB.Date,
+		"customer": ssbDB.Customer, "supplier": ssbDB.Supplier, "part": ssbDB.Part,
+	}
+	return func(name string) (*storage.Table, bool) { t, ok := tables[name]; return t, ok }
+}
+
+// canonRow renders a row with floats rounded for stable sorting; exact
+// comparison happens with tolerance afterwards.
+func canonRow(schema []engine.Reg, row []engine.Val) string {
+	var b strings.Builder
+	for i, v := range row {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		switch schema[i].Type {
+		case engine.TInt:
+			fmt.Fprintf(&b, "%d", v.I)
+		case engine.TFloat:
+			fmt.Fprintf(&b, "%.3f", v.F)
+		default:
+			b.WriteString(v.S)
+		}
+	}
+	return b.String()
+}
+
+// sameResults asserts got and want hold the same rows (as multisets,
+// unless ordered), comparing floats with a relative tolerance and
+// treating an int column on one side as equal to a float column holding
+// the same value on the other (SQL may aggregate an int expression the
+// hand-built plan first casts to float).
+func sameResults(t *testing.T, label string, got, want *engine.Result, ordered bool) {
+	t.Helper()
+	g, w := got.Rows(), want.Rows()
+	if len(g) != len(w) {
+		t.Fatalf("%s: got %d rows, want %d", label, len(g), len(w))
+	}
+	if len(got.Schema) != len(want.Schema) {
+		t.Fatalf("%s: arity %d vs %d", label, len(got.Schema), len(want.Schema))
+	}
+	asF := func(schema []engine.Reg, v engine.Val, c int) (float64, bool) {
+		switch schema[c].Type {
+		case engine.TInt:
+			return float64(v.I), true
+		case engine.TFloat:
+			return v.F, true
+		}
+		return 0, false
+	}
+	gi := make([]int, len(g))
+	wi := make([]int, len(w))
+	for i := range gi {
+		gi[i], wi[i] = i, i
+	}
+	if !ordered {
+		sort.Slice(gi, func(a, b int) bool {
+			return canonRow(got.Schema, g[gi[a]]) < canonRow(got.Schema, g[gi[b]])
+		})
+		sort.Slice(wi, func(a, b int) bool {
+			return canonRow(want.Schema, w[wi[a]]) < canonRow(want.Schema, w[wi[b]])
+		})
+	}
+	for i := range gi {
+		gr, wr := g[gi[i]], w[wi[i]]
+		for c := range gr {
+			gf, gok := asF(got.Schema, gr[c], c)
+			wf, wok := asF(want.Schema, wr[c], c)
+			switch {
+			case gok && wok:
+				tol := 1e-6 * math.Max(1, math.Abs(wf))
+				if math.Abs(gf-wf) > tol {
+					t.Fatalf("%s: row %d col %d (%s): got %v, want %v\ngot:  %s\nwant: %s",
+						label, i, c, want.Schema[c].Name, gf, wf,
+						canonRow(got.Schema, gr), canonRow(want.Schema, wr))
+				}
+			case !gok && !wok:
+				if gr[c].S != wr[c].S {
+					t.Fatalf("%s: row %d col %d (%s): got %q, want %q",
+						label, i, c, want.Schema[c].Name, gr[c].S, wr[c].S)
+				}
+			default:
+				t.Fatalf("%s: col %d type mismatch (%v vs %v)", label, c,
+					got.Schema[c].Type, want.Schema[c].Type)
+			}
+		}
+	}
+}
+
+func goldenSession() *engine.Session {
+	return testSession()
+}
+
+// sqlVsHandBuilt compiles the SQL text, runs it, runs the hand-built
+// plan, and compares.
+func sqlVsHandBuilt(t *testing.T, label, query string, cat Catalog, hand *engine.Plan, ordered bool) {
+	t.Helper()
+	p, err := Compile(query, cat)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", label, err)
+	}
+	got, _ := goldenSession().Run(p)
+	want, _ := goldenSession().Run(hand)
+	sameResults(t, label, got, want, ordered)
+}
+
+const sqlQ1 = `
+SELECT l_returnflag, l_linestatus,
+       SUM(l_quantity) AS sum_qty,
+       SUM(l_extendedprice) AS sum_base_price,
+       SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+       SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+       AVG(l_quantity) AS avg_qty,
+       AVG(l_extendedprice) AS avg_price,
+       AVG(l_discount) AS avg_disc,
+       COUNT(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= DATE '1998-09-02'
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus`
+
+const sqlQ3 = `
+SELECT l_orderkey, o_orderdate, o_shippriority,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer, orders, lineitem
+WHERE c_mktsegment = 'BUILDING'
+  AND c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate < DATE '1995-03-15'
+  AND l_shipdate > DATE '1995-03-15'
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY revenue DESC, o_orderdate
+LIMIT 10`
+
+const sqlQ6 = `
+SELECT SUM(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= DATE '1994-01-01'
+  AND l_shipdate < DATE '1995-01-01'
+  AND l_discount BETWEEN 0.05 AND 0.07
+  AND l_quantity < 24`
+
+// sqlQ5 stresses the optimizer: six relations, a join key read from an
+// earlier join's payload (c_nationkey = s_nationkey), and a composite
+// semi-join rewrite on customer.
+const sqlQ5 = `
+SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer, orders, lineitem, supplier, nation, region
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND l_suppkey = s_suppkey
+  AND c_nationkey = s_nationkey
+  AND s_nationkey = n_nationkey
+  AND n_regionkey = r_regionkey
+  AND r_name = 'ASIA'
+  AND o_orderdate >= DATE '1994-01-01'
+  AND o_orderdate < DATE '1995-01-01'
+GROUP BY n_name
+ORDER BY revenue DESC`
+
+func TestTPCHGolden(t *testing.T) {
+	cat := tpchCatalog()
+	sqlVsHandBuilt(t, "Q1", sqlQ1, cat, tpch.QueryPlan(1, tpchDB), true)
+	sqlVsHandBuilt(t, "Q3", sqlQ3, cat, tpch.QueryPlan(3, tpchDB), true)
+	sqlVsHandBuilt(t, "Q5", sqlQ5, cat, tpch.QueryPlan(5, tpchDB), false)
+	sqlVsHandBuilt(t, "Q6", sqlQ6, cat, tpch.QueryPlan(6, tpchDB), false)
+}
+
+// TestTPCHGoldenVsReference double-checks the SQL results against the
+// independent single-threaded reference implementations.
+func TestTPCHGoldenVsReference(t *testing.T) {
+	cat := tpchCatalog()
+	ref := tpchDB.Ref()
+	for _, q := range []struct {
+		num   int
+		query string
+	}{{1, sqlQ1}, {3, sqlQ3}, {6, sqlQ6}} {
+		p, err := Compile(q.query, cat)
+		if err != nil {
+			t.Fatalf("Q%d: %v", q.num, err)
+		}
+		got, _ := goldenSession().Run(p)
+		want := ref.RefQuery(q.num, tpchDB.Cfg.SF)
+		if len(got.Rows()) != len(want) {
+			t.Fatalf("Q%d: %d rows vs reference %d", q.num, len(got.Rows()), len(want))
+		}
+		wantRes := engine.NewResult(got.Schema, want)
+		sameResults(t, fmt.Sprintf("Q%d vs ref", q.num), got, wantRes, false)
+	}
+}
+
+const sqlSSB11 = `
+SELECT SUM(lo_extendedprice * lo_discount) AS revenue
+FROM lineorder, date
+WHERE lo_orderdate = d_datekey
+  AND d_year = 1993
+  AND lo_discount BETWEEN 1 AND 3
+  AND lo_quantity < 25`
+
+const sqlSSB21 = `
+SELECT d_year, p_brand1, SUM(lo_revenue) AS revenue
+FROM lineorder, date, part, supplier
+WHERE lo_orderdate = d_datekey
+  AND lo_partkey = p_partkey
+  AND lo_suppkey = s_suppkey
+  AND p_category = 'MFGR#12'
+  AND s_region = 'AMERICA'
+GROUP BY d_year, p_brand1
+ORDER BY d_year, p_brand1`
+
+const sqlSSB31 = `
+SELECT c_nation, s_nation, d_year, SUM(lo_revenue) AS revenue
+FROM customer, lineorder, supplier, date
+WHERE lo_custkey = c_custkey
+  AND lo_suppkey = s_suppkey
+  AND lo_orderdate = d_datekey
+  AND c_region = 'ASIA' AND s_region = 'ASIA'
+  AND d_year BETWEEN 1992 AND 1997
+GROUP BY c_nation, s_nation, d_year
+ORDER BY d_year ASC, revenue DESC`
+
+const sqlSSB41 = `
+SELECT d_year, c_nation, SUM(lo_revenue - lo_supplycost) AS profit
+FROM date, customer, supplier, part, lineorder
+WHERE lo_custkey = c_custkey
+  AND lo_suppkey = s_suppkey
+  AND lo_partkey = p_partkey
+  AND lo_orderdate = d_datekey
+  AND c_region = 'AMERICA'
+  AND s_region = 'AMERICA'
+  AND p_mfgr IN ('MFGR#1', 'MFGR#2')
+GROUP BY d_year, c_nation
+ORDER BY d_year, c_nation`
+
+func TestSSBGolden(t *testing.T) {
+	cat := ssbCatalog()
+	for _, q := range []struct {
+		id      string
+		query   string
+		ordered bool
+	}{
+		{"1.1", sqlSSB11, false},
+		{"2.1", sqlSSB21, true},
+		{"3.1", sqlSSB31, false},
+		{"4.1", sqlSSB41, true},
+	} {
+		hand := ssb.QueryByID(q.id).Plan(ssbDB)
+		sqlVsHandBuilt(t, "SSB"+q.id, q.query, cat, hand, q.ordered)
+	}
+}
+
+// TestOptimizerPushdownExplain asserts — via Explain — that the
+// optimizer pushes single-table predicates below joins: the filters land
+// on the scans, and no filter operator sits above a join.
+func TestOptimizerPushdownExplain(t *testing.T) {
+	cat := tpchCatalog()
+	p, err := Compile(sqlQ3, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := p.Explain()
+	for _, wantLine := range []string{
+		"scan(customer) cols=[c_custkey c_mktsegment] filter: (c_mktsegment = 'BUILDING')",
+		"scan(orders)",
+		"scan(lineitem)",
+		"hashjoin semi on [o_custkey = c_custkey]",
+	} {
+		if !strings.Contains(ex, wantLine) {
+			t.Fatalf("explain missing %q:\n%s", wantLine, ex)
+		}
+	}
+	// The date predicates must be fused into the scans, not evaluated
+	// above the joins: no standalone filter operator may mention them.
+	for _, line := range strings.Split(ex, "\n") {
+		trimmed := strings.TrimLeft(line, " │├└─")
+		if strings.HasPrefix(trimmed, "filter:") {
+			t.Fatalf("found un-pushed filter operator %q in:\n%s", line, ex)
+		}
+		if strings.Contains(trimmed, "scan(orders)") &&
+			!strings.Contains(trimmed, "filter: (o_orderdate <") {
+			t.Fatalf("orders scan lost its pushed-down date filter: %q", line)
+		}
+		if strings.Contains(trimmed, "scan(lineitem)") &&
+			!strings.Contains(trimmed, "filter: (l_shipdate >") {
+			t.Fatalf("lineitem scan lost its pushed-down date filter: %q", line)
+		}
+	}
+	// Build-side selection: the probe root is the largest table.
+	if !strings.Contains(ex, "└─ scan(customer)") && !strings.Contains(ex, "├─ scan(lineitem)") {
+		t.Logf("explain:\n%s", ex)
+	}
+}

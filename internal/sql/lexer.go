@@ -1,0 +1,184 @@
+// Package sql is the SQL front end of the morsel-driven engine: a lexer
+// and recursive-descent parser for a SELECT dialect covering the
+// TPC-H/SSB workloads, a binder that resolves names against the storage
+// catalog, a small rule-based logical optimizer (predicate pushdown,
+// projection pruning, join ordering with build-side selection), and a
+// lowering pass that emits engine.Plan — so SQL execution is exactly as
+// morsel-driven as hand-built plans.
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// tokKind classifies one token.
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tInt
+	tFloat
+	tString
+	tSymbol // punctuation and operators, text holds the symbol
+)
+
+// token is one lexeme with its source position (1-based line:col).
+type token struct {
+	kind tokKind
+	text string // identifier (as written), symbol, or raw literal text
+	i    int64
+	f    float64
+	s    string // string literal value
+	line int
+	col  int
+}
+
+// describe renders the token for error messages.
+func (t token) describe() string {
+	switch t.kind {
+	case tEOF:
+		return "end of query"
+	case tIdent:
+		return fmt.Sprintf("%q", t.text)
+	case tInt, tFloat:
+		return fmt.Sprintf("number %s", t.text)
+	case tString:
+		return fmt.Sprintf("string '%s'", t.s)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// ParseError is a syntax or binding error with a source position.
+type ParseError struct {
+	Msg  string
+	Line int
+	Col  int
+}
+
+func (e *ParseError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("sql: %s (at line %d column %d)", e.Msg, e.Line, e.Col)
+	}
+	return "sql: " + e.Msg
+}
+
+// lex splits the query into tokens. It never panics; malformed input
+// yields a ParseError (unclosed string, bad number, stray byte).
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	advance := func(n int) {
+		for k := 0; k < n; k++ {
+			if src[i+k] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += n
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			advance(1)
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			// Line comment.
+			j := i
+			for j < len(src) && src[j] != '\n' {
+				j++
+			}
+			advance(j - i)
+		case isIdentStart(c):
+			j := i
+			for j < len(src) && isIdentPart(src[j]) {
+				j++
+			}
+			toks = append(toks, token{kind: tIdent, text: src[i:j], line: line, col: col})
+			advance(j - i)
+		case c >= '0' && c <= '9':
+			j := i
+			isFloat := false
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				if src[j] == '.' {
+					if isFloat {
+						break
+					}
+					isFloat = true
+				}
+				j++
+			}
+			text := src[i:j]
+			tk := token{text: text, line: line, col: col}
+			if isFloat {
+				f, err := strconv.ParseFloat(text, 64)
+				if err != nil {
+					return nil, &ParseError{Msg: fmt.Sprintf("bad number %q", text), Line: line, Col: col}
+				}
+				tk.kind, tk.f = tFloat, f
+			} else {
+				v, err := strconv.ParseInt(text, 10, 64)
+				if err != nil {
+					return nil, &ParseError{Msg: fmt.Sprintf("bad number %q", text), Line: line, Col: col}
+				}
+				tk.kind, tk.i = tInt, v
+			}
+			toks = append(toks, tk)
+			advance(j - i)
+		case c == '\'':
+			var sb strings.Builder
+			j := i + 1
+			closed := false
+			for j < len(src) {
+				if src[j] == '\'' {
+					if j+1 < len(src) && src[j+1] == '\'' { // '' escape
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					closed = true
+					j++
+					break
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if !closed {
+				return nil, &ParseError{Msg: "unclosed string literal", Line: line, Col: col}
+			}
+			toks = append(toks, token{kind: tString, text: src[i:j], s: sb.String(), line: line, col: col})
+			advance(j - i)
+		default:
+			// Two-byte operators first.
+			if i+1 < len(src) {
+				two := src[i : i+2]
+				if two == "<=" || two == ">=" || two == "<>" || two == "!=" {
+					toks = append(toks, token{kind: tSymbol, text: two, line: line, col: col})
+					advance(2)
+					continue
+				}
+			}
+			switch c {
+			case '(', ')', ',', '.', '+', '-', '*', '/', '=', '<', '>', ';':
+				toks = append(toks, token{kind: tSymbol, text: string(c), line: line, col: col})
+				advance(1)
+			default:
+				return nil, &ParseError{Msg: fmt.Sprintf("unexpected character %q", string(c)), Line: line, Col: col}
+			}
+		}
+	}
+	toks = append(toks, token{kind: tEOF, line: line, col: col})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || c >= '0' && c <= '9' }

@@ -1,0 +1,652 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse turns one SELECT statement into its AST. It never panics:
+// malformed input returns a *ParseError with a line/column position.
+func Parse(query string) (*Select, error) {
+	toks, err := lex(query)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if p.symbol(";") {
+		p.next()
+	}
+	if p.cur().kind != tEOF {
+		return nil, p.errf("unexpected %s after end of query", p.cur().describe())
+	}
+	return stmt, nil
+}
+
+// reservedAfterTable are keywords that terminate a table alias or a
+// select-item alias, so `FROM t WHERE ...` does not read WHERE as an
+// alias.
+var reservedAfterTable = map[string]bool{
+	"WHERE": true, "GROUP": true, "ORDER": true, "HAVING": true,
+	"LIMIT": true, "JOIN": true, "INNER": true, "LEFT": true, "ON": true,
+	"FROM": true, "AND": true, "OR": true, "ASC": true, "DESC": true,
+	"SELECT": true, "BY": true, "AS": true, "UNION": true,
+}
+
+// maxExprDepth bounds expression-nesting recursion. The parser recurses
+// ~9 frames per nesting level, and queries arrive from the network: an
+// unbounded chain of "((((..." would overflow the goroutine stack — a
+// fatal runtime error no recover can contain.
+const maxExprDepth = 200
+
+type parser struct {
+	toks  []token
+	i     int
+	depth int
+}
+
+// enter guards one level of expression recursion; pair with leave.
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxExprDepth {
+		return p.errf("expression nesting exceeds %d levels", maxExprDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) peek() token { return p.toks[min(p.i+1, len(p.toks)-1)] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+// kw reports whether the current token is the given keyword
+// (case-insensitive).
+func (p *parser) kw(word string) bool {
+	t := p.cur()
+	return t.kind == tIdent && strings.EqualFold(t.text, word)
+}
+
+// eatKw consumes the keyword if present.
+func (p *parser) eatKw(word string) bool {
+	if p.kw(word) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(word string) error {
+	if !p.eatKw(word) {
+		return p.errf("expected %s, got %s", word, p.cur().describe())
+	}
+	return nil
+}
+
+func (p *parser) symbol(s string) bool {
+	t := p.cur()
+	return t.kind == tSymbol && t.text == s
+}
+
+func (p *parser) eatSymbol(s string) bool {
+	if p.symbol(s) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.eatSymbol(s) {
+		return p.errf("expected %q, got %s", s, p.cur().describe())
+	}
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return &ParseError{Msg: fmt.Sprintf(format, args...), Line: t.line, Col: t.col}
+}
+
+func (p *parser) pos() position {
+	t := p.cur()
+	return position{Line: t.line, Col: t.col}
+}
+
+// parseSelect parses SELECT ... [FROM ... [WHERE ...] [GROUP BY ...]
+// [HAVING ...] [ORDER BY ...] [LIMIT n]].
+func (p *parser) parseSelect() (*Select, error) {
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &Select{}
+	if p.eatKw("DISTINCT") {
+		return nil, p.errf("DISTINCT is not supported; use GROUP BY over the selected columns")
+	}
+	// Select list.
+	if p.eatSymbol("*") {
+		stmt.Star = true
+	} else {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{E: e}
+			if p.eatKw("AS") {
+				t := p.cur()
+				if t.kind != tIdent {
+					return nil, p.errf("expected alias after AS, got %s", t.describe())
+				}
+				item.As = strings.ToLower(p.next().text)
+			} else if t := p.cur(); t.kind == tIdent && !reservedAfterTable[strings.ToUpper(t.text)] {
+				item.As = strings.ToLower(p.next().text)
+			}
+			stmt.Items = append(stmt.Items, item)
+			if !p.eatSymbol(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	// FROM list: comma tables and JOIN ... ON chains.
+	for {
+		ft, err := p.parseTableRef("")
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, ft)
+		for {
+			var kind string
+			switch {
+			case p.kw("JOIN"):
+				p.next()
+				kind = "inner"
+			case p.kw("INNER"):
+				p.next()
+				if err := p.expectKw("JOIN"); err != nil {
+					return nil, err
+				}
+				kind = "inner"
+			case p.kw("LEFT"):
+				p.next()
+				p.eatKw("OUTER")
+				if err := p.expectKw("JOIN"); err != nil {
+					return nil, err
+				}
+				kind = "left"
+			}
+			if kind == "" {
+				break
+			}
+			jt, err := p.parseTableRef(kind)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("ON"); err != nil {
+				return nil, err
+			}
+			if jt.On, err = p.parseExpr(); err != nil {
+				return nil, err
+			}
+			stmt.From = append(stmt.From, jt)
+		}
+		if !p.eatSymbol(",") {
+			break
+		}
+	}
+	var err error
+	if p.eatKw("WHERE") {
+		if stmt.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.eatKw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if !p.eatSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.eatKw("HAVING") {
+		if stmt.Having, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.eatKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			k := OrderKey{E: e}
+			if p.eatKw("DESC") {
+				k.Desc = true
+			} else {
+				p.eatKw("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, k)
+			if !p.eatSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.eatKw("LIMIT") {
+		t := p.cur()
+		if t.kind != tInt || t.i <= 0 {
+			return nil, p.errf("expected a positive integer after LIMIT, got %s", t.describe())
+		}
+		stmt.Limit = int(p.next().i)
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseTableRef(join string) (FromTable, error) {
+	t := p.cur()
+	if t.kind != tIdent {
+		return FromTable{}, p.errf("expected table name, got %s", t.describe())
+	}
+	p.next()
+	ft := FromTable{Name: strings.ToLower(t.text), Join: join, Line: t.line, Col: t.col}
+	if p.eatKw("AS") {
+		a := p.cur()
+		if a.kind != tIdent {
+			return FromTable{}, p.errf("expected table alias after AS, got %s", a.describe())
+		}
+		ft.Alias = strings.ToLower(p.next().text)
+	} else if a := p.cur(); a.kind == tIdent && !reservedAfterTable[strings.ToUpper(a.text)] {
+		ft.Alias = strings.ToLower(p.next().text)
+	}
+	return ft, nil
+}
+
+// ---- expressions, by precedence: OR < AND < NOT < comparison < add < mul
+// < unary < primary.
+
+func (p *parser) parseExpr() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
+	return p.parseOr()
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.kw("OR") {
+		pos := p.pos()
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Bin{position: pos, Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.kw("AND") {
+		pos := p.pos()
+		p.next()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Bin{position: pos, Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.kw("NOT") && !strings.EqualFold(p.peek().text, "EXISTS") {
+		if err := p.enter(); err != nil {
+			return nil, err
+		}
+		defer p.leave()
+		pos := p.pos()
+		p.next()
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{position: pos, E: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	// Optional [NOT] BETWEEN / IN / LIKE suffix.
+	invert := false
+	if p.kw("NOT") && (strings.EqualFold(p.peek().text, "BETWEEN") ||
+		strings.EqualFold(p.peek().text, "IN") || strings.EqualFold(p.peek().text, "LIKE")) {
+		invert = true
+		p.next()
+	}
+	switch {
+	case p.kw("BETWEEN"):
+		pos := p.pos()
+		p.next()
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &Between{position: pos, E: l, Lo: lo, Hi: hi, Invert: invert}, nil
+	case p.kw("IN"):
+		pos := p.pos()
+		p.next()
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		if p.kw("SELECT") {
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return &InSelect{position: pos, E: l, Sub: sub, Invert: invert}, nil
+		}
+		var elems []Expr
+		for {
+			e, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, e)
+			if !p.eatSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return &InList{position: pos, E: l, Elems: elems, Invert: invert}, nil
+	case p.kw("LIKE"):
+		pos := p.pos()
+		p.next()
+		t := p.cur()
+		if t.kind != tString {
+			return nil, p.errf("expected a string pattern after LIKE, got %s", t.describe())
+		}
+		p.next()
+		return &LikeExpr{position: pos, E: l, Pattern: t.s, Invert: invert}, nil
+	case p.kw("IS"):
+		return nil, p.errf("IS [NOT] NULL is not supported (the engine has no NULLs)")
+	}
+	if invert {
+		return nil, p.errf("expected BETWEEN, IN or LIKE after NOT")
+	}
+	for _, op := range []string{"=", "<>", "!=", "<=", ">=", "<", ">"} {
+		if p.symbol(op) {
+			pos := p.pos()
+			p.next()
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			if op == "!=" {
+				op = "<>"
+			}
+			return &Bin{position: pos, Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.symbol("+") || p.symbol("-") {
+		pos := p.pos()
+		op := p.next().text
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &Bin{position: pos, Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.symbol("*") || p.symbol("/") {
+		pos := p.pos()
+		op := p.next().text
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Bin{position: pos, Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.symbol("-") {
+		if err := p.enter(); err != nil {
+			return nil, err
+		}
+		defer p.leave()
+		pos := p.pos()
+		p.next()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		switch lit := e.(type) {
+		case *IntLit:
+			lit.V = -lit.V
+			return lit, nil
+		case *FloatLit:
+			lit.V = -lit.V
+			return lit, nil
+		}
+		return &Neg{position: pos, E: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	pos := p.pos()
+	switch t.kind {
+	case tInt:
+		p.next()
+		return &IntLit{position: pos, V: t.i}, nil
+	case tFloat:
+		p.next()
+		return &FloatLit{position: pos, V: t.f}, nil
+	case tString:
+		p.next()
+		return &StrLit{position: pos, V: t.s}, nil
+	case tSymbol:
+		if t.text == "(" {
+			p.next()
+			if p.kw("SELECT") {
+				return nil, p.errf("scalar subqueries are not supported; use EXISTS or IN (SELECT ...)")
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tIdent:
+		switch strings.ToUpper(t.text) {
+		case "DATE":
+			if p.peek().kind == tString {
+				p.next()
+				lit := p.next()
+				return &DateLit{position: pos, V: lit.s}, nil
+			}
+			// Otherwise DATE is an ordinary identifier (SSB's date
+			// dimension table).
+		case "CASE":
+			return p.parseCase()
+		case "EXISTS":
+			p.next()
+			return p.parseExists(pos, false)
+		case "NOT":
+			// parseNot delegates NOT EXISTS here.
+			p.next()
+			if err := p.expectKw("EXISTS"); err != nil {
+				return nil, err
+			}
+			return p.parseExists(pos, true)
+		case "EXTRACT":
+			p.next()
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("YEAR"); err != nil {
+				return nil, p.errf("only EXTRACT(YEAR FROM ...) is supported")
+			}
+			if err := p.expectKw("FROM"); err != nil {
+				return nil, err
+			}
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return &Call{position: pos, Name: "YEAR", Args: []Expr{arg}}, nil
+		}
+		if reservedAfterTable[strings.ToUpper(t.text)] {
+			return nil, p.errf("expected an expression, got %s", t.describe())
+		}
+		p.next()
+		// Function call?
+		if p.symbol("(") {
+			p.next()
+			call := &Call{position: pos, Name: strings.ToUpper(t.text)}
+			if p.eatSymbol("*") {
+				call.Star = true
+			} else if !p.symbol(")") {
+				for {
+					if p.eatKw("DISTINCT") {
+						return nil, p.errf("%s(DISTINCT ...) is not supported", call.Name)
+					}
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.eatSymbol(",") {
+						break
+					}
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		// Qualified or bare column reference.
+		c := &Col{position: pos, Name: strings.ToLower(t.text)}
+		if p.eatSymbol(".") {
+			n := p.cur()
+			if n.kind != tIdent {
+				return nil, p.errf("expected column name after %q., got %s", t.text, n.describe())
+			}
+			p.next()
+			c.Table, c.Name = strings.ToLower(t.text), strings.ToLower(n.text)
+		}
+		return c, nil
+	}
+	return nil, p.errf("expected an expression, got %s", t.describe())
+}
+
+func (p *parser) parseExists(pos position, invert bool) (Expr, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	sub, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return &Exists{position: pos, Sub: sub, Invert: invert}, nil
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	pos := p.pos()
+	p.next() // CASE
+	if !p.kw("WHEN") {
+		return nil, p.errf("only searched CASE (CASE WHEN ...) is supported")
+	}
+	c := &Case{position: pos}
+	for p.eatKw("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, When{Cond: cond, Then: then})
+	}
+	if p.eatKw("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKw("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,951 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/engine"
+)
+
+// Compile parses, binds, optimizes and lowers one SELECT statement into
+// an executable engine plan. The result is a plain engine.Plan, so SQL
+// queries execute exactly as morsel-driven as hand-built plans.
+func Compile(query string, cat Catalog) (*engine.Plan, error) {
+	return CompileNamed(query, "sql", cat)
+}
+
+// CompileNamed compiles with an explicit plan name (used by the server
+// for stats labeling).
+func CompileNamed(query, name string, cat Catalog) (*engine.Plan, error) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return PlanSelect(stmt, name, cat)
+}
+
+// PlanSelect binds, optimizes and lowers a parsed statement.
+func PlanSelect(stmt *Select, name string, cat Catalog) (p *engine.Plan, err error) {
+	// The engine's plan builders report type errors by panicking (plan
+	// literals are normally programmer-controlled); SQL comes from
+	// clients, so convert the remaining panics into errors.
+	defer func() {
+		if r := recover(); r != nil {
+			p, err = nil, fmt.Errorf("sql: invalid query: %v", r)
+		}
+	}()
+	pl := &planner{cat: cat, name: name}
+	return pl.plan(stmt)
+}
+
+// joinStep is one hash join of the left-deep probe chain: the chain
+// probes a hash table built over t's (filtered, pruned) scan.
+type joinStep struct {
+	t         *baseTable
+	kind      engine.JoinKind
+	probeKeys []Expr // chain-side key expressions
+	buildKeys []Expr // t-side key expressions
+	payload   []string
+}
+
+// subJoinSpec is a semi/anti join derived from EXISTS / IN (SELECT ...).
+type subJoinSpec struct {
+	t         *baseTable
+	anti      bool
+	probeKeys []Expr
+	buildKeys []Expr
+	local     []Expr // build-only conjuncts
+	residual  []Expr // conjuncts over probe and build columns
+	resPay    map[string]bool
+	sc        *scope // sub scope (build table + outer)
+}
+
+// outerSpec is a LEFT OUTER JOIN appendage.
+type outerSpec struct {
+	t         *baseTable
+	probeKeys []Expr
+	buildKeys []Expr
+}
+
+// edge is one equality conjunct usable as a hash-join key pair.
+type edge struct {
+	conj   Expr
+	l, r   Expr
+	lt, rt map[*baseTable]bool
+	used   bool
+}
+
+type planner struct {
+	cat  Catalog
+	name string
+
+	sc     *scope
+	inner  []*baseTable // join-graph relations (comma / INNER JOIN)
+	outers []*outerSpec
+
+	local    map[*baseTable][]Expr
+	edges    []*edge
+	residual []Expr
+	subs     []*subJoinSpec
+
+	// allRefs collects every referenced column per table: the pruned
+	// scan list. lateRefs collects references occurring above the join
+	// chain (select, group, having, order, residual filters, subquery
+	// and outer-join probe sides): the payload candidates.
+	allRefs  map[*baseTable]map[string]bool
+	lateRefs map[*baseTable]map[string]bool
+
+	// pipeRegs tracks the probe pipeline's register names with their
+	// provider, to reject name collisions (e.g. two joined tables both
+	// contributing a referenced column "name") at bind time — the
+	// engine only detects duplicate registers by panicking during
+	// compilation, outside PlanSelect's recover.
+	pipeRegs map[string]string
+}
+
+// addPipeReg claims one probe-pipeline register name.
+func (pl *planner) addPipeReg(name, provider string) error {
+	if prev, ok := pl.pipeRegs[name]; ok {
+		return &ParseError{Msg: fmt.Sprintf(
+			"column name %q is provided by both %s and %s; rename one side with AS (joined tables must not share referenced column names)",
+			name, prev, provider)}
+	}
+	pl.pipeRegs[name] = provider
+	return nil
+}
+
+func (pl *planner) plan(stmt *Select) (*engine.Plan, error) {
+	if err := pl.bindFrom(stmt); err != nil {
+		return nil, err
+	}
+	items, err := pl.expandStar(stmt)
+	if err != nil {
+		return nil, err
+	}
+	pl.local = make(map[*baseTable][]Expr)
+	pl.allRefs = make(map[*baseTable]map[string]bool)
+	pl.lateRefs = make(map[*baseTable]map[string]bool)
+
+	// ---- classify WHERE (and inner ON) conjuncts: pushdown vs join
+	// edge vs residual vs subquery join.
+	var conjuncts []Expr
+	for _, ft := range stmt.From {
+		if ft.On != nil && ft.Join == "inner" {
+			conjuncts = append(conjuncts, splitConjuncts(ft.On)...)
+		}
+	}
+	conjuncts = append(conjuncts, splitConjuncts(stmt.Where)...)
+	for _, c := range conjuncts {
+		if err := pl.classify(c); err != nil {
+			return nil, err
+		}
+	}
+
+	// ---- LEFT JOIN ON clauses.
+	for _, o := range pl.outers {
+		if err := pl.bindOuterOn(o); err != nil {
+			return nil, err
+		}
+	}
+
+	// ---- reference collection for projection pruning and payloads.
+	outputs, err := outputNames(items)
+	if err != nil {
+		return nil, err
+	}
+	for _, item := range items {
+		if err := pl.noteRefs(item.E, true); err != nil {
+			return nil, err
+		}
+	}
+	for _, g := range stmt.GroupBy {
+		// A bare column matching a select alias groups by that item's
+		// expression (already noted above).
+		if c, ok := g.(*Col); ok && c.Table == "" && containsStr(outputs, c.Name) {
+			continue
+		}
+		if err := pl.noteRefs(g, true); err != nil {
+			return nil, err
+		}
+	}
+	if stmt.Having != nil {
+		// HAVING may reference select aliases and aggregate outputs;
+		// unresolvable names are validated post-aggregation where the
+		// alias scope exists.
+		pl.noteRefsLenient(stmt.Having)
+	}
+	for _, k := range stmt.OrderBy {
+		// Order keys referencing select aliases or aggregates resolve
+		// later; only note direct column references.
+		if c, ok := k.E.(*Col); ok {
+			if t, _ := pl.sc.resolve(c); t != nil {
+				pl.note(t, c.Name, true)
+			}
+		}
+	}
+	for _, r := range pl.residual {
+		if err := pl.noteRefs(r, true); err != nil {
+			return nil, err
+		}
+	}
+	for _, preds := range pl.local {
+		for _, pr := range preds {
+			if err := pl.noteRefs(pr, false); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, e := range pl.edges {
+		if err := pl.noteRefs(e.conj, false); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range pl.subs {
+		for _, k := range s.probeKeys {
+			if err := pl.noteRefs(k, true); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, o := range pl.outers {
+		for _, k := range o.probeKeys {
+			if err := pl.noteRefs(k, true); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// ---- join order + build-side selection, then lower.
+	steps, root, err := pl.orderJoins()
+	if err != nil {
+		return nil, err
+	}
+	ep := engine.NewPlan(pl.name)
+	n, err := pl.lowerChain(ep, root, steps)
+	if err != nil {
+		return nil, err
+	}
+	return pl.finish(ep, n, stmt, items, outputs)
+}
+
+func containsStr(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// bindFrom resolves FROM tables against the catalog.
+func (pl *planner) bindFrom(stmt *Select) error {
+	if len(stmt.From) == 0 {
+		return &ParseError{Msg: "query has no FROM clause"}
+	}
+	pl.sc = &scope{}
+	seen := map[string]bool{}
+	for _, ft := range stmt.From {
+		t, ok := pl.cat(ft.Name)
+		if !ok {
+			return &ParseError{Msg: fmt.Sprintf("unknown table %q", ft.Name), Line: ft.Line, Col: ft.Col}
+		}
+		alias := ft.Alias
+		if alias == "" {
+			alias = ft.Name
+		}
+		if seen[alias] {
+			return &ParseError{Msg: fmt.Sprintf("duplicate table %q in FROM (alias one of them)", alias), Line: ft.Line, Col: ft.Col}
+		}
+		seen[alias] = true
+		bt := &baseTable{ref: ft, t: t, alias: alias, cols: map[string]int{}}
+		for i, c := range t.Schema {
+			bt.cols[c.Name] = i
+		}
+		pl.sc.tables = append(pl.sc.tables, bt)
+		if ft.Join == "left" {
+			pl.outers = append(pl.outers, &outerSpec{t: bt})
+		} else {
+			pl.inner = append(pl.inner, bt)
+		}
+	}
+	return nil
+}
+
+func (pl *planner) expandStar(stmt *Select) ([]SelectItem, error) {
+	if !stmt.Star {
+		return stmt.Items, nil
+	}
+	if len(stmt.GroupBy) > 0 {
+		return nil, &ParseError{Msg: "SELECT * cannot be combined with GROUP BY"}
+	}
+	var items []SelectItem
+	for _, t := range pl.sc.tables {
+		for _, c := range t.t.Schema {
+			items = append(items, SelectItem{E: &Col{Name: c.Name}})
+		}
+	}
+	return items, nil
+}
+
+// splitConjuncts flattens nested ANDs into a conjunct list.
+func splitConjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*Bin); ok && b.Op == "and" {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// tablesOf resolves every column of e in the planner scope and returns
+// the owning tables. Unknown columns are an error.
+func (pl *planner) tablesOf(e Expr) (map[*baseTable]bool, error) {
+	out := map[*baseTable]bool{}
+	var werr error
+	walk(e, func(x Expr) {
+		if werr != nil {
+			return
+		}
+		if c, ok := x.(*Col); ok {
+			t, _, err := pl.sc.resolveUp(c)
+			if err != nil {
+				werr = err
+				return
+			}
+			out[t] = true
+		}
+	})
+	return out, werr
+}
+
+// note records a column reference for scan pruning (and, when late, for
+// join payloads).
+func (pl *planner) note(t *baseTable, col string, late bool) {
+	m := pl.allRefs[t]
+	if m == nil {
+		m = map[string]bool{}
+		pl.allRefs[t] = m
+	}
+	m[col] = true
+	if late {
+		m = pl.lateRefs[t]
+		if m == nil {
+			m = map[string]bool{}
+			pl.lateRefs[t] = m
+		}
+		m[col] = true
+	}
+}
+
+// noteRefsLenient notes resolvable columns and silently skips names
+// that only exist post-aggregation (aliases, aggregate outputs).
+func (pl *planner) noteRefsLenient(e Expr) {
+	walk(e, func(x Expr) {
+		if c, ok := x.(*Col); ok {
+			if t, _ := pl.sc.resolve(c); t != nil {
+				pl.note(t, c.Name, true)
+			}
+		}
+	})
+}
+
+func (pl *planner) noteRefs(e Expr, late bool) error {
+	var werr error
+	walk(e, func(x Expr) {
+		if werr != nil {
+			return
+		}
+		if c, ok := x.(*Col); ok {
+			t, _, err := pl.sc.resolveUp(c)
+			if err != nil {
+				werr = err
+				return
+			}
+			pl.note(t, c.Name, late)
+		}
+	})
+	return werr
+}
+
+// classify routes one WHERE conjunct: subquery join, single-table filter
+// (pushed below joins), two-sided equality (join edge), or residual.
+func (pl *planner) classify(c Expr) error {
+	// Normalize NOT(EXISTS ...) / NOT(x IN ...) written with explicit
+	// parentheses.
+	if n, ok := c.(*Not); ok {
+		switch inner := n.E.(type) {
+		case *Exists:
+			c = &Exists{position: inner.position, Sub: inner.Sub, Invert: !inner.Invert}
+		case *InSelect:
+			c = &InSelect{position: inner.position, E: inner.E, Sub: inner.Sub, Invert: !inner.Invert}
+		}
+	}
+	switch x := c.(type) {
+	case *Exists:
+		return pl.bindSubquery(x.Sub, nil, x.Invert, x)
+	case *InSelect:
+		return pl.bindSubquery(x.Sub, x.E, x.Invert, x)
+	}
+	if containsAgg(c) {
+		return errAt(c, "aggregates are not allowed in WHERE (use HAVING)")
+	}
+	tabs, err := pl.tablesOf(c)
+	if err != nil {
+		return err
+	}
+	for t := range tabs {
+		if pl.isOuterTable(t) {
+			// Filters over LEFT JOIN columns must not be pushed below
+			// the preserving join; evaluate them after it.
+			pl.residual = append(pl.residual, c)
+			return nil
+		}
+	}
+	switch len(tabs) {
+	case 0:
+		pl.residual = append(pl.residual, c)
+		return nil
+	case 1:
+		for t := range tabs {
+			pl.local[t] = append(pl.local[t], c)
+		}
+		return nil
+	}
+	if b, ok := c.(*Bin); ok && b.Op == "=" {
+		lt, lerr := pl.tablesOf(b.L)
+		rt, rerr := pl.tablesOf(b.R)
+		if lerr == nil && rerr == nil && len(lt) > 0 && len(rt) > 0 && disjoint(lt, rt) &&
+			(len(lt) == 1 || len(rt) == 1) {
+			pl.edges = append(pl.edges, &edge{conj: c, l: b.L, r: b.R, lt: lt, rt: rt})
+			return nil
+		}
+	}
+	pl.residual = append(pl.residual, c)
+	return nil
+}
+
+func (pl *planner) isOuterTable(t *baseTable) bool {
+	for _, o := range pl.outers {
+		if o.t == t {
+			return true
+		}
+	}
+	return false
+}
+
+func disjoint(a, b map[*baseTable]bool) bool {
+	for t := range a {
+		if b[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// bindOuterOn splits a LEFT JOIN's ON clause into build-side filters and
+// equality key pairs.
+func (pl *planner) bindOuterOn(o *outerSpec) error {
+	if o.t.ref.On == nil {
+		return &ParseError{Msg: fmt.Sprintf("LEFT JOIN %q needs an ON clause", o.t.alias), Line: o.t.ref.Line, Col: o.t.ref.Col}
+	}
+	for _, c := range splitConjuncts(o.t.ref.On) {
+		tabs, err := pl.tablesOf(c)
+		if err != nil {
+			return err
+		}
+		if len(tabs) == 1 && tabs[o.t] {
+			pl.local[o.t] = append(pl.local[o.t], c)
+			continue
+		}
+		b, ok := c.(*Bin)
+		if ok && b.Op == "=" {
+			lt, _ := pl.tablesOf(b.L)
+			rt, _ := pl.tablesOf(b.R)
+			switch {
+			case len(rt) == 1 && rt[o.t] && !lt[o.t]:
+				o.probeKeys = append(o.probeKeys, b.L)
+				o.buildKeys = append(o.buildKeys, b.R)
+				continue
+			case len(lt) == 1 && lt[o.t] && !rt[o.t]:
+				o.probeKeys = append(o.probeKeys, b.R)
+				o.buildKeys = append(o.buildKeys, b.L)
+				continue
+			}
+		}
+		return errAt(c, "unsupported LEFT JOIN condition (want equality key pairs and build-side filters)")
+	}
+	if len(o.probeKeys) == 0 {
+		return &ParseError{Msg: fmt.Sprintf("LEFT JOIN %q has no equality key in ON", o.t.alias), Line: o.t.ref.Line, Col: o.t.ref.Col}
+	}
+	return nil
+}
+
+// bindSubquery turns EXISTS / IN (SELECT ...) into a semi or anti join
+// spec: correlation equalities become key pairs, build-only conjuncts
+// filter the build scan, and mixed conjuncts become join residuals.
+func (pl *planner) bindSubquery(sub *Select, inExpr Expr, invert bool, at Expr) error {
+	if len(sub.From) != 1 || sub.From[0].Join != "" {
+		return errAt(at, "subqueries must scan exactly one table")
+	}
+	if len(sub.GroupBy) > 0 || sub.Having != nil || len(sub.OrderBy) > 0 || sub.Limit > 0 {
+		return errAt(at, "subqueries support only SELECT ... FROM t WHERE ...")
+	}
+	ft := sub.From[0]
+	tab, ok := pl.cat(ft.Name)
+	if !ok {
+		return &ParseError{Msg: fmt.Sprintf("unknown table %q", ft.Name), Line: ft.Line, Col: ft.Col}
+	}
+	alias := ft.Alias
+	if alias == "" {
+		alias = ft.Name
+	}
+	bt := &baseTable{ref: ft, t: tab, alias: alias, cols: map[string]int{}}
+	for i, c := range tab.Schema {
+		bt.cols[c.Name] = i
+	}
+	spec := &subJoinSpec{
+		t: bt, anti: invert, resPay: map[string]bool{},
+		sc: &scope{tables: []*baseTable{bt}, outer: pl.sc},
+	}
+	if inExpr != nil {
+		// x IN (SELECT col FROM ...): the select column is a build key.
+		if sub.Star || len(sub.Items) != 1 {
+			return errAt(at, "IN subqueries must select exactly one column")
+		}
+		c, ok := sub.Items[0].E.(*Col)
+		if !ok {
+			return errAt(sub.Items[0].E, "IN subqueries must select a plain column")
+		}
+		if owner, err := spec.sc.resolve(c); err != nil {
+			return err
+		} else if owner == nil {
+			return errAt(c, "unknown column %q in subquery table %q", c.Name, alias)
+		}
+		if containsAgg(inExpr) {
+			return errAt(inExpr, "aggregates are not allowed in IN expressions")
+		}
+		spec.probeKeys = append(spec.probeKeys, inExpr)
+		spec.buildKeys = append(spec.buildKeys, c)
+	}
+	for _, c := range splitConjuncts(sub.Where) {
+		inner, outer, err := spec.splitRefs(c)
+		if err != nil {
+			return err
+		}
+		switch {
+		case !outer:
+			spec.local = append(spec.local, c)
+			continue
+		case !inner:
+			return errAt(c, "subquery predicates must reference the subquery table")
+		}
+		if b, ok := c.(*Bin); ok && b.Op == "=" {
+			li, lo, _ := spec.splitRefs(b.L)
+			ri, ro, _ := spec.splitRefs(b.R)
+			switch {
+			case ri && !ro && !li:
+				spec.probeKeys = append(spec.probeKeys, b.L)
+				spec.buildKeys = append(spec.buildKeys, b.R)
+				continue
+			case li && !lo && !ri:
+				spec.probeKeys = append(spec.probeKeys, b.R)
+				spec.buildKeys = append(spec.buildKeys, b.L)
+				continue
+			}
+		}
+		// Mixed, non-equality correlation: join residual over probe
+		// registers plus build columns loaded for the residual.
+		spec.residual = append(spec.residual, c)
+		walk(c, func(x Expr) {
+			if cc, ok := x.(*Col); ok {
+				if owner, _ := spec.sc.resolve(cc); owner == bt {
+					spec.resPay[cc.Name] = true
+				}
+			}
+		})
+	}
+	if len(spec.probeKeys) == 0 {
+		return errAt(at, "EXISTS subqueries must be correlated through at least one equality with the outer query")
+	}
+	pl.subs = append(pl.subs, spec)
+	return nil
+}
+
+// splitRefs reports whether e references subquery-table columns and/or
+// outer columns.
+func (s *subJoinSpec) splitRefs(e Expr) (inner, outer bool, err error) {
+	walk(e, func(x Expr) {
+		if err != nil {
+			return
+		}
+		c, ok := x.(*Col)
+		if !ok {
+			return
+		}
+		t, depth, rerr := s.sc.resolveUp(c)
+		if rerr != nil {
+			err = rerr
+			return
+		}
+		if depth == 0 && t == s.t {
+			inner = true
+		} else {
+			outer = true
+		}
+	})
+	return inner, outer, err
+}
+
+// orderJoins picks the probe root and a left-deep build order: the
+// largest relation drives the probe pipeline (morsel parallelism scales
+// with probe size) and each step builds a hash table over the smallest
+// not-yet-joined relation connected to the chain — the paper's setting
+// of small build sides feeding pipelined probes.
+func (pl *planner) orderJoins() ([]*joinStep, *baseTable, error) {
+	if len(pl.inner) == 1 {
+		return nil, pl.inner[0], nil
+	}
+	root := pl.inner[0]
+	for _, t := range pl.inner[1:] {
+		if t.rows() > root.rows() {
+			root = t
+		}
+	}
+	inChain := map[*baseTable]bool{root: true}
+	remaining := len(pl.inner) - 1
+	var steps []*joinStep
+	for remaining > 0 {
+		// A table is joinable when some unused equality has one side
+		// entirely on the table and the other entirely on the chain.
+		var pick *baseTable
+		for _, t := range pl.inner {
+			if inChain[t] {
+				continue
+			}
+			if pl.joinable(t, inChain) && (pick == nil || t.rows() < pick.rows()) {
+				pick = t
+			}
+		}
+		if pick == nil {
+			for _, t := range pl.inner {
+				if !inChain[t] {
+					return nil, nil, &ParseError{
+						Msg:  fmt.Sprintf("table %q is not connected to the rest of the query by any equality join predicate (cross joins are not supported)", t.alias),
+						Line: t.ref.Line, Col: t.ref.Col,
+					}
+				}
+			}
+		}
+		step := &joinStep{t: pick, kind: engine.JoinInner}
+		for _, e := range pl.edges {
+			if e.used {
+				continue
+			}
+			probe, build, ok := e.orient(pick, inChain)
+			if ok {
+				e.used = true
+				step.probeKeys = append(step.probeKeys, probe)
+				step.buildKeys = append(step.buildKeys, build)
+			}
+		}
+		steps = append(steps, step)
+		inChain[pick] = true
+		remaining--
+	}
+	// Equalities never consumed (both sides ended up inside the chain
+	// before either was a build) fall back to residual filters.
+	for _, e := range pl.edges {
+		if !e.used {
+			pl.residual = append(pl.residual, e.conj)
+			if err := pl.noteRefs(e.conj, true); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return steps, root, nil
+}
+
+func (pl *planner) joinable(t *baseTable, inChain map[*baseTable]bool) bool {
+	for _, e := range pl.edges {
+		if e.used {
+			continue
+		}
+		if _, _, ok := e.orient(t, inChain); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// orient returns (probe side, build side) if the edge joins `build` to
+// the chain: one side references only `build`, the other only chain
+// tables.
+func (e *edge) orient(build *baseTable, inChain map[*baseTable]bool) (Expr, Expr, bool) {
+	only := func(m map[*baseTable]bool, t *baseTable) bool { return len(m) == 1 && m[t] }
+	within := func(m map[*baseTable]bool) bool {
+		for t := range m {
+			if !inChain[t] {
+				return false
+			}
+		}
+		return true
+	}
+	if only(e.rt, build) && within(e.lt) {
+		return e.l, e.r, true
+	}
+	if only(e.lt, build) && within(e.rt) {
+		return e.r, e.l, true
+	}
+	return nil, nil, false
+}
+
+// scanCols lists the pruned scan column set of t in schema order.
+func (pl *planner) scanCols(t *baseTable) ([]string, error) {
+	refs := pl.allRefs[t]
+	if len(refs) == 0 {
+		// The engine cannot scan zero columns; fall back to the
+		// narrowest one (e.g. EXISTS over an unfiltered table).
+		return []string{t.t.Schema[0].Name}, nil
+	}
+	cols := make([]string, 0, len(refs))
+	for c := range refs {
+		cols = append(cols, c)
+	}
+	sort.Slice(cols, func(i, j int) bool { return t.cols[cols[i]] < t.cols[cols[j]] })
+	return cols, nil
+}
+
+// payloadCols lists build columns of t carried past its join, in schema
+// order: every late reference (select, grouping, ordering, residual
+// filters, later probe keys).
+func (pl *planner) payloadCols(t *baseTable, extraLate map[string]bool) []string {
+	refs := map[string]bool{}
+	for c := range pl.lateRefs[t] {
+		refs[c] = true
+	}
+	for c := range extraLate {
+		refs[c] = true
+	}
+	cols := make([]string, 0, len(refs))
+	for c := range refs {
+		cols = append(cols, c)
+	}
+	sort.Slice(cols, func(i, j int) bool { return t.cols[cols[i]] < t.cols[cols[j]] })
+	return cols
+}
+
+// bindAll binds conjuncts with the given binder and ANDs them.
+func bindAll(bd *binder, preds []Expr) (*engine.Expr, error) {
+	var out []*engine.Expr
+	for _, p := range preds {
+		e, err := bd.bind(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return engine.And(out...), nil
+}
+
+// lowerScan emits the pruned, filtered scan of t.
+func (pl *planner) lowerScan(ep *engine.Plan, t *baseTable, bd *binder) (*engine.Node, error) {
+	cols, err := pl.scanCols(t)
+	if err != nil {
+		return nil, err
+	}
+	n := ep.Scan(t.t, cols...)
+	pred, err := bindAll(bd, pl.local[t])
+	if err != nil {
+		return nil, err
+	}
+	if pred != nil {
+		n = n.Filter(pred)
+	}
+	return n, nil
+}
+
+// lowerChain lowers the probe root, the ordered inner joins, the
+// LEFT JOIN appendages, the subquery semi/anti joins, and the residual
+// filters.
+func (pl *planner) lowerChain(ep *engine.Plan, root *baseTable, steps []*joinStep) (*engine.Node, error) {
+	bd := &binder{sc: pl.sc}
+
+	// A probe key of a later join reads columns of earlier builds (or
+	// the root): note them as late references so those joins carry them
+	// as payload.
+	for _, st := range steps {
+		for _, k := range st.probeKeys {
+			if err := pl.noteRefs(k, true); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	pl.pipeRegs = map[string]string{}
+	rootCols, err := pl.scanCols(root)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range rootCols {
+		if err := pl.addPipeReg(c, fmt.Sprintf("table %q", root.alias)); err != nil {
+			return nil, err
+		}
+	}
+
+	n, err := pl.lowerScan(ep, root, bd)
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range steps {
+		build, err := pl.lowerScan(ep, st.t, bd)
+		if err != nil {
+			return nil, err
+		}
+		probe := make([]*engine.Expr, len(st.probeKeys))
+		bkeys := make([]*engine.Expr, len(st.buildKeys))
+		var keyCols []string
+		for i := range st.probeKeys {
+			if probe[i], err = bd.bind(st.probeKeys[i]); err != nil {
+				return nil, err
+			}
+			if bkeys[i], err = bd.bind(st.buildKeys[i]); err != nil {
+				return nil, err
+			}
+			if c, ok := st.buildKeys[i].(*Col); ok {
+				keyCols = append(keyCols, c.Name)
+			}
+		}
+		st.payload = pl.payloadCols(st.t, nil)
+		for _, c := range st.payload {
+			if err := pl.addPipeReg(c, fmt.Sprintf("table %q", st.t.alias)); err != nil {
+				return nil, err
+			}
+		}
+		// Build-side selection refinement: a join that carries no
+		// payload and provably matches at most one build row per probe
+		// (its keys cover a declared unique key) is an existence test —
+		// run it as a semi join, halving hash-table traffic.
+		if len(st.payload) == 0 && st.t.t.HasUniqueKey(keyCols) {
+			st.kind = engine.JoinSemi
+		}
+		n = n.HashJoin(build, st.kind, probe, bkeys, st.payload...)
+	}
+	for _, o := range pl.outers {
+		build, err := pl.lowerScan(ep, o.t, bd)
+		if err != nil {
+			return nil, err
+		}
+		probe := make([]*engine.Expr, len(o.probeKeys))
+		bkeys := make([]*engine.Expr, len(o.buildKeys))
+		for i := range o.probeKeys {
+			if probe[i], err = bd.bind(o.probeKeys[i]); err != nil {
+				return nil, err
+			}
+			if bkeys[i], err = bd.bind(o.buildKeys[i]); err != nil {
+				return nil, err
+			}
+		}
+		payload := pl.payloadCols(o.t, nil)
+		for _, c := range payload {
+			if err := pl.addPipeReg(c, fmt.Sprintf("table %q", o.t.alias)); err != nil {
+				return nil, err
+			}
+		}
+		n = n.HashJoin(build, engine.JoinOuterProbe, probe, bkeys, payload...)
+	}
+	for _, s := range pl.subs {
+		n, err = pl.lowerSub(ep, n, s)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res, err := bindAll(bd, pl.residual)
+	if err != nil {
+		return nil, err
+	}
+	if res != nil {
+		n = n.Filter(res)
+	}
+	return n, nil
+}
+
+func (pl *planner) lowerSub(ep *engine.Plan, n *engine.Node, s *subJoinSpec) (*engine.Node, error) {
+	// The build scan needs key, filter and residual columns.
+	refs := map[string]bool{}
+	collect := func(e Expr) {
+		walk(e, func(x Expr) {
+			if c, ok := x.(*Col); ok {
+				if owner, _ := s.sc.resolve(c); owner == s.t {
+					refs[c.Name] = true
+				}
+			}
+		})
+	}
+	for _, k := range s.buildKeys {
+		collect(k)
+	}
+	for _, f := range s.local {
+		collect(f)
+	}
+	for _, r := range s.residual {
+		collect(r)
+	}
+	cols := make([]string, 0, len(refs))
+	for c := range refs {
+		cols = append(cols, c)
+	}
+	if len(cols) == 0 {
+		cols = []string{s.t.t.Schema[0].Name}
+	}
+	sort.Slice(cols, func(i, j int) bool { return s.t.cols[cols[i]] < s.t.cols[cols[j]] })
+
+	subBd := &binder{sc: s.sc}
+	build := ep.Scan(s.t.t, cols...)
+	pred, err := bindAll(subBd, s.local)
+	if err != nil {
+		return nil, err
+	}
+	if pred != nil {
+		build = build.Filter(pred)
+	}
+	outerBd := &binder{sc: pl.sc}
+	probe := make([]*engine.Expr, len(s.probeKeys))
+	bkeys := make([]*engine.Expr, len(s.buildKeys))
+	for i := range s.probeKeys {
+		if probe[i], err = outerBd.bind(s.probeKeys[i]); err != nil {
+			return nil, err
+		}
+		if bkeys[i], err = subBd.bind(s.buildKeys[i]); err != nil {
+			return nil, err
+		}
+	}
+	kind := engine.JoinSemi
+	if s.anti {
+		kind = engine.JoinAnti
+	}
+	n = n.HashJoin(build, kind, probe, bkeys)
+	if len(s.residual) > 0 {
+		pay := make([]string, 0, len(s.resPay))
+		for c := range s.resPay {
+			pay = append(pay, c)
+		}
+		sort.Strings(pay)
+		// Residual payload columns become probe-pipeline registers.
+		for _, c := range pay {
+			if err := pl.addPipeReg(c, fmt.Sprintf("subquery over %q", s.t.alias)); err != nil {
+				return nil, err
+			}
+		}
+		n = n.ResidualPayload(pay...)
+		res, err := bindAll(subBd, s.residual)
+		if err != nil {
+			return nil, err
+		}
+		n = n.WithResidual(res)
+	}
+	return n, nil
+}

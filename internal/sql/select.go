@@ -1,0 +1,375 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine"
+)
+
+// finish lowers the select list: aggregation (GROUP BY + aggregate
+// extraction), HAVING, computed output columns, the final projection
+// honoring SELECT order, and ORDER BY / LIMIT.
+func (pl *planner) finish(ep *engine.Plan, n *engine.Node, stmt *Select, items []SelectItem, outputs []string) (*engine.Plan, error) {
+	aggMode := len(stmt.GroupBy) > 0
+	for _, item := range items {
+		if containsAgg(item.E) {
+			aggMode = true
+		}
+	}
+	if stmt.Having != nil && !aggMode {
+		return nil, errAt(stmt.Having, "HAVING requires GROUP BY or aggregates")
+	}
+
+	var err error
+	if aggMode {
+		n, err = pl.lowerAggregate(n, stmt, items, outputs)
+	} else {
+		n, err = pl.lowerProjection(n, items, outputs)
+	}
+	if err != nil {
+		return nil, err
+	}
+	n = n.Project(outputs...)
+
+	if len(stmt.OrderBy) == 0 {
+		if stmt.Limit > 0 {
+			return nil, &ParseError{Msg: "LIMIT requires ORDER BY (unordered truncation is not deterministic)"}
+		}
+		return ep.Return(n), nil
+	}
+	keys := make([]engine.SortKey, len(stmt.OrderBy))
+	for i, k := range stmt.OrderBy {
+		name, err := resolveOrderKey(k, outputs, items)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = engine.SortKey{Name: name, Desc: k.Desc}
+	}
+	return ep.ReturnSorted(n, stmt.Limit, keys...), nil
+}
+
+// outputNames picks the result column name of each select item: the
+// alias, a bare column's own name, an aggregate's function name, or a
+// positional fallback — uniquified.
+func outputNames(items []SelectItem) ([]string, error) {
+	used := map[string]bool{}
+	out := make([]string, len(items))
+	for i, item := range items {
+		name := item.As
+		if name == "" {
+			switch x := item.E.(type) {
+			case *Col:
+				name = x.Name
+			case *Call:
+				name = strings.ToLower(x.Name)
+			default:
+				name = fmt.Sprintf("col%d", i+1)
+			}
+		}
+		if used[name] {
+			if item.As != "" {
+				return nil, errAt(item.E, "duplicate output column %q", name)
+			}
+			base := name
+			for k := 2; used[name]; k++ {
+				name = fmt.Sprintf("%s_%d", base, k)
+			}
+		}
+		used[name] = true
+		out[i] = name
+	}
+	return out, nil
+}
+
+// lowerProjection handles the aggregate-free select list: computed items
+// become mapped columns; bare columns pass through.
+func (pl *planner) lowerProjection(n *engine.Node, items []SelectItem, outputs []string) (*engine.Node, error) {
+	bd := &binder{sc: pl.sc}
+	for i, item := range items {
+		if c, ok := item.E.(*Col); ok && c.Name == outputs[i] {
+			continue // already in the pipeline under its own name
+		}
+		e, err := bd.bind(item.E)
+		if err != nil {
+			return nil, err
+		}
+		if err := pl.addPipeReg(outputs[i], fmt.Sprintf("select item %d", i+1)); err != nil {
+			return nil, err
+		}
+		n = n.Map(outputs[i], e)
+	}
+	return n, nil
+}
+
+// lowerAggregate handles grouped queries: group keys and extracted
+// aggregates feed the engine's two-phase parallel aggregation; select
+// items and HAVING are then rewritten over the aggregate outputs.
+func (pl *planner) lowerAggregate(n *engine.Node, stmt *Select, items []SelectItem, outputs []string) (*engine.Node, error) {
+	bd := &binder{sc: pl.sc}
+	rewrite := map[string]string{}
+
+	// ---- group keys. A key may be a plain column, a select alias, or
+	// an expression (matched structurally against select items).
+	var groups []engine.NamedExpr
+	for gi, g := range stmt.GroupBy {
+		if containsAgg(g) {
+			return nil, errAt(g, "aggregates are not allowed in GROUP BY")
+		}
+		gname := ""
+		gexpr := g
+		if c, ok := g.(*Col); ok && c.Table == "" {
+			for i, item := range items {
+				if outputs[i] == c.Name {
+					if containsAgg(item.E) {
+						return nil, errAt(g, "GROUP BY %q names an aggregate output", c.Name)
+					}
+					gname, gexpr = c.Name, item.E
+					break
+				}
+			}
+		}
+		if gname == "" {
+			switch c := g.(type) {
+			case *Col:
+				gname = c.Name
+			default:
+				// Expression key: prefer the alias of a structurally
+				// identical select item, else a hidden name.
+				s := astString(g)
+				for i, item := range items {
+					if astString(item.E) == s {
+						gname = outputs[i]
+						break
+					}
+				}
+				if gname == "" {
+					gname = fmt.Sprintf("$group%d", gi+1)
+				}
+			}
+		}
+		bound, err := bd.bind(gexpr)
+		if err != nil {
+			return nil, err
+		}
+		groups = append(groups, engine.N(gname, bound))
+		rewrite[astString(gexpr)] = gname
+		rewrite[astString(g)] = gname
+		rewrite[gname] = gname
+	}
+
+	// ---- aggregate extraction: every aggregate call in the select
+	// list or HAVING becomes one output of the parallel aggregation
+	// (deduplicated structurally).
+	var aggs []engine.AggDef
+	addAgg := func(c *Call, preferred string) error {
+		s := astString(c)
+		if _, ok := rewrite[s]; ok {
+			return nil
+		}
+		name := preferred
+		if name == "" {
+			name = fmt.Sprintf("$agg%d", len(aggs)+1)
+		}
+		def, err := buildAggDef(bd, c, name)
+		if err != nil {
+			return err
+		}
+		aggs = append(aggs, def)
+		rewrite[s] = name
+		return nil
+	}
+	for i, item := range items {
+		if c, ok := item.E.(*Call); ok && isAggCall(c) {
+			if err := addAgg(c, outputs[i]); err != nil {
+				return nil, err
+			}
+			rewrite[outputs[i]] = outputs[i]
+		}
+	}
+	collectErr := func(e Expr) error {
+		var werr error
+		walk(e, func(x Expr) {
+			if werr != nil {
+				return
+			}
+			if c, ok := x.(*Call); ok && isAggCall(c) {
+				werr = addAgg(c, "")
+			}
+		})
+		return werr
+	}
+	for _, item := range items {
+		if err := collectErr(item.E); err != nil {
+			return nil, err
+		}
+	}
+	if stmt.Having != nil {
+		if err := collectErr(stmt.Having); err != nil {
+			return nil, err
+		}
+	}
+	if len(aggs) == 0 {
+		return nil, &ParseError{Msg: "GROUP BY without aggregates; add an aggregate or select the grouped columns only"}
+	}
+
+	n = n.GroupBy(groups, aggs)
+
+	// GroupBy breaks the pipeline: from here on, the registers are the
+	// group keys and aggregate outputs.
+	pl.pipeRegs = map[string]string{}
+	for _, g := range groups {
+		if err := pl.addPipeReg(g.Name, "a group key"); err != nil {
+			return nil, err
+		}
+	}
+	for _, a := range aggs {
+		if err := pl.addPipeReg(a.Name, "an aggregate"); err != nil {
+			return nil, err
+		}
+	}
+
+	// ---- post-aggregation: alias references resolve to outputs, and
+	// composite expressions compute over aggregate results.
+	post := &binder{sc: &scope{}, rewrite: rewrite}
+	for i, item := range items {
+		s := astString(item.E)
+		if got, ok := rewrite[s]; ok {
+			if got != outputs[i] {
+				if err := pl.addPipeReg(outputs[i], fmt.Sprintf("select item %d", i+1)); err != nil {
+					return nil, err
+				}
+				n = n.Map(outputs[i], engine.Col(got))
+				rewrite[outputs[i]] = outputs[i]
+			}
+			continue
+		}
+		if err := validateGrouped(item.E, rewrite); err != nil {
+			return nil, err
+		}
+		e, err := post.bind(item.E)
+		if err != nil {
+			return nil, err
+		}
+		if err := pl.addPipeReg(outputs[i], fmt.Sprintf("select item %d", i+1)); err != nil {
+			return nil, err
+		}
+		n = n.Map(outputs[i], e)
+		rewrite[outputs[i]] = outputs[i]
+	}
+	if stmt.Having != nil {
+		if err := validateGrouped(stmt.Having, rewrite); err != nil {
+			return nil, err
+		}
+		h, err := post.bind(stmt.Having)
+		if err != nil {
+			return nil, err
+		}
+		n = n.Filter(h)
+	}
+	return n, nil
+}
+
+// buildAggDef lowers one aggregate call.
+func buildAggDef(bd *binder, c *Call, name string) (engine.AggDef, error) {
+	kind := aggFuncs[c.Name]
+	if kind == engine.AggCount {
+		if len(c.Args) > 1 {
+			return engine.AggDef{}, errAt(c, "COUNT wants * or one argument")
+		}
+		return engine.AggDef{Name: name, Kind: engine.AggCount}, nil
+	}
+	if c.Star || len(c.Args) != 1 {
+		return engine.AggDef{}, errAt(c, "%s wants exactly one argument", c.Name)
+	}
+	e, err := bd.bind(c.Args[0])
+	if err != nil {
+		return engine.AggDef{}, err
+	}
+	return engine.AggDef{Name: name, Kind: kind, E: e}, nil
+}
+
+// validateGrouped checks that a post-aggregation expression only reads
+// group keys, aggregates, and literals.
+func validateGrouped(e Expr, rewrite map[string]string) error {
+	if _, ok := rewrite[astString(e)]; ok {
+		return nil
+	}
+	switch x := e.(type) {
+	case *Col:
+		return errAt(x, "column %q must appear in GROUP BY or inside an aggregate", x.Name)
+	case *IntLit, *FloatLit, *StrLit, *DateLit:
+		return nil
+	case *Bin:
+		if err := validateGrouped(x.L, rewrite); err != nil {
+			return err
+		}
+		return validateGrouped(x.R, rewrite)
+	case *Not:
+		return validateGrouped(x.E, rewrite)
+	case *Neg:
+		return validateGrouped(x.E, rewrite)
+	case *Between:
+		for _, s := range []Expr{x.E, x.Lo, x.Hi} {
+			if err := validateGrouped(s, rewrite); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *InList:
+		return validateGrouped(x.E, rewrite)
+	case *LikeExpr:
+		return validateGrouped(x.E, rewrite)
+	case *Case:
+		for _, w := range x.Whens {
+			if err := validateGrouped(w.Cond, rewrite); err != nil {
+				return err
+			}
+			if err := validateGrouped(w.Then, rewrite); err != nil {
+				return err
+			}
+		}
+		if x.Else != nil {
+			return validateGrouped(x.Else, rewrite)
+		}
+		return nil
+	case *Call:
+		if isAggCall(x) {
+			// Extracted already; rewrite lookup above should have hit.
+			return nil
+		}
+		for _, a := range x.Args {
+			if err := validateGrouped(a, rewrite); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return errAt(e, "unsupported expression in grouped query")
+}
+
+// resolveOrderKey maps one ORDER BY key to a result column: an output
+// name, a select alias, a 1-based ordinal, or an expression matching a
+// select item.
+func resolveOrderKey(k OrderKey, outputs []string, items []SelectItem) (string, error) {
+	if lit, ok := k.E.(*IntLit); ok {
+		if lit.V < 1 || int(lit.V) > len(outputs) {
+			return "", errAt(k.E, "ORDER BY ordinal %d out of range (1..%d)", lit.V, len(outputs))
+		}
+		return outputs[lit.V-1], nil
+	}
+	if c, ok := k.E.(*Col); ok && c.Table == "" {
+		for _, name := range outputs {
+			if name == c.Name {
+				return name, nil
+			}
+		}
+	}
+	s := astString(k.E)
+	for i, item := range items {
+		if astString(item.E) == s {
+			return outputs[i], nil
+		}
+	}
+	return "", errAt(k.E, "ORDER BY must reference a select-list column, alias, or ordinal")
+}

@@ -1,0 +1,417 @@
+package sql
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/numa"
+	"repro/internal/storage"
+)
+
+// testCatalog builds a small two-table schema: an employee fact table
+// and a department dimension with a declared key.
+func testCatalog() Catalog {
+	eb := storage.NewBuilder("emp", storage.Schema{
+		{Name: "id", Type: storage.I64},
+		{Name: "name", Type: storage.Str},
+		{Name: "dept", Type: storage.I64},
+		{Name: "salary", Type: storage.F64},
+		{Name: "hired", Type: storage.I64},
+	}, 4, "id").DeclareKey("id")
+	names := []string{"ada", "bob", "cyd", "dan", "eve", "fay", "gus", "hal"}
+	for i := int64(0); i < 40; i++ {
+		eb.Append(storage.Row{
+			i, names[i%8], i % 5, 1000 + float64(i*13%700),
+			engine.ParseDate("2020-01-01") + i*20,
+		})
+	}
+	emp := eb.Build(storage.NUMAAware, 4)
+
+	db := storage.NewBuilder("dept", storage.Schema{
+		{Name: "did", Type: storage.I64},
+		{Name: "dname", Type: storage.Str},
+		{Name: "region", Type: storage.Str},
+	}, 2, "did").DeclareKey("did")
+	depts := []string{"eng", "ops", "sales", "hr", "legal"}
+	regions := []string{"emea", "amer", "emea", "apac", "amer"}
+	for i := int64(0); i < 5; i++ {
+		db.Append(storage.Row{i, depts[i], regions[i]})
+	}
+	dept := db.Build(storage.NUMAAware, 4)
+
+	tables := map[string]*storage.Table{"emp": emp, "dept": dept}
+	return func(name string) (*storage.Table, bool) {
+		t, ok := tables[name]
+		return t, ok
+	}
+}
+
+func testSession() *engine.Session {
+	s := engine.NewSession(numa.NehalemEXMachine())
+	s.Mode = engine.Sim
+	s.Dispatch.Workers = 8
+	s.Dispatch.MorselRows = 7
+	return s
+}
+
+// run compiles and executes one SQL query.
+func run(t *testing.T, cat Catalog, query string) *engine.Result {
+	t.Helper()
+	p, err := Compile(query, cat)
+	if err != nil {
+		t.Fatalf("compile %q: %v", query, err)
+	}
+	res, _ := testSession().Run(p)
+	return res
+}
+
+// rows renders a result canonically (sorted unless ordered).
+func rows(res *engine.Result, ordered bool) []string {
+	var out []string
+	for i := range res.Rows() {
+		out = append(out, res.Row(i))
+	}
+	if !ordered {
+		sort.Strings(out)
+	}
+	return out
+}
+
+func expectRows(t *testing.T, res *engine.Result, ordered bool, want ...string) {
+	t.Helper()
+	got := rows(res, ordered)
+	if len(got) != len(want) {
+		t.Fatalf("got %d rows, want %d:\n%s", len(got), len(want), strings.Join(got, "\n"))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("row %d:\ngot  %s\nwant %s\nall rows:\n%s", i, got[i], want[i], strings.Join(got, "\n"))
+		}
+	}
+}
+
+func TestSelectFilterOrderLimit(t *testing.T) {
+	cat := testCatalog()
+	res := run(t, cat, `SELECT id, name, salary FROM emp WHERE salary >= 1200 AND id < 20 ORDER BY salary DESC, id LIMIT 3`)
+	if got := []string{res.Schema[0].Name, res.Schema[1].Name, res.Schema[2].Name}; got[0] != "id" || got[1] != "name" || got[2] != "salary" {
+		t.Fatalf("schema: %v", got)
+	}
+	expectRows(t, res, true,
+		"19 | dan | 1247.00",
+		"18 | cyd | 1234.00",
+		"17 | bob | 1221.00",
+	)
+}
+
+func TestProjectionReorderAndAlias(t *testing.T) {
+	cat := testCatalog()
+	res := run(t, cat, `SELECT salary * 2 AS double_pay, id FROM emp WHERE id = 3`)
+	if res.Schema[0].Name != "double_pay" || res.Schema[1].Name != "id" {
+		t.Fatalf("schema: %v %v", res.Schema[0].Name, res.Schema[1].Name)
+	}
+	expectRows(t, res, false, "2078.00 | 3")
+}
+
+func TestStar(t *testing.T) {
+	cat := testCatalog()
+	res := run(t, cat, `SELECT * FROM dept WHERE did = 2`)
+	expectRows(t, res, false, "2 | sales | emea")
+}
+
+func TestAggregatesGroupHaving(t *testing.T) {
+	cat := testCatalog()
+	res := run(t, cat, `
+		SELECT dept, COUNT(*) AS n, SUM(salary) AS total, AVG(salary) AS mean
+		FROM emp
+		GROUP BY dept
+		HAVING n >= 8
+		ORDER BY dept`)
+	if res.NumRows() != 5 {
+		t.Fatalf("want all 5 depts (8 emps each), got %d", res.NumRows())
+	}
+	for i := 0; i < res.NumRows(); i++ {
+		row := res.Rows()[i]
+		if row[1].I != 8 {
+			t.Fatalf("dept %d: count %d", row[0].I, row[1].I)
+		}
+		if math.Abs(row[2].F/8-row[3].F) > 1e-9 {
+			t.Fatalf("avg mismatch: %v vs %v", row[2].F/8, row[3].F)
+		}
+	}
+}
+
+func TestCompositeAggregateExpression(t *testing.T) {
+	cat := testCatalog()
+	// A select item computing over two aggregates (post-agg map).
+	res := run(t, cat, `
+		SELECT dept, SUM(salary) / COUNT(*) AS mean
+		FROM emp GROUP BY dept ORDER BY dept`)
+	want := run(t, cat, `SELECT dept, AVG(salary) AS mean FROM emp GROUP BY dept ORDER BY dept`)
+	expectRows(t, res, true, rows(want, true)...)
+}
+
+func TestGlobalAggregate(t *testing.T) {
+	cat := testCatalog()
+	res := run(t, cat, `SELECT COUNT(*) AS n, MIN(salary) AS lo, MAX(salary) AS hi FROM emp`)
+	expectRows(t, res, false, "40 | 1000.00 | 1507.00")
+}
+
+func TestCommaJoinWithPushdown(t *testing.T) {
+	cat := testCatalog()
+	res := run(t, cat, `
+		SELECT region, SUM(salary) AS total
+		FROM emp, dept
+		WHERE dept = did AND region = 'emea'
+		GROUP BY region ORDER BY region`)
+	// emea = depts 0 (eng) and 2 (sales).
+	var want float64
+	for i := int64(0); i < 40; i++ {
+		if i%5 == 0 || i%5 == 2 {
+			want += 1000 + float64(i*13%700)
+		}
+	}
+	if res.NumRows() != 1 || math.Abs(res.Rows()[0][1].F-want) > 1e-6 {
+		t.Fatalf("got %v, want emea %v", rows(res, true), want)
+	}
+}
+
+func TestExplicitJoinOn(t *testing.T) {
+	cat := testCatalog()
+	a := run(t, cat, `SELECT dname, COUNT(*) AS n FROM emp JOIN dept ON dept = did GROUP BY dname ORDER BY dname`)
+	b := run(t, cat, `SELECT dname, COUNT(*) AS n FROM emp, dept WHERE dept = did GROUP BY dname ORDER BY dname`)
+	expectRows(t, a, true, rows(b, true)...)
+}
+
+func TestSemiJoinRewrite(t *testing.T) {
+	cat := testCatalog()
+	// dept's key (did) is fully covered by the join key and no dept
+	// column is needed downstream: the optimizer must run this as a
+	// semi join.
+	p, err := Compile(`SELECT COUNT(*) AS n FROM emp, dept WHERE dept = did AND region = 'emea'`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := p.Explain()
+	if !strings.Contains(ex, "hashjoin semi") {
+		t.Fatalf("expected a semi join in:\n%s", ex)
+	}
+	// And the region filter must sit on the dept scan, below the join.
+	if !strings.Contains(ex, "scan(dept) cols=[did region] filter: (region = 'emea')") {
+		t.Fatalf("expected pushed-down dept filter in:\n%s", ex)
+	}
+	res, _ := testSession().Run(p)
+	expectRows(t, res, false, "16")
+}
+
+func TestExistsAndNotExists(t *testing.T) {
+	cat := testCatalog()
+	res := run(t, cat, `
+		SELECT COUNT(*) AS n FROM dept
+		WHERE EXISTS (SELECT * FROM emp WHERE dept = did AND salary > 1650)`)
+	// salaries 1650+: ids with 1000+13i%700 > 650.
+	want := map[int64]bool{}
+	for i := int64(0); i < 40; i++ {
+		if 1000+float64(i*13%700) > 1650 {
+			want[i%5] = true
+		}
+	}
+	expectRows(t, res, false, fmt.Sprintf("%d", len(want)))
+
+	res2 := run(t, cat, `
+		SELECT dname FROM dept
+		WHERE NOT EXISTS (SELECT * FROM emp WHERE dept = did AND salary > 1650)
+		ORDER BY dname`)
+	if res2.NumRows() != 5-len(want) {
+		t.Fatalf("NOT EXISTS rows: %d, want %d", res2.NumRows(), 5-len(want))
+	}
+}
+
+func TestInListAndInSubquery(t *testing.T) {
+	cat := testCatalog()
+	a := run(t, cat, `SELECT COUNT(*) AS n FROM emp WHERE dept IN (1, 3)`)
+	expectRows(t, a, false, "16")
+	b := run(t, cat, `SELECT COUNT(*) AS n FROM emp WHERE name IN ('ada', 'eve')`)
+	expectRows(t, b, false, "10")
+	c := run(t, cat, `SELECT COUNT(*) AS n FROM emp WHERE dept IN (SELECT did FROM dept WHERE region = 'amer')`)
+	expectRows(t, c, false, "16")
+	d := run(t, cat, `SELECT COUNT(*) AS n FROM emp WHERE dept NOT IN (SELECT did FROM dept WHERE region = 'amer')`)
+	expectRows(t, d, false, "24")
+}
+
+func TestLeftJoin(t *testing.T) {
+	cat := testCatalog()
+	// Restrict the build side so some probe rows have no match; the
+	// unmatched rows survive with zero-valued payload.
+	res := run(t, cat, `
+		SELECT id, did FROM emp LEFT JOIN dept ON dept = did AND region = 'apac'
+		WHERE id < 5 ORDER BY id`)
+	expectRows(t, res, true,
+		"0 | 0",
+		"1 | 0",
+		"2 | 0",
+		"3 | 3",
+		"4 | 0",
+	)
+}
+
+func TestCaseBetweenLikeYear(t *testing.T) {
+	cat := testCatalog()
+	res := run(t, cat, `
+		SELECT name,
+		       CASE WHEN salary >= 1135 THEN 'high' ELSE 'low' END AS band
+		FROM emp WHERE id BETWEEN 10 AND 11 ORDER BY name`)
+	expectRows(t, res, true, "cyd | low", "dan | high")
+
+	res2 := run(t, cat, `SELECT COUNT(*) AS n FROM emp WHERE name LIKE '%a%'`)
+	// ada, dan, fay, hal match (a anywhere); 4 names x 5 rows.
+	expectRows(t, res2, false, "20")
+
+	res3 := run(t, cat, `
+		SELECT EXTRACT(YEAR FROM hired) AS y, COUNT(*) AS n
+		FROM emp GROUP BY y ORDER BY y`)
+	if res3.NumRows() < 2 {
+		t.Fatalf("expected several hire years, got %d", res3.NumRows())
+	}
+	res4 := run(t, cat, `SELECT COUNT(*) AS n FROM emp WHERE hired >= DATE '2021-01-01'`)
+	want := 0
+	for i := int64(0); i < 40; i++ {
+		if engine.ParseDate("2020-01-01")+i*20 >= engine.ParseDate("2021-01-01") {
+			want++
+		}
+	}
+	expectRows(t, res4, false, fmt.Sprintf("%d", want))
+}
+
+func TestOrderByOrdinalAndExpression(t *testing.T) {
+	cat := testCatalog()
+	a := run(t, cat, `SELECT name, salary FROM emp WHERE id < 5 ORDER BY 2 DESC`)
+	b := run(t, cat, `SELECT name, salary FROM emp WHERE id < 5 ORDER BY salary DESC`)
+	expectRows(t, a, true, rows(b, true)...)
+}
+
+func TestQualifiedNamesAndAliases(t *testing.T) {
+	cat := testCatalog()
+	res := run(t, cat, `
+		SELECT e.name, d.dname FROM emp AS e JOIN dept AS d ON e.dept = d.did
+		WHERE e.id = 7 ORDER BY e.name`)
+	expectRows(t, res, true, "hal | sales")
+}
+
+// ---- error reporting.
+
+func expectErr(t *testing.T, cat Catalog, query, wantSub string) {
+	t.Helper()
+	_, err := Compile(query, cat)
+	if err == nil {
+		t.Fatalf("expected error containing %q, query compiled", wantSub)
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error %q does not contain %q", err.Error(), wantSub)
+	}
+}
+
+func TestErrorMessages(t *testing.T) {
+	cat := testCatalog()
+	expectErr(t, cat, `SELECT salry FROM emp`, `unknown column "salry"`)
+	expectErr(t, cat, `SELECT name FROM emp WHERE name = 'unterminated`, "unclosed string literal")
+	expectErr(t, cat, `SELECT name, COUNT(*) AS n FROM emp GROUP BY dept`, `column "name" must appear in GROUP BY`)
+	expectErr(t, cat, `SELECT id FROM employees`, `unknown table "employees"`)
+	expectErr(t, cat, `SELECT id FROM emp LIMIT 5`, "LIMIT requires ORDER BY")
+	expectErr(t, cat, `SELECT id FROM emp, dept`, "not connected")
+	expectErr(t, cat, `SELECT id FROM emp WHERE EXISTS (SELECT * FROM dept WHERE region = 'emea')`, "correlated")
+	expectErr(t, cat, `SELECT id FROM emp ORDER BY nope`, "ORDER BY must reference")
+	expectErr(t, cat, `SELECT COUNT(*) FROM emp WHERE COUNT(*) > 1`, "not allowed in WHERE")
+	expectErr(t, cat, `SELECT id FROM emp WHERE`, "expected an expression")
+	expectErr(t, cat, `SELECT FROM emp`, "expected an expression")
+	expectErr(t, cat, `SELECT e.nope FROM emp AS e`, `unknown column "nope" in table "e"`)
+	expectErr(t, cat, `SELECT name FROM emp WHERE hired > DATE '20-01-01'`, "bad date literal")
+	expectErr(t, cat, `SELECT DISTINCT name FROM emp`, "DISTINCT is not supported")
+}
+
+// TestDeepNestingIsAnErrorNotACrash guards the parser's recursion cap:
+// queries arrive over the network, and an unbounded paren/NOT/minus
+// chain must produce a ParseError, never a stack overflow (which is a
+// fatal runtime error that no recover can contain).
+func TestDeepNestingIsAnErrorNotACrash(t *testing.T) {
+	cat := testCatalog()
+	deep := func(open, close string, n int) string {
+		return "SELECT id FROM emp WHERE " + strings.Repeat(open, n) + "id = 1" + strings.Repeat(close, n)
+	}
+	// Within the cap: fine.
+	if _, err := Compile(deep("(", ")", 50), cat); err != nil {
+		t.Fatalf("50 levels should parse: %v", err)
+	}
+	// Far beyond the cap (enough to overflow the stack if unguarded).
+	for _, q := range []string{
+		deep("(", ")", 200_000),
+		"SELECT id FROM emp WHERE " + strings.Repeat("NOT ", 200_000) + "id = 1",
+		// Spaced so the lexer doesn't read "--" as a line comment.
+		"SELECT " + strings.Repeat("- ", 200_000) + "id AS x FROM emp",
+	} {
+		_, err := Compile(q, cat)
+		if err == nil || !strings.Contains(err.Error(), "nesting exceeds") {
+			t.Fatalf("deep nesting: want nesting error, got %v", err)
+		}
+	}
+}
+
+// TestSharedColumnNamesRejectedAtBindTime: two joined tables both
+// contributing a referenced column of the same name would collide in the
+// probe pipeline's register file — the engine only detects that by
+// panicking at compile time, so the binder must reject it with an error.
+func TestSharedColumnNamesRejectedAtBindTime(t *testing.T) {
+	cat := testCatalog()
+	expectErr(t, cat,
+		`SELECT a.name, b.name FROM emp AS a, emp AS b WHERE a.id = b.id`,
+		"provided by both")
+	// A self join whose referenced columns don't collide still works.
+	res := run(t, cat, `SELECT COUNT(*) AS n FROM emp AS a JOIN emp AS b ON a.id = b.id`)
+	expectRows(t, res, false, "40")
+}
+
+func TestErrorPositions(t *testing.T) {
+	cat := testCatalog()
+	_, err := Compile("SELECT id\nFROM emp\nWHERE salry = 3", cat)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error should carry line 3: %q", err.Error())
+	}
+}
+
+// TestCompileNeverPanics feeds deliberately hostile inputs through the
+// full pipeline; Compile must return errors, never panic.
+func TestCompileNeverPanics(t *testing.T) {
+	cat := testCatalog()
+	queries := []string{
+		"", "SELECT", "SELECT * FROM", "((((", "SELECT * FROM emp WHERE (id",
+		"SELECT 'a' + 1 FROM emp", "SELECT id FROM emp ORDER BY",
+		"SELECT SUM(name) AS s FROM emp", "SELECT id + name FROM emp",
+		"SELECT * FROM emp WHERE name BETWEEN 1 AND 'z'",
+		"SELECT CASE WHEN id THEN 1 ELSE 2 END AS c FROM emp",
+		"SELECT id FROM emp WHERE id IN ()",
+		"SELECT id FROM emp WHERE id IN (1, 'a')",
+		"SELECT id AS a, name AS a FROM emp",
+		"SELECT id FROM emp GROUP BY id HAVING name = 'x'",
+		"SELECT -id FROM emp WHERE -id < -3",
+		"SELECT id FROM emp emp2, emp",
+	}
+	for _, q := range queries {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Compile(%q) panicked: %v", q, r)
+				}
+			}()
+			p, err := Compile(q, cat)
+			if err == nil && p == nil {
+				t.Fatalf("Compile(%q): nil plan and nil error", q)
+			}
+		}()
+	}
+}

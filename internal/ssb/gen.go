@@ -144,7 +144,7 @@ func Generate(cfg Config) *DB {
 		{Name: "d_yearmonthnum", Type: storage.I64},
 		{Name: "d_yearmonth", Type: storage.Str},
 		{Name: "d_weeknuminyear", Type: storage.I64},
-	}, 4, "d_datekey")
+	}, 4, "d_datekey").DeclareKey("d_datekey")
 	start := engine.ParseDate("1992-01-01")
 	end := engine.ParseDate("1998-12-31")
 	yearStart := map[int64]int64{}
@@ -170,7 +170,7 @@ func Generate(cfg Config) *DB {
 		{Name: "c_city", Type: storage.Str},
 		{Name: "c_nation", Type: storage.Str},
 		{Name: "c_region", Type: storage.Str},
-	}, cfg.Partitions, "c_custkey")
+	}, cfg.Partitions, "c_custkey").DeclareKey("c_custkey")
 	for k := int64(1); k <= int64(nCust); k++ {
 		n := pickNation(rng)
 		cb.Append(storage.Row{
@@ -187,7 +187,7 @@ func Generate(cfg Config) *DB {
 		{Name: "s_city", Type: storage.Str},
 		{Name: "s_nation", Type: storage.Str},
 		{Name: "s_region", Type: storage.Str},
-	}, cfg.Partitions, "s_suppkey")
+	}, cfg.Partitions, "s_suppkey").DeclareKey("s_suppkey")
 	for k := int64(1); k <= int64(nSupp); k++ {
 		n := pickNation(rng)
 		sb.Append(storage.Row{
@@ -203,7 +203,7 @@ func Generate(cfg Config) *DB {
 		{Name: "p_mfgr", Type: storage.Str},
 		{Name: "p_category", Type: storage.Str},
 		{Name: "p_brand1", Type: storage.Str},
-	}, cfg.Partitions, "p_partkey")
+	}, cfg.Partitions, "p_partkey").DeclareKey("p_partkey")
 	for k := int64(1); k <= int64(nPart); k++ {
 		m := 1 + rng.Intn(5)
 		c := 1 + rng.Intn(5)
@@ -230,7 +230,7 @@ func Generate(cfg Config) *DB {
 		{Name: "lo_discount", Type: storage.I64}, // percent 0..10
 		{Name: "lo_revenue", Type: storage.F64},
 		{Name: "lo_supplycost", Type: storage.F64},
-	}, cfg.Partitions, "lo_orderkey")
+	}, cfg.Partitions, "lo_orderkey").DeclareKey("lo_orderkey", "lo_linenumber")
 	span := int(end - start - 150)
 	for ok := int64(1); ok <= int64(nOrd); ok++ {
 		ckey := int64(1 + rng.Intn(nCust))

@@ -43,6 +43,31 @@ type Table struct {
 	Name   string
 	Schema Schema
 	Parts  []*Partition
+	// Key names a declared unique key (e.g. the primary key), or is
+	// empty when none is known. Optimizers use it to prove that a join
+	// against this table cannot duplicate probe rows.
+	Key []string
+}
+
+// HasUniqueKey reports whether cols provably determine at most one row:
+// the table declares a key and every key column appears in cols.
+func (t *Table) HasUniqueKey(cols []string) bool {
+	if len(t.Key) == 0 {
+		return false
+	}
+	for _, k := range t.Key {
+		found := false
+		for _, c := range cols {
+			if c == k {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
 }
 
 // Rows returns the total row count across partitions.
@@ -62,7 +87,7 @@ func (t *Table) Col(name string) int { return t.Schema.MustIndex(name) }
 // tags differ, exactly as re-running numactl with a different policy would
 // leave the bytes identical but move the pages.
 func (t *Table) WithPlacement(policy Placement, sockets int) *Table {
-	nt := &Table{Name: t.Name, Schema: t.Schema, Parts: make([]*Partition, len(t.Parts))}
+	nt := &Table{Name: t.Name, Schema: t.Schema, Parts: make([]*Partition, len(t.Parts)), Key: t.Key}
 	for i, p := range t.Parts {
 		np := &Partition{Worker: p.Worker, Cols: p.Cols}
 		switch policy {
@@ -86,7 +111,18 @@ type Builder struct {
 	nparts int
 	keyCol int // schema index of the partitioning attribute, -1 = round robin
 	seed   maphash.Seed
-	next   int // round-robin cursor
+	next   int      // round-robin cursor
+	unique []string // declared unique key (DeclareKey)
+}
+
+// DeclareKey declares a unique key of the table (typically the primary
+// key). Purely metadata: appends are not validated against it.
+func (b *Builder) DeclareKey(cols ...string) *Builder {
+	for _, c := range cols {
+		b.schema.MustIndex(c)
+	}
+	b.unique = cols
+	return b
 }
 
 // NewBuilder creates a table builder with nparts partitions, partitioned
@@ -167,6 +203,6 @@ func (b *Builder) Append(row Row) {
 
 // Build finalizes the table with the given placement over `sockets` nodes.
 func (b *Builder) Build(policy Placement, sockets int) *Table {
-	t := &Table{Name: b.name, Schema: b.schema, Parts: b.parts}
+	t := &Table{Name: b.name, Schema: b.schema, Parts: b.parts, Key: b.unique}
 	return t.WithPlacement(policy, sockets)
 }

@@ -180,7 +180,7 @@ func Generate(cfg Config) *DB {
 	rb := storage.NewBuilder("region", storage.Schema{
 		{Name: "r_regionkey", Type: storage.I64},
 		{Name: "r_name", Type: storage.Str},
-	}, 1, "")
+	}, 1, "").DeclareKey("r_regionkey")
 	for i, r := range regions {
 		rb.Append(storage.Row{int64(i), r})
 	}
@@ -190,7 +190,7 @@ func Generate(cfg Config) *DB {
 		{Name: "n_nationkey", Type: storage.I64},
 		{Name: "n_name", Type: storage.Str},
 		{Name: "n_regionkey", Type: storage.I64},
-	}, 1, "")
+	}, 1, "").DeclareKey("n_nationkey")
 	for i, n := range nations {
 		nb.Append(storage.Row{int64(i), n.name, int64(n.region)})
 	}
@@ -205,7 +205,7 @@ func Generate(cfg Config) *DB {
 		{Name: "s_phone", Type: storage.Str},
 		{Name: "s_acctbal", Type: storage.F64},
 		{Name: "s_comment", Type: storage.Str},
-	}, cfg.Partitions, "s_suppkey")
+	}, cfg.Partitions, "s_suppkey").DeclareKey("s_suppkey")
 	for k := int64(1); k <= int64(nSupp); k++ {
 		nk := int64(rng.Intn(25))
 		c := comment(rng, 6, 14)
@@ -231,7 +231,7 @@ func Generate(cfg Config) *DB {
 		{Name: "c_acctbal", Type: storage.F64},
 		{Name: "c_mktsegment", Type: storage.Str},
 		{Name: "c_comment", Type: storage.Str},
-	}, cfg.Partitions, "c_custkey")
+	}, cfg.Partitions, "c_custkey").DeclareKey("c_custkey")
 	for k := int64(1); k <= int64(nCust); k++ {
 		nk := int64(rng.Intn(25))
 		cb.Append(storage.Row{
@@ -252,7 +252,7 @@ func Generate(cfg Config) *DB {
 		{Name: "p_size", Type: storage.I64},
 		{Name: "p_container", Type: storage.Str},
 		{Name: "p_retailprice", Type: storage.F64},
-	}, cfg.Partitions, "p_partkey")
+	}, cfg.Partitions, "p_partkey").DeclareKey("p_partkey")
 	for k := int64(1); k <= int64(nPart); k++ {
 		name := ""
 		for i := 0; i < 5; i++ {
@@ -280,7 +280,7 @@ func Generate(cfg Config) *DB {
 		{Name: "ps_suppkey", Type: storage.I64},
 		{Name: "ps_availqty", Type: storage.I64},
 		{Name: "ps_supplycost", Type: storage.F64},
-	}, cfg.Partitions, "ps_partkey")
+	}, cfg.Partitions, "ps_partkey").DeclareKey("ps_partkey", "ps_suppkey")
 	for k := int64(1); k <= int64(nPart); k++ {
 		for i := int64(0); i < 4; i++ {
 			sk := (k+i*(int64(nSupp)/4+1))%int64(nSupp) + 1
@@ -302,7 +302,7 @@ func Generate(cfg Config) *DB {
 		{Name: "o_orderpriority", Type: storage.Str},
 		{Name: "o_shippriority", Type: storage.I64},
 		{Name: "o_comment", Type: storage.Str},
-	}, cfg.Partitions, "o_orderkey")
+	}, cfg.Partitions, "o_orderkey").DeclareKey("o_orderkey")
 	lb := storage.NewBuilder("lineitem", storage.Schema{
 		{Name: "l_orderkey", Type: storage.I64},
 		{Name: "l_partkey", Type: storage.I64},
@@ -319,7 +319,7 @@ func Generate(cfg Config) *DB {
 		{Name: "l_receiptdate", Type: storage.I64},
 		{Name: "l_shipinstruct", Type: storage.Str},
 		{Name: "l_shipmode", Type: storage.Str},
-	}, cfg.Partitions, "l_orderkey")
+	}, cfg.Partitions, "l_orderkey").DeclareKey("l_orderkey", "l_linenumber")
 
 	for ok := int64(1); ok <= int64(nOrd); ok++ {
 		// TPC-H never assigns orders to custkeys divisible by 3, so a

@@ -1,6 +1,8 @@
 package tpch
 
 import (
+	"fmt"
+
 	"repro/internal/engine"
 )
 
@@ -678,6 +680,22 @@ func q22(db *DB) *engine.Plan {
 // ScaleForTest is a convenient small configuration for correctness tests.
 func ScaleForTest() Config {
 	return Config{SF: 0.02, Partitions: 16, Sockets: 4, Seed: 42}
+}
+
+// QueryPlan returns the hand-built plan of a single-plan query (all but
+// the two-phase Q15). The SQL front end's golden tests compare against
+// these.
+func QueryPlan(n int, db *DB) *engine.Plan {
+	fns := map[int]func(*DB) *engine.Plan{
+		1: q1, 2: q2, 3: q3, 4: q4, 5: q5, 6: q6, 7: q7, 8: q8,
+		9: q9, 10: q10, 11: q11, 12: q12, 13: q13, 14: q14, 16: q16,
+		17: q17, 18: q18, 19: q19, 20: q20, 21: q21, 22: q22,
+	}
+	f, ok := fns[n]
+	if !ok {
+		panic(fmt.Sprintf("tpch: query %d has no single plan", n))
+	}
+	return f(db)
 }
 
 // Q9Plan, Q13Plan and Q14Plan expose single plans for the paper's

@@ -1,0 +1,17 @@
+package sql
+
+import "testing"
+
+func TestReviewProbeResidualOuterCol(t *testing.T) {
+	cat := testCatalog()
+	// e.hired referenced ONLY inside the subquery residual predicate.
+	p, err := Compile(`SELECT id FROM emp WHERE EXISTS (SELECT did FROM dept WHERE did = dept AND region <> name)`, cat)
+	_ = p
+	t.Logf("q1 err: %v", err)
+	p2, err2 := Compile(`SELECT e.id FROM emp e WHERE EXISTS (SELECT did FROM dept d WHERE d.did = e.dept AND d.did < e.hired)`, cat)
+	if err2 != nil {
+		t.Fatalf("compile: %v", err2)
+	}
+	res, _ := testSession().Run(p2)
+	t.Logf("rows: %d", len(res.Rows()))
+}

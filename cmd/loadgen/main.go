@@ -20,8 +20,12 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/engine"
 )
 
 type result struct {
@@ -41,9 +45,17 @@ func main() {
 		sqlMode     = flag.Bool("sql", false, "send SQL text instead of prepared plan names, exercising the parser -> optimizer -> execution path per request")
 		intSQL      = flag.String("interactive-sql", "SELECT COUNT(*) AS n FROM orders WHERE day < 7", "SQL for interactive clients (with -sql)")
 		batchSQL    = flag.String("batch-sql", "SELECT region, COUNT(*) AS n, SUM(amount) AS revenue FROM orders, customers WHERE cust = cid GROUP BY region ORDER BY revenue DESC", "SQL for batch clients (with -sql)")
+		preparedSQL = flag.Bool("prepared", false, "with -sql: send parameterized statements (? placeholders + rotating params) so requests hit the server's plan cache; verifies >90% hit rate and result parity with the unprepared path")
+		intPSQL     = flag.String("interactive-prepared-sql", "SELECT COUNT(*) AS n FROM orders WHERE day < ?", "parameterized SQL for interactive clients (with -sql -prepared)")
+		intParams   = flag.String("interactive-params", "[[7], [14], [30]]", "JSON array of param sets rotated across interactive requests")
+		batchPSQL   = flag.String("batch-prepared-sql", "SELECT region, COUNT(*) AS n, SUM(amount) AS revenue FROM orders, customers WHERE cust = cid AND amount < ? GROUP BY region ORDER BY revenue DESC", "parameterized SQL for batch clients (with -sql -prepared)")
+		batchParams = flag.String("batch-params", "[[2500], [5000], [9000]]", "JSON array of param sets rotated across batch requests")
 		timeoutMs   = flag.Int("timeout-ms", 0, "per-query timeout (0 = server default)")
 	)
 	flag.Parse()
+	if *preparedSQL && !*sqlMode {
+		log.Fatal("-prepared requires -sql")
+	}
 
 	if err := waitHealthy(*addr, 30*time.Second); err != nil {
 		log.Fatalf("server not healthy: %v", err)
@@ -53,6 +65,9 @@ func main() {
 	mode := "prepared plans"
 	if *sqlMode {
 		mode = "SQL (compiled per request)"
+		if *preparedSQL {
+			mode = "parameterized SQL (server plan cache)"
+		}
 	}
 	log.Printf("running %d clients (%d interactive, %d batch, %s) for %v against %s",
 		*clients, nInteractive, *clients-nInteractive, mode, *duration, *addr)
@@ -60,62 +75,223 @@ func main() {
 	var (
 		mu      sync.Mutex
 		results []result
-		// firstRows pins the first row set seen per query name; every
-		// later response must match it (correctness under concurrency).
+		// firstRows pins the reference row set per (query, params);
+		// every later response must match it (correctness under
+		// concurrency — and, with -prepared, vs the unprepared path).
 		firstRows  = map[string][][]any{}
 		mismatches int
 	)
+
+	// work is one rotating request body of a class.
+	type work struct {
+		key  string
+		body []byte
+	}
+	parseSets := func(sets string) [][]any {
+		var out [][]any
+		if err := json.Unmarshal([]byte(sets), &out); err != nil {
+			log.Fatalf("bad param sets %q: %v", sets, err)
+		}
+		if len(out) == 0 {
+			log.Fatalf("param sets %q must hold at least one set, e.g. [[7], [14]]", sets)
+		}
+		return out
+	}
+	buildWork := func(class string) []work {
+		var items []work
+		add := func(q string, params []any) {
+			req := map[string]any{"priority": class, "timeout_ms": *timeoutMs}
+			if *sqlMode {
+				req["sql"] = q
+				if params != nil {
+					req["params"] = params
+				}
+			} else {
+				req["prepared"] = q
+			}
+			body, _ := json.Marshal(req)
+			key, _ := json.Marshal([]any{q, params})
+			items = append(items, work{key: string(key), body: body})
+		}
+		switch {
+		case *sqlMode && *preparedSQL:
+			q, sets := *intPSQL, *intParams
+			if class == "batch" {
+				q, sets = *batchPSQL, *batchParams
+			}
+			for _, ps := range parseSets(sets) {
+				add(q, ps)
+			}
+		case *sqlMode:
+			q := *intSQL
+			if class == "batch" {
+				q = *batchSQL
+			}
+			add(q, nil)
+		default:
+			q := *interactive
+			if class == "batch" {
+				q = *batch
+			}
+			add(q, nil)
+		}
+		return items
+	}
+
+	// With -prepared, seed the reference results through the UNPREPARED
+	// path: the same statements with the params inlined as literals.
+	// Every prepared response must then match the unprepared result.
+	if *preparedSQL {
+		client := &http.Client{}
+		seed := func(q, sets string) {
+			for _, ps := range parseSets(sets) {
+				lit, err := substituteParams(q, ps)
+				if err != nil {
+					log.Fatalf("cannot inline params into %q: %v", q, err)
+				}
+				body, _ := json.Marshal(map[string]any{"sql": lit, "timeout_ms": *timeoutMs})
+				rows, err := post(client, *addr+"/query", body)
+				if err != nil {
+					log.Fatalf("unprepared reference %q: %v", lit, err)
+				}
+				key, _ := json.Marshal([]any{q, ps})
+				firstRows[string(key)] = rows
+			}
+		}
+		seed(*intPSQL, *intParams)
+		seed(*batchPSQL, *batchParams)
+		log.Printf("seeded %d unprepared reference results", len(firstRows))
+	}
+
+	// Snapshot the plan cache after seeding so the hit-rate measures
+	// only the prepared workload.
+	cacheBefore, cacheErr := fetchCacheStats(*addr)
+
 	deadline := time.Now().Add(*duration)
 	var wg sync.WaitGroup
 	for c := 0; c < *clients; c++ {
-		class, query := "batch", *batch
-		if *sqlMode {
-			query = *batchSQL
-		}
+		class := "batch"
 		if c < nInteractive {
-			class, query = "interactive", *interactive
-			if *sqlMode {
-				query = *intSQL
-			}
+			class = "interactive"
 		}
 		wg.Add(1)
-		go func(class, query string) {
+		go func(class string, items []work) {
 			defer wg.Done()
 			client := &http.Client{}
-			req := map[string]any{
-				"priority":   class,
-				"timeout_ms": *timeoutMs,
-			}
-			if *sqlMode {
-				req["sql"] = query
-			} else {
-				req["prepared"] = query
-			}
-			body, _ := json.Marshal(req)
-			for time.Now().Before(deadline) {
+			for i := 0; time.Now().Before(deadline); i++ {
+				it := items[i%len(items)]
 				start := time.Now()
-				rows, err := post(client, *addr+"/query", body)
+				rows, err := post(client, *addr+"/query", it.body)
 				lat := time.Since(start)
 				mu.Lock()
 				results = append(results, result{class: class, latency: lat, err: err})
 				if err == nil {
-					if prev, ok := firstRows[query]; !ok {
-						firstRows[query] = rows
+					if prev, ok := firstRows[it.key]; !ok {
+						firstRows[it.key] = rows
 					} else if !rowsEqual(prev, rows) {
 						mismatches++
 					}
 				}
 				mu.Unlock()
 			}
-		}(class, query)
+		}(class, buildWork(class))
 	}
 	wg.Wait()
 
 	report(results, *duration)
 	if mismatches > 0 {
-		log.Fatalf("CORRECTNESS FAILURE: %d responses diverged from the first result of the same query", mismatches)
+		log.Fatalf("CORRECTNESS FAILURE: %d responses diverged from the reference result of the same query", mismatches)
 	}
 	fmt.Println("all repeated queries returned identical results")
+	if *preparedSQL {
+		fmt.Println("prepared results match the unprepared path")
+	}
+
+	cacheAfter, err := fetchCacheStats(*addr)
+	if err != nil || cacheErr != nil {
+		if *preparedSQL {
+			// -prepared promises the hit-rate gate; an unreadable /stats
+			// must fail the run, not silently skip the check.
+			log.Fatalf("FAILURE: cannot verify plan-cache hit rate: before=%v after=%v", cacheErr, err)
+		}
+		return
+	}
+	hits := cacheAfter.Hits - cacheBefore.Hits
+	misses := cacheAfter.Misses - cacheBefore.Misses
+	if total := hits + misses; total > 0 {
+		rate := float64(hits) / float64(total)
+		fmt.Printf("plan cache: %d hits / %d misses (%.1f%% hit rate)\n", hits, misses, 100*rate)
+		if *preparedSQL && rate < 0.9 {
+			fmt.Printf("FAILURE: plan-cache hit rate %.1f%% below the 90%% target\n", 100*rate)
+			os.Exit(2)
+		}
+	} else if *preparedSQL {
+		fmt.Println("FAILURE: plan cache saw no traffic (caching disabled server-side?); cannot meet the 90% hit-rate target")
+		os.Exit(2)
+	}
+}
+
+// substituteParams inlines params into the ? placeholders of q as SQL
+// literals (date-shaped strings become DATE literals), producing the
+// equivalent unprepared statement.
+func substituteParams(q string, params []any) (string, error) {
+	var b strings.Builder
+	pi := 0
+	inStr := false
+	for i := 0; i < len(q); i++ {
+		c := q[i]
+		if c == '\'' {
+			inStr = !inStr
+		}
+		if c == '?' && !inStr {
+			if pi >= len(params) {
+				return "", fmt.Errorf("more placeholders than params (%d)", len(params))
+			}
+			switch v := params[pi].(type) {
+			case string:
+				if engine.DateShaped(v) {
+					fmt.Fprintf(&b, "DATE '%s'", v)
+				} else {
+					fmt.Fprintf(&b, "'%s'", strings.ReplaceAll(v, "'", "''"))
+				}
+			case float64:
+				// Plain decimal notation: the SQL lexer reads digits and
+				// '.' only (no exponents), and integral values must not
+				// round-trip through a potentially overflowing int64.
+				b.WriteString(strconv.FormatFloat(v, 'f', -1, 64))
+			default:
+				fmt.Fprintf(&b, "%v", v)
+			}
+			pi++
+			continue
+		}
+		b.WriteByte(c)
+	}
+	if pi != len(params) {
+		return "", fmt.Errorf("query has %d placeholders, %d params given", pi, len(params))
+	}
+	return b.String(), nil
+}
+
+// cacheStats is the plan_cache slice of GET /stats.
+type cacheStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+func fetchCacheStats(addr string) (cacheStats, error) {
+	var decoded struct {
+		PlanCache cacheStats `json:"plan_cache"`
+	}
+	resp, err := http.Get(addr + "/stats")
+	if err != nil {
+		return cacheStats{}, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+		return cacheStats{}, err
+	}
+	return decoded.PlanCache, nil
 }
 
 func waitHealthy(addr string, patience time.Duration) error {

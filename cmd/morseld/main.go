@@ -3,16 +3,22 @@
 // prepared plans, and serves the concurrent query API over HTTP. Many
 // clients share one dispatcher and worker pool, so concurrent queries
 // share workers at morsel granularity with priority-weighted elasticity.
+// SQL requests compile through the cost-based optimizer and are cached
+// in a server-side plan cache keyed by SQL text; ? placeholders bind
+// per execution ({"sql": ..., "params": [...]}).
 //
 // Usage:
 //
 //	morseld -addr :8080 -orders 2000000 -workers 0
+//	morseld -exec 'SELECT COUNT(*) AS n FROM orders WHERE day < ?' -params '[7]'
+//	morseld -exec 'SELECT ...' -explain   # optimized plan with cardinality estimates
 //
 // Endpoints: POST /query, GET /stats, GET /tables, GET /healthz.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -37,9 +43,11 @@ func main() {
 		orders     = flag.Int("orders", 2_000_000, "demo orders fact-table rows")
 		customers  = flag.Int("customers", 10_000, "demo customers dimension rows")
 		execSQL    = flag.String("exec", "", "compile and run one SQL query against the demo dataset, print the result, and exit")
+		execParams = flag.String("params", "", `with -exec: JSON array of values for ? placeholders, e.g. '[7, "emea"]'`)
 		explain    = flag.Bool("explain", false, "with -exec: print the optimized plan instead of executing")
 		maxConc    = flag.Int("max-concurrent", 0, "queries admitted at once (0 = 2 x sockets)")
 		maxQueue   = flag.Int("max-queue", 64, "waiting queries before 429 (negative = none)")
+		planCache  = flag.Int("plan-cache", 0, "server-side SQL plan cache entries (0 = default 256, negative disables)")
 		timeout    = flag.Duration("timeout", 30*time.Second, "default per-query timeout")
 	)
 	flag.Parse()
@@ -60,7 +68,7 @@ func main() {
 	log.Printf("dataset ready in %v", time.Since(start).Round(time.Millisecond))
 
 	if *execSQL != "" {
-		if err := runSQL(sys, *execSQL, *explain, ordersT, customersT); err != nil {
+		if err := runSQL(sys, *execSQL, *execParams, *explain, ordersT, customersT); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -70,6 +78,7 @@ func main() {
 		MaxConcurrent:  *maxConc,
 		MaxQueue:       *maxQueue,
 		DefaultTimeout: *timeout,
+		PlanCacheSize:  *planCache,
 	})
 	defer srv.Close()
 	srv.RegisterTable(ordersT)
@@ -176,17 +185,32 @@ func prepare(srv *server.Server, orders, customers *core.Table) {
 	}
 }
 
-// runSQL is the one-shot SQL entry point: parse, bind, optimize, lower
-// to a morsel-driven plan, and either explain or execute it.
-func runSQL(sys *core.System, query string, explainOnly bool, tables ...*core.Table) error {
+// runSQL is the one-shot SQL entry point: parse, bind, cost-optimize,
+// lower to a morsel-driven plan, bind any ? parameters, and either
+// explain or execute it.
+func runSQL(sys *core.System, query, paramsJSON string, explainOnly bool, tables ...*core.Table) error {
 	byName := make(map[string]*core.Table, len(tables))
 	for _, t := range tables {
 		byName[t.Name] = t
 	}
-	p, err := sql.Compile(query, func(name string) (*storage.Table, bool) {
+	prep, err := sql.Prepare(query, "sql", func(name string) (*storage.Table, bool) {
 		t, ok := byName[name]
 		return t, ok
 	})
+	if err != nil {
+		return err
+	}
+	var args []any
+	if paramsJSON != "" {
+		if err := json.Unmarshal([]byte(paramsJSON), &args); err != nil {
+			return fmt.Errorf("-params: %w", err)
+		}
+	}
+	if explainOnly && len(args) == 0 {
+		fmt.Print(prep.Plan.Explain())
+		return nil
+	}
+	p, err := prep.Bind(args...)
 	if err != nil {
 		return err
 	}

@@ -103,6 +103,8 @@ func (x *Expr) format(b *strings.Builder) {
 		b.WriteString("FLOAT(")
 		x.args[0].format(b)
 		b.WriteByte(')')
+	case eParam:
+		fmt.Fprintf(b, "?%d", x.i)
 	default:
 		fmt.Fprintf(b, "expr(%d)", x.kind)
 	}
@@ -154,6 +156,9 @@ func (p *Plan) Explain() string {
 func explainNode(b *strings.Builder, n *Node, branchPrefix, childIndent string) {
 	b.WriteString(branchPrefix)
 	b.WriteString(describeNode(n))
+	if n.estRows > 0 {
+		fmt.Fprintf(b, " est=%.0f", n.estRows)
+	}
 	b.WriteByte('\n')
 	children := childrenOf(n)
 	for i, c := range children {

@@ -18,6 +18,10 @@ type Expr struct {
 	args []*Expr
 	strs []string
 	ints []int64
+
+	// ptype is the declared type of an eParam placeholder; type checking
+	// needs it before any value is bound.
+	ptype Type
 }
 
 type exprKind uint8
@@ -49,6 +53,7 @@ const (
 	eYear
 	eSubstr
 	eToF
+	eParam
 )
 
 // Col references a column of the current pipeline by name.
@@ -134,6 +139,11 @@ func Substr(a *Expr, start, n int64) *Expr {
 // ToFloat casts an integer expression to float.
 func ToFloat(a *Expr) *Expr { return &Expr{kind: eToF, args: []*Expr{a}} }
 
+// Param is a query parameter placeholder with a declared type (idx is
+// 1-based, matching SQL's ? ordinals). A plan holding parameters is a
+// template: bind concrete values with Plan.BindArgs before running it.
+func Param(idx int, t Type) *Expr { return &Expr{kind: eParam, i: int64(idx), ptype: t} }
+
 // evalFn evaluates a compiled expression against the register file.
 type evalFn func(e *Ectx) Val
 
@@ -174,6 +184,13 @@ func (x *Expr) compile(rc regResolver) (evalFn, Type) {
 	case eConstS:
 		v := Val{S: x.s}
 		return func(e *Ectx) Val { return v }, TStr
+	case eParam:
+		// Parameterized plans type-check at build time but must be bound
+		// (BindArgs) before execution; evaluating a placeholder is a bug.
+		idx := x.i
+		return func(e *Ectx) Val {
+			panic(fmt.Sprintf("engine: unbound parameter ?%d (bind values with Plan.BindArgs)", idx))
+		}, x.ptype
 	case eAdd, eSub, eMul, eDiv:
 		return compileArith(x, rc)
 	case eEq, eNe, eLt, eLe, eGt, eGe:

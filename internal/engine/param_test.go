@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/numa"
+	"repro/internal/storage"
+)
+
+func paramTable() *storage.Table {
+	b := storage.NewBuilder("pt", storage.Schema{
+		{Name: "k", Type: storage.I64},
+		{Name: "v", Type: storage.F64},
+		{Name: "s", Type: storage.Str},
+	}, 4, "k")
+	tags := []string{"a", "b", "c"}
+	for i := int64(0); i < 30; i++ {
+		b.Append(storage.Row{i, float64(i) * 1.5, tags[i%3]})
+	}
+	return b.Build(storage.NUMAAware, 2)
+}
+
+func paramSession() *Session {
+	s := NewSession(numa.NehalemEXMachine())
+	s.Mode = Sim
+	s.Dispatch.Workers = 4
+	s.Dispatch.MorselRows = 5
+	return s
+}
+
+// paramPlan counts rows with k < ?1 and s = ?2.
+func paramPlan(t *storage.Table) *Plan {
+	p := NewPlan("pq")
+	p.Return(p.Scan(t, "k", "s").
+		Filter(And(Lt(Col("k"), Param(1, TInt)), Eq(Col("s"), Param(2, TStr)))).
+		GroupBy(nil, []AggDef{Count("n")}))
+	return p
+}
+
+func TestBindArgsExecutes(t *testing.T) {
+	tab := paramTable()
+	tmpl := paramPlan(tab)
+	if got := tmpl.NumParams(); got != 2 {
+		t.Fatalf("NumParams = %d", got)
+	}
+	// k in [0,30), s cycles a,b,c. k < 9 and s = "a": k in {0,3,6} = 3.
+	bound, err := tmpl.BindArgs(float64(9), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := paramSession().Run(bound)
+	if res.Rows()[0][0].I != 3 {
+		t.Fatalf("got %d, want 3", res.Rows()[0][0].I)
+	}
+	// The template must stay reusable with different values.
+	bound2, err := tmpl.BindArgs(float64(30), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, _ := paramSession().Run(bound2)
+	if res2.Rows()[0][0].I != 10 {
+		t.Fatalf("got %d, want 10", res2.Rows()[0][0].I)
+	}
+}
+
+func TestBindArgsErrors(t *testing.T) {
+	tab := paramTable()
+	tmpl := paramPlan(tab)
+	if _, err := tmpl.BindArgs(float64(9)); err == nil {
+		t.Fatal("want arity error")
+	}
+	if _, err := tmpl.BindArgs("x", "a"); err == nil {
+		t.Fatal("want type error for non-date string into int param")
+	}
+	if _, err := tmpl.BindArgs(float64(9.5), "a"); err == nil {
+		t.Fatal("want error for fractional value into int param")
+	}
+	// Unparameterized plans pass through unchanged.
+	p := NewPlan("plain")
+	p.Return(p.Scan(tab, "k"))
+	same, err := p.BindArgs()
+	if err != nil || same != p {
+		t.Fatalf("plain plan: %v %v", same == p, err)
+	}
+	if _, err := p.BindArgs(int64(1)); err == nil {
+		t.Fatal("want arity error for args into plain plan")
+	}
+}
+
+func TestBindArgsDateString(t *testing.T) {
+	tab := paramTable()
+	p := NewPlan("dates")
+	p.Return(p.Scan(tab, "k").
+		Filter(Ge(Col("k"), Param(1, TInt))).
+		GroupBy(nil, []AggDef{Count("n")}))
+	// ParseDate("1970-01-16") = 15; k >= 15 keeps 15 of 30 rows.
+	bound, err := p.BindArgs("1970-01-16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := paramSession().Run(bound)
+	if res.Rows()[0][0].I != 15 {
+		t.Fatalf("got %d, want 15", res.Rows()[0][0].I)
+	}
+}
+
+func TestUnboundParamPanicsAtRun(t *testing.T) {
+	tab := paramTable()
+	tmpl := paramPlan(tab)
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "unbound parameter") {
+			t.Fatalf("recover = %v", r)
+		}
+	}()
+	paramSession().Run(tmpl)
+}
+
+func TestExplainShowsParamsAndEstimates(t *testing.T) {
+	tab := paramTable()
+	tmpl := paramPlan(tab)
+	ex := tmpl.Explain()
+	if !strings.Contains(ex, "?1") || !strings.Contains(ex, "?2") {
+		t.Fatalf("explain missing placeholders:\n%s", ex)
+	}
+	p := NewPlan("est")
+	p.Return(p.Scan(tab, "k").SetEst(12345))
+	if ex := p.Explain(); !strings.Contains(ex, "est=12345") {
+		t.Fatalf("explain missing estimate:\n%s", ex)
+	}
+}

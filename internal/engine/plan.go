@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/storage"
 )
@@ -17,6 +18,10 @@ type Plan struct {
 	root     *Node
 	sortKeys []SortKey
 	limit    int
+
+	// paramTypes memoizes ParamTypes so per-request binding of cached
+	// plan templates does not re-walk the operator DAG.
+	paramTypes atomic.Pointer[paramTypesMemo]
 }
 
 // NewPlan creates an empty plan.
@@ -157,7 +162,23 @@ type Node struct {
 
 	// union
 	children []*Node
+
+	// estRows is the optimizer's estimated output cardinality (0 = not
+	// annotated). Explain renders it so plan choices are testable.
+	estRows float64
 }
+
+// SetEst annotates the node with an estimated output cardinality and
+// returns the node for chaining. Cost-based optimizers set it; hand-built
+// plans may leave it unset.
+func (n *Node) SetEst(rows float64) *Node {
+	n.estRows = rows
+	return n
+}
+
+// Est returns the node's estimated output cardinality (0 when the plan
+// was built without estimates).
+func (n *Node) Est() float64 { return n.estRows }
 
 // schemaResolver lets expressions be type-checked against a schema at
 // plan-build time by compiling them with a throwaway resolver.

@@ -1,0 +1,150 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func cacheTestServer(t *testing.T, cfg Config) (*Server, *core.System) {
+	t.Helper()
+	sys := core.NewSystem(core.Nehalem(), core.Options{Workers: 8, MorselRows: 1000})
+	srv := New(sys, cfg)
+	t.Cleanup(srv.Close)
+	return srv, sys
+}
+
+func registerEvents(srv *Server, sys *core.System, rows int, offset int64) {
+	b := core.NewTableBuilder("events", core.Schema{
+		{Name: "id", Type: core.I64},
+		{Name: "kind", Type: core.I64},
+	}, 8, "id").DeclareKey("id")
+	for i := 0; i < rows; i++ {
+		b.Append(core.Row{int64(i) + offset, int64(i % 4)})
+	}
+	srv.RegisterTable(sys.Register(b))
+}
+
+func submitCount(t *testing.T, srv *Server, sql string, params ...any) int64 {
+	t.Helper()
+	resp, err := srv.Submit(context.Background(), &Request{SQL: sql, Params: params})
+	if err != nil {
+		t.Fatalf("submit %q: %v", sql, err)
+	}
+	if len(resp.Rows) != 1 {
+		t.Fatalf("%q: %d rows", sql, len(resp.Rows))
+	}
+	return resp.Rows[0][0].(int64)
+}
+
+func TestPlanCacheHitsAndParams(t *testing.T) {
+	srv, sys := cacheTestServer(t, Config{})
+	registerEvents(srv, sys, 1000, 0)
+
+	const q = `SELECT COUNT(*) AS n FROM events WHERE id < ?`
+	for i, c := range []struct {
+		limit any
+		want  int64
+	}{{100, 100}, {250, 250}, {100, 100}, {5000, 1000}} {
+		if got := submitCount(t, srv, q, c.limit); got != c.want {
+			t.Fatalf("case %d: got %d want %d", i, got, c.want)
+		}
+	}
+	st := srv.Stats().PlanCache
+	// One compile for four executions: 1 miss, 3 hits.
+	if st.Misses != 1 || st.Hits != 3 || st.Size != 1 {
+		t.Fatalf("cache stats %+v", st)
+	}
+	if st.HitRate < 0.74 {
+		t.Fatalf("hit rate %f", st.HitRate)
+	}
+}
+
+// TestPlanCacheCatalogInvalidation re-registers the same table name with
+// different contents: the same SQL text must not execute against the old
+// table object.
+func TestPlanCacheCatalogInvalidation(t *testing.T) {
+	srv, sys := cacheTestServer(t, Config{})
+	registerEvents(srv, sys, 1000, 0)
+
+	const q = `SELECT COUNT(*) AS n FROM events WHERE id < 500`
+	if got := submitCount(t, srv, q); got != 500 {
+		t.Fatalf("v1: got %d", got)
+	}
+	if got := submitCount(t, srv, q); got != 500 {
+		t.Fatalf("v1 cached: got %d", got)
+	}
+	// Replace events: 2000 rows shifted by 100 → ids 100..2099, so
+	// id < 500 now matches 400.
+	registerEvents(srv, sys, 2000, 100)
+	if got := submitCount(t, srv, q); got != 400 {
+		t.Fatalf("after re-register: got %d (stale plan cache?)", got)
+	}
+	st := srv.Stats().PlanCache
+	if st.Invalidations != 1 {
+		t.Fatalf("want 1 invalidation, stats %+v", st)
+	}
+}
+
+func TestPlanCacheLRUEviction(t *testing.T) {
+	srv, sys := cacheTestServer(t, Config{PlanCacheSize: 2})
+	registerEvents(srv, sys, 100, 0)
+	for i := 0; i < 4; i++ {
+		submitCount(t, srv, fmt.Sprintf(`SELECT COUNT(*) AS n FROM events WHERE id < %d`, i+1))
+	}
+	st := srv.Stats().PlanCache
+	if st.Size != 2 || st.Evictions != 2 || st.Misses != 4 {
+		t.Fatalf("cache stats %+v", st)
+	}
+}
+
+func TestPlanCacheDisabled(t *testing.T) {
+	srv, sys := cacheTestServer(t, Config{PlanCacheSize: -1})
+	registerEvents(srv, sys, 100, 0)
+	submitCount(t, srv, `SELECT COUNT(*) AS n FROM events`)
+	submitCount(t, srv, `SELECT COUNT(*) AS n FROM events`)
+	st := srv.Stats().PlanCache
+	if st.Hits != 0 || st.Misses != 0 || st.Max != 0 {
+		t.Fatalf("disabled cache counted: %+v", st)
+	}
+}
+
+func TestParamErrorsAreBadRequests(t *testing.T) {
+	srv, sys := cacheTestServer(t, Config{})
+	registerEvents(srv, sys, 100, 0)
+	for _, req := range []*Request{
+		{SQL: `SELECT COUNT(*) AS n FROM events WHERE id < ?`},                     // missing param
+		{SQL: `SELECT COUNT(*) AS n FROM events`, Params: []any{1}},                // extra param
+		{SQL: `SELECT COUNT(*) AS n FROM events WHERE id < ?`, Params: []any{"x"}}, // bad type
+	} {
+		_, err := srv.Submit(context.Background(), req)
+		if _, ok := err.(*BadRequestError); !ok {
+			t.Fatalf("req %+v: want BadRequestError, got %v", req, err)
+		}
+	}
+}
+
+// TestExplainShowsTemplateAndBound: explain without params keeps the
+// placeholder; with params it shows the bound constant.
+func TestExplainShowsTemplateAndBound(t *testing.T) {
+	srv, sys := cacheTestServer(t, Config{})
+	registerEvents(srv, sys, 100, 0)
+	const q = `SELECT COUNT(*) AS n FROM events WHERE id < ?`
+	resp, err := srv.Submit(context.Background(), &Request{SQL: q, Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Plan, "?1") {
+		t.Fatalf("template explain missing placeholder:\n%s", resp.Plan)
+	}
+	resp, err = srv.Submit(context.Background(), &Request{SQL: q, Explain: true, Params: []any{42}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Plan, "(id < 42)") {
+		t.Fatalf("bound explain missing constant:\n%s", resp.Plan)
+	}
+}

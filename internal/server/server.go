@@ -61,6 +61,11 @@ type Config struct {
 	// MaxRows caps result rows returned per query, 0 = unlimited.
 	// Requests may lower it per query, never raise it.
 	MaxRows int
+	// PlanCacheSize caps the server-side LRU of compiled SQL statements
+	// keyed by SQL text (default 256, negative disables caching). Cached
+	// statements skip parse/bind/optimize per request; ? placeholders
+	// bind per execution.
+	PlanCacheSize int
 }
 
 func (c Config) withDefaults(sockets int) Config {
@@ -75,6 +80,12 @@ func (c Config) withDefaults(sockets int) Config {
 	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 30 * time.Second
+	}
+	switch {
+	case c.PlanCacheSize == 0:
+		c.PlanCacheSize = 256
+	case c.PlanCacheSize < 0:
+		c.PlanCacheSize = 0
 	}
 	return c
 }
@@ -99,11 +110,15 @@ func (e *BadRequestError) Error() string { return e.Msg }
 type Request struct {
 	// Prepared names a registered plan; Plan is an inline DSL plan;
 	// SQL is a SELECT statement compiled through the SQL front end
-	// (parser -> binder -> optimizer -> morsel-driven physical plan).
-	// Exactly one must be set.
+	// (parser -> binder -> cost-based optimizer -> morsel-driven
+	// physical plan) and cached server-side by SQL text. Exactly one
+	// must be set.
 	Prepared string    `json:"prepared,omitempty"`
 	Plan     *PlanSpec `json:"plan,omitempty"`
 	SQL      string    `json:"sql,omitempty"`
+	// Params binds the statement's ? placeholders in order. Integer
+	// placeholders also accept "YYYY-MM-DD" date strings.
+	Params []any `json:"params,omitempty"`
 	// Priority is "interactive" (default) or "batch".
 	Priority Class `json:"priority,omitempty"`
 	// TimeoutMs overrides the server's default per-query timeout.
@@ -145,6 +160,12 @@ type Server struct {
 	prepared map[string]*core.Plan
 	closed   bool
 
+	// catalogVersion advances whenever the table set changes; the plan
+	// cache keys on it so a re-registered table invalidates cached plans
+	// compiled against the old table object.
+	catalogVersion atomic.Uint64
+	cache          *planCache
+
 	adm   admission
 	stats serverStats
 }
@@ -161,6 +182,7 @@ func New(sys *core.System, cfg Config) *Server {
 		tables:   make(map[string]*core.Table),
 		prepared: make(map[string]*core.Plan),
 	}
+	s.cache = newPlanCache(s.cfg.PlanCacheSize)
 	s.adm.init(s.cfg.MaxConcurrent, s.cfg.MaxQueue)
 	s.stats.init()
 	return s
@@ -179,11 +201,14 @@ func (s *Server) Close() {
 	s.exec.Close()
 }
 
-// RegisterTable makes a registered table queryable by name.
+// RegisterTable makes a registered table queryable by name. Registering
+// (or re-registering) a table advances the catalog version, so cached
+// SQL plans compiled against a previous table object are invalidated.
 func (s *Server) RegisterTable(t *core.Table) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.tables[t.Name] = t
+	s.catalogVersion.Add(1)
 }
 
 // Table looks a table up by name.
@@ -286,30 +311,67 @@ func (s *Server) resolvePlan(req *Request) (*core.Plan, error) {
 	if set > 1 {
 		return nil, &BadRequestError{Msg: "set exactly one of \"prepared\", \"plan\", \"sql\""}
 	}
-	switch {
-	case req.Prepared != "":
-		s.mu.RLock()
-		p, ok := s.prepared[req.Prepared]
-		s.mu.RUnlock()
-		if !ok {
-			return nil, fmt.Errorf("%w: %q", ErrUnknownPrepared, req.Prepared)
+	template, err := func() (*core.Plan, error) {
+		switch {
+		case req.Prepared != "":
+			s.mu.RLock()
+			p, ok := s.prepared[req.Prepared]
+			s.mu.RUnlock()
+			if !ok {
+				return nil, fmt.Errorf("%w: %q", ErrUnknownPrepared, req.Prepared)
+			}
+			return p, nil
+		case req.Plan != nil:
+			p, err := req.Plan.Build(s.Table)
+			if err != nil {
+				return nil, &BadRequestError{Msg: err.Error()}
+			}
+			return p, nil
+		case req.SQL != "":
+			prep, err := s.prepareSQL(req.SQL)
+			if err != nil {
+				return nil, &BadRequestError{Msg: err.Error()}
+			}
+			return prep.Plan, nil
+		default:
+			return nil, &BadRequestError{Msg: "set \"prepared\", \"plan\" or \"sql\""}
 		}
-		return p, nil
-	case req.Plan != nil:
-		p, err := req.Plan.Build(s.Table)
-		if err != nil {
-			return nil, &BadRequestError{Msg: err.Error()}
-		}
-		return p, nil
-	case req.SQL != "":
-		p, err := sql.CompileNamed(req.SQL, "sql", s.Table)
-		if err != nil {
-			return nil, &BadRequestError{Msg: err.Error()}
-		}
-		return p, nil
-	default:
-		return nil, &BadRequestError{Msg: "set \"prepared\", \"plan\" or \"sql\""}
+	}()
+	if err != nil {
+		return nil, err
 	}
+	// An explain without params renders the template itself, keeping the
+	// ?N placeholders visible (nothing executes).
+	if req.Explain && len(req.Params) == 0 {
+		return template, nil
+	}
+	// Bind ? placeholders (also validates that plans without placeholders
+	// receive no params). Named prepared plans may be parameterized too.
+	bound, err := template.BindArgs(req.Params...)
+	if err != nil {
+		return nil, &BadRequestError{Msg: err.Error()}
+	}
+	return bound, nil
+}
+
+// prepareSQL compiles a statement through the plan cache: one parse /
+// bind / cost-based optimize per distinct SQL text and catalog version,
+// shared by every subsequent request.
+func (s *Server) prepareSQL(query string) (*sql.Prepared, error) {
+	version := s.catalogVersion.Load()
+	if s.cache != nil {
+		if prep, ok := s.cache.get(query, version); ok {
+			return prep, nil
+		}
+	}
+	prep, err := sql.Prepare(query, "sql", s.Table)
+	if err != nil {
+		return nil, err
+	}
+	if s.cache != nil {
+		s.cache.put(query, version, prep)
+	}
+	return prep, nil
 }
 
 func (s *Server) respond(plan *core.Plan, class Class, res *core.Result, req *Request, queued, elapsed time.Duration) *Response {
@@ -524,6 +586,8 @@ type Stats struct {
 		MaxQueue      int `json:"max_queue"`
 	} `json:"admission"`
 
+	PlanCache PlanCacheStats `json:"plan_cache"`
+
 	Pool struct {
 		Morsels         int64   `json:"morsels"`
 		Tuples          int64   `json:"tuples"`
@@ -549,6 +613,7 @@ func (s *Server) Stats() Stats {
 	st.Admission.Waiting = s.adm.waiting()
 	st.Admission.MaxConcurrent = s.cfg.MaxConcurrent
 	st.Admission.MaxQueue = s.cfg.MaxQueue
+	st.PlanCache = s.cache.stats()
 	pool := s.exec.PoolStats()
 	st.Pool.Morsels = pool.Tasks
 	st.Pool.Tuples = pool.Tuples

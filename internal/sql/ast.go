@@ -5,14 +5,18 @@ package sql
 
 // Select is one (possibly nested) SELECT statement.
 type Select struct {
-	Star    bool
-	Items   []SelectItem
-	From    []FromTable
-	Where   Expr
-	GroupBy []Expr
-	Having  Expr
-	OrderBy []OrderKey
-	Limit   int // 0 = none
+	Star     bool
+	Distinct bool
+	Items    []SelectItem
+	From     []FromTable
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderKey
+	Limit    int // 0 = none
+	// NParams is the number of ? placeholders in the whole statement
+	// (subqueries included); set on the top-level Select by Parse.
+	NParams int
 }
 
 // SelectItem is one output expression with an optional alias.
@@ -159,4 +163,11 @@ type Exists struct {
 	position
 	Sub    *Select
 	Invert bool
+}
+
+// Param is a ? placeholder of a prepared statement. N is the 1-based
+// ordinal in lexical order.
+type Param struct {
+	position
+	N int
 }

@@ -247,6 +247,8 @@ func astFormat(b *strings.Builder, e Expr) {
 		b.WriteString(" end")
 	case *Exists:
 		b.WriteString("exists (select ...)")
+	case *Param:
+		fmt.Fprintf(b, "?%d", x.N)
 	case *Call:
 		b.WriteString(strings.ToLower(x.Name))
 		b.WriteByte('(')
@@ -277,23 +279,10 @@ type binder struct {
 }
 
 // validDate checks "YYYY-MM-DD" shape before engine.ParseDate (which
-// panics on programmer errors, not user input).
-func validDate(s string) bool {
-	if len(s) != 10 || s[4] != '-' || s[7] != '-' {
-		return false
-	}
-	for i, c := range []byte(s) {
-		if i == 4 || i == 7 {
-			continue
-		}
-		if c < '0' || c > '9' {
-			return false
-		}
-	}
-	m := int(s[5]-'0')*10 + int(s[6]-'0')
-	d := int(s[8]-'0')*10 + int(s[9]-'0')
-	return m >= 1 && m <= 12 && d >= 1 && d <= 31
-}
+// panics on programmer errors, not user input). One rule for the whole
+// system: literal binding here, parameter coercion, and loadgen's
+// literal inlining all delegate to engine.DateShaped.
+func validDate(s string) bool { return engine.DateShaped(s) }
 
 // bind compiles an AST expression to an engine expression. Aggregate
 // calls are only legal where the rewrite table maps them (post-GROUP BY
@@ -305,6 +294,8 @@ func (bd *binder) bind(e Expr) (*engine.Expr, error) {
 		}
 	}
 	switch x := e.(type) {
+	case *Param:
+		return nil, errAt(x, "cannot infer the type of parameter ?%d here; use it in a comparison, BETWEEN, IN or arithmetic with a typed operand", x.N)
 	case *Col:
 		t, _, err := bd.sc.resolveUp(x)
 		if err != nil {
@@ -324,11 +315,7 @@ func (bd *binder) bind(e Expr) (*engine.Expr, error) {
 		}
 		return engine.ConstDate(x.V), nil
 	case *Bin:
-		l, err := bd.bind(x.L)
-		if err != nil {
-			return nil, err
-		}
-		r, err := bd.bind(x.R)
+		l, r, err := bd.bindPair(x.L, x.R)
 		if err != nil {
 			return nil, err
 		}
@@ -372,15 +359,25 @@ func (bd *binder) bind(e Expr) (*engine.Expr, error) {
 		}
 		return engine.Sub(engine.ConstI(0), inner), nil
 	case *Between:
-		v, err := bd.bind(x.E)
+		// Type inference runs only when a placeholder is present: plain
+		// operands bind normally (inferType cannot see post-aggregation
+		// rewrite registers, and does not need to).
+		var t engine.Type
+		if hasParamElem([]Expr{x.E, x.Lo, x.Hi}) {
+			var err error
+			if t, err = bd.inferAny(x, x.E, x.Lo, x.Hi); err != nil {
+				return nil, err
+			}
+		}
+		v, err := bd.bindOrParam(x.E, t)
 		if err != nil {
 			return nil, err
 		}
-		lo, err := bd.bind(x.Lo)
+		lo, err := bd.bindOrParam(x.Lo, t)
 		if err != nil {
 			return nil, err
 		}
-		hi, err := bd.bind(x.Hi)
+		hi, err := bd.bindOrParam(x.Hi, t)
 		if err != nil {
 			return nil, err
 		}
@@ -393,6 +390,27 @@ func (bd *binder) bind(e Expr) (*engine.Expr, error) {
 		v, err := bd.bind(x.E)
 		if err != nil {
 			return nil, err
+		}
+		if hasParamElem(x.Elems) {
+			// Placeholders keep IN out of the engine's literal-set fast
+			// path: lower to an OR of equalities instead.
+			t, terr := bd.inferType(x.E)
+			if terr != nil {
+				return nil, terr
+			}
+			eqs := make([]*engine.Expr, len(x.Elems))
+			for i, el := range x.Elems {
+				b, berr := bd.bindOrParam(el, t)
+				if berr != nil {
+					return nil, berr
+				}
+				eqs[i] = engine.Eq(v, b)
+			}
+			in := engine.Or(eqs...)
+			if x.Invert {
+				in = engine.Not(in)
+			}
+			return in, nil
 		}
 		var in *engine.Expr
 		switch x.Elems[0].(type) {
@@ -464,6 +482,154 @@ func (bd *binder) bind(e Expr) (*engine.Expr, error) {
 		return nil, errAt(e, "EXISTS / IN (SELECT ...) is only supported as a top-level WHERE conjunct")
 	}
 	return nil, errAt(e, "unsupported expression")
+}
+
+// bindPair binds the two operands of a binary operator, inferring the
+// declared type of a ? placeholder on one side from the other side.
+func (bd *binder) bindPair(le, re Expr) (*engine.Expr, *engine.Expr, error) {
+	lp, lIsP := le.(*Param)
+	rp, rIsP := re.(*Param)
+	switch {
+	case lIsP && rIsP:
+		return nil, nil, errAt(le, "cannot infer parameter types: both operands are placeholders")
+	case lIsP:
+		t, err := bd.inferType(re)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, err := bd.bind(re)
+		if err != nil {
+			return nil, nil, err
+		}
+		return engine.Param(lp.N, t), r, nil
+	case rIsP:
+		t, err := bd.inferType(le)
+		if err != nil {
+			return nil, nil, err
+		}
+		l, err := bd.bind(le)
+		if err != nil {
+			return nil, nil, err
+		}
+		return l, engine.Param(rp.N, t), nil
+	}
+	l, err := bd.bind(le)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := bd.bind(re)
+	if err != nil {
+		return nil, nil, err
+	}
+	return l, r, nil
+}
+
+// bindOrParam binds e, turning a placeholder into a typed parameter.
+func (bd *binder) bindOrParam(e Expr, t engine.Type) (*engine.Expr, error) {
+	if pp, ok := e.(*Param); ok {
+		return engine.Param(pp.N, t), nil
+	}
+	return bd.bind(e)
+}
+
+// inferAny returns the type of the first operand that is not a
+// placeholder.
+func (bd *binder) inferAny(at Expr, es ...Expr) (engine.Type, error) {
+	for _, e := range es {
+		if _, ok := e.(*Param); ok {
+			continue
+		}
+		return bd.inferType(e)
+	}
+	return 0, errAt(at, "cannot infer parameter types: every operand is a placeholder")
+}
+
+func hasParamElem(es []Expr) bool {
+	for _, e := range es {
+		if _, ok := e.(*Param); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// inferType determines an expression's engine type at the AST level —
+// what a ? placeholder compared against it must be declared as.
+func (bd *binder) inferType(e Expr) (engine.Type, error) {
+	switch x := e.(type) {
+	case *Col:
+		t, _, err := bd.sc.resolveUp(x)
+		if err != nil || t == nil {
+			return 0, errAt(x, "cannot infer a parameter type from %q here; compare the parameter against a base-table column", x.Name)
+		}
+		switch t.t.Schema[t.cols[x.Name]].Type {
+		case storage.I64:
+			return engine.TInt, nil
+		case storage.F64:
+			return engine.TFloat, nil
+		default:
+			return engine.TStr, nil
+		}
+	case *IntLit, *DateLit:
+		return engine.TInt, nil
+	case *FloatLit:
+		return engine.TFloat, nil
+	case *StrLit:
+		return engine.TStr, nil
+	case *Neg:
+		return bd.inferType(x.E)
+	case *Bin:
+		switch x.Op {
+		case "+", "-", "*":
+			// Mixed int/float arithmetic promotes to float, so the
+			// expression is float if EITHER resolvable side is.
+			lt, lerr := bd.inferType(x.L)
+			rt, rerr := bd.inferType(x.R)
+			switch {
+			case lerr == nil && lt == engine.TFloat, rerr == nil && rt == engine.TFloat:
+				return engine.TFloat, nil
+			case lerr == nil:
+				return lt, nil
+			case rerr == nil:
+				return rt, nil
+			default:
+				return 0, lerr
+			}
+		case "/":
+			return engine.TFloat, nil
+		default:
+			return engine.TInt, nil // comparisons and AND/OR are boolean
+		}
+	case *Not, *Between, *InList, *InSelect, *LikeExpr, *Exists:
+		return engine.TInt, nil
+	case *Case:
+		if len(x.Whens) > 0 {
+			if _, ok := x.Whens[0].Then.(*Param); !ok {
+				return bd.inferType(x.Whens[0].Then)
+			}
+		}
+		if x.Else != nil {
+			return bd.inferType(x.Else)
+		}
+	case *Call:
+		switch x.Name {
+		case "YEAR", "COUNT":
+			return engine.TInt, nil
+		case "FLOAT", "TOFLOAT", "AVG":
+			return engine.TFloat, nil
+		case "SUBSTR", "SUBSTRING":
+			return engine.TStr, nil
+		case "IF":
+			if len(x.Args) == 3 {
+				return bd.inferAny(x, x.Args[1], x.Args[2])
+			}
+		case "SUM", "MIN", "MAX":
+			if len(x.Args) == 1 {
+				return bd.inferType(x.Args[0])
+			}
+		}
+	}
+	return 0, errAt(e, "cannot infer a parameter type from this expression")
 }
 
 func (bd *binder) bindCall(x *Call) (*engine.Expr, error) {

@@ -1,0 +1,314 @@
+package sql
+
+import (
+	"repro/internal/engine"
+	"repro/internal/storage"
+)
+
+// This file is the cost model: selectivity estimation for pushed-down
+// predicates over the storage statistics layer (per-table row counts,
+// per-column min/max/NDV), and cardinality estimation for hash joins.
+// The numbers feed join ordering and build-side selection and are
+// surfaced per operator through Plan.Explain, so plan choices are
+// testable.
+//
+// Assumptions (the classic System R defaults, refreshed with sketches):
+// uniform value distributions within [min, max], independent predicates
+// (selectivities multiply), and containment of join key domains (the
+// smaller key set is a subset of the larger; output = |R|·|S| / max NDV).
+
+// Default selectivities where statistics cannot decide.
+const (
+	selDefault  = 1.0 / 3 // opaque predicate (mixed-column comparison, ...)
+	selRange    = 1.0 / 3 // range predicate with an unknown bound (e.g. a parameter)
+	selBetween  = 1.0 / 4 // BETWEEN with unknown bounds
+	selLike     = 1.0 / 10
+	selEqNoNDV  = 1.0 / 10 // equality on a column with no usable NDV
+	selFloorSel = 0.0005   // predicates never estimate to exactly zero
+)
+
+// baseCard estimates t's post-filter cardinality: its row count times the
+// selectivity of every predicate pushed down onto its scan. Memoized per
+// planner (the ordering loop asks repeatedly).
+func (pl *planner) baseCard(t *baseTable) float64 {
+	if pl.cardMemo == nil {
+		pl.cardMemo = map[*baseTable]float64{}
+	}
+	if c, ok := pl.cardMemo[t]; ok {
+		return c
+	}
+	c := estFilteredCard(t, pl.local[t])
+	pl.cardMemo[t] = c
+	return c
+}
+
+// estFilteredCard is baseCard for an explicit predicate list (subquery
+// build scans carry their own).
+func estFilteredCard(t *baseTable, preds []Expr) float64 {
+	card := float64(t.rows())
+	for _, p := range preds {
+		card *= predSel(t, p)
+	}
+	if card < 1 {
+		card = 1
+	}
+	return card
+}
+
+// predSel estimates the selectivity of one single-table predicate.
+func predSel(t *baseTable, e Expr) float64 {
+	s := rawPredSel(t, e)
+	if s < selFloorSel {
+		return selFloorSel
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+func rawPredSel(t *baseTable, e Expr) float64 {
+	switch x := e.(type) {
+	case *Bin:
+		switch x.Op {
+		case "and":
+			return predSel(t, x.L) * predSel(t, x.R)
+		case "or":
+			l, r := predSel(t, x.L), predSel(t, x.R)
+			return l + r - l*r
+		case "=":
+			return eqSel(t, x.L, x.R)
+		case "<>":
+			return 1 - eqSel(t, x.L, x.R)
+		case "<", "<=", ">", ">=":
+			return rangeSel(t, x.Op, x.L, x.R)
+		}
+		return selDefault
+	case *Not:
+		return 1 - predSel(t, x.E)
+	case *Between:
+		s := betweenSel(t, x)
+		if x.Invert {
+			return 1 - s
+		}
+		return s
+	case *InList:
+		s := inListSel(t, x)
+		if x.Invert {
+			return 1 - s
+		}
+		return s
+	case *LikeExpr:
+		if x.Invert {
+			return 1 - selLike
+		}
+		return selLike
+	}
+	return selDefault
+}
+
+// eqSel estimates col = value as 1/NDV; col = col (within one table) as
+// 1/max NDV.
+func eqSel(t *baseTable, l, r Expr) float64 {
+	lc, lok := colStatsOf(t, l)
+	rc, rok := colStatsOf(t, r)
+	switch {
+	case lok && rok:
+		return 1 / max(ndvOf(lc), ndvOf(rc))
+	case lok:
+		return 1 / ndvOf(lc)
+	case rok:
+		return 1 / ndvOf(rc)
+	default:
+		return selEqNoNDV
+	}
+}
+
+// rangeSel estimates col <op> bound from the column's [min, max] under
+// the uniformity assumption. Unknown bounds (parameters, expressions)
+// fall back to selRange.
+func rangeSel(t *baseTable, op string, l, r Expr) float64 {
+	col, cok := colStatsOf(t, l)
+	v, vok := litValue(r)
+	if !cok || !vok {
+		// Mirror: bound <op> col.
+		col, cok = colStatsOf(t, r)
+		v, vok = litValue(l)
+		if !cok || !vok {
+			return selRange
+		}
+		op = flipOp(op)
+	}
+	lo, hi, ok := col.NumericRange()
+	if !ok || hi <= lo {
+		return selRange
+	}
+	frac := (v - lo) / (hi - lo)
+	switch op {
+	case "<", "<=":
+		return clamp01(frac)
+	default: // ">", ">="
+		return clamp01(1 - frac)
+	}
+}
+
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op
+}
+
+func betweenSel(t *baseTable, x *Between) float64 {
+	col, cok := colStatsOf(t, x.E)
+	lov, look := litValue(x.Lo)
+	hiv, hiok := litValue(x.Hi)
+	if !cok || !look || !hiok {
+		return selBetween
+	}
+	lo, hi, ok := col.NumericRange()
+	if !ok || hi <= lo {
+		return selBetween
+	}
+	return clamp01((min(hiv, hi) - max(lov, lo)) / (hi - lo))
+}
+
+func inListSel(t *baseTable, x *InList) float64 {
+	n := float64(len(x.Elems))
+	if col, ok := colStatsOf(t, x.E); ok {
+		return clamp01(n / ndvOf(col))
+	}
+	return clamp01(n * selEqNoNDV)
+}
+
+// colStatsOf resolves e to a column of t and returns its statistics.
+func colStatsOf(t *baseTable, e Expr) (*storage.ColStats, bool) {
+	c, ok := e.(*Col)
+	if !ok {
+		return nil, false
+	}
+	if c.Table != "" && c.Table != t.alias {
+		return nil, false
+	}
+	if _, ok := t.cols[c.Name]; !ok {
+		return nil, false
+	}
+	cs := t.t.Stats().Col(c.Name)
+	return cs, cs != nil
+}
+
+func ndvOf(cs *storage.ColStats) float64 {
+	if cs == nil || cs.NDV < 1 {
+		return 1 / selEqNoNDV
+	}
+	return float64(cs.NDV)
+}
+
+// litValue extracts a numeric literal (int, float, date, or a negated
+// one) as a float for range math.
+func litValue(e Expr) (float64, bool) {
+	switch x := e.(type) {
+	case *IntLit:
+		return float64(x.V), true
+	case *FloatLit:
+		return x.V, true
+	case *DateLit:
+		if !validDate(x.V) {
+			return 0, false
+		}
+		return float64(engine.ParseDate(x.V)), true
+	case *Neg:
+		v, ok := litValue(x.E)
+		return -v, ok
+	}
+	return 0, false
+}
+
+// keyNDV estimates the distinct count of one join-key expression on a
+// side with the given cardinality, resolving columns in the given scope.
+// Plain columns use sketch NDV (capped by the side's post-filter
+// cardinality); opaque expressions assume distinct keys, i.e. no
+// duplication from that side.
+func keyNDV(sc *scope, e Expr, sideCard float64) float64 {
+	if c, ok := e.(*Col); ok {
+		if t, _, err := sc.resolveUp(c); err == nil && t != nil {
+			if cs := t.t.Stats().Col(c.Name); cs != nil && cs.NDV > 0 {
+				return min(float64(cs.NDV), max(sideCard, 1))
+			}
+		}
+	}
+	return max(sideCard, 1)
+}
+
+// joinCard estimates hash-join output cardinality with the containment
+// assumption: |probe ⨝ build| = |probe|·|build| / Π_k max(ndv_probe,
+// ndv_build). Semi joins cap at the probe cardinality; anti joins take
+// the complement. Probe keys resolve in the planner scope; buildSc names
+// the build side's scope (differs for subquery builds).
+func (pl *planner) joinCard(probeCard, buildCard float64, probeKeys, buildKeys []Expr, kind engine.JoinKind) float64 {
+	return pl.joinCardScoped(probeCard, buildCard, probeKeys, buildKeys, pl.sc, kind)
+}
+
+func (pl *planner) joinCardScoped(probeCard, buildCard float64, probeKeys, buildKeys []Expr, buildSc *scope, kind engine.JoinKind) float64 {
+	sel := 1.0
+	for i := range probeKeys {
+		np := keyNDV(pl.sc, probeKeys[i], probeCard)
+		nb := keyNDV(buildSc, buildKeys[i], buildCard)
+		sel /= max(max(np, nb), 1)
+	}
+	out := probeCard * buildCard * sel
+	switch kind {
+	case engine.JoinSemi:
+		out = min(out, probeCard)
+	case engine.JoinAnti:
+		out = probeCard - min(out, probeCard)
+	case engine.JoinOuterProbe:
+		out = max(out, probeCard)
+	}
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
+// groupKeyNDV estimates the distinct count of one GROUP BY key: sketch
+// NDV for plain columns, year-count for YEAR(date), a small default
+// otherwise.
+func (pl *planner) groupKeyNDV(g Expr) float64 {
+	switch x := g.(type) {
+	case *Col:
+		if t, err := pl.sc.resolve(x); err == nil && t != nil {
+			if cs := t.t.Stats().Col(x.Name); cs != nil && cs.NDV > 0 {
+				return float64(cs.NDV)
+			}
+		}
+	case *Call:
+		if x.Name == "YEAR" && len(x.Args) == 1 {
+			if c, ok := x.Args[0].(*Col); ok {
+				if t, err := pl.sc.resolve(c); err == nil && t != nil {
+					if lo, hi, ok := t.t.Stats().Col(c.Name).NumericRange(); ok {
+						return max(1, (hi-lo)/365.25)
+					}
+				}
+			}
+		}
+	}
+	return 30
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,50 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+// expectEst compiles the query and asserts the explain carries the
+// wanted est= annotation (on the named operator line).
+func expectEst(t *testing.T, cat Catalog, query, wantLine string) {
+	t.Helper()
+	p, err := Compile(query, cat)
+	if err != nil {
+		t.Fatalf("%q: %v", query, err)
+	}
+	if ex := p.Explain(); !strings.Contains(ex, wantLine) {
+		t.Fatalf("%q: explain missing %q:\n%s", query, wantLine, ex)
+	}
+}
+
+// The test catalog: emp has 40 rows (id 0..39, dept = id%5, name cycles
+// 8 values, hired = 2020-01-01 + 20·id days), dept has 5 rows with 3
+// distinct regions.
+func TestSelectivityEstimates(t *testing.T) {
+	cat := testCatalog()
+	// Equality via NDV: 40 / 5 depts = 8.
+	expectEst(t, cat, `SELECT id FROM emp WHERE dept = 3`,
+		"scan(emp) cols=[id dept] filter: (dept = 3) est=8")
+	// Range via min/max: id < 10 covers 10/39 of [0, 39] → ~10.
+	expectEst(t, cat, `SELECT id FROM emp WHERE id < 10`,
+		"filter: (id < 10) est=10")
+	// IN list: 2 of 5 distinct values → 16.
+	expectEst(t, cat, `SELECT id FROM emp WHERE dept IN (1, 2)`,
+		"filter: dept IN (1, 2) est=16")
+	// Date range: hired spans 780 days from 2020-01-01; one ~390-day
+	// half keeps ~20 rows.
+	expectEst(t, cat, `SELECT id FROM emp WHERE hired < DATE '2021-01-26'`,
+		"est=20")
+	// Conjunction multiplies: dept = 3 (1/5) and id < 10 (~1/4) → ~2.
+	expectEst(t, cat, `SELECT id FROM emp WHERE dept = 3 AND id < 10`,
+		"est=2")
+	// Grouped output capped by group-key NDV.
+	expectEst(t, cat, `SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept`,
+		"groupby [dept] aggs [count(*) AS n] est=5")
+	// Join cardinality under containment: emp ⨝ dept on the 5-value key
+	// keeps 40 rows (40·5/5); the unique-key build becomes a semi join
+	// only when dept contributes no payload, so here it stays inner.
+	expectEst(t, cat, `SELECT dname FROM emp, dept WHERE dept = did`,
+		"hashjoin inner on [dept = did] payload=[dname] est=40")
+}

@@ -165,6 +165,40 @@ GROUP BY l_orderkey, o_orderdate, o_shippriority
 ORDER BY revenue DESC, o_orderdate
 LIMIT 10`
 
+// sqlQ10 exercises the bushy optimizer: the hand-built plan builds
+// nation under customer under orders before the lineitem probe.
+const sqlQ10 = `
+SELECT c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer, orders, lineitem, nation
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate >= DATE '1993-10-01'
+  AND o_orderdate < DATE '1994-01-01'
+  AND l_returnflag = 'R'
+  AND c_nationkey = n_nationkey
+GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment
+ORDER BY revenue DESC
+LIMIT 20`
+
+// sqlQ12 exercises build-side inversion: lineitem's pushed-down filters
+// leave it smaller than orders, so the cost-based optimizer must probe
+// with orders and build over filtered lineitem (as the hand-built plan
+// does) — the raw-row greedy heuristic got this backwards.
+const sqlQ12 = `
+SELECT l_shipmode,
+       SUM(CASE WHEN o_orderpriority IN ('1-URGENT', '2-HIGH') THEN 1 ELSE 0 END) AS high_line_count,
+       SUM(CASE WHEN o_orderpriority IN ('1-URGENT', '2-HIGH') THEN 0 ELSE 1 END) AS low_line_count
+FROM orders, lineitem
+WHERE o_orderkey = l_orderkey
+  AND l_shipmode IN ('MAIL', 'SHIP')
+  AND l_commitdate < l_receiptdate
+  AND l_shipdate < l_commitdate
+  AND l_receiptdate >= DATE '1994-01-01'
+  AND l_receiptdate < DATE '1995-01-01'
+GROUP BY l_shipmode
+ORDER BY l_shipmode`
+
 const sqlQ6 = `
 SELECT SUM(l_extendedprice * l_discount) AS revenue
 FROM lineitem
@@ -197,6 +231,8 @@ func TestTPCHGolden(t *testing.T) {
 	sqlVsHandBuilt(t, "Q3", sqlQ3, cat, tpch.QueryPlan(3, tpchDB), true)
 	sqlVsHandBuilt(t, "Q5", sqlQ5, cat, tpch.QueryPlan(5, tpchDB), false)
 	sqlVsHandBuilt(t, "Q6", sqlQ6, cat, tpch.QueryPlan(6, tpchDB), false)
+	sqlVsHandBuilt(t, "Q10", sqlQ10, cat, tpch.QueryPlan(10, tpchDB), false)
+	sqlVsHandBuilt(t, "Q12", sqlQ12, cat, tpch.QueryPlan(12, tpchDB), true)
 }
 
 // TestTPCHGoldenVsReference double-checks the SQL results against the
@@ -207,7 +243,7 @@ func TestTPCHGoldenVsReference(t *testing.T) {
 	for _, q := range []struct {
 		num   int
 		query string
-	}{{1, sqlQ1}, {3, sqlQ3}, {6, sqlQ6}} {
+	}{{1, sqlQ1}, {3, sqlQ3}, {6, sqlQ6}, {12, sqlQ12}} {
 		p, err := Compile(q.query, cat)
 		if err != nil {
 			t.Fatalf("Q%d: %v", q.num, err)

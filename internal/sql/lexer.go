@@ -165,7 +165,7 @@ func lex(src string) ([]token, error) {
 				}
 			}
 			switch c {
-			case '(', ')', ',', '.', '+', '-', '*', '/', '=', '<', '>', ';':
+			case '(', ')', ',', '.', '+', '-', '*', '/', '=', '<', '>', ';', '?':
 				toks = append(toks, token{kind: tSymbol, text: string(c), line: line, col: col})
 				advance(1)
 			default:

@@ -23,6 +23,7 @@ func Parse(query string) (*Select, error) {
 	if p.cur().kind != tEOF {
 		return nil, p.errf("unexpected %s after end of query", p.cur().describe())
 	}
+	stmt.NParams = p.nparams
 	return stmt, nil
 }
 
@@ -43,9 +44,10 @@ var reservedAfterTable = map[string]bool{
 const maxExprDepth = 200
 
 type parser struct {
-	toks  []token
-	i     int
-	depth int
+	toks    []token
+	i       int
+	depth   int
+	nparams int // ? placeholders seen, in lexical order
 }
 
 // enter guards one level of expression recursion; pair with leave.
@@ -124,7 +126,7 @@ func (p *parser) parseSelect() (*Select, error) {
 	}
 	stmt := &Select{}
 	if p.eatKw("DISTINCT") {
-		return nil, p.errf("DISTINCT is not supported; use GROUP BY over the selected columns")
+		stmt.Distinct = true
 	}
 	// Select list.
 	if p.eatSymbol("*") {
@@ -502,6 +504,11 @@ func (p *parser) parsePrimary() (Expr, error) {
 		p.next()
 		return &StrLit{position: pos, V: t.s}, nil
 	case tSymbol:
+		if t.text == "?" {
+			p.next()
+			p.nparams++
+			return &Param{position: pos, N: p.nparams}, nil
+		}
 		if t.text == "(" {
 			p.next()
 			if p.kw("SELECT") {

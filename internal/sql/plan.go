@@ -38,14 +38,33 @@ func PlanSelect(stmt *Select, name string, cat Catalog) (p *engine.Plan, err err
 	return pl.plan(stmt)
 }
 
-// joinStep is one hash join of the left-deep probe chain: the chain
-// probes a hash table built over t's (filtered, pruned) scan.
+// buildTree is the build side of one hash join: a relation's (filtered,
+// pruned) scan, optionally probing nested builds of its own — the bushy
+// dimension subtrees the hand-built TPC-H plans use (nation under
+// customer under orders, all built before the fact table probes).
+type buildTree struct {
+	t     *baseTable
+	steps []*joinStep // nested joins applied to t's pipeline
+	est   float64     // estimated output cardinality of the subtree
+}
+
+// members appends the subtree's relations in probe-pipeline order.
+func (bt *buildTree) members(out []*baseTable) []*baseTable {
+	out = append(out, bt.t)
+	for _, s := range bt.steps {
+		out = s.tree.members(out)
+	}
+	return out
+}
+
+// joinStep is one hash join of a probe chain: the chain probes a hash
+// table built over tree's output.
 type joinStep struct {
-	t         *baseTable
+	tree      *buildTree
 	kind      engine.JoinKind
-	probeKeys []Expr // chain-side key expressions
-	buildKeys []Expr // t-side key expressions
-	payload   []string
+	probeKeys []Expr  // chain-side key expressions
+	buildKeys []Expr  // tree-side key expressions
+	est       float64 // estimated chain cardinality after this join
 }
 
 // subJoinSpec is a semi/anti join derived from EXISTS / IN (SELECT ...).
@@ -101,17 +120,26 @@ type planner struct {
 	// engine only detects duplicate registers by panicking during
 	// compilation, outside PlanSelect's recover.
 	pipeRegs map[string]string
+
+	// cardMemo caches per-relation post-filter cardinality estimates
+	// (the ordering loop asks repeatedly).
+	cardMemo map[*baseTable]float64
 }
 
-// addPipeReg claims one probe-pipeline register name.
-func (pl *planner) addPipeReg(name, provider string) error {
-	if prev, ok := pl.pipeRegs[name]; ok {
+// claimReg claims one register name in the given pipeline's register set.
+func claimReg(regs map[string]string, name, provider string) error {
+	if prev, ok := regs[name]; ok {
 		return &ParseError{Msg: fmt.Sprintf(
 			"column name %q is provided by both %s and %s; rename one side with AS (joined tables must not share referenced column names)",
 			name, prev, provider)}
 	}
-	pl.pipeRegs[name] = provider
+	regs[name] = provider
 	return nil
+}
+
+// addPipeReg claims one register name of the main probe pipeline.
+func (pl *planner) addPipeReg(name, provider string) error {
+	return claimReg(pl.pipeRegs, name, provider)
 }
 
 func (pl *planner) plan(stmt *Select) (*engine.Plan, error) {
@@ -555,15 +583,30 @@ func (pl *planner) bindSubquery(sub *Select, inExpr Expr, invert bool, at Expr) 
 			}
 		}
 		// Mixed, non-equality correlation: join residual over probe
-		// registers plus build columns loaded for the residual.
+		// registers plus build columns loaded for the residual. Outer
+		// columns referenced only here still need to reach the probe
+		// pipeline — note them as late references.
 		spec.residual = append(spec.residual, c)
+		var werr error
 		walk(c, func(x Expr) {
-			if cc, ok := x.(*Col); ok {
-				if owner, _ := spec.sc.resolve(cc); owner == bt {
-					spec.resPay[cc.Name] = true
-				}
+			cc, ok := x.(*Col)
+			if !ok || werr != nil {
+				return
+			}
+			owner, depth, err := spec.sc.resolveUp(cc)
+			if err != nil {
+				werr = err
+				return
+			}
+			if depth == 0 && owner == bt {
+				spec.resPay[cc.Name] = true
+			} else {
+				pl.note(owner, cc.Name, true)
 			}
 		})
+		if werr != nil {
+			return werr
+		}
 	}
 	if len(spec.probeKeys) == 0 {
 		return errAt(at, "EXISTS subqueries must be correlated through at least one equality with the outer query")
@@ -597,61 +640,39 @@ func (s *subJoinSpec) splitRefs(e Expr) (inner, outer bool, err error) {
 	return inner, outer, err
 }
 
-// orderJoins picks the probe root and a left-deep build order: the
-// largest relation drives the probe pipeline (morsel parallelism scales
-// with probe size) and each step builds a hash table over the smallest
-// not-yet-joined relation connected to the chain — the paper's setting
-// of small build sides feeding pipelined probes.
+// orderJoins picks the probe root and the join order cost-based: the
+// relation with the largest estimated *post-filter* cardinality drives
+// the probe pipeline (morsel parallelism scales with probe size), and
+// builds attach greedily by smallest estimated join output, so the most
+// selective dimensions filter the chain first. Relations that can only
+// reach the chain through their pick are folded into its build subtree
+// (bushy dimension subtrees, matching the hand-built TPC-H plans).
 func (pl *planner) orderJoins() ([]*joinStep, *baseTable, error) {
 	if len(pl.inner) == 1 {
 		return nil, pl.inner[0], nil
 	}
 	root := pl.inner[0]
 	for _, t := range pl.inner[1:] {
-		if t.rows() > root.rows() {
+		if pl.baseCard(t) > pl.baseCard(root) {
 			root = t
 		}
 	}
-	inChain := map[*baseTable]bool{root: true}
-	remaining := len(pl.inner) - 1
-	var steps []*joinStep
-	for remaining > 0 {
-		// A table is joinable when some unused equality has one side
-		// entirely on the table and the other entirely on the chain.
-		var pick *baseTable
-		for _, t := range pl.inner {
-			if inChain[t] {
-				continue
-			}
-			if pl.joinable(t, inChain) && (pick == nil || t.rows() < pick.rows()) {
-				pick = t
+	chain := map[*baseTable]bool{root: true}
+	avail := map[*baseTable]bool{}
+	for _, t := range pl.inner {
+		if t != root {
+			avail[t] = true
+		}
+	}
+	chainCard := pl.baseCard(root)
+	steps := pl.attach(chain, avail, &chainCard)
+	for _, t := range pl.inner {
+		if avail[t] {
+			return nil, nil, &ParseError{
+				Msg:  fmt.Sprintf("table %q is not connected to the rest of the query by any equality join predicate (cross joins are not supported)", t.alias),
+				Line: t.ref.Line, Col: t.ref.Col,
 			}
 		}
-		if pick == nil {
-			for _, t := range pl.inner {
-				if !inChain[t] {
-					return nil, nil, &ParseError{
-						Msg:  fmt.Sprintf("table %q is not connected to the rest of the query by any equality join predicate (cross joins are not supported)", t.alias),
-						Line: t.ref.Line, Col: t.ref.Col,
-					}
-				}
-			}
-		}
-		step := &joinStep{t: pick, kind: engine.JoinInner}
-		for _, e := range pl.edges {
-			if e.used {
-				continue
-			}
-			probe, build, ok := e.orient(pick, inChain)
-			if ok {
-				e.used = true
-				step.probeKeys = append(step.probeKeys, probe)
-				step.buildKeys = append(step.buildKeys, build)
-			}
-		}
-		steps = append(steps, step)
-		inChain[pick] = true
-		remaining--
 	}
 	// Equalities never consumed (both sides ended up inside the chain
 	// before either was a build) fall back to residual filters.
@@ -664,6 +685,138 @@ func (pl *planner) orderJoins() ([]*joinStep, *baseTable, error) {
 		}
 	}
 	return steps, root, nil
+}
+
+// attach greedily joins available relations into the chain whose current
+// estimated cardinality is *chainCard, consuming join edges and members
+// from avail. Each iteration considers every relation joinable to the
+// chain, estimates the join's output cardinality, and picks the smallest
+// (ties: smaller post-filter build, then FROM order — deterministic).
+// Before the pick becomes a build it recursively absorbs its dominated
+// dimension subtree. Used for the fact chain and, recursively, inside
+// each build subtree.
+func (pl *planner) attach(chain, avail map[*baseTable]bool, chainCard *float64) []*joinStep {
+	var steps []*joinStep
+	for {
+		var best *baseTable
+		var bestOut float64
+		for _, t := range pl.inner {
+			if !avail[t] || !pl.joinable(t, chain) {
+				continue
+			}
+			out := pl.candidateOut(*chainCard, t, chain)
+			if best == nil || out < bestOut ||
+				(out == bestOut && pl.baseCard(t) < pl.baseCard(best)) {
+				best, bestOut = t, out
+			}
+		}
+		if best == nil {
+			return steps
+		}
+		delete(avail, best)
+
+		// Bushy subtree: relations that can only reach the chain through
+		// best join below it, before the chain probes it.
+		subChain := map[*baseTable]bool{best: true}
+		subAvail := map[*baseTable]bool{}
+		for _, m := range pl.dominatedBy(best, chain, avail) {
+			delete(avail, m)
+			subAvail[m] = true
+		}
+		subCard := pl.baseCard(best)
+		subSteps := pl.attach(subChain, subAvail, &subCard)
+		for m := range subAvail {
+			avail[m] = true // not joinable below best; surface at the top level
+		}
+
+		step := &joinStep{tree: &buildTree{t: best, steps: subSteps, est: subCard}, kind: engine.JoinInner}
+		for _, e := range pl.edges {
+			if e.used {
+				continue
+			}
+			if probe, build, ok := e.orient(best, chain); ok {
+				e.used = true
+				step.probeKeys = append(step.probeKeys, probe)
+				step.buildKeys = append(step.buildKeys, build)
+			}
+		}
+		*chainCard = pl.joinCard(*chainCard, subCard, step.probeKeys, step.buildKeys, engine.JoinInner)
+		step.est = *chainCard
+		for m := range subChain {
+			chain[m] = true
+		}
+		steps = append(steps, step)
+	}
+}
+
+// candidateOut estimates the chain cardinality after joining t (using
+// t's post-filter cardinality; its subtree, if any, usually shrinks it
+// further, so this is a conservative ranking key).
+func (pl *planner) candidateOut(chainCard float64, t *baseTable, chain map[*baseTable]bool) float64 {
+	var pk, bk []Expr
+	for _, e := range pl.edges {
+		if e.used {
+			continue
+		}
+		if probe, build, ok := e.orient(t, chain); ok {
+			pk = append(pk, probe)
+			bk = append(bk, build)
+		}
+	}
+	return pl.joinCard(chainCard, pl.baseCard(t), pk, bk, engine.JoinInner)
+}
+
+// dominatedBy returns the available relations whose every join path to
+// the chain passes through t — t's dimension subtree. Computed as the
+// avail relations a chain-rooted reachability sweep cannot reach once t
+// is removed from the join graph.
+func (pl *planner) dominatedBy(t *baseTable, chain, avail map[*baseTable]bool) []*baseTable {
+	reach := map[*baseTable]bool{}
+	var queue []*baseTable
+	for c := range chain {
+		reach[c] = true
+		queue = append(queue, c)
+	}
+	edgeTables := func(e *edge) []*baseTable {
+		var ts []*baseTable
+		for x := range e.lt {
+			ts = append(ts, x)
+		}
+		for x := range e.rt {
+			ts = append(ts, x)
+		}
+		return ts
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range pl.edges {
+			ts := edgeTables(e)
+			touches := false
+			for _, x := range ts {
+				if x == cur {
+					touches = true
+					break
+				}
+			}
+			if !touches {
+				continue
+			}
+			for _, x := range ts {
+				if x != t && avail[x] && !reach[x] {
+					reach[x] = true
+					queue = append(queue, x)
+				}
+			}
+		}
+	}
+	var out []*baseTable
+	for _, x := range pl.inner {
+		if avail[x] && !reach[x] {
+			out = append(out, x)
+		}
+	}
+	return out
 }
 
 func (pl *planner) joinable(t *baseTable, inChain map[*baseTable]bool) bool {
@@ -751,7 +904,8 @@ func bindAll(bd *binder, preds []Expr) (*engine.Expr, error) {
 	return engine.And(out...), nil
 }
 
-// lowerScan emits the pruned, filtered scan of t.
+// lowerScan emits the pruned, filtered scan of t, annotated with its
+// estimated post-filter cardinality.
 func (pl *planner) lowerScan(ep *engine.Plan, t *baseTable, bd *binder) (*engine.Node, error) {
 	cols, err := pl.scanCols(t)
 	if err != nil {
@@ -765,43 +919,47 @@ func (pl *planner) lowerScan(ep *engine.Plan, t *baseTable, bd *binder) (*engine
 	if pred != nil {
 		n = n.Filter(pred)
 	}
-	return n, nil
+	return n.SetEst(pl.baseCard(t)), nil
 }
 
-// lowerChain lowers the probe root, the ordered inner joins, the
-// LEFT JOIN appendages, the subquery semi/anti joins, and the residual
-// filters.
-func (pl *planner) lowerChain(ep *engine.Plan, root *baseTable, steps []*joinStep) (*engine.Node, error) {
-	bd := &binder{sc: pl.sc}
-
-	// A probe key of a later join reads columns of earlier builds (or
-	// the root): note them as late references so those joins carry them
-	// as payload.
-	for _, st := range steps {
-		for _, k := range st.probeKeys {
-			if err := pl.noteRefs(k, true); err != nil {
-				return nil, err
-			}
-		}
+// treePayload lists the build columns a subtree's output must carry into
+// the probing pipeline: every late reference of every member.
+func (pl *planner) treePayload(tree *buildTree) []string {
+	var cols []string
+	for _, m := range tree.members(nil) {
+		cols = append(cols, pl.payloadCols(m, nil)...)
 	}
+	return cols
+}
 
-	pl.pipeRegs = map[string]string{}
-	rootCols, err := pl.scanCols(root)
+// lowerTree lowers one build subtree: the root's scan probing its nested
+// builds, with registers claimed in the subtree's private pipeline.
+func (pl *planner) lowerTree(ep *engine.Plan, tree *buildTree, bd *binder) (*engine.Node, error) {
+	n, err := pl.lowerScan(ep, tree.t, bd)
 	if err != nil {
 		return nil, err
 	}
-	for _, c := range rootCols {
-		if err := pl.addPipeReg(c, fmt.Sprintf("table %q", root.alias)); err != nil {
+	if len(tree.steps) == 0 {
+		return n, nil
+	}
+	regs := map[string]string{}
+	cols, err := pl.scanCols(tree.t)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cols {
+		if err := claimReg(regs, c, fmt.Sprintf("table %q", tree.t.alias)); err != nil {
 			return nil, err
 		}
 	}
+	return pl.lowerSteps(ep, n, tree.steps, regs, bd)
+}
 
-	n, err := pl.lowerScan(ep, root, bd)
-	if err != nil {
-		return nil, err
-	}
+// lowerSteps lowers an ordered list of join steps onto pipeline n, whose
+// register names live in regs.
+func (pl *planner) lowerSteps(ep *engine.Plan, n *engine.Node, steps []*joinStep, regs map[string]string, bd *binder) (*engine.Node, error) {
 	for _, st := range steps {
-		build, err := pl.lowerScan(ep, st.t, bd)
+		build, err := pl.lowerTree(ep, st.tree, bd)
 		if err != nil {
 			return nil, err
 		}
@@ -819,21 +977,93 @@ func (pl *planner) lowerChain(ep *engine.Plan, root *baseTable, steps []*joinSte
 				keyCols = append(keyCols, c.Name)
 			}
 		}
-		st.payload = pl.payloadCols(st.t, nil)
-		for _, c := range st.payload {
-			if err := pl.addPipeReg(c, fmt.Sprintf("table %q", st.t.alias)); err != nil {
+		payload := pl.treePayload(st.tree)
+		for _, c := range payload {
+			if err := claimReg(regs, c, fmt.Sprintf("table %q", st.tree.t.alias)); err != nil {
 				return nil, err
 			}
 		}
 		// Build-side selection refinement: a join that carries no
 		// payload and provably matches at most one build row per probe
-		// (its keys cover a declared unique key) is an existence test —
-		// run it as a semi join, halving hash-table traffic.
-		if len(st.payload) == 0 && st.t.t.HasUniqueKey(keyCols) {
+		// (its keys cover a bare build table's declared unique key) is an
+		// existence test — run it as a semi join, halving hash-table
+		// traffic.
+		if len(payload) == 0 && len(st.tree.steps) == 0 && st.tree.t.t.HasUniqueKey(keyCols) {
 			st.kind = engine.JoinSemi
 		}
-		n = n.HashJoin(build, st.kind, probe, bkeys, st.payload...)
+		n = n.HashJoin(build, st.kind, probe, bkeys, payload...).SetEst(st.est)
 	}
+	return n, nil
+}
+
+// lowerChain lowers the probe root, the ordered inner join steps (each
+// build side a bushy subtree), the LEFT JOIN appendages, the subquery
+// semi/anti joins, and the residual filters.
+func (pl *planner) lowerChain(ep *engine.Plan, root *baseTable, steps []*joinStep) (*engine.Node, error) {
+	bd := &binder{sc: pl.sc}
+
+	// A probe key column owned by the root of the pipeline that
+	// evaluates it comes straight from that root's scan; a key column
+	// owned by any other relation was delivered by an earlier build's
+	// payload and must be noted late so that join carries it. Keys of
+	// nested joins are scoped to their own subtree pipeline — marking
+	// them late globally would drag dead columns through every
+	// enclosing hash table. (Known residual: lateRefs is global, so a
+	// key owned by a non-root subtree member still rides one extra
+	// level, into the enclosing join's payload — only reachable with
+	// cross-edges between dominated dimensions.)
+	var noteKeys func(pipeRoot *baseTable, steps []*joinStep) error
+	noteKeys = func(pipeRoot *baseTable, steps []*joinStep) error {
+		for _, st := range steps {
+			for _, k := range st.probeKeys {
+				var werr error
+				walk(k, func(x Expr) {
+					if werr != nil {
+						return
+					}
+					if c, ok := x.(*Col); ok {
+						t, _, err := pl.sc.resolveUp(c)
+						if err != nil {
+							werr = err
+							return
+						}
+						pl.note(t, c.Name, t != pipeRoot)
+					}
+				})
+				if werr != nil {
+					return werr
+				}
+			}
+			if err := noteKeys(st.tree.t, st.tree.steps); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := noteKeys(root, steps); err != nil {
+		return nil, err
+	}
+
+	pl.pipeRegs = map[string]string{}
+	rootCols, err := pl.scanCols(root)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range rootCols {
+		if err := pl.addPipeReg(c, fmt.Sprintf("table %q", root.alias)); err != nil {
+			return nil, err
+		}
+	}
+
+	n, err := pl.lowerScan(ep, root, bd)
+	if err != nil {
+		return nil, err
+	}
+	n, err = pl.lowerSteps(ep, n, steps, pl.pipeRegs, bd)
+	if err != nil {
+		return nil, err
+	}
+	cur := n.Est()
 	for _, o := range pl.outers {
 		build, err := pl.lowerScan(ep, o.t, bd)
 		if err != nil {
@@ -855,20 +1085,25 @@ func (pl *planner) lowerChain(ep *engine.Plan, root *baseTable, steps []*joinSte
 				return nil, err
 			}
 		}
-		n = n.HashJoin(build, engine.JoinOuterProbe, probe, bkeys, payload...)
+		cur = pl.joinCard(cur, build.Est(), o.probeKeys, o.buildKeys, engine.JoinOuterProbe)
+		n = n.HashJoin(build, engine.JoinOuterProbe, probe, bkeys, payload...).SetEst(cur)
 	}
 	for _, s := range pl.subs {
 		n, err = pl.lowerSub(ep, n, s)
 		if err != nil {
 			return nil, err
 		}
+		cur = n.Est()
 	}
 	res, err := bindAll(bd, pl.residual)
 	if err != nil {
 		return nil, err
 	}
 	if res != nil {
-		n = n.Filter(res)
+		for range pl.residual {
+			cur *= selDefault
+		}
+		n = n.Filter(res).SetEst(max(cur, 1))
 	}
 	return n, nil
 }
@@ -912,6 +1147,8 @@ func (pl *planner) lowerSub(ep *engine.Plan, n *engine.Node, s *subJoinSpec) (*e
 	if pred != nil {
 		build = build.Filter(pred)
 	}
+	buildEst := estFilteredCard(s.t, s.local)
+	build.SetEst(buildEst)
 	outerBd := &binder{sc: pl.sc}
 	probe := make([]*engine.Expr, len(s.probeKeys))
 	bkeys := make([]*engine.Expr, len(s.buildKeys))
@@ -927,7 +1164,13 @@ func (pl *planner) lowerSub(ep *engine.Plan, n *engine.Node, s *subJoinSpec) (*e
 	if s.anti {
 		kind = engine.JoinAnti
 	}
-	n = n.HashJoin(build, kind, probe, bkeys)
+	est := pl.joinCardScoped(n.Est(), buildEst, s.probeKeys, s.buildKeys, s.sc, kind)
+	if len(s.residual) > 0 && !s.anti {
+		for range s.residual {
+			est = max(est*selDefault, 1)
+		}
+	}
+	n = n.HashJoin(build, kind, probe, bkeys).SetEst(est)
 	if len(s.residual) > 0 {
 		pay := make([]string, 0, len(s.resPay))
 		for c := range s.resPay {

@@ -30,7 +30,13 @@ func (pl *planner) finish(ep *engine.Plan, n *engine.Node, stmt *Select, items [
 	if err != nil {
 		return nil, err
 	}
-	n = n.Project(outputs...)
+	n = n.Project(outputs...).SetEst(n.Est())
+	if stmt.Distinct {
+		n, err = pl.lowerDistinct(n, outputs)
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	if len(stmt.OrderBy) == 0 {
 		if stmt.Limit > 0 {
@@ -86,6 +92,7 @@ func outputNames(items []SelectItem) ([]string, error) {
 // become mapped columns; bare columns pass through.
 func (pl *planner) lowerProjection(n *engine.Node, items []SelectItem, outputs []string) (*engine.Node, error) {
 	bd := &binder{sc: pl.sc}
+	est := n.Est()
 	for i, item := range items {
 		if c, ok := item.E.(*Col); ok && c.Name == outputs[i] {
 			continue // already in the pipeline under its own name
@@ -97,9 +104,23 @@ func (pl *planner) lowerProjection(n *engine.Node, items []SelectItem, outputs [
 		if err := pl.addPipeReg(outputs[i], fmt.Sprintf("select item %d", i+1)); err != nil {
 			return nil, err
 		}
-		n = n.Map(outputs[i], e)
+		n = n.Map(outputs[i], e).SetEst(est)
 	}
 	return n, nil
+}
+
+// lowerDistinct deduplicates the projected output through the group-by
+// machinery: every output column becomes a group key, a throwaway count
+// provides the required aggregate, and a final projection restores the
+// select-list schema.
+func (pl *planner) lowerDistinct(n *engine.Node, outputs []string) (*engine.Node, error) {
+	groups := make([]engine.NamedExpr, len(outputs))
+	for i, name := range outputs {
+		groups[i] = engine.N(name, engine.Col(name))
+	}
+	est := n.Est()
+	n = n.GroupBy(groups, []engine.AggDef{engine.Count("$distinct")}).SetEst(est)
+	return n.Project(outputs...).SetEst(est), nil
 }
 
 // lowerAggregate handles grouped queries: group keys and extracted
@@ -112,6 +133,7 @@ func (pl *planner) lowerAggregate(n *engine.Node, stmt *Select, items []SelectIt
 	// ---- group keys. A key may be a plain column, a select alias, or
 	// an expression (matched structurally against select items).
 	var groups []engine.NamedExpr
+	var groupASTs []Expr
 	for gi, g := range stmt.GroupBy {
 		if containsAgg(g) {
 			return nil, errAt(g, "aggregates are not allowed in GROUP BY")
@@ -153,6 +175,7 @@ func (pl *planner) lowerAggregate(n *engine.Node, stmt *Select, items []SelectIt
 			return nil, err
 		}
 		groups = append(groups, engine.N(gname, bound))
+		groupASTs = append(groupASTs, gexpr)
 		rewrite[astString(gexpr)] = gname
 		rewrite[astString(g)] = gname
 		rewrite[gname] = gname
@@ -213,7 +236,14 @@ func (pl *planner) lowerAggregate(n *engine.Node, stmt *Select, items []SelectIt
 		return nil, &ParseError{Msg: "GROUP BY without aggregates; add an aggregate or select the grouped columns only"}
 	}
 
-	n = n.GroupBy(groups, aggs)
+	// The grouped cardinality estimate: the product of the key NDVs,
+	// capped by the input (a group cannot be emptier than one row).
+	groupEst := 1.0
+	for _, g := range groupASTs {
+		groupEst *= pl.groupKeyNDV(g)
+	}
+	groupEst = min(groupEst, max(n.Est(), 1))
+	n = n.GroupBy(groups, aggs).SetEst(groupEst)
 
 	// GroupBy breaks the pipeline: from here on, the registers are the
 	// group keys and aggregate outputs.
@@ -239,7 +269,7 @@ func (pl *planner) lowerAggregate(n *engine.Node, stmt *Select, items []SelectIt
 				if err := pl.addPipeReg(outputs[i], fmt.Sprintf("select item %d", i+1)); err != nil {
 					return nil, err
 				}
-				n = n.Map(outputs[i], engine.Col(got))
+				n = n.Map(outputs[i], engine.Col(got)).SetEst(groupEst)
 				rewrite[outputs[i]] = outputs[i]
 			}
 			continue
@@ -254,7 +284,7 @@ func (pl *planner) lowerAggregate(n *engine.Node, stmt *Select, items []SelectIt
 		if err := pl.addPipeReg(outputs[i], fmt.Sprintf("select item %d", i+1)); err != nil {
 			return nil, err
 		}
-		n = n.Map(outputs[i], e)
+		n = n.Map(outputs[i], e).SetEst(groupEst)
 		rewrite[outputs[i]] = outputs[i]
 	}
 	if stmt.Having != nil {
@@ -265,7 +295,7 @@ func (pl *planner) lowerAggregate(n *engine.Node, stmt *Select, items []SelectIt
 		if err != nil {
 			return nil, err
 		}
-		n = n.Filter(h)
+		n = n.Filter(h).SetEst(max(groupEst*selDefault, 1))
 	}
 	return n, nil
 }

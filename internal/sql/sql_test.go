@@ -329,7 +329,34 @@ func TestErrorMessages(t *testing.T) {
 	expectErr(t, cat, `SELECT FROM emp`, "expected an expression")
 	expectErr(t, cat, `SELECT e.nope FROM emp AS e`, `unknown column "nope" in table "e"`)
 	expectErr(t, cat, `SELECT name FROM emp WHERE hired > DATE '20-01-01'`, "bad date literal")
-	expectErr(t, cat, `SELECT DISTINCT name FROM emp`, "DISTINCT is not supported")
+	expectErr(t, cat, `SELECT ? AS x FROM emp`, "cannot infer")
+	expectErr(t, cat, `SELECT id FROM emp WHERE ? = ?`, "both operands are placeholders")
+}
+
+// TestHavingBetweenOverAlias: BETWEEN over a select-list alias in
+// HAVING resolves through the post-aggregation rewrite scope (type
+// inference must not run when no placeholder is present).
+func TestHavingBetweenOverAlias(t *testing.T) {
+	cat := testCatalog()
+	res := run(t, cat, `SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept HAVING n BETWEEN 1 AND 100 ORDER BY dept`)
+	expectRows(t, res, true, "0 | 8", "1 | 8", "2 | 8", "3 | 8", "4 | 8")
+}
+
+func TestSelectDistinct(t *testing.T) {
+	cat := testCatalog()
+	// 8 distinct names cycle over 40 rows.
+	res := run(t, cat, `SELECT DISTINCT name FROM emp ORDER BY name`)
+	expectRows(t, res, true, "ada", "bob", "cyd", "dan", "eve", "fay", "gus", "hal")
+	// DISTINCT over a computed pair; dept cycles 0..4, parity alternates.
+	res = run(t, cat, `SELECT DISTINCT dept, dept * 2 AS d2 FROM emp WHERE dept < 2 ORDER BY dept`)
+	expectRows(t, res, true, "0 | 0", "1 | 2")
+	// DISTINCT over a join result.
+	res = run(t, cat, `SELECT DISTINCT region FROM emp, dept WHERE dept = did ORDER BY region`)
+	expectRows(t, res, true, "amer", "apac", "emea")
+	// DISTINCT applies after aggregation: 40 (dept, name) groups of one
+	// row each collapse to one (dept, 1) row per dept.
+	res = run(t, cat, `SELECT DISTINCT dept, COUNT(*) AS n FROM emp GROUP BY dept, name ORDER BY dept`)
+	expectRows(t, res, true, "0 | 1", "1 | 1", "2 | 1", "3 | 1", "4 | 1")
 }
 
 // TestDeepNestingIsAnErrorNotACrash guards the parser's recursion cap:

@@ -1,0 +1,185 @@
+package storage
+
+import (
+	"math"
+	"math/bits"
+)
+
+// TableStats is the optimizer-facing statistics summary of one table:
+// the total row count plus per-column min/max bounds and an estimated
+// number of distinct values (NDV, from a HyperLogLog sketch). Statistics
+// are computed once when a Builder finalizes the table and shared across
+// placement views — re-homing partitions moves pages, not values.
+type TableStats struct {
+	Rows int
+	cols map[string]*ColStats
+}
+
+// Col returns the statistics of the named column, or nil when the table
+// has no such column.
+func (s *TableStats) Col(name string) *ColStats {
+	if s == nil {
+		return nil
+	}
+	return s.cols[name]
+}
+
+// ColStats summarizes one column. The bounds matching the column's
+// physical type are populated: MinI/MaxI for I64 (including dates stored
+// as days since epoch), MinF/MaxF for F64, MinS/MaxS for Str.
+type ColStats struct {
+	Name string
+	Type ColType
+	// NDV is the estimated distinct-value count (>= 1 for non-empty
+	// columns). It comes from a 2^12-register HyperLogLog sketch, so it
+	// carries the usual ~1.6% standard error.
+	NDV        int64
+	MinI, MaxI int64
+	MinF, MaxF float64
+	MinS, MaxS string
+}
+
+// NumericRange returns the column's [lo, hi] bounds as floats for range
+// selectivity estimation. ok is false for string columns and for columns
+// with no rows.
+func (c *ColStats) NumericRange() (lo, hi float64, ok bool) {
+	if c == nil || c.NDV == 0 {
+		return 0, 0, false
+	}
+	switch c.Type {
+	case I64:
+		return float64(c.MinI), float64(c.MaxI), true
+	case F64:
+		return c.MinF, c.MaxF, true
+	default:
+		return 0, 0, false
+	}
+}
+
+// hllBits is the register-index width of the distinct sketch: 2^12
+// registers = 4 KiB per column while the table loads, standard error
+// 1.04/sqrt(4096) ~= 1.6%.
+const hllBits = 12
+
+// hll is a fixed-size HyperLogLog distinct counter.
+type hll struct {
+	regs [1 << hllBits]uint8
+}
+
+func (h *hll) add(hash uint64) {
+	idx := hash >> (64 - hllBits)
+	// Rank of the first set bit in the remaining 64-hllBits bits.
+	rest := hash<<hllBits | 1<<(hllBits-1) // sentinel keeps rank bounded
+	rank := uint8(bits.LeadingZeros64(rest)) + 1
+	if rank > h.regs[idx] {
+		h.regs[idx] = rank
+	}
+}
+
+// estimate returns the HLL cardinality estimate with the standard
+// small-range (linear counting) correction.
+func (h *hll) estimate() int64 {
+	const m = 1 << hllBits
+	alpha := 0.7213 / (1 + 1.079/m)
+	sum := 0.0
+	zeros := 0
+	for _, r := range h.regs {
+		sum += 1 / float64(uint64(1)<<r)
+		if r == 0 {
+			zeros++
+		}
+	}
+	e := alpha * m * m / sum
+	if e <= 2.5*m && zeros > 0 {
+		e = m * math.Log(float64(m)/float64(zeros))
+	}
+	if e < 0.5 {
+		return 0
+	}
+	return int64(e + 0.5)
+}
+
+// mix64 finalizes an integer key into a well-spread 64-bit hash
+// (splitmix64 finalizer).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashStr is FNV-1a finalized with mix64 (FNV alone avalanches poorly in
+// the high bits the sketch indexes by). Deterministic across processes so
+// stats — and the plans built from them — are reproducible.
+func hashStr(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return mix64(h)
+}
+
+// ComputeStats scans the table once and builds its statistics summary.
+// Builder.Build calls it automatically; Table.Stats computes lazily for
+// tables assembled by hand.
+func ComputeStats(t *Table) *TableStats {
+	st := &TableStats{Rows: t.Rows(), cols: make(map[string]*ColStats, len(t.Schema))}
+	for ci, def := range t.Schema {
+		cs := &ColStats{Name: def.Name, Type: def.Type}
+		sketch := &hll{}
+		seen := false
+		for _, part := range t.Parts {
+			col := part.Cols[ci]
+			switch def.Type {
+			case I64:
+				for _, v := range col.Ints {
+					if !seen {
+						cs.MinI, cs.MaxI = v, v
+						seen = true
+					} else if v < cs.MinI {
+						cs.MinI = v
+					} else if v > cs.MaxI {
+						cs.MaxI = v
+					}
+					sketch.add(mix64(uint64(v)))
+				}
+			case F64:
+				for _, v := range col.Flts {
+					if !seen {
+						cs.MinF, cs.MaxF = v, v
+						seen = true
+					} else if v < cs.MinF {
+						cs.MinF = v
+					} else if v > cs.MaxF {
+						cs.MaxF = v
+					}
+					sketch.add(mix64(math.Float64bits(v)))
+				}
+			default:
+				for _, v := range col.Strs {
+					if !seen {
+						cs.MinS, cs.MaxS = v, v
+						seen = true
+					} else if v < cs.MinS {
+						cs.MinS = v
+					} else if v > cs.MaxS {
+						cs.MaxS = v
+					}
+					sketch.add(hashStr(v))
+				}
+			}
+		}
+		cs.NDV = sketch.estimate()
+		if seen && cs.NDV < 1 {
+			cs.NDV = 1
+		}
+		if n := int64(st.Rows); cs.NDV > n {
+			cs.NDV = n
+		}
+		st.cols[def.Name] = cs
+	}
+	return st
+}

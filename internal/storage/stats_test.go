@@ -1,0 +1,86 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+)
+
+func statsTable(rows int) *Table {
+	b := NewBuilder("t", Schema{
+		{Name: "k", Type: I64},
+		{Name: "grp", Type: I64},
+		{Name: "amt", Type: F64},
+		{Name: "tag", Type: Str},
+	}, 8, "k")
+	for i := 0; i < rows; i++ {
+		b.Append(Row{int64(i), int64(i % 10), float64(i) / 2, fmt.Sprintf("tag-%03d", i%25)})
+	}
+	return b.Build(NUMAAware, 4)
+}
+
+func TestStatsBounds(t *testing.T) {
+	tab := statsTable(10_000)
+	st := tab.Stats()
+	if st.Rows != 10_000 {
+		t.Fatalf("rows %d", st.Rows)
+	}
+	k := st.Col("k")
+	if k.MinI != 0 || k.MaxI != 9999 {
+		t.Fatalf("k bounds [%d, %d]", k.MinI, k.MaxI)
+	}
+	amt := st.Col("amt")
+	if amt.MinF != 0 || amt.MaxF != float64(9999)/2 {
+		t.Fatalf("amt bounds [%g, %g]", amt.MinF, amt.MaxF)
+	}
+	tag := st.Col("tag")
+	if tag.MinS != "tag-000" || tag.MaxS != "tag-024" {
+		t.Fatalf("tag bounds [%q, %q]", tag.MinS, tag.MaxS)
+	}
+	if st.Col("nope") != nil {
+		t.Fatal("unknown column should have nil stats")
+	}
+}
+
+// TestStatsNDV checks the distinct sketch at small exact cardinalities
+// and within HLL error bounds at large ones.
+func TestStatsNDV(t *testing.T) {
+	tab := statsTable(10_000)
+	st := tab.Stats()
+	for col, want := range map[string]int64{"grp": 10, "tag": 25} {
+		got := st.Col(col).NDV
+		if got != want {
+			t.Fatalf("%s NDV = %d, want %d", col, got, want)
+		}
+	}
+	// k has 10k distinct values; HLL standard error is ~1.6%, allow 5%.
+	got := st.Col("k").NDV
+	if got < 9_500 || got > 10_500 {
+		t.Fatalf("k NDV = %d, want ~10000", got)
+	}
+	// NDV never exceeds the row count.
+	if got > int64(st.Rows) {
+		t.Fatalf("NDV %d > rows %d", got, st.Rows)
+	}
+}
+
+// TestStatsSharedAcrossPlacements asserts placement views reuse the
+// computed statistics rather than rescanning.
+func TestStatsSharedAcrossPlacements(t *testing.T) {
+	tab := statsTable(1_000)
+	view := tab.WithPlacement(Interleaved, 4)
+	if tab.Stats() != view.Stats() {
+		t.Fatal("placement view does not share stats")
+	}
+}
+
+func TestStatsEmptyTable(t *testing.T) {
+	b := NewBuilder("empty", Schema{{Name: "x", Type: I64}}, 2, "")
+	tab := b.Build(NUMAAware, 2)
+	st := tab.Stats()
+	if st.Rows != 0 || st.Col("x").NDV != 0 {
+		t.Fatalf("empty table stats: rows=%d ndv=%d", st.Rows, st.Col("x").NDV)
+	}
+	if _, _, ok := st.Col("x").NumericRange(); ok {
+		t.Fatal("empty column should report no numeric range")
+	}
+}

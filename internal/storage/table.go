@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"hash/maphash"
+	"sync"
 
 	"repro/internal/numa"
 )
@@ -47,6 +48,24 @@ type Table struct {
 	// empty when none is known. Optimizers use it to prove that a join
 	// against this table cannot duplicate probe rows.
 	Key []string
+
+	// stats is the optimizer statistics summary. Builder.Build fills it
+	// in; placement views share it. statsOnce guards lazy computation
+	// for tables assembled without a Builder.
+	stats     *TableStats
+	statsOnce sync.Once
+}
+
+// Stats returns the table's statistics (row count, per-column min/max
+// and NDV). Tables built through a Builder carry precomputed stats;
+// otherwise the first call computes them. Safe for concurrent use.
+func (t *Table) Stats() *TableStats {
+	t.statsOnce.Do(func() {
+		if t.stats == nil {
+			t.stats = ComputeStats(t)
+		}
+	})
+	return t.stats
 }
 
 // HasUniqueKey reports whether cols provably determine at most one row:
@@ -87,7 +106,7 @@ func (t *Table) Col(name string) int { return t.Schema.MustIndex(name) }
 // tags differ, exactly as re-running numactl with a different policy would
 // leave the bytes identical but move the pages.
 func (t *Table) WithPlacement(policy Placement, sockets int) *Table {
-	nt := &Table{Name: t.Name, Schema: t.Schema, Parts: make([]*Partition, len(t.Parts)), Key: t.Key}
+	nt := &Table{Name: t.Name, Schema: t.Schema, Parts: make([]*Partition, len(t.Parts)), Key: t.Key, stats: t.Stats()}
 	for i, p := range t.Parts {
 		np := &Partition{Worker: p.Worker, Cols: p.Cols}
 		switch policy {
@@ -201,8 +220,11 @@ func (b *Builder) Append(row Row) {
 	}
 }
 
-// Build finalizes the table with the given placement over `sockets` nodes.
+// Build finalizes the table with the given placement over `sockets`
+// nodes. Finalization computes the table's optimizer statistics (row
+// count, per-column min/max/NDV) in the same pass.
 func (b *Builder) Build(policy Placement, sockets int) *Table {
 	t := &Table{Name: b.name, Schema: b.schema, Parts: b.parts, Key: b.unique}
+	t.stats = ComputeStats(t)
 	return t.WithPlacement(policy, sockets)
 }

@@ -34,6 +34,15 @@ type result struct {
 	err     error
 }
 
+// defaultBatchExtras rotates the newer SQL surface through the batch
+// class in -sql mode against the demo schema: an uncorrelated scalar
+// subquery (k=1 cross-join attach), a NOT EXISTS anti join, and a LEFT
+// JOIN whose COUNT must not count null-extended rows (build-side mark
+// join when customers is the smaller side).
+const defaultBatchExtras = `SELECT region, COUNT(*) AS n FROM orders, customers WHERE cust = cid AND amount > (SELECT AVG(o2.amount) FROM orders AS o2) GROUP BY region ORDER BY region` +
+	`;SELECT COUNT(*) AS n FROM customers WHERE NOT EXISTS (SELECT * FROM orders WHERE cust = cid AND day < 3)` +
+	`;SELECT region, COUNT(id) AS n FROM customers LEFT JOIN orders ON cust = cid AND amount > 9900 GROUP BY region ORDER BY region`
+
 func main() {
 	var (
 		addr        = flag.String("addr", "http://localhost:8080", "morseld base URL")
@@ -45,6 +54,7 @@ func main() {
 		sqlMode     = flag.Bool("sql", false, "send SQL text instead of prepared plan names, exercising the parser -> optimizer -> execution path per request")
 		intSQL      = flag.String("interactive-sql", "SELECT COUNT(*) AS n FROM orders WHERE day < 7", "SQL for interactive clients (with -sql)")
 		batchSQL    = flag.String("batch-sql", "SELECT region, COUNT(*) AS n, SUM(amount) AS revenue FROM orders, customers WHERE cust = cid GROUP BY region ORDER BY revenue DESC", "SQL for batch clients (with -sql)")
+		batchExtras = flag.String("batch-extra-sql", defaultBatchExtras, "extra ;-separated SQL rotated across batch clients with -sql (empty disables); defaults exercise scalar subqueries, NOT EXISTS anti joins and LEFT JOIN count semantics")
 		preparedSQL = flag.Bool("prepared", false, "with -sql: send parameterized statements (? placeholders + rotating params) so requests hit the server's plan cache; verifies >90% hit rate and result parity with the unprepared path")
 		intPSQL     = flag.String("interactive-prepared-sql", "SELECT COUNT(*) AS n FROM orders WHERE day < ?", "parameterized SQL for interactive clients (with -sql -prepared)")
 		intParams   = flag.String("interactive-params", "[[7], [14], [30]]", "JSON array of param sets rotated across interactive requests")
@@ -128,6 +138,13 @@ func main() {
 				q = *batchSQL
 			}
 			add(q, nil)
+			if class == "batch" {
+				for _, extra := range strings.Split(*batchExtras, ";") {
+					if extra = strings.TrimSpace(extra); extra != "" {
+						add(extra, nil)
+					}
+				}
+			}
 		default:
 			q := *interactive
 			if class == "batch" {

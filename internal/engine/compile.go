@@ -186,7 +186,7 @@ func (n *Node) produce(c *compiler, f consumerFactory) []tailJob {
 		return c.produceAgg(n, f)
 	case nUnion:
 		var tails []tailJob
-		for _, ch := range n.children {
+		for _, ch := range c.orderUnionInputs(n.children) {
 			tails = append(tails, ch.produce(c, f)...)
 		}
 		return tails
@@ -283,5 +283,93 @@ func (s *Session) Compile(p *Plan) *Compiled {
 		p.root.produce(c, sink.factory)
 		cp.collect = sink.collect
 	}
+	if p.limit == LimitZero {
+		// LIMIT 0: the schema is produced, the rows are not.
+		inner := cp.collect
+		cp.collect = func() *Result {
+			r := inner()
+			r.rows = nil
+			return r
+		}
+	}
 	return cp
+}
+
+// orderUnionInputs reorders a union's inputs for compilation so that any
+// input containing an Unmatched scan compiles after the input containing
+// the JoinMark join it references — plan authors may list the branches
+// in either order. Result semantics are unaffected (union is a bag
+// union); only compile order changes.
+func (c *compiler) orderUnionInputs(children []*Node) []*Node {
+	type info struct {
+		node  *Node
+		joins map[*Node]bool // join nodes contained in this subtree
+		needs []*Node        // joins referenced by contained Unmatched scans
+	}
+	infos := make([]*info, len(children))
+	anyNeeds := false
+	for i, ch := range children {
+		in := &info{node: ch, joins: map[*Node]bool{}}
+		var visit func(n *Node)
+		visit = func(n *Node) {
+			if n == nil {
+				return
+			}
+			switch n.kind {
+			case nJoin:
+				in.joins[n] = true
+			case nUnmatched:
+				in.needs = append(in.needs, n.joinRef)
+			}
+			visit(n.child)
+			visit(n.build)
+			for _, sub := range n.children {
+				visit(sub)
+			}
+		}
+		visit(ch)
+		if len(in.needs) > 0 {
+			anyNeeds = true
+		}
+		infos[i] = in
+	}
+	if !anyNeeds {
+		return children
+	}
+	done := map[*Node]bool{}
+	for j := range c.joins {
+		done[j] = true // compiled before this union
+	}
+	out := make([]*Node, 0, len(children))
+	for len(infos) > 0 {
+		picked := -1
+		for i, in := range infos {
+			ok := true
+			for _, need := range in.needs {
+				if !done[need] && !in.joins[need] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				picked = i
+				break
+			}
+		}
+		if picked < 0 {
+			// Unsatisfiable (an Unmatched referencing a join outside the
+			// union): keep the remaining order and let produceUnmatched
+			// report it.
+			for _, in := range infos {
+				out = append(out, in.node)
+			}
+			break
+		}
+		out = append(out, infos[picked].node)
+		for j := range infos[picked].joins {
+			done[j] = true
+		}
+		infos = append(infos[:picked], infos[picked+1:]...)
+	}
+	return out
 }

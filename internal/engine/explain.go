@@ -142,9 +142,11 @@ func (p *Plan) Explain() string {
 			}
 		}
 		b.WriteByte(']')
-		if p.limit > 0 {
-			fmt.Fprintf(&b, " limit %d", p.limit)
-		}
+	}
+	if p.limit > 0 {
+		fmt.Fprintf(&b, " limit %d", p.limit)
+	} else if p.limit == LimitZero {
+		b.WriteString(" limit 0")
 	}
 	b.WriteByte('\n')
 	explainNode(&b, p.root, "", "")

@@ -180,6 +180,11 @@ func (n *Node) SetEst(rows float64) *Node {
 // was built without estimates).
 func (n *Node) Est() float64 { return n.estRows }
 
+// Schema returns the node's output schema. Plan builders layered above
+// the engine (the SQL front end's derived tables) use it to type nested
+// plan fragments.
+func (n *Node) Schema() []Reg { return n.out }
+
 // schemaResolver lets expressions be type-checked against a schema at
 // plan-build time by compiling them with a throwaway resolver.
 type schemaResolver []Reg
@@ -395,9 +400,15 @@ func (p *Plan) Return(n *Node) *Plan {
 	return p
 }
 
+// LimitZero is the ReturnSorted limit value for an explicit LIMIT 0:
+// the plan's schema is produced but no rows are returned. It is distinct
+// from 0, which (for compatibility with hand-built plans) means "no
+// limit".
+const LimitZero = -1
+
 // ReturnSorted sets the result node with a terminal ORDER BY and
-// optional LIMIT (0 = no limit), executed by the parallel sort operator
-// (§4.5).
+// optional LIMIT (0 = no limit, LimitZero = return no rows), executed
+// by the parallel sort operator (§4.5).
 func (p *Plan) ReturnSorted(n *Node, limit int, keys ...SortKey) *Plan {
 	for _, k := range keys {
 		schemaResolver(n.out).resolve(k.Name)

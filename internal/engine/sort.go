@@ -40,11 +40,28 @@ func (rt *sortRuntime) compare(a, b []Val) int {
 				c = 1
 			}
 		case TFloat:
+			af, bf := a[k].F, b[k].F
 			switch {
-			case a[k].F < b[k].F:
+			case af < bf:
 				c = -1
-			case a[k].F > b[k].F:
+			case af > bf:
 				c = 1
+			case af != bf:
+				// At least one NaN (NaN is the only value unequal to
+				// itself). NaN compares false under < and >, which would
+				// make it "equal" to everything — breaking the strict
+				// weak ordering the separator-based parallel merge relies
+				// on. Order NaNs after every number, regardless of
+				// ASC/DESC, so ranges stay disjoint and deterministic.
+				aN, bN := math.IsNaN(af), math.IsNaN(bf)
+				switch {
+				case aN && bN:
+					c = 0 // both NaN: tie, fall through to the next key
+				case aN:
+					return 1
+				default:
+					return -1
+				}
 			}
 		default:
 			switch {

@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// ---- NaN ordering: the float comparator must impose a strict weak
+// ordering even when NaNs appear (NaN < x and NaN > x are both false,
+// which would make NaN "equal" to everything and leave separator-based
+// range merges nondeterministic). NaNs sort after all numbers, in both
+// ASC and DESC.
+
+// TestQuickSortCompareStrictWeakOrder property-checks the comparator on
+// random values with a high NaN density: antisymmetry, transitivity, and
+// NaN-last.
+func TestQuickSortCompareStrictWeakOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, desc := range []bool{false, true} {
+		rt := &sortRuntime{
+			schema: []Reg{{Name: "f", Type: TFloat}, {Name: "i", Type: TInt}},
+			keyIdx: []int{0, 1},
+			desc:   []bool{desc, false},
+		}
+		genVal := func() []Val {
+			f := math.NaN()
+			if rng.Intn(3) > 0 {
+				f = float64(rng.Intn(5))
+			}
+			return []Val{{F: f}, {I: int64(rng.Intn(3))}}
+		}
+		var vals [][]Val
+		for i := 0; i < 60; i++ {
+			vals = append(vals, genVal())
+		}
+		for _, a := range vals {
+			if c := rt.compare(a, a); c != 0 {
+				t.Fatalf("compare(a,a) = %d", c)
+			}
+			for _, b := range vals {
+				ab, ba := rt.compare(a, b), rt.compare(b, a)
+				if ab != -ba {
+					t.Fatalf("antisymmetry violated: compare(a,b)=%d compare(b,a)=%d a=%v b=%v", ab, ba, a, b)
+				}
+				if math.IsNaN(a[0].F) && !math.IsNaN(b[0].F) && ab <= 0 {
+					t.Fatalf("NaN must sort last (desc=%v): compare=%d", desc, ab)
+				}
+				for _, c := range vals {
+					if ab <= 0 && rt.compare(b, c) <= 0 && rt.compare(a, c) > 0 {
+						t.Fatalf("transitivity violated: a=%v b=%v c=%v", a, b, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// nanTable builds a table whose float column holds NaNs among regular
+// values.
+func nanTable(n int, seed int64) *storage.Table {
+	rng := rand.New(rand.NewSource(seed))
+	b := storage.NewBuilder("nan", storage.Schema{
+		{Name: "id", Type: storage.I64},
+		{Name: "v", Type: storage.F64},
+	}, 8, "id")
+	for i := 0; i < n; i++ {
+		v := math.NaN()
+		if rng.Intn(4) > 0 {
+			v = float64(rng.Intn(50))
+		}
+		b.Append(storage.Row{int64(i), v})
+	}
+	return b.Build(storage.NUMAAware, 4)
+}
+
+// TestSortWithNaNsDeterministic runs a parallel full sort over NaN-laden
+// data with several worker counts and morsel sizes: every run must
+// produce the same row order (modulo ties on equal keys, which the id
+// tiebreak removes), with all NaNs at the end.
+func TestSortWithNaNsDeterministic(t *testing.T) {
+	table := nanTable(4000, 9)
+	build := func(workers, morsel int, desc bool) []string {
+		s := newTestSession(Sim)
+		s.Dispatch.Workers = workers
+		s.Dispatch.MorselRows = morsel
+		p := NewPlan("nansort")
+		key := Asc("v")
+		if desc {
+			key = Desc("v")
+		}
+		p.ReturnSorted(p.Scan(table, "id", "v"), 0, key, Asc("id"))
+		res, _ := s.Run(p)
+		return rowsToStrings(res)
+	}
+	for _, desc := range []bool{false, true} {
+		ref := build(8, 500, desc)
+		if len(ref) != 4000 {
+			t.Fatalf("lost rows: %d", len(ref))
+		}
+		for _, cfg := range []struct{ w, m int }{{2, 37}, {16, 101}, {5, 1000}} {
+			got := build(cfg.w, cfg.m, desc)
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("desc=%v workers=%d morsel=%d: row %d differs: %q vs %q",
+						desc, cfg.w, cfg.m, i, got[i], ref[i])
+				}
+			}
+		}
+		// NaNs sort last in both directions.
+		res := buildNaNResult(t, table, desc)
+		seenNaN := false
+		for _, row := range res {
+			if math.IsNaN(row[1].F) {
+				seenNaN = true
+			} else if seenNaN {
+				t.Fatalf("number after NaN (desc=%v)", desc)
+			}
+		}
+		if !seenNaN {
+			t.Fatal("test data held no NaNs")
+		}
+	}
+}
+
+func buildNaNResult(t *testing.T, table *storage.Table, desc bool) [][]Val {
+	t.Helper()
+	s := newTestSession(Sim)
+	p := NewPlan("nansort")
+	key := Asc("v")
+	if desc {
+		key = Desc("v")
+	}
+	p.ReturnSorted(p.Scan(table, "id", "v"), 0, key)
+	res, _ := s.Run(p)
+	return res.Rows()
+}

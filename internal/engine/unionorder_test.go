@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// markCountPlan is the Q13 shape: a mark join counting matches per build
+// key plus an Unmatched scan for keys with none. unmatchedFirst lists
+// the union inputs with the Unmatched branch ahead of the branch that
+// contains its join — the compiler must reorder inputs so the join
+// compiles first instead of panicking.
+func markCountPlan(orders, cust *storage.Table, unmatchedFirst bool) *Plan {
+	p := NewPlan("markcount")
+	build := p.Scan(cust, "c_id")
+	join := p.Scan(orders, "o_cust").
+		HashJoin(build, JoinMark, []*Expr{Col("o_cust")}, []*Expr{Col("c_id")}, "c_id")
+	matched := join.Map("one", ConstI(1)).
+		GroupBy([]NamedExpr{N("ck", Col("c_id"))}, []AggDef{Sum("n", Col("one"))})
+	unmatched := p.Unmatched(join, "c_id").Map("one", ConstI(0)).
+		GroupBy([]NamedExpr{N("ck", Col("c_id"))}, []AggDef{Sum("n", Col("one"))})
+	inputs := []*Node{matched, unmatched}
+	if unmatchedFirst {
+		inputs = []*Node{unmatched, matched}
+	}
+	p.ReturnSorted(p.Union(inputs...), 0, Asc("ck"))
+	return p
+}
+
+// TestUnionCompilesUnmatchedAfterJoin: listing the Unmatched branch
+// before the branch containing its mark join used to panic ("Unmatched
+// compiled before its join"); the compiler now orders union inputs by
+// dependency, and both orders produce identical results.
+func TestUnionCompilesUnmatchedAfterJoin(t *testing.T) {
+	// ordersTable draws o_cust from [0, 60]; 100 customers leave some
+	// unmatched, so the Unmatched branch contributes rows.
+	orders := ordersTable(600, 3)
+	cust := custTable(100)
+
+	s := newTestSession(Sim)
+	want, _ := s.Run(markCountPlan(orders, cust, false))
+	got, _ := s.Run(markCountPlan(orders, cust, true))
+	w, g := rowsToStrings(want), rowsToStrings(got)
+	if len(w) != 100 || len(g) != len(w) {
+		t.Fatalf("row counts: want 100/%d, got %d", len(w), len(g))
+	}
+	for i := range w {
+		if w[i] != g[i] {
+			t.Fatalf("row %d differs: %q vs %q", i, w[i], g[i])
+		}
+	}
+	if !strings.Contains(markCountPlan(orders, cust, true).Explain(), "union") {
+		t.Fatal("expected a union in the plan")
+	}
+}
+
+// TestLimitZeroPlan: engine.LimitZero returns the schema and no rows,
+// with and without sort keys, and renders as "limit 0" in Explain.
+func TestLimitZeroPlan(t *testing.T) {
+	table := ordersTable(500, 5)
+	s := newTestSession(Sim)
+
+	p := NewPlan("lz-sorted")
+	p.ReturnSorted(p.Scan(table, "o_id", "o_amount"), LimitZero, Asc("o_amount"))
+	if !strings.Contains(p.Explain(), "limit 0") {
+		t.Fatalf("explain should show limit 0:\n%s", p.Explain())
+	}
+	res, _ := s.Run(p)
+	if res.NumRows() != 0 || len(res.Schema) != 2 {
+		t.Fatalf("sorted LIMIT 0: %d rows, schema %v", res.NumRows(), res.Schema)
+	}
+
+	p2 := NewPlan("lz-plain")
+	p2.ReturnSorted(p2.Scan(table, "o_id"), LimitZero)
+	res2, _ := s.Run(p2)
+	if res2.NumRows() != 0 || len(res2.Schema) != 1 {
+		t.Fatalf("plain LIMIT 0: %d rows, schema %v", res2.NumRows(), res2.Schema)
+	}
+}

@@ -31,6 +31,8 @@ func newTPCHServer(t *testing.T) (*Server, *tpch.DB) {
 	s.Prepare("q1", tpch.QueryPlan(1, db))
 	s.Prepare("q3", tpch.QueryPlan(3, db))
 	s.Prepare("q6", tpch.QueryPlan(6, db))
+	s.Prepare("q13", tpch.QueryPlan(13, db))
+	s.Prepare("q22", tpch.QueryPlan(22, db))
 	t.Cleanup(s.Close)
 	return s, db
 }
@@ -118,6 +120,11 @@ func TestSQLMatchesHandBuiltThroughServer(t *testing.T) {
 		{"q1", serverSQLQ1},
 		{"q3", serverSQLQ3},
 		{"q6", serverSQLQ6},
+		// Q13 (derived table + build-side mark outer join) and Q22
+		// (scalar subquery + NOT EXISTS anti join) exercise the new SQL
+		// surface through the shared server path.
+		{"q13", tpch.MustSQLText(13, 1)},
+		{"q22", tpch.MustSQLText(22, 1)},
 	} {
 		got, err := s.Submit(ctx, &Request{SQL: tc.query})
 		if err != nil {

@@ -13,7 +13,8 @@ type Select struct {
 	GroupBy  []Expr
 	Having   Expr
 	OrderBy  []OrderKey
-	Limit    int // 0 = none
+	Limit    int  // meaningful only when HasLimit (may be 0: LIMIT 0)
+	HasLimit bool // an explicit LIMIT clause was written
 	// NParams is the number of ? placeholders in the whole statement
 	// (subqueries included); set on the top-level Select by Parse.
 	NParams int
@@ -28,13 +29,17 @@ type SelectItem struct {
 // FromTable is one relation of the FROM clause. JoinKind records how it
 // attaches to the preceding tables: "" for comma-listed (implicit inner
 // via WHERE), "inner" for JOIN ... ON, "left" for LEFT [OUTER] JOIN.
+// A derived table — FROM (SELECT ...) AS alias [(col, ...)] — carries
+// its subquery in Sub (Name is then empty).
 type FromTable struct {
-	Name  string
-	Alias string
-	Join  string // "", "inner", "left"
-	On    Expr   // nil for comma-listed tables
-	Line  int
-	Col   int
+	Name       string
+	Alias      string
+	Join       string  // "", "inner", "left"
+	On         Expr    // nil for comma-listed tables
+	Sub        *Select // derived table body, nil for base tables
+	ColAliases []string
+	Line       int
+	Col        int
 }
 
 // OrderKey is one ORDER BY key.
@@ -163,6 +168,15 @@ type Exists struct {
 	position
 	Sub    *Select
 	Invert bool
+}
+
+// SubqueryExpr is a scalar subquery — (SELECT agg ...) used as a value.
+// ID is a parse-order ordinal making each occurrence structurally
+// distinct (the planner keys its lowering rewrites on it).
+type SubqueryExpr struct {
+	position
+	Sub *Select
+	ID  int
 }
 
 // Param is a ? placeholder of a prepared statement. N is the 1-based

@@ -12,12 +12,17 @@ import (
 // registered-table lookup; tests pass closures over generated databases.
 type Catalog func(name string) (*storage.Table, bool)
 
-// baseTable is one bound FROM relation.
+// baseTable is one bound FROM relation. A derived table — FROM
+// (SELECT ...) AS alias — binds against a schema-only pseudo table and
+// carries its pre-lowered plan fragment in derived.
 type baseTable struct {
 	ref   FromTable
 	t     *storage.Table
 	alias string // reference name: alias if given, else table name
 	cols  map[string]int
+
+	derived    *engine.Node // lowered subquery output, nil for base tables
+	derivedEst float64      // its estimated cardinality
 }
 
 func (b *baseTable) rows() int { return b.t.Rows() }
@@ -148,6 +153,8 @@ func walk(e Expr, f func(Expr)) {
 		}
 	case *InSelect:
 		walk(x.E, f)
+	case *SubqueryExpr:
+		// The body has its own scope; the node itself was visited above.
 	case *LikeExpr:
 		walk(x.E, f)
 	case *Case:
@@ -247,6 +254,11 @@ func astFormat(b *strings.Builder, e Expr) {
 		b.WriteString(" end")
 	case *Exists:
 		b.WriteString("exists (select ...)")
+	case *SubqueryExpr:
+		// Each scalar subquery occurrence is its own equivalence class:
+		// the planner rewrites it (by this key) to the register its
+		// lowered join delivers.
+		fmt.Fprintf(b, "$scalar%d", x.ID)
 	case *Param:
 		fmt.Fprintf(b, "?%d", x.N)
 	case *Call:
@@ -480,6 +492,8 @@ func (bd *binder) bind(e Expr) (*engine.Expr, error) {
 		return bd.bindCall(x)
 	case *Exists, *InSelect:
 		return nil, errAt(e, "EXISTS / IN (SELECT ...) is only supported as a top-level WHERE conjunct")
+	case *SubqueryExpr:
+		return nil, errAt(e, "a scalar subquery is not supported in this position (use it in the select list, WHERE or HAVING)")
 	}
 	return nil, errAt(e, "unsupported expression")
 }
@@ -602,6 +616,8 @@ func (bd *binder) inferType(e Expr) (engine.Type, error) {
 		}
 	case *Not, *Between, *InList, *InSelect, *LikeExpr, *Exists:
 		return engine.TInt, nil
+	case *SubqueryExpr:
+		return 0, errAt(e, "cannot infer a parameter type from a scalar subquery; compare the parameter against a column")
 	case *Case:
 		if len(x.Whens) > 0 {
 			if _, ok := x.Whens[0].Then.(*Param); !ok {

@@ -46,6 +46,11 @@ func (pl *planner) baseCard(t *baseTable) float64 {
 // build scans carry their own).
 func estFilteredCard(t *baseTable, preds []Expr) float64 {
 	card := float64(t.rows())
+	if t.derived != nil {
+		// A derived table's base cardinality is its subquery's estimate
+		// (the pseudo table holds no rows).
+		card = max(t.derivedEst, 1)
+	}
 	for _, p := range preds {
 		card *= predSel(t, p)
 	}
@@ -258,17 +263,24 @@ func (pl *planner) joinCard(probeCard, buildCard float64, probeKeys, buildKeys [
 
 func (pl *planner) joinCardScoped(probeCard, buildCard float64, probeKeys, buildKeys []Expr, buildSc *scope, kind engine.JoinKind) float64 {
 	sel := 1.0
+	matchFrac := 1.0
 	for i := range probeKeys {
 		np := keyNDV(pl.sc, probeKeys[i], probeCard)
 		nb := keyNDV(buildSc, buildKeys[i], buildCard)
 		sel /= max(max(np, nb), 1)
+		// Fraction of probe key values present on the build side, under
+		// containment: the smaller key domain is a subset of the larger.
+		matchFrac *= min(np, nb) / max(np, 1)
 	}
 	out := probeCard * buildCard * sel
 	switch kind {
 	case engine.JoinSemi:
 		out = min(out, probeCard)
 	case engine.JoinAnti:
-		out = probeCard - min(out, probeCard)
+		// The pair-count bound would say "everything matches" whenever
+		// the build side is large; the NDV ratio keeps the estimate
+		// meaningful (Q22: the third of customers without orders).
+		out = probeCard * (1 - min(matchFrac, 1))
 	case engine.JoinOuterProbe:
 		out = max(out, probeCard)
 	}
@@ -276,6 +288,19 @@ func (pl *planner) joinCardScoped(probeCard, buildCard float64, probeKeys, build
 		out = 1
 	}
 	return out
+}
+
+// markUnmatchedEst estimates the Unmatched scan of a build-side outer
+// join: the preserved rows whose key value never occurs on the probing
+// (nullable) side, via the same NDV containment ratio.
+func (pl *planner) markUnmatchedEst(chainEst, probeCard float64, probeKeys, buildKeys []Expr) float64 {
+	frac := 1.0
+	for i := range probeKeys {
+		np := keyNDV(pl.sc, probeKeys[i], probeCard) // nullable side keys
+		nb := keyNDV(pl.sc, buildKeys[i], chainEst)  // preserved side keys
+		frac *= min(np, nb) / max(nb, 1)
+	}
+	return max(chainEst*(1-min(frac, 1)), 1)
 }
 
 // groupKeyNDV estimates the distinct count of one GROUP BY key: sketch

@@ -24,8 +24,24 @@ func FuzzParse(f *testing.F) {
 		"SELECT -salary * 2 + 1 AS x FROM emp ORDER BY x",
 		"SELECT e.name, d.dname FROM emp AS e, dept AS d WHERE e.dept = d.did",
 		"select sum(salary * (1 - 0.5)) as s from emp where not (id = 3 or id = 4)",
+		// Scalar subqueries: uncorrelated (k=1 cross join), correlated
+		// (decorrelated through grouping), nested parens, HAVING usage.
+		"SELECT COUNT(*) AS n FROM emp WHERE salary > (SELECT AVG(salary) FROM emp AS e2)",
+		"SELECT id FROM emp WHERE salary > (SELECT AVG(e2.salary) FROM emp AS e2 WHERE e2.dept = emp.dept) ORDER BY id",
+		"SELECT COUNT(*) AS n FROM emp WHERE id > ((SELECT MIN(id) FROM emp AS e2))",
+		"SELECT dept, SUM(salary) AS s FROM emp GROUP BY dept HAVING s > (SELECT SUM(salary) * 0.25 FROM emp AS e2) ORDER BY s DESC",
+		"SELECT id, (SELECT MAX(e2.salary) FROM emp AS e2) AS top FROM emp ORDER BY id",
+		// Build-side outer joins and COUNT over nullable columns.
+		"SELECT dname, COUNT(id) AS n FROM dept LEFT JOIN emp ON dept = did AND salary > 1300 GROUP BY dname ORDER BY dname",
+		"SELECT dname, COUNT(*) AS n FROM dept LEFT OUTER JOIN emp ON dept = did GROUP BY dname ORDER BY n DESC",
+		// NOT EXISTS anti joins and derived tables.
+		"SELECT COUNT(*) AS n FROM dept WHERE NOT EXISTS (SELECT * FROM emp WHERE dept = did AND salary > 1450)",
+		"SELECT c, COUNT(*) AS k FROM (SELECT dept, COUNT(*) AS c FROM emp GROUP BY dept) AS t (d, c) GROUP BY c ORDER BY k DESC, c",
+		"SELECT id FROM emp ORDER BY id LIMIT 0",
+		"SELECT id FROM emp LIMIT 0",
 		"SELECT '", "SELECT", "(", "SELECT * FROM emp WHERE ((id",
 		"SELECT 1e FROM emp", "SELECT id FROM emp GROUP BY",
+		"SELECT id FROM emp WHERE x > (SELECT", "SELECT a FROM (SELECT",
 	}
 	for _, s := range seeds {
 		f.Add(s)

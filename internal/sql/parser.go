@@ -48,6 +48,7 @@ type parser struct {
 	i       int
 	depth   int
 	nparams int // ? placeholders seen, in lexical order
+	nsubs   int // scalar subqueries seen, in lexical order
 }
 
 // enter guards one level of expression recursion; pair with leave.
@@ -251,16 +252,20 @@ func (p *parser) parseSelect() (*Select, error) {
 	}
 	if p.eatKw("LIMIT") {
 		t := p.cur()
-		if t.kind != tInt || t.i <= 0 {
-			return nil, p.errf("expected a positive integer after LIMIT, got %s", t.describe())
+		if t.kind != tInt || t.i < 0 {
+			return nil, p.errf("expected a non-negative integer after LIMIT, got %s", t.describe())
 		}
 		stmt.Limit = int(p.next().i)
+		stmt.HasLimit = true
 	}
 	return stmt, nil
 }
 
 func (p *parser) parseTableRef(join string) (FromTable, error) {
 	t := p.cur()
+	if t.kind == tSymbol && t.text == "(" {
+		return p.parseDerivedTable(join)
+	}
 	if t.kind != tIdent {
 		return FromTable{}, p.errf("expected table name, got %s", t.describe())
 	}
@@ -274,6 +279,51 @@ func (p *parser) parseTableRef(join string) (FromTable, error) {
 		ft.Alias = strings.ToLower(p.next().text)
 	} else if a := p.cur(); a.kind == tIdent && !reservedAfterTable[strings.ToUpper(a.text)] {
 		ft.Alias = strings.ToLower(p.next().text)
+	}
+	return ft, nil
+}
+
+// parseDerivedTable parses FROM ( SELECT ... ) AS alias [(col, ...)].
+func (p *parser) parseDerivedTable(join string) (FromTable, error) {
+	t := p.cur()
+	p.next() // (
+	if !p.kw("SELECT") {
+		return FromTable{}, p.errf("expected SELECT after \"(\" in FROM, got %s", p.cur().describe())
+	}
+	// Nested selects recurse through the whole expression grammar: guard
+	// the depth like any other nesting.
+	if err := p.enter(); err != nil {
+		return FromTable{}, err
+	}
+	sub, err := p.parseSelect()
+	p.leave()
+	if err != nil {
+		return FromTable{}, err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return FromTable{}, err
+	}
+	ft := FromTable{Sub: sub, Join: join, Line: t.line, Col: t.col}
+	p.eatKw("AS")
+	a := p.cur()
+	if a.kind != tIdent || reservedAfterTable[strings.ToUpper(a.text)] {
+		return FromTable{}, p.errf("derived table needs an alias: FROM (SELECT ...) AS name, got %s", a.describe())
+	}
+	ft.Alias = strings.ToLower(p.next().text)
+	if p.eatSymbol("(") {
+		for {
+			c := p.cur()
+			if c.kind != tIdent {
+				return FromTable{}, p.errf("expected a column alias, got %s", c.describe())
+			}
+			ft.ColAliases = append(ft.ColAliases, strings.ToLower(p.next().text))
+			if !p.eatSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return FromTable{}, err
+		}
 	}
 	return ft, nil
 }
@@ -512,7 +562,22 @@ func (p *parser) parsePrimary() (Expr, error) {
 		if t.text == "(" {
 			p.next()
 			if p.kw("SELECT") {
-				return nil, p.errf("scalar subqueries are not supported; use EXISTS or IN (SELECT ...)")
+				// Scalar subquery: (SELECT agg ...) used as a value. The
+				// nested select's expressions recurse through the shared
+				// depth guard.
+				if err := p.enter(); err != nil {
+					return nil, err
+				}
+				sub, err := p.parseSelect()
+				p.leave()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				p.nsubs++
+				return &SubqueryExpr{position: pos, Sub: sub, ID: p.nsubs}, nil
 			}
 			e, err := p.parseExpr()
 			if err != nil {

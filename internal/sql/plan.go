@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/engine"
+	"repro/internal/storage"
 )
 
 // Compile parses, binds, optimizes and lowers one SELECT statement into
@@ -34,9 +35,14 @@ func PlanSelect(stmt *Select, name string, cat Catalog) (p *engine.Plan, err err
 			p, err = nil, fmt.Errorf("sql: invalid query: %v", r)
 		}
 	}()
-	pl := &planner{cat: cat, name: name}
+	pl := &planner{cat: cat, name: name, ep: engine.NewPlan(name)}
 	return pl.plan(stmt)
 }
+
+// maxSubDepth bounds planner recursion through scalar subqueries and
+// derived tables (the parser's expression-depth guard bounds the same
+// nesting syntactically; this is the semantic backstop).
+const maxSubDepth = 16
 
 // buildTree is the build side of one hash join: a relation's (filtered,
 // pruned) scan, optionally probing nested builds of its own — the bushy
@@ -79,11 +85,33 @@ type subJoinSpec struct {
 	sc        *scope // sub scope (build table + outer)
 }
 
-// outerSpec is a LEFT OUTER JOIN appendage.
+// outerSpec is a LEFT OUTER JOIN appendage. The preserved side is the
+// main chain; t is the nullable side. flag, when set, names a register
+// that is 1 on matched rows and 0 on null-extended ones — COUNT over a
+// column of t lowers to SUM(flag), reproducing SQL's count-non-NULL
+// semantics in an engine without NULLs.
 type outerSpec struct {
 	t         *baseTable
 	probeKeys []Expr
 	buildKeys []Expr
+	flag      string
+}
+
+// scalarSpec is one scalar subquery lowered to a build-side plan
+// fragment: uncorrelated subqueries join through the k=1 cross-join
+// trick (both sides gain a constant key), correlated ones group the
+// subquery by its correlation columns and join on them. The delivered
+// value lands in register outName.
+type scalarSpec struct {
+	at        *SubqueryExpr
+	node      *engine.Node // lowered subquery (build side)
+	outName   string       // register delivering the scalar value
+	probeKeys []Expr       // outer correlation exprs (empty = uncorrelated)
+	buildKeys []string     // inner group-key registers, parallel to probeKeys
+	// countLike marks a bare COUNT subquery: its value on unmatched
+	// probe rows is 0 (not NULL), so the attach join must preserve those
+	// rows and zero-fill — engine.JoinOuterProbe does exactly that.
+	countLike bool
 }
 
 // edge is one equality conjunct usable as a hash-join key pair.
@@ -97,6 +125,11 @@ type edge struct {
 type planner struct {
 	cat  Catalog
 	name string
+	// ep is the engine plan every lowered fragment lands in. Nested
+	// planners (scalar subqueries, derived tables) share the enclosing
+	// plan, so their pipelines schedule like any other build side.
+	ep       *engine.Plan
+	subDepth int
 
 	sc     *scope
 	inner  []*baseTable // join-graph relations (comma / INNER JOIN)
@@ -106,6 +139,20 @@ type planner struct {
 	edges    []*edge
 	residual []Expr
 	subs     []*subJoinSpec
+
+	// Scalar subqueries: scalars attach to the probe chain before
+	// aggregation, postScalars after it (HAVING / select-list uses in
+	// grouped queries). scalarRegs rewrites each occurrence to the
+	// register its join delivers; scalarConjs are WHERE conjuncts
+	// containing scalar subqueries, filtered after the attach joins.
+	scalars     []*scalarSpec
+	postScalars []*scalarSpec
+	scalarRegs  map[string]string
+	scalarConjs []Expr
+
+	// countFlags maps astString(COUNT(col)) over a LEFT JOIN's nullable
+	// column to the outer join's match-flag register.
+	countFlags map[string]string
 
 	// allRefs collects every referenced column per table: the pruned
 	// scan list. lateRefs collects references occurring above the join
@@ -142,17 +189,32 @@ func (pl *planner) addPipeReg(name, provider string) error {
 	return claimReg(pl.pipeRegs, name, provider)
 }
 
+// plan lowers a complete top-level statement, including its terminal
+// ORDER BY / LIMIT.
 func (pl *planner) plan(stmt *Select) (*engine.Plan, error) {
-	if err := pl.bindFrom(stmt); err != nil {
+	n, items, outputs, err := pl.planNode(stmt)
+	if err != nil {
 		return nil, err
+	}
+	return pl.finishPlan(n, stmt, items, outputs)
+}
+
+// planNode binds, optimizes and lowers one SELECT body to a plan node
+// (everything except the terminal ORDER BY / LIMIT). Nested planners
+// call it for scalar subqueries and derived tables.
+func (pl *planner) planNode(stmt *Select) (*engine.Node, []SelectItem, []string, error) {
+	if err := pl.bindFrom(stmt); err != nil {
+		return nil, nil, nil, err
 	}
 	items, err := pl.expandStar(stmt)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	pl.local = make(map[*baseTable][]Expr)
 	pl.allRefs = make(map[*baseTable]map[string]bool)
 	pl.lateRefs = make(map[*baseTable]map[string]bool)
+	pl.scalarRegs = make(map[string]string)
+	pl.countFlags = make(map[string]string)
 
 	// ---- classify WHERE (and inner ON) conjuncts: pushdown vs join
 	// edge vs residual vs subquery join.
@@ -165,25 +227,34 @@ func (pl *planner) plan(stmt *Select) (*engine.Plan, error) {
 	conjuncts = append(conjuncts, splitConjuncts(stmt.Where)...)
 	for _, c := range conjuncts {
 		if err := pl.classify(c); err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 	}
 
 	// ---- LEFT JOIN ON clauses.
 	for _, o := range pl.outers {
 		if err := pl.bindOuterOn(o); err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
+	}
+
+	// ---- scalar subqueries in the select list / HAVING, and COUNT
+	// semantics over nullable LEFT JOIN columns.
+	if err := pl.findItemScalars(stmt, items); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := pl.analyzeOuterCounts(stmt, items); err != nil {
+		return nil, nil, nil, err
 	}
 
 	// ---- reference collection for projection pruning and payloads.
 	outputs, err := outputNames(items)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	for _, item := range items {
 		if err := pl.noteRefs(item.E, true); err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 	}
 	for _, g := range stmt.GroupBy {
@@ -193,7 +264,7 @@ func (pl *planner) plan(stmt *Select) (*engine.Plan, error) {
 			continue
 		}
 		if err := pl.noteRefs(g, true); err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 	}
 	if stmt.Having != nil {
@@ -213,32 +284,44 @@ func (pl *planner) plan(stmt *Select) (*engine.Plan, error) {
 	}
 	for _, r := range pl.residual {
 		if err := pl.noteRefs(r, true); err != nil {
-			return nil, err
+			return nil, nil, nil, err
+		}
+	}
+	for _, r := range pl.scalarConjs {
+		if err := pl.noteRefs(r, true); err != nil {
+			return nil, nil, nil, err
 		}
 	}
 	for _, preds := range pl.local {
 		for _, pr := range preds {
 			if err := pl.noteRefs(pr, false); err != nil {
-				return nil, err
+				return nil, nil, nil, err
 			}
 		}
 	}
 	for _, e := range pl.edges {
 		if err := pl.noteRefs(e.conj, false); err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 	}
 	for _, s := range pl.subs {
 		for _, k := range s.probeKeys {
 			if err := pl.noteRefs(k, true); err != nil {
-				return nil, err
+				return nil, nil, nil, err
 			}
 		}
 	}
 	for _, o := range pl.outers {
 		for _, k := range o.probeKeys {
 			if err := pl.noteRefs(k, true); err != nil {
-				return nil, err
+				return nil, nil, nil, err
+			}
+		}
+		// Build keys feed the nullable side's scan even when nothing else
+		// references them.
+		for _, k := range o.buildKeys {
+			if err := pl.noteRefs(k, false); err != nil {
+				return nil, nil, nil, err
 			}
 		}
 	}
@@ -246,14 +329,17 @@ func (pl *planner) plan(stmt *Select) (*engine.Plan, error) {
 	// ---- join order + build-side selection, then lower.
 	steps, root, err := pl.orderJoins()
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-	ep := engine.NewPlan(pl.name)
-	n, err := pl.lowerChain(ep, root, steps)
+	n, err := pl.lowerChain(pl.ep, root, steps)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-	return pl.finish(ep, n, stmt, items, outputs)
+	n, err = pl.finishNode(n, stmt, items, outputs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return n, items, outputs, nil
 }
 
 func containsStr(list []string, s string) bool {
@@ -273,6 +359,12 @@ func (pl *planner) bindFrom(stmt *Select) error {
 	pl.sc = &scope{}
 	seen := map[string]bool{}
 	for _, ft := range stmt.From {
+		if ft.Sub != nil {
+			if len(stmt.From) != 1 {
+				return &ParseError{Msg: "a derived table must be the only FROM relation (join inside or around it instead)", Line: ft.Line, Col: ft.Col}
+			}
+			return pl.bindDerived(ft)
+		}
 		t, ok := pl.cat(ft.Name)
 		if !ok {
 			return &ParseError{Msg: fmt.Sprintf("unknown table %q", ft.Name), Line: ft.Line, Col: ft.Col}
@@ -296,6 +388,74 @@ func (pl *planner) bindFrom(stmt *Select) error {
 			pl.inner = append(pl.inner, bt)
 		}
 	}
+	return nil
+}
+
+// storageTypeOf maps an engine register type to its storage column type
+// (dates are day-number ints throughout the system).
+func storageTypeOf(t engine.Type) storage.ColType {
+	switch t {
+	case engine.TInt:
+		return storage.I64
+	case engine.TFloat:
+		return storage.F64
+	default:
+		return storage.Str
+	}
+}
+
+// bindDerived plans a FROM (SELECT ...) AS alias subquery into the
+// shared engine plan and binds its output schema as a pseudo table, so
+// the outer query resolves, filters and aggregates over it like any
+// base relation.
+func (pl *planner) bindDerived(ft FromTable) error {
+	if pl.subDepth >= maxSubDepth {
+		return &ParseError{Msg: "subqueries nest too deeply", Line: ft.Line, Col: ft.Col}
+	}
+	if len(ft.Sub.OrderBy) > 0 || ft.Sub.HasLimit {
+		return &ParseError{Msg: "ORDER BY / LIMIT inside a derived table has no effect; move it to the outer query", Line: ft.Line, Col: ft.Col}
+	}
+	sp := &planner{cat: pl.cat, name: pl.name, ep: pl.ep, subDepth: pl.subDepth + 1}
+	node, _, outs, err := sp.planNode(ft.Sub)
+	if err != nil {
+		return err
+	}
+	if len(ft.ColAliases) > 0 {
+		if len(ft.ColAliases) != len(outs) {
+			return &ParseError{Msg: fmt.Sprintf("derived table %q lists %d column aliases for %d output columns",
+				ft.Alias, len(ft.ColAliases), len(outs)), Line: ft.Line, Col: ft.Col}
+		}
+		est := node.Est()
+		adup := map[string]bool{}
+		for i, alias := range ft.ColAliases {
+			if adup[alias] {
+				return &ParseError{Msg: fmt.Sprintf("duplicate column alias %q in derived table %q", alias, ft.Alias), Line: ft.Line, Col: ft.Col}
+			}
+			adup[alias] = true
+			if alias != outs[i] {
+				if containsStr(outs, alias) {
+					return &ParseError{Msg: fmt.Sprintf("column alias %q collides with another output of derived table %q; rename inside the subquery", alias, ft.Alias), Line: ft.Line, Col: ft.Col}
+				}
+				node = node.Map(alias, engine.Col(outs[i])).SetEst(est)
+			}
+		}
+		node = node.Project(ft.ColAliases...).SetEst(est)
+		outs = ft.ColAliases
+	}
+	schema := make(storage.Schema, len(outs))
+	for i, r := range node.Schema() {
+		schema[i] = storage.ColDef{Name: r.Name, Type: storageTypeOf(r.Type)}
+	}
+	bt := &baseTable{
+		ref: ft, t: &storage.Table{Name: ft.Alias, Schema: schema},
+		alias: ft.Alias, cols: map[string]int{},
+		derived: node, derivedEst: node.Est(),
+	}
+	for i, c := range schema {
+		bt.cols[c.Name] = i
+	}
+	pl.sc.tables = append(pl.sc.tables, bt)
+	pl.inner = append(pl.inner, bt)
 	return nil
 }
 
@@ -418,6 +578,38 @@ func (pl *planner) classify(c Expr) error {
 	if containsAgg(c) {
 		return errAt(c, "aggregates are not allowed in WHERE (use HAVING)")
 	}
+	if sub := firstScalarSub(c); sub != nil {
+		// The conjunct compares against scalar subquery values: plan each
+		// subquery as a build fragment and evaluate the conjunct after
+		// the attach joins deliver the values.
+		var werr error
+		walk(c, func(x Expr) {
+			if werr != nil {
+				return
+			}
+			if s, ok := x.(*SubqueryExpr); ok {
+				var spec *scalarSpec
+				if spec, werr = pl.processScalarSub(s, false); werr != nil {
+					return
+				}
+				// A correlated non-COUNT scalar has no representable
+				// value on unmatched rows (SQL says NULL); the inner
+				// attach join drops them instead, which matches SQL's
+				// three-valued logic only when the whole conjunct is a
+				// plain comparison that would evaluate to unknown →
+				// not-selected. Under OR/NOT the row could survive in
+				// SQL, so reject rather than silently drop it.
+				if len(spec.probeKeys) > 0 && !spec.countLike && !nullRejecting(c) {
+					werr = errAt(s, "a correlated non-COUNT scalar subquery is only supported in a plain comparison conjunct (under OR/NOT its NULL-on-unmatched value could keep the row, which the engine cannot represent)")
+				}
+			}
+		})
+		if werr != nil {
+			return werr
+		}
+		pl.scalarConjs = append(pl.scalarConjs, c)
+		return nil
+	}
 	tabs, err := pl.tablesOf(c)
 	if err != nil {
 		return err
@@ -513,10 +705,10 @@ func (pl *planner) bindOuterOn(o *outerSpec) error {
 // spec: correlation equalities become key pairs, build-only conjuncts
 // filter the build scan, and mixed conjuncts become join residuals.
 func (pl *planner) bindSubquery(sub *Select, inExpr Expr, invert bool, at Expr) error {
-	if len(sub.From) != 1 || sub.From[0].Join != "" {
+	if len(sub.From) != 1 || sub.From[0].Join != "" || sub.From[0].Sub != nil {
 		return errAt(at, "subqueries must scan exactly one table")
 	}
-	if len(sub.GroupBy) > 0 || sub.Having != nil || len(sub.OrderBy) > 0 || sub.Limit > 0 {
+	if len(sub.GroupBy) > 0 || sub.Having != nil || len(sub.OrderBy) > 0 || sub.HasLimit {
 		return errAt(at, "subqueries support only SELECT ... FROM t WHERE ...")
 	}
 	ft := sub.From[0]
@@ -615,6 +807,20 @@ func (pl *planner) bindSubquery(sub *Select, inExpr Expr, invert bool, at Expr) 
 	return nil
 }
 
+// containsColName reports whether any expression references a column of
+// the given (subquery-local) name.
+func containsColName(es []Expr, name string) bool {
+	found := false
+	for _, e := range es {
+		walk(e, func(x Expr) {
+			if c, ok := x.(*Col); ok && c.Name == name {
+				found = true
+			}
+		})
+	}
+	return found
+}
+
 // splitRefs reports whether e references subquery-table columns and/or
 // outer columns.
 func (s *subJoinSpec) splitRefs(e Expr) (inner, outer bool, err error) {
@@ -638,6 +844,328 @@ func (s *subJoinSpec) splitRefs(e Expr) (inner, outer bool, err error) {
 		}
 	})
 	return inner, outer, err
+}
+
+// firstScalarSub returns the first scalar subquery in e, or nil.
+func firstScalarSub(e Expr) *SubqueryExpr {
+	var found *SubqueryExpr
+	walk(e, func(x Expr) {
+		if s, ok := x.(*SubqueryExpr); ok && found == nil {
+			found = s
+		}
+	})
+	return found
+}
+
+// nullRejecting reports whether the conjunct is a plain comparison (or
+// BETWEEN): shapes that evaluate to unknown → not-selected when an
+// operand is SQL-NULL, so dropping unmatched rows at the attach join is
+// observationally equivalent.
+func nullRejecting(c Expr) bool {
+	switch x := c.(type) {
+	case *Bin:
+		switch x.Op {
+		case "=", "<>", "<", "<=", ">", ">=":
+			return true
+		}
+	case *Between:
+		return !x.Invert
+	}
+	return false
+}
+
+// andExprs rebuilds a conjunction from a conjunct list (nil for empty).
+func andExprs(conjs []Expr) Expr {
+	var out Expr
+	for _, c := range conjs {
+		if out == nil {
+			out = c
+			continue
+		}
+		line, col := c.pos()
+		out = &Bin{position: position{Line: line, Col: col}, Op: "and", L: out, R: c}
+	}
+	return out
+}
+
+// findItemScalars routes scalar subqueries appearing in the select list
+// and HAVING. In a grouped query they attach after aggregation (the k=1
+// join runs over group rows — Q11's HAVING against a grand total);
+// subqueries inside aggregate arguments attach before it. GROUP BY may
+// not contain them at all.
+func (pl *planner) findItemScalars(stmt *Select, items []SelectItem) error {
+	for _, g := range stmt.GroupBy {
+		if s := firstScalarSub(g); s != nil {
+			return errAt(s, "scalar subqueries are not supported in GROUP BY")
+		}
+	}
+	for _, k := range stmt.OrderBy {
+		if s := firstScalarSub(k.E); s != nil {
+			return errAt(s, "scalar subqueries are not supported in ORDER BY; select the value with an alias and order by the alias")
+		}
+	}
+	aggMode := len(stmt.GroupBy) > 0
+	for _, item := range items {
+		if containsAgg(item.E) {
+			aggMode = true
+		}
+	}
+	// Subqueries inside aggregate arguments bind pre-aggregation.
+	inAgg := map[int]bool{}
+	markAggArgs := func(e Expr) {
+		walk(e, func(x Expr) {
+			if c, ok := x.(*Call); ok && isAggCall(c) {
+				for _, a := range c.Args {
+					walk(a, func(y Expr) {
+						if s, ok := y.(*SubqueryExpr); ok {
+							inAgg[s.ID] = true
+						}
+					})
+				}
+			}
+		})
+	}
+	process := func(e Expr) error {
+		markAggArgs(e)
+		var werr error
+		walk(e, func(x Expr) {
+			if werr != nil {
+				return
+			}
+			if s, ok := x.(*SubqueryExpr); ok {
+				var spec *scalarSpec
+				if spec, werr = pl.processScalarSub(s, aggMode && !inAgg[s.ID]); werr != nil {
+					return
+				}
+				// Outside WHERE, a correlated scalar's value is observed
+				// on every row: only a bare COUNT has a representable
+				// (zero) value for rows without a match.
+				if len(spec.probeKeys) > 0 && !spec.countLike {
+					werr = errAt(s, "a correlated scalar subquery outside WHERE must be a single COUNT (other aggregates would be NULL for unmatched rows, which the engine cannot represent)")
+				}
+			}
+		})
+		return werr
+	}
+	for _, item := range items {
+		if err := process(item.E); err != nil {
+			return err
+		}
+	}
+	if stmt.Having != nil {
+		if err := process(stmt.Having); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// processScalarSub plans one scalar subquery occurrence. The subquery
+// must compute a single aggregate row — that is what makes it scalar
+// without NULL machinery. Uncorrelated subqueries later join via the
+// k=1 cross-join trick; correlated ones are decorrelated by grouping on
+// their correlation columns (inner-column = outer-expression equalities)
+// and joining on those keys.
+func (pl *planner) processScalarSub(x *SubqueryExpr, postAgg bool) (*scalarSpec, error) {
+	if pl.subDepth >= maxSubDepth {
+		return nil, errAt(x, "subqueries nest too deeply")
+	}
+	sub := x.Sub
+	switch {
+	case sub.Star || len(sub.Items) != 1:
+		return nil, errAt(x, "a scalar subquery must select exactly one expression")
+	case !containsAgg(sub.Items[0].E):
+		return nil, errAt(x, "a scalar subquery must compute an aggregate (the engine's single-row guarantee)")
+	case len(sub.GroupBy) > 0 || sub.Having != nil:
+		return nil, errAt(x, "GROUP BY / HAVING inside a scalar subquery could yield several rows; correlate it instead")
+	case len(sub.OrderBy) > 0 || sub.HasLimit || sub.Distinct:
+		return nil, errAt(x, "ORDER BY / LIMIT / DISTINCT are meaningless in a single-row scalar subquery")
+	}
+	// Bind the subquery's FROM for correlation splitting.
+	subSc := &scope{outer: pl.sc}
+	for _, ft := range sub.From {
+		if ft.Sub != nil {
+			return nil, &ParseError{Msg: "derived tables are not supported inside scalar subqueries", Line: ft.Line, Col: ft.Col}
+		}
+		t, ok := pl.cat(ft.Name)
+		if !ok {
+			return nil, &ParseError{Msg: fmt.Sprintf("unknown table %q", ft.Name), Line: ft.Line, Col: ft.Col}
+		}
+		alias := ft.Alias
+		if alias == "" {
+			alias = ft.Name
+		}
+		bt := &baseTable{ref: ft, t: t, alias: alias, cols: map[string]int{}}
+		for i, c := range t.Schema {
+			bt.cols[c.Name] = i
+		}
+		subSc.tables = append(subSc.tables, bt)
+	}
+	refSides := func(e Expr) (inner, outer bool, err error) {
+		walk(e, func(cx Expr) {
+			if err != nil {
+				return
+			}
+			c, ok := cx.(*Col)
+			if !ok {
+				return
+			}
+			_, depth, rerr := subSc.resolveUp(c)
+			if rerr != nil {
+				err = rerr
+				return
+			}
+			if depth == 0 {
+				inner = true
+			} else {
+				outer = true
+			}
+		})
+		return inner, outer, err
+	}
+	var locals []Expr
+	var probeKeys []Expr
+	var corrCols []*Col
+	for _, c := range splitConjuncts(sub.Where) {
+		if s := firstScalarSub(c); s != nil {
+			return nil, errAt(s, "scalar subqueries cannot nest inside another scalar subquery's WHERE")
+		}
+		_, outer, err := refSides(c)
+		if err != nil {
+			return nil, err
+		}
+		if !outer {
+			locals = append(locals, c)
+			continue
+		}
+		b, ok := c.(*Bin)
+		if ok && b.Op == "=" {
+			li, lo, _ := refSides(b.L)
+			ri, ro, _ := refSides(b.R)
+			lc, lIsCol := b.L.(*Col)
+			rc, rIsCol := b.R.(*Col)
+			switch {
+			case rIsCol && ri && !ro && !li:
+				probeKeys = append(probeKeys, b.L)
+				corrCols = append(corrCols, rc)
+				continue
+			case lIsCol && li && !lo && !ri:
+				probeKeys = append(probeKeys, b.R)
+				corrCols = append(corrCols, lc)
+				continue
+			}
+		}
+		return nil, errAt(c, "unsupported correlated predicate in a scalar subquery (want subquery-column = outer-expression equalities)")
+	}
+	if postAgg && len(probeKeys) > 0 {
+		return nil, errAt(x, "a correlated scalar subquery is only supported in WHERE (not in the select list or HAVING of a grouped query)")
+	}
+	// A bare COUNT subquery is 0 — not NULL — on unmatched rows, which
+	// the outer-probe attach join's zero-fill reproduces exactly.
+	countLike := false
+	if c, ok := sub.Items[0].E.(*Call); ok && c.Name == "COUNT" {
+		countLike = true
+	}
+	outName := fmt.Sprintf("$scalar%d", x.ID)
+	synth := &Select{From: sub.From, Where: andExprs(locals)}
+	var buildKeys []string
+	keySeen := map[string]bool{}
+	for _, bc := range corrCols {
+		if !keySeen[bc.Name] {
+			keySeen[bc.Name] = true
+			synth.Items = append(synth.Items, SelectItem{E: bc})
+			synth.GroupBy = append(synth.GroupBy, bc)
+		}
+		buildKeys = append(buildKeys, bc.Name)
+	}
+	synth.Items = append(synth.Items, SelectItem{E: sub.Items[0].E, As: outName})
+	sp := &planner{cat: pl.cat, name: pl.name, ep: pl.ep, subDepth: pl.subDepth + 1}
+	node, _, _, err := sp.planNode(synth)
+	if err != nil {
+		return nil, err
+	}
+	// Outer columns the correlation keys read must reach the probe
+	// pipeline.
+	for _, pk := range probeKeys {
+		if err := pl.noteRefs(pk, true); err != nil {
+			return nil, err
+		}
+	}
+	spec := &scalarSpec{at: x, node: node, outName: outName,
+		probeKeys: probeKeys, buildKeys: buildKeys, countLike: countLike}
+	pl.scalarRegs[astString(x)] = outName
+	if postAgg {
+		pl.postScalars = append(pl.postScalars, spec)
+	} else {
+		pl.scalars = append(pl.scalars, spec)
+	}
+	return spec, nil
+}
+
+// analyzeOuterCounts handles SQL's NULL-aware aggregate semantics over
+// a LEFT JOIN's nullable columns in an engine without NULLs: COUNT(col)
+// maps to the join's 0/1 match flag (null-extended rows contribute 0,
+// not 1); SUM needs nothing (zero-extension adds 0); AVG/MIN/MAX would
+// silently aggregate the phantom zeros, so they are rejected. COUNT(*)
+// counts every row, including null-extended ones — a plain count.
+func (pl *planner) analyzeOuterCounts(stmt *Select, items []SelectItem) error {
+	if len(pl.outers) == 0 {
+		return nil
+	}
+	check := func(e Expr) error {
+		var werr error
+		walk(e, func(x Expr) {
+			if werr != nil {
+				return
+			}
+			c, ok := x.(*Call)
+			if !ok || !isAggCall(c) || c.Star || len(c.Args) != 1 {
+				return
+			}
+			tabs, err := pl.tablesOf(c.Args[0])
+			if err != nil {
+				return // post-aggregation names; validated later
+			}
+			var outer *outerSpec
+			for t := range tabs {
+				for _, o := range pl.outers {
+					if o.t == t {
+						outer = o
+					}
+				}
+			}
+			if outer == nil {
+				return
+			}
+			switch c.Name {
+			case "AVG", "MIN", "MAX":
+				werr = errAt(c, "%s over a LEFT JOIN's nullable column would aggregate zero-filled unmatched rows (SQL ignores NULLs); filter the join to an inner join or restructure with a derived table", c.Name)
+				return
+			case "SUM":
+				return // zero-extension contributes 0: SQL-equivalent
+			}
+			if _, isCol := c.Args[0].(*Col); !isCol || len(tabs) != 1 {
+				werr = errAt(c, "COUNT over an expression mixing LEFT JOIN columns is not supported; COUNT a plain column of the joined table")
+				return
+			}
+			if outer.flag == "" {
+				outer.flag = fmt.Sprintf("$match%d", len(pl.countFlags)+1)
+			}
+			pl.countFlags[astString(c)] = outer.flag
+		})
+		return werr
+	}
+	for _, item := range items {
+		if err := check(item.E); err != nil {
+			return err
+		}
+	}
+	if stmt.Having != nil {
+		if err := check(stmt.Having); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // orderJoins picks the probe root and the join order cost-based: the
@@ -905,13 +1433,19 @@ func bindAll(bd *binder, preds []Expr) (*engine.Expr, error) {
 }
 
 // lowerScan emits the pruned, filtered scan of t, annotated with its
-// estimated post-filter cardinality.
+// estimated post-filter cardinality. A derived table's "scan" is its
+// pre-lowered subquery fragment.
 func (pl *planner) lowerScan(ep *engine.Plan, t *baseTable, bd *binder) (*engine.Node, error) {
-	cols, err := pl.scanCols(t)
-	if err != nil {
-		return nil, err
+	var n *engine.Node
+	if t.derived != nil {
+		n = t.derived
+	} else {
+		cols, err := pl.scanCols(t)
+		if err != nil {
+			return nil, err
+		}
+		n = ep.Scan(t.t, cols...)
 	}
-	n := ep.Scan(t.t, cols...)
 	pred, err := bindAll(bd, pl.local[t])
 	if err != nil {
 		return nil, err
@@ -1000,7 +1534,7 @@ func (pl *planner) lowerSteps(ep *engine.Plan, n *engine.Node, steps []*joinStep
 // build side a bushy subtree), the LEFT JOIN appendages, the subquery
 // semi/anti joins, and the residual filters.
 func (pl *planner) lowerChain(ep *engine.Plan, root *baseTable, steps []*joinStep) (*engine.Node, error) {
-	bd := &binder{sc: pl.sc}
+	bd := &binder{sc: pl.sc, rewrite: pl.scalarRegs}
 
 	// A probe key column owned by the root of the pipeline that
 	// evaluates it comes straight from that root's scan; a key column
@@ -1045,13 +1579,21 @@ func (pl *planner) lowerChain(ep *engine.Plan, root *baseTable, steps []*joinSte
 	}
 
 	pl.pipeRegs = map[string]string{}
-	rootCols, err := pl.scanCols(root)
-	if err != nil {
-		return nil, err
-	}
-	for _, c := range rootCols {
-		if err := pl.addPipeReg(c, fmt.Sprintf("table %q", root.alias)); err != nil {
+	if root.derived != nil {
+		for _, c := range root.t.Schema {
+			if err := pl.addPipeReg(c.Name, fmt.Sprintf("derived table %q", root.alias)); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		rootCols, err := pl.scanCols(root)
+		if err != nil {
 			return nil, err
+		}
+		for _, c := range rootCols {
+			if err := pl.addPipeReg(c, fmt.Sprintf("table %q", root.alias)); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -1063,49 +1605,223 @@ func (pl *planner) lowerChain(ep *engine.Plan, root *baseTable, steps []*joinSte
 	if err != nil {
 		return nil, err
 	}
-	cur := n.Est()
 	for _, o := range pl.outers {
-		build, err := pl.lowerScan(ep, o.t, bd)
+		// Build-side selection for the outer join (§4.1: outer join is a
+		// minor variation of hash join, on either side): when the
+		// preserved chain is the smaller input, build the hash table over
+		// it and probe with the nullable side, marking matched build
+		// tuples; the Unmatched scan then null-extends the rest. When the
+		// chain is larger, keep it as the probe and zero-extend unmatched
+		// probe rows.
+		if len(pl.outers) == 1 && n.Est() <= pl.baseCard(o.t) {
+			n, err = pl.lowerOuterMark(ep, n, o, bd)
+		} else {
+			n, err = pl.lowerOuterProbe(ep, n, o, bd)
+		}
 		if err != nil {
 			return nil, err
 		}
-		probe := make([]*engine.Expr, len(o.probeKeys))
-		bkeys := make([]*engine.Expr, len(o.buildKeys))
-		for i := range o.probeKeys {
-			if probe[i], err = bd.bind(o.probeKeys[i]); err != nil {
-				return nil, err
-			}
-			if bkeys[i], err = bd.bind(o.buildKeys[i]); err != nil {
-				return nil, err
-			}
-		}
-		payload := pl.payloadCols(o.t, nil)
-		for _, c := range payload {
-			if err := pl.addPipeReg(c, fmt.Sprintf("table %q", o.t.alias)); err != nil {
-				return nil, err
-			}
-		}
-		cur = pl.joinCard(cur, build.Est(), o.probeKeys, o.buildKeys, engine.JoinOuterProbe)
-		n = n.HashJoin(build, engine.JoinOuterProbe, probe, bkeys, payload...).SetEst(cur)
 	}
 	for _, s := range pl.subs {
 		n, err = pl.lowerSub(ep, n, s)
 		if err != nil {
 			return nil, err
 		}
-		cur = n.Est()
 	}
-	res, err := bindAll(bd, pl.residual)
+	for _, s := range pl.scalars {
+		n, err = pl.attachScalar(n, s, bd, pl.addPipeReg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	cur := n.Est()
+	residual := append(append([]Expr{}, pl.residual...), pl.scalarConjs...)
+	res, err := bindAll(bd, residual)
 	if err != nil {
 		return nil, err
 	}
 	if res != nil {
-		for range pl.residual {
+		for range residual {
 			cur *= selDefault
 		}
 		n = n.Filter(res).SetEst(max(cur, 1))
 	}
 	return n, nil
+}
+
+// lowerOuterProbe lowers a LEFT JOIN preserving the probe chain:
+// unmatched probe rows pass through with zero-valued payload. The match
+// flag, when required by COUNT semantics, is a constant-1 payload column
+// that zero-extends to 0.
+func (pl *planner) lowerOuterProbe(ep *engine.Plan, n *engine.Node, o *outerSpec, bd *binder) (*engine.Node, error) {
+	build, err := pl.lowerScan(ep, o.t, bd)
+	if err != nil {
+		return nil, err
+	}
+	if o.flag != "" {
+		build = build.Map(o.flag, engine.ConstI(1)).SetEst(build.Est())
+	}
+	probe := make([]*engine.Expr, len(o.probeKeys))
+	bkeys := make([]*engine.Expr, len(o.buildKeys))
+	for i := range o.probeKeys {
+		if probe[i], err = bd.bind(o.probeKeys[i]); err != nil {
+			return nil, err
+		}
+		if bkeys[i], err = bd.bind(o.buildKeys[i]); err != nil {
+			return nil, err
+		}
+	}
+	payload := pl.payloadCols(o.t, nil)
+	if o.flag != "" {
+		payload = append(payload, o.flag)
+	}
+	for _, c := range payload {
+		if err := pl.addPipeReg(c, fmt.Sprintf("table %q", o.t.alias)); err != nil {
+			return nil, err
+		}
+	}
+	cur := pl.joinCard(n.Est(), build.Est(), o.probeKeys, o.buildKeys, engine.JoinOuterProbe)
+	return n.HashJoin(build, engine.JoinOuterProbe, probe, bkeys, payload...).SetEst(cur), nil
+}
+
+// zeroConst returns the zero value literal for one column of t (the
+// null-extension value in an engine without NULLs).
+func zeroConst(t *baseTable, col string) *engine.Expr {
+	switch t.t.Schema[t.cols[col]].Type {
+	case storage.I64:
+		return engine.ConstI(0)
+	case storage.F64:
+		return engine.ConstF(0)
+	default:
+		return engine.ConstS("")
+	}
+}
+
+// lowerOuterMark lowers a LEFT JOIN as a build-side outer join, the
+// paper's match-marker scheme: the preserved chain becomes the build
+// side of a JoinMark probed by the nullable side's scan; matched pairs
+// stream through the probe pipeline, and an Unmatched scan emits the
+// never-matched chain tuples with the nullable side's columns
+// zero-extended. Both branches union into one pipeline.
+func (pl *planner) lowerOuterMark(ep *engine.Plan, chain *engine.Node, o *outerSpec, bd *binder) (*engine.Node, error) {
+	chainEst := chain.Est()
+	// The chain columns needed downstream ride as the mark join's payload
+	// and reappear in the Unmatched scan.
+	var chainCols []string
+	seen := map[string]bool{}
+	for _, t := range pl.inner {
+		for _, c := range pl.payloadCols(t, nil) {
+			if !seen[c] {
+				seen[c] = true
+				chainCols = append(chainCols, c)
+			}
+		}
+	}
+	probe, err := pl.lowerScan(ep, o.t, bd)
+	if err != nil {
+		return nil, err
+	}
+	pKeys := make([]*engine.Expr, len(o.buildKeys))
+	bKeys := make([]*engine.Expr, len(o.probeKeys))
+	for i := range o.probeKeys {
+		// Roles swap: the nullable side's key exprs drive the probe, the
+		// chain's key exprs index the hash table.
+		if pKeys[i], err = bd.bind(o.buildKeys[i]); err != nil {
+			return nil, err
+		}
+		if bKeys[i], err = bd.bind(o.probeKeys[i]); err != nil {
+			return nil, err
+		}
+	}
+	// The pipeline is re-rooted at the nullable side's scan.
+	regs := map[string]string{}
+	scanCols, err := pl.scanCols(o.t)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range scanCols {
+		if err := claimReg(regs, c, fmt.Sprintf("table %q", o.t.alias)); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range chainCols {
+		if err := claimReg(regs, c, "the preserved join side"); err != nil {
+			return nil, err
+		}
+	}
+	matchedEst := pl.joinCard(pl.baseCard(o.t), chainEst, o.buildKeys, o.probeKeys, engine.JoinInner)
+	unmatchedEst := pl.markUnmatchedEst(chainEst, pl.baseCard(o.t), o.buildKeys, o.probeKeys)
+	join := probe.HashJoin(chain, engine.JoinMark, pKeys, bKeys, chainCols...).SetEst(matchedEst)
+	matched := join
+	if o.flag != "" {
+		if err := claimReg(regs, o.flag, "the LEFT JOIN match flag"); err != nil {
+			return nil, err
+		}
+		matched = matched.Map(o.flag, engine.ConstI(1)).SetEst(matchedEst)
+	}
+	un := ep.Unmatched(join, chainCols...).SetEst(unmatchedEst)
+	bLate := pl.payloadCols(o.t, nil)
+	for _, c := range bLate {
+		un = un.Map(c, zeroConst(o.t, c)).SetEst(unmatchedEst)
+	}
+	if o.flag != "" {
+		un = un.Map(o.flag, engine.ConstI(0)).SetEst(unmatchedEst)
+	}
+	outCols := append(append([]string{}, chainCols...), bLate...)
+	if o.flag != "" {
+		outCols = append(outCols, o.flag)
+	}
+	union := ep.Union(
+		matched.Project(outCols...).SetEst(matchedEst),
+		un.Project(outCols...).SetEst(unmatchedEst),
+	).SetEst(matchedEst + unmatchedEst)
+	pl.pipeRegs = regs
+	return union, nil
+}
+
+// attachScalar joins one scalar subquery's value into the pipeline.
+// claim registers the new value register in the active pipeline's
+// register set.
+func (pl *planner) attachScalar(n *engine.Node, s *scalarSpec, bd *binder, claim func(name, provider string) error) (*engine.Node, error) {
+	est := n.Est()
+	if len(s.probeKeys) == 0 {
+		// k=1 cross-join trick: both sides gain a constant key, the
+		// single aggregate row joins to every pipeline row.
+		k := s.outName + "$k"
+		if err := claim(k, "a scalar subquery"); err != nil {
+			return nil, err
+		}
+		if err := claim(s.outName, "a scalar subquery"); err != nil {
+			return nil, err
+		}
+		build := s.node.Map(k, engine.ConstI(1)).SetEst(max(s.node.Est(), 1))
+		n = n.Map(k, engine.ConstI(1)).SetEst(est)
+		return n.HashJoin(build, engine.JoinInner,
+			[]*engine.Expr{engine.Col(k)}, []*engine.Expr{engine.Col(k)}, s.outName).SetEst(est), nil
+	}
+	probe := make([]*engine.Expr, len(s.probeKeys))
+	bkeys := make([]*engine.Expr, len(s.probeKeys))
+	for i, pk := range s.probeKeys {
+		var err error
+		if probe[i], err = bd.bind(pk); err != nil {
+			return nil, err
+		}
+		bkeys[i] = engine.Col(s.buildKeys[i])
+	}
+	if err := claim(s.outName, "a scalar subquery"); err != nil {
+		return nil, err
+	}
+	// Grouping on the correlation keys makes them unique on the build
+	// side: at most one match per probe row. Rows without a match: a
+	// bare-COUNT subquery's SQL value there is 0, so the outer-probe
+	// join preserves them with its zero-fill; any other aggregate's
+	// value would be NULL, and the inner join drops the row — callers
+	// only allow that where SQL's unknown → not-selected agrees.
+	kind := engine.JoinInner
+	if s.countLike {
+		kind = engine.JoinOuterProbe
+	}
+	return n.HashJoin(s.node, kind, probe, bkeys, s.outName).SetEst(est), nil
 }
 
 func (pl *planner) lowerSub(ep *engine.Plan, n *engine.Node, s *subJoinSpec) (*engine.Node, error) {
@@ -1129,16 +1845,56 @@ func (pl *planner) lowerSub(ep *engine.Plan, n *engine.Node, s *subJoinSpec) (*e
 	for _, r := range s.residual {
 		collect(r)
 	}
+	// A residual-payload column whose name is already a probe-pipeline
+	// register (a self-join: Q21's l2.l_suppkey <> l1.l_suppkey) is
+	// scanned under an alias, so both sides stay addressable.
+	aliasOf := map[string]string{}
+	for c := range s.resPay {
+		if _, taken := pl.pipeRegs[c]; taken {
+			aliasOf[c] = fmt.Sprintf("$%s.%s", s.t.alias, c)
+		}
+	}
 	cols := make([]string, 0, len(refs))
 	for c := range refs {
-		cols = append(cols, c)
+		// Scan under the base name when keys or local filters read it, or
+		// when it is an unaliased residual column; a column referenced
+		// only by the residual and aliased is scanned under the alias
+		// alone.
+		if aliasOf[c] == "" || containsColName(s.buildKeys, c) || containsColName(s.local, c) {
+			cols = append(cols, c)
+		}
 	}
-	if len(cols) == 0 {
+	if len(cols) == 0 && len(aliasOf) == 0 {
 		cols = []string{s.t.t.Schema[0].Name}
 	}
 	sort.Slice(cols, func(i, j int) bool { return s.t.cols[cols[i]] < s.t.cols[cols[j]] })
+	var aliased []string
+	for c, a := range aliasOf {
+		aliased = append(aliased, fmt.Sprintf("%s AS %s", c, a))
+	}
+	sort.Strings(aliased)
+	cols = append(cols, aliased...)
 
-	subBd := &binder{sc: s.sc}
+	// Rewrite residual references to aliased registers.
+	var subRewrite map[string]string
+	if len(aliasOf) > 0 {
+		subRewrite = map[string]string{}
+		for _, r := range s.residual {
+			walk(r, func(x Expr) {
+				c, ok := x.(*Col)
+				if !ok {
+					return
+				}
+				if owner, depth, err := s.sc.resolveUp(c); err == nil && depth == 0 && owner == s.t {
+					if a := aliasOf[c.Name]; a != "" {
+						subRewrite[astString(c)] = a
+					}
+				}
+			})
+		}
+	}
+
+	subBd := &binder{sc: s.sc, rewrite: subRewrite}
 	build := ep.Scan(s.t.t, cols...)
 	pred, err := bindAll(subBd, s.local)
 	if err != nil {
@@ -1174,7 +1930,11 @@ func (pl *planner) lowerSub(ep *engine.Plan, n *engine.Node, s *subJoinSpec) (*e
 	if len(s.residual) > 0 {
 		pay := make([]string, 0, len(s.resPay))
 		for c := range s.resPay {
-			pay = append(pay, c)
+			if a := aliasOf[c]; a != "" {
+				pay = append(pay, a)
+			} else {
+				pay = append(pay, c)
+			}
 		}
 		sort.Strings(pay)
 		// Residual payload columns become probe-pipeline registers.

@@ -77,6 +77,53 @@ func TestPlanShapeTPCH(t *testing.T) {
 			"├─ scan(orders)",
 			"└─ scan(lineitem)",
 		}},
+		{"Q11", sqlQ11(), []string{
+			// The HAVING grand total attaches post-aggregation through
+			// the k=1 cross-join trick; both pipelines share the
+			// partsupp ⨝ supplier(⨝ nation semi) shape.
+			"filter: (value > $scalar1)",
+			"hashjoin inner on [$scalar1$k = $scalar1$k] payload=[$scalar1]",
+			"groupby [ps_partkey]",
+			"hashjoin inner on [ps_suppkey = s_suppkey]",
+			"├─ scan(partsupp)",
+			"└─ hashjoin semi on [s_nationkey = n_nationkey]",
+			"map $scalar1$k = 1",
+			"groupby [] aggs [sum((ps_supplycost * ps_availqty)) AS $agg1]",
+		}},
+		{"Q13", sqlQ13, []string{
+			// Build-side outer join: customer (preserved, smaller) is the
+			// mark join's hash table, probed by filtered orders; the
+			// Unmatched scan zero-extends customers without orders, and
+			// COUNT(o_orderkey) sums the 0/1 match flag.
+			"groupby [c_count] aggs [count(*) AS custdist]",
+			"groupby [c_custkey] aggs [sum($match1) AS c_count]",
+			"union (2 inputs)",
+			"map $match1 = 1",
+			"hashjoin mark on [o_custkey = c_custkey] payload=[c_custkey]",
+			"├─ scan(orders)",
+			"└─ scan(customer)",
+			"map $match1 = 0",
+			"unmatched(customer) cols=[c_custkey]",
+		}},
+		{"Q17", sqlQ17, []string{
+			// Correlated scalar subquery decorrelated into a grouped
+			// build joined on the correlation key.
+			"filter: (l_quantity < $scalar1)",
+			"hashjoin inner on [l_partkey = l_partkey] payload=[$scalar1]",
+			"├─ hashjoin semi on [l_partkey = p_partkey]",
+			"map $scalar1 = (0.2 * $agg1)",
+			"groupby [l_partkey] aggs [avg(l_quantity) AS $agg1]",
+		}},
+		{"Q22", sqlQ22, []string{
+			// NOT EXISTS anti join below the uncorrelated scalar's k=1
+			// attach join, with the average's filters pushed to its scan.
+			"filter: (c_acctbal > $scalar1)",
+			"hashjoin inner on [$scalar1$k = $scalar1$k] payload=[$scalar1]",
+			"hashjoin anti on [c_custkey = o_custkey]",
+			"├─ scan(customer)",
+			"└─ scan(orders)",
+			"groupby [] aggs [avg(c_acctbal) AS $scalar1]",
+		}},
 	} {
 		p, err := Compile(q.query, cat)
 		if err != nil {

@@ -7,10 +7,11 @@ import (
 	"repro/internal/engine"
 )
 
-// finish lowers the select list: aggregation (GROUP BY + aggregate
-// extraction), HAVING, computed output columns, the final projection
-// honoring SELECT order, and ORDER BY / LIMIT.
-func (pl *planner) finish(ep *engine.Plan, n *engine.Node, stmt *Select, items []SelectItem, outputs []string) (*engine.Plan, error) {
+// finishNode lowers the select list: aggregation (GROUP BY + aggregate
+// extraction), HAVING, computed output columns, and the final projection
+// honoring SELECT order. The terminal ORDER BY / LIMIT is finishPlan's
+// job, so nested subqueries reuse this path unchanged.
+func (pl *planner) finishNode(n *engine.Node, stmt *Select, items []SelectItem, outputs []string) (*engine.Node, error) {
 	aggMode := len(stmt.GroupBy) > 0
 	for _, item := range items {
 		if containsAgg(item.E) {
@@ -37,10 +38,30 @@ func (pl *planner) finish(ep *engine.Plan, n *engine.Node, stmt *Select, items [
 			return nil, err
 		}
 	}
+	return n, nil
+}
 
+// finishPlan applies the top-level ORDER BY / LIMIT and seals the plan.
+func (pl *planner) finishPlan(n *engine.Node, stmt *Select, items []SelectItem, outputs []string) (*engine.Plan, error) {
+	ep := pl.ep
+	// The engine's ReturnSorted uses 0 for "no limit"; an explicit
+	// LIMIT 0 threads through as engine.LimitZero (a valid query that
+	// returns the schema and no rows — and needs no ORDER BY, since an
+	// empty result is trivially deterministic).
+	limit := 0
+	if stmt.HasLimit {
+		if stmt.Limit == 0 {
+			limit = engine.LimitZero
+		} else {
+			limit = stmt.Limit
+		}
+	}
 	if len(stmt.OrderBy) == 0 {
-		if stmt.Limit > 0 {
+		if limit > 0 {
 			return nil, &ParseError{Msg: "LIMIT requires ORDER BY (unordered truncation is not deterministic)"}
+		}
+		if limit == engine.LimitZero {
+			return ep.ReturnSorted(n, limit), nil
 		}
 		return ep.Return(n), nil
 	}
@@ -52,7 +73,7 @@ func (pl *planner) finish(ep *engine.Plan, n *engine.Node, stmt *Select, items [
 		}
 		keys[i] = engine.SortKey{Name: name, Desc: k.Desc}
 	}
-	return ep.ReturnSorted(n, stmt.Limit, keys...), nil
+	return ep.ReturnSorted(n, limit, keys...), nil
 }
 
 // outputNames picks the result column name of each select item: the
@@ -91,7 +112,7 @@ func outputNames(items []SelectItem) ([]string, error) {
 // lowerProjection handles the aggregate-free select list: computed items
 // become mapped columns; bare columns pass through.
 func (pl *planner) lowerProjection(n *engine.Node, items []SelectItem, outputs []string) (*engine.Node, error) {
-	bd := &binder{sc: pl.sc}
+	bd := &binder{sc: pl.sc, rewrite: pl.scalarRegs}
 	est := n.Est()
 	for i, item := range items {
 		if c, ok := item.E.(*Col); ok && c.Name == outputs[i] {
@@ -127,7 +148,7 @@ func (pl *planner) lowerDistinct(n *engine.Node, outputs []string) (*engine.Node
 // aggregates feed the engine's two-phase parallel aggregation; select
 // items and HAVING are then rewritten over the aggregate outputs.
 func (pl *planner) lowerAggregate(n *engine.Node, stmt *Select, items []SelectItem, outputs []string) (*engine.Node, error) {
-	bd := &binder{sc: pl.sc}
+	bd := &binder{sc: pl.sc, rewrite: pl.scalarRegs}
 	rewrite := map[string]string{}
 
 	// ---- group keys. A key may be a plain column, a select alias, or
@@ -194,7 +215,7 @@ func (pl *planner) lowerAggregate(n *engine.Node, stmt *Select, items []SelectIt
 		if name == "" {
 			name = fmt.Sprintf("$agg%d", len(aggs)+1)
 		}
-		def, err := buildAggDef(bd, c, name)
+		def, err := pl.buildAggDef(bd, c, name)
 		if err != nil {
 			return err
 		}
@@ -262,6 +283,19 @@ func (pl *planner) lowerAggregate(n *engine.Node, stmt *Select, items []SelectIt
 	// ---- post-aggregation: alias references resolve to outputs, and
 	// composite expressions compute over aggregate results.
 	post := &binder{sc: &scope{}, rewrite: rewrite}
+
+	// Scalar subqueries used over group rows (Q11's HAVING against the
+	// grand total) join in here, after the pipeline broke: each value
+	// becomes a register the rewrite table resolves.
+	for _, s := range pl.postScalars {
+		var err error
+		n, err = pl.attachScalar(n, s, post, pl.addPipeReg)
+		if err != nil {
+			return nil, err
+		}
+		n.SetEst(groupEst)
+		rewrite[astString(s.at)] = s.outName
+	}
 	for i, item := range items {
 		s := astString(item.E)
 		if got, ok := rewrite[s]; ok {
@@ -301,11 +335,16 @@ func (pl *planner) lowerAggregate(n *engine.Node, stmt *Select, items []SelectIt
 }
 
 // buildAggDef lowers one aggregate call.
-func buildAggDef(bd *binder, c *Call, name string) (engine.AggDef, error) {
+func (pl *planner) buildAggDef(bd *binder, c *Call, name string) (engine.AggDef, error) {
 	kind := aggFuncs[c.Name]
 	if kind == engine.AggCount {
 		if len(c.Args) > 1 {
 			return engine.AggDef{}, errAt(c, "COUNT wants * or one argument")
+		}
+		if flag, ok := pl.countFlags[astString(c)]; ok {
+			// COUNT over a LEFT JOIN's nullable column: null-extended
+			// rows must not count, so sum the join's 0/1 match flag.
+			return engine.AggDef{Name: name, Kind: engine.AggSum, E: engine.Col(flag)}, nil
 		}
 		return engine.AggDef{Name: name, Kind: engine.AggCount}, nil
 	}
@@ -374,6 +413,10 @@ func validateGrouped(e Expr, rewrite map[string]string) error {
 			}
 		}
 		return nil
+	case *SubqueryExpr:
+		// Attached scalar subqueries hit the rewrite table above; one
+		// reaching here was not lowered for this context.
+		return errAt(x, "this scalar subquery is not supported here")
 	}
 	return errAt(e, "unsupported expression in grouped query")
 }

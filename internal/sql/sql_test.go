@@ -333,6 +333,257 @@ func TestErrorMessages(t *testing.T) {
 	expectErr(t, cat, `SELECT id FROM emp WHERE ? = ?`, "both operands are placeholders")
 }
 
+func TestLimitZero(t *testing.T) {
+	cat := testCatalog()
+	// LIMIT 0 is valid SQL: full schema, zero rows — with or without
+	// ORDER BY (an empty result is trivially deterministic).
+	for _, q := range []string{
+		`SELECT id, name FROM emp LIMIT 0`,
+		`SELECT id, name FROM emp ORDER BY id LIMIT 0`,
+		`SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept ORDER BY dept LIMIT 0`,
+	} {
+		p, err := Compile(q, cat)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		res, _ := testSession().Run(p)
+		if res.NumRows() != 0 {
+			t.Fatalf("%q: got %d rows, want 0", q, res.NumRows())
+		}
+		if len(res.Schema) < 2 {
+			t.Fatalf("%q: schema lost: %v", q, res.Schema)
+		}
+	}
+	if p, _ := Compile(`SELECT id FROM emp ORDER BY id LIMIT 0`, cat); !strings.Contains(p.Explain(), "limit 0") {
+		t.Fatalf("explain should render limit 0:\n%s", p.Explain())
+	}
+	// LIMIT > 0 still requires ORDER BY; negative literals stay errors.
+	expectErr(t, cat, `SELECT id FROM emp LIMIT 5`, "LIMIT requires ORDER BY")
+	expectErr(t, cat, `SELECT id FROM emp LIMIT -1`, "non-negative")
+}
+
+func TestScalarSubqueryUncorrelated(t *testing.T) {
+	cat := testCatalog()
+	var sum float64
+	for i := int64(0); i < 40; i++ {
+		sum += 1000 + float64(i*13%700)
+	}
+	avg := sum / 40
+	want := 0
+	for i := int64(0); i < 40; i++ {
+		if 1000+float64(i*13%700) > avg {
+			want++
+		}
+	}
+	res := run(t, cat, `SELECT COUNT(*) AS n FROM emp WHERE salary > (SELECT AVG(salary) FROM emp AS e2)`)
+	expectRows(t, res, false, fmt.Sprintf("%d", want))
+
+	// Nested parentheses around the subquery are fine.
+	res = run(t, cat, `SELECT COUNT(*) AS n FROM emp WHERE salary > ((SELECT AVG(salary) FROM emp AS e2))`)
+	expectRows(t, res, false, fmt.Sprintf("%d", want))
+
+	// In the select list of an ungrouped query.
+	res = run(t, cat, `SELECT id, (SELECT MAX(e2.salary) FROM emp AS e2) AS top FROM emp WHERE id < 2 ORDER BY id`)
+	expectRows(t, res, true, "0 | 1507.00", "1 | 1507.00")
+}
+
+func TestScalarSubqueryCorrelated(t *testing.T) {
+	cat := testCatalog()
+	// Employees above their own department's average — the per-dept
+	// average decorrelates into a grouped build joined on dept.
+	deptSum := map[int64]float64{}
+	deptCnt := map[int64]float64{}
+	for i := int64(0); i < 40; i++ {
+		deptSum[i%5] += 1000 + float64(i*13%700)
+		deptCnt[i%5]++
+	}
+	want := 0
+	for i := int64(0); i < 40; i++ {
+		if 1000+float64(i*13%700) > deptSum[i%5]/deptCnt[i%5] {
+			want++
+		}
+	}
+	res := run(t, cat, `
+		SELECT COUNT(*) AS n FROM emp
+		WHERE salary > (SELECT AVG(e2.salary) FROM emp AS e2 WHERE e2.dept = emp.dept)`)
+	expectRows(t, res, false, fmt.Sprintf("%d", want))
+}
+
+func TestScalarSubqueryInHaving(t *testing.T) {
+	cat := testCatalog()
+	// Departments whose total beats the all-employee average times the
+	// headcount — an uncorrelated scalar attached after aggregation.
+	res := run(t, cat, `
+		SELECT dept, SUM(salary) AS total FROM emp
+		GROUP BY dept
+		HAVING total > (SELECT AVG(e2.salary) FROM emp AS e2) * 8
+		ORDER BY dept`)
+	var sum float64
+	deptSum := map[int64]float64{}
+	for i := int64(0); i < 40; i++ {
+		s := 1000 + float64(i*13%700)
+		sum += s
+		deptSum[i%5] += s
+	}
+	var want []string
+	for d := int64(0); d < 5; d++ {
+		if deptSum[d] > sum/40*8 {
+			want = append(want, fmt.Sprintf("%d | %.2f", d, deptSum[d]))
+		}
+	}
+	expectRows(t, res, true, want...)
+}
+
+// TestScalarSubqueryCorrelatedCount: a correlated COUNT subquery is 0 —
+// not NULL — for rows without a match, so those rows must survive the
+// attach join (it lowers as a probe-preserving outer join with zero
+// fill). Only employees with id < 3 exist in depts 0..2, so depts 3 and
+// 4 count zero.
+func TestScalarSubqueryCorrelatedCount(t *testing.T) {
+	cat := testCatalog()
+	res := run(t, cat, `
+		SELECT did, (SELECT COUNT(*) FROM emp WHERE dept = did AND id < 3) AS n
+		FROM dept ORDER BY did`)
+	expectRows(t, res, true, "0 | 1", "1 | 1", "2 | 1", "3 | 0", "4 | 0")
+
+	// The zero is observable in WHERE, too: departments with no early
+	// hires must be selected, not dropped.
+	res = run(t, cat, `
+		SELECT dname FROM dept
+		WHERE (SELECT COUNT(*) FROM emp WHERE dept = did AND id < 3) = 0
+		ORDER BY dname`)
+	expectRows(t, res, true, "hr", "legal")
+}
+
+// TestOuterAggregateSemantics: AVG/MIN/MAX over a LEFT JOIN's nullable
+// column would silently aggregate zero-filled unmatched rows, so they
+// are rejected; SUM is exact (zero-extension adds 0).
+func TestOuterAggregateSemantics(t *testing.T) {
+	cat := testCatalog()
+	expectErr(t, cat, `
+		SELECT dname, MIN(salary) AS m FROM dept
+		LEFT JOIN emp ON dept = did AND id < 3 GROUP BY dname`,
+		"MIN over a LEFT JOIN's nullable column")
+	expectErr(t, cat, `
+		SELECT dname, AVG(salary) AS a FROM dept
+		LEFT JOIN emp ON dept = did AND id < 3 GROUP BY dname`,
+		"AVG over a LEFT JOIN's nullable column")
+	res := run(t, cat, `
+		SELECT dname, SUM(salary) AS s FROM dept
+		LEFT JOIN emp ON dept = did AND id < 3 GROUP BY dname ORDER BY dname`)
+	// ids 0,1,2 land in depts 0,1,2 (eng, ops, sales); hr/legal sum 0.
+	expectRows(t, res, true,
+		"eng | 1000.00", "hr | 0.00", "legal | 0.00", "ops | 1013.00", "sales | 1026.00")
+}
+
+func TestScalarSubqueryErrors(t *testing.T) {
+	cat := testCatalog()
+	expectErr(t, cat, `SELECT id FROM emp WHERE salary > (SELECT name FROM emp AS e2)`, "must compute an aggregate")
+	expectErr(t, cat, `SELECT id FROM emp WHERE salary > (SELECT MAX(salary), MIN(salary) FROM emp AS e2)`, "exactly one expression")
+	expectErr(t, cat, `SELECT id FROM emp GROUP BY (SELECT MAX(id) FROM emp AS e2)`, "not supported in GROUP BY")
+	expectErr(t, cat, `SELECT id FROM emp ORDER BY (SELECT MAX(id) FROM emp AS e2)`, "not supported in ORDER BY")
+	expectErr(t, cat, `SELECT id FROM emp WHERE salary > (SELECT MAX(salary) FROM emp AS e2 GROUP BY dept)`, "could yield several rows")
+	expectErr(t, cat, `SELECT id FROM emp WHERE id IN ((SELECT MAX(id) FROM emp AS e2))`, "IN list")
+	// A correlated non-COUNT scalar under OR could keep a row SQL-NULL
+	// would keep but the inner attach join drops; outside WHERE its
+	// value is observed on every row. Both must be rejected.
+	expectErr(t, cat,
+		`SELECT id FROM emp WHERE salary > (SELECT AVG(e2.salary) FROM emp AS e2 WHERE e2.dept = emp.dept) OR id < 3`,
+		"plain comparison conjunct")
+	expectErr(t, cat,
+		`SELECT id, (SELECT AVG(e2.salary) FROM emp AS e2 WHERE e2.dept = emp.dept) AS a FROM emp`,
+		"must be a single COUNT")
+	// Every unsupported-position error must carry a source position.
+	for _, q := range []string{
+		`SELECT id FROM emp GROUP BY (SELECT MAX(id) FROM emp AS e2)`,
+		`SELECT id FROM emp ORDER BY (SELECT MAX(id) FROM emp AS e2)`,
+		`SELECT id FROM emp WHERE salary > (SELECT name FROM emp AS e2)`,
+		`SELECT id FROM emp WHERE id IN ((SELECT MAX(id) FROM emp AS e2))`,
+	} {
+		_, err := Compile(q, cat)
+		if err == nil {
+			t.Fatalf("%q: expected error", q)
+		}
+		if !strings.Contains(err.Error(), "line ") {
+			t.Fatalf("%q: error %q lacks a source position", q, err.Error())
+		}
+	}
+}
+
+func TestLeftJoinCountSemantics(t *testing.T) {
+	cat := testCatalog()
+	// dept (5 rows) is smaller than filtered emp: the planner lowers the
+	// LEFT JOIN build-side (mark join + unmatched scan).
+	q := `
+		SELECT dname, COUNT(id) AS n FROM dept
+		LEFT JOIN emp ON dept = did AND salary > 1400
+		GROUP BY dname ORDER BY dname`
+	p, err := Compile(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex := p.Explain(); !strings.Contains(ex, "hashjoin mark") || !strings.Contains(ex, "unmatched(") {
+		t.Fatalf("expected a build-side (mark) outer join:\n%s", ex)
+	}
+	cnt := map[int64]int64{}
+	for i := int64(0); i < 40; i++ {
+		if 1000+float64(i*13%700) > 1400 {
+			cnt[i%5]++
+		}
+	}
+	depts := []string{"eng", "ops", "sales", "hr", "legal"}
+	byName := map[string]int64{}
+	for d, name := range depts {
+		byName[name] = cnt[int64(d)]
+	}
+	res, _ := testSession().Run(p)
+	var want []string
+	for _, name := range []string{"eng", "hr", "legal", "ops", "sales"} {
+		want = append(want, fmt.Sprintf("%s | %d", name, byName[name]))
+	}
+	expectRows(t, res, true, want...)
+
+	// COUNT(*) counts null-extended rows too: every department shows at
+	// least 1.
+	res = run(t, cat, `
+		SELECT dname, COUNT(*) AS n FROM dept
+		LEFT JOIN emp ON dept = did AND salary > 100000
+		GROUP BY dname ORDER BY dname`)
+	expectRows(t, res, true, "eng | 1", "hr | 1", "legal | 1", "ops | 1", "sales | 1")
+
+	// The probe-side lowering (big preserved side) gets the same COUNT
+	// semantics via the flag payload.
+	res = run(t, cat, `
+		SELECT id, COUNT(did) AS n FROM emp
+		LEFT JOIN dept ON dept = did AND region = 'apac'
+		GROUP BY id ORDER BY id LIMIT 5`)
+	expectRows(t, res, true, "0 | 0", "1 | 0", "2 | 0", "3 | 1", "4 | 0")
+}
+
+func TestDerivedTable(t *testing.T) {
+	cat := testCatalog()
+	// Aggregate over an aggregate: per-dept totals, then their average.
+	res := run(t, cat, `
+		SELECT COUNT(*) AS n, AVG(total) AS a
+		FROM (SELECT dept, SUM(salary) AS total FROM emp GROUP BY dept) AS t`)
+	var sum float64
+	for i := int64(0); i < 40; i++ {
+		sum += 1000 + float64(i*13%700)
+	}
+	expectRows(t, res, false, fmt.Sprintf("5 | %.2f", sum/5))
+
+	// Column alias list renames the subquery outputs.
+	res = run(t, cat, `
+		SELECT d, cnt FROM (SELECT dept, COUNT(*) AS c FROM emp GROUP BY dept) AS t (d, cnt)
+		WHERE d < 2 ORDER BY d`)
+	expectRows(t, res, true, "0 | 8", "1 | 8")
+
+	expectErr(t, cat, `SELECT a FROM (SELECT id AS a FROM emp) AS t, dept`, "only FROM relation")
+	expectErr(t, cat, `SELECT a FROM (SELECT id AS a FROM emp) AS t (x, y)`, "column aliases")
+	expectErr(t, cat, `SELECT a FROM (SELECT id AS a FROM emp ORDER BY id) AS t`, "no effect")
+	expectErr(t, cat, `SELECT a FROM (SELECT id AS a FROM emp)`, "needs an alias")
+}
+
 // TestHavingBetweenOverAlias: BETWEEN over a select-list alias in
 // HAVING resolves through the post-aggregation rewrite scope (type
 // inference must not run when no placeholder is present).

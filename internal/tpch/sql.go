@@ -1,0 +1,293 @@
+package tpch
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SQLText returns the TPC-H query n written in the engine's SQL dialect,
+// or ok=false for queries the dialect cannot express yet. The texts stay
+// close to the specification; deviations are the dialect's documented
+// rewrites (EXTRACT-free date arithmetic, hoisted join predicates in
+// Q19, qualified correlation in Q17). sf parameterizes Q11's threshold
+// fraction, which scales with the data.
+//
+// Not expressible today, and why:
+//   - Q7, Q8: two nation roles (n1, n2) need per-relation column
+//     renaming in FROM; joined tables must not share referenced column
+//     names.
+//   - Q15: the revenue view is a two-phase query (max over a derived
+//     table next to base tables).
+//   - Q16: COUNT(DISTINCT ...).
+//   - Q18: IN (SELECT ... GROUP BY ... HAVING ...).
+//   - Q20: IN subqueries nested inside another subquery's WHERE.
+func SQLText(n int, sf float64) (string, bool) {
+	switch n {
+	case 1:
+		return sqlTextQ1, true
+	case 2:
+		return sqlTextQ2, true
+	case 3:
+		return sqlTextQ3, true
+	case 4:
+		return sqlTextQ4, true
+	case 5:
+		return sqlTextQ5, true
+	case 6:
+		return sqlTextQ6, true
+	case 9:
+		return sqlTextQ9, true
+	case 10:
+		return sqlTextQ10, true
+	case 11:
+		fraction := strconv.FormatFloat(0.0001/sf, 'f', -1, 64)
+		return strings.ReplaceAll(sqlTextQ11, "{fraction}", fraction), true
+	case 12:
+		return sqlTextQ12, true
+	case 13:
+		return sqlTextQ13, true
+	case 14:
+		return sqlTextQ14, true
+	case 17:
+		return sqlTextQ17, true
+	case 19:
+		return sqlTextQ19, true
+	case 21:
+		return sqlTextQ21, true
+	case 22:
+		return sqlTextQ22, true
+	}
+	return "", false
+}
+
+// SQLCoverage lists the query numbers SQLText can express.
+func SQLCoverage() []int {
+	var out []int
+	for n := 1; n <= 22; n++ {
+		if _, ok := SQLText(n, 1); ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// MustSQLText is SQLText for queries known to be expressible.
+func MustSQLText(n int, sf float64) string {
+	q, ok := SQLText(n, sf)
+	if !ok {
+		panic(fmt.Sprintf("tpch: query %d has no SQL rendition", n))
+	}
+	return q
+}
+
+const sqlTextQ1 = `
+SELECT l_returnflag, l_linestatus,
+       SUM(l_quantity) AS sum_qty,
+       SUM(l_extendedprice) AS sum_base_price,
+       SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+       SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+       AVG(l_quantity) AS avg_qty,
+       AVG(l_extendedprice) AS avg_price,
+       AVG(l_discount) AS avg_disc,
+       COUNT(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= DATE '1998-09-02'
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus`
+
+const sqlTextQ2 = `
+SELECT s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone, s_comment
+FROM part, supplier, partsupp, nation, region
+WHERE p_partkey = ps_partkey
+  AND s_suppkey = ps_suppkey
+  AND p_size = 15
+  AND p_type LIKE '%BRASS'
+  AND s_nationkey = n_nationkey
+  AND n_regionkey = r_regionkey
+  AND r_name = 'EUROPE'
+  AND ps_supplycost = (SELECT MIN(ps_supplycost)
+                       FROM partsupp, supplier, nation, region
+                       WHERE p_partkey = ps_partkey
+                         AND s_suppkey = ps_suppkey
+                         AND s_nationkey = n_nationkey
+                         AND n_regionkey = r_regionkey
+                         AND r_name = 'EUROPE')
+ORDER BY s_acctbal DESC, n_name, s_name, p_partkey
+LIMIT 100`
+
+const sqlTextQ3 = `
+SELECT l_orderkey, o_orderdate, o_shippriority,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer, orders, lineitem
+WHERE c_mktsegment = 'BUILDING'
+  AND c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate < DATE '1995-03-15'
+  AND l_shipdate > DATE '1995-03-15'
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY revenue DESC, o_orderdate
+LIMIT 10`
+
+const sqlTextQ4 = `
+SELECT o_orderpriority, COUNT(*) AS order_count
+FROM orders
+WHERE o_orderdate >= DATE '1993-07-01'
+  AND o_orderdate < DATE '1993-10-01'
+  AND EXISTS (SELECT * FROM lineitem
+              WHERE l_orderkey = o_orderkey AND l_commitdate < l_receiptdate)
+GROUP BY o_orderpriority
+ORDER BY o_orderpriority`
+
+const sqlTextQ5 = `
+SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer, orders, lineitem, supplier, nation, region
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND l_suppkey = s_suppkey
+  AND c_nationkey = s_nationkey
+  AND s_nationkey = n_nationkey
+  AND n_regionkey = r_regionkey
+  AND r_name = 'ASIA'
+  AND o_orderdate >= DATE '1994-01-01'
+  AND o_orderdate < DATE '1995-01-01'
+GROUP BY n_name
+ORDER BY revenue DESC`
+
+const sqlTextQ6 = `
+SELECT SUM(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= DATE '1994-01-01'
+  AND l_shipdate < DATE '1995-01-01'
+  AND l_discount BETWEEN 0.05 AND 0.07
+  AND l_quantity < 24`
+
+const sqlTextQ9 = `
+SELECT n_name AS nation, EXTRACT(YEAR FROM o_orderdate) AS o_year,
+       SUM(l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity) AS sum_profit
+FROM lineitem, supplier, partsupp, part, orders, nation
+WHERE s_suppkey = l_suppkey
+  AND ps_suppkey = l_suppkey
+  AND ps_partkey = l_partkey
+  AND p_partkey = l_partkey
+  AND o_orderkey = l_orderkey
+  AND s_nationkey = n_nationkey
+  AND p_name LIKE '%green%'
+GROUP BY nation, o_year
+ORDER BY nation, o_year DESC`
+
+const sqlTextQ10 = `
+SELECT c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer, orders, lineitem, nation
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate >= DATE '1993-10-01'
+  AND o_orderdate < DATE '1994-01-01'
+  AND l_returnflag = 'R'
+  AND c_nationkey = n_nationkey
+GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment
+ORDER BY revenue DESC
+LIMIT 20`
+
+const sqlTextQ11 = `
+SELECT ps_partkey, SUM(ps_supplycost * ps_availqty) AS value
+FROM partsupp, supplier, nation
+WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey AND n_name = 'GERMANY'
+GROUP BY ps_partkey
+HAVING SUM(ps_supplycost * ps_availqty) > (
+    SELECT SUM(ps_supplycost * ps_availqty) * {fraction}
+    FROM partsupp, supplier, nation
+    WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey AND n_name = 'GERMANY')
+ORDER BY value DESC`
+
+const sqlTextQ12 = `
+SELECT l_shipmode,
+       SUM(CASE WHEN o_orderpriority IN ('1-URGENT', '2-HIGH') THEN 1 ELSE 0 END) AS high_line_count,
+       SUM(CASE WHEN o_orderpriority IN ('1-URGENT', '2-HIGH') THEN 0 ELSE 1 END) AS low_line_count
+FROM orders, lineitem
+WHERE o_orderkey = l_orderkey
+  AND l_shipmode IN ('MAIL', 'SHIP')
+  AND l_commitdate < l_receiptdate
+  AND l_shipdate < l_commitdate
+  AND l_receiptdate >= DATE '1994-01-01'
+  AND l_receiptdate < DATE '1995-01-01'
+GROUP BY l_shipmode
+ORDER BY l_shipmode`
+
+const sqlTextQ13 = `
+SELECT c_count, COUNT(*) AS custdist
+FROM (SELECT c_custkey, COUNT(o_orderkey) AS c_count
+      FROM customer LEFT OUTER JOIN orders
+        ON c_custkey = o_custkey AND o_comment NOT LIKE '%special%requests%'
+      GROUP BY c_custkey) AS c_orders
+GROUP BY c_count
+ORDER BY custdist DESC, c_count DESC`
+
+const sqlTextQ14 = `
+SELECT 100.0 * SUM(CASE WHEN p_type LIKE 'PROMO%'
+                        THEN l_extendedprice * (1 - l_discount) ELSE 0.0 END)
+       / SUM(l_extendedprice * (1 - l_discount)) AS promo_revenue
+FROM lineitem, part
+WHERE l_partkey = p_partkey
+  AND l_shipdate >= DATE '1995-09-01'
+  AND l_shipdate < DATE '1995-10-01'`
+
+const sqlTextQ17 = `
+SELECT SUM(l_extendedprice) / 7.0 AS avg_yearly
+FROM lineitem, part
+WHERE p_partkey = l_partkey
+  AND p_brand = 'Brand#23'
+  AND p_container = 'MED BOX'
+  AND l_quantity < (SELECT 0.2 * AVG(l2.l_quantity) FROM lineitem AS l2
+                    WHERE l2.l_partkey = lineitem.l_partkey)`
+
+const sqlTextQ19 = `
+SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM lineitem, part
+WHERE l_partkey = p_partkey
+  AND l_shipmode IN ('AIR', 'AIR REG')
+  AND l_shipinstruct = 'DELIVER IN PERSON'
+  AND ((p_brand = 'Brand#12'
+        AND p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG')
+        AND l_quantity >= 1 AND l_quantity <= 11
+        AND p_size BETWEEN 1 AND 5)
+    OR (p_brand = 'Brand#23'
+        AND p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK')
+        AND l_quantity >= 10 AND l_quantity <= 20
+        AND p_size BETWEEN 1 AND 10)
+    OR (p_brand = 'Brand#34'
+        AND p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG')
+        AND l_quantity >= 20 AND l_quantity <= 30
+        AND p_size BETWEEN 1 AND 15))`
+
+const sqlTextQ21 = `
+SELECT s_name, COUNT(*) AS numwait
+FROM supplier, lineitem AS l1, orders, nation
+WHERE s_suppkey = l1.l_suppkey
+  AND o_orderkey = l1.l_orderkey
+  AND o_orderstatus = 'F'
+  AND l1.l_receiptdate > l1.l_commitdate
+  AND EXISTS (SELECT * FROM lineitem AS l2
+              WHERE l2.l_orderkey = l1.l_orderkey
+                AND l2.l_suppkey <> l1.l_suppkey)
+  AND NOT EXISTS (SELECT * FROM lineitem AS l3
+                  WHERE l3.l_orderkey = l1.l_orderkey
+                    AND l3.l_receiptdate > l3.l_commitdate
+                    AND l3.l_suppkey <> l1.l_suppkey)
+  AND s_nationkey = n_nationkey
+  AND n_name = 'SAUDI ARABIA'
+GROUP BY s_name
+ORDER BY numwait DESC, s_name
+LIMIT 100`
+
+const sqlTextQ22 = `
+SELECT SUBSTR(c_phone, 1, 2) AS cntrycode, COUNT(*) AS numcust, SUM(c_acctbal) AS totacctbal
+FROM customer
+WHERE SUBSTR(c_phone, 1, 2) IN ('13', '31', '23', '29', '30', '18', '17')
+  AND c_acctbal > (SELECT AVG(c2.c_acctbal) FROM customer AS c2
+                   WHERE c2.c_acctbal > 0.0
+                     AND SUBSTR(c2.c_phone, 1, 2) IN ('13', '31', '23', '29', '30', '18', '17'))
+  AND NOT EXISTS (SELECT * FROM orders WHERE o_custkey = c_custkey)
+GROUP BY cntrycode
+ORDER BY cntrycode`

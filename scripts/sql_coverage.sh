@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# sql_coverage.sh — CI gate for TPC-H SQL-path coverage.
+#
+# Counts how many of the 22 TPC-H queries round-trip through the SQL
+# front end (text -> parse -> bind -> optimize -> morsel-driven
+# execution, results matching the hand-built reference plans) and fails
+# if the count regresses below the floor pinned in
+# internal/sql/tpch_coverage_test.go (sqlCoverageFloor).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=$(go test -count=1 -run 'TestTPCHSQLCoverageGate' -v ./internal/sql/ 2>&1) || {
+  echo "$out"
+  echo "SQL coverage gate FAILED"
+  exit 1
+}
+echo "$out" | grep -E 'SQL coverage: [0-9]+ of 22' || {
+  echo "$out"
+  echo "SQL coverage gate did not report a count (test renamed?)"
+  exit 1
+}
+echo "SQL coverage gate passed"

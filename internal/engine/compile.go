@@ -35,6 +35,18 @@ type compiler struct {
 	// compilation, so one prepared Plan can be compiled concurrently by
 	// many server sessions.
 	joins map[*Node]*joinCompiled
+
+	// mats holds the per-compile state of each Materialize node, so a
+	// node consumed by several parents buffers its child exactly once.
+	mats map[*Node]*matCompiled
+}
+
+// matCompiled is the shared compile state of one Materialize node: the
+// barrier that builds the scan table from the buffered rows, and the
+// table itself (set when the barrier runs).
+type matCompiled struct {
+	barrier tailJob
+	tab     *storage.Table
 }
 
 // joinCompiled is the compile output of one join node that dependent
@@ -196,6 +208,8 @@ func (n *Node) produce(c *compiler, f consumerFactory) []tailJob {
 		// Pure schema operation: downstream consumers resolve registers
 		// by name, so the pipeline itself is unchanged.
 		return n.child.produce(c, f)
+	case nMaterialize:
+		return c.produceMaterialize(n, f)
 	default:
 		panic(fmt.Sprintf("engine: unknown node kind %d", n.kind))
 	}
@@ -215,37 +229,86 @@ func (c *compiler) produceScan(n *Node, f consumerFactory) []tailJob {
 		rowW += n.filter.weight() * exprNodeWeight
 	}
 	consume := f(pc)
-	srcIdx := n.scanSrc
 	table := n.table
-	nCols := len(srcIdx)
 	job := c.q.AddJob("scan("+table.Name+")",
 		func() []*storage.Partition { return table.Parts },
-		func(w *dispatch.Worker, m storage.Morsel) {
-			e := pc.ectx(w)
-			e.reset(w)
-			cols := m.Part.Cols
-			for r := m.Begin; r < m.End; r++ {
-				for k := 0; k < nCols; k++ {
-					col := cols[srcIdx[k]]
-					switch col.Type {
-					case storage.I64:
-						e.Regs[k] = Val{I: col.Ints[r]}
-					case storage.F64:
-						e.Regs[k] = Val{F: col.Flts[r]}
-					default:
-						e.Regs[k] = Val{S: col.Strs[r]}
-					}
-				}
-				e.cpuUnits += rowW
-				if filterFn != nil && filterFn(e).I == 0 {
-					continue
-				}
-				consume(e)
-			}
-			w.Tracker.ReadSeq(m.Home(), m.Part.BytesRange(m.Begin, m.End, srcIdx))
-			e.flush()
-		})
+		scanMorselBody(pc, n.scanSrc, filterFn, rowW, consume))
 	job.After(pc.deps...)
+	return []tailJob{job}
+}
+
+// scanMorselBody is the per-morsel row loop shared by table scans and
+// materialized-buffer scans: fill the leading registers from the listed
+// column indexes, charge rowW CPU units, apply the optional fused
+// filter, feed the consumer, and account the column bytes read.
+func scanMorselBody(pc *pipeCtx, srcIdx []int, filterFn evalFn, rowW float64, consume rowFn) func(*dispatch.Worker, storage.Morsel) {
+	nCols := len(srcIdx)
+	return func(w *dispatch.Worker, m storage.Morsel) {
+		e := pc.ectx(w)
+		e.reset(w)
+		cols := m.Part.Cols
+		for r := m.Begin; r < m.End; r++ {
+			for k := 0; k < nCols; k++ {
+				col := cols[srcIdx[k]]
+				switch col.Type {
+				case storage.I64:
+					e.Regs[k] = Val{I: col.Ints[r]}
+				case storage.F64:
+					e.Regs[k] = Val{F: col.Flts[r]}
+				default:
+					e.Regs[k] = Val{S: col.Strs[r]}
+				}
+			}
+			e.cpuUnits += rowW
+			if filterFn != nil && filterFn(e).I == 0 {
+				continue
+			}
+			consume(e)
+		}
+		w.Tracker.ReadSeq(m.Home(), m.Part.BytesRange(m.Begin, m.End, srcIdx))
+		e.flush()
+	}
+}
+
+// produceMaterialize compiles a Materialize node: the first consumer
+// compiles the child into per-worker row buffers and a single-task
+// barrier that finalizes them into a partitioned scan table (memoized
+// per compile); every consumer — including the first — then scans that
+// table, gated on the barrier. All consumers read the same rows.
+func (c *compiler) produceMaterialize(n *Node, f consumerFactory) []tailJob {
+	mc := c.mats[n]
+	if mc == nil {
+		mc = &matCompiled{}
+		c.mats[n] = mc
+		sink := newResultSink(n.out, c.workers)
+		tails := n.child.produce(c, sink.factory)
+		var drv *driver
+		job := c.q.AddJob("materialize",
+			func() []*storage.Partition {
+				drv = newDriver(1, func(int) numa.SocketID { return 0 })
+				return drv.parts
+			},
+			func(w *dispatch.Worker, m storage.Morsel) {
+				res := sink.collect()
+				mc.tab = res.ToTable("$materialized", c.workers, c.sockets)
+				w.Tracker.Advance(float64(res.NumRows()) * ExchangeSerialNsPerRow)
+			})
+		job.After(tails...).WithMorselRows(1)
+		mc.barrier = job
+	}
+	pc := c.newPipe()
+	for _, r := range n.out {
+		pc.addReg(r.Name, r.Type)
+	}
+	consume := f(pc)
+	srcIdx := make([]int, len(n.out))
+	for i := range srcIdx {
+		srcIdx[i] = i
+	}
+	job := c.q.AddJob("matscan",
+		func() []*storage.Partition { return mc.tab.Parts },
+		scanMorselBody(pc, srcIdx, nil, 1, consume))
+	job.After(append(pc.deps, mc.barrier)...)
 	return []tailJob{job}
 }
 
@@ -274,6 +337,7 @@ func (s *Session) Compile(p *Plan) *Compiled {
 		sess: s, q: dispatch.NewQuery(p.Name),
 		workers: workers, sockets: s.Machine.Topo.Sockets,
 		joins: make(map[*Node]*joinCompiled),
+		mats:  make(map[*Node]*matCompiled),
 	}
 	cp := &Compiled{Query: c.q, Plan: p}
 	if len(p.sortKeys) > 0 {

@@ -238,6 +238,10 @@ func describeNode(n *Node) string {
 		return fmt.Sprintf("groupby [%s] aggs [%s]", gb.String(), ab.String())
 	case nUnion:
 		return fmt.Sprintf("union (%d inputs)", len(n.children))
+	case nMaterialize:
+		// A shared node: Explain's tree walk prints it (and its subtree)
+		// once per consumer, but the subtree executes exactly once.
+		return "materialize (shared; executes once)"
 	case nUnmatched:
 		return fmt.Sprintf("unmatched(%s) cols=%v", n.joinRef.build.outName(), n.cols)
 	default:

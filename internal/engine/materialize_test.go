@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// matTestTable builds a small fact table whose float measures sum to
+// order-sensitive totals (many different magnitudes), so recomputing an
+// aggregation twice under different morsel schedules would likely differ
+// in the last bits — exactly what Materialize exists to prevent.
+func matTestTable() *storage.Table {
+	b := storage.NewBuilder("facts", storage.Schema{
+		{Name: "k", Type: storage.I64},
+		{Name: "v", Type: storage.F64},
+	}, 8, "k")
+	for i := int64(0); i < 4000; i++ {
+		b.Append(storage.Row{i % 37, 0.1 + float64(i*i%1013)/7.0})
+	}
+	return b.Build(storage.NUMAAware, 4)
+}
+
+// TestMaterializeSharedConsumers runs the Q15 shape: a grouped view
+// consumed by a join probe AND by a global MAX, with an equality filter
+// between the per-group sum and the max. With one materialization both
+// sides are bit-identical, so the filter must keep at least one row and
+// every kept row must carry the true maximum.
+func TestMaterializeSharedConsumers(t *testing.T) {
+	tab := matTestTable()
+	for _, workers := range []int{1, 4, 8} {
+		p := NewPlan("mat")
+		view := p.Scan(tab, "k", "v").
+			GroupBy(
+				[]NamedExpr{N("gk", Col("k"))},
+				[]AggDef{Sum("total", Col("v"))})
+		shared := p.Materialize(view)
+		maxN := shared.
+			GroupBy(nil, []AggDef{MaxOf("m", Col("total"))}).
+			Map("mk", ConstI(1))
+		n := shared.Map("mk", ConstI(1)).
+			HashJoin(maxN, JoinInner, []*Expr{Col("mk")}, []*Expr{Col("mk")}, "m").
+			Filter(Eq(Col("total"), Col("m"))).
+			Project("gk", "total")
+		p.ReturnSorted(n, 0, Asc("gk"))
+
+		s := newTestSession(Sim)
+		s.Dispatch.Workers = workers
+		res, _ := s.Run(p)
+		if res.NumRows() == 0 {
+			t.Fatalf("workers=%d: equality against the shared max matched no rows", workers)
+		}
+		// Cross-check the winner against a single-threaded recomputation.
+		sums := map[int64]float64{}
+		for _, part := range tab.Parts {
+			ks, vs := part.Cols[0].Ints, part.Cols[1].Flts
+			for i := range ks {
+				sums[ks[i]] += vs[i]
+			}
+		}
+		var bestK int64
+		best := -1.0
+		for k, v := range sums {
+			if v > best || (v == best && k < bestK) {
+				bestK, best = k, v
+			}
+		}
+		if got := res.Rows()[0][0].I; got != bestK {
+			t.Fatalf("workers=%d: max-sum group = %d, want %d", workers, got, bestK)
+		}
+	}
+}
+
+// TestMaterializeExplain pins the operator's explain marker.
+func TestMaterializeExplain(t *testing.T) {
+	tab := matTestTable()
+	p := NewPlan("mat")
+	shared := p.Materialize(p.Scan(tab, "k", "v"))
+	n := shared.GroupBy(nil, []AggDef{Sum("s", Col("v"))})
+	p.Return(n)
+	if ex := p.Explain(); !strings.Contains(ex, "materialize (shared; executes once)") {
+		t.Fatalf("explain missing materialize marker:\n%s", ex)
+	}
+}

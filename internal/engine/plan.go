@@ -125,6 +125,7 @@ const (
 	nUnion
 	nUnmatched
 	nProject
+	nMaterialize
 )
 
 // Node is one operator of a plan.
@@ -341,6 +342,19 @@ func (n *Node) Project(cols ...string) *Node {
 		out[i] = Reg{Name: c, Type: t}
 	}
 	return &Node{plan: n.plan, kind: nProject, child: n, cols: cols, out: out}
+}
+
+// Materialize buffers n's output once per execution; every consumer then
+// scans the buffered rows. It is the plan-level sharing point for a
+// common sub-plan referenced more than once (a view used twice — TPC-H
+// Q15's revenue view): the subtree executes exactly once, so all
+// consumers observe identical rows. That matters beyond cost: parallel
+// floating-point aggregation is order-sensitive, so two recomputations
+// of the same SUM can differ in the last bits — an equality between a
+// view row and an aggregate over the view is only exact when both sides
+// read one materialization.
+func (p *Plan) Materialize(n *Node) *Node {
+	return &Node{plan: p, kind: nMaterialize, child: n, out: n.out}
 }
 
 // GroupBy aggregates with the two-phase parallel algorithm (§4.4).

@@ -2,9 +2,13 @@
 // compiled into composed closures (the Go analog of HyPer's JIT-compiled
 // pipeline fragments), a register-file row representation, expression
 // evaluation, and the paper's parallel operators — pipelined hash joins on
-// the lock-free tagged hash table (§4.1/§4.2), two-phase parallel
-// aggregation (§4.4), and parallel merge sort / top-k (§4.5) — all
-// executing morsel-wise under the dispatcher.
+// the lock-free tagged hash table (§4.1/§4.2, with semi/anti/mark/outer
+// variants), two-phase parallel aggregation (§4.4), parallel merge sort /
+// top-k (§4.5), and Materialize, a compute-once buffer shared by several
+// consumers — all executing morsel-wise under the dispatcher. Plans are
+// immutable under compilation, so one prepared plan serves many
+// concurrent sessions. Plan.Explain renders the operator tree
+// (docs/explain.md).
 package engine
 
 import (

@@ -31,7 +31,9 @@ func newTPCHServer(t *testing.T) (*Server, *tpch.DB) {
 	s.Prepare("q1", tpch.QueryPlan(1, db))
 	s.Prepare("q3", tpch.QueryPlan(3, db))
 	s.Prepare("q6", tpch.QueryPlan(6, db))
+	s.Prepare("q7", tpch.QueryPlan(7, db))
 	s.Prepare("q13", tpch.QueryPlan(13, db))
+	s.Prepare("q16", tpch.QueryPlan(16, db))
 	s.Prepare("q22", tpch.QueryPlan(22, db))
 	t.Cleanup(s.Close)
 	return s, db
@@ -122,8 +124,12 @@ func TestSQLMatchesHandBuiltThroughServer(t *testing.T) {
 		{"q6", serverSQLQ6},
 		// Q13 (derived table + build-side mark outer join) and Q22
 		// (scalar subquery + NOT EXISTS anti join) exercise the new SQL
-		// surface through the shared server path.
+		// surface through the shared server path; Q7 (two nation roles
+		// via per-relation column renaming) and Q16 (COUNT(DISTINCT) +
+		// NOT IN) cover the 22/22 dialect additions.
+		{"q7", tpch.MustSQLText(7, 1)},
 		{"q13", tpch.MustSQLText(13, 1)},
+		{"q16", tpch.MustSQLText(16, 1)},
 		{"q22", tpch.MustSQLText(22, 1)},
 	} {
 		got, err := s.Submit(ctx, &Request{SQL: tc.query})

@@ -156,11 +156,14 @@ type Case struct {
 
 // Call is a function call: aggregates (SUM/COUNT/MIN/MAX/AVG) and
 // scalar functions (YEAR, SUBSTR, IF, FLOAT). Name is uppercased.
+// Distinct marks COUNT(DISTINCT expr) — the only aggregate the engine
+// deduplicates (through its two-phase group-by machinery).
 type Call struct {
 	position
-	Name string
-	Args []Expr
-	Star bool // COUNT(*)
+	Name     string
+	Args     []Expr
+	Star     bool // COUNT(*)
+	Distinct bool // COUNT(DISTINCT expr)
 }
 
 // Exists is [NOT] EXISTS (SELECT ...).

@@ -23,9 +23,28 @@ type baseTable struct {
 
 	derived    *engine.Node // lowered subquery output, nil for base tables
 	derivedEst float64      // its estimated cardinality
+
+	// regs maps a column name to its pipeline register when the planner
+	// renamed it ("$alias.col") because another FROM relation provides a
+	// column of the same name — two roles of one table (nation n1,
+	// nation n2) then coexist in one register file.
+	regs map[string]string
+
+	// materialized marks a derived table whose fragment was wrapped in
+	// an engine.Materialize because a scalar subquery shares it.
+	materialized bool
 }
 
 func (b *baseTable) rows() int { return b.t.Rows() }
+
+// reg returns the pipeline register a column of this relation lands in
+// (the column name itself unless renamed).
+func (b *baseTable) reg(col string) string {
+	if r, ok := b.regs[col]; ok {
+		return r
+	}
+	return col
+}
 
 // scope resolves column references against a set of bound tables. outer
 // is the enclosing scope for correlated subqueries (may be nil).
@@ -231,8 +250,15 @@ func astFormat(b *strings.Builder, e Expr) {
 		}
 		b.WriteByte(')')
 	case *InSelect:
+		// Render the whole body: selString-based view matching must see
+		// two IN subqueries that differ (or an IN vs NOT IN) as distinct.
 		astFormat(b, x.E)
-		b.WriteString(" in (select ...)")
+		if x.Invert {
+			b.WriteString(" not")
+		}
+		b.WriteString(" in (")
+		selFormat(b, x.Sub)
+		b.WriteByte(')')
 	case *LikeExpr:
 		astFormat(b, x.E)
 		if x.Invert {
@@ -253,7 +279,12 @@ func astFormat(b *strings.Builder, e Expr) {
 		}
 		b.WriteString(" end")
 	case *Exists:
-		b.WriteString("exists (select ...)")
+		if x.Invert {
+			b.WriteString("not ")
+		}
+		b.WriteString("exists (")
+		selFormat(b, x.Sub)
+		b.WriteByte(')')
 	case *SubqueryExpr:
 		// Each scalar subquery occurrence is its own equivalence class:
 		// the planner rewrites it (by this key) to the register its
@@ -267,6 +298,9 @@ func astFormat(b *strings.Builder, e Expr) {
 		if x.Star {
 			b.WriteByte('*')
 		}
+		if x.Distinct {
+			b.WriteString("distinct ")
+		}
 		for i, a := range x.Args {
 			if i > 0 {
 				b.WriteString(", ")
@@ -276,6 +310,92 @@ func astFormat(b *strings.Builder, e Expr) {
 		b.WriteByte(')')
 	default:
 		fmt.Fprintf(b, "<%T>", e)
+	}
+}
+
+// selString renders a whole Select canonically. The planner uses it to
+// recognize a scalar subquery ranging over a derived table whose body is
+// identical to a derived table of the outer FROM — the two references to
+// TPC-H Q15's revenue view — and share one materialized plan fragment
+// between them.
+func selString(s *Select) string {
+	var b strings.Builder
+	selFormat(&b, s)
+	return b.String()
+}
+
+func selFormat(b *strings.Builder, s *Select) {
+	b.WriteString("select ")
+	if s.Distinct {
+		b.WriteString("distinct ")
+	}
+	if s.Star {
+		b.WriteByte('*')
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		astFormat(b, it.E)
+		if it.As != "" {
+			b.WriteString(" as " + it.As)
+		}
+	}
+	b.WriteString(" from ")
+	for i, ft := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if ft.Join != "" {
+			b.WriteString(ft.Join + " join ")
+		}
+		if ft.Sub != nil {
+			b.WriteByte('(')
+			selFormat(b, ft.Sub)
+			b.WriteByte(')')
+		} else {
+			b.WriteString(ft.Name)
+		}
+		if ft.Alias != "" {
+			b.WriteString(" as " + ft.Alias)
+		}
+		for _, ca := range ft.ColAliases {
+			b.WriteString(" " + ca)
+		}
+		if ft.On != nil {
+			b.WriteString(" on ")
+			astFormat(b, ft.On)
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" where ")
+		astFormat(b, s.Where)
+	}
+	for i, g := range s.GroupBy {
+		if i == 0 {
+			b.WriteString(" group by ")
+		} else {
+			b.WriteString(", ")
+		}
+		astFormat(b, g)
+	}
+	if s.Having != nil {
+		b.WriteString(" having ")
+		astFormat(b, s.Having)
+	}
+	for i, k := range s.OrderBy {
+		if i == 0 {
+			b.WriteString(" order by ")
+		} else {
+			b.WriteString(", ")
+		}
+		astFormat(b, k.E)
+		if k.Desc {
+			b.WriteString(" desc")
+		}
+	}
+	if s.HasLimit {
+		fmt.Fprintf(b, " limit %d", s.Limit)
 	}
 }
 
@@ -313,8 +433,7 @@ func (bd *binder) bind(e Expr) (*engine.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		_ = t
-		return engine.Col(x.Name), nil
+		return engine.Col(t.reg(x.Name)), nil
 	case *IntLit:
 		return engine.ConstI(x.V), nil
 	case *FloatLit:

@@ -1,0 +1,193 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+// The PR-5 dialect surface, feature by feature, on the small test
+// catalog: positive lowering behavior plus the deliberate error edges.
+// (TPC-H-scale parity lives in golden_test.go / tpch_coverage_test.go.)
+
+func TestCountDistinct(t *testing.T) {
+	cat := testCatalog()
+	// 8 names cycle over 40 rows; every dept sees all 8.
+	res := run(t, cat, `SELECT dept, COUNT(DISTINCT name) AS n FROM emp GROUP BY dept ORDER BY dept`)
+	expectRows(t, res, true, "0 | 8", "1 | 8", "2 | 8", "3 | 8", "4 | 8")
+	// Global (no GROUP BY) counts distinct over the whole table.
+	res = run(t, cat, `SELECT COUNT(DISTINCT dept) AS n FROM emp`)
+	expectRows(t, res, false, "5")
+	// Distinct over an expression.
+	res = run(t, cat, `SELECT COUNT(DISTINCT dept * 2) AS n FROM emp WHERE dept < 3`)
+	expectRows(t, res, false, "3")
+	// In HAVING.
+	res = run(t, cat, `SELECT dept FROM emp GROUP BY dept HAVING COUNT(DISTINCT name) >= 8 ORDER BY dept`)
+	expectRows(t, res, true, "0", "1", "2", "3", "4")
+
+	expectErr(t, cat, `SELECT SUM(DISTINCT salary) AS s FROM emp`, "only COUNT(DISTINCT")
+	expectErr(t, cat, `SELECT COUNT(DISTINCT name) AS a, COUNT(DISTINCT dept) AS b FROM emp`,
+		"only one COUNT(DISTINCT")
+	expectErr(t, cat, `SELECT COUNT(DISTINCT name) AS a, SUM(salary) AS b FROM emp`,
+		"cannot be combined")
+	expectErr(t, cat, `SELECT YEAR(DISTINCT hired) AS y FROM emp`, "inside an aggregate")
+	// Over a LEFT JOIN's nullable side the zero-extension value would
+	// count as a distinct value — rejected (plain COUNT uses the match
+	// flag and stays correct).
+	expectErr(t, cat,
+		`SELECT dname, COUNT(DISTINCT id) AS n FROM dept LEFT JOIN emp ON dept = did AND id < 0 GROUP BY dname`,
+		"distinct value")
+	res = run(t, cat,
+		`SELECT dname, COUNT(id) AS n FROM dept LEFT JOIN emp ON dept = did AND id < 0 GROUP BY dname ORDER BY dname`)
+	for _, row := range res.Rows() {
+		if row[1].I != 0 {
+			t.Fatalf("COUNT(id) over all-unmatched LEFT JOIN: %v, want 0", row)
+		}
+	}
+}
+
+func TestGroupedInSubquery(t *testing.T) {
+	cat := testCatalog()
+	// Every dept has 8 rows, so HAVING > 2 keeps all; > 9 keeps none.
+	res := run(t, cat, `SELECT COUNT(*) AS n FROM emp WHERE dept IN (SELECT dept FROM emp GROUP BY dept HAVING COUNT(*) > 2)`)
+	expectRows(t, res, false, "40")
+	res = run(t, cat, `SELECT COUNT(*) AS n FROM emp WHERE dept IN (SELECT dept FROM emp GROUP BY dept HAVING COUNT(*) > 9)`)
+	expectRows(t, res, false, "0")
+	// NOT IN takes the complement.
+	res = run(t, cat, `SELECT COUNT(*) AS n FROM emp WHERE dept NOT IN (SELECT dept FROM emp GROUP BY dept HAVING SUM(salary) > 99999999.0)`)
+	expectRows(t, res, false, "40")
+	// A grouped-IN whose inner query joins two tables.
+	res = run(t, cat, `
+		SELECT COUNT(*) AS n FROM emp
+		WHERE dept IN (SELECT did FROM dept, emp WHERE did = dept AND region = 'emea' GROUP BY did HAVING COUNT(*) > 0)`)
+	expectRows(t, res, false, "16")
+
+	// Correlated complex subqueries are out of scope: the nested planner
+	// has no outer scope, so the reference fails to resolve.
+	expectErr(t, cat,
+		`SELECT id FROM emp AS e WHERE dept IN (SELECT did FROM dept WHERE did = e.dept GROUP BY did HAVING COUNT(*) > 0)`,
+		"unknown")
+	// Complex EXISTS stays rejected with a pointed message.
+	expectErr(t, cat,
+		`SELECT id FROM emp WHERE EXISTS (SELECT dept FROM emp GROUP BY dept HAVING COUNT(*) > 2)`,
+		"only supported with IN")
+}
+
+func TestNestedSubqueryInSubWhere(t *testing.T) {
+	cat := testCatalog()
+	// IN inside an IN-subquery's WHERE (the Q20 shape).
+	res := run(t, cat, `
+		SELECT id FROM emp
+		WHERE dept IN (SELECT did FROM dept
+		               WHERE did IN (SELECT dept FROM emp WHERE salary >= 1500.0))
+		ORDER BY id`)
+	// salary = 1000 + 13i mod 700 peaks at i=39 (1507, dept 4): the
+	// nested IN selects dept 4 alone; assert against direct evaluation.
+	want := run(t, cat, `SELECT id FROM emp WHERE dept = 4 ORDER BY id`)
+	if a, b := rows(res, true), rows(want, true); strings.Join(a, ";") != strings.Join(b, ";") {
+		t.Fatalf("nested IN: got %v want %v", a, b)
+	}
+	// A correlated scalar subquery inside an IN-subquery's WHERE.
+	res = run(t, cat, `
+		SELECT COUNT(*) AS n FROM emp
+		WHERE id IN (SELECT id FROM emp AS e
+		             WHERE salary > (SELECT AVG(e2.salary) FROM emp AS e2 WHERE e2.dept = e.dept))`)
+	want = run(t, cat, `SELECT COUNT(*) AS n FROM emp
+		WHERE salary > (SELECT AVG(e2.salary) FROM emp AS e2 WHERE e2.dept = emp.dept)`)
+	expectRows(t, res, false, rows(want, false)...)
+}
+
+func TestDerivedJoinedToBase(t *testing.T) {
+	cat := testCatalog()
+	res := run(t, cat, `
+		SELECT dname, total
+		FROM dept, (SELECT dept AS dd, SUM(salary) AS total FROM emp GROUP BY dd) AS t
+		WHERE did = dd AND did < 2 ORDER BY dname`)
+	if len(res.Rows()) != 2 {
+		t.Fatalf("got %d rows, want 2", len(res.Rows()))
+	}
+	// The Q15 shape end to end: rows of a view whose measure equals the
+	// view's own maximum, via the shared materialized fragment.
+	res = run(t, cat, `
+		SELECT dname, total
+		FROM dept, (SELECT dept AS dd, SUM(salary) AS total FROM emp GROUP BY dd) AS t
+		WHERE did = dd
+		  AND total = (SELECT MAX(r.total)
+		               FROM (SELECT dept AS dd, SUM(salary) AS total FROM emp GROUP BY dd) AS r)
+		ORDER BY dname`)
+	if len(res.Rows()) != 1 {
+		t.Fatalf("view-max equality: got %d rows, want exactly 1", len(res.Rows()))
+	}
+	p, err := Compile(`
+		SELECT dd FROM (SELECT dept AS dd, SUM(salary) AS total FROM emp GROUP BY dd) AS t
+		WHERE total = (SELECT MAX(r.total)
+		               FROM (SELECT dept AS dd, SUM(salary) AS total FROM emp GROUP BY dd) AS r)`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex := p.Explain(); !strings.Contains(ex, "materialize (shared; executes once)") {
+		t.Fatalf("identical view bodies not shared:\n%s", ex)
+	}
+	// A non-identical body is planned independently (no sharing).
+	p, err = Compile(`
+		SELECT dd FROM (SELECT dept AS dd, SUM(salary) AS total FROM emp GROUP BY dd) AS t
+		WHERE total >= (SELECT MAX(r.total)
+		                FROM (SELECT dept AS dd, SUM(salary) AS total FROM emp WHERE id >= 0 GROUP BY dd) AS r)`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex := p.Explain(); strings.Contains(ex, "materialize") {
+		t.Fatalf("different view bodies must not share:\n%s", ex)
+	}
+	// Bodies differing only inside an IN subquery — or by IN vs NOT IN —
+	// must NOT share: astString renders the whole subquery body, so
+	// selString sees them as distinct (a fixed "(select ...)" rendering
+	// once made these share silently, computing MAX over the wrong rows).
+	p, err = Compile(`
+		SELECT dd FROM (SELECT dept AS dd, SUM(salary) AS total FROM emp
+		                WHERE dept IN (SELECT did FROM dept WHERE did < 2) GROUP BY dd) AS t
+		WHERE total >= (SELECT MAX(r.total)
+		                FROM (SELECT dept AS dd, SUM(salary) AS total FROM emp
+		                      WHERE dept NOT IN (SELECT did FROM dept WHERE did < 2) GROUP BY dd) AS r)`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex := p.Explain(); strings.Contains(ex, "materialize") {
+		t.Fatalf("IN vs NOT IN view bodies must not share:\n%s", ex)
+	}
+	// Derived tables stay off the nullable side of LEFT JOIN.
+	expectErr(t, cat,
+		`SELECT did FROM dept LEFT JOIN (SELECT dept AS dd FROM emp GROUP BY dept) AS t ON did = dd`,
+		"nullable side")
+}
+
+func TestColumnRenamingThroughAggregates(t *testing.T) {
+	cat := testCatalog()
+	// Two roles of emp: group by one role's column, aggregate the other's.
+	res := run(t, cat, `
+		SELECT a.dept AS d, SUM(b.salary) AS s
+		FROM emp AS a, emp AS b
+		WHERE a.id = b.id
+		GROUP BY d ORDER BY d`)
+	want := run(t, cat, `SELECT dept AS d, SUM(salary) AS s FROM emp GROUP BY d ORDER BY d`)
+	expectRows(t, res, true, rows(want, true)...)
+	// SELECT * over a self join: star expansion qualifies each column by
+	// its providing relation, and duplicate output names uniquify.
+	res = run(t, cat, `SELECT * FROM emp AS a, emp AS b WHERE a.id = b.id AND a.id = 1`)
+	if len(res.Schema) != 10 {
+		t.Fatalf("SELECT * over self join: %d columns, want 10", len(res.Schema))
+	}
+	if res.Schema[0].Name != "id" || res.Schema[5].Name != "id_2" {
+		t.Fatalf("star output names: %v", res.Schema)
+	}
+	if len(res.Rows()) != 1 || res.Rows()[0][0].I != 1 || res.Rows()[0][5].I != 1 {
+		t.Fatalf("star self-join rows: %v", res.Rows())
+	}
+	// Renamed registers appear in EXPLAIN scans as "col AS $alias.col".
+	p, err := Compile(`SELECT a.name AS x, b.name AS y FROM emp AS a, emp AS b WHERE a.id = b.id`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex := p.Explain(); !strings.Contains(ex, "$a.name") || !strings.Contains(ex, "$b.name") {
+		t.Fatalf("explain lacks renamed registers:\n%s", ex)
+	}
+}

@@ -290,6 +290,20 @@ func (pl *planner) joinCardScoped(probeCard, buildCard float64, probeKeys, build
 	return out
 }
 
+// generalInCard estimates the semi/anti join of a complex IN subquery:
+// the nested planner's output estimate stands in for the build key NDV
+// (grouped or distinct subquery outputs are near-unique), and the NDV
+// containment ratio gives the matched probe fraction.
+func (pl *planner) generalInCard(probeCard, buildNDV float64, probeKey Expr, anti bool) float64 {
+	np := keyNDV(pl.sc, probeKey, probeCard)
+	nb := max(buildNDV, 1)
+	frac := min(min(np, nb)/max(np, 1), 1)
+	if anti {
+		frac = 1 - frac
+	}
+	return max(probeCard*frac, 1)
+}
+
 // markUnmatchedEst estimates the Unmatched scan of a build-side outer
 // join: the preserved rows whose key value never occurs on the probing
 // (nullable) side, via the same NDV containment ratio.

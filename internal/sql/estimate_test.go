@@ -48,3 +48,44 @@ func TestSelectivityEstimates(t *testing.T) {
 	expectEst(t, cat, `SELECT dname FROM emp, dept WHERE dept = did`,
 		"hashjoin inner on [dept = did] payload=[dname] est=40")
 }
+
+// TestGroupedInEstimates: a complex IN subquery's semi/anti join takes
+// the nested plan's output estimate as the build-side key NDV. The inner
+// group-by estimates 5 groups, HAVING keeps ~1/3 (est 2, raw 1.67), so
+// the matched probe fraction is 1.67/5 → 40·0.33 ≈ 13 rows (semi) and
+// the anti complement ≈ 27.
+func TestGroupedInEstimates(t *testing.T) {
+	cat := testCatalog()
+	groupedIn := `SELECT id FROM emp WHERE dept IN (SELECT dept FROM emp GROUP BY dept HAVING COUNT(*) > 2)`
+	expectEst(t, cat, groupedIn, "groupby [dept] aggs [count(*) AS $agg1] est=5")
+	expectEst(t, cat, groupedIn, "hashjoin semi on [dept = dept] est=13")
+	expectEst(t, cat,
+		`SELECT id FROM emp WHERE dept NOT IN (SELECT dept FROM emp GROUP BY dept HAVING COUNT(*) > 2)`,
+		"hashjoin anti on [dept = dept] est=27")
+}
+
+// TestCountDistinctEstimates: COUNT(DISTINCT x) lowers to two group-by
+// phases; the distinct argument's NDV passes through as the first
+// phase's cardinality (5 depts × 8 names capped at the 40-row input),
+// and the second phase keeps the plain grouped estimate.
+func TestCountDistinctEstimates(t *testing.T) {
+	cat := testCatalog()
+	q := `SELECT dept, COUNT(DISTINCT name) AS n FROM emp GROUP BY dept`
+	expectEst(t, cat, q, "groupby [dept, name AS $distinct] aggs [count(*) AS $dup] est=40")
+	expectEst(t, cat, q, "groupby [dept] aggs [count(*) AS n] est=5")
+	// Without group keys the first phase is bounded by the argument NDV
+	// alone: 8 distinct names.
+	q = `SELECT COUNT(DISTINCT name) AS n FROM emp`
+	expectEst(t, cat, q, "groupby [name AS $distinct] aggs [count(*) AS $dup] est=8")
+	expectEst(t, cat, q, "groupby [] aggs [count(*) AS n] est=1")
+}
+
+// TestDerivedJoinEstimates: a derived table's base cardinality is its
+// subquery's estimate (5 groups), which then feeds the join model like
+// any base relation: 5·5/5 = 5.
+func TestDerivedJoinEstimates(t *testing.T) {
+	cat := testCatalog()
+	q := `SELECT dname, total FROM (SELECT dept AS dd, SUM(salary) AS total FROM emp GROUP BY dd) AS t, dept WHERE dd = did`
+	expectEst(t, cat, q, "groupby [dept AS dd] aggs [sum(salary) AS total] est=5")
+	expectEst(t, cat, q, "hashjoin inner on [dd = did] payload=[dname] est=5")
+}

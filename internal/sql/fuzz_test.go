@@ -39,6 +39,16 @@ func FuzzParse(f *testing.F) {
 		"SELECT c, COUNT(*) AS k FROM (SELECT dept, COUNT(*) AS c FROM emp GROUP BY dept) AS t (d, c) GROUP BY c ORDER BY k DESC, c",
 		"SELECT id FROM emp ORDER BY id LIMIT 0",
 		"SELECT id FROM emp LIMIT 0",
+		// The 22/22 dialect surface: per-relation column renaming,
+		// COUNT(DISTINCT), grouped/HAVING IN subqueries, subqueries
+		// nested inside a subquery's WHERE, derived tables joined to
+		// base tables (with a scalar over an identical view body).
+		"SELECT a.name AS n1, b.name AS n2 FROM emp AS a, emp AS b WHERE a.id = b.id ORDER BY n1",
+		"SELECT dept, COUNT(DISTINCT name) AS n FROM emp GROUP BY dept ORDER BY dept",
+		"SELECT id FROM emp WHERE dept IN (SELECT dept FROM emp GROUP BY dept HAVING COUNT(*) > 2) ORDER BY id",
+		"SELECT id FROM emp WHERE dept IN (SELECT did FROM dept WHERE did IN (SELECT dept FROM emp WHERE salary > 1200)) ORDER BY id",
+		"SELECT dname, total FROM (SELECT dept AS dd, SUM(salary) AS total FROM emp GROUP BY dd) AS t, dept WHERE dd = did AND total >= (SELECT MAX(r.total) FROM (SELECT dept AS dd, SUM(salary) AS total FROM emp GROUP BY dd) AS r) ORDER BY dname",
+		"SELECT COUNT(DISTINCT ", "SELECT x FROM (SELECT", "SELECT a.b. FROM t",
 		"SELECT '", "SELECT", "(", "SELECT * FROM emp WHERE ((id",
 		"SELECT 1e FROM emp", "SELECT id FROM emp GROUP BY",
 		"SELECT id FROM emp WHERE x > (SELECT", "SELECT a FROM (SELECT",

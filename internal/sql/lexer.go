@@ -1,10 +1,14 @@
 // Package sql is the SQL front end of the morsel-driven engine: a lexer
-// and recursive-descent parser for a SELECT dialect covering the
-// TPC-H/SSB workloads, a binder that resolves names against the storage
-// catalog, a small rule-based logical optimizer (predicate pushdown,
-// projection pruning, join ordering with build-side selection), and a
-// lowering pass that emits engine.Plan — so SQL execution is exactly as
-// morsel-driven as hand-built plans.
+// and recursive-descent parser for a SELECT dialect that expresses all
+// 22 TPC-H queries (and the SSB suite), a binder that resolves names
+// against the storage catalog through subquery scope chains, a
+// cost-based optimizer (predicate pushdown, projection pruning,
+// statistics-driven bushy join ordering and build-side selection,
+// subquery decorrelation), and a lowering pass that emits engine.Plan —
+// so SQL execution is exactly as morsel-driven as hand-built plans.
+// Prepared statements compile once into immutable templates bound per
+// request. The dialect grammar and per-query lowering notes live in
+// docs/sql-dialect.md; the plan printer in docs/explain.md.
 package sql
 
 import (

@@ -641,10 +641,13 @@ func (p *parser) parsePrimary() (Expr, error) {
 			if p.eatSymbol("*") {
 				call.Star = true
 			} else if !p.symbol(")") {
-				for {
-					if p.eatKw("DISTINCT") {
-						return nil, p.errf("%s(DISTINCT ...) is not supported", call.Name)
+				if p.eatKw("DISTINCT") {
+					if _, agg := aggFuncs[call.Name]; !agg {
+						return nil, p.errf("DISTINCT is only supported inside an aggregate call")
 					}
+					call.Distinct = true
+				}
+				for {
 					a, err := p.parseExpr()
 					if err != nil {
 						return nil, err
@@ -657,6 +660,9 @@ func (p *parser) parsePrimary() (Expr, error) {
 			}
 			if err := p.expectSymbol(")"); err != nil {
 				return nil, err
+			}
+			if call.Distinct && len(call.Args) != 1 {
+				return nil, p.errf("%s(DISTINCT ...) wants exactly one argument", call.Name)
 			}
 			return call, nil
 		}

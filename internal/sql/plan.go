@@ -2,6 +2,7 @@ package sql
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/engine"
@@ -74,6 +75,10 @@ type joinStep struct {
 }
 
 // subJoinSpec is a semi/anti join derived from EXISTS / IN (SELECT ...).
+// Simple subqueries (one base table, no grouping) carry the table plus
+// the correlation split; complex IN subqueries (grouped, HAVING, joined,
+// nested subqueries in their WHERE, derived tables) are planned whole by
+// a nested planner and carry the lowered build in node/buildReg instead.
 type subJoinSpec struct {
 	t         *baseTable
 	anti      bool
@@ -83,6 +88,9 @@ type subJoinSpec struct {
 	residual  []Expr // conjuncts over probe and build columns
 	resPay    map[string]bool
 	sc        *scope // sub scope (build table + outer)
+
+	node     *engine.Node // pre-planned build (complex IN subqueries)
+	buildReg string       // its output register joined against
 }
 
 // outerSpec is a LEFT OUTER JOIN appendage. The preserved side is the
@@ -326,6 +334,10 @@ func (pl *planner) planNode(stmt *Select) (*engine.Node, []SelectItem, []string,
 		}
 	}
 
+	// ---- per-relation column renaming: referenced columns provided by
+	// more than one FROM relation get private registers.
+	pl.renameDuplicateColumns()
+
 	// ---- join order + build-side selection, then lower.
 	steps, root, err := pl.orderJoins()
 	if err != nil {
@@ -360,10 +372,17 @@ func (pl *planner) bindFrom(stmt *Select) error {
 	seen := map[string]bool{}
 	for _, ft := range stmt.From {
 		if ft.Sub != nil {
-			if len(stmt.From) != 1 {
-				return &ParseError{Msg: "a derived table must be the only FROM relation (join inside or around it instead)", Line: ft.Line, Col: ft.Col}
+			if ft.Join == "left" {
+				return &ParseError{Msg: "a derived table cannot be the nullable side of a LEFT JOIN", Line: ft.Line, Col: ft.Col}
 			}
-			return pl.bindDerived(ft)
+			if seen[ft.Alias] {
+				return &ParseError{Msg: fmt.Sprintf("duplicate table %q in FROM (alias one of them)", ft.Alias), Line: ft.Line, Col: ft.Col}
+			}
+			seen[ft.Alias] = true
+			if err := pl.bindDerived(ft); err != nil {
+				return err
+			}
+			continue
 		}
 		t, ok := pl.cat(ft.Name)
 		if !ok {
@@ -459,6 +478,38 @@ func (pl *planner) bindDerived(ft FromTable) error {
 	return nil
 }
 
+// renameDuplicateColumns assigns private registers ("$alias.col") to
+// referenced columns that more than one FROM relation provides, so two
+// roles of the same table (nation n1, nation n2 — TPC-H Q7/Q8) coexist
+// in one pipeline. All expression binding goes through baseTable.reg,
+// so qualified references resolve to the role's own register. Derived
+// tables keep their output names (their registers are fixed by the
+// subquery plan): a base/derived clash renames the base side only, and
+// two derived tables sharing an output name still collide at register
+// claim time with the rename-with-AS error.
+func (pl *planner) renameDuplicateColumns() {
+	providers := map[string][]*baseTable{}
+	for _, t := range pl.sc.tables {
+		for col := range pl.allRefs[t] {
+			providers[col] = append(providers[col], t)
+		}
+	}
+	for col, ts := range providers {
+		if len(ts) < 2 {
+			continue
+		}
+		for _, t := range ts {
+			if t.derived != nil {
+				continue
+			}
+			if t.regs == nil {
+				t.regs = map[string]string{}
+			}
+			t.regs[col] = "$" + t.alias + "." + col
+		}
+	}
+}
+
 func (pl *planner) expandStar(stmt *Select) ([]SelectItem, error) {
 	if !stmt.Star {
 		return stmt.Items, nil
@@ -469,7 +520,10 @@ func (pl *planner) expandStar(stmt *Select) ([]SelectItem, error) {
 	var items []SelectItem
 	for _, t := range pl.sc.tables {
 		for _, c := range t.t.Schema {
-			items = append(items, SelectItem{E: &Col{Name: c.Name}})
+			// Qualified by the providing relation, so SELECT * works when
+			// two relations share column names (self joins); outputNames
+			// uniquifies the result names (id, id_2, ...).
+			items = append(items, SelectItem{E: &Col{Table: t.alias, Name: c.Name}})
 		}
 	}
 	return items, nil
@@ -701,15 +755,74 @@ func (pl *planner) bindOuterOn(o *outerSpec) error {
 	return nil
 }
 
+// complexSub reports whether an EXISTS / IN subquery needs the general
+// planning path: grouping, HAVING, explicit joins, several relations,
+// derived tables, or subqueries nested inside its own WHERE.
+func complexSub(sub *Select) bool {
+	if len(sub.From) != 1 || sub.From[0].Sub != nil || sub.From[0].Join != "" ||
+		len(sub.GroupBy) > 0 || sub.Having != nil {
+		return true
+	}
+	nested := false
+	for _, c := range splitConjuncts(sub.Where) {
+		walk(c, func(x Expr) {
+			switch x.(type) {
+			case *Exists, *InSelect, *SubqueryExpr:
+				nested = true
+			}
+		})
+	}
+	return nested
+}
+
+// bindGeneralIn plans a complex IN subquery whole — parse tree through
+// the nested planner, grouping, HAVING, its own subqueries and all —
+// and joins the outer expression against its single output column as a
+// semi (IN) or anti (NOT IN) hash join. The subquery must be
+// uncorrelated: it is planned in its own scope, so outer column
+// references fail to resolve.
+func (pl *planner) bindGeneralIn(sub *Select, inExpr Expr, invert bool, at Expr) error {
+	if pl.subDepth >= maxSubDepth {
+		return errAt(at, "subqueries nest too deeply")
+	}
+	if len(sub.OrderBy) > 0 || sub.HasLimit {
+		return errAt(at, "ORDER BY / LIMIT inside an IN subquery has no effect; remove it")
+	}
+	if sub.Star || len(sub.Items) != 1 {
+		return errAt(at, "IN subqueries must select exactly one column")
+	}
+	if containsAgg(inExpr) {
+		return errAt(inExpr, "aggregates are not allowed in IN expressions")
+	}
+	sp := &planner{cat: pl.cat, name: pl.name, ep: pl.ep, subDepth: pl.subDepth + 1}
+	node, _, outs, err := sp.planNode(sub)
+	if err != nil {
+		return err
+	}
+	pl.subs = append(pl.subs, &subJoinSpec{
+		anti:      invert,
+		probeKeys: []Expr{inExpr},
+		node:      node,
+		buildReg:  outs[0],
+	})
+	return nil
+}
+
 // bindSubquery turns EXISTS / IN (SELECT ...) into a semi or anti join
 // spec: correlation equalities become key pairs, build-only conjuncts
 // filter the build scan, and mixed conjuncts become join residuals.
+// Complex IN subqueries route through bindGeneralIn.
 func (pl *planner) bindSubquery(sub *Select, inExpr Expr, invert bool, at Expr) error {
-	if len(sub.From) != 1 || sub.From[0].Join != "" || sub.From[0].Sub != nil {
-		return errAt(at, "subqueries must scan exactly one table")
+	if complexSub(sub) {
+		if inExpr == nil {
+			return errAt(at, "EXISTS subqueries must scan exactly one base table (grouped, joined or nested subqueries are only supported with IN)")
+		}
+		return pl.bindGeneralIn(sub, inExpr, invert, at)
 	}
-	if len(sub.GroupBy) > 0 || sub.Having != nil || len(sub.OrderBy) > 0 || sub.HasLimit {
-		return errAt(at, "subqueries support only SELECT ... FROM t WHERE ...")
+	// complexSub already routed grouped/HAVING bodies away; only the
+	// pointless trailing clauses remain to validate here.
+	if len(sub.OrderBy) > 0 || sub.HasLimit {
+		return errAt(at, "ORDER BY / LIMIT inside an EXISTS/IN subquery has no effect; remove it")
 	}
 	ft := sub.From[0]
 	tab, ok := pl.cat(ft.Name)
@@ -981,12 +1094,20 @@ func (pl *planner) processScalarSub(x *SubqueryExpr, postAgg bool) (*scalarSpec,
 	case len(sub.OrderBy) > 0 || sub.HasLimit || sub.Distinct:
 		return nil, errAt(x, "ORDER BY / LIMIT / DISTINCT are meaningless in a single-row scalar subquery")
 	}
+	outName := fmt.Sprintf("$scalar%d", x.ID)
+	for _, ft := range sub.From {
+		if ft.Sub != nil {
+			// The subquery ranges over a derived table (Q15's MAX over the
+			// revenue view): plan the whole body with a nested planner.
+			// Correlation into the enclosing query is not supported here —
+			// the nested scope has no outer, so such references fail to
+			// resolve with a positioned error.
+			return pl.planScalarOverDerived(x, sub, outName, postAgg)
+		}
+	}
 	// Bind the subquery's FROM for correlation splitting.
 	subSc := &scope{outer: pl.sc}
 	for _, ft := range sub.From {
-		if ft.Sub != nil {
-			return nil, &ParseError{Msg: "derived tables are not supported inside scalar subqueries", Line: ft.Line, Col: ft.Col}
-		}
 		t, ok := pl.cat(ft.Name)
 		if !ok {
 			return nil, &ParseError{Msg: fmt.Sprintf("unknown table %q", ft.Name), Line: ft.Line, Col: ft.Col}
@@ -1066,7 +1187,6 @@ func (pl *planner) processScalarSub(x *SubqueryExpr, postAgg bool) (*scalarSpec,
 	if c, ok := sub.Items[0].E.(*Call); ok && c.Name == "COUNT" {
 		countLike = true
 	}
-	outName := fmt.Sprintf("$scalar%d", x.ID)
 	synth := &Select{From: sub.From, Where: andExprs(locals)}
 	var buildKeys []string
 	keySeen := map[string]bool{}
@@ -1091,15 +1211,95 @@ func (pl *planner) processScalarSub(x *SubqueryExpr, postAgg bool) (*scalarSpec,
 			return nil, err
 		}
 	}
-	spec := &scalarSpec{at: x, node: node, outName: outName,
-		probeKeys: probeKeys, buildKeys: buildKeys, countLike: countLike}
-	pl.scalarRegs[astString(x)] = outName
+	return pl.registerScalar(&scalarSpec{at: x, node: node, outName: outName,
+		probeKeys: probeKeys, buildKeys: buildKeys, countLike: countLike}, postAgg), nil
+}
+
+// registerScalar books one lowered scalar subquery: the occurrence
+// rewrites to its value register, and the spec queues for attachment
+// before (WHERE, aggregate arguments) or after (select list / HAVING of
+// a grouped query) aggregation.
+func (pl *planner) registerScalar(spec *scalarSpec, postAgg bool) *scalarSpec {
+	pl.scalarRegs[astString(spec.at)] = spec.outName
 	if postAgg {
 		pl.postScalars = append(pl.postScalars, spec)
 	} else {
 		pl.scalars = append(pl.scalars, spec)
 	}
-	return spec, nil
+	return spec
+}
+
+// planScalarOverDerived plans an uncorrelated scalar subquery whose FROM
+// contains a derived table. When the derived body is identical to a
+// derived table of the outer FROM, the aggregate computes over that
+// SAME fragment, materialized once (shareScalarView). Otherwise the
+// whole body (derived table, filters, the single aggregate) lowers
+// through a nested planner into the shared plan. Either way the one-row
+// result attaches with the k=1 cross-join trick.
+func (pl *planner) planScalarOverDerived(x *SubqueryExpr, sub *Select, outName string, postAgg bool) (*scalarSpec, error) {
+	if spec, ok := pl.shareScalarView(x, sub, outName, postAgg); ok {
+		return spec, nil
+	}
+	synth := &Select{
+		From:  sub.From,
+		Where: sub.Where,
+		Items: []SelectItem{{E: sub.Items[0].E, As: outName}},
+	}
+	sp := &planner{cat: pl.cat, name: pl.name, ep: pl.ep, subDepth: pl.subDepth + 1}
+	node, _, _, err := sp.planNode(synth)
+	if err != nil {
+		return nil, err
+	}
+	countLike := false
+	if c, ok := sub.Items[0].E.(*Call); ok && c.Name == "COUNT" {
+		countLike = true
+	}
+	return pl.registerScalar(&scalarSpec{at: x, node: node, outName: outName, countLike: countLike}, postAgg), nil
+}
+
+// shareScalarView recognizes (SELECT agg(v.col) FROM <derived> AS v)
+// whose derived body is byte-identical (canonically rendered) to a
+// derived table of the outer FROM — the shape produced by substituting
+// one view definition twice, TPC-H Q15's revenue view — and aggregates
+// over that same fragment, wrapped in engine.Materialize so it executes
+// once. Sharing is not just cheaper: parallel floating-point summation
+// is order-sensitive, so only identical rows make an outer equality
+// against the aggregate (total_revenue = MAX(total_revenue)) exact.
+func (pl *planner) shareScalarView(x *SubqueryExpr, sub *Select, outName string, postAgg bool) (*scalarSpec, bool) {
+	if len(sub.From) != 1 || sub.From[0].Sub == nil || sub.Where != nil {
+		return nil, false
+	}
+	ft := sub.From[0]
+	call, ok := sub.Items[0].E.(*Call)
+	if !ok || !isAggCall(call) || call.Star || call.Distinct || len(call.Args) != 1 {
+		return nil, false
+	}
+	col, ok := call.Args[0].(*Col)
+	if !ok || (col.Table != "" && col.Table != ft.Alias) {
+		return nil, false
+	}
+	body := selString(ft.Sub)
+	for _, bt := range pl.sc.tables {
+		if bt.derived == nil || bt.ref.Sub == nil {
+			continue
+		}
+		if selString(bt.ref.Sub) != body || !slices.Equal(bt.ref.ColAliases, ft.ColAliases) {
+			continue
+		}
+		if _, ok := bt.cols[col.Name]; !ok {
+			continue
+		}
+		if !bt.materialized {
+			est := bt.derived.Est()
+			bt.derived = pl.ep.Materialize(bt.derived).SetEst(est)
+			bt.materialized = true
+		}
+		def := engine.AggDef{Name: outName, Kind: aggFuncs[call.Name], E: engine.Col(col.Name)}
+		node := bt.derived.GroupBy(nil, []engine.AggDef{def}).SetEst(1)
+		spec := &scalarSpec{at: x, node: node, outName: outName, countLike: call.Name == "COUNT"}
+		return pl.registerScalar(spec, postAgg), true
+	}
+	return nil, false
 }
 
 // analyzeOuterCounts handles SQL's NULL-aware aggregate semantics over
@@ -1137,11 +1337,17 @@ func (pl *planner) analyzeOuterCounts(stmt *Select, items []SelectItem) error {
 			if outer == nil {
 				return
 			}
-			switch c.Name {
-			case "AVG", "MIN", "MAX":
+			switch {
+			case c.Name == "AVG" || c.Name == "MIN" || c.Name == "MAX":
 				werr = errAt(c, "%s over a LEFT JOIN's nullable column would aggregate zero-filled unmatched rows (SQL ignores NULLs); filter the join to an inner join or restructure with a derived table", c.Name)
 				return
-			case "SUM":
+			case c.Distinct:
+				// The two-phase dedup lowering never reads countFlags, so
+				// the zero-extension value would count as a real distinct
+				// value; reject rather than silently over-count.
+				werr = errAt(c, "COUNT(DISTINCT ...) over a LEFT JOIN's nullable column would count zero-filled unmatched rows as a distinct value; restructure with a derived table")
+				return
+			case c.Name == "SUM":
 				return // zero-extension contributes 0: SQL-equivalent
 			}
 			if _, isCol := c.Args[0].(*Col); !isCol || len(tabs) != 1 {
@@ -1397,10 +1603,10 @@ func (pl *planner) scanCols(t *baseTable) ([]string, error) {
 	return cols, nil
 }
 
-// payloadCols lists build columns of t carried past its join, in schema
-// order: every late reference (select, grouping, ordering, residual
-// filters, later probe keys).
-func (pl *planner) payloadCols(t *baseTable, extraLate map[string]bool) []string {
+// payloadColNames lists build columns of t carried past its join, in
+// schema order: every late reference (select, grouping, ordering,
+// residual filters, later probe keys).
+func (pl *planner) payloadColNames(t *baseTable, extraLate map[string]bool) []string {
 	refs := map[string]bool{}
 	for c := range pl.lateRefs[t] {
 		refs[c] = true
@@ -1414,6 +1620,17 @@ func (pl *planner) payloadCols(t *baseTable, extraLate map[string]bool) []string
 	}
 	sort.Slice(cols, func(i, j int) bool { return t.cols[cols[i]] < t.cols[cols[j]] })
 	return cols
+}
+
+// payloadCols is payloadColNames mapped to pipeline registers (renamed
+// columns ride under their private names).
+func (pl *planner) payloadCols(t *baseTable, extraLate map[string]bool) []string {
+	cols := pl.payloadColNames(t, extraLate)
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = t.reg(c)
+	}
+	return out
 }
 
 // bindAll binds conjuncts with the given binder and ANDs them.
@@ -1444,7 +1661,15 @@ func (pl *planner) lowerScan(ep *engine.Plan, t *baseTable, bd *binder) (*engine
 		if err != nil {
 			return nil, err
 		}
-		n = ep.Scan(t.t, cols...)
+		specs := make([]string, len(cols))
+		for i, c := range cols {
+			if r := t.reg(c); r != c {
+				specs[i] = c + " AS " + r
+			} else {
+				specs[i] = c
+			}
+		}
+		n = ep.Scan(t.t, specs...)
 	}
 	pred, err := bindAll(bd, pl.local[t])
 	if err != nil {
@@ -1482,7 +1707,7 @@ func (pl *planner) lowerTree(ep *engine.Plan, tree *buildTree, bd *binder) (*eng
 		return nil, err
 	}
 	for _, c := range cols {
-		if err := claimReg(regs, c, fmt.Sprintf("table %q", tree.t.alias)); err != nil {
+		if err := claimReg(regs, tree.t.reg(c), fmt.Sprintf("table %q", tree.t.alias)); err != nil {
 			return nil, err
 		}
 	}
@@ -1591,7 +1816,7 @@ func (pl *planner) lowerChain(ep *engine.Plan, root *baseTable, steps []*joinSte
 			return nil, err
 		}
 		for _, c := range rootCols {
-			if err := pl.addPipeReg(c, fmt.Sprintf("table %q", root.alias)); err != nil {
+			if err := pl.addPipeReg(root.reg(c), fmt.Sprintf("table %q", root.alias)); err != nil {
 				return nil, err
 			}
 		}
@@ -1740,7 +1965,7 @@ func (pl *planner) lowerOuterMark(ep *engine.Plan, chain *engine.Node, o *outerS
 		return nil, err
 	}
 	for _, c := range scanCols {
-		if err := claimReg(regs, c, fmt.Sprintf("table %q", o.t.alias)); err != nil {
+		if err := claimReg(regs, o.t.reg(c), fmt.Sprintf("table %q", o.t.alias)); err != nil {
 			return nil, err
 		}
 	}
@@ -1760,9 +1985,10 @@ func (pl *planner) lowerOuterMark(ep *engine.Plan, chain *engine.Node, o *outerS
 		matched = matched.Map(o.flag, engine.ConstI(1)).SetEst(matchedEst)
 	}
 	un := ep.Unmatched(join, chainCols...).SetEst(unmatchedEst)
-	bLate := pl.payloadCols(o.t, nil)
-	for _, c := range bLate {
-		un = un.Map(c, zeroConst(o.t, c)).SetEst(unmatchedEst)
+	bLate := make([]string, 0)
+	for _, c := range pl.payloadColNames(o.t, nil) {
+		un = un.Map(o.t.reg(c), zeroConst(o.t, c)).SetEst(unmatchedEst)
+		bLate = append(bLate, o.t.reg(c))
 	}
 	if o.flag != "" {
 		un = un.Map(o.flag, engine.ConstI(0)).SetEst(unmatchedEst)
@@ -1825,6 +2051,22 @@ func (pl *planner) attachScalar(n *engine.Node, s *scalarSpec, bd *binder, claim
 }
 
 func (pl *planner) lowerSub(ep *engine.Plan, n *engine.Node, s *subJoinSpec) (*engine.Node, error) {
+	if s.node != nil {
+		// Complex IN subquery: the nested planner already lowered the
+		// build side; join the probe expression against its output.
+		bd := &binder{sc: pl.sc}
+		probe, err := bd.bind(s.probeKeys[0])
+		if err != nil {
+			return nil, err
+		}
+		kind := engine.JoinSemi
+		if s.anti {
+			kind = engine.JoinAnti
+		}
+		est := pl.generalInCard(n.Est(), s.node.Est(), s.probeKeys[0], s.anti)
+		return n.HashJoin(s.node, kind,
+			[]*engine.Expr{probe}, []*engine.Expr{engine.Col(s.buildReg)}).SetEst(est), nil
+	}
 	// The build scan needs key, filter and residual columns.
 	refs := map[string]bool{}
 	collect := func(e Expr) {

@@ -115,8 +115,10 @@ func (pl *planner) lowerProjection(n *engine.Node, items []SelectItem, outputs [
 	bd := &binder{sc: pl.sc, rewrite: pl.scalarRegs}
 	est := n.Est()
 	for i, item := range items {
-		if c, ok := item.E.(*Col); ok && c.Name == outputs[i] {
-			continue // already in the pipeline under its own name
+		if c, ok := item.E.(*Col); ok {
+			if t, _, err := bd.sc.resolveUp(c); err == nil && t.reg(c.Name) == outputs[i] {
+				continue // already in the pipeline under its own name
+			}
 		}
 		e, err := bd.bind(item.E)
 		if err != nil {
@@ -204,11 +206,29 @@ func (pl *planner) lowerAggregate(n *engine.Node, stmt *Select, items []SelectIt
 
 	// ---- aggregate extraction: every aggregate call in the select
 	// list or HAVING becomes one output of the parallel aggregation
-	// (deduplicated structurally).
+	// (deduplicated structurally). COUNT(DISTINCT x) is collected apart:
+	// it lowers through two group-by phases instead of an AggDef.
 	var aggs []engine.AggDef
+	var distinctCall *Call
+	var distinctName string
 	addAgg := func(c *Call, preferred string) error {
 		s := astString(c)
 		if _, ok := rewrite[s]; ok {
+			return nil
+		}
+		if c.Distinct {
+			if c.Name != "COUNT" {
+				return errAt(c, "only COUNT(DISTINCT ...) is supported, not %s(DISTINCT ...)", c.Name)
+			}
+			if distinctCall != nil {
+				return errAt(c, "only one COUNT(DISTINCT ...) per query is supported")
+			}
+			name := preferred
+			if name == "" {
+				name = "$agg_distinct"
+			}
+			distinctCall, distinctName = c, name
+			rewrite[s] = name
 			return nil
 		}
 		name := preferred
@@ -253,8 +273,11 @@ func (pl *planner) lowerAggregate(n *engine.Node, stmt *Select, items []SelectIt
 			return nil, err
 		}
 	}
-	if len(aggs) == 0 {
+	if len(aggs) == 0 && distinctCall == nil {
 		return nil, &ParseError{Msg: "GROUP BY without aggregates; add an aggregate or select the grouped columns only"}
+	}
+	if distinctCall != nil && len(aggs) > 0 {
+		return nil, errAt(distinctCall, "COUNT(DISTINCT ...) cannot be combined with other aggregates (the two-phase dedup would aggregate them twice)")
 	}
 
 	// The grouped cardinality estimate: the product of the key NDVs,
@@ -264,7 +287,27 @@ func (pl *planner) lowerAggregate(n *engine.Node, stmt *Select, items []SelectIt
 		groupEst *= pl.groupKeyNDV(g)
 	}
 	groupEst = min(groupEst, max(n.Est(), 1))
-	n = n.GroupBy(groups, aggs).SetEst(groupEst)
+	if distinctCall != nil {
+		// COUNT(DISTINCT x) via the engine's group-by machinery, the
+		// hand-built Q16 shape: first group by (keys..., x) — one row per
+		// distinct combination — then re-group by the keys counting the
+		// surviving rows. The distinct argument's NDV passes through as
+		// the first phase's cardinality estimate.
+		arg, err := bd.bind(distinctCall.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		inner := append(append([]engine.NamedExpr{}, groups...), engine.N("$distinct", arg))
+		innerEst := min(groupEst*pl.groupKeyNDV(distinctCall.Args[0]), max(n.Est(), 1))
+		n = n.GroupBy(inner, []engine.AggDef{engine.Count("$dup")}).SetEst(innerEst)
+		var outer []engine.NamedExpr
+		for _, g := range groups {
+			outer = append(outer, engine.N(g.Name, engine.Col(g.Name)))
+		}
+		n = n.GroupBy(outer, []engine.AggDef{engine.Count(distinctName)}).SetEst(groupEst)
+	} else {
+		n = n.GroupBy(groups, aggs).SetEst(groupEst)
+	}
 
 	// GroupBy breaks the pipeline: from here on, the registers are the
 	// group keys and aggregate outputs.
@@ -276,6 +319,11 @@ func (pl *planner) lowerAggregate(n *engine.Node, stmt *Select, items []SelectIt
 	}
 	for _, a := range aggs {
 		if err := pl.addPipeReg(a.Name, "an aggregate"); err != nil {
+			return nil, err
+		}
+	}
+	if distinctCall != nil {
+		if err := pl.addPipeReg(distinctName, "an aggregate"); err != nil {
 			return nil, err
 		}
 	}

@@ -578,7 +578,15 @@ func TestDerivedTable(t *testing.T) {
 		WHERE d < 2 ORDER BY d`)
 	expectRows(t, res, true, "0 | 8", "1 | 8")
 
-	expectErr(t, cat, `SELECT a FROM (SELECT id AS a FROM emp) AS t, dept`, "only FROM relation")
+	// A derived table may join base tables (Q15's revenue-view shape) —
+	// but still needs an equality predicate connecting it.
+	res = run(t, cat, `
+		SELECT dname, total FROM (SELECT dept AS dd, SUM(salary) AS total FROM emp GROUP BY dd) AS t, dept
+		WHERE dd = did AND dd < 2 ORDER BY dname`)
+	if len(res.Rows()) != 2 {
+		t.Fatalf("derived-joined-to-base: got %d rows, want 2", len(res.Rows()))
+	}
+	expectErr(t, cat, `SELECT a FROM (SELECT id AS a FROM emp) AS t, dept`, "not connected")
 	expectErr(t, cat, `SELECT a FROM (SELECT id AS a FROM emp) AS t (x, y)`, "column aliases")
 	expectErr(t, cat, `SELECT a FROM (SELECT id AS a FROM emp ORDER BY id) AS t`, "no effect")
 	expectErr(t, cat, `SELECT a FROM (SELECT id AS a FROM emp)`, "needs an alias")
@@ -637,18 +645,35 @@ func TestDeepNestingIsAnErrorNotACrash(t *testing.T) {
 	}
 }
 
-// TestSharedColumnNamesRejectedAtBindTime: two joined tables both
-// contributing a referenced column of the same name would collide in the
-// probe pipeline's register file — the engine only detects that by
-// panicking at compile time, so the binder must reject it with an error.
-func TestSharedColumnNamesRejectedAtBindTime(t *testing.T) {
+// TestSharedColumnNamesRenamed: two relations contributing a referenced
+// column of the same name used to be rejected; per-relation renaming now
+// gives each role a private register ("$alias.col"), so self joins with
+// shared column names — TPC-H Q7/Q8's two nation roles — just work.
+func TestSharedColumnNamesRenamed(t *testing.T) {
 	cat := testCatalog()
-	expectErr(t, cat,
-		`SELECT a.name, b.name FROM emp AS a, emp AS b WHERE a.id = b.id`,
-		"provided by both")
+	res := run(t, cat,
+		`SELECT a.name AS n1, b.name AS n2 FROM emp AS a, emp AS b WHERE a.id = b.id AND a.id < 2 ORDER BY n1`)
+	expectRows(t, res, true, "ada | ada", "bob | bob")
+	// Unaliased duplicate outputs uniquify (name, name_2).
+	res = run(t, cat,
+		`SELECT a.name, b.name FROM emp AS a, emp AS b WHERE a.id = b.id AND a.id = 3`)
+	if got := fmt.Sprintf("%s|%s", res.Schema[0].Name, res.Schema[1].Name); got != "name|name_2" {
+		t.Fatalf("output names = %s", got)
+	}
+	expectRows(t, res, false, "dan | dan")
+	// Renamed registers feed filters, group keys and aggregates alike.
+	res = run(t, cat, `
+		SELECT a.dept AS d, COUNT(*) AS n
+		FROM emp AS a, emp AS b
+		WHERE a.id = b.id AND a.dept = b.dept
+		GROUP BY d ORDER BY d`)
+	expectRows(t, res, true, "0 | 8", "1 | 8", "2 | 8", "3 | 8", "4 | 8")
 	// A self join whose referenced columns don't collide still works.
-	res := run(t, cat, `SELECT COUNT(*) AS n FROM emp AS a JOIN emp AS b ON a.id = b.id`)
+	res = run(t, cat, `SELECT COUNT(*) AS n FROM emp AS a JOIN emp AS b ON a.id = b.id`)
 	expectRows(t, res, false, "40")
+	// An unqualified reference to a shared name stays ambiguous.
+	expectErr(t, cat,
+		`SELECT name FROM emp AS a, emp AS b WHERE a.id = b.id`, "ambiguous")
 }
 
 func TestErrorPositions(t *testing.T) {

@@ -11,8 +11,9 @@ import (
 // sqlCoverageFloor is the CI gate: the number of TPC-H queries that
 // round-trip SQL text -> parse -> bind -> optimize -> morsel-driven
 // execution. Lowering it requires editing this constant — a deliberate,
-// reviewable act. Raise it when new dialect surface lands.
-const sqlCoverageFloor = 16
+// reviewable act. All 22 queries round-trip; this floor pins full
+// coverage forever.
+const sqlCoverageFloor = 22
 
 // coverageColMap maps SQL output column names to the hand-built plan's
 // column names where they differ (hand-built plans keep working columns
@@ -20,13 +21,15 @@ const sqlCoverageFloor = 16
 var coverageColMap = map[int]map[string]string{
 	2:  {"p_partkey": "ps_partkey"},
 	11: {"value": "part_value"},
+	18: {"c_custkey": "o_custkey"},
 }
 
 // coverageOrdered marks covered queries whose ORDER BY is total at the
 // result granularity, so row order itself is compared.
 var coverageOrdered = map[int]bool{
-	1: true, 2: true, 3: true, 4: true, 9: true,
-	11: true, 12: true, 13: true, 21: true, 22: true,
+	1: true, 2: true, 3: true, 4: true, 7: true, 8: true, 9: true,
+	11: true, 12: true, 13: true, 15: true, 16: true, 20: true,
+	21: true, 22: true,
 }
 
 // TestTPCHSQLCoverageGate is the coverage gate scripts/sql_coverage.sh
@@ -50,7 +53,14 @@ func TestTPCHSQLCoverageGate(t *testing.T) {
 				t.Fatalf("Q%d no longer compiles from SQL: %v", n, err)
 			}
 			got, _ := goldenSession().Run(p)
-			want, _ := goldenSession().Run(tpch.QueryPlan(n, tpchDB))
+			// Q15 has no single hand-built plan: its reference runs the
+			// two-phase revenue-view query through a session.
+			var want *engine.Result
+			if n == 15 {
+				want, _ = tpch.QueryByNum(15).Run(goldenSession(), tpchDB)
+			} else {
+				want, _ = goldenSession().Run(tpch.QueryPlan(n, tpchDB))
+			}
 			proj, err := projectByName(got.Schema, want, coverageColMap[n])
 			if err != nil {
 				t.Fatalf("Q%d: %v", n, err)

@@ -1,0 +1,36 @@
+package tpch
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestDialectDocFreshness is the CI docs-freshness gate: if SQLText
+// marks any TPC-H query inexpressible while docs/sql-dialect.md still
+// claims full 22/22 coverage (or the reverse), the build fails until
+// code and documentation agree again.
+func TestDialectDocFreshness(t *testing.T) {
+	doc, err := os.ReadFile("../../docs/sql-dialect.md")
+	if err != nil {
+		t.Fatalf("docs/sql-dialect.md unreadable: %v", err)
+	}
+	covered := SQLCoverage()
+	var missing []int
+	seen := map[int]bool{}
+	for _, n := range covered {
+		seen[n] = true
+	}
+	for n := 1; n <= 22; n++ {
+		if !seen[n] {
+			missing = append(missing, n)
+		}
+	}
+	claims22 := strings.Contains(string(doc), "22/22")
+	if claims22 && len(missing) > 0 {
+		t.Fatalf("docs/sql-dialect.md claims 22/22 coverage but SQLText cannot express %v; fix the dialect or the doc", missing)
+	}
+	if !claims22 && len(missing) == 0 {
+		t.Fatalf("SQLText expresses all 22 queries but docs/sql-dialect.md dropped the 22/22 claim; update the doc")
+	}
+}

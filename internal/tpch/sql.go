@@ -6,22 +6,17 @@ import (
 	"strings"
 )
 
-// SQLText returns the TPC-H query n written in the engine's SQL dialect,
-// or ok=false for queries the dialect cannot express yet. The texts stay
-// close to the specification; deviations are the dialect's documented
-// rewrites (EXTRACT-free date arithmetic, hoisted join predicates in
-// Q19, qualified correlation in Q17). sf parameterizes Q11's threshold
-// fraction, which scales with the data.
-//
-// Not expressible today, and why:
-//   - Q7, Q8: two nation roles (n1, n2) need per-relation column
-//     renaming in FROM; joined tables must not share referenced column
-//     names.
-//   - Q15: the revenue view is a two-phase query (max over a derived
-//     table next to base tables).
-//   - Q16: COUNT(DISTINCT ...).
-//   - Q18: IN (SELECT ... GROUP BY ... HAVING ...).
-//   - Q20: IN subqueries nested inside another subquery's WHERE.
+// SQLText returns the TPC-H query n written in the engine's SQL dialect
+// — all 22 queries are expressible. The texts stay close to the
+// specification; deviations are the dialect's documented rewrites
+// (EXTRACT-free date arithmetic, hoisted join predicates in Q19,
+// qualified correlation in Q17, Q7/Q8 flattened instead of wrapped in a
+// derived table, Q15's revenue view inlined as a derived table with the
+// max as a scalar subquery over a second instance of the view, Q18's
+// per-order quantity aliased to the hand-built plan's sum_qty). sf
+// parameterizes Q11's threshold fraction, which scales with the data.
+// ok=false is reserved for queries the dialect cannot express; CI's
+// docs-freshness gate cross-checks it against docs/sql-dialect.md.
 func SQLText(n int, sf float64) (string, bool) {
 	switch n {
 	case 1:
@@ -36,6 +31,10 @@ func SQLText(n int, sf float64) (string, bool) {
 		return sqlTextQ5, true
 	case 6:
 		return sqlTextQ6, true
+	case 7:
+		return sqlTextQ7, true
+	case 8:
+		return sqlTextQ8, true
 	case 9:
 		return sqlTextQ9, true
 	case 10:
@@ -49,10 +48,18 @@ func SQLText(n int, sf float64) (string, bool) {
 		return sqlTextQ13, true
 	case 14:
 		return sqlTextQ14, true
+	case 15:
+		return sqlTextQ15, true
+	case 16:
+		return sqlTextQ16, true
 	case 17:
 		return sqlTextQ17, true
+	case 18:
+		return sqlTextQ18, true
 	case 19:
 		return sqlTextQ19, true
+	case 20:
+		return sqlTextQ20, true
 	case 21:
 		return sqlTextQ21, true
 	case 22:
@@ -162,6 +169,41 @@ WHERE l_shipdate >= DATE '1994-01-01'
   AND l_discount BETWEEN 0.05 AND 0.07
   AND l_quantity < 24`
 
+const sqlTextQ7 = `
+SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation,
+       EXTRACT(YEAR FROM l_shipdate) AS l_year,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM supplier, lineitem, orders, customer, nation AS n1, nation AS n2
+WHERE s_suppkey = l_suppkey
+  AND o_orderkey = l_orderkey
+  AND c_custkey = o_custkey
+  AND s_nationkey = n1.n_nationkey
+  AND c_nationkey = n2.n_nationkey
+  AND ((n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY')
+    OR (n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE'))
+  AND l_shipdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+GROUP BY supp_nation, cust_nation, l_year
+ORDER BY supp_nation, cust_nation, l_year`
+
+const sqlTextQ8 = `
+SELECT EXTRACT(YEAR FROM o_orderdate) AS o_year,
+       SUM(CASE WHEN n2.n_name = 'BRAZIL'
+                THEN l_extendedprice * (1 - l_discount) ELSE 0.0 END)
+       / SUM(l_extendedprice * (1 - l_discount)) AS mkt_share
+FROM part, supplier, lineitem, orders, customer, nation AS n1, nation AS n2, region
+WHERE p_partkey = l_partkey
+  AND s_suppkey = l_suppkey
+  AND l_orderkey = o_orderkey
+  AND o_custkey = c_custkey
+  AND c_nationkey = n1.n_nationkey
+  AND n1.n_regionkey = r_regionkey
+  AND r_name = 'AMERICA'
+  AND s_nationkey = n2.n_nationkey
+  AND o_orderdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+  AND p_type = 'ECONOMY ANODIZED STEEL'
+GROUP BY o_year
+ORDER BY o_year`
+
 const sqlTextQ9 = `
 SELECT n_name AS nation, EXTRACT(YEAR FROM o_orderdate) AS o_year,
        SUM(l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity) AS sum_profit
@@ -233,6 +275,40 @@ WHERE l_partkey = p_partkey
   AND l_shipdate >= DATE '1995-09-01'
   AND l_shipdate < DATE '1995-10-01'`
 
+// Q15's revenue view appears twice — once joined to supplier, once under
+// the MAX — exactly as substituting the spec's CREATE VIEW twice. The
+// planner recognizes the identical bodies and materializes the view
+// once, so the revenue = MAX(revenue) equality compares bit-identical
+// floats (two independent parallel SUMs could differ in the last ulps).
+const sqlTextQ15 = `
+SELECT s_suppkey, s_name, s_address, s_phone, total_revenue
+FROM supplier,
+     (SELECT l_suppkey AS supplier_no,
+             SUM(l_extendedprice * (1 - l_discount)) AS total_revenue
+      FROM lineitem
+      WHERE l_shipdate >= DATE '1996-01-01' AND l_shipdate < DATE '1996-04-01'
+      GROUP BY supplier_no) AS revenue0
+WHERE s_suppkey = supplier_no
+  AND total_revenue = (SELECT MAX(r2.total_revenue)
+                       FROM (SELECT l_suppkey AS supplier_no,
+                                    SUM(l_extendedprice * (1 - l_discount)) AS total_revenue
+                             FROM lineitem
+                             WHERE l_shipdate >= DATE '1996-01-01' AND l_shipdate < DATE '1996-04-01'
+                             GROUP BY supplier_no) AS r2)
+ORDER BY s_suppkey`
+
+const sqlTextQ16 = `
+SELECT p_brand, p_type, p_size, COUNT(DISTINCT ps_suppkey) AS supplier_cnt
+FROM partsupp, part
+WHERE p_partkey = ps_partkey
+  AND p_brand <> 'Brand#45'
+  AND p_type NOT LIKE 'MEDIUM POLISHED%'
+  AND p_size IN (49, 14, 23, 45, 19, 3, 36, 9)
+  AND ps_suppkey NOT IN (SELECT s_suppkey FROM supplier
+                         WHERE s_comment LIKE '%Customer%Complaints%')
+GROUP BY p_brand, p_type, p_size
+ORDER BY supplier_cnt DESC, p_brand, p_type, p_size`
+
 const sqlTextQ17 = `
 SELECT SUM(l_extendedprice) / 7.0 AS avg_yearly
 FROM lineitem, part
@@ -241,6 +317,19 @@ WHERE p_partkey = l_partkey
   AND p_container = 'MED BOX'
   AND l_quantity < (SELECT 0.2 * AVG(l2.l_quantity) FROM lineitem AS l2
                     WHERE l2.l_partkey = lineitem.l_partkey)`
+
+const sqlTextQ18 = `
+SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice,
+       SUM(l_quantity) AS sum_qty
+FROM customer, orders, lineitem
+WHERE o_orderkey IN (SELECT l_orderkey FROM lineitem
+                     GROUP BY l_orderkey
+                     HAVING SUM(l_quantity) > 300.0)
+  AND c_custkey = o_custkey
+  AND o_orderkey = l_orderkey
+GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+ORDER BY o_totalprice DESC, o_orderdate
+LIMIT 100`
 
 const sqlTextQ19 = `
 SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue
@@ -260,6 +349,21 @@ WHERE l_partkey = p_partkey
         AND p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG')
         AND l_quantity >= 20 AND l_quantity <= 30
         AND p_size BETWEEN 1 AND 15))`
+
+const sqlTextQ20 = `
+SELECT s_name, s_address
+FROM supplier, nation
+WHERE s_suppkey IN (SELECT ps_suppkey FROM partsupp
+                    WHERE ps_partkey IN (SELECT p_partkey FROM part
+                                         WHERE p_name LIKE 'forest%')
+                      AND ps_availqty > (SELECT 0.5 * SUM(l_quantity) FROM lineitem
+                                         WHERE l_partkey = ps_partkey
+                                           AND l_suppkey = ps_suppkey
+                                           AND l_shipdate >= DATE '1994-01-01'
+                                           AND l_shipdate < DATE '1995-01-01'))
+  AND s_nationkey = n_nationkey
+  AND n_name = 'CANADA'
+ORDER BY s_name`
 
 const sqlTextQ21 = `
 SELECT s_name, COUNT(*) AS numwait

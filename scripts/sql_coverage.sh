@@ -5,7 +5,8 @@
 # front end (text -> parse -> bind -> optimize -> morsel-driven
 # execution, results matching the hand-built reference plans) and fails
 # if the count regresses below the floor pinned in
-# internal/sql/tpch_coverage_test.go (sqlCoverageFloor).
+# internal/sql/tpch_coverage_test.go (sqlCoverageFloor — 22/22: full
+# coverage, pinned forever).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

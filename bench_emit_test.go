@@ -1,0 +1,29 @@
+package repro
+
+import (
+	"log"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// TestBenchEmit writes the harness's machine-readable benchmark file
+// (BENCH_tpch_sim.json) when $BENCH_OUT names a directory — this is the
+// entry point scripts/bench_trend.sh drives, in CI and locally:
+//
+//	BENCH_OUT=/tmp/bench go test -run TestBenchEmit .
+//
+// The gated metrics are simulated makespans (virtual time from the
+// calibrated NUMA cost model), so the file is bit-identical across
+// hosts; only the BENCH_GITSHA / BENCH_DATE provenance env vars vary.
+func TestBenchEmit(t *testing.T) {
+	dir := bench.OutDir()
+	if dir == "" {
+		t.Skip("BENCH_OUT not set; benchmark emission disabled")
+	}
+	path, err := bench.Emit(dir, "tpch_sim", bench.PaperMetrics(bench.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Printf("wrote %s", path)
+}

@@ -1,0 +1,112 @@
+// Command benchtrend is the benchmark-trajectory gate: it diffs freshly
+// emitted BENCH_*.json files against the committed baselines and exits
+// nonzero when any regression-gated metric moved more than the threshold
+// in its bad direction. Because the gated metrics are simulated (virtual
+// time from the NUMA cost model), the comparison is exact and host
+// independent — a trip of this gate means the engine genuinely does more
+// work than the baseline, not that CI hardware was slow.
+//
+// Usage:
+//
+//	benchtrend -baseline bench/baselines -current /tmp/bench [-threshold 0.15]
+//
+// Improvements beyond the threshold are reported too, as a nudge to
+// refresh the committed baseline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		baseDir   = flag.String("baseline", "bench/baselines", "directory of committed BENCH_*.json baselines")
+		curDir    = flag.String("current", "", "directory of freshly emitted BENCH_*.json files")
+		threshold = flag.Float64("threshold", 0.15, "maximum tolerated relative regression of a gated metric")
+	)
+	flag.Parse()
+	if *curDir == "" {
+		fmt.Fprintln(os.Stderr, "benchtrend: -current is required")
+		os.Exit(2)
+	}
+
+	baselines, err := filepath.Glob(filepath.Join(*baseDir, "BENCH_*.json"))
+	if err != nil || len(baselines) == 0 {
+		fmt.Fprintf(os.Stderr, "benchtrend: no baselines under %s (err=%v)\n", *baseDir, err)
+		os.Exit(2)
+	}
+
+	failures := 0
+	for _, basePath := range baselines {
+		base, err := bench.ReadFile(basePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
+			os.Exit(2)
+		}
+		curPath := filepath.Join(*curDir, filepath.Base(basePath))
+		cur, err := bench.ReadFile(curPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtrend: baseline %s has no fresh counterpart: %v\n", basePath, err)
+			failures++
+			continue
+		}
+		byName := make(map[string]bench.Metric, len(cur.Metrics))
+		for _, m := range cur.Metrics {
+			byName[m.Name] = m
+		}
+		fmt.Printf("%s (%s):\n", base.Experiment, filepath.Base(basePath))
+		for _, bm := range base.Metrics {
+			if !bm.Gate {
+				continue
+			}
+			cm, ok := byName[bm.Name]
+			if !ok {
+				fmt.Printf("  FAIL %-28s gated metric missing from fresh run\n", bm.Name)
+				failures++
+				continue
+			}
+			reg := regression(bm, cm.Value)
+			switch {
+			case reg > *threshold:
+				fmt.Printf("  FAIL %-28s %14.1f -> %14.1f %-7s (%+.1f%% regression, limit %.0f%%)\n",
+					bm.Name, bm.Value, cm.Value, bm.Unit, 100*reg, 100**threshold)
+				failures++
+			case reg < -*threshold:
+				fmt.Printf("  ok   %-28s %14.1f -> %14.1f %-7s (%.1f%% improvement — consider refreshing the baseline)\n",
+					bm.Name, bm.Value, cm.Value, bm.Unit, -100*reg)
+			default:
+				fmt.Printf("  ok   %-28s %14.1f -> %14.1f %-7s (%+.1f%%)\n",
+					bm.Name, bm.Value, cm.Value, bm.Unit, 100*reg)
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("\nbenchtrend: %d gated metric(s) regressed beyond %.0f%%\n", failures, 100**threshold)
+		os.Exit(1)
+	}
+	fmt.Println("\nbenchtrend: all gated metrics within threshold")
+}
+
+// regression returns the relative movement of value in the metric's bad
+// direction: positive = worse, negative = better.
+func regression(base bench.Metric, cur float64) float64 {
+	if base.Value == 0 {
+		if cur == base.Value {
+			return 0
+		}
+		if base.Direction == "higher" {
+			return -1 // anything above a zero baseline is an improvement
+		}
+		return 1
+	}
+	rel := (cur - base.Value) / base.Value
+	if base.Direction == "higher" {
+		return -rel
+	}
+	return rel
+}

@@ -8,6 +8,18 @@
 // Usage:
 //
 //	loadgen -addr http://localhost:8080 -clients 8 -mix 0.5 -duration 10s
+//
+// Against a morseld cluster, -distributed adds {"distributed": true} to
+// every request, and -cluster-smoke runs the two-node parity check CI
+// gates on: TPC-H Q1/Q3/Q6/Q12 executed distributed through every node
+// as coordinator must equal the single-node result bit-for-bit (floats
+// within tolerance):
+//
+//	loadgen -cluster-smoke http://localhost:8081,http://localhost:8082 -sf 0.05
+//
+// With -bench-json, the closed-loop report is also written as a
+// machine-readable BENCH_loadgen.json into $BENCH_OUT (informational
+// metrics — wall-clock numbers are not regression-gated).
 package main
 
 import (
@@ -25,7 +37,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/engine"
+	"repro/internal/tpch"
 )
 
 type result struct {
@@ -61,10 +75,22 @@ func main() {
 		batchPSQL   = flag.String("batch-prepared-sql", "SELECT region, COUNT(*) AS n, SUM(amount) AS revenue FROM orders, customers WHERE cust = cid AND amount < ? GROUP BY region ORDER BY revenue DESC", "parameterized SQL for batch clients (with -sql -prepared)")
 		batchParams = flag.String("batch-params", "[[2500], [5000], [9000]]", "JSON array of param sets rotated across batch requests")
 		timeoutMs   = flag.Int("timeout-ms", 0, "per-query timeout (0 = server default)")
+		distributed = flag.Bool("distributed", false, "request distributed execution across the morseld cluster for every query")
+		smoke       = flag.String("cluster-smoke", "", "comma-separated node URLs: run the distributed-vs-single-node TPC-H parity check against the cluster and exit")
+		sfFlag      = flag.Float64("sf", 0.01, "TPC-H scale factor of the cluster dataset (with -cluster-smoke)")
+		benchJSON   = flag.Bool("bench-json", false, "also write the report as BENCH_loadgen.json into $BENCH_OUT (or the cwd)")
 	)
 	flag.Parse()
 	if *preparedSQL && !*sqlMode {
 		log.Fatal("-prepared requires -sql")
+	}
+
+	if *smoke != "" {
+		if err := clusterSmoke(strings.Split(*smoke, ","), *sfFlag, *timeoutMs); err != nil {
+			log.Fatalf("CLUSTER SMOKE FAILURE: %v", err)
+		}
+		fmt.Println("cluster smoke: distributed results match single-node on every coordinator")
+		return
 	}
 
 	if err := waitHealthy(*addr, 30*time.Second); err != nil {
@@ -111,6 +137,9 @@ func main() {
 		var items []work
 		add := func(q string, params []any) {
 			req := map[string]any{"priority": class, "timeout_ms": *timeoutMs}
+			if *distributed {
+				req["distributed"] = true
+			}
 			if *sqlMode {
 				req["sql"] = q
 				if params != nil {
@@ -216,6 +245,11 @@ func main() {
 	wg.Wait()
 
 	report(results, *duration)
+	if *benchJSON {
+		if err := emitBenchJSON(results, *duration); err != nil {
+			log.Fatalf("bench-json: %v", err)
+		}
+	}
 	if mismatches > 0 {
 		log.Fatalf("CORRECTNESS FAILURE: %d responses diverged from the reference result of the same query", mismatches)
 	}
@@ -329,8 +363,24 @@ func waitHealthy(addr string, patience time.Duration) error {
 	}
 }
 
+// queryResponse is the slice of POST /query's response the generator
+// reads.
+type queryResponse struct {
+	Rows        [][]any `json:"rows"`
+	Distributed bool    `json:"distributed"`
+	DistNodes   int     `json:"dist_nodes"`
+}
+
 // post runs one query and returns its decoded result rows.
 func post(client *http.Client, url string, body []byte) ([][]any, error) {
+	resp, err := postFull(client, url, body)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Rows, nil
+}
+
+func postFull(client *http.Client, url string, body []byte) (*queryResponse, error) {
 	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
@@ -343,13 +393,91 @@ func post(client *http.Client, url string, body []byte) ([][]any, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
 	}
-	var decoded struct {
-		Rows [][]any `json:"rows"`
-	}
+	var decoded queryResponse
 	if err := json.Unmarshal(data, &decoded); err != nil {
 		return nil, err
 	}
-	return decoded.Rows, nil
+	return &decoded, nil
+}
+
+// clusterSmoke is the two-node CI gate: TPC-H Q1/Q3/Q6/Q12 executed
+// with {"distributed": true} through every node as coordinator must
+// return the single-node result (order-insensitive, floats within
+// tolerance), and the server must confirm the query really fanned out.
+func clusterSmoke(nodes []string, sf float64, timeoutMs int) error {
+	for i := range nodes {
+		nodes[i] = strings.TrimRight(strings.TrimSpace(nodes[i]), "/")
+	}
+	if len(nodes) < 2 {
+		return fmt.Errorf("need at least 2 nodes, have %v", nodes)
+	}
+	for _, n := range nodes {
+		if err := waitHealthy(n, 60*time.Second); err != nil {
+			return fmt.Errorf("node %s not healthy: %v", n, err)
+		}
+	}
+	client := &http.Client{}
+	for _, q := range []int{1, 3, 6, 12} {
+		sqlText := tpch.MustSQLText(q, sf)
+		single, _ := json.Marshal(map[string]any{"sql": sqlText, "timeout_ms": timeoutMs})
+		ref, err := postFull(client, nodes[0]+"/query", single)
+		if err != nil {
+			return fmt.Errorf("q%d single-node: %v", q, err)
+		}
+		if ref.Distributed {
+			return fmt.Errorf("q%d: single-node request reported distributed execution", q)
+		}
+		dist, _ := json.Marshal(map[string]any{"sql": sqlText, "timeout_ms": timeoutMs, "distributed": true})
+		for i, node := range nodes {
+			got, err := postFull(client, node+"/query", dist)
+			if err != nil {
+				return fmt.Errorf("q%d via coordinator %d: %v", q, i, err)
+			}
+			if !got.Distributed || got.DistNodes != len(nodes) {
+				return fmt.Errorf("q%d via coordinator %d did not run distributed (distributed=%v nodes=%d)",
+					q, i, got.Distributed, got.DistNodes)
+			}
+			if !rowsEqual(ref.Rows, got.Rows) {
+				return fmt.Errorf("q%d via coordinator %d: distributed rows diverge from single-node\nsingle: %v\ndistributed: %v",
+					q, i, ref.Rows, got.Rows)
+			}
+			fmt.Printf("q%-2d coordinator %d: %d rows, parity ok\n", q, i, len(got.Rows))
+		}
+	}
+	return nil
+}
+
+// emitBenchJSON writes the closed-loop report as BENCH_loadgen.json.
+// Wall-clock throughput/latency varies with the host, so nothing here
+// is regression-gated; the file exists for trend dashboards.
+func emitBenchJSON(results []result, elapsed time.Duration) error {
+	dir := bench.OutDir()
+	if dir == "" {
+		dir = "."
+	}
+	byClass := map[string][]time.Duration{}
+	errCount := 0.0
+	for _, r := range results {
+		if r.err != nil {
+			errCount++
+			continue
+		}
+		byClass[r.class] = append(byClass[r.class], r.latency)
+	}
+	var metrics []bench.Metric
+	for class, lats := range byClass {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		metrics = append(metrics,
+			bench.Metric{Name: class + "_qps", Value: float64(len(lats)) / elapsed.Seconds(), Unit: "qps", Direction: "higher"},
+			bench.Metric{Name: class + "_p99_ms", Value: float64(pctDur(lats, 0.99).Nanoseconds()) / 1e6, Unit: "ms", Direction: "lower"},
+		)
+	}
+	metrics = append(metrics, bench.Metric{Name: "errors", Value: errCount, Unit: "count", Direction: "lower"})
+	path, err := bench.Emit(dir, "loadgen", metrics)
+	if err == nil {
+		fmt.Printf("wrote %s\n", path)
+	}
+	return err
 }
 
 // rowsEqual compares two result row sets order-insensitively, with a

@@ -13,7 +13,18 @@
 //	morseld -exec 'SELECT COUNT(*) AS n FROM orders WHERE day < ?' -params '[7]'
 //	morseld -exec 'SELECT ...' -explain   # optimized plan with cardinality estimates
 //
-// Endpoints: POST /query, GET /stats, GET /tables, GET /healthz.
+// Several morseld processes form a cluster: start each with the same
+// -cluster node list and its own -node-id, and the big tables are
+// hash-sharded across the nodes (every node generates the identical
+// deterministic dataset and serves its shard). Queries submitted with
+// {"distributed": true} to any node then run across all nodes via
+// exchange operators:
+//
+//	morseld -addr :8081 -dataset tpch -sf 0.05 -cluster http://localhost:8081,http://localhost:8082 -node-id 0
+//	morseld -addr :8082 -dataset tpch -sf 0.05 -cluster http://localhost:8081,http://localhost:8082 -node-id 1
+//
+// Endpoints: POST /query, GET /stats, GET /tables, GET /healthz, and —
+// on clustered nodes — the peer-to-peer POST /exchange/{run,push,done}.
 package main
 
 import (
@@ -29,9 +40,11 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/exchange"
 	"repro/internal/server"
 	"repro/internal/sql"
 	"repro/internal/storage"
+	"repro/internal/tpch"
 )
 
 func main() {
@@ -42,6 +55,10 @@ func main() {
 		morselRows = flag.Int("morsel-rows", 100_000, "morsel size in tuples")
 		orders     = flag.Int("orders", 2_000_000, "demo orders fact-table rows")
 		customers  = flag.Int("customers", 10_000, "demo customers dimension rows")
+		dataset    = flag.String("dataset", "demo", "dataset to load: demo | tpch")
+		sf         = flag.Float64("sf", 0.01, "TPC-H scale factor (with -dataset tpch)")
+		cluster    = flag.String("cluster", "", "comma-separated base URLs of every morseld node (enables distributed execution)")
+		nodeID     = flag.Int("node-id", 0, "this node's index into the -cluster list")
 		execSQL    = flag.String("exec", "", "compile and run one SQL query against the demo dataset, print the result, and exit")
 		execParams = flag.String("params", "", `with -exec: JSON array of values for ? placeholders, e.g. '[7, "emea"]'`)
 		explain    = flag.Bool("explain", false, "with -exec: print the optimized plan instead of executing")
@@ -62,13 +79,34 @@ func main() {
 	}
 
 	sys := core.NewSystem(m, core.Options{Workers: *workers, MorselRows: *morselRows})
-	log.Printf("loading demo dataset: %d orders, %d customers ...", *orders, *customers)
 	start := time.Now()
-	ordersT, customersT := loadDemo(sys, *orders, *customers)
+	var (
+		tables  []*core.Table
+		sharded []string // tables hash-sharded across cluster nodes
+	)
+	switch *dataset {
+	case "demo":
+		log.Printf("loading demo dataset: %d orders, %d customers ...", *orders, *customers)
+		ordersT, customersT := loadDemo(sys, *orders, *customers)
+		tables = []*core.Table{ordersT, customersT}
+		sharded = []string{"orders", "customers"}
+	case "tpch":
+		// Deterministic generation: every cluster node produces the
+		// identical database, then EnableCluster carves out its shard.
+		log.Printf("generating TPC-H SF %g ...", *sf)
+		db := tpch.Generate(tpch.Config{SF: *sf, Partitions: 32, Sockets: m.Topo.Sockets, Seed: 42})
+		tables = []*core.Table{
+			db.Region, db.Nation, db.Supplier, db.Customer,
+			db.Part, db.PartSupp, db.Orders, db.Lineitem,
+		}
+		sharded = []string{"lineitem", "orders", "customer"}
+	default:
+		log.Fatalf("unknown dataset %q (want demo or tpch)", *dataset)
+	}
 	log.Printf("dataset ready in %v", time.Since(start).Round(time.Millisecond))
 
 	if *execSQL != "" {
-		if err := runSQL(sys, *execSQL, *execParams, *explain, ordersT, customersT); err != nil {
+		if err := runSQL(sys, *execSQL, *execParams, *explain, tables...); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -81,9 +119,23 @@ func main() {
 		PlanCacheSize:  *planCache,
 	})
 	defer srv.Close()
-	srv.RegisterTable(ordersT)
-	srv.RegisterTable(customersT)
-	prepare(srv, ordersT, customersT)
+	for _, t := range tables {
+		srv.RegisterTable(t)
+	}
+	if *dataset == "demo" {
+		prepare(srv, tables[0], tables[1])
+	}
+
+	if *cluster != "" {
+		cl, err := exchange.ParseCluster(*nodeID, *cluster)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := srv.EnableCluster(cl, sharded); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("cluster node %d of %d, sharded tables: %v", cl.Self, cl.N(), sharded)
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	go func() {

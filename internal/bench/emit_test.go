@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPaperMetricsDeterministic pins the property the CI trend gate
+// rests on: the gated metrics are pure simulation, so two runs produce
+// bit-identical values.
+func TestPaperMetricsDeterministic(t *testing.T) {
+	cfg := Config{TPCHSF: 0.01, SSBSF: 0.01, MorselRows: 2000, Quick: true}
+	a, b := PaperMetrics(cfg), PaperMetrics(cfg)
+	if len(a) != len(b) {
+		t.Fatalf("metric counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("metric %q not deterministic: %v vs %v", a[i].Name, a[i].Value, b[i].Value)
+		}
+		if a[i].Value <= 0 {
+			t.Fatalf("metric %q is %v, want positive", a[i].Name, a[i].Value)
+		}
+	}
+}
+
+// TestEmitRoundTrip checks the file format and that provenance comes
+// from the environment only.
+func TestEmitRoundTrip(t *testing.T) {
+	t.Setenv("BENCH_GITSHA", "abc123")
+	t.Setenv("BENCH_DATE", "2026-01-01")
+	dir := t.TempDir()
+	in := []Metric{
+		{Name: "z_metric", Value: 2, Unit: "ns", Direction: "lower", Gate: true},
+		{Name: "a_metric", Value: 1, Unit: "qps", Direction: "higher"},
+	}
+	path, err := Emit(dir, "unit", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_unit.json" {
+		t.Fatalf("path = %s", path)
+	}
+	f, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Experiment != "unit" || f.GitSHA != "abc123" || f.Date != "2026-01-01" {
+		t.Fatalf("provenance wrong: %+v", f)
+	}
+	if len(f.Metrics) != 2 || f.Metrics[0].Name != "a_metric" || !f.Metrics[1].Gate {
+		t.Fatalf("metrics wrong: %+v", f.Metrics)
+	}
+	// Emission is canonical: same metrics, same bytes.
+	again, err := Emit(t.TempDir(), "unit", []Metric{in[1], in[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := os.ReadFile(path)
+	b2, _ := os.ReadFile(again)
+	if string(b1) != string(b2) {
+		t.Fatalf("emission not canonical:\n%s\nvs\n%s", b1, b2)
+	}
+}

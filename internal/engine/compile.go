@@ -210,6 +210,8 @@ func (n *Node) produce(c *compiler, f consumerFactory) []tailJob {
 		return n.child.produce(c, f)
 	case nMaterialize:
 		return c.produceMaterialize(n, f)
+	case nExchange:
+		return c.produceExchange(n, f)
 	default:
 		panic(fmt.Sprintf("engine: unknown node kind %d", n.kind))
 	}

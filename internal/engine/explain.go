@@ -244,6 +244,8 @@ func describeNode(n *Node) string {
 		return "materialize (shared; executes once)"
 	case nUnmatched:
 		return fmt.Sprintf("unmatched(%s) cols=%v", n.joinRef.build.outName(), n.cols)
+	case nExchange:
+		return describeExchange(n)
 	default:
 		return fmt.Sprintf("node(%d)", n.kind)
 	}

@@ -126,6 +126,7 @@ const (
 	nUnmatched
 	nProject
 	nMaterialize
+	nExchange
 )
 
 // Node is one operator of a plan.
@@ -163,6 +164,11 @@ type Node struct {
 
 	// union
 	children []*Node
+
+	// exchange
+	exKind  ExchangeKind
+	exKeys  []string
+	exNodes int
 
 	// estRows is the optimizer's estimated output cardinality (0 = not
 	// annotated). Explain renders it so plan choices are testable.

@@ -1,0 +1,341 @@
+// Package exchange implements the cross-node data movement layer:
+// a length-prefixed binary morsel wire format, bounded per-destination
+// outbound buffers (application-level flow control, following Rödiger et
+// al., "High-Speed Query Processing over High-Speed Networks"), the
+// cluster node registry, mod-N shard views of partitioned tables, and
+// receive-side inboxes whose morsels feed straight into the dispatcher.
+package exchange
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/numa"
+	"repro/internal/storage"
+)
+
+// Frame types of the wire protocol. Every frame is
+//
+//	u32 payload length (little endian) | u8 type | payload
+//
+// A stream is one schema frame, any number of morsel frames, and a
+// terminal end (or error) frame.
+const (
+	frameSchema byte = 0x01
+	frameMorsel byte = 0x02
+	frameEnd    byte = 0x03
+	frameError  byte = 0x04
+)
+
+// Wire format limits. Decoders reject anything beyond them before
+// allocating, so a corrupt or hostile stream cannot balloon memory.
+const (
+	// MaxFramePayload bounds one frame's payload.
+	MaxFramePayload = 64 << 20
+	// MaxWireCols bounds the column count of a wire schema.
+	MaxWireCols = 4096
+	// MaxWireRows bounds the row count of one morsel frame.
+	MaxWireRows = 1 << 20
+	// WireMorselRows is the default row chunk senders cut frames at:
+	// large enough to amortize framing, small enough that the receiving
+	// dispatcher gets real morsel-granularity scheduling units.
+	WireMorselRows = 4096
+)
+
+// ErrCorruptFrame reports a malformed wire stream.
+var ErrCorruptFrame = errors.New("exchange: corrupt frame")
+
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorruptFrame, fmt.Sprintf(format, args...))
+}
+
+// Writer encodes a morsel stream onto an io.Writer.
+type Writer struct {
+	w      io.Writer
+	schema storage.Schema
+	buf    []byte
+}
+
+// NewWriter creates a stream writer for the given schema. The schema
+// frame is written by the first call to any Write method.
+func NewWriter(w io.Writer, schema storage.Schema) *Writer {
+	return &Writer{w: w, schema: schema}
+}
+
+func (w *Writer) frame(t byte, payload []byte) error {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = t
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.w.Write(payload)
+	return err
+}
+
+// WriteSchema writes the schema frame (idempotent; automatic otherwise).
+func (w *Writer) WriteSchema() error {
+	if w.schema == nil {
+		return nil
+	}
+	b := w.buf[:0]
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(w.schema)))
+	for _, d := range w.schema {
+		b = append(b, byte(d.Type))
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(d.Name)))
+		b = append(b, d.Name...)
+	}
+	w.schema = nil
+	w.buf = b
+	return w.frame(frameSchema, b)
+}
+
+// WriteMorsel writes rows [begin, end) of the partition's columns as one
+// morsel frame.
+func (w *Writer) WriteMorsel(cols []*storage.Column, begin, end int) error {
+	if err := w.WriteSchema(); err != nil {
+		return err
+	}
+	n := end - begin
+	if n <= 0 {
+		return nil
+	}
+	if n > MaxWireRows {
+		return fmt.Errorf("exchange: morsel of %d rows exceeds limit %d", n, MaxWireRows)
+	}
+	b := w.buf[:0]
+	b = binary.LittleEndian.AppendUint32(b, uint32(n))
+	for _, c := range cols {
+		switch c.Type {
+		case storage.I64:
+			for _, v := range c.Ints[begin:end] {
+				b = binary.LittleEndian.AppendUint64(b, uint64(v))
+			}
+		case storage.F64:
+			for _, v := range c.Flts[begin:end] {
+				b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+			}
+		default:
+			for _, s := range c.Strs[begin:end] {
+				b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+				b = append(b, s...)
+			}
+		}
+	}
+	w.buf = b
+	if len(b) > MaxFramePayload {
+		return fmt.Errorf("exchange: frame payload %d exceeds limit %d (shrink the row chunk)", len(b), MaxFramePayload)
+	}
+	return w.frame(frameMorsel, b)
+}
+
+// WritePartition writes the partition's rows as morsel frames of at most
+// chunk rows each (chunk <= 0 selects WireMorselRows).
+func (w *Writer) WritePartition(p *storage.Partition, chunk int) error {
+	if chunk <= 0 {
+		chunk = WireMorselRows
+	}
+	rows := p.Rows()
+	for begin := 0; begin < rows; begin += chunk {
+		end := begin + chunk
+		if end > rows {
+			end = rows
+		}
+		if err := w.WriteMorsel(p.Cols, begin, end); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteEnd terminates the stream.
+func (w *Writer) WriteEnd() error {
+	if err := w.WriteSchema(); err != nil {
+		return err
+	}
+	return w.frame(frameEnd, nil)
+}
+
+// WriteError terminates the stream with an error the receiver surfaces.
+func (w *Writer) WriteError(msg string) error {
+	if err := w.WriteSchema(); err != nil {
+		return err
+	}
+	if len(msg) > 4096 {
+		msg = msg[:4096]
+	}
+	return w.frame(frameError, []byte(msg))
+}
+
+// Reader decodes a morsel stream.
+type Reader struct {
+	r      *bufio.Reader
+	schema storage.Schema
+	buf    []byte
+	done   bool
+}
+
+// NewReader creates a stream reader.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+func (r *Reader) readFrame() (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return 0, nil, corrupt("truncated frame header")
+		}
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > MaxFramePayload {
+		return 0, nil, corrupt("frame payload %d exceeds limit", n)
+	}
+	if cap(r.buf) < int(n) {
+		r.buf = make([]byte, n)
+	}
+	b := r.buf[:n]
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		return 0, nil, corrupt("truncated frame payload")
+	}
+	return hdr[4], b, nil
+}
+
+// Schema returns the stream's schema, reading the schema frame if it has
+// not arrived yet.
+func (r *Reader) Schema() (storage.Schema, error) {
+	if r.schema != nil {
+		return r.schema, nil
+	}
+	t, b, err := r.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	if t != frameSchema {
+		return nil, corrupt("expected schema frame, got type 0x%02x", t)
+	}
+	s, err := decodeSchema(b)
+	if err != nil {
+		return nil, err
+	}
+	r.schema = s
+	return s, nil
+}
+
+func decodeSchema(b []byte) (storage.Schema, error) {
+	if len(b) < 2 {
+		return nil, corrupt("schema frame too short")
+	}
+	ncols := int(binary.LittleEndian.Uint16(b[:2]))
+	b = b[2:]
+	if ncols == 0 || ncols > MaxWireCols {
+		return nil, corrupt("schema with %d columns", ncols)
+	}
+	s := make(storage.Schema, 0, ncols)
+	for i := 0; i < ncols; i++ {
+		if len(b) < 3 {
+			return nil, corrupt("truncated schema column %d", i)
+		}
+		t := storage.ColType(b[0])
+		if t != storage.I64 && t != storage.F64 && t != storage.Str {
+			return nil, corrupt("unknown column type 0x%02x", b[0])
+		}
+		nameLen := int(binary.LittleEndian.Uint16(b[1:3]))
+		b = b[3:]
+		if nameLen > len(b) {
+			return nil, corrupt("truncated column name")
+		}
+		s = append(s, storage.ColDef{Name: string(b[:nameLen]), Type: t})
+		b = b[nameLen:]
+	}
+	if len(b) != 0 {
+		return nil, corrupt("%d trailing bytes after schema", len(b))
+	}
+	return s, nil
+}
+
+// Next returns the next morsel as a fresh partition, or io.EOF at the
+// end frame. An error frame surfaces as a plain error.
+func (r *Reader) Next() (*storage.Partition, error) {
+	if r.done {
+		return nil, io.EOF
+	}
+	if _, err := r.Schema(); err != nil {
+		return nil, err
+	}
+	t, b, err := r.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	switch t {
+	case frameMorsel:
+		return r.decodeMorsel(b)
+	case frameEnd:
+		r.done = true
+		return nil, io.EOF
+	case frameError:
+		r.done = true
+		return nil, fmt.Errorf("exchange: remote error: %s", b)
+	default:
+		return nil, corrupt("unexpected frame type 0x%02x", t)
+	}
+}
+
+func (r *Reader) decodeMorsel(b []byte) (*storage.Partition, error) {
+	if len(b) < 4 {
+		return nil, corrupt("morsel frame too short")
+	}
+	rows := int(binary.LittleEndian.Uint32(b[:4]))
+	b = b[4:]
+	if rows == 0 || rows > MaxWireRows {
+		return nil, corrupt("morsel with %d rows", rows)
+	}
+	p := &storage.Partition{Home: numa.NoSocket, Worker: -1}
+	for _, d := range r.schema {
+		c := storage.NewColumn(d.Name, d.Type)
+		switch d.Type {
+		case storage.I64:
+			if len(b) < rows*8 {
+				return nil, corrupt("truncated i64 column %q", d.Name)
+			}
+			c.Ints = make([]int64, rows)
+			for i := range c.Ints {
+				c.Ints[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
+			}
+			b = b[rows*8:]
+		case storage.F64:
+			if len(b) < rows*8 {
+				return nil, corrupt("truncated f64 column %q", d.Name)
+			}
+			c.Flts = make([]float64, rows)
+			for i := range c.Flts {
+				c.Flts[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+			}
+			b = b[rows*8:]
+		default:
+			c.Grow(rows)
+			for i := 0; i < rows; i++ {
+				if len(b) < 4 {
+					return nil, corrupt("truncated string length in column %q", d.Name)
+				}
+				n := int(binary.LittleEndian.Uint32(b[:4]))
+				b = b[4:]
+				if n > len(b) {
+					return nil, corrupt("truncated string payload in column %q", d.Name)
+				}
+				c.AppendStr(string(b[:n]))
+				b = b[n:]
+			}
+		}
+		p.Cols = append(p.Cols, c)
+	}
+	if len(b) != 0 {
+		return nil, corrupt("%d trailing bytes after morsel", len(b))
+	}
+	return p, nil
+}

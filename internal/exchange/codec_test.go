@@ -1,0 +1,263 @@
+package exchange
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+var testSchema = storage.Schema{
+	{Name: "k", Type: storage.I64},
+	{Name: "v", Type: storage.F64},
+	{Name: "s", Type: storage.Str},
+}
+
+func buildPartition(schema storage.Schema, rows [][]any) *storage.Partition {
+	p := &storage.Partition{Worker: -1}
+	for _, d := range schema {
+		p.Cols = append(p.Cols, storage.NewColumn(d.Name, d.Type))
+	}
+	for _, r := range rows {
+		for i, v := range r {
+			switch schema[i].Type {
+			case storage.I64:
+				p.Cols[i].AppendI64(v.(int64))
+			case storage.F64:
+				p.Cols[i].AppendF64(v.(float64))
+			default:
+				p.Cols[i].AppendStr(v.(string))
+			}
+		}
+	}
+	return p
+}
+
+func roundTrip(t *testing.T, schema storage.Schema, p *storage.Partition, chunk int) []*storage.Partition {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, schema)
+	if err := w.WritePartition(p, chunk); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := w.WriteEnd(); err != nil {
+		t.Fatalf("end: %v", err)
+	}
+	r := NewReader(&buf)
+	got, err := r.Schema()
+	if err != nil {
+		t.Fatalf("schema: %v", err)
+	}
+	if len(got) != len(schema) {
+		t.Fatalf("schema arity %d, want %d", len(got), len(schema))
+	}
+	for i := range schema {
+		if got[i] != schema[i] {
+			t.Fatalf("schema[%d] = %v, want %v", i, got[i], schema[i])
+		}
+	}
+	var parts []*storage.Partition
+	for {
+		mp, err := r.Next()
+		if err == io.EOF {
+			return parts
+		}
+		if err != nil {
+			t.Fatalf("next: %v", err)
+		}
+		parts = append(parts, mp)
+	}
+}
+
+// TestCodecRoundTripEdgeValues pins bit-exact transport of the float
+// values a naive text encoding would mangle. The engine is null-free by
+// design (see ARCHITECTURE.md), so NaN payloads are the hard case: they
+// must survive with their exact bit pattern, including negative and
+// payload-carrying NaNs.
+func TestCodecRoundTripEdgeValues(t *testing.T) {
+	qnan := math.Float64frombits(0x7FF8000000000001)
+	negQnan := math.Float64frombits(0xFFF8000000000bad)
+	floats := []float64{0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1),
+		math.NaN(), qnan, negQnan, math.MaxFloat64, -math.SmallestNonzeroFloat64, 3.14159}
+	ints := []int64{0, 1, -1, math.MaxInt64, math.MinInt64, 42}
+	strs := []string{"", "a", "héllo wörld", strings.Repeat("x", 70000), "line\nfeed\x00nul", "日本語"}
+
+	var rows [][]any
+	for i := 0; i < 64; i++ {
+		rows = append(rows, []any{ints[i%len(ints)], floats[i%len(floats)], strs[i%len(strs)]})
+	}
+	p := buildPartition(testSchema, rows)
+	for _, chunk := range []int{1, 7, 64, 1000} {
+		parts := roundTrip(t, testSchema, p, chunk)
+		var k []int64
+		var v []float64
+		var s []string
+		for _, mp := range parts {
+			k = append(k, mp.Cols[0].Ints...)
+			v = append(v, mp.Cols[1].Flts...)
+			s = append(s, mp.Cols[2].Strs...)
+		}
+		if len(k) != len(rows) {
+			t.Fatalf("chunk %d: got %d rows, want %d", chunk, len(k), len(rows))
+		}
+		for i := range rows {
+			if k[i] != rows[i][0].(int64) {
+				t.Fatalf("chunk %d row %d: int %d, want %d", chunk, i, k[i], rows[i][0])
+			}
+			want := math.Float64bits(rows[i][1].(float64))
+			if got := math.Float64bits(v[i]); got != want {
+				t.Fatalf("chunk %d row %d: float bits %016x, want %016x", chunk, i, got, want)
+			}
+			if s[i] != rows[i][2].(string) {
+				t.Fatalf("chunk %d row %d: string mismatch", chunk, i)
+			}
+		}
+	}
+}
+
+// TestCodecRoundTripRandom is a property test: random tables of random
+// shapes survive the wire byte-for-byte.
+func TestCodecRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		ncols := 1 + rng.Intn(6)
+		schema := make(storage.Schema, ncols)
+		for i := range schema {
+			schema[i] = storage.ColDef{
+				Name: "c" + string(rune('a'+i)),
+				Type: storage.ColType(rng.Intn(3)),
+			}
+		}
+		nrows := rng.Intn(200)
+		rows := make([][]any, nrows)
+		for r := range rows {
+			row := make([]any, ncols)
+			for c, d := range schema {
+				switch d.Type {
+				case storage.I64:
+					row[c] = rng.Int63() - rng.Int63()
+				case storage.F64:
+					row[c] = math.Float64frombits(rng.Uint64())
+				default:
+					b := make([]byte, rng.Intn(40))
+					rng.Read(b)
+					row[c] = string(b)
+				}
+			}
+			rows[r] = row
+		}
+		p := buildPartition(schema, rows)
+		parts := roundTrip(t, schema, p, 1+rng.Intn(64))
+		got := 0
+		for _, mp := range parts {
+			rn := mp.Rows()
+			for c, d := range schema {
+				for i := 0; i < rn; i++ {
+					switch d.Type {
+					case storage.I64:
+						if mp.Cols[c].Ints[i] != rows[got+i][c].(int64) {
+							t.Fatalf("trial %d: int mismatch", trial)
+						}
+					case storage.F64:
+						if math.Float64bits(mp.Cols[c].Flts[i]) != math.Float64bits(rows[got+i][c].(float64)) {
+							t.Fatalf("trial %d: float bits mismatch", trial)
+						}
+					default:
+						if mp.Cols[c].Strs[i] != rows[got+i][c].(string) {
+							t.Fatalf("trial %d: string mismatch", trial)
+						}
+					}
+				}
+			}
+			got += rn
+		}
+		if got != nrows {
+			t.Fatalf("trial %d: %d rows, want %d", trial, got, nrows)
+		}
+	}
+}
+
+func TestCodecEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, testSchema)
+	if err := w.WriteEnd(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("got %v, want EOF", err)
+	}
+}
+
+func TestCodecErrorFrame(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, testSchema)
+	if err := w.WriteError("fragment exploded"); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	_, err := r.Next()
+	if err == nil || !strings.Contains(err.Error(), "fragment exploded") {
+		t.Fatalf("got %v, want remote error", err)
+	}
+}
+
+// TestCodecRejectsCorruption checks that truncated and hostile inputs
+// fail with ErrCorruptFrame instead of panicking or over-allocating.
+func TestCodecRejectsCorruption(t *testing.T) {
+	var good bytes.Buffer
+	w := NewWriter(&good, testSchema)
+	p := buildPartition(testSchema, [][]any{{int64(1), 2.0, "three"}})
+	if err := w.WritePartition(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteEnd(); err != nil {
+		t.Fatal(err)
+	}
+	raw := good.Bytes()
+
+	// Every strict prefix must fail cleanly (or stop at a frame edge).
+	for cut := 1; cut < len(raw); cut++ {
+		r := NewReader(bytes.NewReader(raw[:cut]))
+		for {
+			_, err := r.Next()
+			if err != nil {
+				break
+			}
+		}
+	}
+
+	// Oversized declared frame length.
+	var huge bytes.Buffer
+	hdr := make([]byte, 5)
+	binary.LittleEndian.PutUint32(hdr, uint32(MaxFramePayload+1))
+	hdr[4] = frameSchema
+	huge.Write(hdr)
+	if _, err := NewReader(&huge).Schema(); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+
+	// String length pointing past the payload.
+	var bad bytes.Buffer
+	bw := NewWriter(&bad, storage.Schema{{Name: "s", Type: storage.Str}})
+	if err := bw.WriteSchema(); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 8)
+	binary.LittleEndian.PutUint32(payload, 1)         // one row
+	binary.LittleEndian.PutUint32(payload[4:], 1<<30) // absurd string length
+	fhdr := make([]byte, 5)
+	binary.LittleEndian.PutUint32(fhdr, uint32(len(payload)))
+	fhdr[4] = frameMorsel
+	bad.Write(fhdr)
+	bad.Write(payload)
+	r := NewReader(&bad)
+	if _, err := r.Next(); err == nil {
+		t.Fatal("bogus string length accepted")
+	}
+}

@@ -1,0 +1,117 @@
+package exchange
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrOutboxClosed is returned by Write after Close.
+var ErrOutboxClosed = errors.New("exchange: outbox closed")
+
+// DefaultOutboxWindow is the default bounded window: how many buffers may
+// be in flight to one destination before the producer blocks.
+const DefaultOutboxWindow = 16
+
+// Outbox is a bounded per-destination outbound buffer: an io.WriteCloser
+// whose Write enqueues a copy of the bytes and blocks once `window`
+// buffers are in flight, while a background goroutine drains them to the
+// destination. This is application-level flow control in the style of
+// Rödiger et al.: a slow or stalled receiver back-pressures the producing
+// pipeline instead of letting the process buffer an unbounded result,
+// and one slow destination does not stall data headed elsewhere (each
+// destination has its own outbox).
+type Outbox struct {
+	ch   chan []byte
+	quit chan struct{}
+	done chan struct{}
+
+	closeOnce sync.Once
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewOutbox starts an outbox draining into sink (called from a single
+// goroutine). window <= 0 selects DefaultOutboxWindow.
+func NewOutbox(sink func([]byte) error, window int) *Outbox {
+	if window <= 0 {
+		window = DefaultOutboxWindow
+	}
+	o := &Outbox{
+		ch:   make(chan []byte, window),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	deliver := func(b []byte) {
+		if o.Err() != nil {
+			return // stop writing after the first failure, keep draining
+		}
+		if err := sink(b); err != nil {
+			o.setErr(err)
+		}
+	}
+	go func() {
+		defer close(o.done)
+		for {
+			select {
+			case b := <-o.ch:
+				deliver(b)
+			case <-o.quit:
+				for {
+					select {
+					case b := <-o.ch:
+						deliver(b)
+					default:
+						return
+					}
+				}
+			}
+		}
+	}()
+	return o
+}
+
+func (o *Outbox) setErr(err error) {
+	o.mu.Lock()
+	if o.err == nil {
+		o.err = err
+	}
+	o.mu.Unlock()
+}
+
+// Err returns the first destination error, if any.
+func (o *Outbox) Err() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.err
+}
+
+// Write enqueues a copy of p, blocking while the window is full. A
+// destination failure is reported on a later Write (and by Close), so
+// the producer stops early instead of streaming into a dead peer.
+func (o *Outbox) Write(p []byte) (int, error) {
+	if err := o.Err(); err != nil {
+		return 0, err
+	}
+	select {
+	case <-o.quit:
+		return 0, ErrOutboxClosed
+	default:
+	}
+	b := make([]byte, len(p))
+	copy(b, p)
+	select {
+	case o.ch <- b:
+		return len(p), nil
+	case <-o.quit:
+		return 0, ErrOutboxClosed
+	}
+}
+
+// Close flushes the window, stops the drainer, and returns the first
+// destination error. Idempotent.
+func (o *Outbox) Close() error {
+	o.closeOnce.Do(func() { close(o.quit) })
+	<-o.done
+	return o.Err()
+}

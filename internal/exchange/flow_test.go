@@ -1,0 +1,106 @@
+package exchange
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestOutboxBackpressure verifies the bounded window: with the sink
+// stalled, at most window+1 writes proceed (window queued + one in the
+// drainer's hands) and the next write blocks until the sink drains.
+func TestOutboxBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	var delivered atomic.Int64
+	o := NewOutbox(func(b []byte) error {
+		<-release
+		delivered.Add(int64(len(b)))
+		return nil
+	}, 2)
+
+	wrote := make(chan int, 16)
+	go func() {
+		for i := 0; i < 6; i++ {
+			if _, err := o.Write([]byte{byte(i)}); err != nil {
+				t.Errorf("write %d: %v", i, err)
+				return
+			}
+			wrote <- i
+		}
+		close(wrote)
+	}()
+
+	// window=2 plus the one the drainer holds: writes 0..2 must pass,
+	// write 3 may pass (buffered channel race), 4+ must block.
+	deadline := time.After(2 * time.Second)
+	passed := 0
+	blocked := false
+	for !blocked {
+		select {
+		case _, ok := <-wrote:
+			if !ok {
+				t.Fatal("all writes passed despite stalled sink")
+			}
+			passed++
+			if passed > 4 {
+				t.Fatalf("%d writes passed a window of 2", passed)
+			}
+		case <-time.After(100 * time.Millisecond):
+			blocked = true
+		case <-deadline:
+			t.Fatal("deadlock")
+		}
+	}
+	if passed < 3 {
+		t.Fatalf("only %d writes passed; window not filled", passed)
+	}
+	close(release)
+	// Wait for the producer to finish before closing: Close flushes but
+	// is not a barrier for concurrent writers.
+	for range wrote {
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered.Load() != 6 {
+		t.Fatalf("delivered %d bytes, want 6", delivered.Load())
+	}
+}
+
+func TestOutboxPropagatesSinkError(t *testing.T) {
+	sinkErr := errors.New("peer gone")
+	o := NewOutbox(func(b []byte) error { return sinkErr }, 1)
+	// The first write is accepted (error not yet observed); subsequent
+	// writes must eventually fail.
+	var err error
+	for i := 0; i < 100; i++ {
+		_, err = o.Write([]byte("x"))
+		if err != nil {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !errors.Is(err, sinkErr) {
+		t.Fatalf("writes kept succeeding after sink failure (last err %v)", err)
+	}
+	if cerr := o.Close(); !errors.Is(cerr, sinkErr) {
+		t.Fatalf("Close = %v, want sink error", cerr)
+	}
+}
+
+func TestOutboxCloseIdempotent(t *testing.T) {
+	o := NewOutbox(func(b []byte) error { return nil }, 0)
+	if _, err := o.Write([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Write([]byte("b")); !errors.Is(err, ErrOutboxClosed) {
+		t.Fatalf("write after close = %v", err)
+	}
+}

@@ -1,0 +1,65 @@
+package exchange
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// FuzzMorselDecode feeds arbitrary byte streams to the wire decoder: it
+// must terminate with a clean error (or EOF) and never panic or
+// over-allocate, since peers are separate processes whose streams cross
+// a real network.
+func FuzzMorselDecode(f *testing.F) {
+	// Seed with valid streams of each column type plus an error frame.
+	seed := func(schema storage.Schema, rows [][]any) {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, schema)
+		if len(rows) > 0 {
+			if err := w.WritePartition(buildPartition(schema, rows), 2); err != nil {
+				f.Fatal(err)
+			}
+		}
+		if err := w.WriteEnd(); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	seed(testSchema, [][]any{
+		{int64(1), 1.5, "a"},
+		{int64(-9), 0.0, ""},
+		{int64(7), 2.25, "morsel"},
+	})
+	seed(storage.Schema{{Name: "k", Type: storage.I64}}, [][]any{{int64(42)}})
+	seed(storage.Schema{{Name: "s", Type: storage.Str}}, [][]any{{"xyz"}, {""}})
+	var errBuf bytes.Buffer
+	ew := NewWriter(&errBuf, testSchema)
+	if err := ew.WriteError("boom"); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(errBuf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		rows := 0
+		for {
+			p, err := r.Next()
+			if err != nil {
+				if err == io.EOF {
+					// End frame: trailing garbage is ignored by design
+					// (the transport closes the stream).
+					return
+				}
+				return // clean failure
+			}
+			rows += p.Rows()
+			if rows > 4*MaxWireRows {
+				t.Fatalf("decoder produced %d rows from %d input bytes", rows, len(data))
+			}
+		}
+	})
+}

@@ -1,0 +1,106 @@
+package exchange
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/numa"
+	"repro/internal/storage"
+)
+
+// Inbox accumulates morsel streams received from peer nodes for one
+// (query, stage) and exposes them as a scannable table: each received
+// frame becomes one partition, so the dispatcher schedules remote
+// batches exactly like local ones. Receive is safe to call concurrently
+// (one call per sender stream).
+type Inbox struct {
+	sockets int
+
+	mu     sync.Mutex
+	schema storage.Schema
+	parts  []*storage.Partition
+	nextPt int
+}
+
+// NewInbox creates an inbox; received partitions are homed round-robin
+// across `sockets` NUMA nodes (the data is freshly allocated by the
+// receiving process, so any assignment is as good as the allocator's).
+func NewInbox(sockets int) *Inbox {
+	if sockets < 1 {
+		sockets = 1
+	}
+	return &Inbox{sockets: sockets}
+}
+
+// Receive decodes one sender's stream into the inbox.
+func (ib *Inbox) Receive(r io.Reader) error {
+	rd := NewReader(r)
+	schema, err := rd.Schema()
+	if err != nil {
+		return err
+	}
+	if err := ib.checkSchema(schema); err != nil {
+		return err
+	}
+	for {
+		p, err := rd.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		ib.add(p)
+	}
+}
+
+func (ib *Inbox) checkSchema(s storage.Schema) error {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	if ib.schema == nil {
+		ib.schema = s
+		return nil
+	}
+	if len(ib.schema) != len(s) {
+		return fmt.Errorf("exchange: inbox schema mismatch: %d vs %d columns", len(ib.schema), len(s))
+	}
+	for i := range s {
+		if ib.schema[i] != s[i] {
+			return fmt.Errorf("exchange: inbox schema mismatch at column %d: %v vs %v", i, ib.schema[i], s[i])
+		}
+	}
+	return nil
+}
+
+func (ib *Inbox) add(p *storage.Partition) {
+	ib.mu.Lock()
+	p.Home = numa.SocketID(ib.nextPt % ib.sockets)
+	ib.nextPt++
+	ib.parts = append(ib.parts, p)
+	ib.mu.Unlock()
+}
+
+// Rows returns the number of rows received so far.
+func (ib *Inbox) Rows() int {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	n := 0
+	for _, p := range ib.parts {
+		n += p.Rows()
+	}
+	return n
+}
+
+// Table wraps the received partitions as a table named `name`, against a
+// fallback schema for streams that delivered zero senders' worth of
+// data. Call it only after every sender finished.
+func (ib *Inbox) Table(name string, fallback storage.Schema) *storage.Table {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	schema := ib.schema
+	if schema == nil {
+		schema = fallback
+	}
+	return &storage.Table{Name: name, Schema: schema, Parts: ib.parts}
+}

@@ -1,0 +1,68 @@
+package exchange
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Cluster is the node registry of one morseld cluster: the ordered list
+// of peer base URLs and this process's position in it. Every node is
+// configured with the same list, so node identity is positional and
+// shard ownership (partition index mod N) is consistent cluster-wide.
+type Cluster struct {
+	Self  int
+	Nodes []string
+}
+
+// ParseCluster parses a comma-separated node list ("http://a:8081,
+// http://b:8082") and validates self against it.
+func ParseCluster(self int, list string) (Cluster, error) {
+	var nodes []string
+	for _, s := range strings.Split(list, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		if !strings.HasPrefix(s, "http://") && !strings.HasPrefix(s, "https://") {
+			return Cluster{}, fmt.Errorf("exchange: node %q is not an http(s) URL", s)
+		}
+		nodes = append(nodes, strings.TrimRight(s, "/"))
+	}
+	c := Cluster{Self: self, Nodes: nodes}
+	if err := c.Validate(); err != nil {
+		return Cluster{}, err
+	}
+	return c, nil
+}
+
+// Validate checks the registry is usable.
+func (c Cluster) Validate() error {
+	if len(c.Nodes) < 2 {
+		return fmt.Errorf("exchange: cluster needs at least 2 nodes, have %d", len(c.Nodes))
+	}
+	if c.Self < 0 || c.Self >= len(c.Nodes) {
+		return fmt.Errorf("exchange: node id %d out of range [0,%d)", c.Self, len(c.Nodes))
+	}
+	seen := make(map[string]bool, len(c.Nodes))
+	for _, n := range c.Nodes {
+		if seen[n] {
+			return fmt.Errorf("exchange: duplicate node %q", n)
+		}
+		seen[n] = true
+	}
+	return nil
+}
+
+// N returns the cluster size.
+func (c Cluster) N() int { return len(c.Nodes) }
+
+// Peers returns every node id except Self.
+func (c Cluster) Peers() []int {
+	out := make([]int, 0, len(c.Nodes)-1)
+	for i := range c.Nodes {
+		if i != c.Self {
+			out = append(out, i)
+		}
+	}
+	return out
+}

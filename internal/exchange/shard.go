@@ -1,0 +1,42 @@
+package exchange
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// ShardView returns a view of t holding the partitions owned by `node`
+// in an n-node cluster: partition i belongs to node i mod n. Data is
+// shared with t (the view re-tags nothing); the partition count and hash
+// function are unchanged, so two tables hash-partitioned on their join
+// key with the same partition count stay co-partitioned shard-by-shard —
+// the paper's NUMA co-location (§4.3) lifted to node granularity.
+func ShardView(t *storage.Table, node, n int) (*storage.Table, error) {
+	if n < 1 || node < 0 || node >= n {
+		return nil, fmt.Errorf("exchange: shard %d/%d out of range", node, n)
+	}
+	if t.PartKey == "" {
+		return nil, fmt.Errorf("exchange: table %q has no partition key; cannot shard deterministically", t.Name)
+	}
+	if t.Schema[t.Schema.MustIndex(t.PartKey)].Type != storage.I64 {
+		// String partition keys hash with a per-process seed
+		// (storage.Builder), so their partition index is not
+		// reproducible across nodes.
+		return nil, fmt.Errorf("exchange: table %q partitions on non-integer key %q", t.Name, t.PartKey)
+	}
+	nt := &storage.Table{Name: t.Name, Schema: t.Schema, Key: t.Key, PartKey: t.PartKey}
+	for i, p := range t.Parts {
+		if i%n == node {
+			nt.Parts = append(nt.Parts, p)
+		}
+	}
+	return nt, nil
+}
+
+// OwnerOfKey returns the node owning the row with the given integer
+// partition-key value, for a table of `parts` partitions in an n-node
+// cluster. Senders of a hash-partition exchange route rows with it.
+func OwnerOfKey(key int64, parts, n int) int {
+	return storage.PartitionOfKey(key, parts) % n
+}

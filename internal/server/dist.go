@@ -1,0 +1,537 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/exchange"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// This file is the distributed execution path: several morseld servers,
+// each holding the full catalog but owning a shard view of the large
+// tables, cooperate on one query. The coordinator (whichever node the
+// client hit) runs sql.Distribute over the optimized plan and drives the
+// result: build-side stages execute on every node and ship rows to
+// per-node inboxes (broadcast or hash-routed), the main fragment runs
+// over every node's shards, and its partial-aggregate outputs gather
+// back to the coordinator, which merges them with the DistPlan's Final
+// plan. Fragment executions bypass admission on purpose: they are work
+// on behalf of a query that already passed admission on the coordinator,
+// and re-admitting them on each peer could deadlock the cluster once
+// every node's slots are held by coordinators waiting on each other.
+
+// clusterState is the per-server cluster runtime: topology, this node's
+// shard views, and the inboxes of in-flight distributed queries.
+type clusterState struct {
+	cl     exchange.Cluster
+	client *http.Client
+	shards map[string]*storage.Table
+	topo   sql.ClusterTopo
+
+	mu      sync.Mutex
+	inboxes map[string]*exchange.Inbox // qid \x00 stage name
+
+	qidSeq      atomic.Uint64
+	distQueries atomic.Int64
+	fallbacks   atomic.Int64
+	fragments   atomic.Int64
+	bytesIn     atomic.Int64
+	bytesOut    atomic.Int64
+}
+
+// ClusterStats is the /stats view of the distributed runtime.
+type ClusterStats struct {
+	Self         int   `json:"self"`
+	Nodes        int   `json:"nodes"`
+	DistQueries  int64 `json:"dist_queries"`
+	Fallbacks    int64 `json:"fallbacks"`
+	FragmentsRun int64 `json:"fragments_run"`
+	BytesIn      int64 `json:"exchange_bytes_in"`
+	BytesOut     int64 `json:"exchange_bytes_out"`
+}
+
+// EnableCluster joins this server to a morseld cluster: it replaces the
+// listed tables with this node's shard views for fragment execution
+// (the full tables stay registered for coordinator-side fallback) and
+// switches on the /exchange endpoints and Request.Distributed. Every
+// node must be configured with the same node list and shard set, over
+// identically generated tables.
+func (s *Server) EnableCluster(cl exchange.Cluster, sharded []string) error {
+	if err := cl.Validate(); err != nil {
+		return err
+	}
+	cs := &clusterState{
+		cl:      cl,
+		client:  &http.Client{},
+		shards:  make(map[string]*storage.Table, len(sharded)),
+		inboxes: make(map[string]*exchange.Inbox),
+		topo:    sql.ClusterTopo{Nodes: cl.N(), Sharded: make(map[string]sql.ShardInfo, len(sharded))},
+	}
+	for _, name := range sharded {
+		t, ok := s.Table(name)
+		if !ok {
+			return fmt.Errorf("server: cannot shard unregistered table %q", name)
+		}
+		sv, err := exchange.ShardView(t, cl.Self, cl.N())
+		if err != nil {
+			return err
+		}
+		cs.shards[name] = sv
+		cs.topo.Sharded[name] = sql.ShardInfo{PartKey: t.PartKey, Parts: len(t.Parts)}
+	}
+	s.mu.Lock()
+	s.cluster = cs
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *Server) clusterState() *clusterState {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cluster
+}
+
+// ClusterStats snapshots the distributed counters (nil when the server
+// is not clustered).
+func (s *Server) ClusterStats() *ClusterStats {
+	cs := s.clusterState()
+	if cs == nil {
+		return nil
+	}
+	return &ClusterStats{
+		Self:         cs.cl.Self,
+		Nodes:        cs.cl.N(),
+		DistQueries:  cs.distQueries.Load(),
+		Fallbacks:    cs.fallbacks.Load(),
+		FragmentsRun: cs.fragments.Load(),
+		BytesIn:      cs.bytesIn.Load(),
+		BytesOut:     cs.bytesOut.Load(),
+	}
+}
+
+// inboxDecl tells a fragment executor the schema of a stage inbox, so an
+// inbox that received zero rows still resolves as an empty table.
+type inboxDecl struct {
+	Name   string         `json:"name"`
+	Schema storage.Schema `json:"schema"`
+}
+
+// fragmentRequest is the node-to-node execution message: one stage or
+// main fragment of one distributed query.
+type fragmentRequest struct {
+	QID      string          `json:"qid"`
+	Kind     string          `json:"kind"` // "stage" | "main"
+	Name     string          `json:"name"`
+	Plan     json.RawMessage `json:"plan"`
+	Priority int             `json:"priority"`
+
+	// Stage routing (Kind == "stage").
+	Broadcast bool   `json:"broadcast,omitempty"`
+	KeyCol    string `json:"key_col,omitempty"`
+	Parts     int    `json:"parts,omitempty"`
+
+	// Inboxes this fragment may scan (every stage that ran before it).
+	Inboxes []inboxDecl `json:"inboxes,omitempty"`
+}
+
+func inboxKey(qid, name string) string { return qid + "\x00" + name }
+
+func (cs *clusterState) inbox(qid, name string) *exchange.Inbox {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	k := inboxKey(qid, name)
+	ib := cs.inboxes[k]
+	if ib == nil {
+		ib = exchange.NewInbox(1)
+		cs.inboxes[k] = ib
+	}
+	return ib
+}
+
+func (cs *clusterState) dropQuery(qid string) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	for k := range cs.inboxes {
+		if len(k) > len(qid) && k[:len(qid)] == qid && k[len(qid)] == 0 {
+			delete(cs.inboxes, k)
+		}
+	}
+}
+
+// lookupFor resolves fragment table references on this node: stage
+// inboxes first (query-scoped), then shard views, then the full catalog
+// (replicated tables).
+func (s *Server) lookupFor(cs *clusterState, qid string, decls []inboxDecl) func(string) (*storage.Table, bool) {
+	declared := make(map[string]storage.Schema, len(decls))
+	for _, d := range decls {
+		declared[d.Name] = d.Schema
+	}
+	return func(name string) (*storage.Table, bool) {
+		if schema, ok := declared[name]; ok {
+			cs.mu.Lock()
+			ib := cs.inboxes[inboxKey(qid, name)]
+			cs.mu.Unlock()
+			if ib == nil {
+				return &storage.Table{Name: name, Schema: schema}, true
+			}
+			return ib.Table(name, schema), true
+		}
+		if t, ok := cs.shards[name]; ok {
+			return t, true
+		}
+		return s.Table(name)
+	}
+}
+
+// runFragment decodes and executes one fragment on this node's shard of
+// the data, on the shared worker pool.
+func (s *Server) runFragment(ctx context.Context, cs *clusterState, fr *fragmentRequest) (*engine.Result, error) {
+	p, err := engine.DecodePlan(fr.Plan, s.lookupFor(cs, fr.QID, fr.Inboxes))
+	if err != nil {
+		return nil, &BadRequestError{Msg: fmt.Sprintf("fragment %s: %v", fr.Name, err)}
+	}
+	cs.fragments.Add(1)
+	res, _, err := s.exec.Run(ctx, p, fr.Priority)
+	return res, err
+}
+
+// execStage runs a stage fragment and ships its output: a broadcast
+// stage streams every row to every node; a partition stage routes each
+// row to the node owning its key. Self-destined rows short-circuit the
+// network. The method returns once every destination acknowledged, so
+// the coordinator's per-stage barrier is exact.
+func (s *Server) execStage(ctx context.Context, cs *clusterState, fr *fragmentRequest) error {
+	res, err := s.runFragment(ctx, cs, fr)
+	if err != nil {
+		return err
+	}
+	n := cs.cl.N()
+	sockets := s.sys.Machine.Topo.Sockets
+	out := res.ToTable(fr.Name, 1, sockets)
+
+	dest := make([]*storage.Table, n)
+	if fr.Broadcast {
+		for d := 0; d < n; d++ {
+			dest[d] = out
+		}
+	} else {
+		ki := out.Schema.MustIndex(fr.KeyCol)
+		builders := make([]*storage.Builder, n)
+		for d := range builders {
+			builders[d] = storage.NewBuilder(fr.Name, out.Schema, 1, "")
+		}
+		row := make(storage.Row, len(out.Schema))
+		for _, p := range out.Parts {
+			for r := 0; r < p.Rows(); r++ {
+				for c, col := range p.Cols {
+					switch col.Type {
+					case storage.I64:
+						row[c] = col.Ints[r]
+					case storage.F64:
+						row[c] = col.Flts[r]
+					default:
+						row[c] = col.Strs[r]
+					}
+				}
+				d := exchange.OwnerOfKey(p.Cols[ki].Ints[r], fr.Parts, n)
+				builders[d].Append(row)
+			}
+		}
+		for d := range builders {
+			dest[d] = builders[d].Build(storage.OSDefault, sockets)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for d := 0; d < n; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			errs[d] = s.ship(ctx, cs, d, fr.QID, fr.Name, dest[d])
+		}(d)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// ship delivers one node's share of a stage output. The remote path
+// streams morsel frames through an exchange.Outbox — the bounded
+// per-destination window that back-pressures the sender when a receiver
+// falls behind, instead of buffering the whole result per destination.
+func (s *Server) ship(ctx context.Context, cs *clusterState, destNode int, qid, name string, t *storage.Table) error {
+	if t.Rows() == 0 {
+		return nil // receivers resolve an absent inbox via its declaration
+	}
+	if destNode == cs.cl.Self {
+		var buf bytes.Buffer
+		if err := encodeTable(&buf, t); err != nil {
+			return err
+		}
+		return cs.inbox(qid, name).Receive(&buf)
+	}
+
+	pr, pw := io.Pipe()
+	done := make(chan error, 1)
+	url := fmt.Sprintf("%s/exchange/push?qid=%s&name=%s", cs.cl.Nodes[destNode], qid, name)
+	go func() {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, pr)
+		if err != nil {
+			done <- err
+			return
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := cs.client.Do(req)
+		if err != nil {
+			done <- err
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			done <- fmt.Errorf("push to node %d: %s: %s", destNode, resp.Status, bytes.TrimSpace(body))
+			return
+		}
+		done <- nil
+	}()
+
+	ob := exchange.NewOutbox(func(b []byte) error {
+		cs.bytesOut.Add(int64(len(b)))
+		_, err := pw.Write(b)
+		return err
+	}, exchange.DefaultOutboxWindow)
+	werr := encodeTable(ob, t)
+	if cerr := ob.Close(); werr == nil {
+		werr = cerr
+	}
+	pw.CloseWithError(werr)
+	herr := <-done
+	if werr != nil {
+		return werr
+	}
+	return herr
+}
+
+func encodeTable(w io.Writer, t *storage.Table) error {
+	xw := exchange.NewWriter(w, t.Schema)
+	for _, p := range t.Parts {
+		if err := xw.WritePartition(p, 0); err != nil {
+			return err
+		}
+	}
+	return xw.WriteEnd()
+}
+
+// runDistributed drives one distributed query from the coordinator:
+// stages in dependency order (each a cluster-wide barrier), then the
+// main fragment everywhere with results gathered here, then the Final
+// merge plan on the shared pool.
+func (s *Server) runDistributed(ctx context.Context, cs *clusterState, dp *sql.DistPlan, priority int) (*engine.Result, error) {
+	qid := fmt.Sprintf("q%d-%d", cs.cl.Self, cs.qidSeq.Add(1))
+	cs.distQueries.Add(1)
+	defer func() {
+		cs.dropQuery(qid)
+		go cs.broadcastDone(qid)
+	}()
+
+	var decls []inboxDecl
+	for _, st := range dp.Stages {
+		fr := &fragmentRequest{
+			QID: qid, Kind: "stage", Name: st.Name, Plan: st.Plan, Priority: priority,
+			Broadcast: st.Broadcast, KeyCol: st.KeyCol, Parts: st.Parts,
+			Inboxes: decls,
+		}
+		if err := cs.fanout(func(node int) error {
+			if node == cs.cl.Self {
+				return s.execStage(ctx, cs, fr)
+			}
+			return cs.postRun(ctx, node, fr, nil)
+		}); err != nil {
+			return nil, fmt.Errorf("distributed stage %s: %w", st.Name, err)
+		}
+		decls = append(decls, inboxDecl{Name: st.Name, Schema: st.Schema})
+	}
+
+	gather := exchange.NewInbox(s.sys.Machine.Topo.Sockets)
+	fr := &fragmentRequest{QID: qid, Kind: "main", Name: dp.MainName, Plan: dp.Main, Priority: priority, Inboxes: decls}
+	if err := cs.fanout(func(node int) error {
+		if node == cs.cl.Self {
+			res, err := s.runFragment(ctx, cs, fr)
+			if err != nil {
+				return err
+			}
+			var buf bytes.Buffer
+			if err := encodeTable(&buf, res.ToTable(dp.MainName, 1, s.sys.Machine.Topo.Sockets)); err != nil {
+				return err
+			}
+			return gather.Receive(&buf)
+		}
+		return cs.postRun(ctx, node, fr, func(body io.Reader) error {
+			return gather.Receive(body)
+		})
+	}); err != nil {
+		return nil, fmt.Errorf("distributed main fragment: %w", err)
+	}
+
+	final := dp.Final(gather.Table(dp.MainName, dp.MainSchema))
+	res, _, err := s.exec.Run(ctx, final, priority)
+	return res, err
+}
+
+// fanout runs f for every node concurrently and joins the errors.
+func (cs *clusterState) fanout(f func(node int) error) error {
+	n := cs.cl.N()
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = f(i)
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// postRun sends one fragment to a peer. Stage runs return no body (the
+// peer pushes its outputs itself); main runs stream the fragment result
+// back as morsel frames, consumed by sink.
+func (cs *clusterState) postRun(ctx context.Context, node int, fr *fragmentRequest, sink func(io.Reader) error) error {
+	body, err := json.Marshal(fr)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		cs.cl.Nodes[node]+"/exchange/run", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := cs.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("node %d: %w", node, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("node %d: %s: %s", node, resp.Status, bytes.TrimSpace(msg))
+	}
+	if sink == nil {
+		return nil
+	}
+	return sink(resp.Body)
+}
+
+func (cs *clusterState) broadcastDone(qid string) {
+	for _, peer := range cs.cl.Peers() {
+		url := fmt.Sprintf("%s/exchange/done?qid=%s", cs.cl.Nodes[peer], qid)
+		if resp, err := cs.client.Post(url, "", nil); err == nil {
+			resp.Body.Close()
+		}
+	}
+}
+
+// ---- peer-facing HTTP handlers.
+
+func (s *Server) clusterOr503(w http.ResponseWriter) *clusterState {
+	cs := s.clusterState()
+	if cs == nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "server is not part of a cluster"})
+	}
+	return cs
+}
+
+func (s *Server) handleExchangeRun(w http.ResponseWriter, r *http.Request) {
+	cs := s.clusterOr503(w)
+	if cs == nil {
+		return
+	}
+	var fr fragmentRequest
+	if err := json.NewDecoder(r.Body).Decode(&fr); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad fragment request: " + err.Error()})
+		return
+	}
+	switch fr.Kind {
+	case "stage":
+		if err := s.execStage(r.Context(), cs, &fr); err != nil {
+			writeJSON(w, statusOf(err, r.Context()), errorBody{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, struct{}{})
+	case "main":
+		res, err := s.runFragment(r.Context(), cs, &fr)
+		if err != nil {
+			writeJSON(w, statusOf(err, r.Context()), errorBody{Error: err.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		t := res.ToTable(fr.Name, 1, s.sys.Machine.Topo.Sockets)
+		if err := encodeTable(&countWriter{w: w, n: &cs.bytesOut}, t); err != nil {
+			// Headers are gone; the coordinator sees a truncated stream and
+			// fails the decode.
+			return
+		}
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("unknown fragment kind %q", fr.Kind)})
+	}
+}
+
+func (s *Server) handleExchangePush(w http.ResponseWriter, r *http.Request) {
+	cs := s.clusterOr503(w)
+	if cs == nil {
+		return
+	}
+	qid, name := r.URL.Query().Get("qid"), r.URL.Query().Get("name")
+	if qid == "" || name == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "push needs qid and name"})
+		return
+	}
+	cr := &countReader{r: r.Body, n: &cs.bytesIn}
+	if err := cs.inbox(qid, name).Receive(cr); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleExchangeDone(w http.ResponseWriter, r *http.Request) {
+	cs := s.clusterOr503(w)
+	if cs == nil {
+		return
+	}
+	cs.dropQuery(r.URL.Query().Get("qid"))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+type countReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+type countWriter struct {
+	w io.Writer
+	n *atomic.Int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n.Add(int64(n))
+	return n, err
+}

@@ -129,6 +129,11 @@ type Request struct {
 	// Explain returns the optimized physical plan as text instead of
 	// executing the query.
 	Explain bool `json:"explain,omitempty"`
+	// Distributed asks a clustered server to run the query across all
+	// morseld nodes (sql.Distribute). Plans the distributed planner
+	// refuses fall back to single-node execution transparently
+	// (Response.Distributed reports what actually happened).
+	Distributed bool `json:"distributed,omitempty"`
 }
 
 // Response is one query result.
@@ -146,6 +151,11 @@ type Response struct {
 	// end-to-end (queue + execution), the latency a client observes.
 	QueuedMs  float64 `json:"queued_ms"`
 	ElapsedMs float64 `json:"elapsed_ms"`
+	// Distributed reports whether the query actually ran across the
+	// cluster (false when the planner fell back to single-node), and
+	// DistNodes how many nodes took part.
+	Distributed bool `json:"distributed,omitempty"`
+	DistNodes   int  `json:"dist_nodes,omitempty"`
 }
 
 // Server is a concurrent query service over one core.System.
@@ -158,6 +168,7 @@ type Server struct {
 	mu       sync.RWMutex
 	tables   map[string]*core.Table
 	prepared map[string]*core.Plan
+	cluster  *clusterState // nil until EnableCluster
 	closed   bool
 
 	// catalogVersion advances whenever the table set changes; the plan
@@ -245,6 +256,28 @@ func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	// Distributed requests plan against the cluster topology up front so
+	// Explain can render the distributed (Combined) plan and execution
+	// knows whether to fan out or fall back.
+	var distPlan *sql.DistPlan
+	var cs *clusterState
+	if req.Distributed {
+		cs = s.clusterState()
+		if cs == nil {
+			return nil, &BadRequestError{Msg: "\"distributed\": true requires a clustered server (EnableCluster)"}
+		}
+		dp, derr := sql.Distribute(plan, cs.topo)
+		switch {
+		case derr == nil:
+			distPlan = dp
+		case errors.Is(derr, sql.ErrNotDistributable):
+			cs.fallbacks.Add(1) // transparently run single-node below
+		default:
+			return nil, derr
+		}
+	}
+
 	if req.Explain {
 		// Explain renders the optimized plan without executing (and
 		// without passing admission — no resources are consumed).
@@ -253,7 +286,13 @@ func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
 		for i, r := range schema {
 			cols[i] = r.Name
 		}
-		return &Response{Query: plan.Name, Class: class, Columns: cols, Plan: plan.Explain()}, nil
+		resp := &Response{Query: plan.Name, Class: class, Columns: cols, Plan: plan.Explain()}
+		if distPlan != nil {
+			resp.Plan = distPlan.Combined.Explain()
+			resp.Distributed = true
+			resp.DistNodes = cs.cl.N()
+		}
+		return resp, nil
 	}
 
 	// The per-query timeout covers the whole stay in the server: time
@@ -275,14 +314,24 @@ func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
 	defer s.adm.release()
 	queued := time.Since(start)
 
-	res, _, err := s.exec.Run(qctx, plan, class.priority())
+	var res *engine.Result
+	if distPlan != nil {
+		res, err = s.runDistributed(qctx, cs, distPlan, class.priority())
+	} else {
+		res, _, err = s.exec.Run(qctx, plan, class.priority())
+	}
 	elapsed := time.Since(start)
 	if err != nil {
 		s.stats.fail(class, err, ctx)
 		return nil, err
 	}
 	s.stats.complete(class, elapsed)
-	return s.respond(plan, class, res, req, queued, elapsed), nil
+	resp := s.respond(plan, class, res, req, queued, elapsed)
+	if distPlan != nil {
+		resp.Distributed = true
+		resp.DistNodes = cs.cl.N()
+	}
+	return resp, nil
 }
 
 func (s *Server) admit(ctx context.Context, class Class) error {
@@ -598,6 +647,9 @@ type Stats struct {
 	} `json:"pool"`
 
 	Classes map[Class]ClassSnapshot `json:"classes"`
+
+	// Cluster is present only on clustered servers.
+	Cluster *ClusterStats `json:"cluster,omitempty"`
 }
 
 // Stats snapshots the server. Safe to call while queries run.
@@ -625,6 +677,7 @@ func (s *Server) Stats() Stats {
 	for c, cs := range s.stats.classes {
 		st.Classes[c] = cs.snapshot()
 	}
+	st.Cluster = s.ClusterStats()
 	return st
 }
 

@@ -37,6 +37,22 @@ func TestExplainDocExamples(t *testing.T) {
 				ex.label, want)
 		}
 	}
+
+	// The distributed example: Q3 planned for a two-node cluster. Its
+	// broadcast and gather exchange markers must appear exactly as the
+	// planner renders them.
+	p3, err := Compile(tpch.MustSQLText(3, 1), tpchCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := Distribute(p3, tpchTopo(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.TrimSpace(dp.Combined.Explain())
+	if !strings.Contains(text, want) {
+		t.Fatalf("docs/explain.md is stale for the distributed Q3 example; re-capture this block:\n%s", want)
+	}
 }
 
 // TestDialectDocCoverageClaim is the docs-freshness half that lives next

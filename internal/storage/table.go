@@ -48,6 +48,10 @@ type Table struct {
 	// empty when none is known. Optimizers use it to prove that a join
 	// against this table cannot duplicate probe rows.
 	Key []string
+	// PartKey names the hash-partitioning attribute ("" = round-robin).
+	// Co-location reasoning — NUMA-local joins within a process and
+	// shard-local joins across morseld nodes — starts from it.
+	PartKey string
 
 	// stats is the optimizer statistics summary. Builder.Build fills it
 	// in; placement views share it. statsOnce guards lazy computation
@@ -106,7 +110,7 @@ func (t *Table) Col(name string) int { return t.Schema.MustIndex(name) }
 // tags differ, exactly as re-running numactl with a different policy would
 // leave the bytes identical but move the pages.
 func (t *Table) WithPlacement(policy Placement, sockets int) *Table {
-	nt := &Table{Name: t.Name, Schema: t.Schema, Parts: make([]*Partition, len(t.Parts)), Key: t.Key, stats: t.Stats()}
+	nt := &Table{Name: t.Name, Schema: t.Schema, Parts: make([]*Partition, len(t.Parts)), Key: t.Key, PartKey: t.PartKey, stats: t.Stats()}
 	for i, p := range t.Parts {
 		np := &Partition{Worker: p.Worker, Cols: p.Cols}
 		switch policy {
@@ -225,6 +229,9 @@ func (b *Builder) Append(row Row) {
 // count, per-column min/max/NDV) in the same pass.
 func (b *Builder) Build(policy Placement, sockets int) *Table {
 	t := &Table{Name: b.name, Schema: b.schema, Parts: b.parts, Key: b.unique}
+	if b.keyCol >= 0 {
+		t.PartKey = b.schema[b.keyCol].Name
+	}
 	t.stats = ComputeStats(t)
 	return t.WithPlacement(policy, sockets)
 }

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# bench_trend.sh — the benchmark-trajectory CI gate.
+#
+# Re-runs the paper harness's machine-readable benchmark emission
+# (TestBenchEmit, simulated metrics only — deterministic across hosts)
+# into a scratch directory, then diffs it against the committed
+# baselines in bench/baselines/ with cmd/benchtrend. Exits nonzero when
+# any regression-gated metric moved more than the threshold (default
+# 15%) in its bad direction.
+#
+# Usage: scripts/bench_trend.sh [threshold]
+#
+# To refresh the baselines after an intentional performance change:
+#   BENCH_OUT=bench/baselines go test -count=1 -run TestBenchEmit .
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+threshold="${1:-0.15}"
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+
+BENCH_OUT="$out" \
+BENCH_GITSHA="$(git rev-parse HEAD 2>/dev/null || echo unknown)" \
+BENCH_DATE="${BENCH_DATE:-}" \
+  go test -count=1 -run '^TestBenchEmit$' .
+
+go run ./cmd/benchtrend -baseline bench/baselines -current "$out" -threshold "$threshold"

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh — the two-node distributed CI gate.
+#
+# Boots a real two-node morseld cluster as two localhost processes (each
+# generating the identical deterministic TPC-H dataset and serving its
+# shard), then drives loadgen's -cluster-smoke parity check: TPC-H
+# Q1/Q3/Q6/Q12 executed with {"distributed": true} through each node as
+# coordinator must equal the single-node result.
+#
+# Usage: scripts/cluster_smoke.sh [scale-factor]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+sf="${1:-0.02}"
+port1="${MORSELD_PORT1:-18081}"
+port2="${MORSELD_PORT2:-18082}"
+cluster="http://localhost:${port1},http://localhost:${port2}"
+
+bin="$(mktemp -d)"
+trap 'kill ${pid1:-} ${pid2:-} 2>/dev/null || true; rm -rf "$bin"' EXIT
+
+go build -o "$bin/morseld" ./cmd/morseld
+go build -o "$bin/loadgen" ./cmd/loadgen
+
+"$bin/morseld" -addr ":${port1}" -dataset tpch -sf "$sf" \
+  -cluster "$cluster" -node-id 0 >"$bin/node0.log" 2>&1 &
+pid1=$!
+"$bin/morseld" -addr ":${port2}" -dataset tpch -sf "$sf" \
+  -cluster "$cluster" -node-id 1 >"$bin/node1.log" 2>&1 &
+pid2=$!
+
+if ! "$bin/loadgen" -cluster-smoke "$cluster" -sf "$sf" -timeout-ms 120000; then
+  echo "---- node 0 log ----"; tail -50 "$bin/node0.log"
+  echo "---- node 1 log ----"; tail -50 "$bin/node1.log"
+  exit 1
+fi

@@ -13,6 +13,16 @@
 //	morseld -exec 'SELECT COUNT(*) AS n FROM orders WHERE day < ?' -params '[7]'
 //	morseld -exec 'SELECT ...' -explain   # optimized plan with cardinality estimates
 //
+// With -data-dir the dataset persists across restarts: the first run
+// generates it, seals every table into an on-disk columnar snapshot
+// (zone-mapped segments, see docs/storage.md), and later runs restore
+// from disk instead of regenerating — a cold start that skips TPC-H
+// generation entirely and produces bit-identical query results.
+// -sort clusters a table on one column before serving, so range
+// predicates on that column skip most segments via their zone maps:
+//
+//	morseld -dataset tpch -sf 0.1 -data-dir /var/lib/morseld -sort lineitem=l_shipdate
+//
 // Several morseld processes form a cluster: start each with the same
 // -cluster node list and its own -node-id, and the big tables are
 // hash-sharded across the nodes (every node generates the identical
@@ -36,9 +46,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/colstore"
 	"repro/internal/core"
 	"repro/internal/exchange"
 	"repro/internal/server"
@@ -62,6 +75,10 @@ func main() {
 		execSQL    = flag.String("exec", "", "compile and run one SQL query against the demo dataset, print the result, and exit")
 		execParams = flag.String("params", "", `with -exec: JSON array of values for ? placeholders, e.g. '[7, "emea"]'`)
 		explain    = flag.Bool("explain", false, "with -exec: print the optimized plan instead of executing")
+		execTPCH   = flag.String("exec-tpch", "", `run TPC-H queries from the SQL dialect ("all" or a number like 6), print the results, and exit (requires -dataset tpch)`)
+		dataDir    = flag.String("data-dir", "", "snapshot directory: restore the dataset from it when present, otherwise generate and seal it there")
+		snapshot   = flag.Bool("snapshot", true, "with -data-dir: seal the freshly generated dataset into the directory")
+		sortSpec   = flag.String("sort", "", "cluster one table on a column before serving, e.g. lineitem=l_shipdate (sharpens zone-map segment skipping)")
 		maxConc    = flag.Int("max-concurrent", 0, "queries admitted at once (0 = 2 x sockets)")
 		maxQueue   = flag.Int("max-queue", 64, "waiting queries before 429 (negative = none)")
 		planCache  = flag.Int("plan-cache", 0, "server-side SQL plan cache entries (0 = default 256, negative disables)")
@@ -86,27 +103,66 @@ func main() {
 	)
 	switch *dataset {
 	case "demo":
-		log.Printf("loading demo dataset: %d orders, %d customers ...", *orders, *customers)
-		ordersT, customersT := loadDemo(sys, *orders, *customers)
-		tables = []*core.Table{ordersT, customersT}
 		sharded = []string{"orders", "customers"}
 	case "tpch":
-		// Deterministic generation: every cluster node produces the
-		// identical database, then EnableCluster carves out its shard.
-		log.Printf("generating TPC-H SF %g ...", *sf)
-		db := tpch.Generate(tpch.Config{SF: *sf, Partitions: 32, Sockets: m.Topo.Sockets, Seed: 42})
-		tables = []*core.Table{
-			db.Region, db.Nation, db.Supplier, db.Customer,
-			db.Part, db.PartSupp, db.Orders, db.Lineitem,
-		}
 		sharded = []string{"lineitem", "orders", "customer"}
 	default:
 		log.Fatalf("unknown dataset %q (want demo or tpch)", *dataset)
 	}
-	log.Printf("dataset ready in %v", time.Since(start).Round(time.Millisecond))
+	label := datasetLabel(*dataset, *sf, *orders, *customers, *sortSpec)
+
+	if *dataDir != "" && colstore.SnapshotExists(*dataDir) {
+		// Cold-start restore: skip generation entirely and load the
+		// sealed tables (bit-identical data, zone maps included).
+		tables = restoreSnapshot(*dataDir, label, m.Topo.Sockets)
+		log.Printf("restored snapshot %q from %s in %v (%d tables)",
+			label, *dataDir, time.Since(start).Round(time.Millisecond), len(tables))
+	} else {
+		switch *dataset {
+		case "demo":
+			log.Printf("loading demo dataset: %d orders, %d customers ...", *orders, *customers)
+			ordersT, customersT := loadDemo(sys, *orders, *customers)
+			tables = []*core.Table{ordersT, customersT}
+		case "tpch":
+			// Deterministic generation: every cluster node produces the
+			// identical database, then EnableCluster carves out its shard.
+			log.Printf("generating TPC-H SF %g ...", *sf)
+			db := tpch.Generate(tpch.Config{SF: *sf, Partitions: 32, Sockets: m.Topo.Sockets, Seed: 42})
+			tables = []*core.Table{
+				db.Region, db.Nation, db.Supplier, db.Customer,
+				db.Part, db.PartSupp, db.Orders, db.Lineitem,
+			}
+		}
+		if *sortSpec != "" {
+			applySort(tables, *sortSpec, m.Topo.Sockets)
+		}
+		log.Printf("dataset ready in %v", time.Since(start).Round(time.Millisecond))
+		if *dataDir != "" && *snapshot {
+			sstart := time.Now()
+			man, err := colstore.WriteSnapshot(*dataDir, label, tables, colstore.Options{})
+			if err != nil {
+				log.Fatalf("sealing snapshot into %s: %v", *dataDir, err)
+			}
+			bytes := 0
+			for _, t := range man.Tables {
+				bytes += t.Bytes
+			}
+			log.Printf("sealed snapshot into %s (%d tables, %.1f MiB) in %v",
+				*dataDir, len(man.Tables), float64(bytes)/(1<<20), time.Since(sstart).Round(time.Millisecond))
+		}
+	}
 
 	if *execSQL != "" {
 		if err := runSQL(sys, *execSQL, *execParams, *explain, tables...); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *execTPCH != "" {
+		if *dataset != "tpch" {
+			log.Fatal("-exec-tpch requires -dataset tpch")
+		}
+		if err := runTPCHQueries(sys, *execTPCH, *sf, tables); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -122,8 +178,11 @@ func main() {
 	for _, t := range tables {
 		srv.RegisterTable(t)
 	}
+	if *dataDir != "" {
+		srv.EnableSnapshots(*dataDir, label, colstore.Options{})
+	}
 	if *dataset == "demo" {
-		prepare(srv, tables[0], tables[1])
+		prepare(srv, tableByName(tables, "orders"), tableByName(tables, "customers"))
 	}
 
 	if *cluster != "" {
@@ -153,6 +212,110 @@ func main() {
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
+}
+
+// datasetLabel names the dataset a flag combination describes; restore
+// refuses a snapshot whose label disagrees, so a directory can never
+// silently serve different data than the flags ask for.
+func datasetLabel(dataset string, sf float64, orders, customers int, sortSpec string) string {
+	label := fmt.Sprintf("demo orders=%d customers=%d", orders, customers)
+	if dataset == "tpch" {
+		label = fmt.Sprintf("tpch sf=%g seed=42", sf)
+	}
+	if sortSpec != "" {
+		label += " sort=" + sortSpec
+	}
+	return label
+}
+
+// restoreSnapshot loads and re-homes every table of the snapshot in dir,
+// exiting with a clear message (never a panic) on damage, a format
+// version from a different build, or a dataset mismatch.
+func restoreSnapshot(dir, wantLabel string, sockets int) []*core.Table {
+	man, raw, err := colstore.ReadSnapshot(dir)
+	if err != nil {
+		log.Fatalf("restoring snapshot from %s: %v\ndelete the directory to regenerate the dataset", dir, err)
+	}
+	if man.Label != wantLabel {
+		log.Fatalf("snapshot in %s holds dataset %q, but these flags describe %q\ndelete the directory (or match the flags) to proceed", dir, man.Label, wantLabel)
+	}
+	tables := make([]*core.Table, len(raw))
+	for i, t := range raw {
+		tables[i] = t.WithPlacement(storage.NUMAAware, sockets)
+	}
+	return tables
+}
+
+// applySort replaces one table with a copy clustered on the given
+// column (spec "table=column"), re-homed across the machine's sockets.
+func applySort(tables []*core.Table, spec string, sockets int) {
+	name, col, ok := strings.Cut(spec, "=")
+	if !ok {
+		log.Fatalf("-sort: want table=column, got %q", spec)
+	}
+	for i, t := range tables {
+		if t.Name != name {
+			continue
+		}
+		st, err := colstore.SortedByColumn(t, col, len(t.Parts), 0)
+		if err != nil {
+			log.Fatalf("-sort: %v", err)
+		}
+		tables[i] = st.WithPlacement(storage.NUMAAware, sockets)
+		log.Printf("clustered %s on %s (%d partitions)", name, col, len(st.Parts))
+		return
+	}
+	log.Fatalf("-sort: no table %q in dataset", name)
+}
+
+func tableByName(tables []*core.Table, name string) *core.Table {
+	for _, t := range tables {
+		if t.Name == name {
+			return t
+		}
+	}
+	log.Fatalf("table %q missing from dataset", name)
+	return nil
+}
+
+// runTPCHQueries executes TPC-H queries from the SQL dialect ("all" or
+// one number) and prints each result, for snapshot parity checks.
+func runTPCHQueries(sys *core.System, spec string, sf float64, tables []*core.Table) error {
+	byName := make(map[string]*core.Table, len(tables))
+	for _, t := range tables {
+		byName[t.Name] = t
+	}
+	cat := func(name string) (*storage.Table, bool) {
+		t, ok := byName[name]
+		return t, ok
+	}
+	var nums []int
+	if spec == "all" {
+		nums = tpch.SQLCoverage()
+	} else {
+		n, err := strconv.Atoi(strings.TrimPrefix(strings.ToLower(spec), "q"))
+		if err != nil {
+			return fmt.Errorf(`-exec-tpch: want "all" or a query number, got %q`, spec)
+		}
+		nums = []int{n}
+	}
+	for _, n := range nums {
+		q, ok := tpch.SQLText(n, sf)
+		if !ok {
+			return fmt.Errorf("-exec-tpch: query %d is not expressible in the SQL dialect", n)
+		}
+		prep, err := sql.Prepare(q, fmt.Sprintf("q%d", n), cat)
+		if err != nil {
+			return fmt.Errorf("q%d: %w", n, err)
+		}
+		p, err := prep.Bind()
+		if err != nil {
+			return fmt.Errorf("q%d: %w", n, err)
+		}
+		res, _ := sys.Run(p)
+		fmt.Printf("-- Q%d\n%s", n, res)
+	}
+	return nil
 }
 
 // loadDemo builds the demo star schema: orders(id, cust, kind, amount,

@@ -1,0 +1,309 @@
+package colstore
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/numa"
+	"repro/internal/storage"
+)
+
+// testTable builds a table with all three column types, NaN and ±0
+// floats, empty strings, a declared key, and a hash partitioning key.
+func testTable(name string, rows, nparts int) *storage.Table {
+	b := storage.NewBuilder(name, storage.Schema{
+		{Name: "id", Type: storage.I64},
+		{Name: "val", Type: storage.F64},
+		{Name: "tag", Type: storage.Str},
+	}, nparts, "id").DeclareKey("id")
+	for i := 0; i < rows; i++ {
+		f := float64(i) * 1.25
+		switch i % 97 {
+		case 3:
+			f = math.NaN()
+		case 5:
+			f = math.Copysign(0, -1)
+		case 7:
+			f = math.Inf(1)
+		}
+		tag := fmt.Sprintf("tag-%04d", i%31)
+		if i%13 == 0 {
+			tag = ""
+		}
+		b.Append(storage.Row{int64(i), f, tag})
+	}
+	return b.Build(storage.NUMAAware, 4)
+}
+
+// sameTables asserts bitwise equality of two tables' metadata and data.
+func sameTables(t *testing.T, got, want *storage.Table) {
+	t.Helper()
+	if got.Name != want.Name || got.PartKey != want.PartKey ||
+		fmt.Sprint(got.Key) != fmt.Sprint(want.Key) ||
+		fmt.Sprint(got.Schema) != fmt.Sprint(want.Schema) {
+		t.Fatalf("metadata differs:\ngot  %q key=%v partkey=%q %v\nwant %q key=%v partkey=%q %v",
+			got.Name, got.Key, got.PartKey, got.Schema, want.Name, want.Key, want.PartKey, want.Schema)
+	}
+	if len(got.Parts) != len(want.Parts) {
+		t.Fatalf("got %d partitions, want %d", len(got.Parts), len(want.Parts))
+	}
+	for pi := range want.Parts {
+		gp, wp := got.Parts[pi], want.Parts[pi]
+		if gp.Rows() != wp.Rows() {
+			t.Fatalf("partition %d: got %d rows, want %d", pi, gp.Rows(), wp.Rows())
+		}
+		for ci, def := range want.Schema {
+			gc, wc := gp.Cols[ci], wp.Cols[ci]
+			for r := 0; r < wp.Rows(); r++ {
+				switch def.Type {
+				case storage.I64:
+					if gc.Ints[r] != wc.Ints[r] {
+						t.Fatalf("part %d col %q row %d: %d != %d", pi, def.Name, r, gc.Ints[r], wc.Ints[r])
+					}
+				case storage.F64:
+					if math.Float64bits(gc.Flts[r]) != math.Float64bits(wc.Flts[r]) {
+						t.Fatalf("part %d col %q row %d: %x != %x (bitwise)", pi, def.Name, r,
+							math.Float64bits(gc.Flts[r]), math.Float64bits(wc.Flts[r]))
+					}
+				default:
+					if gc.Strs[r] != wc.Strs[r] {
+						t.Fatalf("part %d col %q row %d: %q != %q", pi, def.Name, r, gc.Strs[r], wc.Strs[r])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	want := testTable("rt", 5000, 8)
+	data, err := EncodeTable(want, Options{SegRows: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.HasZoneMaps() {
+		t.Fatal("sealing must build the source table's zone maps")
+	}
+	got, err := DecodeTable(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTables(t, got, want)
+	if !got.HasZoneMaps() {
+		t.Fatal("restored table lost its zone maps")
+	}
+	// Zone maps survive byte-exactly (spot check every segment).
+	for pi, wp := range want.Parts {
+		gp := got.Parts[pi]
+		if gp.Segs.SegRows != wp.Segs.SegRows || gp.Segs.NumSegs() != wp.Segs.NumSegs() {
+			t.Fatalf("partition %d: segment directory shape differs", pi)
+		}
+		for s := range wp.Segs.Zones {
+			for c := range wp.Segs.Zones[s] {
+				g, w := gp.Segs.Zones[s][c], wp.Segs.Zones[s][c]
+				if g.Valid != w.Valid || g.HasNaN != w.HasNaN || g.Rows != w.Rows || g.NDV != w.NDV ||
+					g.MinI != w.MinI || g.MaxI != w.MaxI ||
+					math.Float64bits(g.MinF) != math.Float64bits(w.MinF) ||
+					math.Float64bits(g.MaxF) != math.Float64bits(w.MaxF) ||
+					g.MinS != w.MinS || g.MaxS != w.MaxS {
+					t.Fatalf("partition %d segment %d col %d: zone differs\ngot  %+v\nwant %+v", pi, s, c, g, w)
+				}
+			}
+		}
+	}
+	// Restored homes are unset until placement.
+	for _, p := range got.Parts {
+		if p.Home != numa.NoSocket {
+			t.Fatalf("restored partition homed to %v before placement", p.Home)
+		}
+	}
+}
+
+func TestEncodeEmptyAndEdgeTables(t *testing.T) {
+	for _, rows := range []int{0, 1, 255} {
+		want := testTable(fmt.Sprintf("edge%d", rows), rows, 3)
+		data, err := EncodeTable(want, Options{SegRows: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeTable(data)
+		if err != nil {
+			t.Fatalf("rows=%d: %v", rows, err)
+		}
+		sameTables(t, got, want)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	tab := testTable("c", 2000, 4)
+	data, err := EncodeTable(tab, Options{SegRows: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":            {},
+		"short":            data[:6],
+		"bad magic":        append([]byte("XXXX"), data[4:]...),
+		"truncated header": data[:40],
+		"truncated data":   data[:len(data)-3],
+		"trailing garbage": append(append([]byte{}, data...), 1, 2, 3),
+		"huge header length": func() []byte {
+			d := append([]byte{}, data...)
+			d[4], d[5], d[6], d[7] = 0xff, 0xff, 0xff, 0x7f
+			return d
+		}(),
+	}
+	for name, d := range cases {
+		if _, err := DecodeTable(d); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: got %v, want ErrCorrupt", name, err)
+		}
+	}
+	// Version mismatch is its own error.
+	d := append([]byte{}, data...)
+	d[8] = 0x7f // header starts at offset 8 with the u16 version
+	if _, err := DecodeTable(d); !errors.Is(err, ErrVersion) {
+		t.Errorf("version mismatch: got %v, want ErrVersion", err)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	a := testTable("alpha", 3000, 4)
+	b := testTable("beta", 500, 2)
+	m, err := WriteSnapshot(dir, "unit sf=1", []*storage.Table{b, a}, Options{SegRows: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Tables) != 2 || m.Tables[0].Name != "alpha" {
+		t.Fatalf("manifest not name-sorted: %+v", m.Tables)
+	}
+	if !SnapshotExists(dir) {
+		t.Fatal("SnapshotExists = false after write")
+	}
+	got, tables, err := ReadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != "unit sf=1" {
+		t.Fatalf("label %q", got.Label)
+	}
+	sameTables(t, tables[0], a)
+	sameTables(t, tables[1], b)
+
+	// Flip one data byte: restore must fail the checksum, not panic.
+	segPath := filepath.Join(dir, "beta.seg")
+	raw, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-10] ^= 0xff
+	if err := os.WriteFile(segPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadSnapshot(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt snapshot: got %v, want ErrCorrupt", err)
+	}
+
+	if _, _, err := ReadSnapshot(t.TempDir()); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("missing snapshot: got %v, want ErrNoSnapshot", err)
+	}
+}
+
+func TestLoadCSVParallel(t *testing.T) {
+	const rows = 20000
+	var sb strings.Builder
+	sb.WriteString("id,ship,price,comment\n")
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&sb, "%d,%04d-%02d-15,%d.%02d,\"c,%d\"\n", i, 1992+i%7, 1+i%12, i%900, i%100, i)
+	}
+	spec := TableSpec{
+		Name: "csvt",
+		Schema: storage.Schema{
+			{Name: "id", Type: storage.I64},
+			{Name: "ship", Type: storage.I64},
+			{Name: "price", Type: storage.F64},
+			{Name: "comment", Type: storage.Str},
+		},
+		Key: []string{"id"},
+	}
+	m := numa.NehalemEXMachine()
+	tab, err := LoadCSV(m, spec, []byte(sb.String()), CSVOptions{Header: true, SegRows: 512, Chunks: 16, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != rows {
+		t.Fatalf("loaded %d rows, want %d", tab.Rows(), rows)
+	}
+	if !tab.HasZoneMaps() {
+		t.Fatal("bulk load must seal zone maps")
+	}
+	if len(tab.Parts) != 16 {
+		t.Fatalf("got %d partitions, want 16 (one per chunk)", len(tab.Parts))
+	}
+	// Chunked layout is deterministic: same input, same chunk count →
+	// identical table, regardless of worker count.
+	tab2, err := LoadCSV(m, spec, []byte(sb.String()), CSVOptions{Header: true, SegRows: 512, Chunks: 16, Workers: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTables(t, tab, tab2)
+	// Quoted comma survived and dates round-tripped.
+	sum := int64(0)
+	seen := false
+	for _, p := range tab.Parts {
+		for r, s := range p.Cols[3].Strs {
+			if s == "c,7" {
+				seen = true
+			}
+			_ = r
+		}
+		for _, v := range p.Cols[0].Ints {
+			sum += v
+		}
+	}
+	if !seen {
+		t.Fatal("quoted comma field was mangled")
+	}
+	if want := int64(rows) * (rows - 1) / 2; sum != want {
+		t.Fatalf("id sum %d, want %d", sum, want)
+	}
+
+	// Parse errors surface with context, not panics.
+	if _, err := LoadCSV(m, spec, []byte("id,ship,price,comment\n1,notadate,2.5,x\n"), CSVOptions{Header: true}); err == nil || !strings.Contains(err.Error(), "ship") {
+		t.Fatalf("bad date: got %v", err)
+	}
+}
+
+func TestSortedByColumn(t *testing.T) {
+	tab := testTable("s", 10000, 8)
+	sorted, err := SortedByColumn(tab, "id", 8, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sorted.Rows() != tab.Rows() || len(sorted.Parts) != 8 {
+		t.Fatalf("sorted shape: %d rows in %d parts", sorted.Rows(), len(sorted.Parts))
+	}
+	if sorted.PartKey != "" {
+		t.Fatal("clustered table must clear its hash partitioning key")
+	}
+	prev := int64(-1)
+	for _, p := range sorted.Parts {
+		for _, v := range p.Cols[0].Ints {
+			if v < prev {
+				t.Fatalf("not sorted: %d after %d", v, prev)
+			}
+			prev = v
+		}
+	}
+	if !sorted.HasZoneMaps() {
+		t.Fatal("clustered table must carry zone maps")
+	}
+	if _, err := SortedByColumn(tab, "nope", 0, 0); err == nil {
+		t.Fatal("unknown sort column must error")
+	}
+}

@@ -1,0 +1,219 @@
+package colstore
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+
+	"repro/internal/dispatch"
+	"repro/internal/engine"
+	"repro/internal/numa"
+	"repro/internal/storage"
+)
+
+// Parallel bulk CSV load: the raw bytes are cut into newline-aligned
+// chunks, and each chunk becomes one task streamed through the morsel
+// dispatcher — parse, encode into a columnar partition, and seal its
+// segment directory, all inside the task — so loading parallelizes
+// across the same worker pool (and the same NUMA-aware scheduling)
+// that queries use. Each chunk yields one partition, so the resulting
+// table's layout is deterministic for a given (input, chunk count)
+// regardless of worker count or scheduling order.
+
+// TableSpec describes the destination table of a bulk load.
+type TableSpec struct {
+	Name   string
+	Schema storage.Schema
+	// Key optionally declares a unique key (metadata only).
+	Key []string
+}
+
+// CSVOptions controls parsing and parallelism.
+type CSVOptions struct {
+	// Comma is the field separator (default ',').
+	Comma rune
+	// Header skips the first line.
+	Header bool
+	// SegRows is the zone-map granularity (<= 0 = storage.DefaultSegRows).
+	SegRows int
+	// Chunks is the number of parse chunks = result partitions
+	// (<= 0 picks 2 per worker, at least 8).
+	Chunks int
+	// Workers sizes the loading worker pool (<= 0 = GOMAXPROCS).
+	Workers int
+}
+
+// LoadCSV parses data in parallel into a sealed, zone-mapped table
+// with partitions homed round-robin across the machine's sockets.
+// I64 columns accept integer literals or YYYY-MM-DD dates (stored as
+// days since epoch, like every date in the engine).
+func LoadCSV(m *numa.Machine, spec TableSpec, data []byte, opt CSVOptions) (*storage.Table, error) {
+	if opt.Header {
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			data = data[i+1:]
+		} else {
+			data = nil
+		}
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	chunks := opt.Chunks
+	if chunks <= 0 {
+		chunks = 2 * workers
+		if chunks < 8 {
+			chunks = 8
+		}
+	}
+	parts := splitChunks(data, chunks)
+
+	results := make([]*storage.Partition, len(parts))
+	errs := make([]error, len(parts))
+	sockets := m.Topo.Sockets
+	d := dispatch.NewDispatcher(m, dispatch.Config{Workers: workers})
+	q := dispatch.NewQuery("csv-load(" + spec.Name + ")")
+	drv := make([]*storage.Partition, len(parts))
+	for i := range parts {
+		col := storage.NewColumn("task", storage.I64)
+		col.AppendI64(int64(i))
+		drv[i] = &storage.Partition{Home: numa.SocketID(i % sockets), Worker: -1, Cols: []*storage.Column{col}}
+	}
+	index := make(map[*storage.Partition]int, len(drv))
+	for i, p := range drv {
+		index[p] = i
+	}
+	q.AddJob("parse+seal",
+		func() []*storage.Partition { return drv },
+		func(w *dispatch.Worker, ms storage.Morsel) {
+			i := index[ms.Part]
+			p, err := parseChunk(spec, parts[i], opt)
+			if err != nil {
+				errs[i] = fmt.Errorf("colstore: csv chunk %d: %w", i, err)
+				return
+			}
+			if p != nil {
+				p.Home = numa.SocketID(i % sockets)
+			}
+			results[i] = p
+		}).WithMorselRows(1)
+	dispatch.NewRealRunner(d).RunToCompletion(q)
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	t := &storage.Table{Name: spec.Name, Schema: spec.Schema, Key: spec.Key}
+	for _, p := range results {
+		if p != nil {
+			t.Parts = append(t.Parts, p)
+		}
+	}
+	return t, nil
+}
+
+// splitChunks cuts data into at most n newline-aligned chunks.
+func splitChunks(data []byte, n int) [][]byte {
+	var out [][]byte
+	if len(data) == 0 {
+		return out
+	}
+	target := len(data)/n + 1
+	for len(data) > 0 {
+		end := target
+		if end >= len(data) {
+			out = append(out, data)
+			break
+		}
+		if i := bytes.IndexByte(data[end:], '\n'); i >= 0 {
+			end += i + 1
+		} else {
+			end = len(data)
+		}
+		out = append(out, data[:end])
+		data = data[end:]
+	}
+	return out
+}
+
+// parseChunk parses one newline-aligned chunk into a sealed partition
+// (nil for a chunk with no rows).
+func parseChunk(spec TableSpec, chunk []byte, opt CSVOptions) (*storage.Partition, error) {
+	r := csv.NewReader(bytes.NewReader(chunk))
+	if opt.Comma != 0 {
+		r.Comma = opt.Comma
+	}
+	r.FieldsPerRecord = len(spec.Schema)
+	r.ReuseRecord = true
+	cols := make([]*storage.Column, len(spec.Schema))
+	for i, def := range spec.Schema {
+		cols[i] = storage.NewColumn(def.Name, def.Type)
+	}
+	row := 0
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		row++
+		for i, def := range spec.Schema {
+			field := rec[i]
+			switch def.Type {
+			case storage.I64:
+				v, err := parseI64(field)
+				if err != nil {
+					return nil, fmt.Errorf("row %d, column %q: %w", row, def.Name, err)
+				}
+				cols[i].AppendI64(v)
+			case storage.F64:
+				v, err := strconv.ParseFloat(field, 64)
+				if err != nil {
+					return nil, fmt.Errorf("row %d, column %q: %w", row, def.Name, err)
+				}
+				cols[i].AppendF64(v)
+			default:
+				cols[i].AppendStr(field)
+			}
+		}
+	}
+	if row == 0 {
+		return nil, nil
+	}
+	p := &storage.Partition{Home: numa.NoSocket, Worker: -1, Cols: cols}
+	p.Segs = storage.ComputeSegments(p, opt.SegRows)
+	return p, nil
+}
+
+// parseI64 accepts an integer literal or a YYYY-MM-DD date.
+func parseI64(s string) (int64, error) {
+	if isDate(s) {
+		return engine.ParseDate(s), nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%q is neither an integer nor a YYYY-MM-DD date", s)
+	}
+	return v, nil
+}
+
+func isDate(s string) bool {
+	if len(s) != 10 || s[4] != '-' || s[7] != '-' {
+		return false
+	}
+	for i, c := range []byte(s) {
+		if i == 4 || i == 7 {
+			continue
+		}
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}

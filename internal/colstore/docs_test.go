@@ -1,0 +1,59 @@
+package colstore
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// TestStorageDocFreshness pins docs/storage.md to the code: the format
+// version and core constants it states, and the EXPLAIN segment-marker
+// example, are re-derived live and must appear byte-for-byte, so the
+// document cannot rot when the format or the planner output changes.
+func TestStorageDocFreshness(t *testing.T) {
+	doc, err := os.ReadFile("../../docs/storage.md")
+	if err != nil {
+		t.Fatalf("docs/storage.md unreadable: %v", err)
+	}
+	text := string(doc)
+
+	for _, claim := range []string{
+		fmt.Sprintf("magic `MCS1`, format version %d", FormatVersion),
+		fmt.Sprintf("%d rows per segment", storage.DefaultSegRows),
+		fmt.Sprintf("`%s`", ManifestName),
+	} {
+		if !strings.Contains(text, claim) {
+			t.Errorf("docs/storage.md is stale: missing %q", claim)
+		}
+	}
+
+	// The worked EXPLAIN example: a day-clustered events table where a
+	// BETWEEN keeps 2 of 10 segments.
+	b := storage.NewBuilder("events", storage.Schema{
+		{Name: "day", Type: storage.I64},
+		{Name: "amount", Type: storage.F64},
+	}, 1, "")
+	for i := int64(0); i < 10000; i++ {
+		b.Append(storage.Row{i, float64(i % 97)})
+	}
+	tab := b.Build(storage.NUMAAware, 1)
+	tab.BuildZoneMaps(1000)
+	cat := func(name string) (*storage.Table, bool) {
+		if name == "events" {
+			return tab, true
+		}
+		return nil, false
+	}
+	p, err := sql.Compile(`SELECT SUM(amount) AS total FROM events WHERE day BETWEEN 3000 AND 4999`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.TrimSpace(p.Explain())
+	if !strings.Contains(text, want) {
+		t.Fatalf("docs/storage.md is stale for the EXPLAIN example; re-capture this block:\n%s", want)
+	}
+}

@@ -1,0 +1,445 @@
+// Package colstore is the persistent columnar storage layer: it seals
+// in-memory storage.Tables into an on-disk segment format and restores
+// them bit-identically. A sealed table is one file: a versioned,
+// length-prefixed header carrying the schema, partitioning metadata and
+// every segment's zone map, followed by the column data of each
+// partition as fixed-width little-endian blocks (mmap-friendly: numeric
+// columns are raw u64 arrays at known offsets). F64 values round-trip
+// through math.Float64bits, so NaN payloads and signed zeros survive
+// exactly — the same discipline as the exchange wire codec — and the
+// restored table carries the exact partition boundaries and row order
+// of the original, which makes parallel float aggregation over a
+// restored snapshot bit-identical to the in-memory table it came from.
+//
+// On top of the format sit snapshots (a manifest plus one file per
+// table, snapshot.go), parallel CSV bulk load through the morsel
+// dispatcher (csv.go), and a sort helper that re-seals a table
+// clustered on one column so zone maps become selective (sort.go).
+package colstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/numa"
+	"repro/internal/storage"
+)
+
+// magic identifies a sealed-table file; the version byte after it gates
+// incompatible format changes.
+var magic = [4]byte{'M', 'C', 'S', '1'}
+
+// FormatVersion is the current segment-file format version. Decoders
+// reject other versions with ErrVersion rather than guessing.
+const FormatVersion = 1
+
+// Decode-time limits: anything beyond them is rejected before
+// allocation, so a corrupt or hostile file cannot balloon memory.
+const (
+	// MaxHeaderLen bounds the length-prefixed header.
+	MaxHeaderLen = 16 << 20
+	// MaxCols bounds the schema width.
+	MaxCols = 4096
+	// MaxParts bounds the partition count.
+	MaxParts = 1 << 16
+	// MaxPartRows bounds one partition's row count.
+	MaxPartRows = 1 << 28
+	// MaxSegRows bounds the declared zone-map granularity.
+	MaxSegRows = 1 << 24
+	// maxZoneStr bounds one zone-map string bound; segments whose
+	// bounds exceed it are stored with Valid=false (pruning disabled)
+	// rather than truncated, since a truncated upper bound would be
+	// unsound.
+	maxZoneStr = 1 << 10
+)
+
+// ErrCorrupt reports a structurally invalid segment file.
+var ErrCorrupt = errors.New("colstore: corrupt segment file")
+
+// ErrVersion reports a segment file written by an incompatible format
+// version.
+var ErrVersion = errors.New("colstore: unsupported format version")
+
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// Options controls sealing.
+type Options struct {
+	// SegRows is the zone-map granularity used when the table does not
+	// already carry zone maps (<= 0 selects storage.DefaultSegRows).
+	SegRows int
+}
+
+// sealSegRows decides the table's segment granularity and ensures every
+// partition carries a matching segment directory, computing missing or
+// mismatched ones in place (sealing a table builds its zone maps — the
+// in-memory table gains segment skipping too).
+func sealSegRows(t *storage.Table, opt Options) int {
+	segRows := opt.SegRows
+	if segRows <= 0 {
+		segRows = storage.DefaultSegRows
+	}
+	for _, p := range t.Parts {
+		if p.Segs != nil {
+			segRows = p.Segs.SegRows // keep the table's own granularity
+			break
+		}
+	}
+	for _, p := range t.Parts {
+		if p.Segs == nil || p.Segs.SegRows != segRows || p.Segs.Rows != p.Rows() {
+			p.Segs = storage.ComputeSegments(p, segRows)
+		}
+	}
+	return segRows
+}
+
+// EncodeTable seals the table into the segment format. The table's zone
+// maps are computed first if absent.
+func EncodeTable(t *storage.Table, opt Options) ([]byte, error) {
+	segRows := sealSegRows(t, opt)
+	if len(t.Schema) == 0 || len(t.Schema) > MaxCols {
+		return nil, fmt.Errorf("colstore: table %q has %d columns (limit %d)", t.Name, len(t.Schema), MaxCols)
+	}
+	if len(t.Parts) > MaxParts {
+		return nil, fmt.Errorf("colstore: table %q has %d partitions (limit %d)", t.Name, len(t.Parts), MaxParts)
+	}
+
+	hdr := make([]byte, 0, 4096)
+	hdr = binary.LittleEndian.AppendUint16(hdr, FormatVersion)
+	hdr = appendStr16(hdr, t.Name)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(segRows))
+	hdr = binary.LittleEndian.AppendUint16(hdr, uint16(len(t.Schema)))
+	for _, d := range t.Schema {
+		hdr = append(hdr, byte(d.Type))
+		hdr = appendStr16(hdr, d.Name)
+	}
+	hdr = append(hdr, byte(len(t.Key)))
+	for _, k := range t.Key {
+		hdr = appendStr16(hdr, k)
+	}
+	hdr = appendStr16(hdr, t.PartKey)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(t.Parts)))
+	for _, p := range t.Parts {
+		rows := p.Rows()
+		if rows > MaxPartRows {
+			return nil, fmt.Errorf("colstore: partition of %d rows exceeds limit %d", rows, MaxPartRows)
+		}
+		hdr = binary.LittleEndian.AppendUint32(hdr, uint32(rows))
+		hdr = binary.LittleEndian.AppendUint32(hdr, uint32(p.Segs.NumSegs()))
+		for _, segZones := range p.Segs.Zones {
+			for _, z := range segZones {
+				hdr = appendZone(hdr, z)
+			}
+		}
+	}
+	if len(hdr) > MaxHeaderLen {
+		return nil, fmt.Errorf("colstore: header of %d bytes exceeds limit %d", len(hdr), MaxHeaderLen)
+	}
+
+	out := make([]byte, 0, len(hdr)+16+8*len(t.Schema)*t.Rows())
+	out = append(out, magic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(hdr)))
+	out = append(out, hdr...)
+	for _, p := range t.Parts {
+		for _, c := range p.Cols {
+			switch c.Type {
+			case storage.I64:
+				for _, v := range c.Ints {
+					out = binary.LittleEndian.AppendUint64(out, uint64(v))
+				}
+			case storage.F64:
+				for _, v := range c.Flts {
+					out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+				}
+			default:
+				for _, s := range c.Strs {
+					out = binary.LittleEndian.AppendUint32(out, uint32(len(s)))
+					out = append(out, s...)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func appendStr16(b []byte, s string) []byte {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+const (
+	zfValid  = 1 << 0
+	zfHasNaN = 1 << 1
+)
+
+func appendZone(b []byte, z storage.ZoneMap) []byte {
+	valid := z.Valid
+	if z.Type == storage.Str && (len(z.MinS) > maxZoneStr || len(z.MaxS) > maxZoneStr) {
+		valid = false // unencodable bounds: disable pruning for this zone
+	}
+	var flags byte
+	if valid {
+		flags |= zfValid
+	}
+	if z.HasNaN {
+		flags |= zfHasNaN
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(z.Rows))
+	b = append(b, flags)
+	b = binary.LittleEndian.AppendUint32(b, uint32(z.NDV))
+	if !valid {
+		return b
+	}
+	switch z.Type {
+	case storage.I64:
+		b = binary.LittleEndian.AppendUint64(b, uint64(z.MinI))
+		b = binary.LittleEndian.AppendUint64(b, uint64(z.MaxI))
+	case storage.F64:
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(z.MinF))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(z.MaxF))
+	default:
+		b = appendStr16(b, z.MinS)
+		b = appendStr16(b, z.MaxS)
+	}
+	return b
+}
+
+// decoder is a bounds-checked cursor over an encoded buffer.
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = corrupt(format, args...)
+	}
+}
+
+func (d *decoder) take(n int, what string) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(d.b) {
+		d.fail("truncated %s", what)
+		return nil
+	}
+	v := d.b[:n]
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) u16(what string) int {
+	v := d.take(2, what)
+	if v == nil {
+		return 0
+	}
+	return int(binary.LittleEndian.Uint16(v))
+}
+
+func (d *decoder) u32(what string) int {
+	v := d.take(4, what)
+	if v == nil {
+		return 0
+	}
+	return int(binary.LittleEndian.Uint32(v))
+}
+
+func (d *decoder) u64(what string) uint64 {
+	v := d.take(8, what)
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(v)
+}
+
+func (d *decoder) u8(what string) byte {
+	v := d.take(1, what)
+	if v == nil {
+		return 0
+	}
+	return v[0]
+}
+
+func (d *decoder) str16(what string) string {
+	n := d.u16(what)
+	return string(d.take(n, what))
+}
+
+// DecodeTable restores a sealed table. The restored partitions carry no
+// home sockets (numa.NoSocket) — re-home with Table.WithPlacement — but
+// keep the exact partition boundaries, row order and zone maps of the
+// sealed table.
+func DecodeTable(b []byte) (*storage.Table, error) {
+	if len(b) < 8 {
+		return nil, corrupt("file of %d bytes is shorter than the preamble", len(b))
+	}
+	if [4]byte(b[:4]) != magic {
+		return nil, corrupt("bad magic %q", b[:4])
+	}
+	hdrLen := int(binary.LittleEndian.Uint32(b[4:8]))
+	if hdrLen > MaxHeaderLen || hdrLen > len(b)-8 {
+		return nil, corrupt("header length %d out of range", hdrLen)
+	}
+	hd := &decoder{b: b[8 : 8+hdrLen]}
+	data := &decoder{b: b[8+hdrLen:]}
+
+	if v := hd.u16("version"); hd.err == nil && v != FormatVersion {
+		return nil, fmt.Errorf("%w: file has version %d, this build reads %d", ErrVersion, v, FormatVersion)
+	}
+	t := &storage.Table{Name: hd.str16("table name")}
+	segRows := hd.u32("segment granularity")
+	if hd.err == nil && (segRows == 0 || segRows > MaxSegRows) {
+		return nil, corrupt("segment granularity %d out of range", segRows)
+	}
+	ncols := hd.u16("column count")
+	if hd.err == nil && (ncols == 0 || ncols > MaxCols) {
+		return nil, corrupt("schema with %d columns", ncols)
+	}
+	for i := 0; i < ncols && hd.err == nil; i++ {
+		ct := storage.ColType(hd.u8("column type"))
+		if hd.err == nil && ct != storage.I64 && ct != storage.F64 && ct != storage.Str {
+			return nil, corrupt("unknown column type 0x%02x", ct)
+		}
+		t.Schema = append(t.Schema, storage.ColDef{Name: hd.str16("column name"), Type: ct})
+	}
+	nkey := int(hd.u8("key count"))
+	for i := 0; i < nkey && hd.err == nil; i++ {
+		k := hd.str16("key column")
+		if hd.err == nil && t.Schema.Index(k) < 0 {
+			return nil, corrupt("key column %q not in schema", k)
+		}
+		t.Key = append(t.Key, k)
+	}
+	t.PartKey = hd.str16("partition key")
+	if hd.err == nil && t.PartKey != "" && t.Schema.Index(t.PartKey) < 0 {
+		return nil, corrupt("partition key %q not in schema", t.PartKey)
+	}
+	nparts := hd.u32("partition count")
+	if hd.err == nil && nparts > MaxParts {
+		return nil, corrupt("%d partitions (limit %d)", nparts, MaxParts)
+	}
+	for pi := 0; pi < nparts && hd.err == nil; pi++ {
+		rows := hd.u32("partition rows")
+		if hd.err == nil && rows > MaxPartRows {
+			return nil, corrupt("partition %d has %d rows (limit %d)", pi, rows, MaxPartRows)
+		}
+		nsegs := hd.u32("segment count")
+		wantSegs := (rows + segRows - 1) / segRows
+		if hd.err == nil && nsegs != wantSegs {
+			return nil, corrupt("partition %d declares %d segments over %d rows, want %d", pi, nsegs, rows, wantSegs)
+		}
+		si := &storage.SegInfo{SegRows: segRows, Rows: rows}
+		for s := 0; s < nsegs && hd.err == nil; s++ {
+			segBegin, segEnd := si.SegBounds(s)
+			zones := make([]storage.ZoneMap, 0, ncols)
+			for c := 0; c < ncols && hd.err == nil; c++ {
+				z, err := decodeZone(hd, t.Schema[c].Type)
+				if err != nil {
+					return nil, err
+				}
+				if hd.err == nil && z.Rows != segEnd-segBegin {
+					return nil, corrupt("zone covers %d rows, segment has %d", z.Rows, segEnd-segBegin)
+				}
+				zones = append(zones, z)
+			}
+			si.Zones = append(si.Zones, zones)
+		}
+		p := &storage.Partition{Home: numa.NoSocket, Worker: -1, Segs: si}
+		for _, def := range t.Schema {
+			c, err := decodeColumn(data, def, rows)
+			if err != nil {
+				return nil, err
+			}
+			p.Cols = append(p.Cols, c)
+		}
+		t.Parts = append(t.Parts, p)
+	}
+	if hd.err != nil {
+		return nil, hd.err
+	}
+	if data.err != nil {
+		return nil, data.err
+	}
+	if len(hd.b) != 0 {
+		return nil, corrupt("%d trailing header bytes", len(hd.b))
+	}
+	if len(data.b) != 0 {
+		return nil, corrupt("%d trailing data bytes", len(data.b))
+	}
+	return t, nil
+}
+
+func decodeZone(d *decoder, ct storage.ColType) (storage.ZoneMap, error) {
+	z := storage.ZoneMap{Type: ct}
+	z.Rows = d.u32("zone rows")
+	flags := d.u8("zone flags")
+	z.NDV = int64(d.u32("zone ndv"))
+	z.Valid = flags&zfValid != 0
+	z.HasNaN = flags&zfHasNaN != 0
+	if d.err != nil || !z.Valid {
+		return z, d.err
+	}
+	switch ct {
+	case storage.I64:
+		z.MinI = int64(d.u64("zone min"))
+		z.MaxI = int64(d.u64("zone max"))
+		if d.err == nil && z.MinI > z.MaxI {
+			return z, corrupt("zone bounds inverted (%d > %d)", z.MinI, z.MaxI)
+		}
+	case storage.F64:
+		z.MinF = math.Float64frombits(d.u64("zone min"))
+		z.MaxF = math.Float64frombits(d.u64("zone max"))
+		if d.err == nil && (math.IsNaN(z.MinF) || math.IsNaN(z.MaxF) || z.MinF > z.MaxF) {
+			return z, corrupt("invalid float zone bounds [%v, %v]", z.MinF, z.MaxF)
+		}
+	default:
+		z.MinS = d.str16("zone min")
+		z.MaxS = d.str16("zone max")
+		if d.err == nil && z.MinS > z.MaxS {
+			return z, corrupt("string zone bounds inverted")
+		}
+	}
+	return z, d.err
+}
+
+func decodeColumn(d *decoder, def storage.ColDef, rows int) (*storage.Column, error) {
+	c := storage.NewColumn(def.Name, def.Type)
+	switch def.Type {
+	case storage.I64:
+		raw := d.take(rows*8, fmt.Sprintf("i64 column %q", def.Name))
+		if d.err != nil {
+			return nil, d.err
+		}
+		c.Ints = make([]int64, rows)
+		for i := range c.Ints {
+			c.Ints[i] = int64(binary.LittleEndian.Uint64(raw[i*8:]))
+		}
+	case storage.F64:
+		raw := d.take(rows*8, fmt.Sprintf("f64 column %q", def.Name))
+		if d.err != nil {
+			return nil, d.err
+		}
+		c.Flts = make([]float64, rows)
+		for i := range c.Flts {
+			c.Flts[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+		}
+	default:
+		c.Grow(rows)
+		for i := 0; i < rows; i++ {
+			n := d.u32(fmt.Sprintf("string length in column %q", def.Name))
+			s := d.take(n, fmt.Sprintf("string payload in column %q", def.Name))
+			if d.err != nil {
+				return nil, d.err
+			}
+			c.AppendStr(string(s))
+		}
+	}
+	return c, d.err
+}

@@ -1,0 +1,81 @@
+package colstore
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// FuzzSegmentDecode feeds arbitrary byte blobs to the segment decoder:
+// it must terminate with a clean sentinel error and never panic or
+// over-allocate, since snapshot files survive process restarts and can
+// be damaged by anything that touches the disk. Valid inputs must
+// re-encode to the exact same bytes (canonical form).
+func FuzzSegmentDecode(f *testing.F) {
+	seed := func(t *storage.Table, segRows int) {
+		data, err := EncodeTable(t, Options{SegRows: segRows})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	mk := func(name string, rows int, partKey string, key []string) *storage.Table {
+		b := storage.NewBuilder(name, storage.Schema{
+			{Name: "k", Type: storage.I64},
+			{Name: "f", Type: storage.F64},
+			{Name: "s", Type: storage.Str},
+		}, 3, partKey)
+		for _, k := range key {
+			b.DeclareKey(k)
+		}
+		for i := 0; i < rows; i++ {
+			v := float64(i)
+			if i%11 == 4 {
+				v = math.NaN()
+			}
+			b.Append(storage.Row{int64(i * 3), v, string(rune('a' + i%26))})
+		}
+		return b.Build(storage.NUMAAware, 2)
+	}
+	seed(mk("t", 500, "k", []string{"k"}), 64)
+	seed(mk("u", 1, "", nil), 8)
+	seed(mk("empty", 0, "", nil), 16)
+	f.Add([]byte{})
+	f.Add([]byte{'M', 'C', 'S', '1', 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		tab, err := DecodeTable(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+				t.Fatalf("non-sentinel decode error: %v", err)
+			}
+			return
+		}
+		if tab.Rows() > len(data) {
+			t.Fatalf("decoder produced %d rows from %d input bytes", tab.Rows(), len(data))
+		}
+		// A valid blob is in canonical form: re-encoding reproduces it.
+		again, err := EncodeTable(tab, Options{SegRows: segRowsOf(tab)})
+		if err != nil {
+			t.Fatalf("re-encode of decoded table failed: %v", err)
+		}
+		if string(again) != string(data) {
+			t.Fatalf("decode/encode not canonical: %d bytes in, %d bytes out", len(data), len(again))
+		}
+	})
+}
+
+// segRowsOf recovers the segment granularity of a decoded table.
+func segRowsOf(t *storage.Table) int {
+	for _, p := range t.Parts {
+		if p.Segs != nil {
+			return p.Segs.SegRows
+		}
+	}
+	return 0
+}

@@ -1,0 +1,157 @@
+package colstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/storage"
+)
+
+// A snapshot is one directory: MANIFEST.json naming the dataset label
+// and every sealed table file with its checksum, plus one .seg file per
+// table. Table files are written to temporary names and renamed into
+// place, manifest last, so a crashed writer never leaves a directory
+// that passes validation. Readers verify the checksum of every table
+// file before decoding, so any corruption surfaces as a clean
+// ErrCorrupt — never a panic deep in query execution.
+
+// ManifestName is the snapshot manifest file name.
+const ManifestName = "MANIFEST.json"
+
+// ErrNoSnapshot reports that a directory holds no snapshot manifest.
+var ErrNoSnapshot = errors.New("colstore: no snapshot")
+
+// Manifest describes one snapshot.
+type Manifest struct {
+	FormatVersion int `json:"format_version"`
+	// Label identifies the dataset ("tpch sf=0.1", ...); restore
+	// callers compare it against what they would have generated.
+	Label  string          `json:"label"`
+	Tables []ManifestTable `json:"tables"`
+}
+
+// ManifestTable describes one sealed table file.
+type ManifestTable struct {
+	Name  string `json:"name"`
+	File  string `json:"file"`
+	Rows  int    `json:"rows"`
+	Bytes int    `json:"bytes"`
+	CRC32 uint32 `json:"crc32"`
+}
+
+// SnapshotExists reports whether dir holds a snapshot manifest.
+func SnapshotExists(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, ManifestName))
+	return err == nil
+}
+
+// WriteTable seals one table into path (atomically via rename) and
+// returns its manifest entry.
+func WriteTable(path string, t *storage.Table, opt Options) (ManifestTable, error) {
+	data, err := EncodeTable(t, opt)
+	if err != nil {
+		return ManifestTable{}, err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return ManifestTable{}, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return ManifestTable{}, err
+	}
+	return ManifestTable{
+		Name:  t.Name,
+		File:  filepath.Base(path),
+		Rows:  t.Rows(),
+		Bytes: len(data),
+		CRC32: crc32.ChecksumIEEE(data),
+	}, nil
+}
+
+// ReadTable restores one sealed table file, verifying it against its
+// manifest entry when one is given.
+func ReadTable(path string, want *ManifestTable) (*storage.Table, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if want != nil {
+		if len(data) != want.Bytes || crc32.ChecksumIEEE(data) != want.CRC32 {
+			return nil, fmt.Errorf("%w: %s fails its manifest checksum", ErrCorrupt, filepath.Base(path))
+		}
+	}
+	t, err := DecodeTable(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	if want != nil && (t.Name != want.Name || t.Rows() != want.Rows) {
+		return nil, fmt.Errorf("%w: %s decodes to table %q (%d rows), manifest says %q (%d rows)",
+			ErrCorrupt, filepath.Base(path), t.Name, t.Rows(), want.Name, want.Rows)
+	}
+	return t, nil
+}
+
+// WriteSnapshot seals every table into dir under the given dataset
+// label, replacing any previous snapshot there. Tables are written in
+// name order and the manifest is renamed into place last.
+func WriteSnapshot(dir, label string, tables []*storage.Table, opt Options) (Manifest, error) {
+	m := Manifest{FormatVersion: FormatVersion, Label: label}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return m, err
+	}
+	sorted := append([]*storage.Table(nil), tables...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for _, t := range sorted {
+		mt, err := WriteTable(filepath.Join(dir, t.Name+".seg"), t, opt)
+		if err != nil {
+			return m, fmt.Errorf("colstore: sealing %q: %w", t.Name, err)
+		}
+		m.Tables = append(m.Tables, mt)
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return m, err
+	}
+	tmp := filepath.Join(dir, ManifestName+".tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return m, err
+	}
+	return m, os.Rename(tmp, filepath.Join(dir, ManifestName))
+}
+
+// ReadSnapshot restores every table of the snapshot in dir. The
+// returned tables carry no home sockets — re-home each with
+// Table.WithPlacement before registering it. Returns ErrNoSnapshot
+// when dir has no manifest, ErrVersion on a format mismatch, and
+// ErrCorrupt-wrapped errors on any structural damage.
+func ReadSnapshot(dir string) (Manifest, []*storage.Table, error) {
+	var m Manifest
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return m, nil, fmt.Errorf("%w in %s", ErrNoSnapshot, dir)
+		}
+		return m, nil, err
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, ManifestName, err)
+	}
+	if m.FormatVersion != FormatVersion {
+		return m, nil, fmt.Errorf("%w: snapshot has format %d, this build reads %d", ErrVersion, m.FormatVersion, FormatVersion)
+	}
+	tables := make([]*storage.Table, 0, len(m.Tables))
+	for i := range m.Tables {
+		mt := &m.Tables[i]
+		t, err := ReadTable(filepath.Join(dir, mt.File), mt)
+		if err != nil {
+			return m, nil, fmt.Errorf("colstore: restoring %q: %w", mt.Name, err)
+		}
+		tables = append(tables, t)
+	}
+	return m, tables, nil
+}

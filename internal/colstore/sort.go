@@ -1,0 +1,113 @@
+package colstore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/numa"
+	"repro/internal/storage"
+)
+
+// SortedByColumn rebuilds the table clustered on one column: rows are
+// globally sorted by the column (stable, NaN last) and redistributed
+// into nparts contiguous partitions, so each segment's zone map covers
+// a narrow value range and range predicates skip most segments. The
+// partitioning key is cleared — a clustered table is range-, not
+// hash-partitioned — while the declared unique key survives. The
+// result carries fresh zone maps at segRows granularity and no home
+// sockets (re-home with WithPlacement). The input table is unchanged.
+//
+// Sorting changes row order, and parallel float aggregation is
+// order-sensitive, so a clustered table is NOT bit-identical to its
+// source under SUM/AVG — cluster before sealing a snapshot, not after
+// comparing results against one.
+func SortedByColumn(t *storage.Table, col string, nparts, segRows int) (*storage.Table, error) {
+	ci := t.Schema.Index(col)
+	if ci < 0 {
+		return nil, fmt.Errorf("colstore: sort column %q not in table %q", col, t.Name)
+	}
+	if nparts <= 0 {
+		nparts = len(t.Parts)
+	}
+	if nparts <= 0 {
+		nparts = 1
+	}
+	rows := t.Rows()
+
+	// Flatten each column across partitions in order, then sort a
+	// permutation by the cluster column.
+	flat := make([]*storage.Column, len(t.Schema))
+	for i, def := range t.Schema {
+		c := storage.NewColumn(def.Name, def.Type)
+		c.Grow(rows)
+		for _, p := range t.Parts {
+			src := p.Cols[i]
+			switch def.Type {
+			case storage.I64:
+				c.Ints = append(c.Ints, src.Ints...)
+			case storage.F64:
+				c.Flts = append(c.Flts, src.Flts...)
+			default:
+				for _, s := range src.Strs {
+					c.AppendStr(s)
+				}
+			}
+		}
+		flat[i] = c
+	}
+	perm := make([]int, rows)
+	for i := range perm {
+		perm[i] = i
+	}
+	key := flat[ci]
+	switch key.Type {
+	case storage.I64:
+		sort.SliceStable(perm, func(a, b int) bool { return key.Ints[perm[a]] < key.Ints[perm[b]] })
+	case storage.F64:
+		sort.SliceStable(perm, func(a, b int) bool {
+			va, vb := key.Flts[perm[a]], key.Flts[perm[b]]
+			if math.IsNaN(vb) {
+				return !math.IsNaN(va)
+			}
+			if math.IsNaN(va) {
+				return false
+			}
+			return va < vb
+		})
+	default:
+		sort.SliceStable(perm, func(a, b int) bool { return key.Strs[perm[a]] < key.Strs[perm[b]] })
+	}
+
+	nt := &storage.Table{Name: t.Name, Schema: t.Schema, Key: t.Key}
+	per := (rows + nparts - 1) / nparts
+	for begin := 0; begin < rows || len(nt.Parts) == 0; begin += per {
+		end := begin + per
+		if end > rows {
+			end = rows
+		}
+		p := &storage.Partition{Home: numa.NoSocket, Worker: -1}
+		for i, def := range t.Schema {
+			c := storage.NewColumn(def.Name, def.Type)
+			c.Grow(end - begin)
+			src := flat[i]
+			for _, ri := range perm[begin:end] {
+				switch def.Type {
+				case storage.I64:
+					c.AppendI64(src.Ints[ri])
+				case storage.F64:
+					c.AppendF64(src.Flts[ri])
+				default:
+					c.AppendStr(src.Strs[ri])
+				}
+			}
+			p.Cols = append(p.Cols, c)
+		}
+		p.Segs = storage.ComputeSegments(p, segRows)
+		nt.Parts = append(nt.Parts, p)
+		if rows == 0 {
+			break
+		}
+	}
+	return nt, nil
+}

@@ -232,8 +232,14 @@ func (c *compiler) produceScan(n *Node, f consumerFactory) []tailJob {
 	}
 	consume := f(pc)
 	table := n.table
+	parts := func() []*storage.Partition { return table.Parts }
+	if pred := compileZonePrune(n.filter, n.out, n.scanSrc); pred != nil && table.HasZoneMaps() {
+		// Zone-map skipping: resolve at activation time, exposing only
+		// the surviving segment runs to the dispatcher.
+		parts = func() []*storage.Partition { return prunedScanParts(table.Parts, pred) }
+	}
 	job := c.q.AddJob("scan("+table.Name+")",
-		func() []*storage.Partition { return table.Parts },
+		parts,
 		scanMorselBody(pc, n.scanSrc, filterFn, rowW, consume))
 	job.After(pc.deps...)
 	return []tailJob{job}

@@ -192,6 +192,12 @@ func describeNode(n *Node) string {
 		s := fmt.Sprintf("scan(%s) cols=%v", n.table.Name, regNames(n.out))
 		if n.filter != nil {
 			s += " filter: " + n.filter.String()
+			if n.table.HasZoneMaps() {
+				if pred := compileZonePrune(n.filter, n.out, n.scanSrc); pred != nil {
+					kept, total := zoneScanCounts(n.table, pred)
+					s += fmt.Sprintf(" [segments %d/%d]", kept, total)
+				}
+			}
 		}
 		return s
 	case nFilter:

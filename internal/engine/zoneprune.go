@@ -1,0 +1,394 @@
+package engine
+
+import (
+	"math"
+
+	"repro/internal/storage"
+)
+
+// Zone-map scan pruning: when a table carries per-segment zone maps
+// (storage.SegInfo), scan compilation tests the fused scan filter
+// against each segment's min/max bounds and skips segments where the
+// filter is provably false for every row. The analysis is conservative
+// tri-state logic — zonePrune proves "false for all rows", zoneProve
+// proves "true for all rows" (needed under NOT), and anything it cannot
+// analyze (parameters, arithmetic, LIKE, column-vs-expression) simply
+// never prunes. NaN is handled the way the engine actually evaluates
+// it: compileCmp's three-way comparator branches on < and > and falls
+// through to "equal", so a NaN operand satisfies =, <=, >= and fails
+// <>, <, > — while BETWEEN compiles to IEEE <= chains that a NaN value
+// always fails. The analysis threads that per-operator NaN verdict
+// (nanSat) through every bound check, so zone bounds that exclude NaN
+// stay sound in its presence.
+
+// segPredicate reports whether one segment is provably dead under the
+// scan filter: zones is the segment's zone-map row indexed by table
+// column.
+type segPredicate func(zones []storage.ZoneMap) bool
+
+// compileZonePrune builds the segment predicate for a scan with the
+// given output registers and table-column sources. Returns nil when
+// there is no filter to prune with.
+func compileZonePrune(filter *Expr, out []Reg, scanSrc []int) segPredicate {
+	if filter == nil {
+		return nil
+	}
+	colIdx := make(map[string]int, len(out))
+	for k, r := range out {
+		colIdx[r.Name] = scanSrc[k]
+	}
+	return func(zones []storage.ZoneMap) bool {
+		if len(zones) > 0 && zones[0].Rows == 0 {
+			return true // empty segment: vacuously dead
+		}
+		return zonePrune(filter, colIdx, zones)
+	}
+}
+
+// zonePrune reports whether x is provably false for every row of the
+// segment.
+func zonePrune(x *Expr, colIdx map[string]int, zones []storage.ZoneMap) bool {
+	switch x.kind {
+	case eConstI:
+		return x.i == 0
+	case eAnd:
+		for _, a := range x.args {
+			if zonePrune(a, colIdx, zones) {
+				return true
+			}
+		}
+		return false
+	case eOr:
+		for _, a := range x.args {
+			if !zonePrune(a, colIdx, zones) {
+				return false
+			}
+		}
+		return true
+	case eNot:
+		return zoneProve(x.args[0], colIdx, zones)
+	case eEq, eNe, eLt, eLe, eGt, eGe:
+		return pruneCmpArgs(x.kind, nanSat(x.kind), x.args[0], x.args[1], colIdx, zones)
+	case eBetween:
+		// a BETWEEN lo AND hi == (a >= lo) AND (a <= hi): prune when
+		// either conjunct is dead. BETWEEN compiles to IEEE <= chains,
+		// so NaN never satisfies either conjunct (nanSat = false).
+		return pruneCmpArgs(eGe, false, x.args[0], x.args[1], colIdx, zones) ||
+			pruneCmpArgs(eLe, false, x.args[0], x.args[2], colIdx, zones)
+	case eInInt:
+		a, ak := zoneIval(x.args[0], colIdx, zones)
+		if ak == ivDead {
+			return true
+		}
+		if ak != ivOK || a.typ != storage.I64 {
+			return false
+		}
+		for _, v := range x.ints {
+			if a.iLo <= v && v <= a.iHi {
+				return false
+			}
+		}
+		return true
+	case eInStr:
+		a, ak := zoneIval(x.args[0], colIdx, zones)
+		if ak == ivDead {
+			return true
+		}
+		if ak != ivOK || a.typ != storage.Str {
+			return false
+		}
+		for _, v := range x.strs {
+			if a.sLo <= v && v <= a.sHi {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// zoneProve reports whether x is provably true for every row of the
+// segment.
+func zoneProve(x *Expr, colIdx map[string]int, zones []storage.ZoneMap) bool {
+	switch x.kind {
+	case eConstI:
+		return x.i != 0
+	case eAnd:
+		for _, a := range x.args {
+			if !zoneProve(a, colIdx, zones) {
+				return false
+			}
+		}
+		return true
+	case eOr:
+		for _, a := range x.args {
+			if zoneProve(a, colIdx, zones) {
+				return true
+			}
+		}
+		return false
+	case eNot:
+		return zonePrune(x.args[0], colIdx, zones)
+	case eEq, eNe, eLt, eLe, eGt, eGe:
+		return proveCmpArgs(x.kind, nanSat(x.kind), x.args[0], x.args[1], colIdx, zones)
+	case eBetween:
+		return proveCmpArgs(eGe, false, x.args[0], x.args[1], colIdx, zones) &&
+			proveCmpArgs(eLe, false, x.args[0], x.args[2], colIdx, zones)
+	case eInInt:
+		// Provable only when the segment holds a single value in the set.
+		a, ak := zoneIval(x.args[0], colIdx, zones)
+		if ak != ivOK || a.typ != storage.I64 || a.iLo != a.iHi {
+			return false
+		}
+		for _, v := range x.ints {
+			if v == a.iLo {
+				return true
+			}
+		}
+		return false
+	case eInStr:
+		a, ak := zoneIval(x.args[0], colIdx, zones)
+		if ak != ivOK || a.typ != storage.Str || a.sLo != a.sHi {
+			return false
+		}
+		for _, v := range x.strs {
+			if v == a.sLo {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// nanSat reports whether a NaN operand satisfies the comparison under
+// the engine's three-way comparator, which orders NaN as equal to
+// every value.
+func nanSat(kind exprKind) bool { return cmpHolds(kind, 0) }
+
+// pruneCmpArgs: the comparison is false for every row. sat is the
+// operator's NaN verdict — when a NaN operand would satisfy it, a
+// segment that may contain NaN can never be pruned.
+func pruneCmpArgs(kind exprKind, sat bool, xa, xb *Expr, colIdx map[string]int, zones []storage.ZoneMap) bool {
+	a, ak := zoneIval(xa, colIdx, zones)
+	b, bk := zoneIval(xb, colIdx, zones)
+	if ak == ivNone || bk == ivNone {
+		return false
+	}
+	if sat && (a.hasNaN || b.hasNaN || ak == ivDead || bk == ivDead) {
+		return false // NaN rows satisfy the operator
+	}
+	if ak == ivDead || bk == ivDead {
+		return true // every row involves NaN, and NaN fails the operator
+	}
+	return ivalPrune(kind, a, b)
+}
+
+// proveCmpArgs: the comparison is true for every row.
+func proveCmpArgs(kind exprKind, sat bool, xa, xb *Expr, colIdx map[string]int, zones []storage.ZoneMap) bool {
+	a, ak := zoneIval(xa, colIdx, zones)
+	b, bk := zoneIval(xb, colIdx, zones)
+	if ak == ivNone || bk == ivNone {
+		return false
+	}
+	if ak == ivDead || bk == ivDead {
+		return sat // every row involves NaN
+	}
+	if (a.hasNaN || b.hasNaN) && !sat {
+		return false // NaN rows fail the operator
+	}
+	return ivalProve(kind, a, b)
+}
+
+// zival is the value interval of one comparison operand over a segment:
+// a column's zone-map bounds or a literal's point.
+type zival struct {
+	typ      storage.ColType
+	hasNaN   bool
+	iLo, iHi int64
+	fLo, fHi float64
+	sLo, sHi string
+}
+
+const (
+	ivNone = iota // operand not analyzable (expression, parameter, ...)
+	ivDead        // operand has no comparable value (empty or all-NaN)
+	ivOK
+)
+
+func zoneIval(x *Expr, colIdx map[string]int, zones []storage.ZoneMap) (zival, int) {
+	switch x.kind {
+	case eCol:
+		ci, ok := colIdx[x.name]
+		if !ok || ci >= len(zones) {
+			return zival{}, ivNone
+		}
+		z := zones[ci]
+		if !z.Valid {
+			return zival{}, ivDead
+		}
+		return zival{typ: z.Type, hasNaN: z.HasNaN,
+			iLo: z.MinI, iHi: z.MaxI, fLo: z.MinF, fHi: z.MaxF, sLo: z.MinS, sHi: z.MaxS}, ivOK
+	case eConstI:
+		return zival{typ: storage.I64, iLo: x.i, iHi: x.i}, ivOK
+	case eConstF:
+		if math.IsNaN(x.f) {
+			return zival{}, ivDead
+		}
+		return zival{typ: storage.F64, fLo: x.f, fHi: x.f}, ivOK
+	case eConstS:
+		return zival{typ: storage.Str, sLo: x.s, sHi: x.s}, ivOK
+	}
+	return zival{}, ivNone
+}
+
+// fBounds returns the interval as float bounds, widening inexact
+// int64→float64 conversions outward so mixed-type pruning stays sound
+// for keys beyond 2^53.
+func (v zival) fBounds() (float64, float64) {
+	if v.typ == storage.F64 {
+		return v.fLo, v.fHi
+	}
+	const exact = int64(1) << 53
+	lo, hi := float64(v.iLo), float64(v.iHi)
+	if v.iLo < -exact || v.iLo > exact {
+		lo = math.Nextafter(lo, math.Inf(-1))
+	}
+	if v.iHi < -exact || v.iHi > exact {
+		hi = math.Nextafter(hi, math.Inf(1))
+	}
+	return lo, hi
+}
+
+func ivalPrune(kind exprKind, a, b zival) bool {
+	switch {
+	case a.typ == storage.Str && b.typ == storage.Str:
+		return cmpPrune(kind, a.sLo, a.sHi, b.sLo, b.sHi)
+	case a.typ == storage.Str || b.typ == storage.Str:
+		return false // type mismatch: leave it to the expression compiler
+	case a.typ == storage.F64 || b.typ == storage.F64:
+		aLo, aHi := a.fBounds()
+		bLo, bHi := b.fBounds()
+		return cmpPrune(kind, aLo, aHi, bLo, bHi)
+	default:
+		return cmpPrune(kind, a.iLo, a.iHi, b.iLo, b.iHi)
+	}
+}
+
+func ivalProve(kind exprKind, a, b zival) bool {
+	switch {
+	case a.typ == storage.Str && b.typ == storage.Str:
+		return cmpProve(kind, a.sLo, a.sHi, b.sLo, b.sHi)
+	case a.typ == storage.Str || b.typ == storage.Str:
+		return false
+	case a.typ == storage.F64 || b.typ == storage.F64:
+		aLo, aHi := a.fBounds()
+		bLo, bHi := b.fBounds()
+		return cmpProve(kind, aLo, aHi, bLo, bHi)
+	default:
+		return cmpProve(kind, a.iLo, a.iHi, b.iLo, b.iHi)
+	}
+}
+
+// cmpPrune: the comparison is false for every row pair with a in
+// [aLo,aHi] and b in [bLo,bHi] (a and b come from the same row, but
+// independent bounds are a sound over-approximation).
+func cmpPrune[T interface{ ~int64 | ~float64 | ~string }](kind exprKind, aLo, aHi, bLo, bHi T) bool {
+	switch kind {
+	case eEq:
+		return aHi < bLo || bHi < aLo
+	case eNe:
+		return aLo == aHi && bLo == bHi && aLo == bLo
+	case eLt:
+		return aLo >= bHi
+	case eLe:
+		return aLo > bHi
+	case eGt:
+		return aHi <= bLo
+	default: // eGe
+		return aHi < bLo
+	}
+}
+
+// cmpProve: the comparison is true for every row.
+func cmpProve[T interface{ ~int64 | ~float64 | ~string }](kind exprKind, aLo, aHi, bLo, bHi T) bool {
+	switch kind {
+	case eEq:
+		return aLo == aHi && bLo == bHi && aLo == bLo
+	case eNe:
+		return aHi < bLo || bHi < aLo
+	case eLt:
+		return aHi < bLo
+	case eLe:
+		return aHi <= bLo
+	case eGt:
+		return aLo > bHi
+	default: // eGe
+		return aLo >= bHi
+	}
+}
+
+// prunedScanParts applies the segment predicate to every partition,
+// replacing partitions with dead segments by zero-copy view partitions
+// over the surviving contiguous runs. Partitions without a segment
+// directory (or with nothing to skip) pass through unchanged; a
+// fully-dead table yields no partitions, which the dispatcher treats as
+// an immediately-complete job.
+func prunedScanParts(parts []*storage.Partition, pred segPredicate) []*storage.Partition {
+	out := make([]*storage.Partition, 0, len(parts))
+	changed := false
+	for _, p := range parts {
+		si := p.Segs
+		if si == nil || si.NumSegs() == 0 {
+			out = append(out, p)
+			continue
+		}
+		nsegs := si.NumSegs()
+		runStart := -1
+		kept := 0
+		for s := 0; s <= nsegs; s++ {
+			alive := s < nsegs && !pred(si.Zones[s])
+			if alive {
+				kept++
+				if runStart < 0 {
+					runStart = s
+				}
+				continue
+			}
+			if runStart >= 0 {
+				begin, _ := si.SegBounds(runStart)
+				_, end := si.SegBounds(s - 1)
+				if runStart == 0 && s == nsegs {
+					out = append(out, p) // everything survived
+				} else {
+					out = append(out, p.Slice(begin, end))
+				}
+				runStart = -1
+			}
+		}
+		if kept < nsegs {
+			changed = true
+		}
+	}
+	if !changed {
+		return parts
+	}
+	return out
+}
+
+// zoneScanCounts reports how many segments of the table survive the
+// predicate, for the Explain "[segments kept/total]" marker.
+func zoneScanCounts(t *storage.Table, pred segPredicate) (kept, total int) {
+	for _, p := range t.Parts {
+		if p.Segs == nil {
+			continue
+		}
+		for _, zs := range p.Segs.Zones {
+			total++
+			if !pred(zs) {
+				kept++
+			}
+		}
+	}
+	return kept, total
+}

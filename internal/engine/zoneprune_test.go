@@ -1,0 +1,220 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// zonedFixture builds a table whose "v" column is globally sorted
+// (partition p holds the contiguous range [p*per, (p+1)*per)), so zone
+// maps are tight and range predicates can skip most segments. "f" is
+// v/2 except for one segRows-sized band of NaN starting at n/2, and
+// "s" is a zero-padded string key. One trailing empty partition
+// exercises the zero-row edge.
+func zonedFixture(n, nparts, segRows int, withZones bool) *storage.Table {
+	schema := storage.Schema{
+		{Name: "v", Type: storage.I64},
+		{Name: "f", Type: storage.F64},
+		{Name: "s", Type: storage.Str},
+	}
+	per := (n + nparts - 1) / nparts
+	t := &storage.Table{Name: "zt", Schema: schema}
+	for pi := 0; pi < nparts; pi++ {
+		cols := []*storage.Column{
+			storage.NewColumn("v", storage.I64),
+			storage.NewColumn("f", storage.F64),
+			storage.NewColumn("s", storage.Str),
+		}
+		for i := pi * per; i < (pi+1)*per && i < n; i++ {
+			cols[0].AppendI64(int64(i))
+			f := float64(i) / 2
+			if i >= n/2 && i < n/2+segRows {
+				f = math.NaN()
+			}
+			cols[1].AppendF64(f)
+			cols[2].AppendStr(fmt.Sprintf("k%06d", i))
+		}
+		t.Parts = append(t.Parts, &storage.Partition{Home: 0, Worker: -1, Cols: cols})
+	}
+	t.Parts = append(t.Parts, &storage.Partition{Home: 0, Worker: -1, Cols: []*storage.Column{
+		storage.NewColumn("v", storage.I64),
+		storage.NewColumn("f", storage.F64),
+		storage.NewColumn("s", storage.Str),
+	}})
+	if withZones {
+		t.BuildZoneMaps(segRows)
+	}
+	return t
+}
+
+// countPlan aggregates COUNT(*) and SUM(v) under the given filter.
+func countPlan(t *storage.Table, pred *Expr) *Plan {
+	p := NewPlan("zoneprune")
+	n := p.Scan(t, "v", "f", "s").
+		Filter(pred).
+		GroupBy(nil, []AggDef{Count("n"), Sum("sv", ToFloat(Col("v")))})
+	p.Return(n)
+	return p
+}
+
+// zonePruneCases are the filters the parity test runs: selective and
+// non-selective ranges, both edges (nothing skippable, everything
+// skippable), NaN-adjacent float predicates, IN lists, strings, and
+// negation.
+func zonePruneCases(n, segRows int) map[string]*Expr {
+	return map[string]*Expr{
+		"mid-range":      Between(Col("v"), ConstI(int64(n/4)), ConstI(int64(n/4+2*segRows))),
+		"none-match":     Lt(Col("v"), ConstI(-1)),
+		"all-match":      Ge(Col("v"), ConstI(0)),
+		"float-lt":       Lt(Col("f"), ConstF(float64(segRows))),
+		"float-nan-band": Ge(Col("f"), ConstF(float64(n/2)/2-1)),
+		"not-float-lt":   Not(Lt(Col("f"), ConstF(float64(n)/4))),
+		"in-int":         InInt(Col("v"), 3, int64(n/2), int64(n)-1, int64(2*n)),
+		"in-str":         InStr(Col("s"), fmt.Sprintf("k%06d", 5), fmt.Sprintf("k%06d", n-2)),
+		"str-range":      Between(Col("s"), ConstS(fmt.Sprintf("k%06d", n/3)), ConstS(fmt.Sprintf("k%06d", n/3+segRows))),
+		"or-split": Or(Lt(Col("v"), ConstI(int64(segRows/2))),
+			Gt(Col("v"), ConstI(int64(n-segRows/2)))),
+		"ne-const": Ne(Col("v"), ConstI(int64(n/2))),
+	}
+}
+
+// TestZonePruneParity runs every case on a zone-mapped table and an
+// identical table without zone maps, across worker counts, and demands
+// identical results: skipping may only remove rows the filter would
+// have dropped anyway.
+func TestZonePruneParity(t *testing.T) {
+	const n, nparts, segRows = 8000, 4, 256
+	plain := zonedFixture(n, nparts, segRows, false)
+	zoned := zonedFixture(n, nparts, segRows, true)
+	if !zoned.HasZoneMaps() {
+		t.Fatal("fixture lost its zone maps")
+	}
+	for name, pred := range zonePruneCases(n, segRows) {
+		for _, workers := range []int{1, 4, 16} {
+			s := newTestSession(Sim)
+			s.Dispatch.Workers = workers
+			want, _ := s.Run(countPlan(plain, pred))
+			got, _ := s.Run(countPlan(zoned, pred))
+			if got.String() != want.String() {
+				t.Errorf("%s @ %d workers: zone-pruned result differs\ngot:\n%s\nwant:\n%s",
+					name, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestZonePruneSkipCounts pins the static analysis: how many segments
+// survive per filter, including the all-skipped and none-skipped edges.
+func TestZonePruneSkipCounts(t *testing.T) {
+	const n, nparts, segRows = 8000, 4, 256
+	zoned := zonedFixture(n, nparts, segRows, true)
+	total := 0
+	for _, p := range zoned.Parts {
+		if p.Segs != nil {
+			total += p.Segs.NumSegs()
+		}
+	}
+	if total != (n+segRows-1)/segRows {
+		t.Fatalf("fixture has %d segments, want %d", total, (n+segRows-1)/segRows)
+	}
+	cases := []struct {
+		name string
+		pred *Expr
+		kept int
+	}{
+		// [2000, 2512] spans segments 7..9 (rows 1792..2560).
+		{"mid-range", Between(Col("v"), ConstI(2000), ConstI(2512)), 3},
+		{"none-match", Lt(Col("v"), ConstI(-1)), 0},
+		{"all-match", Ge(Col("v"), ConstI(0)), total},
+		{"point", Eq(Col("v"), ConstI(4000)), 1},
+		{"unanalyzable", Eq(Add(Col("v"), ConstI(1)), ConstI(7)), total},
+	}
+	scan := NewPlan("probe").Scan(zoned, "v", "f", "s")
+	for _, tc := range cases {
+		pred := compileZonePrune(tc.pred, scan.out, scan.scanSrc)
+		if pred == nil {
+			t.Fatalf("%s: no segment predicate", tc.name)
+		}
+		kept, got := zoneScanCounts(zoned, pred)
+		if got != total || kept != tc.kept {
+			t.Errorf("%s: kept %d/%d segments, want %d/%d", tc.name, kept, got, tc.kept, total)
+		}
+		// The pruned partitions must contain exactly the surviving rows.
+		rows := 0
+		for _, p := range prunedScanParts(zoned.Parts, pred) {
+			rows += p.Rows()
+		}
+		wantRows := 0
+		for _, p := range zoned.Parts {
+			if p.Segs == nil {
+				continue
+			}
+			for s := 0; s < p.Segs.NumSegs(); s++ {
+				if !pred(p.Segs.Zones[s]) {
+					b, e := p.Segs.SegBounds(s)
+					wantRows += e - b
+				}
+			}
+		}
+		if rows != wantRows {
+			t.Errorf("%s: pruned partitions hold %d rows, want %d", tc.name, rows, wantRows)
+		}
+	}
+}
+
+// TestZonePruneNaNSegments exercises the NaN edges directly: an all-NaN
+// segment must be skipped by ordered comparisons but kept under NOT,
+// and proving under NOT must respect HasNaN.
+func TestZonePruneNaNSegments(t *testing.T) {
+	col := storage.NewColumn("f", storage.F64)
+	for i := 0; i < 4; i++ {
+		col.AppendF64(math.NaN()) // segment 0: all NaN
+	}
+	for i := 0; i < 4; i++ {
+		col.AppendF64(float64(i)) // segment 1: [0,3], no NaN
+	}
+	col.AppendF64(10)
+	col.AppendF64(math.NaN()) // segment 2: [10,10] plus NaN
+	col.AppendF64(11)
+	col.AppendF64(12)
+	part := &storage.Partition{Home: 0, Worker: -1, Cols: []*storage.Column{col}}
+	tab := &storage.Table{Name: "nan", Schema: storage.Schema{{Name: "f", Type: storage.F64}}, Parts: []*storage.Partition{part}}
+	tab.BuildZoneMaps(4)
+
+	scan := NewPlan("probe").Scan(tab, "f")
+	check := func(e *Expr, wantDead []bool) {
+		t.Helper()
+		pred := compileZonePrune(e, scan.out, scan.scanSrc)
+		for s, want := range wantDead {
+			if got := pred(part.Segs.Zones[s]); got != want {
+				t.Errorf("%s segment %d: pruned=%v, want %v", e, s, got, want)
+			}
+		}
+	}
+	// f < 100: NaN-only segment is dead (NaN fails every comparison).
+	check(Lt(Col("f"), ConstF(100)), []bool{true, false, false})
+	// NOT (f < 100): segment 1 is provably all-true under f<100 and has
+	// no NaN, so it dies; segment 2 satisfies the bounds but HasNaN
+	// blocks the proof (its NaN row passes NOT(f<100)); segment 0 (all
+	// NaN) also passes NOT and must survive.
+	check(Not(Lt(Col("f"), ConstF(100))), []bool{false, true, false})
+	// f >= 5: segment 1 dead by bounds, others alive.
+	check(Ge(Col("f"), ConstF(5)), []bool{false, true, false})
+
+	// Parity: the engine result with pruning must match a brute-force
+	// count (NaN rows pass NOT filters).
+	s := newTestSession(Sim)
+	p := NewPlan("nan-not")
+	p.Return(p.Scan(tab, "f").
+		Filter(Not(Lt(Col("f"), ConstF(100)))).
+		GroupBy(nil, []AggDef{Count("n")}))
+	res, _ := s.Run(p)
+	// 4 NaN rows in segment 0 + the NaN row in segment 2 pass NOT(f<100).
+	if got := strings.TrimSpace(res.Row(0)); got != "5" {
+		t.Fatalf("NOT filter over NaN data: count = %s, want 5", got)
+	}
+}

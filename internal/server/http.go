@@ -16,17 +16,20 @@ const maxBodyBytes = 1 << 20
 //	GET  /stats          — dispatcher / admission / pool / per-class counters
 //	GET  /tables         — registered tables and prepared plan names
 //	GET  /healthz        — liveness
+//	POST /snapshot       — seal registered tables into the snapshot directory
 //	POST /exchange/run   — peer-to-peer: execute a distributed fragment
 //	POST /exchange/push  — peer-to-peer: deliver morsel frames to an inbox
 //	POST /exchange/done  — peer-to-peer: release a query's inboxes
 //
-// The /exchange endpoints answer 503 unless EnableCluster was called.
+// The /exchange endpoints answer 503 unless EnableCluster was called;
+// /snapshot answers 503 unless EnableSnapshots was.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /tables", s.handleTables)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	mux.HandleFunc("POST /exchange/run", s.handleExchangeRun)
 	mux.HandleFunc("POST /exchange/push", s.handleExchangePush)
 	mux.HandleFunc("POST /exchange/done", s.handleExchangeDone)

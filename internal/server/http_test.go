@@ -8,6 +8,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"repro/internal/colstore"
 )
 
 func newHTTPServer(t *testing.T) (*Server, *httptest.Server) {
@@ -166,5 +168,55 @@ func TestHTTPStatsTablesHealthz(t *testing.T) {
 	prepared := fmt.Sprint(tables["prepared"])
 	if !strings.Contains(prepared, "revenue-by-kind") {
 		t.Errorf("prepared = %v", prepared)
+	}
+}
+
+// TestHTTPSnapshot: POST /snapshot answers 503 until EnableSnapshots,
+// then seals every registered table into the directory and returns the
+// manifest; the directory restores to the same data.
+func TestHTTPSnapshot(t *testing.T) {
+	s, ts := newHTTPServer(t)
+	resp, err := http.Post(ts.URL+"/snapshot", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("before EnableSnapshots: status %d, want 503", resp.StatusCode)
+	}
+
+	dir := t.TempDir()
+	s.EnableSnapshots(dir, "demo-test", colstore.Options{})
+	resp, err = http.Post(ts.URL+"/snapshot", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body SnapshotResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(body.Manifest.Tables) != 2 || body.Manifest.Label != "demo-test" {
+		t.Fatalf("manifest: %+v", body.Manifest)
+	}
+
+	man, tables, err := colstore.ReadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Label != "demo-test" {
+		t.Fatalf("label %q", man.Label)
+	}
+	for _, tab := range tables {
+		want, ok := s.Table(tab.Name)
+		if !ok {
+			t.Fatalf("restored unknown table %q", tab.Name)
+		}
+		if tab.Rows() != want.Rows() {
+			t.Fatalf("%s: restored %d rows, want %d", tab.Name, tab.Rows(), want.Rows())
+		}
 	}
 }

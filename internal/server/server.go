@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/colstore"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/sql"
@@ -170,6 +171,12 @@ type Server struct {
 	prepared map[string]*core.Plan
 	cluster  *clusterState // nil until EnableCluster
 	closed   bool
+
+	// Snapshot config (EnableSnapshots); snapWrite serializes writers.
+	snapDir   string
+	snapLabel string
+	snapOpt   colstore.Options
+	snapWrite sync.Mutex
 
 	// catalogVersion advances whenever the table set changes; the plan
 	// cache keys on it so a re-registered table invalidates cached plans

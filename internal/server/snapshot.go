@@ -1,0 +1,70 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/colstore"
+	"repro/internal/core"
+)
+
+// Snapshot support: an enabled server can seal every registered table
+// into an on-disk colstore snapshot on demand (POST /snapshot), so a
+// later process restores the exact dataset instead of regenerating it.
+// Writes are serialized; queries keep running while one is in flight
+// (tables are immutable once registered).
+
+// EnableSnapshots turns on the POST /snapshot endpoint, sealing
+// registered tables into dir under the given dataset label.
+func (s *Server) EnableSnapshots(dir, label string, opt colstore.Options) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snapDir = dir
+	s.snapLabel = label
+	s.snapOpt = opt
+}
+
+// Snapshot seals every registered table into the configured directory
+// and returns the written manifest.
+func (s *Server) Snapshot() (colstore.Manifest, error) {
+	s.mu.RLock()
+	dir, label, opt := s.snapDir, s.snapLabel, s.snapOpt
+	tables := make([]*core.Table, 0, len(s.tables))
+	for _, t := range s.tables {
+		tables = append(tables, t)
+	}
+	s.mu.RUnlock()
+	sort.Slice(tables, func(i, j int) bool { return tables[i].Name < tables[j].Name })
+	s.snapWrite.Lock()
+	defer s.snapWrite.Unlock()
+	return colstore.WriteSnapshot(dir, label, tables, opt)
+}
+
+// SnapshotResponse is the POST /snapshot reply.
+type SnapshotResponse struct {
+	Dir       string            `json:"dir"`
+	Manifest  colstore.Manifest `json:"manifest"`
+	ElapsedMs float64           `json:"elapsed_ms"`
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	dir := s.snapDir
+	s.mu.RUnlock()
+	if dir == "" {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "snapshots not enabled (start with -data-dir)"})
+		return
+	}
+	start := time.Now()
+	m, err := s.Snapshot()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, SnapshotResponse{
+		Dir:       dir,
+		Manifest:  m,
+		ElapsedMs: float64(time.Since(start).Nanoseconds()) / 1e6,
+	})
+}

@@ -1,6 +1,8 @@
 package sql
 
 import (
+	"math"
+
 	"repro/internal/engine"
 	"repro/internal/storage"
 )
@@ -129,20 +131,35 @@ func eqSel(t *baseTable, l, r Expr) float64 {
 	}
 }
 
-// rangeSel estimates col <op> bound from the column's [min, max] under
-// the uniformity assumption. Unknown bounds (parameters, expressions)
+// rangeSel estimates col <op> bound from statistics. When the table
+// carries zone maps the estimate sums per-segment overlap — on
+// clustered (sorted) data each segment spans a narrow value range, so
+// skew that a single whole-table [min, max] interpolation washes out is
+// resolved segment by segment. Otherwise it interpolates uniformly in
+// the column's [min, max]. Unknown bounds (parameters, expressions)
 // fall back to selRange.
 func rangeSel(t *baseTable, op string, l, r Expr) float64 {
+	ce := l
 	col, cok := colStatsOf(t, l)
 	v, vok := litValue(r)
 	if !cok || !vok {
 		// Mirror: bound <op> col.
+		ce = r
 		col, cok = colStatsOf(t, r)
 		v, vok = litValue(l)
 		if !cok || !vok {
 			return selRange
 		}
 		op = flipOp(op)
+	}
+	qlo, qhi := math.Inf(-1), math.Inf(1)
+	if op == "<" || op == "<=" {
+		qhi = v
+	} else {
+		qlo = v
+	}
+	if frac, ok := zoneFrac(t, ce, qlo, qhi); ok {
+		return frac
 	}
 	lo, hi, ok := col.NumericRange()
 	if !ok || hi <= lo {
@@ -178,11 +195,69 @@ func betweenSel(t *baseTable, x *Between) float64 {
 	if !cok || !look || !hiok {
 		return selBetween
 	}
+	if frac, ok := zoneFrac(t, x.E, lov, hiv); ok {
+		return frac
+	}
 	lo, hi, ok := col.NumericRange()
 	if !ok || hi <= lo {
 		return selBetween
 	}
 	return clamp01((min(hiv, hi) - max(lov, lo)) / (hi - lo))
+}
+
+// zoneFrac estimates the fraction of t's rows whose column value lies
+// in [qlo, qhi] by summing per-segment interpolations over the column's
+// zone maps (see internal/storage). Invalid zones (all-NaN segments)
+// contribute the default range selectivity; string columns and tables
+// without zone maps report ok=false so callers fall back to whole-table
+// statistics.
+func zoneFrac(t *baseTable, e Expr, qlo, qhi float64) (float64, bool) {
+	c, ok := e.(*Col)
+	if !ok {
+		return 0, false
+	}
+	if c.Table != "" && c.Table != t.alias {
+		return 0, false
+	}
+	if _, ok := t.cols[c.Name]; !ok {
+		return 0, false
+	}
+	zones := t.t.ColZones(c.Name)
+	if len(zones) == 0 {
+		return 0, false
+	}
+	var total, hit float64
+	for _, z := range zones {
+		if z.Rows == 0 {
+			continue
+		}
+		rows := float64(z.Rows)
+		total += rows
+		if !z.Valid {
+			hit += rows * selRange
+			continue
+		}
+		var zlo, zhi float64
+		switch z.Type {
+		case storage.I64:
+			zlo, zhi = float64(z.MinI), float64(z.MaxI)
+		case storage.F64:
+			zlo, zhi = z.MinF, z.MaxF
+		default:
+			return 0, false // string zones carry no numeric range
+		}
+		if zhi == zlo {
+			if qlo <= zlo && zlo <= qhi {
+				hit += rows
+			}
+			continue
+		}
+		hit += clamp01((min(qhi, zhi)-max(qlo, zlo))/(zhi-zlo)) * rows
+	}
+	if total == 0 {
+		return 0, false
+	}
+	return hit / total, true
 }
 
 func inListSel(t *baseTable, x *InList) float64 {

@@ -162,6 +162,10 @@ type Partition struct {
 	Home   numa.SocketID
 	Worker int
 	Cols   []*Column
+	// Segs is the optional segment directory (zone maps) of the
+	// partition; nil for tables that never built one. Scan compilation
+	// uses it to skip provably-dead segments.
+	Segs *SegInfo
 }
 
 // Rows returns the number of rows in the partition.

@@ -66,6 +66,10 @@ type hll struct {
 	regs [1 << hllBits]uint8
 }
 
+// reset clears the sketch for reuse (zone-map computation reuses one
+// sketch across segments instead of allocating 4 KiB per zone).
+func (h *hll) reset() { h.regs = [1 << hllBits]uint8{} }
+
 func (h *hll) add(hash uint64) {
 	idx := hash >> (64 - hllBits)
 	// Rank of the first set bit in the remaining 64-hllBits bits.

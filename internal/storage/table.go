@@ -112,7 +112,7 @@ func (t *Table) Col(name string) int { return t.Schema.MustIndex(name) }
 func (t *Table) WithPlacement(policy Placement, sockets int) *Table {
 	nt := &Table{Name: t.Name, Schema: t.Schema, Parts: make([]*Partition, len(t.Parts)), Key: t.Key, PartKey: t.PartKey, stats: t.Stats()}
 	for i, p := range t.Parts {
-		np := &Partition{Worker: p.Worker, Cols: p.Cols}
+		np := &Partition{Worker: p.Worker, Cols: p.Cols, Segs: p.Segs}
 		switch policy {
 		case NUMAAware:
 			np.Home = numa.SocketID(i % sockets)

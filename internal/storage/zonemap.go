@@ -1,0 +1,217 @@
+package storage
+
+import "math"
+
+// Zone maps are the small-materialized-aggregate layer of the storage
+// format: each partition is divided into fixed-size segments of
+// DefaultSegRows rows, and every segment carries per-column min/max
+// bounds plus an approximate distinct count. Two consumers exist:
+// scan compilation proves segments dead against the scan filter and
+// skips them (engine), and range-selectivity estimation sums
+// per-segment overlap instead of interpolating over the whole table
+// (sql). Both treat the maps as conservative summaries — a zone map
+// may cover values that do not occur, but never misses one that does.
+
+// DefaultSegRows is the segment granularity used when a caller does not
+// choose one: small enough that a selective predicate over sorted data
+// skips most of a partition, large enough that per-segment metadata
+// stays negligible next to the data.
+const DefaultSegRows = 8192
+
+// ZoneMap summarizes one segment of one column. Bounds are inclusive
+// and only the pair matching the column type is meaningful. For F64
+// columns the bounds cover the non-NaN values only; HasNaN records
+// whether any NaN occurred, so predicate analysis can decide per
+// operator whether NaN rows could satisfy it (the engine's comparator
+// orders NaN as equal to every value, while BETWEEN rejects it).
+type ZoneMap struct {
+	Type ColType
+	// Rows is the number of rows in the segment.
+	Rows int
+	// Valid reports that the bounds are populated: false for empty
+	// segments and for F64 segments containing only NaN.
+	Valid  bool
+	HasNaN bool
+	// NDV is the approximate distinct-value count of the segment.
+	NDV        int64
+	MinI, MaxI int64
+	MinF, MaxF float64
+	MinS, MaxS string
+}
+
+// SegInfo is the per-partition segment directory: Zones[s][c] is the
+// zone map of segment s for table column c. The final segment may be
+// shorter than SegRows.
+type SegInfo struct {
+	SegRows int
+	Rows    int
+	Zones   [][]ZoneMap
+}
+
+// NumSegs returns the number of segments in the partition.
+func (si *SegInfo) NumSegs() int { return len(si.Zones) }
+
+// SegBounds returns the row range [begin, end) of segment s.
+func (si *SegInfo) SegBounds(s int) (begin, end int) {
+	begin = s * si.SegRows
+	end = begin + si.SegRows
+	if end > si.Rows {
+		end = si.Rows
+	}
+	return begin, end
+}
+
+// ComputeSegments scans one partition and builds its segment directory.
+// segRows <= 0 selects DefaultSegRows.
+func ComputeSegments(p *Partition, segRows int) *SegInfo {
+	if segRows <= 0 {
+		segRows = DefaultSegRows
+	}
+	rows := p.Rows()
+	nsegs := (rows + segRows - 1) / segRows
+	si := &SegInfo{SegRows: segRows, Rows: rows, Zones: make([][]ZoneMap, nsegs)}
+	sketch := &hll{}
+	for s := 0; s < nsegs; s++ {
+		begin, end := si.SegBounds(s)
+		zs := make([]ZoneMap, len(p.Cols))
+		for ci, c := range p.Cols {
+			zs[ci] = computeZone(c, begin, end, sketch)
+		}
+		si.Zones[s] = zs
+	}
+	return si
+}
+
+// computeZone summarizes rows [begin, end) of one column. The sketch is
+// reset and reused across calls to avoid 4 KiB of allocation per zone.
+func computeZone(c *Column, begin, end int, sketch *hll) ZoneMap {
+	z := ZoneMap{Type: c.Type, Rows: end - begin}
+	sketch.reset()
+	switch c.Type {
+	case I64:
+		for _, v := range c.Ints[begin:end] {
+			if !z.Valid {
+				z.MinI, z.MaxI = v, v
+				z.Valid = true
+			} else if v < z.MinI {
+				z.MinI = v
+			} else if v > z.MaxI {
+				z.MaxI = v
+			}
+			sketch.add(mix64(uint64(v)))
+		}
+	case F64:
+		for _, v := range c.Flts[begin:end] {
+			if math.IsNaN(v) {
+				z.HasNaN = true
+				continue
+			}
+			if !z.Valid {
+				z.MinF, z.MaxF = v, v
+				z.Valid = true
+			} else if v < z.MinF {
+				z.MinF = v
+			} else if v > z.MaxF {
+				z.MaxF = v
+			}
+			sketch.add(mix64(math.Float64bits(v)))
+		}
+	default:
+		for _, v := range c.Strs[begin:end] {
+			if !z.Valid {
+				z.MinS, z.MaxS = v, v
+				z.Valid = true
+			} else if v < z.MinS {
+				z.MinS = v
+			} else if v > z.MaxS {
+				z.MaxS = v
+			}
+			sketch.add(hashStr(v))
+		}
+	}
+	z.NDV = sketch.estimate()
+	if z.Valid && z.NDV < 1 {
+		z.NDV = 1
+	}
+	if n := int64(z.Rows); z.NDV > n {
+		z.NDV = n
+	}
+	return z
+}
+
+// BuildZoneMaps computes segment directories for every partition of the
+// table, replacing any existing ones. Placement views created afterwards
+// share the directories.
+func (t *Table) BuildZoneMaps(segRows int) {
+	for _, p := range t.Parts {
+		p.Segs = ComputeSegments(p, segRows)
+	}
+}
+
+// HasZoneMaps reports whether every non-empty partition carries a
+// segment directory — the precondition for zone-based scan pruning.
+func (t *Table) HasZoneMaps() bool {
+	any := false
+	for _, p := range t.Parts {
+		if p.Segs == nil {
+			if p.Rows() > 0 {
+				return false
+			}
+			continue
+		}
+		any = true
+	}
+	return any
+}
+
+// ColZones returns the zone maps of the named column across all
+// partitions and segments, or nil when the table has no zone maps or no
+// such column. Used by the selectivity estimator.
+func (t *Table) ColZones(name string) []ZoneMap {
+	ci := t.Schema.Index(name)
+	if ci < 0 || !t.HasZoneMaps() {
+		return nil
+	}
+	var zs []ZoneMap
+	for _, p := range t.Parts {
+		if p.Segs == nil {
+			continue
+		}
+		for _, seg := range p.Segs.Zones {
+			zs = append(zs, seg[ci])
+		}
+	}
+	return zs
+}
+
+// Slice returns a view of rows [begin, end) of the column, sharing the
+// backing arrays. The string payload size is estimated proportionally:
+// exact accounting would require rescanning the slice, and the value
+// only feeds the cost model.
+func (c *Column) Slice(begin, end int) *Column {
+	n := &Column{Name: c.Name, Type: c.Type}
+	switch c.Type {
+	case I64:
+		n.Ints = c.Ints[begin:end]
+	case F64:
+		n.Flts = c.Flts[begin:end]
+	default:
+		n.Strs = c.Strs[begin:end]
+		if l := len(c.Strs); l > 0 {
+			n.strBytes = c.strBytes * int64(end-begin) / int64(l)
+		}
+	}
+	return n
+}
+
+// Slice returns a view partition over rows [begin, end), sharing column
+// storage with the receiver. The view keeps the home socket and worker
+// tag but carries no segment directory of its own; scan pruning uses it
+// to expose only the surviving run of segments to the dispatcher.
+func (p *Partition) Slice(begin, end int) *Partition {
+	np := &Partition{Home: p.Home, Worker: p.Worker, Cols: make([]*Column, len(p.Cols))}
+	for i, c := range p.Cols {
+		np.Cols[i] = c.Slice(begin, end)
+	}
+	return np
+}

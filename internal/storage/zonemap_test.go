@@ -1,0 +1,85 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestComputeSegments(t *testing.T) {
+	p := &Partition{Worker: -1, Cols: []*Column{
+		NewColumn("i", I64), NewColumn("f", F64), NewColumn("s", Str),
+	}}
+	const n, segRows = 100, 32
+	for i := 0; i < n; i++ {
+		p.Cols[0].AppendI64(int64(i))
+		if i < segRows {
+			p.Cols[1].AppendF64(math.NaN()) // segment 0 of f: all NaN
+		} else if i < 2*segRows {
+			p.Cols[1].AppendF64(math.NaN() * 0) // still NaN
+		} else {
+			p.Cols[1].AppendF64(float64(i) / 2)
+		}
+		p.Cols[2].AppendStr(fmt.Sprintf("v%03d", i))
+	}
+	si := ComputeSegments(p, segRows)
+	if si.NumSegs() != 4 || si.Rows != n {
+		t.Fatalf("got %d segments over %d rows, want 4 over %d", si.NumSegs(), si.Rows, n)
+	}
+	if b, e := si.SegBounds(3); b != 96 || e != 100 {
+		t.Fatalf("segment 3 bounds [%d,%d), want [96,100)", b, e)
+	}
+	z := si.Zones[0][0]
+	if !z.Valid || z.MinI != 0 || z.MaxI != 31 || z.Rows != segRows {
+		t.Fatalf("int zone 0: %+v", z)
+	}
+	if z.NDV < 28 || z.NDV > 36 {
+		t.Fatalf("int zone 0 NDV = %d, want ~32", z.NDV)
+	}
+	if zf := si.Zones[0][1]; zf.Valid || !zf.HasNaN {
+		t.Fatalf("all-NaN zone must be invalid with HasNaN: %+v", zf)
+	}
+	if zf := si.Zones[2][1]; !zf.Valid || zf.HasNaN || zf.MinF != 32 || zf.MaxF != 47.5 {
+		t.Fatalf("float zone 2: %+v", zf)
+	}
+	if zs := si.Zones[3][2]; zs.MinS != "v096" || zs.MaxS != "v099" {
+		t.Fatalf("string zone 3: %+v", zs)
+	}
+}
+
+func TestTableZoneHelpers(t *testing.T) {
+	b := NewBuilder("zt", Schema{{Name: "k", Type: I64}, {Name: "x", Type: F64}}, 4, "")
+	for i := 0; i < 1000; i++ {
+		b.Append(Row{int64(i), float64(i) * 1.5})
+	}
+	tab := b.Build(NUMAAware, 2)
+	if tab.HasZoneMaps() {
+		t.Fatal("fresh table should not report zone maps")
+	}
+	tab.BuildZoneMaps(100)
+	if !tab.HasZoneMaps() {
+		t.Fatal("BuildZoneMaps did not take")
+	}
+	zs := tab.ColZones("k")
+	rows := 0
+	for _, z := range zs {
+		rows += z.Rows
+	}
+	if rows != 1000 {
+		t.Fatalf("ColZones covers %d rows, want 1000", rows)
+	}
+	if tab.ColZones("nope") != nil {
+		t.Fatal("unknown column must yield nil zones")
+	}
+	// Placement views share the directories.
+	view := tab.WithPlacement(OSDefault, 1)
+	if !view.HasZoneMaps() {
+		t.Fatal("placement view lost zone maps")
+	}
+	// Slices share storage.
+	p := tab.Parts[0]
+	s := p.Slice(10, 20)
+	if s.Rows() != 10 || s.Cols[0].Ints[0] != p.Cols[0].Ints[10] {
+		t.Fatalf("slice mismatch: %d rows, first=%d", s.Rows(), s.Cols[0].Ints[0])
+	}
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# snapshot_roundtrip.sh — the persistent-storage CI gate.
+#
+# Generates TPC-H in one morseld process that seals it into a colstore
+# snapshot (-data-dir), then restores the snapshot in a fresh process
+# and runs every expressible TPC-H query on both sides (-exec-tpch all).
+# The restored process must (a) actually restore — its log says so and
+# never mentions generation — and (b) print byte-identical query
+# results, the bit-exact parity the storage layer promises.
+#
+# Usage: scripts/snapshot_roundtrip.sh [scale-factor]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+sf="${1:-0.02}"
+sort_spec="lineitem=l_shipdate"
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+go build -o "$work/morseld" ./cmd/morseld
+
+echo "== generate + seal (sf=$sf, sort $sort_spec)"
+"$work/morseld" -dataset tpch -sf "$sf" -data-dir "$work/data" \
+  -sort "$sort_spec" -exec-tpch all >"$work/generated.txt" 2>"$work/generate.log"
+grep -q "sealed snapshot" "$work/generate.log" || {
+  echo "generate run never sealed a snapshot"; cat "$work/generate.log"; exit 1; }
+
+echo "== cold-start restore in a fresh process"
+"$work/morseld" -dataset tpch -sf "$sf" -data-dir "$work/data" \
+  -sort "$sort_spec" -exec-tpch all >"$work/restored.txt" 2>"$work/restore.log"
+grep -q "restored snapshot" "$work/restore.log" || {
+  echo "second run did not restore from the snapshot"; cat "$work/restore.log"; exit 1; }
+if grep -q "generating TPC-H" "$work/restore.log"; then
+  echo "restore run regenerated the dataset instead of loading the snapshot"
+  cat "$work/restore.log"; exit 1
+fi
+
+echo "== results must be byte-identical"
+if ! diff -u "$work/generated.txt" "$work/restored.txt"; then
+  echo "restored query results diverge from generated ones"; exit 1
+fi
+
+queries=$(grep -c '^-- Q' "$work/generated.txt")
+echo "snapshot round-trip OK: $queries TPC-H queries byte-identical after restore"

@@ -138,6 +138,15 @@ func main() {
 		}
 		log.Printf("dataset ready in %v", time.Since(start).Round(time.Millisecond))
 		if *dataDir != "" && *snapshot {
+			// Build zone maps before registration so the served tables
+			// gain segment skipping and the sealed file reuses the same
+			// maps (sealing itself never mutates a table — it may run
+			// later, via POST /snapshot, against live registered tables).
+			for _, t := range tables {
+				if !t.HasZoneMaps() {
+					t.BuildZoneMaps(0)
+				}
+			}
 			sstart := time.Now()
 			man, err := colstore.WriteSnapshot(*dataDir, label, tables, colstore.Options{})
 			if err != nil {

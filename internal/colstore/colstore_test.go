@@ -1,6 +1,7 @@
 package colstore
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math"
@@ -82,12 +83,10 @@ func sameTables(t *testing.T, got, want *storage.Table) {
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {
 	want := testTable("rt", 5000, 8)
-	data, err := EncodeTable(want, Options{SegRows: 256})
+	want.BuildZoneMaps(256)
+	data, err := EncodeTable(want, Options{})
 	if err != nil {
 		t.Fatal(err)
-	}
-	if !want.HasZoneMaps() {
-		t.Fatal("sealing must build the source table's zone maps")
 	}
 	got, err := DecodeTable(data)
 	if err != nil {
@@ -276,6 +275,144 @@ func TestLoadCSVParallel(t *testing.T) {
 	// Parse errors surface with context, not panics.
 	if _, err := LoadCSV(m, spec, []byte("id,ship,price,comment\n1,notadate,2.5,x\n"), CSVOptions{Header: true}); err == nil || !strings.Contains(err.Error(), "ship") {
 		t.Fatalf("bad date: got %v", err)
+	}
+}
+
+// TestEncodeTableDoesNotMutate pins the concurrency contract of
+// sealing: Server.Snapshot encodes registered tables while queries scan
+// them, so EncodeTable must never write zone maps back into the table
+// it seals — the sealed file carries them, the live table stays as it
+// was.
+func TestEncodeTableDoesNotMutate(t *testing.T) {
+	tab := testTable("pure", 2000, 4)
+	data, err := EncodeTable(tab, Options{SegRows: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi, p := range tab.Parts {
+		if p.Segs != nil {
+			t.Fatalf("partition %d gained a segment directory during sealing", pi)
+		}
+	}
+	got, err := DecodeTable(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasZoneMaps() {
+		t.Fatal("sealed file must carry zone maps even when the source table has none")
+	}
+}
+
+// TestEncodeTableRejectsOversizeSegRows: every sealed file must be
+// decodable, so a granularity beyond MaxSegRows fails at encode time
+// instead of producing a file the decoder rejects as corrupt.
+func TestEncodeTableRejectsOversizeSegRows(t *testing.T) {
+	tab := testTable("big", 100, 1)
+	if _, err := EncodeTable(tab, Options{SegRows: MaxSegRows + 1}); err == nil {
+		t.Fatal("Options.SegRows beyond MaxSegRows must fail to encode")
+	}
+	tab.BuildZoneMaps(MaxSegRows + 1)
+	if _, err := EncodeTable(tab, Options{}); err == nil {
+		t.Fatal("a table carrying oversize segment granularity must fail to encode")
+	}
+}
+
+// TestLongStringZoneBounds: string bounds beyond maxZoneStr are stored
+// invalid (never truncated); the decoded zone keeps its row count so
+// downstream pruning reads it as "bounds unknown", and the data itself
+// round-trips exactly.
+func TestLongStringZoneBounds(t *testing.T) {
+	long := strings.Repeat("z", maxZoneStr+1)
+	b := storage.NewBuilder("longs", storage.Schema{
+		{Name: "id", Type: storage.I64},
+		{Name: "s", Type: storage.Str},
+	}, 2, "")
+	for i := 0; i < 64; i++ {
+		b.Append(storage.Row{int64(i), fmt.Sprintf("%s-%03d", long, i)})
+	}
+	want := b.Build(storage.NUMAAware, 1)
+	want.BuildZoneMaps(16)
+	data, err := EncodeTable(want, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTable(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTables(t, got, want)
+	for pi, p := range got.Parts {
+		for s, zs := range p.Segs.Zones {
+			z := zs[1]
+			if z.Valid {
+				t.Fatalf("partition %d segment %d: over-long string bounds decoded Valid", pi, s)
+			}
+			if z.Rows == 0 {
+				t.Fatalf("partition %d segment %d: invalid zone lost its row count", pi, s)
+			}
+		}
+	}
+}
+
+// TestLoadCSVQuotedNewlines: chunk splitting must not cut inside an
+// RFC-4180 quoted field, so records with embedded newlines parse
+// identically at any chunk count.
+func TestLoadCSVQuotedNewlines(t *testing.T) {
+	const rows = 5000
+	var sb strings.Builder
+	sb.WriteString("id,note\n")
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&sb, "%d,\"line one %d\nline two, quoted \"\"x\"\"\n\"\n", i, i)
+	}
+	data := []byte(sb.String())
+
+	parts := splitChunks(data[bytes.IndexByte(data, '\n')+1:], 16)
+	rejoined := 0
+	for ci, c := range parts {
+		if bytes.Count(c, []byte{'"'})%2 != 0 {
+			t.Fatalf("chunk %d splits a quoted field", ci)
+		}
+		rejoined += len(c)
+	}
+	if rejoined != len(data)-(bytes.IndexByte(data, '\n')+1) {
+		t.Fatal("chunks do not rejoin to the input")
+	}
+
+	spec := TableSpec{Name: "q", Schema: storage.Schema{
+		{Name: "id", Type: storage.I64},
+		{Name: "note", Type: storage.Str},
+	}}
+	m := numa.NehalemEXMachine()
+	chunked, err := LoadCSV(m, spec, data, CSVOptions{Header: true, Chunks: 16, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := LoadCSV(m, spec, data, CSVOptions{Header: true, Chunks: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunked.Rows() != rows || single.Rows() != rows {
+		t.Fatalf("loaded %d/%d rows, want %d", chunked.Rows(), single.Rows(), rows)
+	}
+	// Global row order is chunk order, so flattening both tables must
+	// give identical sequences.
+	flatten := func(tab *storage.Table) (ids []int64, notes []string) {
+		for _, p := range tab.Parts {
+			ids = append(ids, p.Cols[0].Ints...)
+			notes = append(notes, p.Cols[1].Strs...)
+		}
+		return
+	}
+	ci, cn := flatten(chunked)
+	si, sn := flatten(single)
+	for r := 0; r < rows; r++ {
+		if ci[r] != si[r] || cn[r] != sn[r] {
+			t.Fatalf("row %d differs between chunked and single-chunk load: (%d,%q) vs (%d,%q)",
+				r, ci[r], cn[r], si[r], sn[r])
+		}
+	}
+	if want := fmt.Sprintf("line one %d\nline two, quoted \"x\"\n", 7); cn[7] != want {
+		t.Fatalf("quoted field mangled: %q, want %q", cn[7], want)
 	}
 }
 

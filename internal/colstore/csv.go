@@ -14,8 +14,9 @@ import (
 	"repro/internal/storage"
 )
 
-// Parallel bulk CSV load: the raw bytes are cut into newline-aligned
-// chunks, and each chunk becomes one task streamed through the morsel
+// Parallel bulk CSV load: the raw bytes are cut into record-aligned
+// chunks (quote-aware, so a quoted field containing newlines never
+// splits), and each chunk becomes one task streamed through the morsel
 // dispatcher — parse, encode into a columnar partition, and seal its
 // segment directory, all inside the task — so loading parallelizes
 // across the same worker pool (and the same NUMA-aware scheduling)
@@ -52,11 +53,7 @@ type CSVOptions struct {
 // days since epoch, like every date in the engine).
 func LoadCSV(m *numa.Machine, spec TableSpec, data []byte, opt CSVOptions) (*storage.Table, error) {
 	if opt.Header {
-		if i := bytes.IndexByte(data, '\n'); i >= 0 {
-			data = data[i+1:]
-		} else {
-			data = nil
-		}
+		data = data[recordEnd(data, 0):]
 	}
 	workers := opt.Workers
 	if workers <= 0 {
@@ -116,31 +113,56 @@ func LoadCSV(m *numa.Machine, spec TableSpec, data []byte, opt CSVOptions) (*sto
 	return t, nil
 }
 
-// splitChunks cuts data into at most n newline-aligned chunks.
+// splitChunks cuts data into at most n record-aligned chunks. A chunk
+// may only end at a newline outside an RFC-4180 quoted field, so a
+// quoted field containing newlines never straddles a chunk boundary.
+// Quote parity tracks that exactly for well-formed CSV (quotes appear
+// only as field delimiters or doubled escapes); malformed quoting
+// degrades to fewer, larger chunks, never to a misaligned one.
 func splitChunks(data []byte, n int) [][]byte {
 	var out [][]byte
 	if len(data) == 0 {
 		return out
 	}
 	target := len(data)/n + 1
-	for len(data) > 0 {
-		end := target
-		if end >= len(data) {
-			out = append(out, data)
-			break
+	start := 0
+	inQuote := false
+	for i, c := range data {
+		switch c {
+		case '"':
+			inQuote = !inQuote
+		case '\n':
+			if !inQuote && i+1-start >= target {
+				out = append(out, data[start:i+1])
+				start = i + 1
+			}
 		}
-		if i := bytes.IndexByte(data[end:], '\n'); i >= 0 {
-			end += i + 1
-		} else {
-			end = len(data)
-		}
-		out = append(out, data[:end])
-		data = data[end:]
+	}
+	if start < len(data) {
+		out = append(out, data[start:])
 	}
 	return out
 }
 
-// parseChunk parses one newline-aligned chunk into a sealed partition
+// recordEnd returns the index just past the newline ending the record
+// that starts at begin, honoring quoted fields; len(data) when the
+// record is unterminated.
+func recordEnd(data []byte, begin int) int {
+	inQuote := false
+	for i := begin; i < len(data); i++ {
+		switch data[i] {
+		case '"':
+			inQuote = !inQuote
+		case '\n':
+			if !inQuote {
+				return i + 1
+			}
+		}
+	}
+	return len(data)
+}
+
+// parseChunk parses one record-aligned chunk into a sealed partition
 // (nil for a chunk with no rows).
 func parseChunk(spec TableSpec, chunk []byte, opt CSVOptions) (*storage.Partition, error) {
 	r := csv.NewReader(bytes.NewReader(chunk))

@@ -73,11 +73,14 @@ type Options struct {
 	SegRows int
 }
 
-// sealSegRows decides the table's segment granularity and ensures every
-// partition carries a matching segment directory, computing missing or
-// mismatched ones in place (sealing a table builds its zone maps — the
-// in-memory table gains segment skipping too).
-func sealSegRows(t *storage.Table, opt Options) int {
+// sealSegs decides the table's segment granularity and returns one
+// segment directory per partition: the partition's own when it already
+// matches, a freshly computed one otherwise. It never writes to the
+// table — sealing may run against tables that concurrent queries are
+// scanning (Server.Snapshot), so partitions reachable by running plans
+// must stay immutable. Callers that want the in-memory table itself to
+// gain segment skipping call Table.BuildZoneMaps explicitly.
+func sealSegs(t *storage.Table, opt Options) (int, []*storage.SegInfo, error) {
 	segRows := opt.SegRows
 	if segRows <= 0 {
 		segRows = storage.DefaultSegRows
@@ -88,18 +91,28 @@ func sealSegRows(t *storage.Table, opt Options) int {
 			break
 		}
 	}
-	for _, p := range t.Parts {
-		if p.Segs == nil || p.Segs.SegRows != segRows || p.Segs.Rows != p.Rows() {
-			p.Segs = storage.ComputeSegments(p, segRows)
+	if segRows > MaxSegRows {
+		return 0, nil, fmt.Errorf("colstore: segment granularity %d exceeds limit %d", segRows, MaxSegRows)
+	}
+	segs := make([]*storage.SegInfo, len(t.Parts))
+	for i, p := range t.Parts {
+		if p.Segs != nil && p.Segs.SegRows == segRows && p.Segs.Rows == p.Rows() {
+			segs[i] = p.Segs
+		} else {
+			segs[i] = storage.ComputeSegments(p, segRows)
 		}
 	}
-	return segRows
+	return segRows, segs, nil
 }
 
-// EncodeTable seals the table into the segment format. The table's zone
-// maps are computed first if absent.
+// EncodeTable seals the table into the segment format. Zone maps are
+// taken from the table when present and computed on the side when
+// absent; the table itself is never mutated.
 func EncodeTable(t *storage.Table, opt Options) ([]byte, error) {
-	segRows := sealSegRows(t, opt)
+	segRows, segs, err := sealSegs(t, opt)
+	if err != nil {
+		return nil, err
+	}
 	if len(t.Schema) == 0 || len(t.Schema) > MaxCols {
 		return nil, fmt.Errorf("colstore: table %q has %d columns (limit %d)", t.Name, len(t.Schema), MaxCols)
 	}
@@ -122,14 +135,14 @@ func EncodeTable(t *storage.Table, opt Options) ([]byte, error) {
 	}
 	hdr = appendStr16(hdr, t.PartKey)
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(t.Parts)))
-	for _, p := range t.Parts {
+	for pi, p := range t.Parts {
 		rows := p.Rows()
 		if rows > MaxPartRows {
 			return nil, fmt.Errorf("colstore: partition of %d rows exceeds limit %d", rows, MaxPartRows)
 		}
 		hdr = binary.LittleEndian.AppendUint32(hdr, uint32(rows))
-		hdr = binary.LittleEndian.AppendUint32(hdr, uint32(p.Segs.NumSegs()))
-		for _, segZones := range p.Segs.Zones {
+		hdr = binary.LittleEndian.AppendUint32(hdr, uint32(segs[pi].NumSegs()))
+		for _, segZones := range segs[pi].Zones {
 			for _, z := range segZones {
 				hdr = appendZone(hdr, z)
 			}

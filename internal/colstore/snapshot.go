@@ -14,11 +14,12 @@ import (
 
 // A snapshot is one directory: MANIFEST.json naming the dataset label
 // and every sealed table file with its checksum, plus one .seg file per
-// table. Table files are written to temporary names and renamed into
-// place, manifest last, so a crashed writer never leaves a directory
-// that passes validation. Readers verify the checksum of every table
-// file before decoding, so any corruption surfaces as a clean
-// ErrCorrupt — never a panic deep in query execution.
+// table. Table files are written to temporary names, fsynced, and
+// renamed into place, manifest last, with a directory fsync after the
+// manifest rename — so a crashed or power-lost writer never leaves a
+// directory that passes validation. Readers verify the checksum of
+// every table file before decoding, so any corruption surfaces as a
+// clean ErrCorrupt — never a panic deep in query execution.
 
 // ManifestName is the snapshot manifest file name.
 const ManifestName = "MANIFEST.json"
@@ -50,15 +51,45 @@ func SnapshotExists(dir string) bool {
 	return err == nil
 }
 
-// WriteTable seals one table into path (atomically via rename) and
-// returns its manifest entry.
+// writeFileSync writes data to path and fsyncs it, so the bytes are
+// durable before any rename publishes the file.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// syncDir fsyncs a directory, making the renames inside it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WriteTable seals one table into path (atomically via fsync+rename)
+// and returns its manifest entry.
 func WriteTable(path string, t *storage.Table, opt Options) (ManifestTable, error) {
 	data, err := EncodeTable(t, opt)
 	if err != nil {
 		return ManifestTable{}, err
 	}
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := writeFileSync(tmp, data); err != nil {
 		return ManifestTable{}, err
 	}
 	if err := os.Rename(tmp, path); err != nil {
@@ -118,10 +149,13 @@ func WriteSnapshot(dir, label string, tables []*storage.Table, opt Options) (Man
 		return m, err
 	}
 	tmp := filepath.Join(dir, ManifestName+".tmp")
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	if err := writeFileSync(tmp, append(data, '\n')); err != nil {
 		return m, err
 	}
-	return m, os.Rename(tmp, filepath.Join(dir, ManifestName))
+	if err := os.Rename(tmp, filepath.Join(dir, ManifestName)); err != nil {
+		return m, err
+	}
+	return m, syncDir(dir)
 }
 
 // ReadSnapshot restores every table of the snapshot in dir. The

@@ -225,6 +225,14 @@ func zoneIval(x *Expr, colIdx map[string]int, zones []storage.ZoneMap) (zival, i
 		}
 		z := zones[ci]
 		if !z.Valid {
+			// Invalid bounds mean "no comparable value" only for empty
+			// segments and all-NaN F64 segments. A non-F64 zone with
+			// rows but no bounds (a decoded segment whose string bounds
+			// were too long to encode) holds real values that are merely
+			// unknown — never prune or prove against it.
+			if z.Rows > 0 && z.Type != storage.F64 {
+				return zival{}, ivNone
+			}
 			return zival{}, ivDead
 		}
 		return zival{typ: z.Type, hasNaN: z.HasNaN,

@@ -166,6 +166,56 @@ func TestZonePruneSkipCounts(t *testing.T) {
 	}
 }
 
+// TestZonePruneUnknownStringBounds: a restored segment whose string
+// bounds were too long to encode arrives with Valid=false but Rows>0.
+// Such a zone means "bounds unknown", not "no comparable values" — the
+// pruner must neither prune nor prove against it, or NaN-failing
+// operators (<, >, <>, BETWEEN, IN) would silently drop real rows.
+func TestZonePruneUnknownStringBounds(t *testing.T) {
+	const n, nparts, segRows = 2000, 2, 256
+	plain := zonedFixture(n, nparts, segRows, false)
+	zoned := zonedFixture(n, nparts, segRows, true)
+	for _, p := range zoned.Parts {
+		if p.Segs == nil {
+			continue
+		}
+		for _, zs := range p.Segs.Zones {
+			zs[2].Valid = false
+			zs[2].MinS, zs[2].MaxS = "", ""
+		}
+	}
+
+	// Static analysis: no segment with rows may die under any string
+	// predicate, prove under NOT included.
+	scan := NewPlan("probe").Scan(zoned, "v", "f", "s")
+	for name, e := range map[string]*Expr{
+		"lt":      Lt(Col("s"), ConstS("a")),
+		"gt":      Gt(Col("s"), ConstS("z")),
+		"ne":      Ne(Col("s"), ConstS("k000000")),
+		"between": Between(Col("s"), ConstS("a"), ConstS("b")),
+		"in":      InStr(Col("s"), "x"),
+		"not-ge":  Not(Ge(Col("s"), ConstS(""))),
+	} {
+		pred := compileZonePrune(e, scan.out, scan.scanSrc)
+		if kept, total := zoneScanCounts(zoned, pred); kept != total {
+			t.Errorf("%s: pruned %d of %d unknown-bounds segments", name, total-kept, total)
+		}
+	}
+
+	// End to end: pruned and unpruned scans must agree on every case,
+	// string predicates that match nothing included.
+	cases := zonePruneCases(n, segRows)
+	cases["str-none-match"] = Lt(Col("s"), ConstS("a"))
+	for name, pred := range cases {
+		s := newTestSession(Sim)
+		want, _ := s.Run(countPlan(plain, pred))
+		got, _ := s.Run(countPlan(zoned, pred))
+		if got.String() != want.String() {
+			t.Errorf("%s: result differs with unknown string bounds\ngot:\n%s\nwant:\n%s", name, got, want)
+		}
+	}
+}
+
 // TestZonePruneNaNSegments exercises the NaN edges directly: an all-NaN
 // segment must be skipped by ordered comparisons but kept under NOT,
 // and proving under NOT must respect HasNaN.

@@ -12,8 +12,10 @@ import (
 // Snapshot support: an enabled server can seal every registered table
 // into an on-disk colstore snapshot on demand (POST /snapshot), so a
 // later process restores the exact dataset instead of regenerating it.
-// Writes are serialized; queries keep running while one is in flight
-// (tables are immutable once registered).
+// Writes are serialized; queries keep running while one is in flight —
+// safe because tables are immutable once registered and EncodeTable
+// never mutates the tables it seals (zone maps a table lacks are
+// computed on the side, not written back into live partitions).
 
 // EnableSnapshots turns on the POST /snapshot endpoint, sealing
 // registered tables into dir under the given dataset label.

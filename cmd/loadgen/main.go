@@ -74,6 +74,8 @@ func main() {
 		intParams   = flag.String("interactive-params", "[[7], [14], [30]]", "JSON array of param sets rotated across interactive requests")
 		batchPSQL   = flag.String("batch-prepared-sql", "SELECT region, COUNT(*) AS n, SUM(amount) AS revenue FROM orders, customers WHERE cust = cid AND amount < ? GROUP BY region ORDER BY revenue DESC", "parameterized SQL for batch clients (with -sql -prepared)")
 		batchParams = flag.String("batch-params", "[[2500], [5000], [9000]]", "JSON array of param sets rotated across batch requests")
+		physical    = flag.String("physical", "", "with -sql: join algorithm sent per request: auto | hash | mpsm (empty = server default)")
+		physAgg     = flag.String("agg", "", "with -sql: aggregation strategy sent per request: auto | shared | partitioned (empty = server default)")
 		timeoutMs   = flag.Int("timeout-ms", 0, "per-query timeout (0 = server default)")
 		distributed = flag.Bool("distributed", false, "request distributed execution across the morseld cluster for every query")
 		smoke       = flag.String("cluster-smoke", "", "comma-separated node URLs: run the distributed-vs-single-node TPC-H parity check against the cluster and exit")
@@ -145,11 +147,17 @@ func main() {
 				if params != nil {
 					req["params"] = params
 				}
+				if *physical != "" {
+					req["physical"] = *physical
+				}
+				if *physAgg != "" {
+					req["agg"] = *physAgg
+				}
 			} else {
 				req["prepared"] = q
 			}
 			body, _ := json.Marshal(req)
-			key, _ := json.Marshal([]any{q, params})
+			key, _ := json.Marshal([]any{q, params, *physical, *physAgg})
 			items = append(items, work{key: string(key), body: body})
 		}
 		switch {
@@ -195,12 +203,19 @@ func main() {
 				if err != nil {
 					log.Fatalf("cannot inline params into %q: %v", q, err)
 				}
-				body, _ := json.Marshal(map[string]any{"sql": lit, "timeout_ms": *timeoutMs})
+				ref := map[string]any{"sql": lit, "timeout_ms": *timeoutMs}
+				if *physical != "" {
+					ref["physical"] = *physical
+				}
+				if *physAgg != "" {
+					ref["agg"] = *physAgg
+				}
+				body, _ := json.Marshal(ref)
 				rows, err := post(client, *addr+"/query", body)
 				if err != nil {
 					log.Fatalf("unprepared reference %q: %v", lit, err)
 				}
-				key, _ := json.Marshal([]any{q, ps})
+				key, _ := json.Marshal([]any{q, ps, *physical, *physAgg})
 				firstRows[string(key)] = rows
 			}
 		}

@@ -79,12 +79,19 @@ func main() {
 		dataDir    = flag.String("data-dir", "", "snapshot directory: restore the dataset from it when present, otherwise generate and seal it there")
 		snapshot   = flag.Bool("snapshot", true, "with -data-dir: seal the freshly generated dataset into the directory")
 		sortSpec   = flag.String("sort", "", "cluster one table on a column before serving, e.g. lineitem=l_shipdate (sharpens zone-map segment skipping)")
+		physical   = flag.String("physical", "auto", "default join algorithm for SQL queries: auto | hash | mpsm (requests may override with \"physical\")")
+		physAgg    = flag.String("agg", "auto", "default aggregation strategy for SQL queries: auto | shared | partitioned (requests may override with \"agg\")")
 		maxConc    = flag.Int("max-concurrent", 0, "queries admitted at once (0 = 2 x sockets)")
 		maxQueue   = flag.Int("max-queue", 64, "waiting queries before 429 (negative = none)")
 		planCache  = flag.Int("plan-cache", 0, "server-side SQL plan cache entries (0 = default 256, negative disables)")
 		timeout    = flag.Duration("timeout", 30*time.Second, "default per-query timeout")
 	)
 	flag.Parse()
+
+	ph := sql.Physical{Join: *physical, Agg: *physAgg}
+	if err := ph.Validate(); err != nil {
+		log.Fatalf("-physical/-agg: %v", err)
+	}
 
 	var m = core.Nehalem()
 	switch *machine {
@@ -162,7 +169,7 @@ func main() {
 	}
 
 	if *execSQL != "" {
-		if err := runSQL(sys, *execSQL, *execParams, *explain, tables...); err != nil {
+		if err := runSQL(sys, *execSQL, *execParams, *explain, ph, tables...); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -171,7 +178,7 @@ func main() {
 		if *dataset != "tpch" {
 			log.Fatal("-exec-tpch requires -dataset tpch")
 		}
-		if err := runTPCHQueries(sys, *execTPCH, *sf, tables); err != nil {
+		if err := runTPCHQueries(sys, *execTPCH, *sf, ph, tables); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -182,6 +189,7 @@ func main() {
 		MaxQueue:       *maxQueue,
 		DefaultTimeout: *timeout,
 		PlanCacheSize:  *planCache,
+		Physical:       ph,
 	})
 	defer srv.Close()
 	for _, t := range tables {
@@ -289,7 +297,7 @@ func tableByName(tables []*core.Table, name string) *core.Table {
 
 // runTPCHQueries executes TPC-H queries from the SQL dialect ("all" or
 // one number) and prints each result, for snapshot parity checks.
-func runTPCHQueries(sys *core.System, spec string, sf float64, tables []*core.Table) error {
+func runTPCHQueries(sys *core.System, spec string, sf float64, ph sql.Physical, tables []*core.Table) error {
 	byName := make(map[string]*core.Table, len(tables))
 	for _, t := range tables {
 		byName[t.Name] = t
@@ -313,7 +321,7 @@ func runTPCHQueries(sys *core.System, spec string, sf float64, tables []*core.Ta
 		if !ok {
 			return fmt.Errorf("-exec-tpch: query %d is not expressible in the SQL dialect", n)
 		}
-		prep, err := sql.Prepare(q, fmt.Sprintf("q%d", n), cat)
+		prep, err := sql.PrepareOpts(q, fmt.Sprintf("q%d", n), cat, ph)
 		if err != nil {
 			return fmt.Errorf("q%d: %w", n, err)
 		}
@@ -412,15 +420,15 @@ func prepare(srv *server.Server, orders, customers *core.Table) {
 // runSQL is the one-shot SQL entry point: parse, bind, cost-optimize,
 // lower to a morsel-driven plan, bind any ? parameters, and either
 // explain or execute it.
-func runSQL(sys *core.System, query, paramsJSON string, explainOnly bool, tables ...*core.Table) error {
+func runSQL(sys *core.System, query, paramsJSON string, explainOnly bool, ph sql.Physical, tables ...*core.Table) error {
 	byName := make(map[string]*core.Table, len(tables))
 	for _, t := range tables {
 		byName[t.Name] = t
 	}
-	prep, err := sql.Prepare(query, "sql", func(name string) (*storage.Table, bool) {
+	prep, err := sql.PrepareOpts(query, "sql", func(name string) (*storage.Table, bool) {
 		t, ok := byName[name]
 		return t, ok
-	})
+	}, ph)
 	if err != nil {
 		return err
 	}

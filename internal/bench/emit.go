@@ -85,8 +85,10 @@ func ReadFile(path string) (File, error) {
 // gatedQueries is the CI benchmark-trajectory query set: the four
 // queries the distributed smoke also gates on, plus Q14 and Q19 —
 // selective scan-heavy joins whose filters exercise the zone-map
-// pruning path.
-var gatedQueries = []int{1, 3, 6, 12, 14, 19}
+// pruning path — plus Q9 and Q18, the join- and aggregation-heaviest
+// queries, which keep the MPSM merge phase and partitioned-aggregation
+// paths under the trajectory gate.
+var gatedQueries = []int{1, 3, 6, 9, 12, 14, 18, 19}
 
 // PaperMetrics runs the gated experiment: TPC-H on the simulated
 // Nehalem EX at full parallelism, reporting each query's simulated

@@ -326,6 +326,180 @@ func (c *compiler) produceAgg(n *Node, f consumerFactory) []tailJob {
 	return []tailJob{phase2}
 }
 
+// producePartitionedAgg compiles the partitioned aggregation alternative
+// (Memarzia et al., "Toward Efficient In-memory Data Analytics on NUMA
+// Systems"): phase 1 routes every group straight into one of
+// aggNumPartitions per-worker tables selected by the group hash — no
+// capacity cap and no separate spill path, trading per-worker memory for
+// never evicting hot keys; phase 2 assigns each partition to one worker,
+// merges that partition's per-worker tables, and pushes finished groups
+// downstream while cache hot. The physical-selection phase picks it for
+// high group cardinality, where the shared table's capacity cap would
+// spill most keys as single-tuple partials anyway.
+func (c *compiler) producePartitionedAgg(n *Node, f consumerFactory) []tailJob {
+	if len(n.groups) == 0 {
+		panic("engine: partitioned aggregation requires group keys")
+	}
+	rt := &aggRuntime{groups: n.groups, aggs: n.aggs}
+	for _, g := range n.groups {
+		rt.groupTypes = append(rt.groupTypes, typeOf(g.E, n.child.out))
+	}
+	for _, a := range n.aggs {
+		rt.outTypes = append(rt.outTypes, aggOutType(a, n.child.out))
+	}
+	nAggs := len(rt.aggs)
+	// parts[worker][partition] is a private table: workers never share
+	// tables in phase 1, partitions never share workers in phase 2.
+	parts := make([][]map[string]*groupAcc, c.workers)
+
+	// ---- Phase 1 sink: partition by group hash up front.
+	tails := n.child.produce(c, func(pc *pipeCtx) rowFn {
+		groupFns := make([]evalFn, len(rt.groups))
+		w := 2.0
+		for i, g := range rt.groups {
+			groupFns[i], _ = g.E.compile(pc)
+			w += g.E.weight() * exprNodeWeight
+		}
+		aggFns := make([]evalFn, nAggs)
+		aggIsFloat := make([]bool, nAggs)
+		for i, a := range rt.aggs {
+			if a.E == nil {
+				continue
+			}
+			fn, t := a.E.compile(pc)
+			aggFns[i] = fn
+			aggIsFloat[i] = t == TFloat
+			w += a.E.weight() * exprNodeWeight
+		}
+		sidx := pc.addScratch(len(rt.groups))
+		rowW := rowWidth(n.out)
+		tupleScratch := make([][]float64, c.workers)
+		return func(e *Ectx) {
+			kv := e.scratch[sidx]
+			for i, fn := range groupFns {
+				kv[i] = fn(e)
+			}
+			e.key = e.key[:0]
+			for i, t := range rt.groupTypes {
+				e.key = encodeVal(e.key, t, kv[i])
+			}
+			e.cpuUnits += w
+			wid := e.W.ID
+			tabs := parts[wid]
+			if tabs == nil {
+				tabs = make([]map[string]*groupAcc, aggNumPartitions)
+				parts[wid] = tabs
+			}
+			pid := int(hashBytes(e.key) % aggNumPartitions)
+			tab := tabs[pid]
+			if tab == nil {
+				tab = make(map[string]*groupAcc)
+				tabs[pid] = tab
+			}
+			acc, ok := tab[string(e.key)]
+			if !ok {
+				acc = initAcc(rt.aggs)
+				tab[string(e.key)] = acc
+				e.writeBytes += int64(rowW)
+			}
+			tuple := tupleScratch[wid]
+			if tuple == nil {
+				tuple = make([]float64, nAggs)
+				tupleScratch[wid] = tuple
+			}
+			for i := 0; i < nAggs; i++ {
+				tuple[i] = 0
+				if aggFns[i] != nil {
+					x := aggFns[i](e)
+					if aggIsFloat[i] {
+						tuple[i] = x.F
+					} else {
+						tuple[i] = float64(x.I)
+					}
+				}
+			}
+			acc.update(rt.aggs, tuple)
+		}
+	})
+
+	if c.sess.PlanDriven {
+		barrier := c.serialBarrier("exchange(agg)", tails, func() int64 {
+			var total int64
+			for wid := range parts {
+				for _, tab := range parts[wid] {
+					total += int64(len(tab))
+				}
+			}
+			return total
+		})
+		tails = []tailJob{barrier}
+	}
+
+	// ---- Phase 2: per-partition merge of the per-worker tables.
+	pc2 := c.newPipe()
+	for i, g := range rt.groups {
+		pc2.addReg(g.Name, rt.groupTypes[i])
+	}
+	for i, a := range rt.aggs {
+		pc2.addReg(a.Name, rt.outTypes[i])
+	}
+	down := f(pc2)
+	sockets := c.sockets
+	var drv *driver
+	phase2 := c.q.AddJob("aggregate-part",
+		func() []*storage.Partition {
+			drv = newDriver(aggNumPartitions, func(i int) numa.SocketID {
+				return numa.SocketID(i % sockets)
+			})
+			return drv.parts
+		},
+		func(w *dispatch.Worker, m storage.Morsel) {
+			pid := drv.task(m)
+			e := pc2.ectx(w)
+			e.reset(w)
+			merged := make(map[string]*groupAcc)
+			topo := w.Tracker.Machine().Topo
+			for wid := range parts {
+				if parts[wid] == nil {
+					continue
+				}
+				tab := parts[wid][pid]
+				if len(tab) == 0 {
+					continue
+				}
+				var readBytes int64
+				for key, acc := range tab {
+					dst, ok := merged[key]
+					if !ok {
+						dst = initAcc(rt.aggs)
+						merged[key] = dst
+					}
+					dst.merge(rt.aggs, acc.accs, acc.count)
+					readBytes += int64(len(key)) + int64(8*nAggs) + 8
+				}
+				// Worker wid's tables live on its socket; the merge
+				// pulls them across the fabric.
+				w.Tracker.ReadSeq(topo.Place(wid).Socket, readBytes)
+			}
+			e.cpuUnits += float64(len(merged)) * 2
+			for key, acc := range merged {
+				buf := []byte(key)
+				for i, t := range rt.groupTypes {
+					e.Regs[i], buf = decodeVal(buf, t)
+				}
+				for i, a := range rt.aggs {
+					e.Regs[len(rt.groupTypes)+i] = acc.output(a, rt.outTypes[i], i)
+				}
+				e.cpuUnits += 2
+				down(e)
+			}
+			e.flush()
+		})
+	phase2.After(tails...).WithMorselRows(1)
+	phase2.After(pc2.deps...)
+	return []tailJob{phase2}
+}
+
 func mergeSpill(merged map[string]*groupAcc, buf *spillBuf, rt *aggRuntime, nAggs int) int64 {
 	var bytes int64
 	for i, key := range buf.keys {

@@ -1,0 +1,74 @@
+package engine
+
+import "math"
+
+// This file is the one shared definition of the engine's value ordering.
+// The parallel sort (sort.go), the MPSM join's run sort and its
+// range-partitioned merge (mpsm.go) all partition work by binary-searching
+// sorted runs against separator keys, so they must agree on a single
+// strict weak ordering — in particular on where NaN sorts. Keeping the
+// comparison here means a future change (collations, NULL ordering)
+// cannot drift between the operators.
+
+// compareVal three-way compares two values of one register type. Floats
+// follow the NaN-last convention: NaN orders after every number and ties
+// with itself. NaN compares false under < and >, which would make it
+// "equal" to everything — breaking the strict weak ordering that
+// separator-based parallel merging relies on. nanOrder reports that the
+// result came from NaN placement; callers implementing DESC keys must
+// not negate such a result (NaN stays last regardless of direction, so
+// ranges stay disjoint and deterministic).
+func compareVal(t Type, a, b Val) (c int, nanOrder bool) {
+	switch t {
+	case TInt:
+		switch {
+		case a.I < b.I:
+			return -1, false
+		case a.I > b.I:
+			return 1, false
+		}
+		return 0, false
+	case TFloat:
+		af, bf := a.F, b.F
+		switch {
+		case af < bf:
+			return -1, false
+		case af > bf:
+			return 1, false
+		case af != bf:
+			// At least one NaN (NaN is the only value unequal to itself).
+			aN, bN := math.IsNaN(af), math.IsNaN(bf)
+			switch {
+			case aN && bN:
+				return 0, false // both NaN: tie, fall through to the next key
+			case aN:
+				return 1, true
+			default:
+				return -1, true
+			}
+		}
+		return 0, false
+	default:
+		switch {
+		case a.S < b.S:
+			return -1, false
+		case a.S > b.S:
+			return 1, false
+		}
+		return 0, false
+	}
+}
+
+// compareKeyTuple three-way compares the key tuples starting at aOff in a
+// and bOff in b, all keys ascending (the MPSM run/merge ordering). NaN
+// keys order last and tie with each other; equality here is ordering
+// equality, not join-match equality — callers emitting join matches must
+// still reject NaN key groups (IEEE: NaN = NaN is false).
+func compareKeyTuple(types []Type, a []Val, aOff int, b []Val, bOff int) int {
+	for i, t := range types {
+		if c, _ := compareVal(t, a[aOff+i], b[bOff+i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}

@@ -1,0 +1,412 @@
+package engine
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/dispatch"
+	"repro/internal/numa"
+	"repro/internal/storage"
+)
+
+// This file is the MPSM sort-merge join (Albutiu et al., "Massively
+// Parallel Sort-Merge Joins in Main Memory Multi-Core Database Systems"),
+// the engine's second physical join algorithm next to the hash join:
+//
+//	phase 1  both inputs materialize into per-worker NUMA-local runs
+//	         (rows stay on the socket of the worker that produced them,
+//	         like any storage area — no synchronization).
+//	phase 2  each run is sorted in place by the join keys, NUMA-locally,
+//	         as one dispatcher task homed on the run owner's socket.
+//	         Global separator keys are computed median-of-medians style
+//	         from samples of every run on both sides — the same scheme
+//	         as the parallel sort (§4.5), reusing its comparator.
+//	phase 3  each key range becomes one merge task: binary-search every
+//	         run's bounds, merge both sides' segments, and sorted-merge
+//	         join the equal-key groups, pushing matches into the
+//	         downstream pipeline. Ranges are disjoint key intervals, so
+//	         equal keys never straddle tasks and no synchronization is
+//	         needed.
+//
+// Output rows leave each merge task in ascending join-key order, and
+// range r's keys all precede range r+1's — the "free" sorted output the
+// physical-selection phase exploits to elide a downstream ORDER BY.
+// Join-match semantics are identical to the hash join's, including IEEE
+// float equality: the comparator ties NaN keys so partitioning stays a
+// strict weak ordering, but NaN key groups produce no matches (NaN = NaN
+// is false) — anti joins still emit NaN-keyed probe rows.
+type mpsmRuntime struct {
+	kind     JoinKind
+	keyTypes []Type
+
+	buildSchema []Reg // build node output, stored after the keys
+	nProbeRegs  int   // probe pipeline registers, stored before the keys
+
+	// buildRuns[w] rows are [keys..., build columns...]; probeRuns[w]
+	// rows are [probe registers..., keys...].
+	buildRuns [][][]Val
+	probeRuns [][][]Val
+
+	seps [][]Val // global separator key tuples; len = nRanges-1
+
+	buildRunOrder []int // worker ids with non-empty runs, fixed at sort time
+	probeRunOrder []int
+}
+
+func (rt *mpsmRuntime) nKeys() int { return len(rt.keyTypes) }
+
+// hasNaNKey reports whether any float key of the tuple starting at off is
+// NaN — such rows never match (IEEE equality), they only sort last.
+func (rt *mpsmRuntime) hasNaNKey(row []Val, off int) bool {
+	for i, t := range rt.keyTypes {
+		if t == TFloat && math.IsNaN(row[off+i].F) {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeRuns k-way merges the given pre-sorted segments (all ordered by
+// the key tuple at keyOff) into one sorted slice.
+func (rt *mpsmRuntime) mergeRuns(segs [][][]Val, keyOff, total int) [][]Val {
+	out := make([][]Val, 0, total)
+	pos := make([]int, len(segs))
+	for {
+		best := -1
+		for i := range segs {
+			if pos[i] >= len(segs[i]) {
+				continue
+			}
+			if best < 0 || compareKeyTuple(rt.keyTypes, segs[i][pos[i]], keyOff, segs[best][pos[best]], keyOff) < 0 {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, segs[best][pos[best]])
+		pos[best]++
+	}
+}
+
+// rangeSegments binary-searches each run's [lo, hi) bounds for one merge
+// range, charging the sequential read from the run owner's socket.
+func (rt *mpsmRuntime) rangeSegments(w *dispatch.Worker, runs [][][]Val, order []int, keyOff int, lo, hi []Val, rowW float64) ([][][]Val, int) {
+	var segs [][][]Val
+	total := 0
+	topo := w.Tracker.Machine().Topo
+	for _, wid := range order {
+		run := runs[wid]
+		begin := 0
+		if lo != nil {
+			begin = sort.Search(len(run), func(i int) bool {
+				return compareKeyTuple(rt.keyTypes, run[i], keyOff, lo, 0) >= 0
+			})
+		}
+		end := len(run)
+		if hi != nil {
+			end = sort.Search(len(run), func(i int) bool {
+				return compareKeyTuple(rt.keyTypes, run[i], keyOff, hi, 0) >= 0
+			})
+		}
+		if begin < end {
+			segs = append(segs, run[begin:end])
+			total += end - begin
+			w.Tracker.ReadSeq(topo.Place(wid).Socket, int64(float64(end-begin)*rowW))
+		}
+	}
+	return segs, total
+}
+
+// produceMergeJoin compiles an MPSM join. Both inputs become pipeline
+// sinks (unlike the hash join, the probe side is a breaker too — its rows
+// must be sorted before any output can be produced); the merge phase
+// sources the downstream pipeline.
+func (c *compiler) produceMergeJoin(n *Node, f consumerFactory) []tailJob {
+	if n.joinKind == JoinMark {
+		panic("engine: mark joins do not support the MPSM algorithm")
+	}
+	rt := &mpsmRuntime{
+		kind:        n.joinKind,
+		buildSchema: n.build.out,
+		buildRuns:   make([][][]Val, c.workers),
+		probeRuns:   make([][][]Val, c.workers),
+	}
+	rt.keyTypes = make([]Type, len(n.buildKeys))
+	for i, bk := range n.buildKeys {
+		rt.keyTypes[i] = typeOf(bk, n.build.out)
+	}
+	nKeys := rt.nKeys()
+
+	// ---- Phase 1a: build side materializes [keys..., columns...] into
+	// NUMA-local runs.
+	buildKeys := n.buildKeys
+	buildRowW := rowWidth(rt.buildSchema) + float64(8*nKeys)
+	buildTails := n.build.produce(c, func(pc *pipeCtx) rowFn {
+		keyFns := make([]evalFn, len(buildKeys))
+		keyW := 0.0
+		for i, bk := range buildKeys {
+			keyFns[i], _ = bk.compile(pc)
+			keyW += bk.weight() * exprNodeWeight
+		}
+		srcIdx := make([]int, len(rt.buildSchema))
+		for i, r := range rt.buildSchema {
+			srcIdx[i], _ = pc.resolve(r.Name)
+		}
+		return func(e *Ectx) {
+			row := make([]Val, nKeys+len(srcIdx))
+			for i, fn := range keyFns {
+				row[i] = fn(e)
+			}
+			for i, si := range srcIdx {
+				row[nKeys+i] = e.Regs[si]
+			}
+			wid := e.W.ID
+			rt.buildRuns[wid] = append(rt.buildRuns[wid], row)
+			e.cpuUnits += 2 + keyW
+			e.writeBytes += int64(buildRowW)
+		}
+	})
+
+	// ---- Phase 1b: probe side materializes [registers..., keys...].
+	// The full register file is captured, not just the probe schema:
+	// downstream operators may reference registers computed earlier in
+	// the probe pipeline (a Map above the scan, an outer join's payload).
+	probeKeys := n.probeKeys
+	var probeRegs []Reg // snapshot of the probe pipeline's registers
+	probeTails := n.child.produce(c, func(pc *pipeCtx) rowFn {
+		if probeRegs != nil {
+			// Runs store raw register files; two pipelines (union branches)
+			// would interleave incompatible layouts. The physical-selection
+			// phase never picks MPSM for such probe sides.
+			panic("engine: an MPSM join cannot source a multi-pipeline (union) probe side")
+		}
+		probeRegs = append([]Reg{}, pc.regs...)
+		rt.nProbeRegs = len(probeRegs)
+		keyFns := make([]evalFn, len(probeKeys))
+		keyW := 0.0
+		for i, pk := range probeKeys {
+			keyFns[i], _ = pk.compile(pc)
+			keyW += pk.weight() * exprNodeWeight
+		}
+		nRegs := rt.nProbeRegs
+		rowW := rowWidth(probeRegs) + float64(8*nKeys)
+		return func(e *Ectx) {
+			row := make([]Val, nRegs+nKeys)
+			copy(row, e.Regs[:nRegs])
+			for i, fn := range keyFns {
+				row[nRegs+i] = fn(e)
+			}
+			wid := e.W.ID
+			rt.probeRuns[wid] = append(rt.probeRuns[wid], row)
+			e.cpuUnits += 2 + keyW
+			e.writeBytes += int64(rowW)
+		}
+	})
+	probeRowW := func() float64 { return rowWidth(probeRegs) + float64(8*nKeys) }
+
+	// ---- Phase 2: sort every non-empty run NUMA-locally; finalize
+	// computes the global separators from both sides' samples.
+	type runRef struct {
+		rows   *[][]Val
+		keyOff int
+		wid    int
+		rowW   float64
+	}
+	var sortRefs []runRef
+	var sortDrv *driver
+	localSort := c.q.AddJob("mpsm-sort",
+		func() []*storage.Partition {
+			sortRefs = sortRefs[:0]
+			rt.buildRunOrder, rt.probeRunOrder = rt.buildRunOrder[:0], rt.probeRunOrder[:0]
+			for wid := range rt.buildRuns {
+				if len(rt.buildRuns[wid]) > 0 {
+					rt.buildRunOrder = append(rt.buildRunOrder, wid)
+					sortRefs = append(sortRefs, runRef{rows: &rt.buildRuns[wid], keyOff: 0, wid: wid, rowW: buildRowW})
+				}
+			}
+			for wid := range rt.probeRuns {
+				if len(rt.probeRuns[wid]) > 0 {
+					rt.probeRunOrder = append(rt.probeRunOrder, wid)
+					sortRefs = append(sortRefs, runRef{rows: &rt.probeRuns[wid], keyOff: rt.nProbeRegs, wid: wid, rowW: probeRowW()})
+				}
+			}
+			topo := c.sess.Machine.Topo
+			sortDrv = newDriver(len(sortRefs), func(i int) numa.SocketID {
+				return topo.Place(sortRefs[i].wid).Socket
+			})
+			return sortDrv.parts
+		},
+		func(w *dispatch.Worker, m storage.Morsel) {
+			ref := sortRefs[sortDrv.task(m)]
+			run := *ref.rows
+			sort.Slice(run, func(i, j int) bool {
+				return compareKeyTuple(rt.keyTypes, run[i], ref.keyOff, run[j], ref.keyOff) < 0
+			})
+			n := float64(len(run) + 1)
+			bytes := int64(float64(len(run)) * ref.rowW)
+			w.Tracker.ReadSeq(m.Home(), bytes)
+			w.Tracker.WriteSeq(bytes)
+			w.Tracker.CPU(int64(n), math.Log2(n)+1)
+		})
+	localSort.After(append(append([]tailJob{}, buildTails...), probeTails...)...).WithMorselRows(1)
+	var nRanges int
+	localSort.WithFinalize(func(w *dispatch.Worker) {
+		// Separators partition the union of both key domains so merge
+		// tasks balance total (build + probe) rows, median-of-medians
+		// style like the parallel sort.
+		var samples [][]Val
+		const perRun = 32
+		sample := func(runs [][][]Val, order []int, keyOff int) {
+			for _, wid := range order {
+				run := runs[wid]
+				for i := 1; i <= perRun; i++ {
+					row := run[(len(run)-1)*i/perRun]
+					key := make([]Val, rt.nKeys())
+					copy(key, row[keyOff:keyOff+rt.nKeys()])
+					samples = append(samples, key)
+				}
+			}
+		}
+		sample(rt.buildRuns, rt.buildRunOrder, 0)
+		sample(rt.probeRuns, rt.probeRunOrder, rt.nProbeRegs)
+		nRanges = len(rt.buildRunOrder) + len(rt.probeRunOrder)
+		rt.seps = rt.seps[:0]
+		if nRanges == 0 {
+			return
+		}
+		sort.Slice(samples, func(i, j int) bool {
+			return compareKeyTuple(rt.keyTypes, samples[i], 0, samples[j], 0) < 0
+		})
+		for i := 1; i < nRanges; i++ {
+			rt.seps = append(rt.seps, samples[(len(samples)-1)*i/nRanges])
+		}
+	})
+
+	// ---- Phase 3: range-partitioned merge join, sourcing the downstream
+	// pipeline. Register layout: the probe pipeline's registers in order,
+	// then the payload registers — the same contract as the hash join's
+	// probe, so downstream consumers resolve identically.
+	pc2 := c.newPipe()
+	// The probe pipeline's registers are only known once its produce ran;
+	// produce is synchronous, so probeRegs is populated here.
+	for _, r := range probeRegs {
+		pc2.addReg(r.Name, r.Type)
+	}
+	payload := n.payload
+	srcPos := make([]int, len(payload))
+	dstReg := make([]int, len(payload))
+	for i, name := range payload {
+		p, t := schemaResolver(rt.buildSchema).resolve(name)
+		srcPos[i] = p
+		dstReg[i] = pc2.addReg(name, t)
+	}
+	var residualFn evalFn
+	residualW := 0.0
+	if n.residual != nil {
+		fn, t := n.residual.compile(pc2)
+		mustBool(t, "join residual")
+		residualFn = fn
+		residualW = n.residual.weight() * exprNodeWeight
+	}
+	down := f(pc2)
+	kind := n.joinKind
+	nKeysF := float64(nKeys)
+
+	var mergeDrv *driver
+	sockets := c.sockets
+	merge := c.q.AddJob("mpsm-merge",
+		func() []*storage.Partition {
+			mergeDrv = newDriver(nRanges, func(i int) numa.SocketID {
+				return numa.SocketID(i % sockets)
+			})
+			return mergeDrv.parts
+		},
+		func(w *dispatch.Worker, m storage.Morsel) {
+			r := mergeDrv.task(m)
+			var lo, hi []Val
+			if r > 0 {
+				lo = rt.seps[r-1]
+			}
+			if r < len(rt.seps) {
+				hi = rt.seps[r]
+			}
+			bSegs, bTotal := rt.rangeSegments(w, rt.buildRuns, rt.buildRunOrder, 0, lo, hi, buildRowW)
+			pSegs, pTotal := rt.rangeSegments(w, rt.probeRuns, rt.probeRunOrder, rt.nProbeRegs, lo, hi, probeRowW())
+			build := rt.mergeRuns(bSegs, 0, bTotal)
+			probe := rt.mergeRuns(pSegs, rt.nProbeRegs, pTotal)
+			w.Tracker.WriteSeq(int64(float64(bTotal)*buildRowW + float64(pTotal)*probeRowW()))
+			w.Tracker.CPU(int64(bTotal+pTotal), float64(len(bSegs)+len(pSegs))+1)
+
+			e := pc2.ectx(w)
+			e.reset(w)
+			e.ord = r
+			nRegs := rt.nProbeRegs
+			bi := 0
+			pi := 0
+			for pi < len(probe) {
+				prow := probe[pi]
+				// Advance the build cursor to the first key >= the probe
+				// key; the equal-key group is shared by every probe row
+				// with this key.
+				for bi < len(build) && compareKeyTuple(rt.keyTypes, build[bi], 0, prow, nRegs) < 0 {
+					bi++
+				}
+				ge := bi
+				for ge < len(build) && compareKeyTuple(rt.keyTypes, build[ge], 0, prow, nRegs) == 0 {
+					ge++
+				}
+				matchable := bi < ge && !rt.hasNaNKey(prow, nRegs)
+				pe := pi
+				for pe < len(probe) && compareKeyTuple(rt.keyTypes, probe[pe], nRegs, prow, nRegs) == 0 {
+					pe++
+				}
+				for ; pi < pe; pi++ {
+					copy(e.Regs[:nRegs], probe[pi][:nRegs])
+					e.cpuUnits += 1 + nKeysF
+					matched := false
+					if matchable {
+					group:
+						for b := bi; b < ge; b++ {
+							brow := build[b]
+							for i := range payload {
+								e.Regs[dstReg[i]] = brow[nKeys+srcPos[i]]
+							}
+							if residualFn != nil {
+								e.cpuUnits += residualW
+								if residualFn(e).I == 0 {
+									continue
+								}
+							}
+							matched = true
+							switch kind {
+							case JoinInner, JoinOuterProbe:
+								down(e)
+							case JoinSemi:
+								down(e)
+								break group
+							case JoinAnti:
+								break group
+							}
+						}
+					}
+					if !matched {
+						switch kind {
+						case JoinAnti:
+							down(e)
+						case JoinOuterProbe:
+							for i := range payload {
+								e.Regs[dstReg[i]] = Val{}
+							}
+							down(e)
+						}
+					}
+				}
+				bi = ge
+			}
+			e.flush()
+		})
+	merge.After(localSort).WithMorselRows(1)
+	merge.After(pc2.deps...)
+	return []tailJob{merge}
+}

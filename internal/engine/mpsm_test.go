@@ -1,0 +1,307 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/numa"
+	"repro/internal/storage"
+)
+
+// MPSM sort-merge join tests: the algorithm must agree with the hash
+// join (the oracle) on every join kind, for any worker count and morsel
+// size, including NaN join keys — which partition (NaN-last comparator)
+// but never match (IEEE equality).
+
+// floatKeyed is a randomly generated table with a float join key, a
+// fraction of which is NaN, plus its rows for oracle computation.
+type floatKeyed struct {
+	tbl  *storage.Table
+	keys []float64
+	vals []int64
+}
+
+func genFloatKeyed(rng *rand.Rand, maxRows, keyRange int, nanFrac float64) floatKeyed {
+	n := rng.Intn(maxRows) + 1
+	b := storage.NewBuilder("f", storage.Schema{
+		{Name: "k", Type: storage.F64},
+		{Name: "v", Type: storage.I64},
+	}, 1+rng.Intn(8), "")
+	m := floatKeyed{}
+	for i := 0; i < n; i++ {
+		k := float64(rng.Intn(keyRange))
+		if rng.Float64() < nanFrac {
+			k = math.NaN()
+		}
+		v := int64(rng.Intn(1000))
+		m.keys = append(m.keys, k)
+		m.vals = append(m.vals, v)
+		b.Append(storage.Row{k, v})
+	}
+	m.tbl = b.Build(storage.NUMAAware, 4)
+	return m
+}
+
+// mpsmJoinPlan builds probe ⋈ build on the float key with the given
+// algorithm; inner/outer joins carry the build value as payload.
+func mpsmJoinPlan(probe, build floatKeyed, kind JoinKind, algo JoinAlgo, residual bool) *Plan {
+	p := NewPlan("mpsm-q")
+	b := p.Scan(build.tbl, "k AS bk", "v AS bv")
+	var n *Node
+	switch kind {
+	case JoinSemi, JoinAnti:
+		n = p.Scan(probe.tbl, "k", "v").
+			HashJoin(b, kind, []*Expr{Col("k")}, []*Expr{Col("bk")})
+		if residual {
+			n = n.ResidualPayload("bv").WithResidual(Lt(Col("bv"), ConstI(500)))
+		}
+	default:
+		n = p.Scan(probe.tbl, "k", "v").
+			HashJoin(b, kind, []*Expr{Col("k")}, []*Expr{Col("bk")}, "bv")
+		if residual {
+			n = n.WithResidual(Lt(Col("bv"), ConstI(500)))
+		}
+	}
+	p.Return(n.WithJoinAlgo(algo))
+	return p
+}
+
+// TestQuickMPSMMatchesHashJoin: for random tables (with NaN keys),
+// worker counts and morsel sizes, the MPSM join's result multiset equals
+// the hash join's, for every supported join kind, with and without a
+// residual predicate.
+func TestQuickMPSMMatchesHashJoin(t *testing.T) {
+	kinds := []JoinKind{JoinInner, JoinSemi, JoinAnti, JoinOuterProbe}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		probe := genFloatKeyed(rng, 800, 25, 0.1)
+		build := genFloatKeyed(rng, 200, 25, 0.1)
+		kind := kinds[rng.Intn(len(kinds))]
+		residual := rng.Intn(2) == 0
+		s := quickSession(rng)
+		href, _ := s.Run(mpsmJoinPlan(probe, build, kind, AlgoHash, residual))
+		mres, _ := s.Run(mpsmJoinPlan(probe, build, kind, AlgoMPSM, residual))
+		want, got := canon(href), canon(mres)
+		if len(want) != len(got) {
+			t.Logf("seed %d kind %v residual %v: %d rows vs hash %d", seed, kind, residual, len(got), len(want))
+			return false
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Logf("seed %d kind %v residual %v: row %d %q vs %q", seed, kind, residual, i, got[i], want[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMPSMDeterministicAcrossWorkers: one generated input, joined
+// under MPSM at several worker counts — the result multiset must be
+// identical every time (merge-range partitioning may differ; the rows
+// may not).
+func TestQuickMPSMDeterministicAcrossWorkers(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		probe := genFloatKeyed(rng, 600, 15, 0.15)
+		build := genFloatKeyed(rng, 150, 15, 0.15)
+		var ref []string
+		for _, workers := range []int{1, 2, 3, 8, 17} {
+			s := NewSession(numa.NehalemEXMachine())
+			s.Mode = Sim
+			s.Dispatch.Workers = workers
+			s.Dispatch.MorselRows = 1 + rng.Intn(500)
+			res, _ := s.Run(mpsmJoinPlan(probe, build, JoinInner, AlgoMPSM, false))
+			got := canon(res)
+			if ref == nil {
+				ref = got
+				continue
+			}
+			if len(got) != len(ref) {
+				t.Logf("seed %d workers %d: %d rows vs %d", seed, workers, len(got), len(ref))
+				return false
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Logf("seed %d workers %d: row %d %q vs %q", seed, workers, i, got[i], ref[i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMPSMElidedOrderBy: an MPSM join's output arrives in global key
+// order, so a plan whose ORDER BY is marked elided must return rows
+// sorted on the join key without the sort operator — matching the
+// sorted plan's multiset exactly.
+func TestMPSMElidedOrderBy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	probe := genFloatKeyed(rng, 2000, 40, 0)
+	build := genFloatKeyed(rng, 400, 40, 0)
+
+	mk := func(elide bool, limit int) *Plan {
+		p := NewPlan("mpsm-sorted")
+		b := p.Scan(build.tbl, "k AS bk", "v AS bv")
+		n := p.Scan(probe.tbl, "k", "v").
+			HashJoin(b, JoinInner, []*Expr{Col("k")}, []*Expr{Col("bk")}, "bv").
+			WithJoinAlgo(AlgoMPSM)
+		p.ReturnSorted(n, limit, Asc("k"))
+		if elide {
+			p.ElideSort("mpsm output order")
+		}
+		return p
+	}
+
+	for _, limit := range []int{0, 17} {
+		s := newTestSession(Sim)
+		want, _ := s.Run(mk(false, limit))
+		got, _ := s.Run(mk(true, limit))
+		if got.NumRows() != want.NumRows() {
+			t.Fatalf("limit %d: %d rows, want %d", limit, got.NumRows(), want.NumRows())
+		}
+		// Elided output must be non-decreasing on the sort key. (Ties may
+		// order differently than the explicit sort, so compare multisets.)
+		rows := got.Rows()
+		for i := 1; i < len(rows); i++ {
+			if rows[i-1][0].F > rows[i][0].F {
+				t.Fatalf("limit %d: rows %d,%d out of order: %v > %v", limit, i-1, i, rows[i-1][0].F, rows[i][0].F)
+			}
+		}
+		if limit == 0 {
+			w, g := canon(want), canon(got)
+			for i := range w {
+				if w[i] != g[i] {
+					t.Fatalf("row %d: %q vs %q", i, g[i], w[i])
+				}
+			}
+		}
+	}
+}
+
+// TestQuickPartitionedAggMatchesShared: the radix-partitioned
+// aggregation must produce the same groups and aggregates as the shared
+// two-phase aggregation for any input and worker count.
+func TestQuickPartitionedAggMatchesShared(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := genMini(rng, 2000, 200)
+		s := quickSession(rng)
+		mk := func(algo AggAlgo) *Plan {
+			p := NewPlan("agg-q")
+			p.Return(p.Scan(m.tbl, "k", "v").
+				GroupBy([]NamedExpr{N("k", Col("k"))},
+					[]AggDef{Sum("s", Col("v")), Count("n"), MinOf("lo", Col("v")), MaxOf("hi", Col("v")), Avg("av", Col("v"))}).
+				WithAggAlgo(algo))
+			return p
+		}
+		want, _ := s.Run(mk(AggShared))
+		got, _ := s.Run(mk(AggPartitioned))
+		if got.NumRows() != want.NumRows() {
+			t.Logf("seed %d: %d groups vs %d", seed, got.NumRows(), want.NumRows())
+			return false
+		}
+		// Floating-point aggregates may differ in the last bits (merge
+		// order), so compare numerically per group, not by formatting.
+		byKey := func(r *Result) map[int64][]Val {
+			m := make(map[int64][]Val, r.NumRows())
+			for _, row := range r.Rows() {
+				m[row[0].I] = row[1:]
+			}
+			return m
+		}
+		close := func(a, b float64) bool {
+			return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+		}
+		wm := byKey(want)
+		for k, gr := range byKey(got) {
+			wr, ok := wm[k]
+			if !ok {
+				t.Logf("seed %d: unexpected group %d", seed, k)
+				return false
+			}
+			if !close(gr[0].F, wr[0].F) || gr[1].I != wr[1].I ||
+				gr[2].F != wr[2].F || gr[3].F != wr[3].F || !close(gr[4].F, wr[4].F) {
+				t.Logf("seed %d: group %d %v vs %v", seed, k, gr, wr)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMPSMWireRoundTrip: physical annotations — join algorithm,
+// aggregation algorithm, selection notes and an elided ORDER BY —
+// survive the plan wire format, by Explain identity and by execution.
+func TestMPSMWireRoundTrip(t *testing.T) {
+	facts, dims := matTestTable(), wireDimTable()
+	p := NewPlan("wire-mpsm")
+	build := p.Scan(dims, "k AS dk", "label").SetEst(37)
+	n := p.Scan(facts, "k", "v").
+		HashJoin(build, JoinInner, []*Expr{Col("k")}, []*Expr{Col("dk")}, "label").
+		WithJoinAlgo(AlgoMPSM).
+		WithPhysNote("[phys: mpsm (forced)]").
+		SetEst(500).
+		GroupBy([]NamedExpr{N("label", Col("label"))}, []AggDef{Sum("s", Col("v")), Count("c")}).
+		WithAggAlgo(AggPartitioned).
+		WithPhysNote("[phys: partitioned (forced)]")
+	p.ReturnSorted(n, 0, Asc("label"))
+
+	data, err := EncodePlan(p)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	dp, err := DecodePlan(data, wireLookup(facts, dims))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got, want := dp.Explain(), p.Explain(); got != want {
+		t.Fatalf("explain drift:\n--- original\n%s\n--- decoded\n%s", want, got)
+	}
+	wantRes, _ := newTestSession(Sim).Run(p)
+	gotRes, _ := newTestSession(Sim).Run(dp)
+	w, g := rowsToStrings(wantRes), rowsToStrings(gotRes)
+	if len(w) != len(g) {
+		t.Fatalf("row count %d vs %d", len(g), len(w))
+	}
+	for i := range w {
+		if w[i] != g[i] {
+			t.Fatalf("row %d: %q vs %q", i, g[i], w[i])
+		}
+	}
+
+	// An elided sort survives the wire too.
+	p2 := NewPlan("wire-elide")
+	b2 := p2.Scan(dims, "k AS dk", "label")
+	n2 := p2.Scan(facts, "k", "v").
+		HashJoin(b2, JoinInner, []*Expr{Col("k")}, []*Expr{Col("dk")}, "label").
+		WithJoinAlgo(AlgoMPSM)
+	p2.ReturnSorted(n2, 0, Asc("k"))
+	p2.ElideSort("mpsm output order")
+	data2, err := EncodePlan(p2)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	dp2, err := DecodePlan(data2, wireLookup(facts, dims))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got, want := dp2.Explain(), p2.Explain(); got != want {
+		t.Fatalf("elide explain drift:\n--- original\n%s\n--- decoded\n%s", want, got)
+	}
+	if el, why := dp2.SortElided(); !el || why != "mpsm output order" {
+		t.Fatalf("decoded elision = %v %q", el, why)
+	}
+}

@@ -157,13 +157,17 @@ type wireNode struct {
 	MapExpr *wireExpr `json:"mapExpr,omitempty"`
 
 	Join      string      `json:"join,omitempty"`
+	JoinAlgo  string      `json:"joinAlgo,omitempty"`
 	ProbeKeys []*wireExpr `json:"probeKeys,omitempty"`
 	BuildKeys []*wireExpr `json:"buildKeys,omitempty"`
 	Payload   []string    `json:"payload,omitempty"`
 	Residual  *wireExpr   `json:"residual,omitempty"`
 
-	Groups []wireNamed `json:"groups,omitempty"`
-	Aggs   []wireAgg   `json:"aggs,omitempty"`
+	Groups  []wireNamed `json:"groups,omitempty"`
+	Aggs    []wireAgg   `json:"aggs,omitempty"`
+	AggAlgo string      `json:"aggAlgo,omitempty"`
+
+	PhysWhy string `json:"physWhy,omitempty"`
 
 	Exchange string   `json:"exchange,omitempty"`
 	ExKeys   []string `json:"exKeys,omitempty"`
@@ -176,10 +180,12 @@ type wireSort struct {
 }
 
 type wirePlan struct {
-	Name  string     `json:"name"`
-	Sort  []wireSort `json:"sort,omitempty"`
-	Limit int        `json:"limit,omitempty"`
-	Nodes []wireNode `json:"nodes"`
+	Name       string     `json:"name"`
+	Sort       []wireSort `json:"sort,omitempty"`
+	SortElided bool       `json:"sortElided,omitempty"`
+	ElideWhy   string     `json:"elideWhy,omitempty"`
+	Limit      int        `json:"limit,omitempty"`
+	Nodes      []wireNode `json:"nodes"`
 }
 
 // EncodePlan serializes a plan for shipping to a peer node. The plan
@@ -191,7 +197,7 @@ func EncodePlan(p *Plan) ([]byte, error) {
 	if p.root == nil {
 		return nil, fmt.Errorf("engine: plan %q has no result node", p.Name)
 	}
-	wp := &wirePlan{Name: p.Name, Limit: p.limit}
+	wp := &wirePlan{Name: p.Name, Limit: p.limit, SortElided: p.sortElided, ElideWhy: p.elideWhy}
 	for _, k := range p.sortKeys {
 		wp.Sort = append(wp.Sort, wireSort{Name: k.Name, Desc: k.Desc})
 	}
@@ -241,6 +247,10 @@ func EncodePlan(p *Plan) ([]byte, error) {
 		case nJoin:
 			wn.Kind = "join"
 			wn.Join = joinWireNames[n.joinKind]
+			if n.joinAlgo != AlgoHash {
+				wn.JoinAlgo = n.joinAlgo.String()
+			}
+			wn.PhysWhy = n.physWhy
 			for _, k := range n.probeKeys {
 				wn.ProbeKeys = append(wn.ProbeKeys, encodeExpr(k))
 			}
@@ -251,6 +261,10 @@ func EncodePlan(p *Plan) ([]byte, error) {
 			wn.Residual = encodeExpr(n.residual)
 		case nAgg:
 			wn.Kind = "agg"
+			if n.aggAlgo != AggShared {
+				wn.AggAlgo = n.aggAlgo.String()
+			}
+			wn.PhysWhy = n.physWhy
 			for _, g := range n.groups {
 				wn.Groups = append(wn.Groups, wireNamed{Name: g.Name, E: encodeExpr(g.E)})
 			}
@@ -399,6 +413,16 @@ func DecodePlan(data []byte, lookup func(name string) (*storage.Table, bool)) (p
 				}
 				n = n.WithResidual(res)
 			}
+			switch wn.JoinAlgo {
+			case "":
+			case "mpsm":
+				n = n.WithJoinAlgo(AlgoMPSM)
+			default:
+				return nil, fmt.Errorf("engine: unknown join algorithm %q", wn.JoinAlgo)
+			}
+			if wn.PhysWhy != "" {
+				n = n.WithPhysNote(wn.PhysWhy)
+			}
 		case "agg":
 			if child == nil {
 				return nil, fmt.Errorf("engine: agg without child")
@@ -424,6 +448,16 @@ func DecodePlan(data []byte, lookup func(name string) (*storage.Table, bool)) (p
 				aggs[i] = AggDef{Name: a.Name, Kind: ak, E: e}
 			}
 			n = child.GroupBy(groups, aggs)
+			switch wn.AggAlgo {
+			case "":
+			case "partitioned":
+				n = n.WithAggAlgo(AggPartitioned)
+			default:
+				return nil, fmt.Errorf("engine: unknown aggregation algorithm %q", wn.AggAlgo)
+			}
+			if wn.PhysWhy != "" {
+				n = n.WithPhysNote(wn.PhysWhy)
+			}
 		case "union":
 			subs := make([]*Node, len(wn.Children))
 			for i, id := range wn.Children {
@@ -472,6 +506,9 @@ func DecodePlan(data []byte, lookup func(name string) (*storage.Table, bool)) (p
 		np.sortKeys = append(np.sortKeys, SortKey{Name: k.Name, Desc: k.Desc})
 	}
 	np.limit = wp.Limit
+	if wp.SortElided {
+		np.ElideSort(wp.ElideWhy)
+	}
 	// Re-validate sort keys against the decoded root schema.
 	for _, k := range np.sortKeys {
 		schemaResolver(np.root.out).resolve(k.Name)

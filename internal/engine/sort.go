@@ -30,53 +30,14 @@ func (rt *sortRuntime) less(a, b []Val) bool { return rt.compare(a, b) < 0 }
 
 func (rt *sortRuntime) compare(a, b []Val) int {
 	for i, k := range rt.keyIdx {
-		var c int
-		switch rt.schema[k].Type {
-		case TInt:
-			switch {
-			case a[k].I < b[k].I:
-				c = -1
-			case a[k].I > b[k].I:
-				c = 1
-			}
-		case TFloat:
-			af, bf := a[k].F, b[k].F
-			switch {
-			case af < bf:
-				c = -1
-			case af > bf:
-				c = 1
-			case af != bf:
-				// At least one NaN (NaN is the only value unequal to
-				// itself). NaN compares false under < and >, which would
-				// make it "equal" to everything — breaking the strict
-				// weak ordering the separator-based parallel merge relies
-				// on. Order NaNs after every number, regardless of
-				// ASC/DESC, so ranges stay disjoint and deterministic.
-				aN, bN := math.IsNaN(af), math.IsNaN(bf)
-				switch {
-				case aN && bN:
-					c = 0 // both NaN: tie, fall through to the next key
-				case aN:
-					return 1
-				default:
-					return -1
-				}
-			}
-		default:
-			switch {
-			case a[k].S < b[k].S:
-				c = -1
-			case a[k].S > b[k].S:
-				c = 1
-			}
+		c, nanOrder := compareVal(rt.schema[k].Type, a[k], b[k])
+		if c == 0 {
+			continue
 		}
-		if c != 0 {
-			if rt.desc[i] {
-				return -c
-			}
+		if nanOrder || !rt.desc[i] {
 			return c
 		}
+		return -c
 	}
 	return 0
 }

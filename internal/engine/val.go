@@ -98,6 +98,12 @@ type Ectx struct {
 	// joins — cannot clobber each other.
 	scratch [][]Val
 
+	// ord is the output-order rank of the task currently feeding this
+	// context: MPSM merge tasks set it to their range index, so ordered
+	// sinks (an elided ORDER BY) can concatenate per-range buffers in
+	// global key order. 0 for unordered producers.
+	ord int
+
 	cpuUnits   float64
 	writeBytes int64
 	// randLines counts dependent cache-line accesses per home socket;
@@ -122,6 +128,7 @@ func newEctx(nRegs, sockets int, scratchSizes []int) *Ectx {
 
 func (e *Ectx) reset(w *dispatch.Worker) {
 	e.W = w
+	e.ord = 0
 	e.cpuUnits = 0
 	e.writeBytes = 0
 	e.shuffleBytes = 0

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/sql"
+)
+
+// The per-request physical-operator override: forced algorithms show up
+// in EXPLAIN, results stay identical across algorithms, invalid values
+// are client errors, and the plan cache keys on the options so a forced
+// plan never serves an auto request.
+
+const physJoinSQL = `
+SELECT l_orderkey, o_orderdate, SUM(l_quantity) AS qty
+FROM lineitem, orders
+WHERE l_orderkey = o_orderkey
+GROUP BY l_orderkey, o_orderdate
+ORDER BY l_orderkey, o_orderdate`
+
+func TestPhysicalOverrideExplain(t *testing.T) {
+	s, _ := newTPCHServer(t)
+	ctx := context.Background()
+
+	resp, err := s.Submit(ctx, &Request{SQL: physJoinSQL, Explain: true, Physical: "mpsm", PhysicalAgg: "partitioned"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"join mpsm", "[phys: mpsm (forced)]", "agg partitioned", "[phys: partitioned (forced)]"} {
+		if !strings.Contains(resp.Plan, want) {
+			t.Fatalf("forced explain missing %q:\n%s", want, resp.Plan)
+		}
+	}
+
+	resp, err = s.Submit(ctx, &Request{SQL: physJoinSQL, Explain: true, Physical: "hash", PhysicalAgg: "shared"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(resp.Plan, "mpsm") || strings.Contains(resp.Plan, "[phys") {
+		t.Fatalf("forced-hash explain still annotated:\n%s", resp.Plan)
+	}
+}
+
+func TestPhysicalOverrideParity(t *testing.T) {
+	s, _ := newTPCHServer(t)
+	ctx := context.Background()
+	canon := func(rows [][]any) []string {
+		out := make([]string, len(rows))
+		for i, r := range rows {
+			out[i] = fmt.Sprintf("%v|%v|%.4f", r[0], r[1], r[2])
+		}
+		sort.Strings(out)
+		return out
+	}
+	base, err := s.Submit(ctx, &Request{SQL: physJoinSQL, Physical: "hash", PhysicalAgg: "shared"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ph := range [][2]string{{"mpsm", "partitioned"}, {"auto", "auto"}, {"", ""}} {
+		resp, err := s.Submit(ctx, &Request{SQL: physJoinSQL, Physical: ph[0], PhysicalAgg: ph[1]})
+		if err != nil {
+			t.Fatalf("%v: %v", ph, err)
+		}
+		g, w := canon(resp.Rows), canon(base.Rows)
+		if len(g) != len(w) {
+			t.Fatalf("%v: %d rows vs %d", ph, len(g), len(w))
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("%v: row %d: %s vs %s", ph, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+func TestPhysicalOverrideErrors(t *testing.T) {
+	s, _ := newTPCHServer(t)
+	ctx := context.Background()
+	var bad *BadRequestError
+	if _, err := s.Submit(ctx, &Request{SQL: physJoinSQL, Physical: "sortmerge"}); err == nil || !asBadRequest(err, &bad) {
+		t.Fatalf("unknown physical: want BadRequestError, got %v", err)
+	}
+	if _, err := s.Submit(ctx, &Request{SQL: physJoinSQL, PhysicalAgg: "hashed"}); err == nil || !asBadRequest(err, &bad) {
+		t.Fatalf("unknown agg: want BadRequestError, got %v", err)
+	}
+	// The options change compiled SQL plans, so they are meaningless —
+	// and rejected — on prepared-plan and DSL requests.
+	if _, err := s.Submit(ctx, &Request{Prepared: "q1", Physical: "mpsm"}); err == nil || !asBadRequest(err, &bad) {
+		t.Fatalf("physical on prepared: want BadRequestError, got %v", err)
+	}
+}
+
+// TestPhysicalCacheKeying: the same SQL text under different physical
+// options compiles into distinct cache entries, each hit on repeat.
+func TestPhysicalCacheKeying(t *testing.T) {
+	srv, sys := cacheTestServer(t, Config{})
+	registerEvents(srv, sys, 1000, 0)
+
+	const q = `SELECT kind, COUNT(*) AS n FROM events GROUP BY kind ORDER BY kind`
+	submit := func(agg string) {
+		t.Helper()
+		resp, err := srv.Submit(context.Background(), &Request{SQL: q, PhysicalAgg: agg})
+		if err != nil {
+			t.Fatalf("agg=%q: %v", agg, err)
+		}
+		if len(resp.Rows) != 4 {
+			t.Fatalf("agg=%q: %d rows", agg, len(resp.Rows))
+		}
+	}
+	for _, agg := range []string{"", "partitioned", "", "partitioned", "shared"} {
+		submit(agg)
+	}
+	st := srv.Stats().PlanCache
+	// Three distinct (text, options) keys -> 3 misses; the two repeats
+	// hit. "" and "auto" share a canonical key.
+	if st.Misses != 3 || st.Hits != 2 || st.Size != 3 {
+		t.Fatalf("cache stats %+v", st)
+	}
+	submit("auto")
+	if st = srv.Stats().PlanCache; st.Hits != 3 {
+		t.Fatalf("explicit auto should hit the default entry: %+v", st)
+	}
+}
+
+// TestServerDefaultPhysical: a server configured with a forced default
+// applies it to every SQL request that does not override.
+func TestServerDefaultPhysical(t *testing.T) {
+	srv, sys := cacheTestServer(t, Config{Physical: sql.Physical{Agg: "partitioned"}})
+	registerEvents(srv, sys, 1000, 0)
+	resp, err := srv.Submit(context.Background(),
+		&Request{SQL: `SELECT kind, COUNT(*) AS n FROM events GROUP BY kind ORDER BY kind`, Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Plan, "agg partitioned") {
+		t.Fatalf("server default not applied:\n%s", resp.Plan)
+	}
+	// A per-request override beats the server default.
+	resp, err = srv.Submit(context.Background(),
+		&Request{SQL: `SELECT kind, COUNT(*) AS n FROM events GROUP BY kind ORDER BY kind`, PhysicalAgg: "shared", Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(resp.Plan, "agg partitioned") {
+		t.Fatalf("request override ignored:\n%s", resp.Plan)
+	}
+}

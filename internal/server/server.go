@@ -63,10 +63,15 @@ type Config struct {
 	// Requests may lower it per query, never raise it.
 	MaxRows int
 	// PlanCacheSize caps the server-side LRU of compiled SQL statements
-	// keyed by SQL text (default 256, negative disables caching). Cached
-	// statements skip parse/bind/optimize per request; ? placeholders
-	// bind per execution.
+	// keyed by SQL text and physical options (default 256, negative
+	// disables caching). Cached statements skip parse/bind/optimize per
+	// request; ? placeholders bind per execution.
 	PlanCacheSize int
+	// Physical is the default physical-operator selection for SQL
+	// requests (join: auto|hash|mpsm, agg: auto|shared|partitioned; the
+	// zero value is fully automatic). Requests may override it per
+	// query.
+	Physical sql.Physical
 }
 
 func (c Config) withDefaults(sockets int) Config {
@@ -135,6 +140,13 @@ type Request struct {
 	// refuses fall back to single-node execution transparently
 	// (Response.Distributed reports what actually happened).
 	Distributed bool `json:"distributed,omitempty"`
+	// Physical overrides the server's default join algorithm for this
+	// SQL statement: "auto", "hash" or "mpsm". PhysicalAgg likewise
+	// picks the aggregation strategy: "auto", "shared" or
+	// "partitioned". Only valid with SQL requests; the compiled plan is
+	// cached per (SQL text, physical options).
+	Physical    string `json:"physical,omitempty"`
+	PhysicalAgg string `json:"agg,omitempty"`
 }
 
 // Response is one query result.
@@ -367,6 +379,9 @@ func (s *Server) resolvePlan(req *Request) (*core.Plan, error) {
 	if set > 1 {
 		return nil, &BadRequestError{Msg: "set exactly one of \"prepared\", \"plan\", \"sql\""}
 	}
+	if (req.Physical != "" || req.PhysicalAgg != "") && req.SQL == "" {
+		return nil, &BadRequestError{Msg: "\"physical\"/\"agg\" apply only to \"sql\" requests"}
+	}
 	template, err := func() (*core.Plan, error) {
 		switch {
 		case req.Prepared != "":
@@ -384,7 +399,14 @@ func (s *Server) resolvePlan(req *Request) (*core.Plan, error) {
 			}
 			return p, nil
 		case req.SQL != "":
-			prep, err := s.prepareSQL(req.SQL)
+			ph := s.cfg.Physical
+			if req.Physical != "" {
+				ph.Join = req.Physical
+			}
+			if req.PhysicalAgg != "" {
+				ph.Agg = req.PhysicalAgg
+			}
+			prep, err := s.prepareSQL(req.SQL, ph)
 			if err != nil {
 				return nil, &BadRequestError{Msg: err.Error()}
 			}
@@ -411,21 +433,28 @@ func (s *Server) resolvePlan(req *Request) (*core.Plan, error) {
 }
 
 // prepareSQL compiles a statement through the plan cache: one parse /
-// bind / cost-based optimize per distinct SQL text and catalog version,
-// shared by every subsequent request.
-func (s *Server) prepareSQL(query string) (*sql.Prepared, error) {
+// bind / cost-based optimize per distinct (SQL text, physical options,
+// catalog version), shared by every subsequent request. The physical
+// options are part of the key because they change the compiled plan —
+// a forced-MPSM request must never serve an auto-compiled plan, and
+// vice versa.
+func (s *Server) prepareSQL(query string, ph sql.Physical) (*sql.Prepared, error) {
+	if err := ph.Validate(); err != nil {
+		return nil, err
+	}
 	version := s.catalogVersion.Load()
+	key := ph.Key() + "\x00" + query
 	if s.cache != nil {
-		if prep, ok := s.cache.get(query, version); ok {
+		if prep, ok := s.cache.get(key, version); ok {
 			return prep, nil
 		}
 	}
-	prep, err := sql.Prepare(query, "sql", s.Table)
+	prep, err := sql.PrepareOpts(query, "sql", s.Table, ph)
 	if err != nil {
 		return nil, err
 	}
 	if s.cache != nil {
-		s.cache.put(query, version, prep)
+		s.cache.put(key, version, prep)
 	}
 	return prep, nil
 }

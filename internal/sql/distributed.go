@@ -396,6 +396,11 @@ func (d *distributor) rebuildJoin(n *engine.Node) (pair, error) {
 		// distributed build would scatter across nodes.
 		return pair{}, fmt.Errorf("%w: mark join", ErrNotDistributable)
 	}
+	if ji.Algo == engine.AlgoMPSM {
+		// The MPSM merge phase range-partitions sorted runs that must
+		// all live in one engine session; shards cannot exchange runs.
+		return pair{}, fmt.Errorf("%w: mpsm join", ErrNotDistributable)
+	}
 	probe, err := d.rebuild(n.Input())
 	if err != nil {
 		return pair{}, err

@@ -311,20 +311,34 @@ func litValue(e Expr) (float64, bool) {
 	return 0, false
 }
 
-// keyNDV estimates the distinct count of one join-key expression on a
+// keyNDVs estimates the distinct count of one join-key expression on a
 // side with the given cardinality, resolving columns in the given scope.
-// Plain columns use sketch NDV (capped by the side's post-filter
-// cardinality); opaque expressions assume distinct keys, i.e. no
-// duplication from that side.
-func keyNDV(sc *scope, e Expr, sideCard float64) float64 {
+// raw is the column's domain NDV from the sketch; eff caps it at the
+// side's post-filter cardinality (a side of N rows holds at most N
+// distinct keys). Opaque expressions assume distinct keys — no
+// duplication from that side — making both equal to the cardinality.
+//
+// Both numbers matter: the containment divisor must use raw (filters
+// shrink the rows but not the key *domain* the two sides draw from —
+// dividing by the clamped NDV inflates the estimate whenever both sides
+// are filtered below their domain NDV), while duplication and
+// match-fraction arithmetic wants eff.
+func keyNDVs(sc *scope, e Expr, sideCard float64) (raw, eff float64) {
 	if c, ok := e.(*Col); ok {
 		if t, _, err := sc.resolveUp(c); err == nil && t != nil {
 			if cs := t.t.Stats().Col(c.Name); cs != nil && cs.NDV > 0 {
-				return min(float64(cs.NDV), max(sideCard, 1))
+				raw = float64(cs.NDV)
+				return raw, min(raw, max(sideCard, 1))
 			}
 		}
 	}
-	return max(sideCard, 1)
+	return max(sideCard, 1), max(sideCard, 1)
+}
+
+// keyNDV is keyNDVs' effective (cardinality-clamped) estimate.
+func keyNDV(sc *scope, e Expr, sideCard float64) float64 {
+	_, eff := keyNDVs(sc, e, sideCard)
+	return eff
 }
 
 // joinCard estimates hash-join output cardinality with the containment
@@ -340,9 +354,12 @@ func (pl *planner) joinCardScoped(probeCard, buildCard float64, probeKeys, build
 	sel := 1.0
 	matchFrac := 1.0
 	for i := range probeKeys {
-		np := keyNDV(pl.sc, probeKeys[i], probeCard)
-		nb := keyNDV(buildSc, buildKeys[i], buildCard)
-		sel /= max(max(np, nb), 1)
+		rawP, np := keyNDVs(pl.sc, probeKeys[i], probeCard)
+		rawB, nb := keyNDVs(buildSc, buildKeys[i], buildCard)
+		// Divide by the larger raw domain NDV: filters reduce rows, not
+		// the domain keys are drawn from, so clamping the divisor to the
+		// post-filter cardinality would inflate the output estimate.
+		sel /= max(max(rawP, rawB), 1)
 		// Fraction of probe key values present on the build side, under
 		// containment: the smaller key domain is a subset of the larger.
 		matchFrac *= min(np, nb) / max(np, 1)

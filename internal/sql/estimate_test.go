@@ -130,3 +130,29 @@ func TestZoneMapEstimates(t *testing.T) {
 	expectEst(t, Catalog(cat), `SELECT v FROM skewed WHERE f BETWEEN 0 AND 1000`, "est=900")
 	expectEst(t, Catalog(cat), `SELECT v FROM skewed WHERE v > 99999`, "est=100")
 }
+
+// TestFilteredJoinDomainNDV: the containment divisor uses the key's
+// *domain* NDV, not the NDV clamped to the post-filter cardinality.
+// Filters shrink the rows a side contributes, but the surviving rows
+// still draw their keys from the full domain — so two filtered sides
+// overlap on ~|P|·|B|/domain keys, far fewer than min-side-count.
+func TestFilteredJoinDomainNDV(t *testing.T) {
+	cat := tpchCatalog()
+	// Unfiltered fact ⨝ dimension is unaffected: every orders row finds
+	// its customer, est stays the probe cardinality.
+	expectEst(t, cat,
+		`SELECT o_orderkey FROM orders, customer WHERE o_custkey = c_custkey`,
+		"hashjoin semi on [o_custkey = c_custkey] est=30000")
+	// Both sides filtered well below the 3000-key customer domain:
+	// 1897 orders ⨝ 27 customers / 3000 keys ≈ 17. A divisor clamped to
+	// the 27-row build (the old model) would say every build row
+	// matches — est 27 — and compound up multi-join plans.
+	expectEst(t, cat,
+		`SELECT o_orderkey FROM orders, customer
+		 WHERE o_custkey = c_custkey AND o_orderdate < DATE '1992-06-01' AND c_acctbal < -900.0`,
+		"hashjoin semi on [o_custkey = c_custkey] est=17")
+	expectEst(t, cat,
+		`SELECT o_orderkey FROM orders, customer
+		 WHERE o_custkey = c_custkey AND o_orderdate < DATE '1992-06-01' AND c_mktsegment = 'BUILDING'`,
+		"hashjoin semi on [o_custkey = c_custkey] est=379")
+}

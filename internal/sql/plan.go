@@ -19,15 +19,30 @@ func Compile(query string, cat Catalog) (*engine.Plan, error) {
 // CompileNamed compiles with an explicit plan name (used by the server
 // for stats labeling).
 func CompileNamed(query, name string, cat Catalog) (*engine.Plan, error) {
+	return CompileOpts(query, name, cat, Physical{})
+}
+
+// CompileOpts compiles with explicit physical-operator options.
+func CompileOpts(query, name string, cat Catalog, ph Physical) (*engine.Plan, error) {
 	stmt, err := Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return PlanSelect(stmt, name, cat)
+	return PlanSelectOpts(stmt, name, cat, ph)
 }
 
-// PlanSelect binds, optimizes and lowers a parsed statement.
-func PlanSelect(stmt *Select, name string, cat Catalog) (p *engine.Plan, err error) {
+// PlanSelect binds, optimizes and lowers a parsed statement with
+// automatic physical-operator selection.
+func PlanSelect(stmt *Select, name string, cat Catalog) (*engine.Plan, error) {
+	return PlanSelectOpts(stmt, name, cat, Physical{})
+}
+
+// PlanSelectOpts binds, optimizes and lowers a parsed statement, then
+// runs the physical-operator selection phase under the given options.
+func PlanSelectOpts(stmt *Select, name string, cat Catalog, ph Physical) (p *engine.Plan, err error) {
+	if ph, err = ph.normalize(); err != nil {
+		return nil, err
+	}
 	// The engine's plan builders report type errors by panicking (plan
 	// literals are normally programmer-controlled); SQL comes from
 	// clients, so convert the remaining panics into errors.
@@ -37,7 +52,11 @@ func PlanSelect(stmt *Select, name string, cat Catalog) (p *engine.Plan, err err
 		}
 	}()
 	pl := &planner{cat: cat, name: name, ep: engine.NewPlan(name)}
-	return pl.plan(stmt)
+	if p, err = pl.plan(stmt); err != nil {
+		return nil, err
+	}
+	applyPhysical(p, ph)
+	return p, nil
 }
 
 // maxSubDepth bounds planner recursion through scalar subqueries and

@@ -459,6 +459,34 @@ func clusterSmoke(nodes []string, sf float64, timeoutMs int) error {
 			fmt.Printf("q%-2d coordinator %d: %d rows, parity ok\n", q, i, len(got.Rows))
 		}
 	}
+	// Parity alone would also pass on a barrier implementation; the
+	// frames_streamed counter only moves when exchange frames flowed
+	// through stream-fed inboxes, so require it to confirm the cluster
+	// really ran the streaming path.
+	for i, node := range nodes {
+		resp, err := client.Get(node + "/stats")
+		if err != nil {
+			return fmt.Errorf("stats from node %d: %v", i, err)
+		}
+		var st struct {
+			Cluster *struct {
+				FramesStreamed int64 `json:"frames_streamed"`
+				FragRetries    int64 `json:"frag_retries"`
+				StalledNs      int64 `json:"stalled_ns"`
+			} `json:"cluster"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("stats from node %d: %v", i, err)
+		}
+		if st.Cluster == nil || st.Cluster.FramesStreamed == 0 {
+			return fmt.Errorf("node %d streamed no exchange frames — distributed path ran in barrier mode", i)
+		}
+		fmt.Printf("node %d: %d frames streamed, %d fragment retries, %.1fms stalled on flow control\n",
+			i, st.Cluster.FramesStreamed, st.Cluster.FragRetries,
+			float64(st.Cluster.StalledNs)/1e6)
+	}
 	return nil
 }
 

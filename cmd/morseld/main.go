@@ -85,6 +85,8 @@ func main() {
 		maxQueue   = flag.Int("max-queue", 64, "waiting queries before 429 (negative = none)")
 		planCache  = flag.Int("plan-cache", 0, "server-side SQL plan cache entries (0 = default 256, negative disables)")
 		timeout    = flag.Duration("timeout", 30*time.Second, "default per-query timeout")
+		fragTO     = flag.Duration("frag-timeout", 30*time.Second, "distributed: per-fragment-RPC attempt timeout (bounds how long a dead peer can stall a query)")
+		fragRetry  = flag.Int("frag-retries", 2, "distributed: fragment-RPC retries with backoff (negative = none); retries are stream-safe, receivers dedupe or fail cleanly")
 	)
 	flag.Parse()
 
@@ -190,6 +192,8 @@ func main() {
 		DefaultTimeout: *timeout,
 		PlanCacheSize:  *planCache,
 		Physical:       ph,
+		FragTimeout:    *fragTO,
+		FragRetries:    *fragRetry,
 	})
 	defer srv.Close()
 	for _, t := range tables {

@@ -8,6 +8,9 @@ import (
 	"sort"
 
 	"repro/internal/numa"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/tpch"
 )
 
 // This file is the machine-readable side of the harness: experiments
@@ -110,5 +113,51 @@ func PaperMetrics(cfg Config) []Metric {
 	metrics = append(metrics, Metric{
 		Name: "tpch_geomean_sim_ns", Value: geoMean(times), Unit: "ns", Direction: "lower", Gate: true,
 	})
+	return append(metrics, distributedMetrics(cfg)...)
+}
+
+// distGatedQueries is the distributed trajectory set — the same four
+// queries the two-node cluster smoke gates on.
+var distGatedQueries = []int{1, 3, 6, 12}
+
+// distributedMetrics runs each gated query's two-node distributed split
+// — sql.Distribute's Combined plan, where the stage and main fragments
+// execute with the exchange edges as local pipeline breakers — on the
+// simulated Nehalem EX. The gated value tracks the simulated cost the
+// distributed split adds over the single-node plan (broadcast copies,
+// repartition passes, partial/finalize aggregation), so a planner
+// change that starts moving more rows regresses the trajectory even
+// though the real cluster's wall clock is never gated.
+func distributedMetrics(cfg Config) []Metric {
+	db := TPCHDB(cfg.TPCHSF).WithPlacement(storage.NUMAAware)
+	tables := map[string]*storage.Table{
+		"region": db.Region, "nation": db.Nation,
+		"supplier": db.Supplier, "customer": db.Customer,
+		"part": db.Part, "partsupp": db.PartSupp,
+		"orders": db.Orders, "lineitem": db.Lineitem,
+	}
+	cat := func(name string) (*storage.Table, bool) { t, ok := tables[name]; return t, ok }
+	topo := sql.ClusterTopo{Nodes: 2, Sharded: map[string]sql.ShardInfo{
+		"lineitem": {PartKey: "l_orderkey", Parts: len(db.Lineitem.Parts)},
+		"orders":   {PartKey: "o_orderkey", Parts: len(db.Orders.Parts)},
+		"customer": {PartKey: "c_custkey", Parts: len(db.Customer.Parts)},
+	}}
+	var metrics []Metric
+	for _, q := range distGatedQueries {
+		p, err := sql.Compile(tpch.MustSQLText(q, cfg.TPCHSF), cat)
+		if err != nil {
+			panic(fmt.Sprintf("bench: compile distributed q%d: %v", q, err))
+		}
+		dp, err := sql.Distribute(p, topo)
+		if err != nil {
+			panic(fmt.Sprintf("bench: distribute q%d: %v", q, err))
+		}
+		s := cfg.session(numa.NehalemEXMachine(), FullFledged, 64)
+		_, st := s.Run(dp.Combined)
+		metrics = append(metrics, Metric{
+			Name: fmt.Sprintf("tpch_q%d_dist2_sim_ns", q), Value: st.TimeNs,
+			Unit: "ns", Direction: "lower", Gate: true,
+		})
+	}
 	return metrics
 }

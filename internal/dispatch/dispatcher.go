@@ -123,12 +123,15 @@ func (d *Dispatcher) notifyLocked() {
 }
 
 // activateLocked runs the job's Setup, builds its cursors, and publishes
-// it to the active list. Empty jobs complete immediately.
+// it to the active list. Empty jobs complete immediately — unless their
+// stream is still open, in which case they stay active awaiting Feed.
 func (d *Dispatcher) activateLocked(j *PipelineJob, w *Worker) {
 	morsel := int64(d.Cfg.MorselRows)
 	j.activate(d.Machine.Topo.Sockets, morsel)
-	if d.Cfg.NonAdaptive {
-		// Plan-driven emulation: one static chunk per worker.
+	if d.Cfg.NonAdaptive && !j.streaming {
+		// Plan-driven emulation: one static chunk per worker. Streaming
+		// jobs keep the configured morsel size — their total is unknown
+		// at activation.
 		total := j.remainingRows.Load()
 		chunk := (total + int64(d.Cfg.Workers) - 1) / int64(d.Cfg.Workers)
 		if chunk < 1 {
@@ -136,8 +139,8 @@ func (d *Dispatcher) activateLocked(j *PipelineJob, w *Worker) {
 		}
 		j.morselRows = chunk
 	}
-	if j.remainingRows.Load() == 0 {
-		// Nothing to scan: the pipeline completes immediately.
+	if !j.hasMorsels() {
+		// Nothing to scan and nothing can arrive: complete immediately.
 		d.completeJobLocked(j, w)
 		return
 	}
@@ -189,6 +192,51 @@ func (d *Dispatcher) completeJobLocked(j *PipelineJob, w *Worker) {
 	}
 	if q.remainingJobs.Add(-1) == 0 {
 		d.finishQueryLocked(q)
+	}
+	d.notifyLocked()
+}
+
+// Feed hands stream partitions to a streaming job (see
+// PipelineJob.Streaming). Safe to call from any goroutine, before or
+// after Submit; partitions fed before activation are buffered and picked
+// up by Setup time. Feeding a canceled or finished query is a no-op.
+func (d *Dispatcher) Feed(j *PipelineJob, parts ...*storage.Partition) {
+	if !j.streaming {
+		panic(fmt.Sprintf("dispatch: Feed on non-streaming job %q", j.Name))
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	q := j.Query
+	if q.canceled.Load() || q.finished.Load() || j.completedOnce.Load() || !j.streamOpen.Load() {
+		return
+	}
+	if !j.activated.Load() {
+		j.pending = append(j.pending, parts...)
+		return
+	}
+	if j.feed(parts, d.Machine.Topo.Sockets) > 0 {
+		d.notifyLocked()
+	}
+}
+
+// FinishStream closes a streaming job's stream: no further Feed calls
+// are accepted, and once every fed morsel completed the job finalizes
+// and its successors activate. Idempotent.
+func (d *Dispatcher) FinishStream(j *PipelineJob) {
+	if !j.streaming {
+		panic(fmt.Sprintf("dispatch: FinishStream on non-streaming job %q", j.Name))
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !j.streamOpen.Swap(false) {
+		return
+	}
+	q := j.Query
+	if q.canceled.Load() || q.finished.Load() {
+		return
+	}
+	if j.activated.Load() && j.outstanding.Load() == 0 && j.remainingRows.Load() == 0 {
+		d.completeJobLocked(j, nil)
 	}
 	d.notifyLocked()
 }

@@ -87,8 +87,18 @@ type PipelineJob struct {
 	deps  atomic.Int32
 	succs []*PipelineJob
 
-	// Scheduling state, valid after activation.
-	cursors       [][]*partCursor // [socket] -> cursors; index Sockets = interleaved
+	// Streaming state: a stream-fed job (see Streaming) receives its
+	// partitions incrementally via Dispatcher.Feed instead of all at
+	// once from Setup, and completes only after Dispatcher.FinishStream
+	// closed the stream and every fed morsel ran.
+	streaming  bool
+	streamOpen atomic.Bool
+	pending    []*storage.Partition // fed before activation; guarded by the dispatcher lock
+
+	// Scheduling state, valid after activation. The cursor buckets live
+	// behind an atomic pointer so Feed can append partitions
+	// copy-on-write while workers cut morsels lock-free.
+	cursors       atomic.Pointer[[][]*partCursor] // [socket] -> cursors; index Sockets = interleaved
 	remainingRows atomic.Int64
 	outstanding   atomic.Int64
 	morselRows    int64
@@ -137,14 +147,22 @@ func (j *PipelineJob) WithMorselRows(n int) *PipelineJob {
 	return j
 }
 
-// activate builds the job's cursors. Called with the dispatcher lock held.
-func (j *PipelineJob) activate(sockets int, morselRows int64) {
-	j.activated.Store(true)
-	var parts []*storage.Partition
-	if j.Setup != nil {
-		parts = j.Setup()
-	}
-	j.cursors = make([][]*partCursor, sockets+1)
+// Streaming marks the job as stream-fed: its input partitions arrive
+// incrementally via Dispatcher.Feed (Setup, if any, provides the initial
+// batch) and the job stays runnable — morsels are cut and executed as
+// they arrive — until Dispatcher.FinishStream closes the stream and all
+// fed morsels completed. This is how exchange inboxes hand decoded
+// frames straight to the dispatcher without a stage barrier.
+func (j *PipelineJob) Streaming() *PipelineJob {
+	j.streaming = true
+	j.streamOpen.Store(true)
+	return j
+}
+
+// appendCursors buckets parts by NUMA home into dst (index `sockets` is
+// the interleaved bucket), skipping empty partitions, and returns the
+// total row count added.
+func appendCursors(dst [][]*partCursor, parts []*storage.Partition, sockets int) int64 {
 	var total int64
 	for _, p := range parts {
 		rows := int64(p.Rows())
@@ -157,9 +175,24 @@ func (j *PipelineJob) activate(sockets int, morselRows int64) {
 		if p.Home != numa.NoSocket {
 			idx = int(p.Home)
 		}
-		j.cursors[idx] = append(j.cursors[idx], c)
+		dst[idx] = append(dst[idx], c)
 	}
+	return total
+}
+
+// activate builds the job's cursors. Called with the dispatcher lock held.
+func (j *PipelineJob) activate(sockets int, morselRows int64) {
+	j.activated.Store(true)
+	var parts []*storage.Partition
+	if j.Setup != nil {
+		parts = j.Setup()
+	}
+	cur := make([][]*partCursor, sockets+1)
+	total := appendCursors(cur, parts, sockets)
+	total += appendCursors(cur, j.pending, sockets) // stream partitions fed before activation
+	j.pending = nil
 	j.remainingRows.Store(total)
+	j.cursors.Store(&cur)
 	j.morselRows = morselRows
 	if j.MorselRows > 0 {
 		j.morselRows = int64(j.MorselRows)
@@ -169,13 +202,33 @@ func (j *PipelineJob) activate(sockets int, morselRows int64) {
 	}
 }
 
+// feed appends stream partitions copy-on-write after activation. Called
+// with the dispatcher lock held; concurrent lock-free readers see either
+// the old or the new snapshot (cursor objects are shared, so a morsel is
+// never cut twice).
+func (j *PipelineJob) feed(parts []*storage.Partition, sockets int) int64 {
+	cur := *j.cursors.Load()
+	next := make([][]*partCursor, len(cur))
+	for i := range cur {
+		next[i] = append([]*partCursor(nil), cur[i]...)
+	}
+	total := appendCursors(next, parts, sockets)
+	if total == 0 {
+		return 0
+	}
+	j.remainingRows.Add(total)
+	j.cursors.Store(&next)
+	return total
+}
+
 // tryCut attempts to cut one morsel from the given socket's cursor list
 // (or the interleaved list when socket == len(cursors)-1). Lock-free.
 func (j *PipelineJob) tryCut(bucket int) (storage.Morsel, bool) {
-	if bucket < 0 || bucket >= len(j.cursors) {
+	cs := j.cursors.Load()
+	if cs == nil || bucket < 0 || bucket >= len(*cs) {
 		return storage.Morsel{}, false
 	}
-	for _, c := range j.cursors[bucket] {
+	for _, c := range (*cs)[bucket] {
 		for {
 			cur := c.next.Load()
 			if cur >= c.rows {
@@ -196,15 +249,19 @@ func (j *PipelineJob) tryCut(bucket int) (storage.Morsel, bool) {
 	return storage.Morsel{}, false
 }
 
-// hasMorsels reports whether any cursor still has uncut rows.
-func (j *PipelineJob) hasMorsels() bool { return j.remainingRows.Load() > 0 }
+// hasMorsels reports whether the job may still produce morsels: uncut
+// rows exist, or its stream is still open (more may arrive).
+func (j *PipelineJob) hasMorsels() bool {
+	return j.remainingRows.Load() > 0 || (j.streaming && j.streamOpen.Load())
+}
 
 // hasLocalMorsels reports whether the bucket has uncut rows.
 func (j *PipelineJob) hasLocalMorsels(bucket int) bool {
-	if bucket < 0 || bucket >= len(j.cursors) {
+	cs := j.cursors.Load()
+	if cs == nil || bucket < 0 || bucket >= len(*cs) {
 		return false
 	}
-	for _, c := range j.cursors[bucket] {
+	for _, c := range (*cs)[bucket] {
 		if c.next.Load() < c.rows {
 			return true
 		}

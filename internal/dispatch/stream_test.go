@@ -1,0 +1,210 @@
+package dispatch
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/numa"
+	"repro/internal/storage"
+)
+
+// streamSumQuery builds a one-job streaming query summing every fed row.
+func streamSumQuery(name string, total *atomic.Int64) (*Query, *PipelineJob) {
+	q := NewQuery(name)
+	j := q.AddJob("stream", nil, func(w *Worker, m storage.Morsel) {
+		var s int64
+		for i := m.Begin; i < m.End; i++ {
+			s += m.Part.Cols[0].Ints[i]
+		}
+		total.Add(s)
+		w.Tracker.ReadSeq(m.Home(), int64(m.Rows())*8)
+		w.Tracker.CPU(int64(m.Rows()), 1)
+	}).Streaming()
+	return q, j
+}
+
+// TestStreamingFeedBeforeSubmit feeds every partition before Submit:
+// the pending buffer must be picked up at activation.
+func TestStreamingFeedBeforeSubmit(t *testing.T) {
+	d := NewDispatcher(numa.NehalemEXMachine(), Config{Workers: 8})
+	var total atomic.Int64
+	q, j := streamSumQuery("q", &total)
+	d.Feed(j, makeParts(4, 2000, 4)...)
+	d.FinishStream(j)
+
+	r := NewRealRunner(d)
+	r.Start()
+	defer r.Stop()
+	d.Submit(q)
+	<-q.Done()
+	if total.Load() != expectedSum(4, 2000) {
+		t.Fatalf("sum = %d, want %d", total.Load(), expectedSum(4, 2000))
+	}
+}
+
+// TestStreamingOverlap is the pinned overlap guarantee: a streaming job
+// must execute its first fed morsel while the stream is still open —
+// i.e. downstream consumption starts before the upstream sender
+// finished. Only then is the stream closed and the query completes.
+func TestStreamingOverlap(t *testing.T) {
+	d := NewDispatcher(numa.NehalemEXMachine(), Config{Workers: 4})
+	var total atomic.Int64
+	firstRun := make(chan struct{})
+	var once atomic.Bool
+
+	q := NewQuery("overlap")
+	j := q.AddJob("stream", nil, func(w *Worker, m storage.Morsel) {
+		var s int64
+		for i := m.Begin; i < m.End; i++ {
+			s += m.Part.Cols[0].Ints[i]
+		}
+		total.Add(s)
+		if !once.Swap(true) {
+			close(firstRun)
+		}
+	}).Streaming()
+
+	r := NewRealRunner(d)
+	r.Start()
+	defer r.Stop()
+	d.Submit(q)
+
+	// Feed the first batch while the stream stays open; the job must
+	// consume it without waiting for FinishStream.
+	d.Feed(j, makeParts(2, 1000, 4)...)
+	select {
+	case <-firstRun:
+		// consumed before the stream closed: overlap is real.
+	case <-time.After(10 * time.Second):
+		t.Fatal("streaming job did not consume its first morsel while the stream was open")
+	}
+	select {
+	case <-q.Done():
+		t.Fatal("query finished while its stream was still open")
+	default:
+	}
+
+	d.Feed(j, makeParts(2, 1000, 4)...)
+	d.FinishStream(j)
+	<-q.Done()
+	if total.Load() != 2*expectedSum(2, 1000) {
+		t.Fatalf("sum = %d, want %d", total.Load(), 2*expectedSum(2, 1000))
+	}
+}
+
+// TestStreamingEmptyStream closes a never-fed stream: the job must
+// complete (and the query finish) without any morsels.
+func TestStreamingEmptyStream(t *testing.T) {
+	d := NewDispatcher(numa.NehalemEXMachine(), Config{Workers: 2})
+	var total atomic.Int64
+	q, j := streamSumQuery("empty", &total)
+	r := NewRealRunner(d)
+	r.Start()
+	defer r.Stop()
+	d.Submit(q)
+	d.FinishStream(j)
+	select {
+	case <-q.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("empty stream did not complete the query")
+	}
+	if total.Load() != 0 {
+		t.Fatalf("sum = %d, want 0", total.Load())
+	}
+}
+
+// TestStreamingSuccessorsBarrier checks the QEP state machine over a
+// stream: a successor job must not activate until the streaming
+// predecessor's stream closed and drained.
+func TestStreamingSuccessorsBarrier(t *testing.T) {
+	d := NewDispatcher(numa.NehalemEXMachine(), Config{Workers: 4})
+	var total atomic.Int64
+	var successorRan atomic.Bool
+	var streamDone atomic.Bool
+
+	q, j := streamSumQuery("succ", &total)
+	q.AddJob("after", func() []*storage.Partition {
+		if !streamDone.Load() {
+			t.Error("successor Setup ran before the stream closed")
+		}
+		return makeParts(1, 10, 4)
+	}, func(w *Worker, m storage.Morsel) {
+		successorRan.Store(true)
+	}).After(j)
+
+	r := NewRealRunner(d)
+	r.Start()
+	defer r.Stop()
+	d.Submit(q)
+	d.Feed(j, makeParts(2, 500, 4)...)
+	streamDone.Store(true)
+	d.FinishStream(j)
+	<-q.Done()
+	if !successorRan.Load() {
+		t.Fatal("successor never ran")
+	}
+	if total.Load() != expectedSum(2, 500) {
+		t.Fatalf("sum = %d, want %d", total.Load(), expectedSum(2, 500))
+	}
+}
+
+// TestStreamingCancelMidStream cancels a query between feeds: the query
+// must finish (done channel closed), later feeds must be ignored, and
+// FinishStream must not panic.
+func TestStreamingCancelMidStream(t *testing.T) {
+	d := NewDispatcher(numa.NehalemEXMachine(), Config{Workers: 4})
+	var total atomic.Int64
+	q, j := streamSumQuery("cancel", &total)
+	r := NewRealRunner(d)
+	r.Start()
+	defer r.Stop()
+	d.Submit(q)
+	d.Feed(j, makeParts(1, 100, 4)...)
+	d.Cancel(q)
+	select {
+	case <-q.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled streaming query did not finish")
+	}
+	d.Feed(j, makeParts(1, 100, 4)...) // ignored
+	d.FinishStream(j)
+	if !q.Canceled() {
+		t.Fatal("query not marked canceled")
+	}
+	if d.PendingQueries() != 0 {
+		t.Fatalf("pending queries = %d, want 0", d.PendingQueries())
+	}
+}
+
+// TestStreamingConcurrentFeeders hammers Feed from several goroutines
+// while workers drain, for the race detector.
+func TestStreamingConcurrentFeeders(t *testing.T) {
+	d := NewDispatcher(numa.NehalemEXMachine(), Config{Workers: 8})
+	var total atomic.Int64
+	q, j := streamSumQuery("hammer", &total)
+	r := NewRealRunner(d)
+	r.Start()
+	defer r.Stop()
+	d.Submit(q)
+
+	const feeders, batches = 4, 8
+	done := make(chan struct{})
+	for f := 0; f < feeders; f++ {
+		go func() {
+			for b := 0; b < batches; b++ {
+				d.Feed(j, makeParts(1, 300, 4)...)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for f := 0; f < feeders; f++ {
+		<-done
+	}
+	d.FinishStream(j)
+	<-q.Done()
+	want := int64(feeders*batches) * expectedSum(1, 300)
+	if total.Load() != want {
+		t.Fatalf("sum = %d, want %d", total.Load(), want)
+	}
+}

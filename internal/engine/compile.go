@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/dispatch"
 	"repro/internal/numa"
@@ -39,6 +40,10 @@ type compiler struct {
 	// mats holds the per-compile state of each Materialize node, so a
 	// node consumed by several parents buffers its child exactly once.
 	mats map[*Node]*matCompiled
+
+	// streams collects every stream-fed job compiled from a stream scan
+	// or a streamable exchange, awaiting its source binding after Submit.
+	streams []compiledStream
 }
 
 // matCompiled is the shared compile state of one Materialize node: the
@@ -238,6 +243,20 @@ func (c *compiler) produceScan(n *Node, f consumerFactory) []tailJob {
 	}
 	consume := f(pc)
 	table := n.table
+	if n.stream != nil {
+		// Stream scan: morsels arrive through the source while the
+		// producer is still running; the stub table only types the
+		// stream. Virtual time has no arrival order for external feeds,
+		// so this is Real-mode only.
+		if c.sess.Mode != Real {
+			panic("engine: stream scans require Real mode")
+		}
+		job := c.q.AddJob("streamscan("+table.Name+")", nil,
+			scanMorselBody(pc, n.scanSrc, filterFn, rowW, consume)).Streaming()
+		job.After(pc.deps...)
+		c.streams = append(c.streams, compiledStream{src: n.stream, job: job})
+		return []tailJob{job}
+	}
 	parts := func() []*storage.Partition { return table.Parts }
 	if pred := compileZonePrune(n.filter, n.out, n.scanSrc); pred != nil && table.HasZoneMaps() {
 		// Zone-map skipping: resolve at activation time, exposing only
@@ -332,10 +351,45 @@ type Compiled struct {
 	Query   *dispatch.Query
 	Plan    *Plan
 	collect func() *Result
+
+	streams []compiledStream
+
+	errMu     sync.Mutex
+	streamErr error
 }
 
 // Collect gathers the query result.
 func (cp *Compiled) Collect() *Result { return cp.collect() }
+
+// HasStreams reports whether the plan compiled any stream-fed jobs.
+func (cp *Compiled) HasStreams() bool { return len(cp.streams) > 0 }
+
+// BindStreams connects every compiled stream scan to its source,
+// replaying anything the producers fed so far. It MUST be called after
+// the query was submitted to d: a stream failure cancels the query
+// through the dispatcher, which corrupts admission bookkeeping for a
+// query the dispatcher has never seen.
+func (cp *Compiled) BindStreams(d *dispatch.Dispatcher) {
+	for _, cs := range cp.streams {
+		cs.src.bind(&jobSink{cp: cp, d: d, job: cs.job})
+	}
+}
+
+func (cp *Compiled) setStreamErr(err error) {
+	cp.errMu.Lock()
+	if cp.streamErr == nil {
+		cp.streamErr = err
+	}
+	cp.errMu.Unlock()
+}
+
+// StreamErr returns the first stream failure, if any — the reason a
+// stream-fed query was canceled.
+func (cp *Compiled) StreamErr() error {
+	cp.errMu.Lock()
+	defer cp.errMu.Unlock()
+	return cp.streamErr
+}
 
 // Compile lowers the plan to pipelines for this session's machine and
 // dispatcher configuration.
@@ -377,7 +431,38 @@ func (s *Session) Compile(p *Plan) *Compiled {
 			return r
 		}
 	}
+	cp.streams = c.streams
 	return cp
+}
+
+// compileToStream lowers an unsorted plan with the root rows flowing
+// into out as chunked partitions instead of a buffered Result, so a
+// fragment's output ships while its pipelines are still running. The
+// returned flush emits each worker's partial chunk; call it once the
+// query finished cleanly (out itself is closed by the caller).
+func (s *Session) compileToStream(p *Plan, out PartSink) (*Compiled, func()) {
+	if p.root == nil {
+		panic(fmt.Sprintf("engine: plan %q has no result node", p.Name))
+	}
+	if len(p.sortKeys) > 0 {
+		panic("engine: compileToStream requires an unsorted plan")
+	}
+	workers := s.Dispatch.Workers
+	if workers <= 0 {
+		workers = s.Machine.Topo.HardwareThreads()
+	}
+	c := &compiler{
+		sess: s, q: dispatch.NewQuery(p.Name),
+		workers: workers, sockets: s.Machine.Topo.Sockets,
+		joins: make(map[*Node]*joinCompiled),
+		mats:  make(map[*Node]*matCompiled),
+	}
+	cp := &Compiled{Query: c.q, Plan: p}
+	chunker := newStreamChunker(p.root.out, workers, streamChunkRows, out)
+	p.root.produce(c, chunker.factory)
+	cp.collect = func() *Result { return &Result{Schema: p.root.out} }
+	cp.streams = c.streams
+	return cp, chunker.flushAll
 }
 
 // orderUnionInputs reorders a union's inputs for compilation so that any

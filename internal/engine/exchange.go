@@ -66,17 +66,55 @@ func (n *Node) Exchange(kind ExchangeKind, keys []string, nodes int) *Node {
 	return &Node{plan: n.plan, kind: nExchange, child: n, exKind: kind, exKeys: keys, exNodes: nodes, out: n.out}
 }
 
+// Streamable-vs-barrier marking of an exchange edge. Hand-built plans
+// stay unmarked and keep the barrier semantics; the distributed planner
+// marks every edge and Explain prints the choice.
+const (
+	exUnmarked uint8 = iota
+	exStreamed
+	exBarrier
+)
+
+// MarkStreamed records the planner's streamable-vs-barrier decision for
+// this exchange edge. Streamed edges hand rows to the consumer as they
+// arrive (no stage barrier); barrier edges buffer until the producing
+// side finished — required when the consumer's semantics need all input
+// up front (sort, MPSM runs, Materialize).
+func (n *Node) MarkStreamed(streamed bool) *Node {
+	if n.kind != nExchange {
+		panic("engine: MarkStreamed on a non-exchange node")
+	}
+	if streamed {
+		n.exStream = exStreamed
+	} else {
+		n.exStream = exBarrier
+	}
+	return n
+}
+
+// Streamed reports whether the planner marked this exchange edge
+// streamable.
+func (n *Node) Streamed() bool { return n.exStream == exStreamed }
+
 // describeExchange renders the Explain marker, e.g.
-// "exchange hash(o_custkey) → 2 nodes" (docs/explain.md).
+// "exchange hash(o_custkey) → 2 nodes [streamed]" (docs/explain.md).
 func describeExchange(n *Node) string {
+	var s string
 	switch n.exKind {
 	case ExchangePartition:
-		return fmt.Sprintf("exchange hash(%s) → %d nodes", strings.Join(n.exKeys, ", "), n.exNodes)
+		s = fmt.Sprintf("exchange hash(%s) → %d nodes", strings.Join(n.exKeys, ", "), n.exNodes)
 	case ExchangeBroadcast:
-		return fmt.Sprintf("exchange broadcast → %d nodes", n.exNodes)
+		s = fmt.Sprintf("exchange broadcast → %d nodes", n.exNodes)
 	default:
-		return fmt.Sprintf("exchange gather ← %d nodes", n.exNodes)
+		s = fmt.Sprintf("exchange gather ← %d nodes", n.exNodes)
 	}
+	switch n.exStream {
+	case exStreamed:
+		s += " [streamed]"
+	case exBarrier:
+		s += " [barrier]"
+	}
+	return s
 }
 
 // produceExchange compiles an Exchange for single-node execution: a
@@ -86,6 +124,9 @@ func describeExchange(n *Node) string {
 // distributed from the peer inboxes — so consumers cannot tell the two
 // apart.
 func (c *compiler) produceExchange(n *Node, f consumerFactory) []tailJob {
+	if n.exStream == exStreamed && c.sess.Mode == Real {
+		return c.produceStreamExchange(n, f)
+	}
 	sink := newResultSink(n.out, c.workers)
 	tails := n.child.produce(c, sink.factory)
 	var tab *storage.Table
@@ -116,5 +157,47 @@ func (c *compiler) produceExchange(n *Node, f consumerFactory) []tailJob {
 		func() []*storage.Partition { return tab.Parts },
 		scanMorselBody(pc, srcIdx, nil, 1, consume))
 	job.After(append(pc.deps, barrier)...)
+	return []tailJob{job}
+}
+
+// produceStreamExchange compiles an Exchange the planner marked
+// streamable, for Real-mode execution: the child's rows are chunked into
+// partitions and fed to a StreamSource as they are produced, while a
+// stream-fed scan job consumes them concurrently — no stage barrier.
+// This is the same StreamSource hand-off the distributed runtime uses
+// for peer inboxes, so a single node overlaps independent pipeline
+// stages through the identical code path. A closer job gated on the
+// child's tails flushes partial chunks and ends the stream; Sim mode
+// keeps the barrier implementation for deterministic virtual time.
+func (c *compiler) produceStreamExchange(n *Node, f consumerFactory) []tailJob {
+	label := "exchange(" + n.exKind.String() + ")"
+	src := NewStreamSource(label)
+	chunker := newStreamChunker(n.out, c.workers, streamChunkRows, src)
+	tails := n.child.produce(c, chunker.factory)
+	var drv *driver
+	closer := c.q.AddJob(label+" close",
+		func() []*storage.Partition {
+			drv = newDriver(1, func(int) numa.SocketID { return 0 })
+			return drv.parts
+		},
+		func(w *dispatch.Worker, m storage.Morsel) {
+			chunker.flushAll()
+			src.Close(nil)
+		})
+	closer.After(tails...).WithMorselRows(1)
+
+	pc := c.newPipe()
+	for _, r := range n.out {
+		pc.addReg(r.Name, r.Type)
+	}
+	consume := f(pc)
+	srcIdx := make([]int, len(n.out))
+	for i := range srcIdx {
+		srcIdx[i] = i
+	}
+	job := c.q.AddJob(label+" recv", nil,
+		scanMorselBody(pc, srcIdx, nil, 1, consume)).Streaming()
+	job.After(pc.deps...)
+	c.streams = append(c.streams, compiledStream{src: src, job: job})
 	return []tailJob{job}
 }

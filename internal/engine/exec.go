@@ -77,6 +77,7 @@ func (x *Exec) Run(ctx context.Context, p *Plan, priority int) (*Result, QuerySt
 	}
 	start := time.Now()
 	x.d.Submit(cp.Query)
+	cp.BindStreams(x.d) // after Submit: a stream failure cancels via the dispatcher
 	select {
 	case <-cp.Query.Done():
 	case <-ctx.Done():
@@ -85,6 +86,9 @@ func (x *Exec) Run(ctx context.Context, p *Plan, priority int) (*Result, QuerySt
 		return nil, QueryStats{}, ctx.Err()
 	}
 	if cp.Query.Canceled() {
+		if serr := cp.StreamErr(); serr != nil {
+			return nil, QueryStats{}, serr
+		}
 		return nil, QueryStats{}, ErrCanceled
 	}
 	stats := QueryStats{
@@ -92,4 +96,52 @@ func (x *Exec) Run(ctx context.Context, p *Plan, priority int) (*Result, QuerySt
 		LinkGBs: x.sess.Machine.Cost.LinkGBs,
 	}
 	return cp.Collect(), stats, nil
+}
+
+// RunToStream compiles and executes a plan, feeding its result to out in
+// chunked partitions as the root pipelines produce them — the sending
+// half of a streamable exchange edge. out is closed exactly once: with
+// nil on success, the failure otherwise. Plans with a terminal sort
+// buffer at the sort barrier and ship afterwards (the barrier the
+// planner retained on purpose: per-node top-k fragments still send at
+// most LIMIT rows).
+func (x *Exec) RunToStream(ctx context.Context, p *Plan, priority int, out PartSink) error {
+	if len(p.sortKeys) > 0 || p.limit != 0 {
+		res, _, err := x.Run(ctx, p, priority)
+		if err != nil {
+			out.Close(err)
+			return err
+		}
+		if res.NumRows() > 0 {
+			tab := res.ToTable("$stream", x.Workers(), x.sess.Machine.Topo.Sockets)
+			out.Feed(tab.Parts...)
+		}
+		out.Close(nil)
+		return nil
+	}
+	cp, flush := x.sess.compileToStream(p, out)
+	if priority >= 1 {
+		cp.Query.Priority = priority
+	}
+	x.d.Submit(cp.Query)
+	cp.BindStreams(x.d)
+	select {
+	case <-cp.Query.Done():
+	case <-ctx.Done():
+		x.d.Cancel(cp.Query)
+		<-cp.Query.Done()
+		out.Close(ctx.Err())
+		return ctx.Err()
+	}
+	if cp.Query.Canceled() {
+		err := cp.StreamErr()
+		if err == nil {
+			err = ErrCanceled
+		}
+		out.Close(err)
+		return err
+	}
+	flush()
+	out.Close(nil)
+	return nil
 }

@@ -202,6 +202,10 @@ type Node struct {
 	table   *storage.Table
 	scanSrc []int // table column indexes, parallel to out
 	filter  *Expr // pushed-down predicate (may be nil)
+	// stream, when set, turns the scan into a stream scan: the table is
+	// a schema-only stub and morsels arrive through the source while the
+	// producing side (a peer node, a sibling pipeline) is still running.
+	stream *StreamSource
 
 	// filter / map
 	child *Node
@@ -241,6 +245,10 @@ type Node struct {
 	exKind  ExchangeKind
 	exKeys  []string
 	exNodes int
+	// exStream is the planner's streamable-vs-barrier marking for this
+	// exchange edge (exUnmarked for hand-built plans, which keep the
+	// barrier semantics).
+	exStream uint8
 
 	// estRows is the optimizer's estimated output cardinality (0 = not
 	// annotated). Explain renders it so plan choices are testable.
@@ -305,6 +313,16 @@ func (p *Plan) Scan(t *storage.Table, cols ...string) *Node {
 		n.scanSrc = append(n.scanSrc, ci)
 		n.out = append(n.out, Reg{Name: alias, Type: typeOfCol(t.Schema[ci].Type)})
 	}
+	return n
+}
+
+// ScanStream reads the listed columns from a stream source instead of a
+// static table: t is a schema-only stub that types the stream, and the
+// rows arrive through src while the producer is still running — the
+// receiving end of a streamable exchange edge. Real mode only.
+func (p *Plan) ScanStream(src *StreamSource, t *storage.Table, cols ...string) *Node {
+	n := p.Scan(t, cols...)
+	n.stream = src
 	return n
 }
 

@@ -172,6 +172,7 @@ type wireNode struct {
 	Exchange string   `json:"exchange,omitempty"`
 	ExKeys   []string `json:"exKeys,omitempty"`
 	ExNodes  int      `json:"exNodes,omitempty"`
+	ExStream string   `json:"exStream,omitempty"` // "streamed" | "barrier" | "" (unmarked)
 }
 
 type wireSort struct {
@@ -286,6 +287,12 @@ func EncodePlan(p *Plan) ([]byte, error) {
 			wn.Exchange = exchangeWireNames[n.exKind]
 			wn.ExKeys = n.exKeys
 			wn.ExNodes = n.exNodes
+			switch n.exStream {
+			case exStreamed:
+				wn.ExStream = "streamed"
+			case exBarrier:
+				wn.ExStream = "barrier"
+			}
 		default:
 			return 0, fmt.Errorf("engine: cannot encode node kind %v", n.Kind())
 		}
@@ -303,7 +310,16 @@ func EncodePlan(p *Plan) ([]byte, error) {
 // the receiving node's catalog of shard views, replicated tables and
 // exchange inboxes. Schema mismatches (a plan built against a different
 // catalog) return an error.
-func DecodePlan(data []byte, lookup func(name string) (*storage.Table, bool)) (p *Plan, err error) {
+func DecodePlan(data []byte, lookup func(name string) (*storage.Table, bool)) (*Plan, error) {
+	return DecodePlanStreams(data, lookup, nil)
+}
+
+// DecodePlanStreams is DecodePlan with streaming inputs: a scan whose
+// table name appears in streams becomes a stream scan bound to that
+// source at execution time (the stub table from lookup only types it),
+// so the fragment consumes a peer's stage output as it arrives instead
+// of waiting for the stage to finish.
+func DecodePlanStreams(data []byte, lookup func(name string) (*storage.Table, bool), streams map[string]*StreamSource) (p *Plan, err error) {
 	var wp wirePlan
 	if err := json.Unmarshal(data, &wp); err != nil {
 		return nil, fmt.Errorf("engine: bad wire plan: %w", err)
@@ -353,6 +369,9 @@ func DecodePlan(data []byte, lookup func(name string) (*storage.Table, bool)) (p
 				return nil, fmt.Errorf("engine: wire plan %q references unknown table %q", wp.Name, wn.Table)
 			}
 			n = np.Scan(tab, wn.Cols...)
+			if src, ok := streams[wn.Table]; ok {
+				n.stream = src
+			}
 			if wn.Filter != nil {
 				pred, err := decodeExpr(wn.Filter)
 				if err != nil {
@@ -493,6 +512,15 @@ func DecodePlan(data []byte, lookup func(name string) (*storage.Table, bool)) (p
 				return nil, fmt.Errorf("engine: exchange without child")
 			}
 			n = child.Exchange(ek, wn.ExKeys, wn.ExNodes)
+			switch wn.ExStream {
+			case "":
+			case "streamed":
+				n = n.MarkStreamed(true)
+			case "barrier":
+				n = n.MarkStreamed(false)
+			default:
+				return nil, fmt.Errorf("engine: unknown exchange stream marking %q", wn.ExStream)
+			}
 		default:
 			return nil, fmt.Errorf("engine: unknown wire node kind %q", wn.Kind)
 		}

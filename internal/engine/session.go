@@ -129,7 +129,17 @@ func (s *Session) Run(p *Plan) (*Result, QueryStats) {
 		r := dispatch.NewRealRunner(d)
 		workers = r.Workers()
 		start := time.Now()
-		r.RunToCompletion(cp.Query)
+		if cp.HasStreams() {
+			// Stream-fed jobs (streamable exchanges) bind their sources
+			// after Submit, then the in-process producers drive them.
+			r.Start()
+			d.Submit(cp.Query)
+			cp.BindStreams(d)
+			<-cp.Query.Done()
+			r.Stop()
+		} else {
+			r.RunToCompletion(cp.Query)
+		}
 		stats.TimeNs = float64(time.Since(start).Nanoseconds())
 	}
 

@@ -1,0 +1,230 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// streamStub builds a schema-only stub table typing a stream.
+func streamStub(name string) *storage.Table {
+	return &storage.Table{Name: name, Schema: storage.Schema{
+		{Name: "k", Type: storage.I64},
+		{Name: "v", Type: storage.F64},
+	}}
+}
+
+// streamFeedTable builds real partitions matching streamStub's schema.
+func streamFeedTable(rows int, base int64) *storage.Table {
+	b := storage.NewBuilder("feed", storage.Schema{
+		{Name: "k", Type: storage.I64},
+		{Name: "v", Type: storage.F64},
+	}, 4, "k")
+	for i := 0; i < rows; i++ {
+		b.Append(storage.Row{base + int64(i%7), float64(i)})
+	}
+	return b.Build(storage.NUMAAware, 4)
+}
+
+// TestStreamScanExec runs a plan whose source is a stream: rows fed
+// through a StreamSource (partly before the query starts, partly while
+// it runs) must aggregate exactly like a table scan of the same rows.
+func TestStreamScanExec(t *testing.T) {
+	sess := newTestSession(Real)
+	x := NewExec(sess)
+	defer x.Close()
+
+	src := NewStreamSource("test")
+	p := NewPlan("streamscan")
+	p.ReturnSorted(
+		p.ScanStream(src, streamStub("$in"), "k", "v").
+			GroupBy([]NamedExpr{N("k", Col("k"))},
+				[]AggDef{Count("n"), Sum("s", Col("v"))}),
+		0, Asc("k"))
+
+	early := streamFeedTable(3000, 0)
+	late := streamFeedTable(2000, 2)
+	src.Feed(early.Parts...) // buffered: the query has not started
+	resCh := make(chan *Result, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		res, _, err := x.Run(context.Background(), p, 0)
+		resCh <- res
+		errCh <- err
+	}()
+	src.Feed(late.Parts...)
+	src.Close(nil)
+	res, err := <-resCh, <-errCh
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the same rows as a plain table union scan.
+	ref := NewPlan("ref")
+	ref.ReturnSorted(
+		ref.Union(ref.Scan(early, "k", "v"), ref.Scan(late, "k", "v")).
+			GroupBy([]NamedExpr{N("k", Col("k"))},
+				[]AggDef{Count("n"), Sum("s", Col("v"))}),
+		0, Asc("k"))
+	want, _, err := x.Run(context.Background(), ref, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, res, rowsToStrings(want), "stream scan")
+}
+
+// TestStreamScanError: a stream closed with an error must cancel the
+// query and surface that error (not a bare ErrCanceled) from Run.
+func TestStreamScanError(t *testing.T) {
+	sess := newTestSession(Real)
+	x := NewExec(sess)
+	defer x.Close()
+
+	src := NewStreamSource("boom")
+	p := NewPlan("streamerr")
+	p.Return(p.ScanStream(src, streamStub("$in"), "k", "v"))
+
+	boom := errors.New("peer node died")
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := x.Run(context.Background(), p, 0)
+		done <- err
+	}()
+	src.Feed(streamFeedTable(500, 0).Parts...)
+	src.Close(boom)
+	if err := <-done; !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+// TestStreamExchangeParity: an exchange edge marked streamable executes
+// in-process through the StreamSource hand-off (Real mode) and must
+// produce exactly the rows of the barrier implementation.
+func TestStreamExchangeParity(t *testing.T) {
+	tab := matTestTable()
+	build := func(streamed bool) *Plan {
+		p := NewPlan("sxchg")
+		n := p.Scan(tab, "k", "v").Filter(Lt(Col("k"), ConstI(30))).
+			Exchange(ExchangeGather, nil, 2).MarkStreamed(streamed)
+		p.ReturnSorted(n.GroupBy([]NamedExpr{N("k", Col("k"))},
+			[]AggDef{Sum("s", Col("v")), Count("c")}), 0, Asc("k"))
+		return p
+	}
+
+	barrier := build(false)
+	sb := newTestSession(Real)
+	want, _ := sb.Run(barrier)
+
+	streamed := build(true)
+	if ex := streamed.Explain(); !strings.Contains(ex, "exchange gather ← 2 nodes [streamed]") {
+		t.Fatalf("explain missing streamed marker:\n%s", ex)
+	}
+	ss := newTestSession(Real)
+	got, _ := ss.Run(streamed)
+	sameRows(t, got, rowsToStrings(want), "streamed exchange")
+
+	// The same marked plan in Sim mode keeps the (deterministic)
+	// barrier implementation.
+	sim := newTestSession(Sim)
+	simRes, _ := sim.Run(build(true))
+	sameRows(t, simRes, rowsToStrings(want), "streamed exchange in Sim")
+}
+
+// TestStreamMarkerWire: the streamable-vs-barrier marking survives the
+// plan wire format, and DecodePlanStreams turns a named scan into a
+// stream scan.
+func TestStreamMarkerWire(t *testing.T) {
+	tab := matTestTable()
+	p := NewPlan("wire")
+	p.Return(p.Scan(tab, "k", "v").
+		Exchange(ExchangeBroadcast, nil, 2).MarkStreamed(true))
+	data, err := EncodePlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lookup := func(name string) (*storage.Table, bool) { return tab, name == "facts" }
+	dp, err := DecodePlan(data, lookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex := dp.Explain(); !strings.Contains(ex, "exchange broadcast → 2 nodes [streamed]") {
+		t.Fatalf("marker lost on the wire:\n%s", ex)
+	}
+
+	// Barrier marking round-trips too.
+	p2 := NewPlan("wire2")
+	p2.Return(p2.Scan(tab, "k", "v").
+		Exchange(ExchangeBroadcast, nil, 2).MarkStreamed(false))
+	data2, err := EncodePlan(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp2, err := DecodePlan(data2, lookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex := dp2.Explain(); !strings.Contains(ex, "exchange broadcast → 2 nodes [barrier]") {
+		t.Fatalf("barrier marker lost on the wire:\n%s", ex)
+	}
+
+	// A decode with a registered stream source makes the scan stream-fed.
+	src := NewStreamSource("$x0")
+	p3 := NewPlan("wire3")
+	p3.Return(p3.Scan(tab, "k", "v"))
+	data3, err := EncodePlan(p3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp3, err := DecodePlanStreams(data3, lookup, map[string]*StreamSource{"facts": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp3.root.stream != src {
+		t.Fatal("decoded scan not bound to the stream source")
+	}
+}
+
+// TestRunToStream: an unsorted plan's output arrives through the sink in
+// chunks, closed exactly once with nil; a sorted (top-k) plan buffers at
+// the sort and ships at most LIMIT rows.
+func TestRunToStream(t *testing.T) {
+	sess := newTestSession(Real)
+	x := NewExec(sess)
+	defer x.Close()
+	tab := matTestTable()
+
+	p := NewPlan("rts")
+	p.Return(p.Scan(tab, "k", "v").Filter(Lt(Col("k"), ConstI(5))))
+	out := NewStreamSource("out")
+	if err := x.RunToStream(context.Background(), p, 0, out); err != nil {
+		t.Fatal(err)
+	}
+	rows := 0
+	for _, part := range out.buf {
+		rows += part.Rows()
+	}
+	want, _, err := x.Run(context.Background(), p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != want.NumRows() {
+		t.Fatalf("streamed %d rows, want %d", rows, want.NumRows())
+	}
+
+	topk := NewPlan("rts-topk")
+	topk.ReturnSorted(topk.Scan(tab, "k", "v"), 7, Asc("k"), Desc("v"))
+	out2 := NewStreamSource("out2")
+	if err := x.RunToStream(context.Background(), topk, 0, out2); err != nil {
+		t.Fatal(err)
+	}
+	rows2 := 0
+	for _, part := range out2.buf {
+		rows2 += part.Rows()
+	}
+	if rows2 != 7 {
+		t.Fatalf("top-k streamed %d rows, want 7", rows2)
+	}
+}

@@ -73,6 +73,12 @@ func (w *Writer) frame(t byte, payload []byte) error {
 	if _, err := w.w.Write(hdr[:]); err != nil {
 		return err
 	}
+	if len(payload) == 0 {
+		// Don't issue an empty write: a pipe reader that recognizes the
+		// stream end from the header alone may already have closed its
+		// side, and a zero-byte handshake would observe that close.
+		return nil
+	}
 	_, err := w.w.Write(payload)
 	return err
 }

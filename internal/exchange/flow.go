@@ -3,6 +3,8 @@ package exchange
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // ErrOutboxClosed is returned by Write after Close.
@@ -26,6 +28,11 @@ type Outbox struct {
 	done chan struct{}
 
 	closeOnce sync.Once
+
+	// stalledNs accumulates time Write spent blocked on a full window —
+	// the receiver back-pressuring the producer. Surfaced per query in
+	// the server's /stats cluster counters.
+	stalledNs atomic.Int64
 
 	mu  sync.Mutex
 	err error
@@ -101,12 +108,24 @@ func (o *Outbox) Write(p []byte) (int, error) {
 	b := make([]byte, len(p))
 	copy(b, p)
 	select {
+	case o.ch <- b: // window has room: no stall
+		return len(p), nil
+	default:
+	}
+	start := time.Now()
+	select {
 	case o.ch <- b:
+		o.stalledNs.Add(time.Since(start).Nanoseconds())
 		return len(p), nil
 	case <-o.quit:
+		o.stalledNs.Add(time.Since(start).Nanoseconds())
 		return 0, ErrOutboxClosed
 	}
 }
+
+// StalledNanos returns the cumulative time Write spent blocked on a full
+// window.
+func (o *Outbox) StalledNanos() int64 { return o.stalledNs.Load() }
 
 // Close flushes the window, stops the drainer, and returns the first
 // destination error. Idempotent.

@@ -42,6 +42,23 @@ func FuzzMorselDecode(f *testing.F) {
 	f.Add(errBuf.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x01})
+	// A streaming stream truncated mid-morsel: the incremental inbox
+	// path hits exactly this shape when a peer dies while shipping, so
+	// keep the decoder's truncation handling under fuzz.
+	{
+		var buf bytes.Buffer
+		w := NewWriter(&buf, testSchema)
+		if err := w.WritePartition(buildPartition(testSchema, [][]any{
+			{int64(3), 0.5, "str"},
+			{int64(4), 1.5, "eam"},
+		}), 1); err != nil {
+			f.Fatal(err)
+		}
+		full := buf.Bytes() // no end frame: stream cut mid-flight
+		f.Add(full)
+		f.Add(full[:len(full)-3]) // torn last morsel frame
+		f.Add(full[:len(full)/2]) // torn mid-stream
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewReader(bytes.NewReader(data))

@@ -1,40 +1,184 @@
 package exchange
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/numa"
 	"repro/internal/storage"
 )
 
+// Sink consumes a streaming inbox's decoded partitions as they arrive.
+// Feed hands over zero or more fresh partitions; Close is called exactly
+// once — with nil when every sender finished cleanly, or with the first
+// stream error otherwise. On the failure path a straggling Feed may race
+// past Close, so implementations must treat Feed-after-Close as a no-op
+// (the dispatcher's stream-fed jobs already do). The engine's pipeline
+// jobs implement this to run remote morsels without a barrier.
+type Sink interface {
+	Feed(parts ...*storage.Partition)
+	Close(err error)
+}
+
+// Sender stream states, for retrying fragment RPCs safely: a node that
+// re-runs a fragment after a lost acknowledgement re-pushes an identical
+// stream, which must count once — while a retry after a *partial* stream
+// can never be deduplicated (its morsels may already be executing), so it
+// poisons the inbox into a clean query-wide error.
+const (
+	senderNone uint8 = iota
+	senderActive
+	senderDone
+	senderDirty
+)
+
 // Inbox accumulates morsel streams received from peer nodes for one
-// (query, stage) and exposes them as a scannable table: each received
-// frame becomes one partition, so the dispatcher schedules remote
-// batches exactly like local ones. Receive is safe to call concurrently
-// (one call per sender stream).
+// (query, stage). In barrier mode (NewInbox) frames buffer until Table
+// exposes them as a scannable table once every sender finished. In
+// streaming mode (NewStreamInbox) decoded partitions are handed to a
+// bound Sink as frames arrive — bounded upstream by the sender's Outbox
+// window — and the sink is closed when the expected number of senders
+// delivered their end frames. Receive/ReceiveFrom are safe to call
+// concurrently (one call per sender stream).
 type Inbox struct {
 	sockets int
 
-	mu     sync.Mutex
-	schema storage.Schema
-	parts  []*storage.Partition
-	nextPt int
+	// senders is the expected stream count in streaming mode; 0 means
+	// barrier mode (any number of streams, no completion tracking).
+	senders int
+
+	mu      sync.Mutex
+	schema  storage.Schema
+	parts   []*storage.Partition // buffered until a sink is bound
+	nextPt  int
+	sink    Sink
+	streams map[int]uint8 // sender id -> stream state
+	ended   int
+	closed  bool
+	err     error
+	done    chan struct{}
+
+	frames atomic.Int64 // morsel frames delivered (stats)
 }
 
-// NewInbox creates an inbox; received partitions are homed round-robin
-// across `sockets` NUMA nodes (the data is freshly allocated by the
-// receiving process, so any assignment is as good as the allocator's).
+// NewInbox creates a barrier-mode inbox; received partitions are homed
+// round-robin across `sockets` NUMA nodes (the data is freshly allocated
+// by the receiving process, so any assignment is as good as the
+// allocator's).
 func NewInbox(sockets int) *Inbox {
 	if sockets < 1 {
 		sockets = 1
 	}
-	return &Inbox{sockets: sockets}
+	return &Inbox{sockets: sockets, done: make(chan struct{})}
 }
 
-// Receive decodes one sender's stream into the inbox.
+// NewStreamInbox creates a streaming inbox expecting exactly `senders`
+// streams. Decoded partitions flow to the Sink bound with Bind (frames
+// arriving earlier are buffered and replayed at bind time).
+func NewStreamInbox(sockets, senders int) *Inbox {
+	ib := NewInbox(sockets)
+	if senders < 1 {
+		senders = 1
+	}
+	ib.senders = senders
+	ib.streams = make(map[int]uint8, senders)
+	return ib
+}
+
+// Streaming reports whether the inbox tracks sender completion.
+func (ib *Inbox) Streaming() bool { return ib.senders > 0 }
+
+// Bind attaches (or replaces) the consuming sink. Already-received
+// partitions are replayed into it immediately, and a completion (or
+// failure) that already happened is replayed too. The inbox retains
+// every partition, so rebinding gives a fresh sink the complete stream
+// prefix — that is what makes re-executing a fragment on the same node
+// safe: the retried execution binds its own sink and reconsumes from
+// the start, while the abandoned sink hears nothing further.
+func (ib *Inbox) Bind(sink Sink) {
+	ib.mu.Lock()
+	ib.sink = sink
+	buffered := append([]*storage.Partition(nil), ib.parts...)
+	closed, err := ib.closed, ib.err
+	ib.mu.Unlock()
+	if len(buffered) > 0 {
+		sink.Feed(buffered...)
+	}
+	if closed {
+		sink.Close(err)
+	}
+}
+
+// Receive decodes one sender's stream into the inbox (barrier mode, or
+// tests): no duplicate detection, no completion accounting.
 func (ib *Inbox) Receive(r io.Reader) error {
+	return ib.receive(r)
+}
+
+// ReceiveFrom decodes the stream pushed by the given sender. Completed
+// duplicates (a fragment retried after a lost acknowledgement re-ships
+// identical data) are drained and ignored; a retry after a partial
+// stream poisons the inbox. When the last expected sender ends its
+// stream, the bound sink closes cleanly.
+func (ib *Inbox) ReceiveFrom(sender int, r io.Reader) error {
+	ib.mu.Lock()
+	if ib.streams == nil {
+		ib.mu.Unlock()
+		return fmt.Errorf("exchange: ReceiveFrom on a barrier inbox")
+	}
+	if ib.err != nil {
+		err := ib.err
+		ib.mu.Unlock()
+		return err
+	}
+	switch ib.streams[sender] {
+	case senderActive, senderDone:
+		// An identical re-push of data already streamed (or streaming):
+		// count it once, swallow the duplicate.
+		ib.mu.Unlock()
+		_, _ = io.Copy(io.Discard, r)
+		return nil
+	case senderDirty:
+		err := fmt.Errorf("exchange: sender %d retried after a partial stream", sender)
+		sink := ib.failLocked(err)
+		ib.mu.Unlock()
+		if sink != nil {
+			sink.Close(err)
+		}
+		return err
+	}
+	ib.streams[sender] = senderActive
+	ib.mu.Unlock()
+
+	if err := ib.receive(r); err != nil {
+		ib.mu.Lock()
+		ib.streams[sender] = senderDirty
+		sink := ib.failLocked(err)
+		cerr := ib.err
+		ib.mu.Unlock()
+		if sink != nil {
+			sink.Close(cerr)
+		}
+		return err
+	}
+	ib.mu.Lock()
+	ib.streams[sender] = senderDone
+	ib.ended++
+	var sink Sink
+	if ib.ended == ib.senders {
+		sink = ib.closeLocked()
+	}
+	ib.mu.Unlock()
+	if sink != nil {
+		sink.Close(nil)
+	}
+	return nil
+}
+
+func (ib *Inbox) receive(r io.Reader) error {
 	rd := NewReader(r)
 	schema, err := rd.Schema()
 	if err != nil {
@@ -52,6 +196,59 @@ func (ib *Inbox) Receive(r io.Reader) error {
 			return err
 		}
 		ib.add(p)
+	}
+}
+
+// Fail poisons the inbox: the bound sink closes with err, pending and
+// future receives observe it. Used for query-wide cancellation when a
+// peer node dies mid-stream.
+func (ib *Inbox) Fail(err error) {
+	ib.mu.Lock()
+	sink := ib.failLocked(err)
+	cerr := ib.err
+	ib.mu.Unlock()
+	if sink != nil {
+		sink.Close(cerr)
+	}
+}
+
+// failLocked records the first error and closes the inbox, returning the
+// sink the caller must Close (with ib.err) after releasing the lock.
+func (ib *Inbox) failLocked(err error) Sink {
+	if ib.err == nil {
+		ib.err = err
+	}
+	return ib.closeLocked()
+}
+
+// closeLocked marks the inbox complete and wakes waiters, returning the
+// sink to Close — exactly once across all close paths; callers invoke it
+// after releasing the lock, since a sink's Close may take the
+// dispatcher's lock.
+func (ib *Inbox) closeLocked() Sink {
+	if ib.closed {
+		return nil
+	}
+	ib.closed = true
+	close(ib.done)
+	return ib.sink
+}
+
+// Err returns the inbox's first stream error, if any.
+func (ib *Inbox) Err() error {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	return ib.err
+}
+
+// WaitClosed blocks until every expected sender finished (or the inbox
+// failed), honoring ctx. Barrier consumers use it before Table.
+func (ib *Inbox) WaitClosed(ctx context.Context) error {
+	select {
+	case <-ib.done:
+		return ib.Err()
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -78,8 +275,16 @@ func (ib *Inbox) add(p *storage.Partition) {
 	p.Home = numa.SocketID(ib.nextPt % ib.sockets)
 	ib.nextPt++
 	ib.parts = append(ib.parts, p)
+	sink := ib.sink
 	ib.mu.Unlock()
+	ib.frames.Add(1)
+	if sink != nil {
+		sink.Feed(p)
+	}
 }
+
+// Frames returns the number of morsel frames delivered so far.
+func (ib *Inbox) Frames() int64 { return ib.frames.Load() }
 
 // Rows returns the number of rows received so far.
 func (ib *Inbox) Rows() int {
@@ -94,7 +299,8 @@ func (ib *Inbox) Rows() int {
 
 // Table wraps the received partitions as a table named `name`, against a
 // fallback schema for streams that delivered zero senders' worth of
-// data. Call it only after every sender finished.
+// data. Call it only after every sender finished (streaming consumers
+// gate on WaitClosed first).
 func (ib *Inbox) Table(name string, fallback storage.Schema) *storage.Table {
 	ib.mu.Lock()
 	defer ib.mu.Unlock()

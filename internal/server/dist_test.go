@@ -24,12 +24,21 @@ var clusterShards = []string{"lineitem", "orders", "customer"}
 // is the same wiring cmd/morseld does across real processes.
 func newTestCluster(t *testing.T, n int) ([]*Server, *tpch.DB) {
 	t.Helper()
+	servers, _, db := newTestClusterCfg(t, n, Config{})
+	return servers, db
+}
+
+// newTestClusterCfg is newTestCluster with a server Config and the
+// httptest listeners exposed, for failure-injection tests.
+func newTestClusterCfg(t *testing.T, n int, cfg Config) ([]*Server, []*httptest.Server, *tpch.DB) {
+	t.Helper()
 	db := tpch.Generate(tpch.Config{SF: 0.01, Partitions: 16, Sockets: 4, Seed: 42})
 	servers := make([]*Server, n)
+	listeners := make([]*httptest.Server, n)
 	urls := make([]string, n)
 	for i := range servers {
 		sys := core.NewSystem(core.Nehalem(), core.Options{Workers: 4, MorselRows: 5000})
-		s := New(sys, Config{})
+		s := New(sys, cfg)
 		for _, tab := range []*core.Table{
 			db.Region, db.Nation, db.Supplier, db.Customer,
 			db.Part, db.PartSupp, db.Orders, db.Lineitem,
@@ -40,6 +49,7 @@ func newTestCluster(t *testing.T, n int) ([]*Server, *tpch.DB) {
 		t.Cleanup(ts.Close)
 		t.Cleanup(s.Close)
 		servers[i] = s
+		listeners[i] = ts
 		urls[i] = ts.URL
 	}
 	for i, s := range servers {
@@ -47,7 +57,7 @@ func newTestCluster(t *testing.T, n int) ([]*Server, *tpch.DB) {
 			t.Fatalf("enable cluster on node %d: %v", i, err)
 		}
 	}
-	return servers, db
+	return servers, listeners, db
 }
 
 // TestClusterDistributedParityTPCH is the CI-gated guarantee: the

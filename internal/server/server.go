@@ -72,6 +72,17 @@ type Config struct {
 	// zero value is fully automatic). Requests may override it per
 	// query.
 	Physical sql.Physical
+	// FragTimeout bounds each distributed fragment RPC attempt,
+	// including streaming the fragment's response (default 30s). A peer
+	// that stops responding mid-query fails the query within this bound
+	// instead of hanging it.
+	FragTimeout time.Duration
+	// FragRetries is how many times the coordinator re-sends a failed
+	// fragment RPC, with exponential backoff (default 2, negative =
+	// none). Retries are safe: receivers deduplicate complete duplicate
+	// streams and poison the query into a clean error on a
+	// partial-then-retry.
+	FragRetries int
 }
 
 func (c Config) withDefaults(sockets int) Config {
@@ -92,6 +103,15 @@ func (c Config) withDefaults(sockets int) Config {
 		c.PlanCacheSize = 256
 	case c.PlanCacheSize < 0:
 		c.PlanCacheSize = 0
+	}
+	if c.FragTimeout <= 0 {
+		c.FragTimeout = 30 * time.Second
+	}
+	switch {
+	case c.FragRetries == 0:
+		c.FragRetries = 2
+	case c.FragRetries < 0:
+		c.FragRetries = 0
 	}
 	return c
 }

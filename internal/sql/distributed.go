@@ -63,6 +63,16 @@ type DistStage struct {
 	KeyCol    string // partition stages: routing column of the output
 	Parts     int    // partition stages: probe table's partition count
 	Est       float64
+	// Streamable marks this exchange edge for streaming consumption: the
+	// receiving fragment ingests the stage's rows as frames arrive (a
+	// hash-join build fills incrementally) instead of waiting behind a
+	// stage barrier. The planner leaves it false only when the consumer
+	// semantically needs all input up front — sort, MPSM runs,
+	// Materialize — which are shapes this planner rejects as not
+	// distributable, so every emitted stage is streamable today; the
+	// marking is carried anyway so the runtime and EXPLAIN stay honest
+	// if that changes.
+	Streamable bool
 }
 
 // DistPlan is a distributed execution plan: stages in dependency order,
@@ -78,6 +88,21 @@ type DistPlan struct {
 	// outputs: the distributed aggregation's merge phase plus the
 	// original plan's post-aggregation operators, ORDER BY and LIMIT.
 	Final func(gathered *storage.Table) *engine.Plan
+	// FinalStream is Final's streaming twin: the coordinator plan scans
+	// the gather stream while main fragments are still shipping, so the
+	// finalize phase overlaps remote execution. Valid when
+	// GatherStreamable.
+	FinalStream func(src *engine.StreamSource) *engine.Plan
+	// GatherStreamable marks the gather edge streamable: the final
+	// plan's first operator over the gathered rows tolerates incremental
+	// input (aggregation merge, or a terminal sort applied at collect
+	// time after all pipelines drained).
+	GatherStreamable bool
+	// TopK is the per-node row bound pushed into the main fragment when
+	// the query is ORDER BY + LIMIT without aggregation: each node sorts
+	// locally and ships at most TopK rows (engine.LimitZero for LIMIT
+	// 0). 0 means no pushdown.
+	TopK int
 	// Combined is the whole distributed plan as one tree with inline
 	// Exchange operators — what EXPLAIN renders, and a locally executable
 	// twin used by parity tests (exchanges degrade to pipeline breakers).
@@ -160,19 +185,37 @@ func Distribute(p *engine.Plan, topo ClusterTopo) (dp *DistPlan, err error) {
 	}
 
 	keys, limit := p.SortSpec()
-	dp = &DistPlan{Nodes: topo.Nodes, MainName: d.frag.Name}
+	dp = &DistPlan{Nodes: topo.Nodes, MainName: d.frag.Name, GatherStreamable: true}
 
 	if aggIdx < 0 {
 		// No aggregation: ship raw rows, sort/limit on the coordinator.
-		d.frag.Return(pp.f)
+		// With ORDER BY + LIMIT, push the top-k down into every node's
+		// fragment: each node sorts its shard locally (the one barrier
+		// the fragment keeps) and ships at most k rows, so the gather
+		// moves N·k rows instead of the full probe output. Any row in
+		// the global top k is within its own node's top k, so the
+		// coordinator's re-sort over the union is exact.
+		if len(keys) > 0 && limit != 0 && allInSchema(keys, pp.f.Schema()) {
+			d.frag.ReturnSorted(pp.f, limit, keys...)
+			dp.TopK = limit
+		} else {
+			d.frag.Return(pp.f)
+		}
 		dp.MainSchema = toStorageSchema(pp.f.Schema())
 		d.comb.ReturnSorted(
-			pp.c.Exchange(engine.ExchangeGather, nil, topo.Nodes).SetEst(below.Est()),
+			pp.c.Exchange(engine.ExchangeGather, nil, topo.Nodes).
+				MarkStreamed(true).SetEst(below.Est()),
 			limit, keys...)
 		cols := schemaSpecs(dp.MainSchema)
 		dp.Final = func(g *storage.Table) *engine.Plan {
 			fp := engine.NewPlan(p.Name + "$final")
 			fp.ReturnSorted(fp.Scan(g, cols...), limit, keys...)
+			return fp
+		}
+		dp.FinalStream = func(src *engine.StreamSource) *engine.Plan {
+			fp := engine.NewPlan(p.Name + "$final")
+			stub := &storage.Table{Name: "$gather", Schema: dp.MainSchema}
+			fp.ReturnSorted(fp.ScanStream(src, stub, cols...), limit, keys...)
 			return fp
 		}
 	} else {
@@ -186,6 +229,7 @@ func Distribute(p *engine.Plan, topo ClusterTopo) (dp *DistPlan, err error) {
 
 		cPart := pp.c.GroupBy(groups, split.partial).SetEst(aggNode.Est())
 		cn := cPart.Exchange(engine.ExchangeGather, nil, topo.Nodes).
+			MarkStreamed(true).
 			SetEst(aggNode.Est() * float64(topo.Nodes))
 		cn = split.finalize(cn)
 		cn = replayAbove(cn, spine[:max(aggIdx, 0)])
@@ -196,6 +240,15 @@ func Distribute(p *engine.Plan, topo ClusterTopo) (dp *DistPlan, err error) {
 		dp.Final = func(g *storage.Table) *engine.Plan {
 			fp := engine.NewPlan(p.Name + "$final")
 			n := fp.Scan(g, cols...)
+			n = split.finalize(n)
+			n = replayAbove(n, above)
+			fp.ReturnSorted(n, limit, keys...)
+			return fp
+		}
+		dp.FinalStream = func(src *engine.StreamSource) *engine.Plan {
+			fp := engine.NewPlan(p.Name + "$final")
+			stub := &storage.Table{Name: "$gather", Schema: dp.MainSchema}
+			n := fp.ScanStream(src, stub, cols...)
 			n = split.finalize(n)
 			n = replayAbove(n, above)
 			fp.ReturnSorted(n, limit, keys...)
@@ -473,6 +526,10 @@ func (d *distributor) rebuildJoin(n *engine.Node) (pair, error) {
 		KeyCol:    routeKey,
 		Parts:     probe.parts,
 		Est:       build.Est(),
+		// The consumer is a hash-join build, which fills incrementally:
+		// this edge streams. (Barrier-requiring consumers — sort, MPSM
+		// runs, Materialize — never reach here; rebuild rejects them.)
+		Streamable: true,
 	}
 	saved := d.frag
 	d.frag = engine.NewPlan(stage.Name)
@@ -504,8 +561,27 @@ func (d *distributor) rebuildJoin(n *engine.Node) (pair, error) {
 	if partition {
 		kind, keys = engine.ExchangePartition, []string{routeKey}
 	}
-	cx := bp.c.Exchange(kind, keys, d.topo.Nodes).SetEst(build.Est())
+	cx := bp.c.Exchange(kind, keys, d.topo.Nodes).MarkStreamed(true).SetEst(build.Est())
 	return join(probe, inbox, cx), nil
+}
+
+// allInSchema reports whether every sort key names a column of the
+// fragment's output schema (a pushed-down top-k must sort on what the
+// fragment ships).
+func allInSchema(keys []engine.SortKey, schema []engine.Reg) bool {
+	for _, k := range keys {
+		found := false
+		for _, r := range schema {
+			if r.Name == k.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
 }
 
 // analyze inspects a build subtree without rebuilding it: does it touch

@@ -210,3 +210,63 @@ func TestDistributeFallbacks(t *testing.T) {
 		}
 	}
 }
+
+// TestDistributeTopKPushdown: ORDER BY + LIMIT with no aggregation
+// pushes the top-k into every node's main fragment — each node sorts
+// its own shard (the one barrier the fragment keeps) and ships at most
+// k rows, so the gather moves N·k rows instead of the full probe
+// output. The coordinator's re-sort over the union stays exact because
+// any globally top-k row is within its node's local top k.
+func TestDistributeTopKPushdown(t *testing.T) {
+	q := "select l_orderkey, l_linenumber, l_quantity from lineitem" +
+		" where l_quantity >= 45 order by l_orderkey, l_linenumber limit 20"
+	p, err := Compile(q, tpchCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := Distribute(p, tpchTopo(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.TopK != 20 {
+		t.Fatalf("TopK = %d, want 20", dp.TopK)
+	}
+	// The shipped fragment itself carries the sort+limit.
+	mp, err := engine.DecodePlan(dp.Main, tpchCatalog())
+	if err != nil {
+		t.Fatalf("main fragment does not decode: %v", err)
+	}
+	keys, limit := mp.SortSpec()
+	if limit != 20 || len(keys) != 2 ||
+		keys[0] != engine.Asc("l_orderkey") || keys[1] != engine.Asc("l_linenumber") {
+		t.Fatalf("fragment sort spec = %v limit %d, want [l_orderkey, l_linenumber] limit 20", keys, limit)
+	}
+	// Parity: (l_orderkey, l_linenumber) is unique, so the top 20 is
+	// deterministic and must match the single-node plan exactly.
+	want, _ := goldenSession().Run(p)
+	got, _ := goldenSession().Run(dp.Combined)
+	sameResults(t, "top-k pushdown", got, want, true)
+
+	// Without a LIMIT there is nothing to push: the fragment ships its
+	// whole shard unsorted and only the coordinator sorts.
+	q2 := "select l_orderkey, l_linenumber from lineitem where l_quantity >= 49" +
+		" order by l_orderkey, l_linenumber"
+	p2, err := Compile(q2, tpchCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp2, err := Distribute(p2, tpchTopo(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp2.TopK != 0 {
+		t.Fatalf("TopK = %d without a LIMIT, want 0", dp2.TopK)
+	}
+	mp2, err := engine.DecodePlan(dp2.Main, tpchCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keys2, _ := mp2.SortSpec(); len(keys2) != 0 {
+		t.Fatalf("fragment sorts without a LIMIT: %v", keys2)
+	}
+}

@@ -5,7 +5,13 @@
 # generating the identical deterministic TPC-H dataset and serving its
 # shard), then drives loadgen's -cluster-smoke parity check: TPC-H
 # Q1/Q3/Q6/Q12 executed with {"distributed": true} through each node as
-# coordinator must equal the single-node result.
+# coordinator must equal the single-node result, and the streaming
+# counters must show exchange frames actually flowed.
+#
+# After the parity pass, node 2 is killed and a distributed query is
+# submitted to node 1: it must return a clean JSON error within the
+# fragment timeout/retry budget — not hang — and node 1 must keep
+# answering single-node queries.
 #
 # Usage: scripts/cluster_smoke.sh [scale-factor]
 set -euo pipefail
@@ -23,10 +29,12 @@ go build -o "$bin/morseld" ./cmd/morseld
 go build -o "$bin/loadgen" ./cmd/loadgen
 
 "$bin/morseld" -addr ":${port1}" -dataset tpch -sf "$sf" \
-  -cluster "$cluster" -node-id 0 >"$bin/node0.log" 2>&1 &
+  -cluster "$cluster" -node-id 0 -frag-timeout 5s -frag-retries 1 \
+  >"$bin/node0.log" 2>&1 &
 pid1=$!
 "$bin/morseld" -addr ":${port2}" -dataset tpch -sf "$sf" \
-  -cluster "$cluster" -node-id 1 >"$bin/node1.log" 2>&1 &
+  -cluster "$cluster" -node-id 1 -frag-timeout 5s -frag-retries 1 \
+  >"$bin/node1.log" 2>&1 &
 pid2=$!
 
 if ! "$bin/loadgen" -cluster-smoke "$cluster" -sf "$sf" -timeout-ms 120000; then
@@ -34,3 +42,32 @@ if ! "$bin/loadgen" -cluster-smoke "$cluster" -sf "$sf" -timeout-ms 120000; then
   echo "---- node 1 log ----"; tail -50 "$bin/node1.log"
   exit 1
 fi
+
+# Failure case: kill node 2, then ask node 1 for a distributed query.
+# The fragment RPC budget (5s timeout, 1 retry) bounds the failure: the
+# response must be a clean non-200 JSON error well before curl's 60s
+# cutoff, and node 1 must still answer single-node queries afterwards.
+echo "killing node 2 (pid ${pid2}) to test fail-fast"
+kill "$pid2"; wait "$pid2" 2>/dev/null || true
+body='{"sql": "select sum(l_quantity) as q from lineitem", "distributed": true, "timeout_ms": 30000}'
+code=$(curl -s -o "$bin/killed.json" -w '%{http_code}' --max-time 60 \
+  -X POST -H 'Content-Type: application/json' -d "$body" \
+  "http://localhost:${port1}/query")
+if [ "$code" = "200" ]; then
+  echo "distributed query with a dead node returned 200:"; cat "$bin/killed.json"
+  exit 1
+fi
+grep -q '"error"' "$bin/killed.json" || {
+  echo "expected a JSON error body, got:"; cat "$bin/killed.json"; exit 1
+}
+echo "dead-node query failed fast with HTTP ${code}: $(cat "$bin/killed.json")"
+
+survivor=$(curl -s --max-time 30 -X POST -H 'Content-Type: application/json' \
+  -d '{"sql": "select count(*) as n from nation"}' \
+  "http://localhost:${port1}/query")
+echo "$survivor" | grep -q '25' || {
+  echo "surviving node broken after peer death: $survivor"
+  echo "---- node 0 log ----"; tail -50 "$bin/node0.log"
+  exit 1
+}
+echo "surviving node still answers single-node queries"

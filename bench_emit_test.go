@@ -26,4 +26,13 @@ func TestBenchEmit(t *testing.T) {
 		t.Fatal(err)
 	}
 	log.Printf("wrote %s", path)
+
+	// The sustained-ingest experiment: its gated metrics are pure
+	// functions of the deterministic feed (wall-clock quantiles ride
+	// along ungated), so the file diffs cleanly against its baseline.
+	path, err = bench.Emit(dir, "ingest", bench.IngestMetrics(bench.DefaultIngestConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Printf("wrote %s", path)
 }

@@ -1,0 +1,179 @@
+package main
+
+// Ingest mode (-ingest): a closed-loop writer streams deterministic,
+// uniformly sized row batches into the demo orders table over
+// POST /append while reader goroutines continuously run COUNT(*)
+// queries over POST /query. Every batch is the unit of atomicity, so
+// each reader response must satisfy
+//
+//	count == base + (version - startVersion) * batchRows
+//
+// where base/startVersion are discovered from one query before the
+// writer starts — a torn batch, a lost batch, or a query pinned to the
+// wrong snapshot breaks the equation. Versions must also never move
+// backwards within one reader. The run exits nonzero on the first
+// violation; otherwise it reports append latency quantiles and the
+// achieved event rate.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// appendResponse is the slice of POST /append's reply ingest mode reads.
+type appendResponse struct {
+	RowsAppended int    `json:"rows_appended"`
+	Version      uint64 `json:"version"`
+	DeltaRows    int    `json:"delta_rows"`
+}
+
+const ingestCountSQL = `SELECT COUNT(*) AS n FROM orders`
+
+// ingestProbe runs the count query and returns (count, pinned version).
+func ingestProbe(client *http.Client, addr string) (int64, uint64, error) {
+	body, _ := json.Marshal(map[string]any{"sql": ingestCountSQL})
+	resp, err := postFull(client, addr+"/query", body)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(resp.Rows) != 1 || len(resp.Rows[0]) != 1 {
+		return 0, 0, fmt.Errorf("count query returned %d rows", len(resp.Rows))
+	}
+	n, ok := resp.Rows[0][0].(float64) // JSON numbers decode as float64
+	if !ok {
+		return 0, 0, fmt.Errorf("count cell is %T", resp.Rows[0][0])
+	}
+	return int64(n), resp.Versions["orders"], nil
+}
+
+// ingestBatch builds batch k of the deterministic feed against the demo
+// orders schema (id, cust, kind, amount, day). IDs continue past any
+// preexisting data; values are pure functions of the global event index.
+func ingestBatch(k, batchRows int) [][]any {
+	rows := make([][]any, batchRows)
+	base := k * batchRows
+	for i := range rows {
+		e := base + i
+		rows[i] = []any{
+			10_000_000 + e,          // id
+			e % 997,                 // cust
+			e % 7,                   // kind
+			float64(e%10_000) / 100, // amount
+			e % 30,                  // day
+		}
+	}
+	return rows
+}
+
+func runIngest(addr string, events, batchRows, readers int) error {
+	if batchRows <= 0 || events <= 0 || events%batchRows != 0 {
+		return fmt.Errorf("-ingest-events (%d) must be a positive multiple of -ingest-batch (%d)", events, batchRows)
+	}
+	client := &http.Client{}
+	base, startVersion, err := ingestProbe(client, addr)
+	if err != nil {
+		return fmt.Errorf("discovering base count: %w", err)
+	}
+	fmt.Printf("ingest: base count %d at version %d; streaming %d events in %d-row batches with %d readers\n",
+		base, startVersion, events, batchRows, readers)
+
+	var (
+		done     atomic.Bool
+		failMu   sync.Mutex
+		firstErr error
+		checks   atomic.Int64
+	)
+	fail := func(err error) {
+		failMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		failMu.Unlock()
+		done.Store(true)
+	}
+
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var last uint64
+			for !done.Load() {
+				n, v, err := ingestProbe(client, addr)
+				if err != nil {
+					fail(fmt.Errorf("reader %d: %w", r, err))
+					return
+				}
+				if v < last {
+					fail(fmt.Errorf("reader %d: version moved backwards: %d after %d", r, v, last))
+					return
+				}
+				last = v
+				if want := base + int64(v-startVersion)*int64(batchRows); n != want {
+					fail(fmt.Errorf("reader %d: count %d at version %d, want %d (base %d + %d batches of %d)",
+						r, n, v, want, base, v-startVersion, batchRows))
+					return
+				}
+				checks.Add(1)
+			}
+		}(r)
+	}
+
+	batches := events / batchRows
+	lat := make([]time.Duration, 0, batches)
+	start := time.Now()
+	for k := 0; k < batches && !done.Load(); k++ {
+		body, _ := json.Marshal(map[string]any{"table": "orders", "rows": ingestBatch(k, batchRows)})
+		t0 := time.Now()
+		resp, err := client.Post(addr+"/append", "application/json", bytes.NewReader(body))
+		if err != nil {
+			fail(fmt.Errorf("append batch %d: %w", k, err))
+			break
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fail(fmt.Errorf("append batch %d: status %d: %s", k, resp.StatusCode, bytes.TrimSpace(data)))
+			break
+		}
+		var ar appendResponse
+		if err := json.Unmarshal(data, &ar); err != nil {
+			fail(fmt.Errorf("append batch %d: bad response: %w", k, err))
+			break
+		}
+		if ar.RowsAppended != batchRows || ar.Version != startVersion+uint64(k)+1 {
+			fail(fmt.Errorf("append batch %d: committed %d rows at version %d, want %d at %d",
+				k, ar.RowsAppended, ar.Version, batchRows, startVersion+uint64(k)+1))
+			break
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	elapsed := time.Since(start)
+	done.Store(true)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+
+	n, v, err := ingestProbe(client, addr)
+	if err != nil {
+		return fmt.Errorf("final count: %w", err)
+	}
+	if want := base + int64(events); n != want {
+		return fmt.Errorf("final count %d at version %d, want %d", n, v, want)
+	}
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	quant := func(q float64) time.Duration { return lat[int(q*float64(len(lat)-1))] }
+	fmt.Printf("ingest OK: %d events in %v (%.0f events/s), append p50 %v p99 %v, %d consistent reads\n",
+		events, elapsed.Round(time.Millisecond), float64(events)/elapsed.Seconds(),
+		quant(0.50).Round(10*time.Microsecond), quant(0.99).Round(10*time.Microsecond), checks.Load())
+	return nil
+}

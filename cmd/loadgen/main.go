@@ -20,6 +20,13 @@
 // With -bench-json, the closed-loop report is also written as a
 // machine-readable BENCH_loadgen.json into $BENCH_OUT (informational
 // metrics — wall-clock numbers are not regression-gated).
+//
+// -ingest switches to write mode: stream deterministic row batches into
+// the demo orders table over POST /append while concurrent readers
+// verify that every query's count matches its pinned data-version
+// exactly (see cmd/loadgen/ingest.go), exiting nonzero on violation:
+//
+//	loadgen -ingest -ingest-events 100000 -ingest-batch 1000
 package main
 
 import (
@@ -78,6 +85,10 @@ func main() {
 		physAgg     = flag.String("agg", "", "with -sql: aggregation strategy sent per request: auto | shared | partitioned (empty = server default)")
 		timeoutMs   = flag.Int("timeout-ms", 0, "per-query timeout (0 = server default)")
 		distributed = flag.Bool("distributed", false, "request distributed execution across the morseld cluster for every query")
+		ingestMode  = flag.Bool("ingest", false, "stream deterministic batches into the demo orders table over POST /append while readers verify count/version consistency, then exit (nonzero on any violation)")
+		ingEvents   = flag.Int("ingest-events", 100_000, "events to append (with -ingest); must divide evenly by -ingest-batch")
+		ingBatch    = flag.Int("ingest-batch", 1_000, "rows per append batch (with -ingest)")
+		ingReaders  = flag.Int("ingest-readers", 2, "concurrent consistency readers (with -ingest)")
 		smoke       = flag.String("cluster-smoke", "", "comma-separated node URLs: run the distributed-vs-single-node TPC-H parity check against the cluster and exit")
 		sfFlag      = flag.Float64("sf", 0.01, "TPC-H scale factor of the cluster dataset (with -cluster-smoke)")
 		benchJSON   = flag.Bool("bench-json", false, "also write the report as BENCH_loadgen.json into $BENCH_OUT (or the cwd)")
@@ -97,6 +108,13 @@ func main() {
 
 	if err := waitHealthy(*addr, 30*time.Second); err != nil {
 		log.Fatalf("server not healthy: %v", err)
+	}
+
+	if *ingestMode {
+		if err := runIngest(*addr, *ingEvents, *ingBatch, *ingReaders); err != nil {
+			log.Fatalf("INGEST FAILURE: %v", err)
+		}
+		return
 	}
 
 	nInteractive := int(float64(*clients) * *mix)
@@ -384,6 +402,9 @@ type queryResponse struct {
 	Rows        [][]any `json:"rows"`
 	Distributed bool    `json:"distributed"`
 	DistNodes   int     `json:"dist_nodes"`
+	// Versions maps appended-to tables to the data-version the query
+	// was pinned at (ingest mode reads it for consistency checking).
+	Versions map[string]uint64 `json:"versions"`
 }
 
 // post runs one query and returns its decoded result rows.

@@ -84,6 +84,7 @@ func main() {
 		maxConc    = flag.Int("max-concurrent", 0, "queries admitted at once (0 = 2 x sockets)")
 		maxQueue   = flag.Int("max-queue", 64, "waiting queries before 429 (negative = none)")
 		planCache  = flag.Int("plan-cache", 0, "server-side SQL plan cache entries (0 = default 256, negative disables)")
+		statsRows  = flag.Int("stats-refresh-rows", 0, "appended rows per table before cached plans recompile against refreshed statistics (0 = default 4096, negative disables)")
 		timeout    = flag.Duration("timeout", 30*time.Second, "default per-query timeout")
 		fragTO     = flag.Duration("frag-timeout", 30*time.Second, "distributed: per-fragment-RPC attempt timeout (bounds how long a dead peer can stall a query)")
 		fragRetry  = flag.Int("frag-retries", 2, "distributed: fragment-RPC retries with backoff (negative = none); retries are stream-safe, receivers dedupe or fail cleanly")
@@ -187,13 +188,14 @@ func main() {
 	}
 
 	srv := server.New(sys, server.Config{
-		MaxConcurrent:  *maxConc,
-		MaxQueue:       *maxQueue,
-		DefaultTimeout: *timeout,
-		PlanCacheSize:  *planCache,
-		Physical:       ph,
-		FragTimeout:    *fragTO,
-		FragRetries:    *fragRetry,
+		MaxConcurrent:    *maxConc,
+		MaxQueue:         *maxQueue,
+		DefaultTimeout:   *timeout,
+		PlanCacheSize:    *planCache,
+		StatsRefreshRows: *statsRows,
+		Physical:         ph,
+		FragTimeout:      *fragTO,
+		FragRetries:      *fragRetry,
 	})
 	defer srv.Close()
 	for _, t := range tables {

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/ingest"
+	"repro/internal/server"
+)
+
+// IngestConfig shapes the sustained-ingest experiment behind
+// BENCH_ingest.json. The defaults are small enough for CI but large
+// enough to cross the stats-refresh threshold many times.
+type IngestConfig struct {
+	Events    int
+	BatchRows int
+	Readers   int
+	Seed      uint64
+}
+
+// DefaultIngestConfig returns the gated experiment's shape.
+func DefaultIngestConfig() IngestConfig {
+	return IngestConfig{Events: 200_000, BatchRows: 1_000, Readers: 2, Seed: 2024}
+}
+
+// IngestMetrics runs the sustained-ingest harness in process and
+// reports it. The gated metrics are pure functions of the deterministic
+// feed — final row count, qty sum, max sequence, the symbol-column NDV
+// the incremental HLL sketch converged to, and the consistency-
+// violation count (zero; a single violation trips the zero-baseline
+// gate) — so they are bit-identical across hosts. The append latency
+// quantiles and achieved rate are wall-clock and therefore ungated.
+func IngestMetrics(cfg IngestConfig) []Metric {
+	s := ingest.NewTicksServer(8, server.Config{MaxConcurrent: 16, MaxQueue: 64})
+	defer s.Close()
+	res, err := ingest.Run(context.Background(), s, ingest.Config{
+		Events:    cfg.Events,
+		BatchRows: cfg.BatchRows,
+		Readers:   cfg.Readers,
+		Seed:      cfg.Seed,
+	})
+	violations := 0.0
+	if err != nil {
+		// The harness reports the first violation and stops; the gate on
+		// the zero baseline turns it into a trend failure with the error
+		// visible in the run log.
+		fmt.Printf("bench: ingest harness violation: %v\n", err)
+		return []Metric{{Name: "ingest_consistency_violations", Value: 1,
+			Unit: "violations", Direction: "lower", Gate: true}}
+	}
+	feed, ferr := ingest.NewFeed(cfg.Events, cfg.BatchRows, cfg.Seed)
+	if ferr != nil {
+		panic(fmt.Sprintf("bench: ingest feed: %v", ferr))
+	}
+	n, q, m := feed.Expect(uint64(res.Batches))
+
+	tk, ok := s.Table("ticks")
+	if !ok {
+		panic("bench: ticks table vanished")
+	}
+	symNDV := 0.0
+	if cs := tk.LiveStats().Col("sym"); cs != nil {
+		symNDV = float64(cs.NDV)
+	}
+
+	return []Metric{
+		{Name: "ingest_consistency_violations", Value: violations, Unit: "violations", Direction: "lower", Gate: true},
+		{Name: "ingest_rows", Value: float64(n), Unit: "rows", Direction: "higher", Gate: true},
+		{Name: "ingest_qty_sum", Value: float64(q), Unit: "qty", Direction: "higher", Gate: true},
+		{Name: "ingest_max_seq", Value: float64(m), Unit: "seq", Direction: "higher", Gate: true},
+		{Name: "ingest_sym_ndv", Value: symNDV, Unit: "values", Direction: "higher", Gate: true},
+		{Name: "ingest_append_p50_ms", Value: res.AppendP50Ms, Unit: "ms", Direction: "lower", Gate: false},
+		{Name: "ingest_append_p99_ms", Value: res.AppendP99Ms, Unit: "ms", Direction: "lower", Gate: false},
+		{Name: "ingest_events_per_sec", Value: res.EventsPerSec, Unit: "events/s", Direction: "higher", Gate: false},
+		{Name: "ingest_oracle_checks", Value: float64(res.OracleChecks), Unit: "checks", Direction: "higher", Gate: false},
+	}
+}

@@ -44,6 +44,11 @@ type compiler struct {
 	// streams collects every stream-fed job compiled from a stream scan
 	// or a streamable exchange, awaiting its source binding after Submit.
 	streams []compiledStream
+
+	// snap pins the data-version every table scan reads (sealed
+	// partitions + committed delta prefix). nil means "latest committed
+	// view", resolved per scan at activation time.
+	snap *storage.Snap
 }
 
 // matCompiled is the shared compile state of one Materialize node: the
@@ -257,11 +262,14 @@ func (c *compiler) produceScan(n *Node, f consumerFactory) []tailJob {
 		c.streams = append(c.streams, compiledStream{src: n.stream, job: job})
 		return []tailJob{job}
 	}
-	parts := func() []*storage.Partition { return table.Parts }
+	snap := c.snap
+	parts := func() []*storage.Partition { return snap.ScanParts(table) }
 	if pred := compileZonePrune(n.filter, n.out, n.scanSrc); pred != nil && table.HasZoneMaps() {
 		// Zone-map skipping: resolve at activation time, exposing only
-		// the surviving segment runs to the dispatcher.
-		parts = func() []*storage.Partition { return prunedScanParts(table.Parts, pred) }
+		// the surviving segment runs to the dispatcher. Delta partitions
+		// carry no segment directory and pass through unpruned — only
+		// sealed segments are ever skipped.
+		parts = func() []*storage.Partition { return prunedScanParts(snap.ScanParts(table), pred) }
 	}
 	job := c.q.AddJob("scan("+table.Name+")",
 		parts,
@@ -392,8 +400,14 @@ func (cp *Compiled) StreamErr() error {
 }
 
 // Compile lowers the plan to pipelines for this session's machine and
-// dispatcher configuration.
-func (s *Session) Compile(p *Plan) *Compiled {
+// dispatcher configuration. Scans read each table's latest committed
+// view; use CompileSnap to pin a data-version instead.
+func (s *Session) Compile(p *Plan) *Compiled { return s.CompileSnap(p, nil) }
+
+// CompileSnap is Compile with every table scan pinned to the given
+// storage snap (nil = latest committed view per scan). Pinning makes a
+// multi-scan query internally consistent while appends land.
+func (s *Session) CompileSnap(p *Plan, snap *storage.Snap) *Compiled {
 	if p.root == nil {
 		panic(fmt.Sprintf("engine: plan %q has no result node", p.Name))
 	}
@@ -406,6 +420,7 @@ func (s *Session) Compile(p *Plan) *Compiled {
 		workers: workers, sockets: s.Machine.Topo.Sockets,
 		joins: make(map[*Node]*joinCompiled),
 		mats:  make(map[*Node]*matCompiled),
+		snap:  snap,
 	}
 	cp := &Compiled{Query: c.q, Plan: p}
 	if len(p.sortKeys) > 0 && p.sortElided {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/dispatch"
+	"repro/internal/storage"
 )
 
 // ErrCanceled is returned by Exec.Run when the query was canceled via the
@@ -71,7 +72,15 @@ func (x *Exec) Close() { x.runner.Stop() }
 // morsel counters are pool-wide (shared across concurrent queries) and
 // available via PoolStats.
 func (x *Exec) Run(ctx context.Context, p *Plan, priority int) (*Result, QueryStats, error) {
-	cp := x.sess.Compile(p)
+	return x.RunSnap(ctx, p, priority, nil)
+}
+
+// RunSnap is Run with every table scan pinned to the given storage snap
+// (nil = each scan reads the latest committed view). Servers pin a snap
+// at admission so a query's scans all see one data-version while
+// appends keep landing.
+func (x *Exec) RunSnap(ctx context.Context, p *Plan, priority int, snap *storage.Snap) (*Result, QueryStats, error) {
+	cp := x.sess.CompileSnap(p, snap)
 	if priority >= 1 {
 		cp.Query.Priority = priority
 	}

@@ -1,0 +1,107 @@
+// Package ingest is the sustained-ingest harness: a deterministic tick
+// feed with a precomputed oracle, and a driver that streams the feed
+// into a server's append path while concurrent readers verify that
+// every query result is exactly consistent with the data-version the
+// query was pinned to. The engine's only order-dependent results are
+// parallel float aggregations, so the oracle checks integer aggregates
+// (COUNT, SUM of an int column, MAX of the sequence number) — those are
+// exact at every version, making "consistent with some pinned version"
+// a byte-equality check rather than a tolerance check.
+package ingest
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// symbols is the tick symbol domain. Small on purpose: group-bys over
+// sym produce stable, enumerable results.
+var symbols = [8]string{"AAPL", "MSFT", "GOOG", "AMZN", "NVDA", "META", "TSLA", "INTC"}
+
+// Schema is the ticks table layout the feed generates.
+func Schema() storage.Schema {
+	return storage.Schema{
+		{Name: "seq", Type: storage.I64},
+		{Name: "sym", Type: storage.Str},
+		{Name: "px", Type: storage.F64},
+		{Name: "qty", Type: storage.I64},
+	}
+}
+
+// mix is the splitmix64 finalizer: a bijective avalanche over uint64,
+// so event i's values are a pure function of (seed, i) — any batch can
+// be regenerated without replaying the stream.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// event returns the deterministic values of global event i. The hash
+// input is the splitmix64 stream seed + i·golden — NOT seed^i, which
+// for two seeds differing in low bits merely permutes the same value
+// multiset over an aligned index range, making aggregate oracles
+// collide across seeds.
+func event(seed uint64, i int) (sym string, px float64, qty int64) {
+	h := mix(seed + uint64(i)*0x9e3779b97f4a7c15)
+	sym = symbols[h&7]
+	// Price on a 0.01 grid in [1, 1000): exact in float64.
+	px = float64(100+(h>>3)%99_900) / 100
+	qty = int64(1 + (h>>20)%100)
+	return
+}
+
+// Feed is a deterministic stream of tick batches plus the oracle tables
+// needed to validate a query pinned at any batch version: after batch v
+// committed, the table holds exactly the first v batches, so
+// COUNT(*) = v*BatchRows, SUM(qty) = cumQty[v], MAX(seq) = v*BatchRows-1.
+type Feed struct {
+	BatchRows int
+	Batches   int
+	Seed      uint64
+	cumQty    []int64
+}
+
+// NewFeed precomputes the oracle for events/batchRows batches. events
+// must divide evenly into batches — uniform batches keep the oracle a
+// pure function of the version number.
+func NewFeed(events, batchRows int, seed uint64) (*Feed, error) {
+	if batchRows <= 0 || events <= 0 || events%batchRows != 0 {
+		return nil, fmt.Errorf("ingest: %d events must be a positive multiple of batch size %d", events, batchRows)
+	}
+	f := &Feed{BatchRows: batchRows, Batches: events / batchRows, Seed: seed}
+	f.cumQty = make([]int64, f.Batches+1)
+	for i := 0; i < events; i++ {
+		_, _, qty := event(seed, i)
+		f.cumQty[i/batchRows+1] += qty
+	}
+	for v := 1; v <= f.Batches; v++ {
+		f.cumQty[v] += f.cumQty[v-1]
+	}
+	return f, nil
+}
+
+// Batch materializes batch k (0-based). Batches are disjoint slices of
+// the event stream: batch k holds events [k*BatchRows, (k+1)*BatchRows).
+func (f *Feed) Batch(k int) []storage.Row {
+	rows := make([]storage.Row, f.BatchRows)
+	base := k * f.BatchRows
+	for i := range rows {
+		sym, px, qty := event(f.Seed, base+i)
+		rows[i] = storage.Row{int64(base + i), sym, px, qty}
+	}
+	return rows
+}
+
+// Expect returns the oracle aggregates visible at version v: the table
+// state after exactly the first v batches committed. maxSeq is -1 at
+// version 0 (no rows).
+func (f *Feed) Expect(v uint64) (n, sumQty, maxSeq int64) {
+	if int(v) > f.Batches {
+		panic(fmt.Sprintf("ingest: version %d beyond the %d-batch feed", v, f.Batches))
+	}
+	n = int64(v) * int64(f.BatchRows)
+	return n, f.cumQty[v], n - 1
+}

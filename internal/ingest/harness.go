@@ -1,0 +1,295 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// OracleSQL is the consistency probe readers run continuously. All
+// three aggregates are integer-exact regardless of morsel scheduling,
+// so the result at pinned version v must equal Feed.Expect(v) bit for
+// bit — any deviation is a torn batch or a mis-pinned snapshot.
+const OracleSQL = "SELECT COUNT(*) AS n, SUM(qty) AS q, MAX(seq) AS m FROM ticks"
+
+// Config drives one harness run.
+type Config struct {
+	// Events and BatchRows shape the feed (Events/BatchRows batches).
+	Events    int
+	BatchRows int
+	// RatePerSec paces the writer to a target event rate; 0 streams
+	// batches back to back.
+	RatePerSec int
+	// Readers is how many concurrent oracle queriers run against the
+	// ticks table for the duration of the ingest.
+	Readers int
+	// ReadOnlySQL are queries over tables the writer never touches
+	// (e.g. the gated TPC-H subset). Each is run once before ingest
+	// starts to capture a reference, then continuously during ingest;
+	// every concurrent result must match its reference.
+	ReadOnlySQL []string
+	// Seed makes the feed deterministic.
+	Seed uint64
+}
+
+// Result summarizes a harness run.
+type Result struct {
+	Events  int
+	Batches int
+	// OracleChecks and ReadOnlyRuns count verified query results.
+	OracleChecks int64
+	ReadOnlyRuns int64
+	// AppendP50Ms / AppendP99Ms are per-batch append latency quantiles.
+	AppendP50Ms float64
+	AppendP99Ms float64
+	// ElapsedMs is writer wall time; EventsPerSec the achieved rate.
+	ElapsedMs    float64
+	EventsPerSec float64
+}
+
+// NewTicksServer builds a server holding an empty ticks table: every
+// row the harness reads arrives through the append path.
+func NewTicksServer(workers int, cfg server.Config) *server.Server {
+	sys := core.NewSystem(core.Nehalem(), core.Options{Workers: workers, MorselRows: 4096})
+	s := server.New(sys, cfg)
+	tb := core.NewTableBuilder("ticks", Schema(), 8, "seq")
+	s.RegisterTable(sys.Register(tb))
+	return s
+}
+
+// canon renders a response's rows order-insensitively for reference
+// comparison. Floats keep full precision: read-only tables make reruns
+// of the same plan morsel-count-identical only in their integer and
+// string cells, so floats are compared with tolerance in sameAsRef.
+func canon(resp *server.Response) [][]any {
+	rows := append([][]any{}, resp.Rows...)
+	key := func(row []any) string {
+		var b strings.Builder
+		for _, v := range row {
+			fmt.Fprintf(&b, "%v|", v)
+		}
+		return b.String()
+	}
+	sort.Slice(rows, func(i, j int) bool { return key(rows[i]) < key(rows[j]) })
+	return rows
+}
+
+// sameAsRef compares a concurrent run against the pre-ingest reference:
+// integers and strings must be identical; floats agree to 1e-9 relative
+// (parallel summation reorders additions, nothing more).
+func sameAsRef(got, want [][]any) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%d rows, reference has %d", len(got), len(want))
+	}
+	for i := range got {
+		if len(got[i]) != len(want[i]) {
+			return fmt.Errorf("row %d arity %d, reference %d", i, len(got[i]), len(want[i]))
+		}
+		for c := range got[i] {
+			gf, gok := got[i][c].(float64)
+			wf, wok := want[i][c].(float64)
+			if gok && wok {
+				diff := gf - wf
+				if diff < 0 {
+					diff = -diff
+				}
+				bound := 1e-9
+				if wf > 1 || wf < -1 {
+					if wf < 0 {
+						bound *= -wf
+					} else {
+						bound *= wf
+					}
+				}
+				if diff > bound {
+					return fmt.Errorf("row %d col %d: %v, reference %v", i, c, gf, wf)
+				}
+				continue
+			}
+			if got[i][c] != want[i][c] {
+				return fmt.Errorf("row %d col %d: %v, reference %v", i, c, got[i][c], want[i][c])
+			}
+		}
+	}
+	return nil
+}
+
+// Run streams the configured feed into the server's ticks table while
+// Readers goroutines verify the oracle at every pinned version and the
+// ReadOnlySQL queries keep returning their pre-ingest reference
+// results. It returns the first consistency violation as an error.
+func Run(ctx context.Context, s *server.Server, cfg Config) (*Result, error) {
+	feed, err := NewFeed(cfg.Events, cfg.BatchRows, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	refs := make([][][]any, len(cfg.ReadOnlySQL))
+	for i, q := range cfg.ReadOnlySQL {
+		resp, err := s.Submit(ctx, &server.Request{SQL: q})
+		if err != nil {
+			return nil, fmt.Errorf("reference for read-only query %d: %w", i, err)
+		}
+		refs[i] = canon(resp)
+	}
+
+	var (
+		failMu  sync.Mutex
+		failure error
+		done    atomic.Bool
+		checks  atomic.Int64
+		roRuns  atomic.Int64
+	)
+	fail := func(err error) {
+		failMu.Lock()
+		if failure == nil {
+			failure = err
+		}
+		failMu.Unlock()
+		done.Store(true)
+	}
+
+	// Commit batch 0 before readers start: MIN/MAX over an empty global
+	// aggregate group is engine-defined (zero), so the oracle only
+	// validates versions >= 1.
+	lat := make([]time.Duration, 0, feed.Batches)
+	appendBatch := func(k int) bool {
+		t0 := time.Now()
+		if _, err := s.Append(ctx, "ticks", feed.Batch(k)); err != nil {
+			fail(fmt.Errorf("append batch %d: %w", k, err))
+			return false
+		}
+		lat = append(lat, time.Since(t0))
+		return true
+	}
+	start := time.Now()
+	if !appendBatch(0) {
+		return nil, failure
+	}
+
+	// oracleCheck runs one probe and verifies it against the feed's
+	// oracle at the pinned version; last carries the reader's previous
+	// pin for the monotonicity invariant.
+	oracleCheck := func(who string, last uint64) (uint64, error) {
+		resp, err := s.Submit(ctx, &server.Request{SQL: OracleSQL})
+		if err != nil {
+			return last, fmt.Errorf("%s: %w", who, err)
+		}
+		v := resp.Versions["ticks"]
+		if v < last {
+			return last, fmt.Errorf("%s: version went backwards: %d after %d", who, v, last)
+		}
+		if int(v) > feed.Batches {
+			return v, fmt.Errorf("%s: pinned version %d beyond the %d-batch feed — the table took batches that are not ours",
+				who, v, feed.Batches)
+		}
+		n, q, m := resp.Rows[0][0].(int64), resp.Rows[0][1].(int64), resp.Rows[0][2].(int64)
+		en, eq, em := feed.Expect(v)
+		if n != en || q != eq || m != em {
+			return v, fmt.Errorf("%s: at version %d got n=%d q=%d m=%d, oracle says n=%d q=%d m=%d",
+				who, v, n, q, m, en, eq, em)
+		}
+		checks.Add(1)
+		return v, nil
+	}
+	readOnlyCheck := func(qi int) error {
+		resp, err := s.Submit(ctx, &server.Request{SQL: cfg.ReadOnlySQL[qi]})
+		if err != nil {
+			return fmt.Errorf("read-only query %d: %w", qi, err)
+		}
+		if err := sameAsRef(canon(resp), refs[qi]); err != nil {
+			return fmt.Errorf("read-only query %d diverged from pre-ingest reference: %w", qi, err)
+		}
+		roRuns.Add(1)
+		return nil
+	}
+
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.Readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			who := fmt.Sprintf("reader %d", r)
+			var last uint64
+			for !done.Load() {
+				v, err := oracleCheck(who, last)
+				if err != nil {
+					fail(err)
+					return
+				}
+				last = v
+			}
+		}(r)
+	}
+	if len(cfg.ReadOnlySQL) > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; !done.Load(); i++ {
+				if err := readOnlyCheck(i % len(cfg.ReadOnlySQL)); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+
+	var interval time.Duration
+	if cfg.RatePerSec > 0 {
+		interval = time.Duration(float64(cfg.BatchRows) / float64(cfg.RatePerSec) * float64(time.Second))
+	}
+	next := start.Add(interval)
+	for k := 1; k < feed.Batches && !done.Load(); k++ {
+		if interval > 0 {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			next = next.Add(interval)
+		}
+		if !appendBatch(k) {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	done.Store(true)
+	wg.Wait()
+	if failure != nil {
+		return nil, failure
+	}
+
+	// Final checks run inline after the writer: they deterministically
+	// validate the fully-ingested state (the concurrent readers above
+	// may sample any prefix — on a fast writer possibly none at all)
+	// and guarantee every run reports at least one verified result.
+	if _, err := oracleCheck("final check", uint64(feed.Batches)); err != nil {
+		return nil, err
+	}
+	for qi := range cfg.ReadOnlySQL {
+		if err := readOnlyCheck(qi); err != nil {
+			return nil, err
+		}
+	}
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	quant := func(q float64) float64 {
+		i := int(q * float64(len(lat)-1))
+		return float64(lat[i].Nanoseconds()) / 1e6
+	}
+	return &Result{
+		Events:       cfg.Events,
+		Batches:      feed.Batches,
+		OracleChecks: checks.Load(),
+		ReadOnlyRuns: roRuns.Load(),
+		AppendP50Ms:  quant(0.50),
+		AppendP99Ms:  quant(0.99),
+		ElapsedMs:    float64(elapsed.Nanoseconds()) / 1e6,
+		EventsPerSec: float64(cfg.Events) / elapsed.Seconds(),
+	}, nil
+}

@@ -1,0 +1,238 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/colstore"
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/storage"
+	"repro/internal/tpch"
+)
+
+func TestFeedOracleMatchesBruteForce(t *testing.T) {
+	const events, batchRows = 6_000, 500
+	f, err := NewFeed(events, batchRows, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n, q, m int64
+	m = -1
+	for k := 0; k < f.Batches; k++ {
+		for _, row := range f.Batch(k) {
+			n++
+			q += row[3].(int64)
+			if s := row[0].(int64); s > m {
+				m = s
+			}
+			if row[2].(float64) != float64(int64(row[2].(float64)*100+0.5))/100 {
+				t.Fatalf("price %v off the 0.01 grid", row[2])
+			}
+		}
+		en, eq, em := f.Expect(uint64(k + 1))
+		if n != en || q != eq || m != em {
+			t.Fatalf("batch %d: brute force n=%d q=%d m=%d, oracle n=%d q=%d m=%d", k, n, q, m, en, eq, em)
+		}
+	}
+	// Determinism: a second feed with the same seed is identical; a
+	// different seed is not.
+	f2, _ := NewFeed(events, batchRows, 42)
+	if _, q2, _ := f2.Expect(uint64(f.Batches)); q2 != q {
+		t.Fatalf("same seed diverged: %d vs %d", q2, q)
+	}
+	f3, _ := NewFeed(events, batchRows, 43)
+	if _, q3, _ := f3.Expect(uint64(f.Batches)); q3 == q {
+		t.Fatal("different seeds produced identical qty sums")
+	}
+	if _, err := NewFeed(1000, 300, 1); err == nil {
+		t.Fatal("non-divisible feed accepted")
+	}
+}
+
+// newTPCHTicksServer registers the empty ticks table next to the TPC-H
+// relations on one server, so ingest and the read-only analytical
+// workload share the admission gate, dispatcher and worker pool.
+func newTPCHTicksServer(t *testing.T, workers int) *server.Server {
+	t.Helper()
+	db := tpch.Generate(tpch.Config{SF: 0.01, Partitions: 8, Sockets: 2, Seed: 7})
+	sys := core.NewSystem(core.Nehalem(), core.Options{Workers: workers, MorselRows: 4096})
+	s := server.New(sys, server.Config{MaxConcurrent: 2 * workers, MaxQueue: 64})
+	for _, tab := range []*core.Table{
+		db.Region, db.Nation, db.Supplier, db.Customer,
+		db.Part, db.PartSupp, db.Orders, db.Lineitem,
+	} {
+		s.RegisterTable(tab)
+	}
+	tb := core.NewTableBuilder("ticks", Schema(), 8, "seq")
+	s.RegisterTable(sys.Register(tb))
+	t.Cleanup(s.Close)
+	return s
+}
+
+// gatedTPCH returns the SQL texts of the paper's gated TPC-H subset
+// that the harness runs concurrently with ingest.
+func gatedTPCH(nums ...int) []string {
+	qs := make([]string, len(nums))
+	for i, n := range nums {
+		qs[i] = tpch.MustSQLText(n, 0.01)
+	}
+	return qs
+}
+
+// TestSustainedIngest is the tentpole's acceptance harness: a 2M-event
+// deterministic feed streams into the ticks table while concurrent
+// readers verify every pinned version against the oracle and the gated
+// TPC-H subset keeps returning its pre-ingest reference results on the
+// read-only relations. Run under -race in CI (-short scales the feed
+// down, full size otherwise).
+func TestSustainedIngest(t *testing.T) {
+	events := 2_000_000
+	if testing.Short() {
+		events = 200_000
+	}
+	s := newTPCHTicksServer(t, 8)
+	res, err := Run(context.Background(), s, Config{
+		Events:      events,
+		BatchRows:   1_000,
+		Readers:     3,
+		ReadOnlySQL: gatedTPCH(1, 6, 12, 14),
+		Seed:        2024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events != events || res.Batches != events/1_000 {
+		t.Fatalf("result shape %+v", res)
+	}
+	if res.OracleChecks == 0 {
+		t.Fatal("no oracle checks ran during ingest")
+	}
+	if res.ReadOnlyRuns == 0 {
+		t.Fatal("no read-only queries ran during ingest")
+	}
+	if res.AppendP99Ms < res.AppendP50Ms {
+		t.Fatalf("p99 %v < p50 %v", res.AppendP99Ms, res.AppendP50Ms)
+	}
+	t.Logf("ingest: %d events, %.0f events/s, append p50 %.3fms p99 %.3fms, %d oracle checks, %d read-only runs",
+		res.Events, res.EventsPerSec, res.AppendP50Ms, res.AppendP99Ms, res.OracleChecks, res.ReadOnlyRuns)
+}
+
+// TestAppendWhileQuerying runs the harness across worker-pool sizes:
+// visibility must not depend on how many workers race the writer.
+func TestAppendWhileQuerying(t *testing.T) {
+	for _, workers := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			sys := core.NewSystem(core.Nehalem(), core.Options{Workers: workers, MorselRows: 4096})
+			s := server.New(sys, server.Config{MaxConcurrent: 2 * workers, MaxQueue: 64})
+			tb := core.NewTableBuilder("ticks", Schema(), 8, "seq")
+			s.RegisterTable(sys.Register(tb))
+			defer s.Close()
+			res, err := Run(context.Background(), s, Config{
+				Events:    60_000,
+				BatchRows: 500,
+				Readers:   workers,
+				Seed:      uint64(workers),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.OracleChecks == 0 {
+				t.Fatal("no oracle checks ran")
+			}
+		})
+	}
+}
+
+// TestHarnessDetectsTornState proves the oracle has teeth: rows that
+// did not come from the feed shift every aggregate, so a poisoned table
+// must make Run fail on its first reader check.
+func TestHarnessDetectsTornState(t *testing.T) {
+	s := NewTicksServer(4, server.Config{MaxConcurrent: 8})
+	defer s.Close()
+	ctx := context.Background()
+	if _, err := s.Append(ctx, "ticks", []storage.Row{{int64(999_999), "ROGUE", 1.0, int64(7)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(ctx, s, Config{Events: 50_000, BatchRows: 500, Readers: 2, Seed: 1}); err == nil {
+		t.Fatal("harness accepted a table poisoned with out-of-feed rows")
+	}
+}
+
+// TestPropertySnapshotVisibility model-checks the write path: a seeded
+// random interleaving of appends (variable batch sizes), oracle
+// queries and snapshot compactions runs against a pure-Go model of the
+// table. After every operation the oracle must match the model exactly,
+// the pinned version must equal the model's committed-batch count, and
+// versions must survive compaction (continuity, never a reset).
+func TestPropertySnapshotVisibility(t *testing.T) {
+	s := NewTicksServer(4, server.Config{MaxConcurrent: 8})
+	defer s.Close()
+	s.EnableSnapshots(t.TempDir(), "prop", colstore.Options{SegRows: 256})
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(7))
+
+	var (
+		version uint64 // model: batches committed
+		rows    int64
+		sumQty  int64
+		maxSeq  int64 = -1
+		nextSeq int64
+	)
+	for op := 0; op < 400; op++ {
+		switch r := rng.Intn(10); {
+		case r < 6: // append a batch of 1..64 rows
+			n := 1 + rng.Intn(64)
+			batch := make([]storage.Row, n)
+			for i := range batch {
+				qty := int64(1 + rng.Intn(100))
+				batch[i] = storage.Row{nextSeq, symbols[rng.Intn(len(symbols))], 1.25, qty}
+				sumQty += qty
+				maxSeq = nextSeq
+				nextSeq++
+			}
+			rows += int64(n)
+			version++
+			ar, err := s.Append(ctx, "ticks", batch)
+			if err != nil {
+				t.Fatalf("op %d: append: %v", op, err)
+			}
+			if ar.Version != version {
+				t.Fatalf("op %d: append committed version %d, model says %d", op, ar.Version, version)
+			}
+		case r < 9: // oracle query
+			if version == 0 {
+				continue // MIN/MAX over an empty table is engine-defined
+			}
+			resp, err := s.Submit(ctx, &server.Request{SQL: OracleSQL})
+			if err != nil {
+				t.Fatalf("op %d: query: %v", op, err)
+			}
+			if v := resp.Versions["ticks"]; v != version {
+				t.Fatalf("op %d: pinned version %d, model says %d", op, v, version)
+			}
+			n, q, m := resp.Rows[0][0].(int64), resp.Rows[0][1].(int64), resp.Rows[0][2].(int64)
+			if n != rows || q != sumQty || m != maxSeq {
+				t.Fatalf("op %d: got n=%d q=%d m=%d, model n=%d q=%d m=%d", op, n, q, m, rows, sumQty, maxSeq)
+			}
+		default: // snapshot: compacts the delta, must not move the version
+			if _, err := s.Snapshot(); err != nil {
+				t.Fatalf("op %d: snapshot: %v", op, err)
+			}
+			tk, ok := s.Table("ticks")
+			if !ok {
+				t.Fatalf("op %d: ticks vanished after compaction", op)
+			}
+			if d := tk.DeltaIfAny(); d != nil {
+				if d.Rows() != 0 {
+					t.Fatalf("op %d: compaction left %d rows in the delta", op, d.Rows())
+				}
+				if got := d.Version(); got != version {
+					t.Fatalf("op %d: compaction moved version to %d, model says %d", op, got, version)
+				}
+			}
+		}
+	}
+}

@@ -20,6 +20,10 @@ type planCache struct {
 	byKey map[string]*list.Element
 
 	hits, misses, evictions, invalidations int64
+	// staleHits counts lookups that found an entry invalidated purely by
+	// a data-version advance (same catalog word): the plan was reusable
+	// yesterday, but delta growth moved the statistics under it.
+	staleHits int64
 }
 
 type cacheEntry struct {
@@ -51,6 +55,9 @@ func (c *planCache) get(key string, version uint64) (*sql.Prepared, bool) {
 		c.lru.Remove(el)
 		delete(c.byKey, key)
 		c.invalidations++
+		if e.version>>32 == version>>32 {
+			c.staleHits++
+		}
 		c.misses++
 		return nil, false
 	}
@@ -88,13 +95,17 @@ func (c *planCache) put(key string, version uint64, prep *sql.Prepared) {
 
 // PlanCacheStats is the exported snapshot served by GET /stats.
 type PlanCacheStats struct {
-	Hits          int64   `json:"hits"`
-	Misses        int64   `json:"misses"`
-	Evictions     int64   `json:"evictions"`
-	Invalidations int64   `json:"invalidations"`
-	Size          int     `json:"size"`
-	Max           int     `json:"max"`
-	HitRate       float64 `json:"hit_rate"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
+	// StaleHits counts invalidations caused by data-version advances
+	// alone (ingest crossing the stats-refresh threshold), as opposed to
+	// catalog changes.
+	StaleHits int64   `json:"stale_hits"`
+	Size      int     `json:"size"`
+	Max       int     `json:"max"`
+	HitRate   float64 `json:"hit_rate"`
 }
 
 func (c *planCache) stats() PlanCacheStats {
@@ -106,7 +117,8 @@ func (c *planCache) stats() PlanCacheStats {
 	s := PlanCacheStats{
 		Hits: c.hits, Misses: c.misses,
 		Evictions: c.evictions, Invalidations: c.invalidations,
-		Size: c.lru.Len(), Max: c.max,
+		StaleHits: c.staleHits,
+		Size:      c.lru.Len(), Max: c.max,
 	}
 	if total := s.Hits + s.Misses; total > 0 {
 		s.HitRate = float64(s.Hits) / float64(total)

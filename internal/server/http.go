@@ -13,6 +13,7 @@ const maxBodyBytes = 1 << 20
 // Handler returns the server's HTTP API:
 //
 //	POST /query          — run a prepared plan, inline DSL plan, or SQL
+//	POST /append         — append a row batch to a table's delta
 //	GET  /stats          — dispatcher / admission / pool / per-class counters
 //	GET  /tables         — registered tables and prepared plan names
 //	GET  /healthz        — liveness
@@ -26,6 +27,7 @@ const maxBodyBytes = 1 << 20
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /append", s.handleAppend)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /tables", s.handleTables)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)

@@ -83,6 +83,11 @@ type Config struct {
 	// streams and poison the query into a clean error on a
 	// partial-then-retry.
 	FragRetries int
+	// StatsRefreshRows is how many appended rows a table accumulates
+	// before the server advances its data-version, recompiling cached
+	// plans against delta-merged statistics (default 4096, negative
+	// disables the refresh).
+	StatsRefreshRows int
 }
 
 func (c Config) withDefaults(sockets int) Config {
@@ -189,6 +194,12 @@ type Response struct {
 	// DistNodes how many nodes took part.
 	Distributed bool `json:"distributed,omitempty"`
 	DistNodes   int  `json:"dist_nodes,omitempty"`
+	// Versions maps each scanned table that has an append delta to the
+	// data-version this query was pinned to: the result reflects exactly
+	// the batches committed at that version. For INSERT responses it
+	// carries the version the batch committed at instead. Absent for
+	// tables that were never appended to.
+	Versions map[string]uint64 `json:"versions,omitempty"`
 }
 
 // Server is a concurrent query service over one core.System.
@@ -212,12 +223,17 @@ type Server struct {
 
 	// catalogVersion advances whenever the table set changes; the plan
 	// cache keys on it so a re-registered table invalidates cached plans
-	// compiled against the old table object.
+	// compiled against the old table object. dataVersion advances when
+	// appended rows cross the stats-refresh threshold; both feed the
+	// composite plan-cache version (planVersion), so cached plans go
+	// stale on schema changes and on significant data growth.
 	catalogVersion atomic.Uint64
+	dataVersion    atomic.Uint64
 	cache          *planCache
 
-	adm   admission
-	stats serverStats
+	adm    admission
+	stats  serverStats
+	ingest ingestState
 }
 
 // New creates a started server on the given system. Callers register
@@ -291,6 +307,9 @@ func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
 	default:
 		return nil, &BadRequestError{Msg: fmt.Sprintf("unknown priority class %q (want interactive or batch)", req.Priority)}
 	}
+	if req.SQL != "" && sql.IsInsert(req.SQL) {
+		return s.submitInsert(ctx, req, class)
+	}
 	plan, err := s.resolvePlan(req)
 	if err != nil {
 		return nil, err
@@ -353,11 +372,34 @@ func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
 	defer s.adm.release()
 	queued := time.Since(start)
 
+	// Pin the data-version at admission: every scan of this query reads
+	// the sealed partitions plus exactly the delta prefix committed now,
+	// so the result is consistent with one version even while appends
+	// keep landing. Free (nil) until the first append ever.
+	snap := s.pinSnap()
+	var versions map[string]uint64
+	if snap != nil {
+		for _, t := range planScanTables(plan) {
+			if v, ok := snap.Version(t.Name); ok {
+				if versions == nil {
+					versions = make(map[string]uint64)
+				}
+				versions[t.Name] = v
+				if distPlan != nil && snap.DeltaRows(t.Name) > 0 {
+					// Shard views cover sealed data only; run single-node
+					// so the pinned delta stays visible.
+					distPlan = nil
+					s.ingest.noteDistFallback()
+				}
+			}
+		}
+	}
+
 	var res *engine.Result
 	if distPlan != nil {
 		res, err = s.runDistributed(qctx, cs, distPlan, class.priority())
 	} else {
-		res, _, err = s.exec.Run(qctx, plan, class.priority())
+		res, _, err = s.exec.RunSnap(qctx, plan, class.priority(), snap)
 	}
 	elapsed := time.Since(start)
 	if err != nil {
@@ -366,11 +408,20 @@ func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
 	}
 	s.stats.complete(class, elapsed)
 	resp := s.respond(plan, class, res, req, queued, elapsed)
+	resp.Versions = versions
 	if distPlan != nil {
 		resp.Distributed = true
 		resp.DistNodes = cs.cl.N()
 	}
 	return resp, nil
+}
+
+// planVersion is the composite plan-cache version: catalog changes in
+// the high word, data-version advances (stats refreshes) in the low
+// word. Either kind of change invalidates cached plans; the cache
+// counts data-only invalidations separately as stale hits.
+func (s *Server) planVersion() uint64 {
+	return s.catalogVersion.Load()<<32 | s.dataVersion.Load()&0xffffffff
 }
 
 func (s *Server) admit(ctx context.Context, class Class) error {
@@ -462,7 +513,7 @@ func (s *Server) prepareSQL(query string, ph sql.Physical) (*sql.Prepared, error
 	if err := ph.Validate(); err != nil {
 		return nil, err
 	}
-	version := s.catalogVersion.Load()
+	version := s.planVersion()
 	key := ph.Key() + "\x00" + query
 	if s.cache != nil {
 		if prep, ok := s.cache.get(key, version); ok {
@@ -693,6 +744,10 @@ type Stats struct {
 
 	PlanCache PlanCacheStats `json:"plan_cache"`
 
+	// Ingest is the write-path section: append/INSERT counters, stats
+	// refreshes, and per-table delta versions.
+	Ingest IngestSnapshot `json:"ingest"`
+
 	Pool struct {
 		Morsels         int64   `json:"morsels"`
 		Tuples          int64   `json:"tuples"`
@@ -722,6 +777,7 @@ func (s *Server) Stats() Stats {
 	st.Admission.MaxConcurrent = s.cfg.MaxConcurrent
 	st.Admission.MaxQueue = s.cfg.MaxQueue
 	st.PlanCache = s.cache.stats()
+	st.Ingest = s.ingestSnapshot()
 	pool := s.exec.PoolStats()
 	st.Pool.Morsels = pool.Tasks
 	st.Pool.Tuples = pool.Tuples
@@ -737,11 +793,16 @@ func (s *Server) Stats() Stats {
 	return st
 }
 
-// TableInfo describes one queryable table for GET /tables.
+// TableInfo describes one queryable table for GET /tables. Rows counts
+// sealed rows; DeltaRows the committed append delta on top of them, and
+// Version the table's data-version (committed batch count) — both zero
+// for tables never appended to.
 type TableInfo struct {
-	Name    string   `json:"name"`
-	Rows    int      `json:"rows"`
-	Columns []string `json:"columns"`
+	Name      string   `json:"name"`
+	Rows      int      `json:"rows"`
+	DeltaRows int      `json:"delta_rows,omitempty"`
+	Version   uint64   `json:"version,omitempty"`
+	Columns   []string `json:"columns"`
 }
 
 // Tables lists registered tables and prepared plan names.
@@ -753,7 +814,12 @@ func (s *Server) Tables() (tables []TableInfo, prepared []string) {
 		for i, c := range t.Schema {
 			cols[i] = c.Name
 		}
-		tables = append(tables, TableInfo{Name: t.Name, Rows: t.Rows(), Columns: cols})
+		info := TableInfo{Name: t.Name, Rows: t.Rows(), Columns: cols}
+		if d := t.DeltaIfAny(); d != nil {
+			info.DeltaRows = d.Rows()
+			info.Version = d.Version()
+		}
+		tables = append(tables, info)
 	}
 	sort.Slice(tables, func(i, j int) bool { return tables[i].Name < tables[j].Name })
 	for name := range s.prepared {

@@ -16,6 +16,13 @@ import (
 // safe because tables are immutable once registered and EncodeTable
 // never mutates the tables it seals (zone maps a table lacks are
 // computed on the side, not written back into live partitions).
+//
+// Tables with append deltas are compacted first: SealDelta folds the
+// committed prefix into sealed partitions at one batch boundary and the
+// replacement table is registered under the catalog lock, so the
+// written snapshot captures a consistent data-version even while
+// appends race the seal (a racing Append hits the closed delta, retries
+// and lands on the replacement's delta — never half inside the file).
 
 // EnableSnapshots turns on the POST /snapshot endpoint, sealing
 // registered tables into dir under the given dataset label.
@@ -27,16 +34,30 @@ func (s *Server) EnableSnapshots(dir, label string, opt colstore.Options) {
 	s.snapOpt = opt
 }
 
-// Snapshot seals every registered table into the configured directory
-// and returns the written manifest.
+// Snapshot compacts every table's append delta into sealed partitions,
+// then seals the registered tables into the configured directory and
+// returns the written manifest. Restored processes therefore see the
+// ingested rows as ordinary sealed data — the delta is preserved, not
+// dropped.
 func (s *Server) Snapshot() (colstore.Manifest, error) {
-	s.mu.RLock()
+	s.mu.Lock()
 	dir, label, opt := s.snapDir, s.snapLabel, s.snapOpt
+	compacted := false
+	for name, t := range s.tables {
+		if d := t.DeltaIfAny(); d != nil && d.Rows() > 0 {
+			nt, _ := t.SealDelta(opt.SegRows)
+			s.tables[name] = nt
+			compacted = true
+		}
+	}
+	if compacted {
+		s.catalogVersion.Add(1)
+	}
 	tables := make([]*core.Table, 0, len(s.tables))
 	for _, t := range s.tables {
 		tables = append(tables, t)
 	}
-	s.mu.RUnlock()
+	s.mu.Unlock()
 	sort.Slice(tables, func(i, j int) bool { return tables[i].Name < tables[j].Name })
 	s.snapWrite.Lock()
 	defer s.snapWrite.Unlock()

@@ -35,7 +35,7 @@ type baseTable struct {
 	materialized bool
 }
 
-func (b *baseTable) rows() int { return b.t.Rows() }
+func (b *baseTable) rows() int { return b.t.LiveStats().Rows }
 
 // reg returns the pipeline register a column of this relation lands in
 // (the column name itself unless renamed).

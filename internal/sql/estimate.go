@@ -280,7 +280,7 @@ func colStatsOf(t *baseTable, e Expr) (*storage.ColStats, bool) {
 	if _, ok := t.cols[c.Name]; !ok {
 		return nil, false
 	}
-	cs := t.t.Stats().Col(c.Name)
+	cs := t.t.LiveStats().Col(c.Name)
 	return cs, cs != nil
 }
 
@@ -326,7 +326,7 @@ func litValue(e Expr) (float64, bool) {
 func keyNDVs(sc *scope, e Expr, sideCard float64) (raw, eff float64) {
 	if c, ok := e.(*Col); ok {
 		if t, _, err := sc.resolveUp(c); err == nil && t != nil {
-			if cs := t.t.Stats().Col(c.Name); cs != nil && cs.NDV > 0 {
+			if cs := t.t.LiveStats().Col(c.Name); cs != nil && cs.NDV > 0 {
 				raw = float64(cs.NDV)
 				return raw, min(raw, max(sideCard, 1))
 			}
@@ -416,7 +416,7 @@ func (pl *planner) groupKeyNDV(g Expr) float64 {
 	switch x := g.(type) {
 	case *Col:
 		if t, err := pl.sc.resolve(x); err == nil && t != nil {
-			if cs := t.t.Stats().Col(x.Name); cs != nil && cs.NDV > 0 {
+			if cs := t.t.LiveStats().Col(x.Name); cs != nil && cs.NDV > 0 {
 				return float64(cs.NDV)
 			}
 		}
@@ -424,7 +424,7 @@ func (pl *planner) groupKeyNDV(g Expr) float64 {
 		if x.Name == "YEAR" && len(x.Args) == 1 {
 			if c, ok := x.Args[0].(*Col); ok {
 				if t, err := pl.sc.resolve(c); err == nil && t != nil {
-					if lo, hi, ok := t.t.Stats().Col(c.Name).NumericRange(); ok {
+					if lo, hi, ok := t.t.LiveStats().Col(c.Name).NumericRange(); ok {
 						return max(1, (hi-lo)/365.25)
 					}
 				}

@@ -1,0 +1,233 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/storage"
+)
+
+// This file is the write-path front end: INSERT INTO ... VALUES parsed
+// and bound against the catalog into storage.Rows ready for a table's
+// append delta. INSERT is deliberately minimal — literal tuples only,
+// every schema column supplied (the storage layer has no NULLs) — since
+// bulk ingest goes through the typed /append API; INSERT exists so the
+// SQL surface is writable end to end.
+
+// Insert is the AST of one INSERT INTO ... VALUES statement.
+type Insert struct {
+	// Table is the target table name (lowercased).
+	Table string
+	// Cols is the explicit column list, lowercased; empty means schema
+	// order.
+	Cols []string
+	// Rows holds the literal tuples in source order. Values are int64,
+	// float64, or string according to the literal's lexical form; the
+	// binder coerces them to the target column types.
+	Rows [][]any
+}
+
+// IsInsert reports whether the statement's first keyword is INSERT, so
+// servers can route writes before parsing.
+func IsInsert(query string) bool {
+	rest := strings.TrimSpace(query)
+	if len(rest) < 6 {
+		return false
+	}
+	if !strings.EqualFold(rest[:6], "INSERT") {
+		return false
+	}
+	return len(rest) == 6 || !isIdentByte(rest[6])
+}
+
+func isIdentByte(b byte) bool {
+	return b == '_' || b >= '0' && b <= '9' || b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z'
+}
+
+// ParseInsert parses one INSERT INTO name [(cols)] VALUES (..),(..)
+// statement. Like Parse it never panics; malformed input returns a
+// *ParseError with a position.
+func ParseInsert(query string) (*Insert, error) {
+	toks, err := lex(query)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	if err := p.expectKw("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("INTO"); err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tIdent {
+		return nil, p.errf("expected table name, got %s", p.cur().describe())
+	}
+	ins := &Insert{Table: strings.ToLower(p.next().text)}
+	if p.eatSymbol("(") {
+		for {
+			if p.cur().kind != tIdent {
+				return nil, p.errf("expected column name, got %s", p.cur().describe())
+			}
+			ins.Cols = append(ins.Cols, strings.ToLower(p.next().text))
+			if p.eatSymbol(")") {
+				break
+			}
+			if err := p.expectSymbol(","); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.expectKw("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		row, err := p.parseInsertTuple()
+		if err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.eatSymbol(",") {
+			break
+		}
+	}
+	if p.symbol(";") {
+		p.next()
+	}
+	if p.cur().kind != tEOF {
+		return nil, p.errf("unexpected %s after end of statement", p.cur().describe())
+	}
+	return ins, nil
+}
+
+func (p *parser) parseInsertTuple() ([]any, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var row []any
+	for {
+		v, err := p.parseInsertLiteral()
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, v)
+		if p.eatSymbol(")") {
+			return row, nil
+		}
+		if err := p.expectSymbol(","); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) parseInsertLiteral() (any, error) {
+	neg := false
+	if p.symbol("-") {
+		p.next()
+		neg = true
+	}
+	t := p.cur()
+	switch t.kind {
+	case tInt:
+		p.next()
+		if neg {
+			return -t.i, nil
+		}
+		return t.i, nil
+	case tFloat:
+		p.next()
+		if neg {
+			return -t.f, nil
+		}
+		return t.f, nil
+	case tString:
+		if neg {
+			return nil, p.errf("cannot negate a string literal")
+		}
+		p.next()
+		return t.s, nil
+	}
+	return nil, p.errf("expected literal value, got %s", t.describe())
+}
+
+// BindInsert resolves the statement against the catalog and converts
+// every tuple to the table's row shape: int64 for I64 (date-shaped
+// strings are parsed to days since epoch), float64 for F64 (integer
+// literals widen), string for Str. The storage layer has no NULLs, so a
+// column list must cover the full schema.
+func BindInsert(ins *Insert, cat Catalog) (*storage.Table, []storage.Row, error) {
+	t, ok := cat(ins.Table)
+	if !ok {
+		return nil, nil, fmt.Errorf("sql: unknown table %q", ins.Table)
+	}
+	// perm[s] is the tuple index feeding schema column s.
+	perm := make([]int, len(t.Schema))
+	if len(ins.Cols) == 0 {
+		for i := range perm {
+			perm[i] = i
+		}
+	} else {
+		if len(ins.Cols) != len(t.Schema) {
+			return nil, nil, fmt.Errorf("sql: INSERT into %q names %d columns, table has %d (all columns are required)",
+				ins.Table, len(ins.Cols), len(t.Schema))
+		}
+		for i := range perm {
+			perm[i] = -1
+		}
+		for ti, name := range ins.Cols {
+			si := t.Schema.Index(name)
+			if si < 0 {
+				return nil, nil, fmt.Errorf("sql: table %q has no column %q", ins.Table, name)
+			}
+			if perm[si] >= 0 {
+				return nil, nil, fmt.Errorf("sql: column %q listed twice", name)
+			}
+			perm[si] = ti
+		}
+	}
+	rows := make([]storage.Row, len(ins.Rows))
+	for ri, tuple := range ins.Rows {
+		if len(tuple) != len(t.Schema) {
+			return nil, nil, fmt.Errorf("sql: INSERT row %d has %d values, want %d", ri+1, len(tuple), len(t.Schema))
+		}
+		row := make(storage.Row, len(t.Schema))
+		for si, def := range t.Schema {
+			v, err := coerceInsertValue(tuple[perm[si]], def)
+			if err != nil {
+				return nil, nil, fmt.Errorf("sql: INSERT row %d: %w", ri+1, err)
+			}
+			row[si] = v
+		}
+		rows[ri] = row
+	}
+	return t, rows, nil
+}
+
+func coerceInsertValue(v any, def storage.ColDef) (any, error) {
+	switch def.Type {
+	case storage.I64:
+		switch x := v.(type) {
+		case int64:
+			return x, nil
+		case string:
+			if engine.DateShaped(x) {
+				return engine.ParseDate(x), nil
+			}
+			return nil, fmt.Errorf("column %q wants an integer or date, got string %q", def.Name, x)
+		}
+		return nil, fmt.Errorf("column %q wants an integer, got %T", def.Name, v)
+	case storage.F64:
+		switch x := v.(type) {
+		case float64:
+			return x, nil
+		case int64:
+			return float64(x), nil
+		}
+		return nil, fmt.Errorf("column %q wants a number, got %T", def.Name, v)
+	default:
+		if x, ok := v.(string); ok {
+			return x, nil
+		}
+		return nil, fmt.Errorf("column %q wants a string, got %T", def.Name, v)
+	}
+}

@@ -1,0 +1,500 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/numa"
+)
+
+// This file is the write side of the storage layer: every table can grow
+// a mutable append delta next to its immutable sealed partitions.
+// Writers append whole batches under the delta's mutex and publish an
+// immutable DeltaView (version, committed row count, snapshot
+// partitions) through an atomic pointer; readers pin a view once and
+// scan it without any further synchronization. Visibility is therefore
+// MVCC-lite: a reader sees exactly the batches committed at the version
+// it pinned — never a torn batch — and never blocks the writer.
+//
+// View partitions share the delta's backing arrays but clip both length
+// and capacity to the committed prefix, so a writer appending beyond
+// that prefix touches disjoint addresses (or a reallocated array) and
+// the race detector stays quiet by construction, not by suppression.
+
+// ErrDeltaSealed is returned by Append after the delta has been folded
+// into sealed partitions (SealDelta). The caller should re-resolve the
+// table — compaction publishes a replacement — and retry.
+var ErrDeltaSealed = errors.New("storage: delta sealed by compaction")
+
+// deltaParts is the number of append partitions a delta spreads batches
+// over. Batches are routed round-robin, so concurrent scans of a large
+// delta still parallelize across partitions and sockets.
+const deltaParts = 8
+
+// DeltaView is one immutable snapshot of a table's delta: the batches
+// committed up to Version. Parts clip the delta's columns to the
+// committed prefix; Stats summarizes exactly those rows for the
+// estimator. Views are never mutated after publication.
+type DeltaView struct {
+	// Version counts the batches ever committed to the table, across
+	// compactions: SealDelta carries the counter into the replacement
+	// table, so versions are monotonic for the table name, not just for
+	// one delta instance.
+	Version uint64
+	// Rows is the number of delta rows visible at this version (rows
+	// sealed by earlier compactions are not counted here).
+	Rows  int
+	Parts []*Partition
+	// Stats summarizes the visible delta rows (per-column min/max and
+	// sketch-based NDV); Table.LiveStats merges it with the sealed
+	// statistics.
+	Stats *TableStats
+}
+
+// Delta is the mutable append side of one table. All mutation happens
+// under mu; readers only ever touch the published view.
+type Delta struct {
+	mu     sync.Mutex
+	schema Schema
+	closed bool
+	parts  []*Partition // writer-owned; never handed to readers
+	next   int          // round-robin batch cursor
+	rows   int
+	// version is the committed batch counter; seeded from the previous
+	// delta on compaction so it never moves backwards for a table name.
+	version uint64
+	// Incremental statistics: running per-column extrema plus an NDV
+	// sketch, folded into each published view so the estimator tracks
+	// delta growth without rescans.
+	cstats   []*ColStats
+	sketches []*hll
+
+	view atomic.Pointer[DeltaView]
+}
+
+func newDelta(schema Schema, startVersion uint64) *Delta {
+	d := &Delta{
+		schema:   schema,
+		parts:    make([]*Partition, deltaParts),
+		version:  startVersion,
+		cstats:   make([]*ColStats, len(schema)),
+		sketches: make([]*hll, len(schema)),
+	}
+	for i := range d.parts {
+		cols := make([]*Column, len(schema))
+		for j, def := range schema {
+			cols[j] = NewColumn(def.Name, def.Type)
+		}
+		// Delta pages are written by whichever worker serves the append,
+		// so no socket owns them; NoSocket models interleaved placement.
+		d.parts[i] = &Partition{Home: numa.NoSocket, Worker: -1, Cols: cols}
+	}
+	for j, def := range schema {
+		d.cstats[j] = &ColStats{Name: def.Name, Type: def.Type}
+		d.sketches[j] = &hll{}
+	}
+	// Publish an empty view carrying the start version so a pin taken
+	// before the first append (or right after a compaction handed the
+	// version over) still reports version continuity.
+	d.view.Store(&DeltaView{Version: startVersion})
+	return d
+}
+
+// View returns the latest committed view; its Parts are empty when
+// nothing has been appended yet. The result is immutable and safe to
+// scan concurrently with further appends.
+func (d *Delta) View() *DeltaView { return d.view.Load() }
+
+// Rows returns the committed row count of the delta.
+func (d *Delta) Rows() int {
+	if v := d.view.Load(); v != nil {
+		return v.Rows
+	}
+	return 0
+}
+
+// Version returns the committed batch counter.
+func (d *Delta) Version() uint64 {
+	if v := d.view.Load(); v != nil {
+		return v.Version
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.version
+}
+
+// Append validates and commits one batch, returning the new version.
+// The batch commits atomically: a reader pins either all of it or none
+// of it, and a validation error leaves the delta untouched.
+func (d *Delta) Append(rows []Row) (uint64, error) {
+	if len(rows) == 0 {
+		return 0, errors.New("storage: empty append batch")
+	}
+	for i, row := range rows {
+		if len(row) != len(d.schema) {
+			return 0, fmt.Errorf("storage: append row %d has %d values, schema has %d", i, len(row), len(d.schema))
+		}
+		for j, def := range d.schema {
+			switch def.Type {
+			case I64:
+				if _, ok := row[j].(int64); !ok {
+					return 0, fmt.Errorf("storage: append row %d column %q: want int64, got %T", i, def.Name, row[j])
+				}
+			case F64:
+				if _, ok := row[j].(float64); !ok {
+					return 0, fmt.Errorf("storage: append row %d column %q: want float64, got %T", i, def.Name, row[j])
+				}
+			default:
+				if _, ok := row[j].(string); !ok {
+					return 0, fmt.Errorf("storage: append row %d column %q: want string, got %T", i, def.Name, row[j])
+				}
+			}
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, ErrDeltaSealed
+	}
+	p := d.parts[d.next]
+	d.next = (d.next + 1) % len(d.parts)
+	for _, row := range rows {
+		for j, def := range d.schema {
+			c := p.Cols[j]
+			switch def.Type {
+			case I64:
+				v := row[j].(int64)
+				c.AppendI64(v)
+				d.noteI64(j, v)
+			case F64:
+				v := row[j].(float64)
+				c.AppendF64(v)
+				d.noteF64(j, v)
+			default:
+				v := row[j].(string)
+				c.AppendStr(v)
+				d.noteStr(j, v)
+			}
+		}
+	}
+	d.rows += len(rows)
+	d.version++
+	d.publishLocked()
+	return d.version, nil
+}
+
+func (d *Delta) noteI64(j int, v int64) {
+	cs := d.cstats[j]
+	if cs.NDV == 0 { // NDV==0 marks "no rows seen yet" until first publish
+		cs.MinI, cs.MaxI = v, v
+		cs.NDV = 1
+	} else if v < cs.MinI {
+		cs.MinI = v
+	} else if v > cs.MaxI {
+		cs.MaxI = v
+	}
+	d.sketches[j].add(mix64(uint64(v)))
+}
+
+func (d *Delta) noteF64(j int, v float64) {
+	cs := d.cstats[j]
+	if math.IsNaN(v) {
+		d.sketches[j].add(mix64(math.Float64bits(v)))
+		return
+	}
+	// NDV==0 means no non-NaN value recorded yet (bounds cover non-NaN
+	// values only, matching ComputeStats' zone-map convention).
+	if cs.NDV == 0 {
+		cs.MinF, cs.MaxF = v, v
+		cs.NDV = 1
+	} else if v < cs.MinF {
+		cs.MinF = v
+	} else if v > cs.MaxF {
+		cs.MaxF = v
+	}
+	d.sketches[j].add(mix64(math.Float64bits(v)))
+}
+
+func (d *Delta) noteStr(j int, v string) {
+	cs := d.cstats[j]
+	if cs.NDV == 0 {
+		cs.MinS, cs.MaxS = v, v
+		cs.NDV = 1
+	} else if v < cs.MinS {
+		cs.MinS = v
+	} else if v > cs.MaxS {
+		cs.MaxS = v
+	}
+	d.sketches[j].add(hashStr(v))
+}
+
+// publishLocked builds and stores an immutable view of the committed
+// prefix. Column slices clip both len and cap, so later appends can
+// never write into a published view's window.
+func (d *Delta) publishLocked() {
+	parts := make([]*Partition, 0, len(d.parts))
+	for _, p := range d.parts {
+		if p.Rows() == 0 {
+			continue
+		}
+		np := &Partition{Home: p.Home, Worker: p.Worker, Cols: make([]*Column, len(p.Cols))}
+		for i, c := range p.Cols {
+			nc := &Column{Name: c.Name, Type: c.Type}
+			switch c.Type {
+			case I64:
+				nc.Ints = c.Ints[:len(c.Ints):len(c.Ints)]
+			case F64:
+				nc.Flts = c.Flts[:len(c.Flts):len(c.Flts)]
+			default:
+				nc.Strs = c.Strs[:len(c.Strs):len(c.Strs)]
+				nc.strBytes = c.strBytes
+			}
+			np.Cols[i] = nc
+		}
+		parts = append(parts, np)
+	}
+	st := &TableStats{Rows: d.rows, cols: make(map[string]*ColStats, len(d.schema))}
+	for j, def := range d.schema {
+		cs := *d.cstats[j]
+		cs.NDV = d.sketches[j].estimate()
+		if d.rows > 0 && cs.NDV < 1 {
+			cs.NDV = 1
+		}
+		if n := int64(d.rows); cs.NDV > n {
+			cs.NDV = n
+		}
+		st.cols[def.Name] = &cs
+	}
+	d.view.Store(&DeltaView{Version: d.version, Rows: d.rows, Parts: parts, Stats: st})
+}
+
+// Delta returns the table's append delta, creating it on first use.
+func (t *Table) Delta() *Delta {
+	t.deltaMu.Lock()
+	defer t.deltaMu.Unlock()
+	if t.delta == nil {
+		t.delta = newDelta(t.Schema, 0)
+	}
+	return t.delta
+}
+
+// DeltaIfAny returns the table's delta without creating one.
+func (t *Table) DeltaIfAny() *Delta {
+	t.deltaMu.Lock()
+	defer t.deltaMu.Unlock()
+	return t.delta
+}
+
+// ScanParts returns the partitions a scan reads right now: the sealed
+// partitions plus the latest committed delta view. Callers that need
+// repeatable reads across several scans pin a Snap instead.
+func (t *Table) ScanParts() []*Partition {
+	d := t.DeltaIfAny()
+	if d == nil {
+		return t.Parts
+	}
+	v := d.view.Load()
+	if v == nil || len(v.Parts) == 0 {
+		return t.Parts
+	}
+	parts := make([]*Partition, 0, len(t.Parts)+len(v.Parts))
+	parts = append(parts, t.Parts...)
+	return append(parts, v.Parts...)
+}
+
+// LiveStats returns the table's statistics including the committed
+// delta: sealed stats merged with the delta view's incremental summary.
+// Unlike Stats, the result tracks ingest without rescanning anything.
+func (t *Table) LiveStats() *TableStats {
+	base := t.Stats()
+	d := t.DeltaIfAny()
+	if d == nil {
+		return base
+	}
+	v := d.view.Load()
+	if v == nil || v.Rows == 0 {
+		return base
+	}
+	merged := &TableStats{Rows: base.Rows + v.Rows, cols: make(map[string]*ColStats, len(t.Schema))}
+	for _, def := range t.Schema {
+		merged.cols[def.Name] = mergeColStats(base.Col(def.Name), v.Stats.Col(def.Name), int64(merged.Rows))
+	}
+	return merged
+}
+
+// mergeColStats combines sealed and delta summaries of one column. NDV
+// merges as the clipped sum — an upper bound, which keeps selectivity
+// estimates conservative rather than optimistic.
+func mergeColStats(b, d *ColStats, rows int64) *ColStats {
+	switch {
+	case b == nil && d == nil:
+		return &ColStats{}
+	case b == nil || b.NDV == 0:
+		cs := *d
+		if cs.NDV > rows {
+			cs.NDV = rows
+		}
+		return &cs
+	case d == nil || d.NDV == 0:
+		cs := *b
+		return &cs
+	}
+	cs := *b
+	cs.NDV = b.NDV + d.NDV
+	if cs.NDV > rows {
+		cs.NDV = rows
+	}
+	switch cs.Type {
+	case I64:
+		if d.MinI < cs.MinI {
+			cs.MinI = d.MinI
+		}
+		if d.MaxI > cs.MaxI {
+			cs.MaxI = d.MaxI
+		}
+	case F64:
+		if d.MinF < cs.MinF {
+			cs.MinF = d.MinF
+		}
+		if d.MaxF > cs.MaxF {
+			cs.MaxF = d.MaxF
+		}
+	default:
+		if d.MinS < cs.MinS {
+			cs.MinS = d.MinS
+		}
+		if d.MaxS > cs.MaxS {
+			cs.MaxS = d.MaxS
+		}
+	}
+	return &cs
+}
+
+// SealDelta folds the delta's committed rows into sealed partitions and
+// returns the replacement table plus the number of rows moved. The old
+// delta is closed — concurrent Append calls fail with ErrDeltaSealed and
+// retry against the replacement — but its final view stays published, so
+// plans still holding the old *Table keep reading a consistent snapshot.
+// The replacement's delta inherits the version counter; when the old
+// table carries zone maps, the newly sealed partitions get segment
+// directories too (segRows <= 0 selects DefaultSegRows).
+func (t *Table) SealDelta(segRows int) (*Table, int) {
+	d := t.DeltaIfAny()
+	if d == nil {
+		return t, 0
+	}
+	d.mu.Lock()
+	d.closed = true
+	v := d.view.Load()
+	d.mu.Unlock()
+	var version uint64
+	var moved int
+	var sealed []*Partition
+	if v != nil {
+		version = v.Version
+		moved = v.Rows
+		sealed = v.Parts
+	}
+	nt := &Table{Name: t.Name, Schema: t.Schema, Key: t.Key, PartKey: t.PartKey}
+	nt.Parts = make([]*Partition, 0, len(t.Parts)+len(sealed))
+	nt.Parts = append(nt.Parts, t.Parts...)
+	if t.HasZoneMaps() {
+		for _, p := range sealed {
+			p.Segs = ComputeSegments(p, segRows)
+		}
+	}
+	nt.Parts = append(nt.Parts, sealed...)
+	nt.delta = newDelta(t.Schema, version)
+	return nt, moved
+}
+
+// Snap pins the data-version of a set of tables at one instant: the
+// sealed partitions plus exactly the delta views committed when the
+// snap was taken. Every scan compiled under the snap reads the same
+// prefix, so a multi-scan query is internally consistent even while
+// appends keep landing. A nil *Snap is valid and means "latest".
+type Snap struct {
+	parts    map[*Table][]*Partition
+	versions map[string]uint64
+	delta    map[string]int
+}
+
+// PinTables pins the current committed view of every table that has a
+// delta. Tables without one scan their sealed partitions as before and
+// need no pinning; when no table has a delta the result is nil, which
+// ScanParts treats as "latest" at zero cost.
+func PinTables(tables map[string]*Table) *Snap {
+	var s *Snap
+	for name, t := range tables {
+		d := t.DeltaIfAny()
+		if d == nil {
+			continue
+		}
+		if s == nil {
+			s = &Snap{
+				parts:    make(map[*Table][]*Partition),
+				versions: make(map[string]uint64),
+				delta:    make(map[string]int),
+			}
+		}
+		v := d.view.Load()
+		var ver uint64
+		var rows int
+		var parts []*Partition
+		if v != nil {
+			ver, rows = v.Version, v.Rows
+			parts = v.Parts
+		}
+		s.versions[name] = ver
+		s.delta[name] = rows
+		if len(parts) > 0 {
+			pinned := make([]*Partition, 0, len(t.Parts)+len(parts))
+			pinned = append(pinned, t.Parts...)
+			s.parts[t] = append(pinned, parts...)
+		} else {
+			s.parts[t] = t.Parts
+		}
+	}
+	return s
+}
+
+// ScanParts returns the partitions a scan of t reads under the snap:
+// the pinned prefix when t was pinned, the table's current committed
+// view otherwise. Safe on a nil receiver.
+func (s *Snap) ScanParts(t *Table) []*Partition {
+	if s != nil {
+		if parts, ok := s.parts[t]; ok {
+			return parts
+		}
+	}
+	return t.ScanParts()
+}
+
+// Version returns the pinned data-version of the named table.
+func (s *Snap) Version(name string) (uint64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	v, ok := s.versions[name]
+	return v, ok
+}
+
+// Versions returns the pinned data-versions by table name (nil for a
+// nil snap).
+func (s *Snap) Versions() map[string]uint64 {
+	if s == nil {
+		return nil
+	}
+	return s.versions
+}
+
+// DeltaRows returns the pinned delta row count of the named table.
+func (s *Snap) DeltaRows(name string) int {
+	if s == nil {
+		return 0
+	}
+	return s.delta[name]
+}

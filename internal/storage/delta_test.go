@@ -1,0 +1,191 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func deltaTestTable(rows int) *Table {
+	schema := Schema{{Name: "id", Type: I64}, {Name: "px", Type: F64}, {Name: "sym", Type: Str}}
+	b := NewBuilder("ticks", schema, 4, "id")
+	for i := 0; i < rows; i++ {
+		b.Append(Row{int64(i), float64(i) / 2, fmt.Sprintf("s%d", i%7)})
+	}
+	return b.Build(NUMAAware, 2)
+}
+
+func tickRow(i int) Row { return Row{int64(1000 + i), float64(i), fmt.Sprintf("d%d", i%3)} }
+
+func countParts(parts []*Partition) int {
+	n := 0
+	for _, p := range parts {
+		n += p.Rows()
+	}
+	return n
+}
+
+func TestDeltaAppendVisibility(t *testing.T) {
+	tbl := deltaTestTable(100)
+	if got := countParts(tbl.ScanParts()); got != 100 {
+		t.Fatalf("sealed scan rows = %d, want 100", got)
+	}
+	d := tbl.Delta()
+	if v := d.View(); v == nil || v.Version != 0 || v.Rows != 0 || len(v.Parts) != 0 {
+		t.Fatalf("fresh delta view = %+v, want empty version-0 view", v)
+	}
+
+	// Pin the empty state, then append: the pinned snap must not move.
+	snap0 := PinTables(map[string]*Table{"ticks": tbl})
+	if snap0 == nil {
+		t.Fatal("PinTables returned nil for a table with a delta")
+	}
+	if v, ok := snap0.Version("ticks"); !ok || v != 0 {
+		t.Fatalf("pinned version = %d,%v want 0,true", v, ok)
+	}
+
+	var versions []uint64
+	for b := 0; b < 5; b++ {
+		rows := make([]Row, 10)
+		for i := range rows {
+			rows[i] = tickRow(b*10 + i)
+		}
+		v, err := d.Append(rows)
+		if err != nil {
+			t.Fatalf("append batch %d: %v", b, err)
+		}
+		versions = append(versions, v)
+	}
+	for i, v := range versions {
+		if v != uint64(i+1) {
+			t.Fatalf("batch %d committed at version %d, want %d", i, v, i+1)
+		}
+	}
+	if got := countParts(snap0.ScanParts(tbl)); got != 100 {
+		t.Fatalf("pinned snap sees %d rows after appends, want 100", got)
+	}
+	if got := countParts(tbl.ScanParts()); got != 150 {
+		t.Fatalf("latest scan sees %d rows, want 150", got)
+	}
+	snap1 := PinTables(map[string]*Table{"ticks": tbl})
+	if v, _ := snap1.Version("ticks"); v != 5 {
+		t.Fatalf("pinned version = %d, want 5", v)
+	}
+	if got := snap1.DeltaRows("ticks"); got != 50 {
+		t.Fatalf("pinned delta rows = %d, want 50", got)
+	}
+}
+
+func TestDeltaValidationLeavesStateUntouched(t *testing.T) {
+	tbl := deltaTestTable(10)
+	d := tbl.Delta()
+	if _, err := d.Append(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := d.Append([]Row{{int64(1), 2.0}}); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if _, err := d.Append([]Row{{int64(1), 2.0, "x"}, {"bad", 2.0, "x"}}); err == nil {
+		t.Fatal("mistyped row accepted")
+	}
+	if d.Rows() != 0 || d.Version() != 0 {
+		t.Fatalf("failed appends mutated delta: rows=%d version=%d", d.Rows(), d.Version())
+	}
+	if _, err := d.Append([]Row{tickRow(0)}); err != nil {
+		t.Fatalf("valid append after failures: %v", err)
+	}
+	if d.Rows() != 1 {
+		t.Fatalf("rows = %d, want 1", d.Rows())
+	}
+}
+
+func TestSealDeltaCompaction(t *testing.T) {
+	tbl := deltaTestTable(100)
+	tbl.BuildZoneMaps(32)
+	d := tbl.Delta()
+	for b := 0; b < 3; b++ {
+		rows := make([]Row, 20)
+		for i := range rows {
+			rows[i] = tickRow(b*20 + i)
+		}
+		if _, err := d.Append(rows); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	oldView := d.View()
+
+	nt, moved := tbl.SealDelta(32)
+	if moved != 60 {
+		t.Fatalf("sealed %d rows, want 60", moved)
+	}
+	if nt.Rows() != 160 {
+		t.Fatalf("replacement table has %d sealed rows, want 160", nt.Rows())
+	}
+	if !nt.HasZoneMaps() {
+		t.Fatal("replacement table lost zone maps")
+	}
+	if nt.Delta().Version() != oldView.Version {
+		t.Fatalf("replacement delta version = %d, want %d", nt.Delta().Version(), oldView.Version)
+	}
+	// Appends to the closed delta fail so callers re-resolve the table.
+	if _, err := d.Append([]Row{tickRow(99)}); !errors.Is(err, ErrDeltaSealed) {
+		t.Fatalf("append to sealed delta: err = %v, want ErrDeltaSealed", err)
+	}
+	// The old table object still reads its final consistent snapshot.
+	if got := countParts(tbl.ScanParts()); got != 160 {
+		t.Fatalf("old table reads %d rows after seal, want 160", got)
+	}
+	// Versions keep climbing on the replacement delta.
+	v, err := nt.Delta().Append([]Row{tickRow(100)})
+	if err != nil {
+		t.Fatalf("append to replacement: %v", err)
+	}
+	if v != oldView.Version+1 {
+		t.Fatalf("replacement append committed at %d, want %d", v, oldView.Version+1)
+	}
+}
+
+func TestLiveStatsTracksDelta(t *testing.T) {
+	tbl := deltaTestTable(100) // id 0..99, px 0..49.5
+	base := tbl.Stats()
+	if got := tbl.LiveStats(); got != base {
+		t.Fatalf("LiveStats without delta should return base stats")
+	}
+	d := tbl.Delta()
+	if _, err := d.Append([]Row{{int64(-5), 1000.5, "zzz"}, {int64(500), -3.25, "aaa"}}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	ls := tbl.LiveStats()
+	if ls.Rows != 102 {
+		t.Fatalf("live rows = %d, want 102", ls.Rows)
+	}
+	id := ls.Col("id")
+	if id.MinI != -5 || id.MaxI != 500 {
+		t.Fatalf("id bounds = [%d,%d], want [-5,500]", id.MinI, id.MaxI)
+	}
+	px := ls.Col("px")
+	if px.MinF != -3.25 || px.MaxF != 1000.5 {
+		t.Fatalf("px bounds = [%v,%v], want [-3.25,1000.5]", px.MinF, px.MaxF)
+	}
+	sym := ls.Col("sym")
+	if sym.MinS != "aaa" || sym.MaxS != "zzz" {
+		t.Fatalf("sym bounds = [%q,%q], want [aaa,zzz]", sym.MinS, sym.MaxS)
+	}
+	if base.Col("id").MaxI != 99 {
+		t.Fatalf("base stats mutated: id max = %d", base.Col("id").MaxI)
+	}
+}
+
+func TestPinTablesNilWithoutDeltas(t *testing.T) {
+	tbl := deltaTestTable(10)
+	if s := PinTables(map[string]*Table{"ticks": tbl}); s != nil {
+		t.Fatalf("PinTables pinned a delta-less table: %+v", s)
+	}
+	var nilSnap *Snap
+	if got := countParts(nilSnap.ScanParts(tbl)); got != 10 {
+		t.Fatalf("nil snap scan rows = %d, want 10", got)
+	}
+	if _, ok := nilSnap.Version("ticks"); ok {
+		t.Fatal("nil snap reported a version")
+	}
+}

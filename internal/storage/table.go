@@ -58,6 +58,12 @@ type Table struct {
 	// for tables assembled without a Builder.
 	stats     *TableStats
 	statsOnce sync.Once
+
+	// delta is the table's mutable append side (see delta.go), created
+	// lazily on the first Delta() call. Placement views do not share it:
+	// appends target the registered table object.
+	deltaMu sync.Mutex
+	delta   *Delta
 }
 
 // Stats returns the table's statistics (row count, per-column min/max

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# ingest_smoke.sh — the streaming-writes CI gate.
+#
+# Two-process smoke over the network API: boot morseld on the demo
+# dataset with snapshots enabled, stream deterministic batches through
+# POST /append with loadgen's ingest mode (concurrent readers verify
+# count == base + version * batch at every pinned version), route one
+# SQL INSERT through POST /query, seal the delta with POST /snapshot,
+# ingest more on top of the compacted table, seal again — then restart
+# a fresh process from the snapshot directory and require the restored
+# row count to include every appended row. Exits nonzero on any
+# consistency violation, lost row, or failed restore.
+#
+# Usage: scripts/ingest_smoke.sh [events]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+events="${1:-50000}"
+batch=1000
+base=100000
+port=18090
+addr="http://localhost:$port"
+
+work="$(mktemp -d)"
+pid=""
+cleanup() {
+  [[ -n "$pid" ]] && kill "$pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$work/morseld" ./cmd/morseld
+go build -o "$work/loadgen" ./cmd/loadgen
+
+echo "== boot morseld (demo, $base orders, snapshots into data dir)"
+"$work/morseld" -addr ":$port" -orders "$base" -customers 2000 \
+  -data-dir "$work/data" >"$work/serve.log" 2>&1 &
+pid=$!
+
+echo "== stream $events events over POST /append with consistency readers"
+"$work/loadgen" -addr "$addr" -ingest \
+  -ingest-events "$events" -ingest-batch "$batch" -ingest-readers 2
+
+echo "== one SQL INSERT through POST /query"
+curl -fsS -X POST "$addr/query" \
+  -d '{"sql": "INSERT INTO orders VALUES (99999999, 1, 2, 3.5, 4)"}' \
+  | grep -q '"row_count":1' || { echo "INSERT did not report one row"; exit 1; }
+
+echo "== /stats reports the ingest"
+stats="$(curl -fsS "$addr/stats")"
+echo "$stats" | grep -q '"rows_appended":'"$((events + 1))" || {
+  echo "stats do not show $((events + 1)) appended rows"; echo "$stats"; exit 1; }
+echo "$stats" | grep -q '"insert_statements":1' || {
+  echo "stats do not show the INSERT"; echo "$stats"; exit 1; }
+
+echo "== seal the delta (POST /snapshot), ingest more, seal again"
+curl -fsS -X POST "$addr/snapshot" >/dev/null
+"$work/loadgen" -addr "$addr" -ingest \
+  -ingest-events 20000 -ingest-batch 500 -ingest-readers 1
+curl -fsS -X POST "$addr/snapshot" >/dev/null
+
+kill "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+
+want=$((base + events + 1 + 20000))
+echo "== cold-start restore must serve all $want rows"
+out="$("$work/morseld" -addr ":$((port + 1))" -orders "$base" -customers 2000 \
+  -data-dir "$work/data" -exec 'SELECT COUNT(*) AS n FROM orders' 2>"$work/restore.log")"
+grep -q "restored snapshot" "$work/restore.log" || {
+  echo "second run did not restore from the snapshot"; cat "$work/restore.log"; exit 1; }
+echo "$out" | grep -q "$want" || {
+  echo "restored count is wrong (want $want):"; echo "$out"; exit 1; }
+
+echo "ingest smoke OK: $want rows survived append -> insert -> seal -> append -> seal -> restore"
